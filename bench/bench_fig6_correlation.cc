@@ -1,0 +1,97 @@
+// Reproduces paper Figure 6: impact of the degree of temporal
+// correlations on BPL over time.
+//
+//  (a) eps = 1:   BPL over t = 0..14 for s in {0, 0.005, 0.05} at n=50
+//                 and s = 0.005 at n = 200.
+//  (b) eps = 0.1: the same sweep over t = 0..140.
+//
+// Paper findings to reproduce in shape:
+//  * stronger correlation (smaller s) -> sharper, longer growth, higher
+//    plateau;
+//  * smaller eps delays the growth (~10x more steps) but under strong
+//    correlation ends up comparably high;
+//  * larger n under the same s -> weaker effective correlation.
+//
+// BENCH_QUICK=1 trims n=200 (the costly series).
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/table.h"
+#include "core/tpl_accountant.h"
+#include "markov/smoothing.h"
+
+namespace {
+
+using namespace tcdp;
+
+struct Config {
+  const char* label;
+  std::size_t n;
+  double s;  // negative = strongest (no smoothing)
+};
+
+std::vector<double> BplSeries(const Config& config, double eps,
+                              std::size_t horizon) {
+  StochasticMatrix matrix =
+      config.s <= 0.0
+          ? StrongestCorrelationMatrix(config.n)
+          : SmoothedCorrelationMatrix(config.n, config.s).value();
+  TplAccountant acc(TemporalCorrelations::BackwardOnly(std::move(matrix)));
+  auto s = acc.RecordUniformReleases(eps, horizon);
+  if (!s.ok()) {
+    std::fprintf(stderr, "error: %s\n", s.ToString().c_str());
+    return {};
+  }
+  return acc.BplSeries();
+}
+
+void Panel(const char* title, double eps, std::size_t horizon,
+           const std::vector<std::size_t>& ts,
+           const std::vector<Config>& configs) {
+  std::printf("%s\n", title);
+  std::vector<std::string> headers = {"t"};
+  for (const auto& c : configs) headers.push_back(c.label);
+  Table table(headers);
+  std::vector<std::vector<double>> series;
+  for (const auto& c : configs) series.push_back(BplSeries(c, eps, horizon));
+  for (std::size_t t : ts) {
+    table.AddRow();
+    table.AddInt(static_cast<long long>(t));
+    for (const auto& s : series) {
+      table.AddNumber(t <= s.size() ? s[t - 1] : 0.0, 4);
+    }
+  }
+  std::printf("%s\n", table.ToAlignedString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  const bool quick = [] {
+    const char* env = std::getenv("BENCH_QUICK");
+    return env != nullptr && env[0] == '1';
+  }();
+
+  std::printf("Figure 6 reproduction: BPL vs degree of temporal "
+              "correlation (Laplacian smoothing s, Eq. 25)\n\n");
+
+  std::vector<Config> configs = {
+      {"s=0 (n=50)", 50, -1.0},
+      {"s=0.005 (n=50)", 50, 0.005},
+      {"s=0.05 (n=50)", 50, 0.05},
+  };
+  if (!quick) configs.push_back({"s=0.005 (n=200)", 200, 0.005});
+
+  Panel("(a) eps = 1, t = 1..14", 1.0, 14,
+        {1, 2, 4, 6, 8, 10, 12, 14}, configs);
+  Panel("(b) eps = 0.1, t = 1..140", 0.1, 140,
+        {1, 20, 40, 60, 80, 100, 120, 140}, configs);
+
+  std::printf(
+      "Shape checks: rows grow then plateau (except s=0, which grows\n"
+      "linearly forever); smaller s gives higher plateaus; the n=200\n"
+      "column stays below its n=50 counterpart at equal s.\n");
+  return 0;
+}

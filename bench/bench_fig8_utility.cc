@@ -1,0 +1,104 @@
+// Reproduces paper Figure 8: data utility (expected absolute Laplace
+// noise) of the 2-DP_T mechanisms.
+//
+//  (a) vs T in {5, 10, 50}: n = 50, s = 0.001 (strong correlation).
+//      Paper: Algorithm 2's noise is flat (~31); Algorithm 3 is lower for
+//      short T (~19 at T=5, ~26 at T=10) and converges to Algorithm 2.
+//  (b) vs s in {0.01, 0.1, 1}: T = 10. Paper: noise decays toward the
+//      no-correlation dashed line (E|noise| = 1/2 at alpha = 2).
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/budget_allocation.h"
+#include "markov/smoothing.h"
+#include "release/release_engine.h"
+
+namespace {
+
+using namespace tcdp;
+
+StatusOr<BalancedBudget> Solve(std::size_t n, double s, double alpha) {
+  TCDP_ASSIGN_OR_RETURN(auto matrix, SmoothedCorrelationMatrix(n, s));
+  TCDP_ASSIGN_OR_RETURN(auto corr,
+                        TemporalCorrelations::Both(matrix, matrix));
+  TCDP_ASSIGN_OR_RETURN(auto alloc, BudgetAllocator::Create(corr, alpha));
+  return alloc.budget();
+}
+
+StatusOr<double> NoiseFor(std::size_t n, double s, double alpha,
+                          std::size_t horizon, bool quantified) {
+  TCDP_ASSIGN_OR_RETURN(auto matrix, SmoothedCorrelationMatrix(n, s));
+  TCDP_ASSIGN_OR_RETURN(auto corr,
+                        TemporalCorrelations::Both(matrix, matrix));
+  TCDP_ASSIGN_OR_RETURN(auto alloc, BudgetAllocator::Create(corr, alpha));
+  if (quantified) {
+    TCDP_ASSIGN_OR_RETURN(auto sched, alloc.QuantifiedSchedule(horizon));
+    return ExpectedAbsNoise(sched);
+  }
+  return ExpectedAbsNoise(alloc.UpperBoundSchedule(horizon));
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  const double alpha = 2.0;
+  const std::size_t n = 50;
+
+  std::printf("Figure 8 reproduction: data utility of %.0f-DP_T "
+              "mechanisms (expected |Laplace noise|, sensitivity 1)\n\n",
+              alpha);
+
+  // --- (a) utility vs T at strong correlation s = 0.001 -----------------
+  {
+    const double s = 0.001;
+    auto budget = Solve(n, s, alpha);
+    if (!budget.ok()) return Fail(budget.status());
+    std::printf("(a) n=%zu, s=%.3f: eps* = %.4f  "
+                "(paper: Algorithm 2 noise ~31 flat)\n\n",
+                n, s, budget->eps_steady);
+    Table table({"T", "Algorithm 2", "Algorithm 3"});
+    for (std::size_t horizon : {5u, 10u, 50u}) {
+      auto a2 = NoiseFor(n, s, alpha, horizon, /*quantified=*/false);
+      auto a3 = NoiseFor(n, s, alpha, horizon, /*quantified=*/true);
+      if (!a2.ok()) return Fail(a2.status());
+      if (!a3.ok()) return Fail(a3.status());
+      table.AddRow();
+      table.AddInt(static_cast<long long>(horizon));
+      table.AddNumber(*a2, 2);
+      table.AddNumber(*a3, 2);
+    }
+    std::printf("%s\n", table.ToAlignedString().c_str());
+  }
+
+  // --- (b) utility vs s at T = 10 ---------------------------------------
+  {
+    const std::size_t horizon = 10;
+    std::printf("(b) n=%zu, T=%zu  (dashed no-correlation line: "
+                "E|noise| = %.2f)\n\n",
+                n, horizon, 1.0 / alpha);
+    Table table({"s", "Algorithm 2", "Algorithm 3"});
+    for (double s : {0.01, 0.1, 1.0}) {
+      auto a2 = NoiseFor(n, s, alpha, horizon, /*quantified=*/false);
+      auto a3 = NoiseFor(n, s, alpha, horizon, /*quantified=*/true);
+      if (!a2.ok()) return Fail(a2.status());
+      if (!a3.ok()) return Fail(a3.status());
+      table.AddRow();
+      table.AddNumber(s, 2);
+      table.AddNumber(*a2, 3);
+      table.AddNumber(*a3, 3);
+    }
+    std::printf("%s\n", table.ToAlignedString().c_str());
+  }
+
+  std::printf(
+      "Shape checks: (a) Algorithm 2 constant in T, Algorithm 3 cheaper\n"
+      "for small T and approaching Algorithm 2 as T grows; (b) both decay\n"
+      "toward 1/alpha as correlations weaken (s grows).\n");
+  return 0;
+}

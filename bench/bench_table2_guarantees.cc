@@ -1,0 +1,112 @@
+// Reproduces paper Table II: the privacy guarantee of eps-DP mechanisms
+// at event level, w-event level and user level, on independent vs
+// temporally correlated data — instantiated numerically with the
+// library's accountant so every cell is *computed*, not transcribed.
+//
+//   Table II (paper):
+//                      independent      temporally correlated
+//     event-level      eps-DP           alpha-DP_T (alpha >= eps)
+//     w-event          w*eps-DP         Theorem 2 composition
+//     user-level       T*eps-DP         T*eps-DP_T (Corollary 1)
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/supremum.h"
+#include "core/tpl_accountant.h"
+#include "dp/budget.h"
+
+namespace {
+
+using namespace tcdp;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  const double eps = 0.1;
+  const std::size_t horizon = 10;  // T
+  const std::size_t w = 3;
+
+  auto p = StochasticMatrix::FromRows({{0.8, 0.2}, {0.0, 1.0}});
+  auto corr = TemporalCorrelations::Both(p, p);
+  if (!corr.ok()) return Fail(corr.status());
+
+  // Correlated accountant.
+  TplAccountant correlated(*corr);
+  Status s = correlated.RecordUniformReleases(eps, horizon);
+  if (!s.ok()) return Fail(s);
+  // Independent accountant (classical DP adversary).
+  TplAccountant independent(TemporalCorrelations::None());
+  s = independent.RecordUniformReleases(eps, horizon);
+  if (!s.ok()) return Fail(s);
+  // Classical ledger for the w-event column on independent data.
+  BudgetLedger ledger;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    s = ledger.Spend(eps);
+    if (!s.ok()) return Fail(s);
+  }
+
+  std::printf("Table II reproduction: guarantees of a %.1f-DP mechanism "
+              "per step, T=%zu, w=%zu,\ncorrelations P^B = P^F = "
+              "(0.8 0.2; 0 1)\n\n",
+              eps, horizon, w);
+
+  // Event level: max single-t TPL.
+  const double event_indep = independent.MaxTpl();
+  const double event_corr = correlated.MaxTpl();
+  // w-event: max over windows of w consecutive releases (Theorem 2 on
+  // the correlated side; plain sums on the independent side).
+  double wevent_corr = 0.0;
+  for (std::size_t t = 1; t + w - 1 <= horizon; ++t) {
+    auto v = correlated.SequenceTpl(t, w - 1);
+    if (!v.ok()) return Fail(v.status());
+    wevent_corr = std::max(wevent_corr, *v);
+  }
+  auto wevent_indep = ledger.WindowSpend(w);
+  if (!wevent_indep.ok()) return Fail(wevent_indep.status());
+  // User level: the whole timeline.
+  auto user_corr = correlated.SequenceTpl(1, horizon - 1);
+  if (!user_corr.ok()) return Fail(user_corr.status());
+  const double user_indep = ledger.TotalSpent();
+
+  Table table({"privacy notion", "independent data",
+               "temporally correlated"});
+  table.AddRowCells({"event-level", FormatNumber(event_indep, 4) + "-DP",
+                     FormatNumber(event_corr, 4) + "-DP_T"});
+  table.AddRowCells({"w-event (w=3)", FormatNumber(*wevent_indep, 4) + "-DP",
+                     FormatNumber(wevent_corr, 4) + "-DP_T"});
+  table.AddRowCells({"user-level", FormatNumber(user_indep, 4) + "-DP",
+                     FormatNumber(*user_corr, 4) + "-DP_T"});
+  std::printf("%s\n", table.ToAlignedString().c_str());
+
+  std::printf(
+      "Checks against the paper:\n"
+      "  * event-level: %.4f > %.4f — correlations inflate event-level "
+      "leakage (alpha >= eps).\n"
+      "  * user-level: %.4f == %.4f == T*eps — Corollary 1: correlations "
+      "do NOT hurt user-level DP.\n"
+      "  * w-event: %.4f >= %.4f — Theorem 2 strictly dominates the "
+      "independent window sum.\n",
+      event_corr, event_indep, *user_corr, user_indep, wevent_corr,
+      *wevent_indep);
+
+  // The extreme case called out under Table II: strongest correlation
+  // blurs event-level into user-level (T*eps).
+  auto strongest = TemporalCorrelations::Both(StochasticMatrix::Identity(2),
+                                              StochasticMatrix::Identity(2));
+  if (!strongest.ok()) return Fail(strongest.status());
+  TplAccountant extreme(*strongest);
+  s = extreme.RecordUniformReleases(eps, horizon);
+  if (!s.ok()) return Fail(s);
+  std::printf(
+      "\nExtreme case (P = I): event-level TPL = %.4f = T*eps = %.4f — an\n"
+      "eps-DP mechanism is only T*eps-DP_T on event level (the boundary\n"
+      "between event- and user-level privacy disappears).\n",
+      extreme.MaxTpl(), static_cast<double>(horizon) * eps);
+  return 0;
+}

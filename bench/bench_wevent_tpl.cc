@@ -1,0 +1,103 @@
+// Extension experiment (Table II, middle row, made operational): run the
+// actual w-event mechanisms of Kellaris et al. [22] — Budget Distribution
+// and Budget Absorption — on a correlated stream, and account their
+// *realized* per-step spends with the temporal accountant.
+//
+// The w-event guarantee bounds any w-window's spend by eps on
+// independent data. Under temporal correlations, Theorem 2's composition
+// over the same windows exceeds eps — quantifying exactly how much the
+// paper's "see Theorem 2" cell costs for real mechanisms.
+
+#include <cstdio>
+#include <memory>
+
+#include "common/table.h"
+#include "core/tpl_accountant.h"
+#include "markov/smoothing.h"
+#include "release/w_event.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace tcdp;
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  const double eps = 1.0;
+  const std::size_t w = 4;
+  const std::size_t horizon = 40;
+
+  std::printf("w-event mechanisms under temporal correlations "
+              "(eps=%.1f per window of w=%zu)\n\n",
+              eps, w);
+
+  // Correlated population stream.
+  auto road = RingRoadNetwork(4, 0.85, 0.06);
+  if (!road.ok()) return Fail(road.status());
+  auto chain = MarkovChain::WithUniformInitial(*road);
+  Rng rng(2014);
+  auto series = SimulatePopulation(chain, 300, horizon, &rng);
+  if (!series.ok()) return Fail(series.status());
+
+  // Adversary knowledge (for the audit): the same mobility model.
+  auto corr = TemporalCorrelations::Both(*road, *road);
+  if (!corr.ok()) return Fail(corr.status());
+
+  Table table({"mechanism", "publications", "max window spend",
+               "nominal guarantee", "max window TPL (Thm 2)",
+               "inflation"});
+
+  WEventOptions options;
+  options.window = w;
+  options.epsilon = eps;
+
+  auto audit = [&](WEventMechanism* mech) -> Status {
+    Rng mech_rng(99);
+    TplAccountant acc(*corr);
+    const double dissim_step = eps * options.dissimilarity_fraction /
+                               static_cast<double>(w);
+    for (std::size_t t = 1; t <= horizon; ++t) {
+      TCDP_ASSIGN_OR_RETURN(Database db, series->At(t));
+      TCDP_ASSIGN_OR_RETURN(WEventRelease r, mech->Process(db, &mech_rng));
+      // Per-step spend: the always-on dissimilarity slice plus the
+      // publication budget (0 when re-publishing).
+      TCDP_RETURN_IF_ERROR(
+          acc.RecordRelease(dissim_step + r.publication_epsilon + 1e-12));
+    }
+    TCDP_ASSIGN_OR_RETURN(double window_tpl, acc.MaxWindowTpl(w));
+    table.AddRow();
+    table.AddCell(mech->name());
+    table.AddInt(static_cast<long long>(mech->num_publications()));
+    table.AddNumber(mech->MaxWindowSpend(), 4);
+    table.AddNumber(eps, 2);
+    table.AddNumber(window_tpl, 4);
+    table.AddCell(FormatNumber(window_tpl / eps, 2) + "x");
+    return Status::OK();
+  };
+
+  auto bd = BudgetDistributionMechanism::Create(
+      options, std::make_unique<HistogramQuery>());
+  if (!bd.ok()) return Fail(bd.status());
+  if (Status s = audit(bd->get()); !s.ok()) return Fail(s);
+
+  auto ba = BudgetAbsorptionMechanism::Create(
+      options, std::make_unique<HistogramQuery>());
+  if (!ba.ok()) return Fail(ba.status());
+  if (Status s = audit(ba->get()); !s.ok()) return Fail(s);
+
+  std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf(
+      "Reading: both mechanisms respect their nominal w-event budget\n"
+      "(column 3 <= %.1f), yet against an adversary with the stream's\n"
+      "temporal correlations the effective per-window leakage (Theorem 2)\n"
+      "is larger — the cost Table II's correlated w-event cell warns "
+      "about.\n",
+      eps);
+  return 0;
+}

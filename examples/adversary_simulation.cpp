@@ -1,0 +1,106 @@
+// Operational adversary demo: runs the exact Bayesian attack of
+// core/adversary_sim against real noisy releases and compares the
+// realized log-likelihood-ratio leakage with the analytic BPL bound from
+// Algorithm 1 — making "temporal privacy leakage" concrete.
+//
+// The analytic bound is a supremum over outputs; Monte-Carlo trials must
+// stay below it, and under strong correlations the worst trial gets
+// close.
+//
+// Run: ./build/examples/adversary_simulation
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/table.h"
+#include "core/adversary_sim.h"
+#include "core/tpl_accountant.h"
+#include "markov/smoothing.h"
+
+namespace {
+
+int Fail(const tcdp::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tcdp;
+  const double eps = 0.5;          // per-step DP budget
+  const std::size_t horizon = 12;  // releases observed by the adversary
+  const int kTrials = 4000;
+
+  // Full-histogram releases under the value-change neighboring relation
+  // need the strict L1 sensitivity 2 to actually be eps-DP (each value
+  // change moves one user across two bins).
+  const double kSensitivity = 2.0;
+  const double scale = kSensitivity / eps;
+
+  struct Config {
+    const char* name;
+    StochasticMatrix backward;
+  };
+  const Config configs[] = {
+      {"strong (sticky states)",
+       StochasticMatrix::FromRows({{0.95, 0.05}, {0.10, 0.90}})},
+      {"moderate", StochasticMatrix::FromRows({{0.75, 0.25}, {0.30, 0.70}})},
+      {"none (uniform)", StochasticMatrix::Uniform(2)},
+  };
+
+  std::printf("Bayesian adversary vs analytic BPL bound\n");
+  std::printf("eps=%.2f per release, %zu releases, %d Monte-Carlo trials\n\n",
+              eps, horizon, kTrials);
+
+  for (const Config& config : configs) {
+    TplAccountant accountant(
+        TemporalCorrelations::BackwardOnly(config.backward));
+    Status s = accountant.RecordUniformReleases(eps, horizon);
+    if (!s.ok()) return Fail(s);
+
+    // Target user sits in state 0 the whole time among 20 others.
+    const std::vector<double> others = {12.0, 8.0};
+    Rng rng(1234);
+    std::vector<double> worst(horizon, 0.0);
+    std::vector<double> mean(horizon, 0.0);
+    for (int trial = 0; trial < kTrials; ++trial) {
+      BayesianAdversary adversary(config.backward);
+      for (std::size_t t = 0; t < horizon; ++t) {
+        const std::vector<double> noisy = {
+            others[0] + 1.0 + rng.Laplace(scale),
+            others[1] + rng.Laplace(scale)};
+        auto densities =
+            HistogramLogDensities(noisy, others, eps, kSensitivity);
+        if (!densities.ok()) return Fail(densities.status());
+        s = adversary.Observe(*densities);
+        if (!s.ok()) return Fail(s);
+        const double realized = adversary.RealizedLeakage();
+        worst[t] = std::max(worst[t], realized);
+        mean[t] += realized / kTrials;
+      }
+    }
+
+    std::printf("-- correlation: %s --\n", config.name);
+    Table table({"t", "analytic BPL", "worst realized", "mean realized",
+                 "bound holds"});
+    for (std::size_t t = 1; t <= horizon; ++t) {
+      const double bound = *accountant.Bpl(t);
+      table.AddRow();
+      table.AddInt(static_cast<long long>(t));
+      table.AddNumber(bound, 4);
+      table.AddNumber(worst[t - 1], 4);
+      table.AddNumber(mean[t - 1], 4);
+      table.AddCell(worst[t - 1] <= bound + 1e-9 ? "yes" : "NO");
+    }
+    std::printf("%s\n", table.ToAlignedString().c_str());
+  }
+
+  std::printf(
+      "Interpretation: with no correlation the leakage stays near the\n"
+      "single-release level; with sticky states the adversary compounds\n"
+      "evidence across time exactly as BPL predicts, and the analytic\n"
+      "bound is never exceeded.\n");
+  return 0;
+}

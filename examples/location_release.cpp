@@ -1,0 +1,122 @@
+// Location-data pipeline: the workload the paper's introduction motivates
+// (real-time traffic monitoring).
+//
+// 1. Simulate a population of vehicles on a ring road network.
+// 2. The adversary learns forward/backward correlations from historical
+//    trajectories by maximum-likelihood estimation (Section III-A).
+// 3. Release per-location counts continuously under alpha-DP_T using both
+//    allocation strategies (Algorithms 2 and 3) and compare leakage and
+//    utility against the naive eps-DP release and the group-DP strawman.
+//
+// Run: ./build/examples/location_release [num_locations] [horizon]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "common/table.h"
+#include "core/dpt_mechanism.h"
+#include "core/tpl_accountant.h"
+#include "markov/estimation.h"
+#include "release/release_engine.h"
+#include "workload/generators.h"
+
+namespace {
+
+int Fail(const tcdp::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tcdp;
+  const std::size_t num_locations =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 8;
+  const std::size_t horizon =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 24;
+  const std::size_t num_users = 500;
+  const double alpha = 1.0;
+
+  std::printf("Location release: %zu locations, %zu users, T=%zu, "
+              "alpha=%.1f\n\n",
+              num_locations, num_users, horizon, alpha);
+
+  // 1. Ground-truth mobility model and the private data stream.
+  auto road = RingRoadNetwork(num_locations, /*stay_prob=*/0.45,
+                              /*move_prob=*/0.22);
+  if (!road.ok()) return Fail(road.status());
+  auto chain = MarkovChain::WithUniformInitial(*road);
+  Rng rng(42);
+  auto series = SimulatePopulation(chain, num_users, horizon, &rng);
+  if (!series.ok()) return Fail(series.status());
+
+  // 2. Adversary knowledge: MLE on public historical trajectories.
+  auto history = SimulateTrajectories(chain, /*num_users=*/2000,
+                                      /*horizon=*/200, &rng);
+  auto forward = EstimateForwardTransition(history, num_locations);
+  auto backward = EstimateBackwardTransition(history, num_locations);
+  if (!forward.ok()) return Fail(forward.status());
+  if (!backward.ok()) return Fail(backward.status());
+  std::printf("Adversary's MLE forward correlation vs ground truth: "
+              "max |diff| = %.4f\n\n",
+              forward->matrix().MaxAbsDiff(road->matrix()));
+
+  auto correlations = TemporalCorrelations::Both(*backward, *forward);
+  if (!correlations.ok()) return Fail(correlations.status());
+
+  // 3. Release under each strategy and audit.
+  struct Row {
+    const char* name;
+    DptStrategy strategy;
+  };
+  const Row rows[] = {
+      {"Algorithm 2 (upper bound)", DptStrategy::kUpperBound},
+      {"Algorithm 3 (quantified)", DptStrategy::kQuantified},
+      {"group-DP alpha/T strawman", DptStrategy::kGroupDpBaseline},
+  };
+
+  Table table({"strategy", "eps_1", "eps_mid", "eps_T", "max TPL",
+               "E|noise|", "empirical MAE"});
+  for (const Row& row : rows) {
+    auto mech = DptMechanism::Create(*correlations, alpha, row.strategy);
+    if (!mech.ok()) return Fail(mech.status());
+    auto result = mech->ReleaseSeries(
+        *series, std::make_unique<HistogramQuery>(), &rng);
+    if (!result.ok()) return Fail(result.status());
+    table.AddRow();
+    table.AddCell(row.name);
+    table.AddNumber(result->epsilons.front(), 4);
+    table.AddNumber(result->epsilons[horizon / 2], 4);
+    table.AddNumber(result->epsilons.back(), 4);
+    table.AddNumber(result->max_tpl, 4);
+    table.AddNumber(result->expected_abs_noise, 2);
+    table.AddNumber(MeanAbsoluteError(result->releases), 2);
+  }
+
+  // Naive baseline: spend alpha at every step (classical per-step DP).
+  {
+    TplAccountant acc(*correlations);
+    for (std::size_t t = 0; t < horizon; ++t) {
+      Status s = acc.RecordRelease(alpha);
+      if (!s.ok()) return Fail(s);
+    }
+    table.AddRow();
+    table.AddCell("naive eps=alpha each step");
+    table.AddNumber(alpha, 4);
+    table.AddNumber(alpha, 4);
+    table.AddNumber(alpha, 4);
+    table.AddNumber(acc.MaxTpl(), 4);
+    table.AddNumber(1.0 / alpha, 2);
+    table.AddCell("-");
+  }
+
+  std::printf("%s\n", table.ToAlignedString().c_str());
+  std::printf(
+      "Reading the table: both paper algorithms keep max TPL <= alpha;\n"
+      "Algorithm 3 hits alpha exactly and adds the least noise for this\n"
+      "finite horizon. The naive release violates the target, and the\n"
+      "group-DP strawman over-perturbs by ignoring correlation strength.\n");
+  return 0;
+}

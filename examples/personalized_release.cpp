@@ -1,0 +1,99 @@
+// Personalized temporal privacy (paper Section III-D + reference [21]):
+// every user picks their own alpha_i; the planner derives per-user budget
+// schedules from their own correlations and releases through the PDP
+// Sample mechanism, so cautious users are not over-protected into
+// uselessness and liberal users are not under-protected.
+//
+// Run: ./build/examples/personalized_release
+
+#include <cstdio>
+
+#include "common/table.h"
+#include "core/pdp_dpt.h"
+#include "markov/smoothing.h"
+#include "workload/generators.h"
+
+namespace {
+
+int Fail(const tcdp::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tcdp;
+  const std::size_t horizon = 16;
+
+  // Five users, mixed predictability and mixed privacy preferences.
+  struct UserConfig {
+    const char* name;
+    double smoothing;  // correlation strength (smaller = stronger)
+    double alpha;      // personal TPL target
+  };
+  const UserConfig configs[] = {
+      {"paranoid+predictable", 0.05, 0.4},
+      {"paranoid+erratic", 2.00, 0.4},
+      {"default", 0.50, 1.0},
+      {"liberal+predictable", 0.05, 2.0},
+      {"liberal+erratic", 2.00, 2.0},
+  };
+
+  std::vector<PdpUserSpec> specs;
+  for (const auto& c : configs) {
+    auto m = SmoothedCorrelationMatrix(4, c.smoothing);
+    if (!m.ok()) return Fail(m.status());
+    auto corr = TemporalCorrelations::Both(*m, *m);
+    if (!corr.ok()) return Fail(corr.status());
+    specs.push_back({c.name, *corr, c.alpha, DptStrategy::kQuantified});
+  }
+  auto planner = PersonalizedDptPlanner::Create(specs);
+  if (!planner.ok()) return Fail(planner.status());
+
+  // Everyone walks the same world; privacy needs differ.
+  auto road = RingRoadNetwork(4, 0.6, 0.15);
+  if (!road.ok()) return Fail(road.status());
+  Rng rng(808);
+  auto series = SimulatePopulation(MarkovChain::WithUniformInitial(*road),
+                                   /*num_users=*/5, horizon, &rng);
+  if (!series.ok()) return Fail(series.status());
+
+  HistogramQuery query;
+  auto result = planner->ReleaseSeries(*series, query, &rng);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("Personalized alpha-DP_T release: %zu users, T=%zu\n\n",
+              planner->num_users(), horizon);
+  Table table({"user", "alpha target", "eps_1", "eps_mid", "audited max TPL",
+               "mean inclusion prob"});
+  for (std::size_t u = 0; u < planner->num_users(); ++u) {
+    // Mean sampling probability across the stream: how often this user's
+    // record actually entered the released statistics.
+    double mean_inclusion = 0.0;
+    for (std::size_t t = 0; t < horizon; ++t) {
+      const double eps_u = result->per_user_epsilons[u][t];
+      const double thr = result->thresholds[t];
+      mean_inclusion +=
+          eps_u >= thr ? 1.0 : std::expm1(eps_u) / std::expm1(thr);
+    }
+    mean_inclusion /= static_cast<double>(horizon);
+
+    table.AddRow();
+    table.AddCell(planner->user(u).name);
+    table.AddNumber(planner->user(u).alpha, 2);
+    table.AddNumber(result->per_user_epsilons[u][0], 4);
+    table.AddNumber(result->per_user_epsilons[u][horizon / 2], 4);
+    table.AddNumber(result->per_user_max_tpl[u], 4);
+    table.AddNumber(mean_inclusion, 3);
+  }
+  std::printf("%s\n", table.ToAlignedString().c_str());
+
+  std::printf(
+      "Reading: each user's audited TPL equals their own alpha (the\n"
+      "quantified allocator is exact), predictable users get smaller\n"
+      "per-step budgets for the same alpha, and the Sample mechanism\n"
+      "includes cautious users less often instead of drowning everyone\n"
+      "in the strictest user's noise.\n");
+  return 0;
+}

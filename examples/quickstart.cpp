@@ -1,0 +1,120 @@
+// Quickstart: the paper's Figure 1 / Example 1 scenario end to end.
+//
+// A trusted server releases private location counts at each time point
+// with the Laplace mechanism. An adversary knowing the road network
+// (temporal correlations) makes the effective leakage exceed the per-step
+// epsilon; tcdp quantifies that leakage and re-allocates budgets so the
+// temporal guarantee holds.
+//
+// Run: ./build/examples/quickstart
+
+#include <cstdio>
+#include <memory>
+
+#include "common/table.h"
+#include "core/dpt_mechanism.h"
+#include "core/tpl_accountant.h"
+#include "markov/reversal.h"
+#include "workload/generators.h"
+
+namespace {
+
+int Fail(const tcdp::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  using namespace tcdp;
+
+  // ---------------------------------------------------------------- 1 --
+  std::printf("== 1. The Figure 1 scenario: 4 users, 5 locations, T=3 ==\n\n");
+  auto scenario = MakeFigure1Scenario();
+  if (!scenario.ok()) return Fail(scenario.status());
+
+  Table counts({"t", "loc1", "loc2", "loc3", "loc4", "loc5"});
+  for (std::size_t t = 1; t <= scenario->series.horizon(); ++t) {
+    auto db = scenario->series.At(t);
+    if (!db.ok()) return Fail(db.status());
+    counts.AddRow();
+    counts.AddInt(static_cast<long long>(t));
+    for (double c : db->Histogram()) counts.AddNumber(c, 0);
+  }
+  std::printf("True counts (Figure 1(c)):\n%s\n",
+              counts.ToAlignedString().c_str());
+
+  // ---------------------------------------------------------------- 2 --
+  std::printf("== 2. Naive eps-DP release and its temporal leakage ==\n\n");
+  const double eps = 0.5;
+
+  // The adversary derives the backward correlation from the road network
+  // (forward correlation) by Bayesian inference (Section III-A).
+  std::vector<double> uniform_prior(5, 0.2);
+  auto backward =
+      ReverseWithPrior(scenario->forward_correlation, uniform_prior);
+  if (!backward.ok()) return Fail(backward.status());
+  auto correlations =
+      TemporalCorrelations::Both(*backward, scenario->forward_correlation);
+  if (!correlations.ok()) return Fail(correlations.status());
+
+  TplAccountant accountant(*correlations);
+  for (std::size_t t = 0; t < scenario->series.horizon(); ++t) {
+    Status s = accountant.RecordRelease(eps);
+    if (!s.ok()) return Fail(s);
+  }
+  Table leakage({"t", "epsilon", "BPL", "FPL", "TPL"});
+  for (std::size_t t = 1; t <= accountant.horizon(); ++t) {
+    leakage.AddRow();
+    leakage.AddInt(static_cast<long long>(t));
+    leakage.AddNumber(eps, 3);
+    leakage.AddNumber(*accountant.Bpl(t), 4);
+    leakage.AddNumber(*accountant.Fpl(t), 4);
+    leakage.AddNumber(*accountant.Tpl(t), 4);
+  }
+  std::printf(
+      "Each release promises %.2f-DP, but against adversary_T the actual\n"
+      "temporal privacy leakage (TPL) is larger at every time point:\n\n%s\n",
+      eps, leakage.ToAlignedString().c_str());
+
+  // ---------------------------------------------------------------- 3 --
+  std::printf("== 3. Converting the mechanism to alpha-DP_T ==\n\n");
+  const double alpha = 0.5;  // the guarantee we actually want
+  auto mech =
+      DptMechanism::Create(*correlations, alpha, DptStrategy::kQuantified);
+  if (!mech.ok()) return Fail(mech.status());
+
+  Rng rng(2017);
+  auto result = mech->ReleaseSeries(scenario->series,
+                                    std::make_unique<HistogramQuery>(), &rng);
+  if (!result.ok()) return Fail(result.status());
+
+  Table fixed({"t", "epsilon_t", "TPL_t", "noisy loc1..loc5"});
+  for (std::size_t t = 1; t <= result->releases.size(); ++t) {
+    const auto& r = result->releases[t - 1];
+    fixed.AddRow();
+    fixed.AddInt(static_cast<long long>(t));
+    fixed.AddNumber(r.epsilon, 4);
+    fixed.AddNumber(result->tpl_series[t - 1], 4);
+    std::string noisy;
+    for (double v : r.noisy_values) {
+      if (!noisy.empty()) noisy += " ";
+      noisy += FormatNumber(v, 1);
+    }
+    fixed.AddCell(noisy);
+  }
+  std::printf(
+      "Algorithm 3 (quantification) re-allocates the budget so the audited\n"
+      "TPL equals alpha = %.2f at every time point:\n\n%s\n",
+      alpha, fixed.ToAlignedString().c_str());
+  std::printf("max TPL = %.6f  (contract: <= %.2f)\n",
+              result->max_tpl, alpha);
+  std::printf("expected |Laplace noise| per count = %.3f\n\n",
+              result->expected_abs_noise);
+
+  std::printf("Quickstart finished: the naive release leaked up to %.3f;\n"
+              "the converted mechanism is bounded at %.2f by construction.\n",
+              accountant.MaxTpl(), alpha);
+  return 0;
+}

@@ -1,0 +1,55 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcdp {
+namespace {
+
+std::atomic<int> g_level{-1};  // -1 = uninitialized
+
+int InitLevelFromEnv() {
+  const char* env = std::getenv("TCDP_LOG_LEVEL");
+  if (env != nullptr) {
+    int v = std::atoi(env);
+    if (v >= 0 && v <= 3) return v;
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = InitLevelFromEnv();
+    g_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+void LogMessage(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  std::fprintf(stderr, "[tcdp %s] %s\n", LevelName(level), message.c_str());
+}
+
+}  // namespace tcdp

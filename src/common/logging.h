@@ -1,0 +1,48 @@
+#ifndef TCDP_COMMON_LOGGING_H_
+#define TCDP_COMMON_LOGGING_H_
+
+/// \file
+/// Minimal leveled logging to stderr. Benchmarks and examples use this to
+/// surface progress without polluting the table output on stdout.
+
+#include <sstream>
+#include <string>
+
+namespace tcdp {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+/// Defaults to kInfo; override via TCDP_LOG_LEVEL env (0..3) at first use.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+/// Emits one formatted line to stderr if \p level passes the threshold.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal {
+
+/// RAII stream that emits on destruction; backs the TCDP_LOG macro.
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream() { LogMessage(level_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace tcdp
+
+/// Usage: TCDP_LOG(kInfo) << "solved n=" << n;
+#define TCDP_LOG(severity) \
+  ::tcdp::internal::LogStream(::tcdp::LogLevel::severity)
+
+#endif  // TCDP_COMMON_LOGGING_H_

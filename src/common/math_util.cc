@@ -1,0 +1,56 @@
+#include "common/math_util.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace tcdp {
+
+bool IsProbabilityVector(const std::vector<double>& v, double tol) {
+  double sum = 0.0;
+  for (double x : v) {
+    if (!IsProbability(x, tol)) return false;
+    sum += x;
+  }
+  return std::fabs(sum - 1.0) <= tol;
+}
+
+bool NormalizeInPlace(std::vector<double>* v) {
+  assert(v != nullptr);
+  double sum = std::accumulate(v->begin(), v->end(), 0.0);
+  if (!(sum > 0.0) || !std::isfinite(sum)) return false;
+  for (double& x : *v) x /= sum;
+  return true;
+}
+
+double L1Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += std::fabs(a[i] - b[i]);
+  return d;
+}
+
+double LogSumExp(const std::vector<double>& x) {
+  if (x.empty()) return -kInf;
+  const double m = *std::max_element(x.begin(), x.end());
+  if (!std::isfinite(m)) return m;  // all -inf, or contains +inf
+  double sum = 0.0;
+  for (double xi : x) sum += std::exp(xi - m);
+  return m + std::log(sum);
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  return std::accumulate(v.begin(), v.end(), 0.0) /
+         static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+}  // namespace tcdp

@@ -1,0 +1,67 @@
+#include "common/random.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace tcdp {
+
+double Rng::Uniform() {
+  // 53-bit mantissa resolution, in [0, 1).
+  return std::generate_canonical<double, 53>(engine_);
+}
+
+double Rng::Uniform(double lo, double hi) {
+  assert(lo < hi);
+  return lo + (hi - lo) * Uniform();
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::Laplace(double scale) {
+  assert(scale > 0.0);
+  // Inverse-CDF sampling: u ~ Uniform(-1/2, 1/2),
+  // x = -b * sgn(u) * ln(1 - 2|u|).
+  const double u = Uniform() - 0.5;
+  const double sign = (u < 0.0) ? -1.0 : 1.0;
+  return -scale * sign * std::log1p(-2.0 * std::fabs(u));
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0.0);
+  // -ln(1-u)/rate; 1-u in (0,1] so the log is finite.
+  return -std::log1p(-Uniform()) / rate;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+StatusOr<std::size_t> Rng::Discrete(const std::vector<double>& probs) {
+  if (probs.empty()) {
+    return Status::InvalidArgument("Discrete: empty probability vector");
+  }
+  double total = 0.0;
+  for (double p : probs) {
+    if (p < 0.0 || !std::isfinite(p)) {
+      return Status::InvalidArgument(
+          "Discrete: probabilities must be finite and non-negative");
+    }
+    total += p;
+  }
+  if (total <= 0.0) {
+    return Status::InvalidArgument("Discrete: probabilities sum to zero");
+  }
+  double x = Uniform() * total;
+  for (std::size_t i = 0; i < probs.size(); ++i) {
+    x -= probs[i];
+    if (x < 0.0) return i;
+  }
+  return probs.size() - 1;  // Floating-point slack: land on the last bin.
+}
+
+}  // namespace tcdp

@@ -1,0 +1,70 @@
+#ifndef TCDP_COMMON_RANDOM_H_
+#define TCDP_COMMON_RANDOM_H_
+
+/// \file
+/// Seeded pseudo-random number generation and the distributions used by
+/// the library (uniform, Laplace, exponential, discrete, Gaussian).
+///
+/// Every stochastic component in this library takes an explicit `Rng`
+/// so that experiments and tests are reproducible bit-for-bit.
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcdp {
+
+/// \brief Deterministic random source wrapping `std::mt19937_64`.
+///
+/// Not thread-safe; create one per thread or per experiment.
+class Rng {
+ public:
+  /// Seeds the generator. The same seed yields the same stream.
+  explicit Rng(std::uint64_t seed = 0x5DEECE66DULL) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform();
+
+  /// Uniform double in [lo, hi). `PRECONDITION: lo < hi`.
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Sample from Laplace(0, scale): density (1/2b) exp(-|x|/b).
+  /// `PRECONDITION: scale > 0`. Variance is 2*scale^2.
+  double Laplace(double scale);
+
+  /// Sample from Exponential(rate): density rate * exp(-rate x), x >= 0.
+  double Exponential(double rate);
+
+  /// Sample from a standard normal via std::normal_distribution.
+  double Gaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Sample an index in [0, probs.size()) with probability proportional to
+  /// probs[i]. Returns InvalidArgument if probs is empty, has a negative
+  /// entry, or sums to zero.
+  StatusOr<std::size_t> Discrete(const std::vector<double>& probs);
+
+  /// Fisher–Yates shuffle of \p values.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (std::size_t i = values->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(
+          UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Underlying engine, for interop with <random> distributions.
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_COMMON_RANDOM_H_

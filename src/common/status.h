@@ -1,0 +1,167 @@
+#ifndef TCDP_COMMON_STATUS_H_
+#define TCDP_COMMON_STATUS_H_
+
+/// \file
+/// Database-style error handling: `Status` and `StatusOr<T>`.
+///
+/// Public APIs in this library do not throw exceptions across module
+/// boundaries (Arrow/RocksDB idiom). Fallible operations return `Status`
+/// or `StatusOr<T>`; callers must check `ok()` before use.
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace tcdp {
+
+/// Canonical error codes, a pragmatic subset of the Abseil/gRPC set.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< Caller supplied a malformed argument.
+  kFailedPrecondition = 2,///< Object state does not admit the operation.
+  kOutOfRange = 3,        ///< Index/parameter outside the valid domain.
+  kNotFound = 4,          ///< Requested entity does not exist.
+  kAlreadyExists = 5,     ///< Entity uniqueness violated.
+  kUnimplemented = 6,     ///< Feature intentionally not provided.
+  kInternal = 7,          ///< Invariant violation inside the library.
+  kResourceExhausted = 8, ///< Iteration/size limit exceeded.
+};
+
+/// \brief Human-readable name of a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Result of an operation that can fail without a payload.
+///
+/// `Status` is cheap to copy in the OK case (no allocation). Error
+/// statuses carry a code and a message describing the failure.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with \p code and diagnostic \p message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// \name Factories for common codes.
+  /// @{
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// @}
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& s);
+
+/// \brief Either a value of type `T` or an error `Status`.
+///
+/// Minimal analogue of `absl::StatusOr`. Accessing the value of an
+/// errored `StatusOr` is a programming error (asserts in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a value: success.
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from an error status. `PRECONDITION: !status.ok()`.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status w/o value");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr given OK status without a value");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Value access. `PRECONDITION: ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or \p fallback if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates an error status from an expression to the caller.
+#define TCDP_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::tcdp::Status _tcdp_status = (expr);            \
+    if (!_tcdp_status.ok()) return _tcdp_status;     \
+  } while (false)
+
+/// Evaluates a StatusOr expression; on error returns the status, otherwise
+/// assigns the value to `lhs`. Usage:
+///   TCDP_ASSIGN_OR_RETURN(auto m, StochasticMatrix::Create(...));
+#define TCDP_ASSIGN_OR_RETURN(lhs, expr)             \
+  TCDP_ASSIGN_OR_RETURN_IMPL_(                       \
+      TCDP_STATUS_CONCAT_(_tcdp_statusor, __LINE__), lhs, expr)
+
+#define TCDP_STATUS_CONCAT_INNER_(x, y) x##y
+#define TCDP_STATUS_CONCAT_(x, y) TCDP_STATUS_CONCAT_INNER_(x, y)
+#define TCDP_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)  \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+}  // namespace tcdp
+
+#endif  // TCDP_COMMON_STATUS_H_

@@ -1,0 +1,96 @@
+#include "common/table.h"
+
+#include <cassert>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+namespace tcdp {
+
+std::string FormatNumber(double value, int precision) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::AddRow() { rows_.emplace_back(); }
+
+void Table::AddCell(const std::string& value) {
+  assert(!rows_.empty() && "AddRow() before AddCell()");
+  rows_.back().push_back(value);
+}
+
+void Table::AddNumber(double value, int precision) {
+  AddCell(FormatNumber(value, precision));
+}
+
+void Table::AddInt(long long value) { AddCell(std::to_string(value)); }
+
+void Table::AddRowCells(const std::vector<std::string>& cells) {
+  rows_.push_back(cells);
+}
+
+std::string Table::ToAlignedString() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c])) << cell;
+      if (c + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string Table::ToCsv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += "\"\"";
+      else out += ch;
+    }
+    out += "\"";
+    return out;
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    os << quote(headers_[c]);
+    if (c + 1 < headers_.size()) os << ',';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << quote(row[c]);
+      if (c + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.ToAlignedString();
+}
+
+}  // namespace tcdp

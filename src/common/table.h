@@ -1,0 +1,63 @@
+#ifndef TCDP_COMMON_TABLE_H_
+#define TCDP_COMMON_TABLE_H_
+
+/// \file
+/// Aligned-text and CSV table rendering for the benchmark harness.
+/// Each bench binary prints the same rows/series the paper reports;
+/// `Table` keeps that output consistent and machine-scrapeable.
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tcdp {
+
+/// \brief A simple column-oriented table: header row plus string cells.
+///
+/// Numeric helpers format doubles with a fixed precision so benchmark
+/// output diffs cleanly across runs.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new empty row.
+  void AddRow();
+
+  /// Appends a string cell to the current row.
+  void AddCell(const std::string& value);
+
+  /// Appends a numeric cell with \p precision fractional digits.
+  void AddNumber(double value, int precision = 4);
+
+  /// Appends an integer cell.
+  void AddInt(long long value);
+
+  /// Convenience: adds a full row of preformatted cells.
+  void AddRowCells(const std::vector<std::string>& cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return headers_.size(); }
+
+  /// Renders with padded columns and a header separator.
+  std::string ToAlignedString() const;
+
+  /// Renders as RFC-4180-ish CSV (quotes cells containing commas).
+  std::string ToCsv() const;
+
+  /// Streams the aligned rendering.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// \brief Formats a double like AddNumber does (fixed precision, "inf"
+/// for infinities, "nan" for NaN).
+std::string FormatNumber(double value, int precision = 4);
+
+}  // namespace tcdp
+
+#endif  // TCDP_COMMON_TABLE_H_

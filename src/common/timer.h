@@ -1,0 +1,35 @@
+#ifndef TCDP_COMMON_TIMER_H_
+#define TCDP_COMMON_TIMER_H_
+
+/// \file
+/// Monotonic wall-clock timer for coarse measurements outside the
+/// google-benchmark harness (e.g. time-guarded baseline sweeps).
+
+#include <chrono>
+
+namespace tcdp {
+
+/// \brief Steady-clock stopwatch; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction/Reset.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction/Reset.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_COMMON_TIMER_H_

@@ -1,0 +1,169 @@
+#include "core/adversary_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.h"
+#include "dp/laplace.h"
+
+namespace tcdp {
+
+BayesianAdversary::BayesianAdversary(StochasticMatrix backward)
+    : backward_(std::move(backward)),
+      log_likelihood_(backward_.size(), 0.0) {}
+
+Status BayesianAdversary::Observe(
+    const std::vector<double>& log_densities) {
+  const std::size_t n = domain_size();
+  if (log_densities.size() != n) {
+    return Status::InvalidArgument(
+        "Observe: log_densities size mismatches domain");
+  }
+  if (num_observations_ == 0) {
+    // g_1(v) = p(r^1 | l^1 = v).
+    log_likelihood_ = log_densities;
+  } else {
+    // g_t(v) = p(r^t | v) * sum_{v'} P^B(v, v') g_{t-1}(v')   (Eq. 12).
+    std::vector<double> next(n, -kInf);
+    std::vector<double> terms;
+    terms.reserve(n);
+    for (std::size_t v = 0; v < n; ++v) {
+      terms.clear();
+      for (std::size_t prev = 0; prev < n; ++prev) {
+        const double p = backward_.At(v, prev);
+        if (p > 0.0) {
+          terms.push_back(std::log(p) + log_likelihood_[prev]);
+        }
+      }
+      next[v] = log_densities[v] + LogSumExp(terms);
+    }
+    log_likelihood_ = std::move(next);
+  }
+  ++num_observations_;
+  return Status::OK();
+}
+
+double BayesianAdversary::RealizedLeakage() const {
+  if (num_observations_ == 0) return 0.0;
+  const auto [mn, mx] =
+      std::minmax_element(log_likelihood_.begin(), log_likelihood_.end());
+  if (!std::isfinite(*mn)) return kInf;
+  return *mx - *mn;
+}
+
+std::vector<double> BayesianAdversary::Posterior() const {
+  const double norm = LogSumExp(log_likelihood_);
+  std::vector<double> post(log_likelihood_.size(), 0.0);
+  for (std::size_t v = 0; v < post.size(); ++v) {
+    post[v] = std::exp(log_likelihood_[v] - norm);
+  }
+  return post;
+}
+
+void BayesianAdversary::Reset() {
+  log_likelihood_.assign(domain_size(), 0.0);
+  num_observations_ = 0;
+}
+
+StatusOr<SmoothingAdversary> SmoothingAdversary::Create(
+    StochasticMatrix backward, StochasticMatrix forward) {
+  if (backward.size() != forward.size()) {
+    return Status::InvalidArgument(
+        "SmoothingAdversary: P^B and P^F dimensions differ");
+  }
+  return SmoothingAdversary(std::move(backward), std::move(forward));
+}
+
+StatusOr<std::vector<double>> SmoothingAdversary::RealizedTplSeries(
+    const std::vector<std::vector<double>>& log_densities) const {
+  const std::size_t n = domain_size();
+  const std::size_t horizon = log_densities.size();
+  if (horizon == 0) {
+    return Status::InvalidArgument("RealizedTplSeries: empty sequence");
+  }
+  for (const auto& d : log_densities) {
+    if (d.size() != n) {
+      return Status::InvalidArgument(
+          "RealizedTplSeries: density vector size mismatches domain");
+    }
+  }
+
+  // Backward filter g_t (past and present releases).
+  std::vector<std::vector<double>> g(horizon, std::vector<double>(n, 0.0));
+  std::vector<double> terms;
+  terms.reserve(n);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    for (std::size_t v = 0; v < n; ++v) {
+      if (t == 0) {
+        g[t][v] = log_densities[t][v];
+        continue;
+      }
+      terms.clear();
+      for (std::size_t prev = 0; prev < n; ++prev) {
+        const double p = backward_.At(v, prev);
+        if (p > 0.0) terms.push_back(std::log(p) + g[t - 1][prev]);
+      }
+      g[t][v] = log_densities[t][v] + LogSumExp(terms);
+    }
+  }
+  // Forward filter h_t (strictly future releases); h_{T-1} = 0 (log 1).
+  std::vector<std::vector<double>> h(horizon, std::vector<double>(n, 0.0));
+  for (std::size_t t = horizon - 1; t-- > 0;) {
+    for (std::size_t v = 0; v < n; ++v) {
+      terms.clear();
+      for (std::size_t next = 0; next < n; ++next) {
+        const double p = forward_.At(v, next);
+        if (p > 0.0) {
+          terms.push_back(std::log(p) + log_densities[t + 1][next] +
+                          h[t + 1][next]);
+        }
+      }
+      h[t][v] = LogSumExp(terms);
+    }
+  }
+
+  std::vector<double> realized(horizon, 0.0);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    double lo = kInf, hi = -kInf;
+    for (std::size_t v = 0; v < n; ++v) {
+      const double joint = g[t][v] + h[t][v];
+      lo = std::min(lo, joint);
+      hi = std::max(hi, joint);
+    }
+    realized[t] = std::isfinite(lo) ? hi - lo : kInf;
+  }
+  return realized;
+}
+
+StatusOr<std::vector<double>> HistogramLogDensities(
+    const std::vector<double>& noisy_release,
+    const std::vector<double>& others_histogram, double epsilon,
+    double sensitivity) {
+  if (noisy_release.size() != others_histogram.size()) {
+    return Status::InvalidArgument(
+        "HistogramLogDensities: size mismatch between release and "
+        "histogram");
+  }
+  if (!(epsilon > 0.0) || !(sensitivity > 0.0)) {
+    return Status::InvalidArgument(
+        "HistogramLogDensities: epsilon and sensitivity must be > 0");
+  }
+  const std::size_t n = noisy_release.size();
+  const double scale = sensitivity / epsilon;
+  // Base: target absent everywhere. Adjust bin v for the target's +1.
+  double base = 0.0;
+  std::vector<double> residual(n);
+  for (std::size_t b = 0; b < n; ++b) {
+    residual[b] = noisy_release[b] - others_histogram[b];
+    base += std::log(LaplaceMechanism::Pdf(residual[b], scale));
+  }
+  std::vector<double> out(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    out[v] = base -
+             std::log(LaplaceMechanism::Pdf(residual[v], scale)) +
+             std::log(LaplaceMechanism::Pdf(residual[v] - 1.0, scale));
+  }
+  return out;
+}
+
+}  // namespace tcdp

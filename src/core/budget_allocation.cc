@@ -1,0 +1,144 @@
+#include "core/budget_allocation.h"
+
+#include <cmath>
+#include <optional>
+#include <string>
+
+#include "common/math_util.h"
+#include "core/privacy_loss.h"
+
+namespace tcdp {
+namespace {
+
+/// eps(a) = a - L(a); identity when the loss function is absent.
+double EpsilonInverse(const std::optional<TemporalLossFunction>& loss,
+                      double a) {
+  if (!loss.has_value()) return a;
+  return a - loss->Evaluate(a);
+}
+
+}  // namespace
+
+StatusOr<BudgetAllocator> BudgetAllocator::Create(
+    TemporalCorrelations correlations, double alpha,
+    AllocationOptions options) {
+  if (!(alpha > 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument(
+        "BudgetAllocator: alpha must be finite and > 0");
+  }
+  std::optional<TemporalLossFunction> lb, lf;
+  if (correlations.has_backward()) lb.emplace(correlations.backward());
+  if (correlations.has_forward()) lf.emplace(correlations.forward());
+
+  BalancedBudget budget;
+  budget.alpha = alpha;
+
+  if (!lb.has_value() && !lf.has_value()) {
+    // Classical DP: TPL_t = eps_t, so the full budget goes to each step.
+    budget.alpha_b = alpha;
+    budget.alpha_f = alpha;
+    budget.eps_steady = alpha;
+    return BudgetAllocator(std::move(correlations), alpha, budget);
+  }
+
+  // h(aB) = epsB(aB) - epsF(alpha - aB + epsB(aB)); root by bisection.
+  const auto balance = [&](double a_b) {
+    const double eps_b = EpsilonInverse(lb, a_b);
+    const double a_f = alpha - a_b + eps_b;
+    const double eps_f = EpsilonInverse(lf, a_f);
+    return eps_b - eps_f;
+  };
+
+  double lo = alpha * 1e-12;
+  double hi = alpha;
+  double h_lo = balance(lo);
+  double h_hi = balance(hi);
+  if (h_hi < -options.tol) {
+    // epsB stays below epsF even with the whole budget on BPL: the
+    // backward correlation admits no positive budget (strongest
+    // correlation, Theorem 5 case 4).
+    return Status::FailedPrecondition(
+        "BudgetAllocator: backward correlation too strong — the BPL "
+        "supremum cannot be bounded by any positive per-step budget");
+  }
+  if (h_lo > options.tol) {
+    return Status::Internal(
+        "BudgetAllocator: balance function positive at aB ~ 0; "
+        "unexpected for valid loss functions");
+  }
+  double root = hi;
+  for (std::size_t it = 0; it < options.max_bisection_iters; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    const double h_mid = balance(mid);
+    if (std::fabs(h_mid) <= options.tol || (hi - lo) <= options.tol) {
+      root = mid;
+      break;
+    }
+    if (h_mid > 0.0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+    root = mid;
+  }
+
+  budget.alpha_b = root;
+  budget.eps_steady = EpsilonInverse(lb, root);
+  budget.alpha_f = alpha - root + budget.eps_steady;
+  // The balance can "converge" to eps = 0 when one side's leakage cannot
+  // be bounded by any positive budget (e.g. a strongest forward
+  // correlation drives the root to 0). Treat budgets at the bisection
+  // noise floor as infeasible.
+  if (!(budget.eps_steady > std::max(options.tol * 10.0, alpha * 1e-9))) {
+    return Status::FailedPrecondition(
+        "BudgetAllocator: correlations too strong — balanced per-step "
+        "budget is not positive");
+  }
+  return BudgetAllocator(std::move(correlations), alpha, budget);
+}
+
+std::vector<double> BudgetAllocator::UpperBoundSchedule(
+    std::size_t horizon) const {
+  return std::vector<double>(horizon, budget_.eps_steady);
+}
+
+StatusOr<std::vector<double>> BudgetAllocator::QuantifiedSchedule(
+    std::size_t horizon) const {
+  if (horizon == 0) {
+    return Status::InvalidArgument("QuantifiedSchedule: horizon must be >= 1");
+  }
+  if (horizon == 1) return std::vector<double>{alpha_};
+  std::vector<double> schedule(horizon, budget_.eps_steady);
+  schedule.front() = budget_.alpha_b;
+  schedule.back() = budget_.alpha_f;
+  return schedule;
+}
+
+StatusOr<std::vector<double>> MinSchedule(
+    const std::vector<std::vector<double>>& schedules) {
+  if (schedules.empty()) {
+    return Status::InvalidArgument("MinSchedule: no schedules");
+  }
+  const std::size_t horizon = schedules.front().size();
+  if (horizon == 0) {
+    return Status::InvalidArgument("MinSchedule: empty schedules");
+  }
+  std::vector<double> out = schedules.front();
+  for (const auto& s : schedules) {
+    if (s.size() != horizon) {
+      return Status::InvalidArgument("MinSchedule: unequal lengths");
+    }
+    for (std::size_t t = 0; t < horizon; ++t) {
+      out[t] = std::min(out[t], s[t]);
+    }
+  }
+  return out;
+}
+
+std::vector<double> GroupDpSchedule(double alpha, std::size_t horizon) {
+  if (horizon == 0) return {};
+  return std::vector<double>(horizon,
+                             alpha / static_cast<double>(horizon));
+}
+
+}  // namespace tcdp

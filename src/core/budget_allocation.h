@@ -1,0 +1,99 @@
+#ifndef TCDP_CORE_BUDGET_ALLOCATION_H_
+#define TCDP_CORE_BUDGET_ALLOCATION_H_
+
+/// \file
+/// The paper's data-release algorithms: converting a traditional DP
+/// mechanism into one satisfying alpha-DP_T.
+///
+/// Both algorithms reduce to one balance problem. Writing
+/// epsB(aB) = aB - L^B(aB) (the Theorem 5 inverse: the per-step budget
+/// whose BPL supremum is exactly aB) and symmetrically for FPL, find
+/// aB in (0, alpha] such that
+///
+///   eps = epsB(aB) = epsF(aF),   where  aF = alpha - aB + eps
+///
+/// (the alpha split follows Equation 10: TPL = BPL + FPL - PL0). The
+/// balance function h(aB) = epsB(aB) - epsF(alpha - aB + epsB(aB)) is
+/// monotone with h(0+) <= 0 <= h(alpha), so bisection converges; this is
+/// the constructive version of the papers' Lines 8-9 "initialize a
+/// larger/smaller alpha^B".
+///
+/// * Algorithm 2 ("upper bound") then releases eps at *every* time
+///   point: BPL_t increases toward aB and FPL_t toward aF but never
+///   reaches them, so TPL_t < alpha for every t, for any (even unknown)
+///   horizon T.
+/// * Algorithm 3 ("quantification") releases [aB, eps, ..., eps, aF]:
+///   BPL_t = aB exactly for t < T, FPL_t = aF exactly for t > 1, and
+///   TPL_t = alpha exactly at every time point — no wasted budget for
+///   finite known T.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "core/temporal_correlations.h"
+
+namespace tcdp {
+
+/// \brief The balanced split both algorithms share.
+struct BalancedBudget {
+  double alpha = 0.0;        ///< target overall TPL bound
+  double alpha_b = 0.0;      ///< BPL bound (supremum)
+  double alpha_f = 0.0;      ///< FPL bound (supremum)
+  double eps_steady = 0.0;   ///< per-step budget eps*
+};
+
+/// Options for the bisection solver.
+struct AllocationOptions {
+  double tol = 1e-10;
+  std::size_t max_bisection_iters = 200;
+};
+
+/// \brief Computes per-time-point budgets achieving alpha-DP_T for a user
+/// with the given correlations.
+class BudgetAllocator {
+ public:
+  /// Returns InvalidArgument unless alpha > 0.
+  static StatusOr<BudgetAllocator> Create(TemporalCorrelations correlations,
+                                          double alpha,
+                                          AllocationOptions options = {});
+
+  double alpha() const { return alpha_; }
+  const BalancedBudget& budget() const { return budget_; }
+
+  /// Algorithm 2 schedule: eps* at every one of \p horizon time points.
+  /// Valid for any horizon, including "unknown" (call again as T grows).
+  std::vector<double> UpperBoundSchedule(std::size_t horizon) const;
+
+  /// Algorithm 3 schedule: [alpha_b, eps*, ..., eps*, alpha_f].
+  /// horizon = 1 -> [alpha]; horizon = 2 -> [alpha_b, alpha_f].
+  /// Returns InvalidArgument for horizon == 0.
+  StatusOr<std::vector<double>> QuantifiedSchedule(std::size_t horizon) const;
+
+ private:
+  BudgetAllocator(TemporalCorrelations correlations, double alpha,
+                  BalancedBudget budget)
+      : correlations_(std::move(correlations)),
+        alpha_(alpha),
+        budget_(budget) {}
+
+  TemporalCorrelations correlations_;
+  double alpha_;
+  BalancedBudget budget_;
+};
+
+/// \brief Population combinator (Algorithms 2/3, Line 11): the released
+/// schedule must satisfy every user, so take the per-time minimum of the
+/// users' schedules. Returns InvalidArgument when schedules are empty or
+/// of unequal length.
+StatusOr<std::vector<double>> MinSchedule(
+    const std::vector<std::vector<double>>& schedules);
+
+/// \brief Baseline from the paper's introduction: the group-DP style
+/// uniform split that ignores correlation probabilities. Protecting a
+/// horizon-T sequence as a bundle means eps = alpha / T at every step.
+std::vector<double> GroupDpSchedule(double alpha, std::size_t horizon);
+
+}  // namespace tcdp
+
+#endif  // TCDP_CORE_BUDGET_ALLOCATION_H_

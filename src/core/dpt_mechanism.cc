@@ -1,0 +1,69 @@
+#include "core/dpt_mechanism.h"
+
+#include <cmath>
+
+namespace tcdp {
+
+StatusOr<DptMechanism> DptMechanism::Create(TemporalCorrelations correlations,
+                                            double alpha,
+                                            DptStrategy strategy,
+                                            AllocationOptions options) {
+  TCDP_ASSIGN_OR_RETURN(
+      BudgetAllocator alloc,
+      BudgetAllocator::Create(correlations, alpha, options));
+  return DptMechanism(std::move(correlations), alpha, strategy,
+                      std::make_unique<BudgetAllocator>(std::move(alloc)));
+}
+
+StatusOr<std::vector<double>> DptMechanism::Schedule(
+    std::size_t horizon) const {
+  if (horizon == 0) {
+    return Status::InvalidArgument("Schedule: horizon must be >= 1");
+  }
+  switch (strategy_) {
+    case DptStrategy::kUpperBound:
+      return allocator_->UpperBoundSchedule(horizon);
+    case DptStrategy::kQuantified:
+      return allocator_->QuantifiedSchedule(horizon);
+    case DptStrategy::kGroupDpBaseline:
+      return GroupDpSchedule(alpha_, horizon);
+  }
+  return Status::Internal("Schedule: unknown strategy");
+}
+
+StatusOr<DptMechanism::Result> DptMechanism::ReleaseSeries(
+    const TimeSeriesDatabase& series, std::unique_ptr<Query> query,
+    Rng* rng) const {
+  if (series.horizon() == 0) {
+    return Status::InvalidArgument("ReleaseSeries: empty series");
+  }
+  TCDP_ASSIGN_OR_RETURN(std::vector<double> schedule,
+                        Schedule(series.horizon()));
+  const double sensitivity = query->Sensitivity();
+
+  ReleaseEngine engine(std::move(query), rng);
+  TCDP_ASSIGN_OR_RETURN(std::vector<NoisyRelease> releases,
+                        engine.ReleaseSeries(series, schedule));
+
+  TplAccountant accountant(correlations_);
+  for (double eps : schedule) {
+    TCDP_RETURN_IF_ERROR(accountant.RecordRelease(eps));
+  }
+
+  Result result;
+  result.releases = std::move(releases);
+  result.epsilons = std::move(schedule);
+  result.tpl_series = accountant.TplSeries();
+  result.max_tpl = accountant.MaxTpl();
+  result.expected_abs_noise = ExpectedAbsNoise(result.epsilons, sensitivity);
+
+  if (strategy_ != DptStrategy::kGroupDpBaseline &&
+      result.max_tpl > alpha_ + 1e-6) {
+    return Status::Internal(
+        "ReleaseSeries: audited TPL " + std::to_string(result.max_tpl) +
+        " exceeds contracted alpha " + std::to_string(alpha_));
+  }
+  return result;
+}
+
+}  // namespace tcdp

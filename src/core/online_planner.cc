@@ -1,0 +1,70 @@
+#include "core/online_planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace tcdp {
+
+StatusOr<OnlineTplPlanner> OnlineTplPlanner::Create(
+    TemporalCorrelations correlations, double alpha,
+    AllocationOptions options) {
+  TCDP_ASSIGN_OR_RETURN(
+      BudgetAllocator alloc,
+      BudgetAllocator::Create(correlations, alpha, options));
+  return OnlineTplPlanner(std::move(correlations), alpha, alloc.budget());
+}
+
+OnlineTplPlanner::OnlineTplPlanner(TemporalCorrelations correlations,
+                                   double alpha, BalancedBudget budget)
+    : alpha_(alpha), budget_(budget), accountant_(correlations) {
+  if (correlations.has_backward()) {
+    backward_loss_.emplace(correlations.backward());
+  }
+}
+
+double OnlineTplPlanner::MaxAffordableEpsilon() const {
+  double backward_room = budget_.alpha_b;
+  if (steps_taken() > 0 && backward_loss_.has_value()) {
+    backward_room = budget_.alpha_b - backward_loss_->Evaluate(current_bpl_);
+  }
+  return std::max(0.0, backward_room);
+}
+
+bool OnlineTplPlanner::WouldRespectContract(double epsilon) const {
+  return epsilon > 0.0 &&
+         epsilon <= MaxAffordableEpsilon() + 1e-12;
+}
+
+Status OnlineTplPlanner::RecordRelease(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "OnlineTplPlanner: epsilon must be finite and > 0");
+  }
+  if (!WouldRespectContract(epsilon)) {
+    return Status::FailedPrecondition(
+        "OnlineTplPlanner: spending " + std::to_string(epsilon) +
+        " now would break the " + std::to_string(alpha_) +
+        "-DP_T contract (max affordable: " +
+        std::to_string(MaxAffordableEpsilon()) + ")");
+  }
+  TCDP_RETURN_IF_ERROR(accountant_.RecordRelease(epsilon));
+  double bpl = epsilon;
+  if (steps_taken() > 1 && backward_loss_.has_value()) {
+    bpl += backward_loss_->Evaluate(current_bpl_);
+  }
+  current_bpl_ = bpl;
+  return Status::OK();
+}
+
+StatusOr<double> OnlineTplPlanner::RecordMaxRelease() {
+  const double eps = MaxAffordableEpsilon();
+  if (!(eps > 0.0)) {
+    return Status::FailedPrecondition(
+        "OnlineTplPlanner: no budget affordable at this step");
+  }
+  TCDP_RETURN_IF_ERROR(RecordRelease(eps));
+  return eps;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,88 @@
+#ifndef TCDP_CORE_ONLINE_PLANNER_H_
+#define TCDP_CORE_ONLINE_PLANNER_H_
+
+/// \file
+/// Online (streaming) budget planning under an alpha-DP_T contract — the
+/// operational companion to the offline Algorithms 2/3: at each step the
+/// planner tells the release pipeline the largest budget it may spend
+/// *now* without ever breaking the contract, adapting to whatever was
+/// actually spent before (skipped steps, operator overrides, partial
+/// budgets). After quiet periods the affordable budget recovers toward
+/// alpha_b, strictly improving on Algorithm 2's constant eps*.
+///
+/// The rule: with the balanced split (alpha_b, alpha_f, eps*) of
+/// BudgetAllocator,
+///
+///     eps_t  <=  alpha_b - L^B(BPL_{t-1})                        (*)
+///
+/// Safety proof sketch (property-tested in online_planner_test and
+/// property_test): (*) keeps BPL_t <= alpha_b for all t by construction.
+/// For TPL, the invariant FPL_t <= alpha - L^B(BPL_{t-1}) + eps_t - eps_t
+/// ... concretely: induct backward from the last release with the
+/// hypothesis FPL_{t+1} <= alpha - L^B(BPL_t). Using that every loss
+/// function L has slope <= 1 wherever the allocator admits a positive
+/// steady budget (no q=1,d=0 pair), and that x - L^B(x) is increasing
+/// with value eps* at x = alpha_b, one gets
+///   L^F(alpha - L^B(BPL_t)) <= alpha - BPL_t,
+/// hence TPL_t = L^B(BPL_{t-1}) + L^F(FPL_{t+1}) + eps_t <= alpha.
+/// At the steady state BPL -> alpha_b the rule reproduces exactly
+/// Algorithm 2's eps* = alpha_b - L^B(alpha_b).
+
+#include <cstddef>
+#include <optional>
+
+#include "common/status.h"
+#include "core/budget_allocation.h"
+#include "core/privacy_loss.h"
+#include "core/temporal_correlations.h"
+#include "core/tpl_accountant.h"
+
+namespace tcdp {
+
+/// \brief Streaming budget planner maintaining an alpha-DP_T contract.
+class OnlineTplPlanner {
+ public:
+  /// Solves the balanced split once. Fails like BudgetAllocator when the
+  /// correlations admit no positive steady budget.
+  static StatusOr<OnlineTplPlanner> Create(TemporalCorrelations correlations,
+                                           double alpha,
+                                           AllocationOptions options = {});
+
+  double alpha() const { return alpha_; }
+  const BalancedBudget& budget() const { return budget_; }
+  const TplAccountant& accountant() const { return accountant_; }
+  std::size_t steps_taken() const { return accountant_.horizon(); }
+
+  /// The largest budget spendable at the next step under rule (*):
+  /// alpha_b - L^B(BPL so far) (= alpha_b on the first step). Recovers
+  /// after quiet periods; equals eps* at the steady state.
+  double MaxAffordableEpsilon() const;
+
+  /// True iff spending \p epsilon next satisfies rule (*).
+  bool WouldRespectContract(double epsilon) const;
+
+  /// Records an actual spend. InvalidArgument for non-positive epsilon;
+  /// FailedPrecondition if it breaks rule (*).
+  Status RecordRelease(double epsilon);
+
+  /// Convenience: record MaxAffordableEpsilon() and return it.
+  StatusOr<double> RecordMaxRelease();
+
+  /// Post-hoc audit of everything recorded so far (uses the exact
+  /// accountant, not the rule): max TPL of the realized sequence.
+  double AuditedMaxTpl() const { return accountant_.MaxTpl(); }
+
+ private:
+  OnlineTplPlanner(TemporalCorrelations correlations, double alpha,
+                   BalancedBudget budget);
+
+  double alpha_;
+  BalancedBudget budget_;
+  std::optional<TemporalLossFunction> backward_loss_;
+  TplAccountant accountant_;
+  double current_bpl_ = 0.0;  ///< BPL after the last recorded release
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_CORE_ONLINE_PLANNER_H_

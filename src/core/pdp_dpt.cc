@@ -1,0 +1,116 @@
+#include "core/pdp_dpt.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tcdp {
+
+StatusOr<PersonalizedDptPlanner> PersonalizedDptPlanner::Create(
+    std::vector<PdpUserSpec> users, AllocationOptions options) {
+  if (users.empty()) {
+    return Status::InvalidArgument("PersonalizedDptPlanner: no users");
+  }
+  std::vector<BudgetAllocator> allocators;
+  allocators.reserve(users.size());
+  for (const PdpUserSpec& spec : users) {
+    auto alloc =
+        BudgetAllocator::Create(spec.correlations, spec.alpha, options);
+    if (!alloc.ok()) {
+      return Status(alloc.status().code(),
+                    "user '" + spec.name + "': " + alloc.status().message());
+    }
+    allocators.push_back(std::move(alloc).value());
+  }
+  return PersonalizedDptPlanner(std::move(users), std::move(allocators));
+}
+
+StatusOr<std::vector<std::vector<double>>> PersonalizedDptPlanner::Schedules(
+    std::size_t horizon) const {
+  if (horizon == 0) {
+    return Status::InvalidArgument("Schedules: horizon must be >= 1");
+  }
+  std::vector<std::vector<double>> schedules;
+  schedules.reserve(users_.size());
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    switch (users_[i].strategy) {
+      case DptStrategy::kUpperBound:
+        schedules.push_back(allocators_[i].UpperBoundSchedule(horizon));
+        break;
+      case DptStrategy::kQuantified: {
+        TCDP_ASSIGN_OR_RETURN(auto s,
+                              allocators_[i].QuantifiedSchedule(horizon));
+        schedules.push_back(std::move(s));
+        break;
+      }
+      case DptStrategy::kGroupDpBaseline:
+        schedules.push_back(GroupDpSchedule(users_[i].alpha, horizon));
+        break;
+    }
+  }
+  return schedules;
+}
+
+StatusOr<std::vector<double>> PersonalizedDptPlanner::ThresholdSchedule(
+    std::size_t horizon) const {
+  TCDP_ASSIGN_OR_RETURN(auto schedules, Schedules(horizon));
+  std::vector<double> thresholds(horizon, 0.0);
+  for (const auto& s : schedules) {
+    for (std::size_t t = 0; t < horizon; ++t) {
+      thresholds[t] = std::max(thresholds[t], s[t]);
+    }
+  }
+  return thresholds;
+}
+
+StatusOr<PersonalizedDptPlanner::Result>
+PersonalizedDptPlanner::ReleaseSeries(const TimeSeriesDatabase& series,
+                                      const Query& query, Rng* rng) const {
+  if (series.horizon() == 0) {
+    return Status::InvalidArgument("ReleaseSeries: empty series");
+  }
+  if (series.num_users() != users_.size()) {
+    return Status::InvalidArgument(
+        "ReleaseSeries: series has " + std::to_string(series.num_users()) +
+        " users, planner has " + std::to_string(users_.size()));
+  }
+  const std::size_t horizon = series.horizon();
+  TCDP_ASSIGN_OR_RETURN(auto schedules, Schedules(horizon));
+
+  Result result;
+  result.per_user_epsilons = schedules;
+  result.releases.reserve(horizon);
+  result.thresholds.reserve(horizon);
+
+  for (std::size_t t = 1; t <= horizon; ++t) {
+    std::vector<double> step_epsilons(users_.size());
+    for (std::size_t u = 0; u < users_.size(); ++u) {
+      step_epsilons[u] = schedules[u][t - 1];
+    }
+    TCDP_ASSIGN_OR_RETURN(auto mech,
+                          PdpSampleMechanism::Create(step_epsilons));
+    TCDP_ASSIGN_OR_RETURN(Database db, series.At(t));
+    TCDP_ASSIGN_OR_RETURN(PdpRelease release, mech.Release(db, query, rng));
+    result.thresholds.push_back(release.threshold);
+    result.releases.push_back(std::move(release));
+  }
+
+  // Audit each user against their personal alpha.
+  result.per_user_max_tpl.reserve(users_.size());
+  for (std::size_t u = 0; u < users_.size(); ++u) {
+    TplAccountant acc(users_[u].correlations);
+    for (double eps : schedules[u]) {
+      TCDP_RETURN_IF_ERROR(acc.RecordRelease(eps));
+    }
+    const double max_tpl = acc.MaxTpl();
+    if (max_tpl > users_[u].alpha + 1e-6) {
+      return Status::Internal("ReleaseSeries: user '" + users_[u].name +
+                              "' audited TPL " + std::to_string(max_tpl) +
+                              " exceeds alpha " +
+                              std::to_string(users_[u].alpha));
+    }
+    result.per_user_max_tpl.push_back(max_tpl);
+  }
+  return result;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,83 @@
+#ifndef TCDP_CORE_PDP_DPT_H_
+#define TCDP_CORE_PDP_DPT_H_
+
+/// \file
+/// Personalized alpha-DP_T (the paper's Section III-D): each user i gets
+/// their own temporal-leakage target alpha_i under their own
+/// correlations; the release pipeline is the PDP Sample mechanism whose
+/// per-user budgets follow each user's Algorithm 2/3 schedule.
+///
+/// At every time point t the planner sets the inner mechanism's budget to
+/// the *maximum* per-user epsilon (the Sample-mechanism threshold) and
+/// samples the other users down to their personalized epsilons — so no
+/// user is over-protected the way the population-min schedule of
+/// MinSchedule() would.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "core/budget_allocation.h"
+#include "core/dpt_mechanism.h"
+#include "core/temporal_correlations.h"
+#include "core/tpl_accountant.h"
+#include "dp/personalized.h"
+#include "release/timeseries.h"
+
+namespace tcdp {
+
+/// \brief One user's personalized temporal-privacy requirement.
+struct PdpUserSpec {
+  std::string name;
+  TemporalCorrelations correlations;
+  double alpha = 1.0;                  ///< this user's TPL target
+  DptStrategy strategy = DptStrategy::kQuantified;
+};
+
+/// \brief Plans per-user budget schedules and drives PDP releases with a
+/// per-user alpha_i-DP_T guarantee.
+class PersonalizedDptPlanner {
+ public:
+  /// Solves each user's allocator. Fails if any user's correlations are
+  /// too strong to bound (propagates BudgetAllocator errors).
+  static StatusOr<PersonalizedDptPlanner> Create(
+      std::vector<PdpUserSpec> users, AllocationOptions options = {});
+
+  std::size_t num_users() const { return users_.size(); }
+  const PdpUserSpec& user(std::size_t i) const { return users_[i]; }
+
+  /// Per-user budget schedule for a horizon (users_ x horizon).
+  StatusOr<std::vector<std::vector<double>>> Schedules(
+      std::size_t horizon) const;
+
+  /// The inner mechanism's per-time budget: max over users.
+  StatusOr<std::vector<double>> ThresholdSchedule(std::size_t horizon) const;
+
+  /// Result of a personalized private series release.
+  struct Result {
+    std::vector<PdpRelease> releases;
+    std::vector<std::vector<double>> per_user_epsilons;  ///< [user][t]
+    std::vector<double> per_user_max_tpl;                ///< audited
+    std::vector<double> thresholds;                      ///< [t]
+  };
+
+  /// Releases the series via the PDP Sample mechanism and audits every
+  /// user's TPL against their alpha. Requires series.num_users() ==
+  /// num_users().
+  StatusOr<Result> ReleaseSeries(const TimeSeriesDatabase& series,
+                                 const Query& query, Rng* rng) const;
+
+ private:
+  PersonalizedDptPlanner(std::vector<PdpUserSpec> users,
+                         std::vector<BudgetAllocator> allocators)
+      : users_(std::move(users)), allocators_(std::move(allocators)) {}
+
+  std::vector<PdpUserSpec> users_;
+  std::vector<BudgetAllocator> allocators_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_CORE_PDP_DPT_H_

@@ -1,0 +1,187 @@
+#include "core/privacy_loss.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "common/math_util.h"
+
+namespace tcdp {
+
+double LogLinearInExpAlpha(double c, double alpha) {
+  assert(c >= 0.0 && c <= 1.0 + 1e-12 && alpha >= 0.0);
+  if (c <= 0.0 || alpha == 0.0) return 0.0;
+  if (alpha < 30.0) {
+    return std::log1p(c * std::expm1(alpha));
+  }
+  // c(e^a - 1) + 1 = c e^a (1 + (1-c) e^-a / c):
+  //   log = a + log(c) + log1p((1-c) e^-a / c).
+  return alpha + std::log(c) + std::log1p((1.0 - c) * std::exp(-alpha) / c);
+}
+
+namespace {
+
+/// log-ratio of the objective for aggregates (q_sum, d_sum) at alpha.
+double PairLogRatio(double q_sum, double d_sum, double alpha) {
+  return LogLinearInExpAlpha(q_sum, alpha) - LogLinearInExpAlpha(d_sum, alpha);
+}
+
+}  // namespace
+
+StatusOr<PairLossResult> ComputePairLoss(const std::vector<double>& q,
+                                         const std::vector<double>& d,
+                                         double alpha) {
+  if (q.size() != d.size()) {
+    return Status::InvalidArgument("ComputePairLoss: |q| != |d|");
+  }
+  if (q.empty()) {
+    return Status::InvalidArgument("ComputePairLoss: empty rows");
+  }
+  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument(
+        "ComputePairLoss: alpha must be finite and >= 0, got " +
+        std::to_string(alpha));
+  }
+  const std::size_t n = q.size();
+
+  PairLossResult result;
+  // Corollary 2 seed: candidates are exactly the coordinates with
+  // q_j > d_j.
+  result.subset.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (q[j] > d[j]) result.subset.push_back(j);
+  }
+
+  // Theorem 4 refinement (Algorithm 1 Lines 6–11): drop every candidate
+  // whose individual ratio fails Inequality (21) against the aggregate
+  // ratio; repeat until a full pass removes nothing. All comparisons in
+  // log space.
+  while (!result.subset.empty()) {
+    ++result.update_rounds;
+    double q_sum = 0.0, d_sum = 0.0;
+    for (std::size_t j : result.subset) {
+      q_sum += q[j];
+      d_sum += d[j];
+    }
+    const double log_ratio = PairLogRatio(q_sum, d_sum, alpha);
+    std::vector<std::size_t> kept;
+    kept.reserve(result.subset.size());
+    for (std::size_t j : result.subset) {
+      // Keep j iff log(q_j) - log(d_j) > log_ratio; d_j = 0 keeps
+      // (ratio +inf) since q_j > d_j = 0 in the seed set.
+      const bool keep = d[j] == 0.0
+                            ? true
+                            : std::log(q[j]) - std::log(d[j]) > log_ratio;
+      if (keep) kept.push_back(j);
+    }
+    if (kept.size() == result.subset.size()) {
+      result.q_sum = q_sum;
+      result.d_sum = d_sum;
+      result.loss = log_ratio;
+      return result;
+    }
+    result.subset = std::move(kept);
+  }
+  // Empty subset: identical rows (or alpha-independent tie) -> loss 0.
+  result.q_sum = 0.0;
+  result.d_sum = 0.0;
+  result.loss = 0.0;
+  return result;
+}
+
+StatusOr<PairLossResult> ComputePairLossSorted(const std::vector<double>& q,
+                                               const std::vector<double>& d,
+                                               double alpha) {
+  if (q.size() != d.size()) {
+    return Status::InvalidArgument("ComputePairLossSorted: |q| != |d|");
+  }
+  if (q.empty()) {
+    return Status::InvalidArgument("ComputePairLossSorted: empty rows");
+  }
+  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument(
+        "ComputePairLossSorted: alpha must be finite and >= 0");
+  }
+  const std::size_t n = q.size();
+  // Candidates (Corollary 2) sorted by ratio q_j/d_j descending; d_j = 0
+  // candidates (infinite ratio) first.
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (q[j] > d[j]) order.push_back(j);
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const bool a_inf = d[a] == 0.0;
+    const bool b_inf = d[b] == 0.0;
+    if (a_inf != b_inf) return a_inf;
+    if (a_inf) return q[a] > q[b];  // both infinite: any stable order
+    return q[a] * d[b] > q[b] * d[a];
+  });
+
+  PairLossResult best;
+  double q_acc = 0.0, d_acc = 0.0;
+  double best_q = 0.0, best_d = 0.0;
+  std::size_t best_len = 0;
+  for (std::size_t len = 1; len <= order.size(); ++len) {
+    q_acc += q[order[len - 1]];
+    d_acc += d[order[len - 1]];
+    const double value = LogLinearInExpAlpha(q_acc, alpha) -
+                         LogLinearInExpAlpha(d_acc, alpha);
+    if (value > best.loss) {
+      best.loss = value;
+      best_q = q_acc;
+      best_d = d_acc;
+      best_len = len;
+    }
+  }
+  best.q_sum = best_q;
+  best.d_sum = best_d;
+  best.subset.assign(order.begin(),
+                     order.begin() + static_cast<long>(best_len));
+  std::sort(best.subset.begin(), best.subset.end());
+  best.update_rounds = 1;  // single scan
+  return best;
+}
+
+TemporalLossFunction::TemporalLossFunction(StochasticMatrix transition)
+    : transition_(std::move(transition)) {
+  assert(!transition_.empty());
+}
+
+double TemporalLossFunction::Evaluate(double alpha) const {
+  return EvaluateDetailed(alpha).loss;
+}
+
+TemporalLossFunction::Detail TemporalLossFunction::EvaluateDetailed(
+    double alpha, const EvalOptions& options) const {
+  assert(alpha >= 0.0);
+  if (alpha < 0.0) alpha = 0.0;
+  const std::size_t n = transition_.size();
+  Detail best;
+  if (n < 2) return best;  // single state: rows identical, loss 0
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::vector<double> q = transition_.Row(a);
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      ++best.pairs_examined;
+      const std::vector<double> d = transition_.Row(b);
+      auto pair = options.method == PairLossMethod::kSortedPrefix
+                      ? ComputePairLossSorted(q, d, alpha)
+                      : ComputePairLoss(q, d, alpha);
+      assert(pair.ok());  // inputs are validated rows
+      if (!pair.ok()) continue;
+      if (pair->loss > best.loss ||
+          (best.loss == 0.0 && best.q_sum == 0.0 && pair->q_sum > 0.0)) {
+        best.loss = pair->loss;
+        best.q_sum = pair->q_sum;
+        best.d_sum = pair->d_sum;
+        best.row_q = a;
+        best.row_d = b;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace tcdp

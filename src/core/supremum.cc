@@ -1,0 +1,141 @@
+#include "core/supremum.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/math_util.h"
+
+namespace tcdp {
+
+StatusOr<SupremumResult> SupremumForPair(double q_sum, double d_sum,
+                                         double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "SupremumForPair: epsilon must be finite and > 0");
+  }
+  if (q_sum < 0.0 || q_sum > 1.0 + 1e-9 || d_sum < 0.0 ||
+      d_sum > 1.0 + 1e-9) {
+    return Status::InvalidArgument(
+        "SupremumForPair: aggregates must lie in [0, 1]");
+  }
+  SupremumResult result;
+  result.q_sum = q_sum;
+  result.d_sum = d_sum;
+
+  if (q_sum == 0.0 && d_sum == 0.0) {
+    // No effective correlation: leakage stays at epsilon.
+    result.exists = true;
+    result.value = epsilon;
+    return result;
+  }
+  if (d_sum > 0.0 && (epsilon > 500.0 || q_sum * std::exp(epsilon) > 1e300)) {
+    // Asymptotic root for huge budgets: x ~ (q/d) e^eps, avoiding
+    // overflow in the quadratic. (Unreachable for realistic budgets.)
+    result.exists = true;
+    result.value = epsilon + std::log(q_sum / d_sum);
+    return result;
+  }
+  const double ee = std::exp(epsilon);
+  if (d_sum > 0.0) {
+    // Positive root of d x^2 + (1 - d - q e^eps) x - e^eps (1 - q) = 0.
+    const double b = d_sum + q_sum * ee - 1.0;  // = -(1 - d - q e^eps)
+    const double disc = 4.0 * d_sum * ee * (1.0 - q_sum) + b * b;
+    const double x = (std::sqrt(disc) + b) / (2.0 * d_sum);
+    result.exists = true;
+    result.value = std::log(x);
+    return result;
+  }
+  // d_sum == 0.
+  if (q_sum < 1.0 && q_sum * ee < 1.0) {
+    const double x = (1.0 - q_sum) * ee / (1.0 - q_sum * ee);
+    result.exists = true;
+    result.value = std::log(x);
+    return result;
+  }
+  result.exists = false;
+  result.value = kInf;
+  return result;
+}
+
+FixpointResult IterateLeakageToFixpoint(const TemporalLossFunction& loss,
+                                        double epsilon,
+                                        std::size_t max_iters, double tol,
+                                        double divergence_cap) {
+  FixpointResult result;
+  double alpha = epsilon;
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    const double next = loss.Evaluate(alpha) + epsilon;
+    ++result.steps;
+    if (std::fabs(next - alpha) <= tol * std::max(1.0, std::fabs(alpha))) {
+      result.converged = true;
+      result.value = next;
+      return result;
+    }
+    alpha = next;
+    if (alpha > divergence_cap) {
+      result.converged = false;
+      result.value = alpha;
+      return result;
+    }
+  }
+  result.converged = false;
+  result.value = alpha;
+  return result;
+}
+
+StatusOr<SupremumResult> ComputeSupremum(const TemporalLossFunction& loss,
+                                         double epsilon,
+                                         std::size_t max_iters, double tol) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "ComputeSupremum: epsilon must be finite and > 0");
+  }
+  const FixpointResult fix =
+      IterateLeakageToFixpoint(loss, epsilon, max_iters, tol);
+  if (!fix.converged) {
+    // Diverged (or stalled at the iteration cap while still growing).
+    // Confirm with Theorem 5 at the current pair.
+    const auto detail = loss.EvaluateDetailed(fix.value);
+    TCDP_ASSIGN_OR_RETURN(
+        SupremumResult closed,
+        SupremumForPair(detail.q_sum, detail.d_sum, epsilon));
+    if (closed.exists && fix.steps < max_iters) {
+      // The iterate passed the divergence cap yet the closed form is
+      // finite: numerically inconsistent — report non-existence with the
+      // evidence value (conservative).
+      closed.exists = false;
+      closed.value = kInf;
+    }
+    return closed;
+  }
+  // Converged: certify via the closed form for the fixpoint's pair.
+  const auto detail = loss.EvaluateDetailed(fix.value);
+  TCDP_ASSIGN_OR_RETURN(SupremumResult closed,
+                        SupremumForPair(detail.q_sum, detail.d_sum, epsilon));
+  if (!closed.exists) {
+    return Status::Internal(
+        "ComputeSupremum: fixpoint converged to " +
+        std::to_string(fix.value) +
+        " but Theorem 5 reports non-existence for its pair");
+  }
+  // Prefer the closed form (machine-precision root) over the iterate.
+  return closed;
+}
+
+StatusOr<double> EpsilonForSupremum(const TemporalLossFunction& loss,
+                                    double alpha) {
+  if (!(alpha > 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument(
+        "EpsilonForSupremum: alpha must be finite and > 0");
+  }
+  const double l = loss.Evaluate(alpha);
+  const double epsilon = alpha - l;
+  if (!(epsilon > 0.0)) {
+    return Status::FailedPrecondition(
+        "EpsilonForSupremum: L(alpha) >= alpha (strongest correlation); "
+        "no positive per-step budget keeps the supremum at alpha");
+  }
+  return epsilon;
+}
+
+}  // namespace tcdp

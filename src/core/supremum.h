@@ -1,0 +1,81 @@
+#ifndef TCDP_CORE_SUPREMUM_H_
+#define TCDP_CORE_SUPREMUM_H_
+
+/// \file
+/// The paper's Theorem 5: the supremum of BPL (or FPL) over an infinite
+/// release horizon when every time point spends the same budget epsilon.
+///
+/// With (q, d) the aggregates of the maximizing row pair at the
+/// supremum, the fixpoint alpha* of  alpha = L(alpha) + epsilon  solves
+/// d x^2 + x (1 - d - q e^eps) - e^eps (1 - q) = 0  for x = e^alpha:
+///
+///   d != 0                      -> finite: the positive quadratic root
+///   d = 0, q != 1, eps < ln(1/q) -> finite: x = (1-q) e^eps / (1 - q e^eps)
+///   d = 0, q != 1, eps >= ln(1/q) -> does not exist (+inf)
+///   d = 0, q  = 1                -> does not exist (+inf)
+///
+/// (The paper states the second case with "<="; at equality the closed
+/// form divides by zero, so this implementation uses the strict
+/// inequality — see DESIGN.md "Deviations".)
+///
+/// Two independent routes are provided: the closed form above and plain
+/// fixpoint iteration of alpha <- L(alpha) + epsilon; they cross-check
+/// each other in tests and in bench_ablation_supremum.
+
+#include <cstddef>
+
+#include "common/status.h"
+#include "core/privacy_loss.h"
+
+namespace tcdp {
+
+/// \brief Supremum of the leakage recurrence for fixed aggregates (q, d).
+struct SupremumResult {
+  bool exists = false;   ///< finite supremum?
+  double value = 0.0;    ///< the supremum; +inf when !exists
+  double q_sum = 0.0;    ///< q aggregate used
+  double d_sum = 0.0;    ///< d aggregate used
+};
+
+/// \brief Theorem 5 closed form for one (q, d) pair.
+///
+/// q = d = 0 (identical rows / no correlation) yields the supremum
+/// epsilon itself. Returns InvalidArgument for epsilon <= 0 or aggregates
+/// outside [0, 1].
+StatusOr<SupremumResult> SupremumForPair(double q_sum, double d_sum,
+                                         double epsilon);
+
+/// \brief Supremum of the leakage under transition matrix \p loss with
+/// per-step budget \p epsilon, solving for the maximizing pair
+/// self-consistently (Algorithm 2's usage): iterate the recurrence; on
+/// convergence, confirm with the closed form at the fixpoint's pair.
+StatusOr<SupremumResult> ComputeSupremum(const TemporalLossFunction& loss,
+                                         double epsilon,
+                                         std::size_t max_iters = 100000,
+                                         double tol = 1e-12);
+
+/// \brief Plain fixpoint iteration alpha <- L(alpha) + epsilon from
+/// alpha_0 = epsilon (the independent oracle).
+struct FixpointResult {
+  bool converged = false;
+  double value = 0.0;      ///< limit, or last iterate when diverging
+  std::size_t steps = 0;
+};
+FixpointResult IterateLeakageToFixpoint(const TemporalLossFunction& loss,
+                                        double epsilon,
+                                        std::size_t max_iters = 100000,
+                                        double tol = 1e-12,
+                                        double divergence_cap = 1e6);
+
+/// \brief The budget inverse used by Algorithms 2 and 3: the per-step
+/// epsilon whose supremum is exactly \p alpha, namely
+/// epsilon = alpha - L(alpha).
+///
+/// Returns FailedPrecondition when L(alpha) >= alpha (strongest
+/// correlation — no positive budget can bound the leakage at alpha).
+StatusOr<double> EpsilonForSupremum(const TemporalLossFunction& loss,
+                                    double alpha);
+
+}  // namespace tcdp
+
+#endif  // TCDP_CORE_SUPREMUM_H_

@@ -1,0 +1,52 @@
+#include "core/temporal_correlations.h"
+
+namespace tcdp {
+
+TemporalCorrelations TemporalCorrelations::BackwardOnly(
+    StochasticMatrix backward) {
+  TemporalCorrelations c;
+  c.backward_ = std::move(backward);
+  return c;
+}
+
+TemporalCorrelations TemporalCorrelations::ForwardOnly(
+    StochasticMatrix forward) {
+  TemporalCorrelations c;
+  c.forward_ = std::move(forward);
+  return c;
+}
+
+StatusOr<TemporalCorrelations> TemporalCorrelations::Both(
+    StochasticMatrix backward, StochasticMatrix forward) {
+  if (backward.size() != forward.size()) {
+    return Status::InvalidArgument(
+        "TemporalCorrelations: P^B is " + std::to_string(backward.size()) +
+        "x" + std::to_string(backward.size()) + " but P^F is " +
+        std::to_string(forward.size()) + "x" +
+        std::to_string(forward.size()));
+  }
+  TemporalCorrelations c;
+  c.backward_ = std::move(backward);
+  c.forward_ = std::move(forward);
+  return c;
+}
+
+std::size_t TemporalCorrelations::domain_size() const {
+  if (has_backward()) return backward_->size();
+  if (has_forward()) return forward_->size();
+  return 0;
+}
+
+std::string TemporalCorrelations::ToString() const {
+  if (empty()) return "TemporalCorrelations{none}";
+  std::string out = "TemporalCorrelations{";
+  if (has_backward()) out += "P^B:\n" + backward_->ToString();
+  if (has_forward()) {
+    if (has_backward()) out += "\n";
+    out += "P^F:\n" + forward_->ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,263 @@
+#include "core/tpl_accountant.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "markov/io.h"
+
+namespace tcdp {
+
+TplAccountant::TplAccountant(TemporalCorrelations correlations)
+    : correlations_(std::move(correlations)) {
+  if (correlations_.has_backward()) {
+    backward_loss_.emplace(correlations_.backward());
+  }
+  if (correlations_.has_forward()) {
+    forward_loss_.emplace(correlations_.forward());
+  }
+}
+
+Status TplAccountant::RecordRelease(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "TplAccountant: epsilon must be finite and > 0");
+  }
+  double bpl = epsilon;
+  if (!bpl_.empty() && backward_loss_.has_value()) {
+    bpl += backward_loss_->Evaluate(bpl_.back());
+  }
+  epsilons_.push_back(epsilon);
+  bpl_.push_back(bpl);
+  fpl_dirty_ = true;
+  return Status::OK();
+}
+
+Status TplAccountant::RecordUniformReleases(double epsilon,
+                                            std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    TCDP_RETURN_IF_ERROR(RecordRelease(epsilon));
+  }
+  return Status::OK();
+}
+
+void TplAccountant::EnsureFplCache() const {
+  if (!fpl_dirty_) return;
+  const std::size_t t_len = epsilons_.size();
+  fpl_.assign(t_len, 0.0);
+  for (std::size_t idx = t_len; idx-- > 0;) {
+    double fpl = epsilons_[idx];
+    if (idx + 1 < t_len && forward_loss_.has_value()) {
+      fpl += forward_loss_->Evaluate(fpl_[idx + 1]);
+    }
+    fpl_[idx] = fpl;
+  }
+  fpl_dirty_ = false;
+}
+
+StatusOr<double> TplAccountant::Bpl(std::size_t t) const {
+  if (t < 1 || t > horizon()) {
+    return Status::OutOfRange("Bpl: t outside [1, horizon]");
+  }
+  return bpl_[t - 1];
+}
+
+StatusOr<double> TplAccountant::Fpl(std::size_t t) const {
+  if (t < 1 || t > horizon()) {
+    return Status::OutOfRange("Fpl: t outside [1, horizon]");
+  }
+  EnsureFplCache();
+  return fpl_[t - 1];
+}
+
+StatusOr<double> TplAccountant::Tpl(std::size_t t) const {
+  TCDP_ASSIGN_OR_RETURN(double bpl, Bpl(t));
+  TCDP_ASSIGN_OR_RETURN(double fpl, Fpl(t));
+  return bpl + fpl - epsilons_[t - 1];
+}
+
+std::vector<double> TplAccountant::BplSeries() const { return bpl_; }
+
+std::vector<double> TplAccountant::FplSeries() const {
+  EnsureFplCache();
+  return fpl_;
+}
+
+std::vector<double> TplAccountant::TplSeries() const {
+  EnsureFplCache();
+  std::vector<double> out(horizon());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = bpl_[i] + fpl_[i] - epsilons_[i];
+  }
+  return out;
+}
+
+double TplAccountant::MaxTpl() const {
+  double best = 0.0;
+  for (double v : TplSeries()) best = std::max(best, v);
+  return best;
+}
+
+StatusOr<double> TplAccountant::SequenceTpl(std::size_t t,
+                                            std::size_t j) const {
+  if (t < 1 || t + j > horizon()) {
+    return Status::OutOfRange("SequenceTpl: [t, t+j] outside horizon");
+  }
+  if (j == 0) return Tpl(t);
+  EnsureFplCache();
+  const double bpl_t = bpl_[t - 1];
+  const double fpl_tj = fpl_[t + j - 1];
+  double middle = 0.0;
+  for (std::size_t k = 1; k + 1 <= j; ++k) middle += epsilons_[t + k - 1];
+  return bpl_t + fpl_tj + middle;
+}
+
+double TplAccountant::UserLevelTpl() const {
+  return std::accumulate(epsilons_.begin(), epsilons_.end(), 0.0);
+}
+
+StatusOr<double> TplAccountant::MaxWindowTpl(std::size_t w) const {
+  if (w == 0) {
+    return Status::InvalidArgument("MaxWindowTpl: w must be >= 1");
+  }
+  double best = 0.0;
+  for (std::size_t t = 1; t <= horizon(); ++t) {
+    const std::size_t j = std::min(w - 1, horizon() - t);
+    TCDP_ASSIGN_OR_RETURN(double v, SequenceTpl(t, j));
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+std::string TplAccountant::Serialize() const {
+  std::ostringstream out;
+  out << "tcdp-accountant-v1\n";
+  out << "backward " << (correlations_.has_backward()
+                             ? correlations_.backward().size()
+                             : 0)
+      << "\n";
+  if (correlations_.has_backward()) {
+    out << SerializeStochasticMatrix(correlations_.backward());
+  }
+  out << "forward " << (correlations_.has_forward()
+                            ? correlations_.forward().size()
+                            : 0)
+      << "\n";
+  if (correlations_.has_forward()) {
+    out << SerializeStochasticMatrix(correlations_.forward());
+  }
+  out << "epsilons " << epsilons_.size() << "\n";
+  out.precision(17);
+  for (double e : epsilons_) out << e << "\n";
+  return out.str();
+}
+
+StatusOr<TplAccountant> TplAccountant::Deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string header;
+  if (!std::getline(in, header) || header != "tcdp-accountant-v1") {
+    return Status::InvalidArgument(
+        "TplAccountant::Deserialize: bad header (expected "
+        "tcdp-accountant-v1)");
+  }
+  auto read_matrix =
+      [&](const std::string& keyword) -> StatusOr<std::optional<StochasticMatrix>> {
+    std::string word;
+    std::size_t n = 0;
+    if (!(in >> word >> n) || word != keyword) {
+      return Status::InvalidArgument(
+          "TplAccountant::Deserialize: expected '" + keyword + " <n>'");
+    }
+    in.ignore();  // trailing newline
+    if (n == 0) return std::optional<StochasticMatrix>{};
+    std::string block;
+    std::string line;
+    for (std::size_t r = 0; r < n; ++r) {
+      if (!std::getline(in, line)) {
+        return Status::InvalidArgument(
+            "TplAccountant::Deserialize: truncated " + keyword + " matrix");
+      }
+      block += line;
+      block += '\n';
+    }
+    TCDP_ASSIGN_OR_RETURN(StochasticMatrix m, ParseStochasticMatrix(block));
+    if (m.size() != n) {
+      return Status::InvalidArgument(
+          "TplAccountant::Deserialize: " + keyword + " matrix size " +
+          std::to_string(m.size()) + " != declared " + std::to_string(n));
+    }
+    return std::optional<StochasticMatrix>{std::move(m)};
+  };
+
+  TCDP_ASSIGN_OR_RETURN(auto backward, read_matrix("backward"));
+  TCDP_ASSIGN_OR_RETURN(auto forward, read_matrix("forward"));
+
+  std::string word;
+  std::size_t count = 0;
+  if (!(in >> word >> count) || word != "epsilons") {
+    return Status::InvalidArgument(
+        "TplAccountant::Deserialize: expected 'epsilons <count>'");
+  }
+  std::vector<double> epsilons(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(in >> epsilons[i])) {
+      return Status::InvalidArgument(
+          "TplAccountant::Deserialize: truncated epsilon list");
+    }
+  }
+
+  TemporalCorrelations corr = TemporalCorrelations::None();
+  if (backward.has_value() && forward.has_value()) {
+    TCDP_ASSIGN_OR_RETURN(
+        corr, TemporalCorrelations::Both(std::move(*backward),
+                                         std::move(*forward)));
+  } else if (backward.has_value()) {
+    corr = TemporalCorrelations::BackwardOnly(std::move(*backward));
+  } else if (forward.has_value()) {
+    corr = TemporalCorrelations::ForwardOnly(std::move(*forward));
+  }
+  TplAccountant accountant(std::move(corr));
+  for (double e : epsilons) {
+    TCDP_RETURN_IF_ERROR(accountant.RecordRelease(e));
+  }
+  return accountant;
+}
+
+std::size_t PopulationAccountant::AddUser(std::string name,
+                                          TemporalCorrelations correlations) {
+  users_.push_back(UserEntry{std::move(name),
+                             TplAccountant(std::move(correlations))});
+  return users_.size() - 1;
+}
+
+Status PopulationAccountant::RecordRelease(double epsilon) {
+  for (auto& u : users_) {
+    TCDP_RETURN_IF_ERROR(u.accountant.RecordRelease(epsilon));
+  }
+  return Status::OK();
+}
+
+std::size_t PopulationAccountant::horizon() const {
+  return users_.empty() ? 0 : users_.front().accountant.horizon();
+}
+
+StatusOr<double> PopulationAccountant::MaxTplAt(std::size_t t) const {
+  if (users_.empty()) {
+    return Status::FailedPrecondition("MaxTplAt: no users registered");
+  }
+  double best = 0.0;
+  for (const auto& u : users_) {
+    TCDP_ASSIGN_OR_RETURN(double v, u.accountant.Tpl(t));
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+double PopulationAccountant::OverallAlpha() const {
+  double best = 0.0;
+  for (const auto& u : users_) best = std::max(best, u.accountant.MaxTpl());
+  return best;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,139 @@
+#ifndef TCDP_CORE_TPL_ACCOUNTANT_H_
+#define TCDP_CORE_TPL_ACCOUNTANT_H_
+
+/// \file
+/// Temporal-privacy-leakage accounting for a sequence of DP releases
+/// (paper Section III-B/C):
+///
+///   BPL_t = L^B(BPL_{t-1}) + eps_t          (Equation 13, BPL_1 = eps_1)
+///   FPL_t = L^F(FPL_{t+1}) + eps_t          (Equation 15, FPL_T = eps_T)
+///   TPL_t = BPL_t + FPL_t - eps_t           (Equation 10)
+///
+/// BPL only ever grows as releases accumulate; FPL of *earlier* time
+/// points retroactively increases whenever a new release happens — the
+/// accountant recomputes the backward pass lazily.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/privacy_loss.h"
+#include "core/temporal_correlations.h"
+
+namespace tcdp {
+
+/// \brief Tracks one user's BPL/FPL/TPL across an event-level release
+/// sequence, given that user's temporal correlations.
+class TplAccountant {
+ public:
+  /// \p correlations may lack either matrix; the missing direction's loss
+  /// function is identically zero (classical DP adversary on that side).
+  explicit TplAccountant(TemporalCorrelations correlations);
+
+  /// Appends a release with budget eps > 0 at time horizon()+1.
+  Status RecordRelease(double epsilon);
+
+  /// Convenience: record \p count releases of the same budget.
+  Status RecordUniformReleases(double epsilon, std::size_t count);
+
+  std::size_t horizon() const { return epsilons_.size(); }
+  const std::vector<double>& epsilons() const { return epsilons_; }
+  const TemporalCorrelations& correlations() const { return correlations_; }
+
+  /// \name Per-time-point leakage (1-based t in [1, horizon()]).
+  /// All return OutOfRange for t outside the recorded range.
+  /// @{
+  StatusOr<double> Bpl(std::size_t t) const;
+  StatusOr<double> Fpl(std::size_t t) const;
+  StatusOr<double> Tpl(std::size_t t) const;
+  /// @}
+
+  /// Full series (index 0 = t=1).
+  std::vector<double> BplSeries() const;
+  std::vector<double> FplSeries() const;
+  std::vector<double> TplSeries() const;
+
+  /// max_t TPL_t — the alpha for which the recorded sequence is
+  /// alpha-DP_T (Definition 8). 0 for an empty sequence.
+  double MaxTpl() const;
+
+  /// Theorem 2: leakage of the sub-sequence {M_t, ..., M_{t+j}}:
+  ///   j = 0: TPL_t
+  ///   j = 1: BPL_t + FPL_{t+1}
+  ///   j >= 2: BPL_t + FPL_{t+j} + sum_{k=1}^{j-1} eps_{t+k}
+  /// Returns OutOfRange when [t, t+j] is not within the horizon.
+  StatusOr<double> SequenceTpl(std::size_t t, std::size_t j) const;
+
+  /// Corollary 1: user-level leakage of the whole sequence = sum eps_k
+  /// (temporal correlations do not amplify user-level DP).
+  double UserLevelTpl() const;
+
+  /// The correlated analogue of w-event privacy (Table II middle row):
+  /// max over start times of SequenceTpl over windows of \p w consecutive
+  /// releases (truncated at the horizon). Returns InvalidArgument for
+  /// w == 0 and 0.0 for an empty sequence.
+  StatusOr<double> MaxWindowTpl(std::size_t w) const;
+
+  /// \name State persistence.
+  /// A release service must survive restarts without losing its leakage
+  /// history (BPL depends on every past release). The text format embeds
+  /// the correlation matrices and the spend sequence; versioned header
+  /// "tcdp-accountant-v1".
+  /// @{
+  std::string Serialize() const;
+  static StatusOr<TplAccountant> Deserialize(const std::string& text);
+  /// @}
+
+ private:
+  void EnsureFplCache() const;
+
+  TemporalCorrelations correlations_;
+  // Loss functions (empty optionals when the matrix is absent).
+  std::optional<TemporalLossFunction> backward_loss_;
+  std::optional<TemporalLossFunction> forward_loss_;
+
+  std::vector<double> epsilons_;
+  std::vector<double> bpl_;              // incremental forward pass
+  mutable std::vector<double> fpl_;      // lazy backward pass
+  mutable bool fpl_dirty_ = true;
+};
+
+/// \brief Population view (Section III-D): per-user accountants, overall
+/// leakage = max over users; also yields the personalized profile.
+class PopulationAccountant {
+ public:
+  /// Adds a user; returns its index.
+  std::size_t AddUser(std::string name, TemporalCorrelations correlations);
+
+  /// Records one release (budget eps) for every user.
+  Status RecordRelease(double epsilon);
+
+  std::size_t num_users() const { return users_.size(); }
+  std::size_t horizon() const;
+
+  /// Accountant of user \p index.
+  const TplAccountant& user(std::size_t index) const {
+    return users_[index].accountant;
+  }
+  const std::string& user_name(std::size_t index) const {
+    return users_[index].name;
+  }
+
+  /// Definition 5's outer max: max over users of TPL_t.
+  StatusOr<double> MaxTplAt(std::size_t t) const;
+
+  /// The overall alpha of the recorded sequence: max over users and t.
+  double OverallAlpha() const;
+
+ private:
+  struct UserEntry {
+    std::string name;
+    TplAccountant accountant;
+  };
+  std::vector<UserEntry> users_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_CORE_TPL_ACCOUNTANT_H_

@@ -1,0 +1,41 @@
+#include "dp/budget.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace tcdp {
+
+BudgetLedger::BudgetLedger(double total_budget)
+    : total_budget_(total_budget) {}
+
+Status BudgetLedger::Spend(double epsilon, std::string label) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "BudgetLedger: epsilon must be finite and > 0");
+  }
+  if (total_spent_ + epsilon > total_budget_ + 1e-12) {
+    return Status::ResourceExhausted(
+        "BudgetLedger: spend would exceed total budget");
+  }
+  total_spent_ += epsilon;
+  entries_.push_back(Entry{epsilon, std::move(label)});
+  return Status::OK();
+}
+
+StatusOr<double> BudgetLedger::WindowSpend(std::size_t w) const {
+  if (w == 0) {
+    return Status::InvalidArgument("WindowSpend: w must be >= 1");
+  }
+  if (entries_.empty()) return 0.0;
+  double window = 0.0;
+  double best = 0.0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    window += entries_[i].epsilon;
+    if (i >= w) window -= entries_[i - w].epsilon;
+    best = std::max(best, window);
+  }
+  return best;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,59 @@
+#ifndef TCDP_DP_BUDGET_H_
+#define TCDP_DP_BUDGET_H_
+
+/// \file
+/// Privacy-budget accounting under *independence* assumptions: the
+/// classical sequential composition of Theorem 3 (McSherry [31]) and the
+/// w-event sliding-window view (Kellaris et al. [22]) used by Table II.
+/// The temporal-correlation-aware accountant lives in core/tpl_accountant.
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcdp {
+
+/// \brief Ledger of per-release epsilon spends with composition queries.
+class BudgetLedger {
+ public:
+  /// \p total_budget caps cumulative spend (infinity = uncapped).
+  explicit BudgetLedger(
+      double total_budget = std::numeric_limits<double>::infinity());
+
+  /// One recorded release.
+  struct Entry {
+    double epsilon;
+    std::string label;
+  };
+
+  /// Records a spend. Returns InvalidArgument for epsilon <= 0 and
+  /// ResourceExhausted when the cap would be exceeded (nothing recorded).
+  Status Spend(double epsilon, std::string label = "");
+
+  std::size_t num_releases() const { return entries_.size(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+  double total_budget() const { return total_budget_; }
+
+  /// Sequential composition (Theorem 3): sum of all spends. On
+  /// independent data this is the user-level guarantee of the sequence.
+  double TotalSpent() const { return total_spent_; }
+
+  /// Remaining budget under the cap.
+  double Remaining() const { return total_budget_ - total_spent_; }
+
+  /// w-event guarantee: maximum spend over any window of \p w consecutive
+  /// releases (w >= 1). Returns InvalidArgument for w == 0.
+  StatusOr<double> WindowSpend(std::size_t w) const;
+
+ private:
+  double total_budget_;
+  double total_spent_ = 0.0;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_DP_BUDGET_H_

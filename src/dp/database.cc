@@ -1,0 +1,53 @@
+#include "dp/database.h"
+
+#include <string>
+
+namespace tcdp {
+
+StatusOr<Database> Database::Create(std::vector<std::size_t> values,
+                                    std::size_t domain_size) {
+  if (domain_size == 0) {
+    return Status::InvalidArgument("Database: domain_size must be positive");
+  }
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= domain_size) {
+      return Status::InvalidArgument(
+          "Database: user " + std::to_string(i) + " value " +
+          std::to_string(values[i]) + " outside domain of size " +
+          std::to_string(domain_size));
+    }
+  }
+  return Database(std::move(values), domain_size);
+}
+
+StatusOr<Database> Database::WithValue(std::size_t user,
+                                       std::size_t value) const {
+  if (user >= num_users()) {
+    return Status::OutOfRange("WithValue: user index out of range");
+  }
+  if (value >= domain_size_) {
+    return Status::InvalidArgument("WithValue: value outside domain");
+  }
+  std::vector<std::size_t> values = values_;
+  values[user] = value;
+  return Database(std::move(values), domain_size_);
+}
+
+std::vector<double> Database::Histogram() const {
+  std::vector<double> counts(domain_size_, 0.0);
+  for (std::size_t v : values_) counts[v] += 1.0;
+  return counts;
+}
+
+bool AreNeighbors(const Database& a, const Database& b) {
+  if (a.num_users() != b.num_users() || a.domain_size() != b.domain_size()) {
+    return false;
+  }
+  std::size_t diffs = 0;
+  for (std::size_t i = 0; i < a.num_users(); ++i) {
+    if (a.value(i) != b.value(i) && ++diffs > 1) return false;
+  }
+  return diffs == 1;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,51 @@
+#ifndef TCDP_DP_DATABASE_H_
+#define TCDP_DP_DATABASE_H_
+
+/// \file
+/// Snapshot database D^t = {l^t_1, ..., l^t_|U|} (paper Section II-C):
+/// each user holds one value from a finite domain loc = {loc_1..loc_n}.
+/// The neighboring relation is *value change of a single user* (event-
+/// level continual observation, Dwork et al. [13][15]).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcdp {
+
+/// \brief One time point's database: user -> domain-value index.
+class Database {
+ public:
+  /// Validates that every value is < domain_size. num_users may be 0.
+  static StatusOr<Database> Create(std::vector<std::size_t> values,
+                                   std::size_t domain_size);
+
+  std::size_t num_users() const { return values_.size(); }
+  std::size_t domain_size() const { return domain_size_; }
+  std::size_t value(std::size_t user) const { return values_[user]; }
+  const std::vector<std::size_t>& values() const { return values_; }
+
+  /// Returns a neighboring database with \p user's value replaced.
+  /// Returns OutOfRange for a bad user index or InvalidArgument for a
+  /// bad value.
+  StatusOr<Database> WithValue(std::size_t user, std::size_t value) const;
+
+  /// Per-domain-value counts (the paper's released aggregate, Fig 1(c)).
+  std::vector<double> Histogram() const;
+
+ private:
+  Database(std::vector<std::size_t> values, std::size_t domain_size)
+      : values_(std::move(values)), domain_size_(domain_size) {}
+
+  std::vector<std::size_t> values_;
+  std::size_t domain_size_ = 0;
+};
+
+/// \brief True iff \p a and \p b have the same shape and differ in exactly
+/// one user's value (the event-level neighboring relation).
+bool AreNeighbors(const Database& a, const Database& b);
+
+}  // namespace tcdp
+
+#endif  // TCDP_DP_DATABASE_H_

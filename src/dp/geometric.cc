@@ -1,0 +1,66 @@
+#include "dp/geometric.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace tcdp {
+
+StatusOr<GeometricMechanism> GeometricMechanism::Create(double epsilon,
+                                                        int sensitivity) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "GeometricMechanism: epsilon must be finite and > 0");
+  }
+  if (sensitivity < 1) {
+    return Status::InvalidArgument(
+        "GeometricMechanism: sensitivity must be a positive integer");
+  }
+  const double ratio = std::exp(-epsilon / static_cast<double>(sensitivity));
+  return GeometricMechanism(epsilon, sensitivity, ratio);
+}
+
+double GeometricMechanism::ExpectedAbsNoise() const {
+  return 2.0 * ratio_ / (1.0 - ratio_ * ratio_);
+}
+
+double GeometricMechanism::NoiseVariance() const {
+  const double one_minus = 1.0 - ratio_;
+  return 2.0 * ratio_ / (one_minus * one_minus);
+}
+
+std::int64_t GeometricMechanism::SampleNoise(Rng* rng) const {
+  assert(rng != nullptr);
+  // Two one-sided geometric draws G1 - G2 are two-sided geometric:
+  // Pr[G = k] = (1-r) r^k for k >= 0, sampled by inversion.
+  auto one_sided = [&]() {
+    const double u = rng->Uniform();
+    // k = floor(log(1-u) / log r); both logs negative.
+    return static_cast<std::int64_t>(
+        std::floor(std::log1p(-u) / std::log(ratio_)));
+  };
+  return one_sided() - one_sided();
+}
+
+std::int64_t GeometricMechanism::Perturb(std::int64_t true_value,
+                                         Rng* rng) const {
+  return true_value + SampleNoise(rng);
+}
+
+std::vector<double> GeometricMechanism::PerturbVector(
+    const std::vector<double>& values, Rng* rng) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) {
+    out.push_back(static_cast<double>(
+        Perturb(static_cast<std::int64_t>(std::llround(v)), rng)));
+  }
+  return out;
+}
+
+double GeometricMechanism::Pmf(std::int64_t k) const {
+  const double norm = (1.0 - ratio_) / (1.0 + ratio_);
+  return norm * std::pow(ratio_, static_cast<double>(std::llabs(k)));
+}
+
+}  // namespace tcdp

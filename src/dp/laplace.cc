@@ -1,0 +1,47 @@
+#include "dp/laplace.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace tcdp {
+
+StatusOr<LaplaceMechanism> LaplaceMechanism::Create(double epsilon,
+                                                    double sensitivity) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "LaplaceMechanism: epsilon must be finite and > 0, got " +
+        std::to_string(epsilon));
+  }
+  if (!(sensitivity > 0.0) || !std::isfinite(sensitivity)) {
+    return Status::InvalidArgument(
+        "LaplaceMechanism: sensitivity must be finite and > 0");
+  }
+  return LaplaceMechanism(epsilon, sensitivity);
+}
+
+double LaplaceMechanism::Perturb(double true_value, Rng* rng) const {
+  assert(rng != nullptr);
+  return true_value + rng->Laplace(scale());
+}
+
+std::vector<double> LaplaceMechanism::PerturbVector(
+    const std::vector<double>& values, Rng* rng) const {
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (double v : values) out.push_back(Perturb(v, rng));
+  return out;
+}
+
+double LaplaceMechanism::Pdf(double x, double scale) {
+  assert(scale > 0.0);
+  return std::exp(-std::fabs(x) / scale) / (2.0 * scale);
+}
+
+double LaplaceMechanism::Cdf(double x, double scale) {
+  assert(scale > 0.0);
+  if (x < 0.0) return 0.5 * std::exp(x / scale);
+  return 1.0 - 0.5 * std::exp(-x / scale);
+}
+
+}  // namespace tcdp

@@ -1,0 +1,57 @@
+#ifndef TCDP_DP_LAPLACE_H_
+#define TCDP_DP_LAPLACE_H_
+
+/// \file
+/// The Laplace mechanism (paper Theorem 1, Dwork et al. [14]): adding
+/// Lap(sensitivity/epsilon) noise to a query's outputs achieves eps-DP.
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace tcdp {
+
+/// \brief Laplace mechanism with fixed epsilon and sensitivity.
+class LaplaceMechanism {
+ public:
+  /// Returns InvalidArgument unless epsilon > 0 and sensitivity > 0.
+  static StatusOr<LaplaceMechanism> Create(double epsilon,
+                                           double sensitivity = 1.0);
+
+  double epsilon() const { return epsilon_; }
+  double sensitivity() const { return sensitivity_; }
+
+  /// Noise scale b = sensitivity / epsilon.
+  double scale() const { return sensitivity_ / epsilon_; }
+
+  /// E|noise| = b; the paper's Figure 8 utility metric.
+  double ExpectedAbsNoise() const { return scale(); }
+
+  /// Noise variance 2 b^2.
+  double NoiseVariance() const { return 2.0 * scale() * scale(); }
+
+  /// Adds one Laplace draw to \p true_value.
+  double Perturb(double true_value, Rng* rng) const;
+
+  /// Perturbs each coordinate independently.
+  std::vector<double> PerturbVector(const std::vector<double>& values,
+                                    Rng* rng) const;
+
+  /// Density of Lap(0, b) at x.
+  static double Pdf(double x, double scale);
+
+  /// CDF of Lap(0, b) at x.
+  static double Cdf(double x, double scale);
+
+ private:
+  LaplaceMechanism(double epsilon, double sensitivity)
+      : epsilon_(epsilon), sensitivity_(sensitivity) {}
+
+  double epsilon_;
+  double sensitivity_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_DP_LAPLACE_H_

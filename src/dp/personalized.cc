@@ -1,0 +1,71 @@
+#include "dp/personalized.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace tcdp {
+
+StatusOr<PdpSampleMechanism> PdpSampleMechanism::Create(
+    std::vector<double> epsilons, double threshold) {
+  if (epsilons.empty()) {
+    return Status::InvalidArgument("PdpSampleMechanism: no budgets");
+  }
+  double max_eps = 0.0;
+  for (double e : epsilons) {
+    if (!(e > 0.0) || !std::isfinite(e)) {
+      return Status::InvalidArgument(
+          "PdpSampleMechanism: budgets must be finite and > 0");
+    }
+    max_eps = std::max(max_eps, e);
+  }
+  if (threshold <= 0.0) threshold = max_eps;
+  if (threshold < max_eps - 1e-12) {
+    return Status::InvalidArgument(
+        "PdpSampleMechanism: threshold " + std::to_string(threshold) +
+        " below the maximum personalized budget " + std::to_string(max_eps));
+  }
+  return PdpSampleMechanism(std::move(epsilons), threshold);
+}
+
+double PdpSampleMechanism::InclusionProbability(std::size_t user) const {
+  const double eps = epsilons_[user];
+  if (eps >= threshold_) return 1.0;
+  return std::expm1(eps) / std::expm1(threshold_);
+}
+
+StatusOr<PdpRelease> PdpSampleMechanism::Release(const Database& db,
+                                                 const Query& query,
+                                                 Rng* rng) const {
+  if (db.num_users() != num_users()) {
+    return Status::InvalidArgument(
+        "PdpSampleMechanism: database has " + std::to_string(db.num_users()) +
+        " users but mechanism was built for " + std::to_string(num_users()));
+  }
+  PdpRelease release;
+  release.threshold = threshold_;
+  release.included.resize(num_users());
+  std::vector<std::size_t> sampled_values;
+  sampled_values.reserve(num_users());
+  for (std::size_t u = 0; u < num_users(); ++u) {
+    const bool in = rng->Uniform() < InclusionProbability(u);
+    release.included[u] = in;
+    if (in) sampled_values.push_back(db.value(u));
+  }
+  TCDP_ASSIGN_OR_RETURN(
+      Database sampled,
+      Database::Create(std::move(sampled_values), db.domain_size()));
+  release.true_values = query.Evaluate(sampled);
+  TCDP_ASSIGN_OR_RETURN(
+      LaplaceMechanism mech,
+      LaplaceMechanism::Create(threshold_, query.Sensitivity()));
+  release.noisy_values = mech.PerturbVector(release.true_values, rng);
+  return release;
+}
+
+double MinimumBudget(const std::vector<double>& epsilons) {
+  if (epsilons.empty()) return 0.0;
+  return *std::min_element(epsilons.begin(), epsilons.end());
+}
+
+}  // namespace tcdp

@@ -1,0 +1,74 @@
+#ifndef TCDP_DP_PERSONALIZED_H_
+#define TCDP_DP_PERSONALIZED_H_
+
+/// \file
+/// Personalized differential privacy (PDP) — Jorgensen et al. [21], the
+/// mechanism family the paper's Section III-D says its framework can
+/// convert "to bound the temporal privacy leakage for each user".
+///
+/// The Sample mechanism: given per-user budgets eps_u and a threshold
+/// t >= max_u eps_u, include user u's record with probability
+///
+///     pi_u = (e^{eps_u} - 1) / (e^t - 1)      (1 if eps_u >= t)
+///
+/// then run any t-DP mechanism on the sampled database. The combination
+/// satisfies eps_u-DP for each user u.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "dp/database.h"
+#include "dp/laplace.h"
+#include "dp/query.h"
+
+namespace tcdp {
+
+/// \brief One personalized release: which users were sampled and the
+/// noisy output of the threshold-DP mechanism on the sample.
+struct PdpRelease {
+  std::vector<bool> included;       ///< per-user sampling outcome
+  std::vector<double> true_values;  ///< Q(sampled D) — pre-noise
+  std::vector<double> noisy_values; ///< released output
+  double threshold = 0.0;           ///< the t-DP budget actually spent
+};
+
+/// \brief The PDP Sample mechanism over snapshot databases.
+class PdpSampleMechanism {
+ public:
+  /// \p epsilons: per-user budgets (> 0). \p threshold: the uniform
+  /// budget of the inner mechanism; defaults (<= 0) to max(epsilons).
+  /// Returns InvalidArgument for empty/non-positive budgets or a
+  /// threshold below the maximum budget.
+  static StatusOr<PdpSampleMechanism> Create(std::vector<double> epsilons,
+                                             double threshold = 0.0);
+
+  std::size_t num_users() const { return epsilons_.size(); }
+  double threshold() const { return threshold_; }
+  const std::vector<double>& epsilons() const { return epsilons_; }
+
+  /// pi_u = (e^{eps_u} - 1)/(e^t - 1), clamped to 1.
+  double InclusionProbability(std::size_t user) const;
+
+  /// Samples users, evaluates \p query on the sampled snapshot, perturbs
+  /// with Lap(sensitivity/t). Returns InvalidArgument when db's user
+  /// count mismatches the budget vector.
+  StatusOr<PdpRelease> Release(const Database& db, const Query& query,
+                               Rng* rng) const;
+
+ private:
+  PdpSampleMechanism(std::vector<double> epsilons, double threshold)
+      : epsilons_(std::move(epsilons)), threshold_(threshold) {}
+
+  std::vector<double> epsilons_;
+  double threshold_;
+};
+
+/// \brief The "Minimum" strawman from [21]: ignore personalization and
+/// run everyone at min_u eps_u. Returned for comparisons.
+double MinimumBudget(const std::vector<double>& epsilons);
+
+}  // namespace tcdp
+
+#endif  // TCDP_DP_PERSONALIZED_H_

@@ -1,0 +1,21 @@
+#include "dp/query.h"
+
+namespace tcdp {
+
+std::vector<double> CountQuery::Evaluate(const Database& db) const {
+  double count = 0.0;
+  for (std::size_t v : db.values()) {
+    if (v == target_value_) count += 1.0;
+  }
+  return {count};
+}
+
+std::string CountQuery::name() const {
+  return "count(loc" + std::to_string(target_value_ + 1) + ")";
+}
+
+std::vector<double> HistogramQuery::Evaluate(const Database& db) const {
+  return db.Histogram();
+}
+
+}  // namespace tcdp

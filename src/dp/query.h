@@ -1,0 +1,80 @@
+#ifndef TCDP_DP_QUERY_H_
+#define TCDP_DP_QUERY_H_
+
+/// \file
+/// Statistical queries over snapshot databases, with their L1 sensitivity
+/// under the event-level neighboring relation (one user's value changes).
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dp/database.h"
+
+namespace tcdp {
+
+/// \brief Abstract vector-valued query with known L1 sensitivity.
+class Query {
+ public:
+  virtual ~Query() = default;
+
+  /// Evaluates the query on \p db.
+  virtual std::vector<double> Evaluate(const Database& db) const = 0;
+
+  /// Output dimension for a database over \p domain_size values.
+  virtual std::size_t OutputSize(std::size_t domain_size) const = 0;
+
+  /// Worst-case L1 change of the output across neighboring databases.
+  virtual double Sensitivity() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+/// \brief Count of users holding one target value (sensitivity 1).
+class CountQuery final : public Query {
+ public:
+  explicit CountQuery(std::size_t target_value)
+      : target_value_(target_value) {}
+  std::vector<double> Evaluate(const Database& db) const override;
+  std::size_t OutputSize(std::size_t) const override { return 1; }
+  double Sensitivity() const override { return 1.0; }
+  std::string name() const override;
+
+ private:
+  std::size_t target_value_;
+};
+
+/// Sensitivity convention for full histograms.
+enum class HistogramSensitivity {
+  /// The paper's convention (Example 1): each count is perturbed with
+  /// Lap(1/eps) — i.e. the per-count sensitivity 1 is used. Matches
+  /// "adding Lap(1/eps) noise to perturb each count ... achieves eps-DP".
+  kPerCount,
+  /// Strict L1 sensitivity of the full vector: a value change moves one
+  /// user between two bins, so ||Q(D)-Q(D')||_1 = 2.
+  kStrictL1,
+};
+
+/// \brief All per-value counts (the paper's released aggregate).
+class HistogramQuery final : public Query {
+ public:
+  explicit HistogramQuery(
+      HistogramSensitivity convention = HistogramSensitivity::kPerCount)
+      : convention_(convention) {}
+  std::vector<double> Evaluate(const Database& db) const override;
+  std::size_t OutputSize(std::size_t domain_size) const override {
+    return domain_size;
+  }
+  double Sensitivity() const override {
+    return convention_ == HistogramSensitivity::kPerCount ? 1.0 : 2.0;
+  }
+  std::string name() const override { return "histogram"; }
+
+ private:
+  HistogramSensitivity convention_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_DP_QUERY_H_

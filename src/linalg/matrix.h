@@ -1,0 +1,96 @@
+#ifndef TCDP_LINALG_MATRIX_H_
+#define TCDP_LINALG_MATRIX_H_
+
+/// \file
+/// Dense row-major matrix of doubles. This library's matrices are small
+/// (transition matrices up to a few hundred rows), so a simple dense
+/// representation without BLAS is the right tool.
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcdp {
+
+/// \brief Dense row-major matrix of doubles.
+///
+/// Indexing is unchecked in release builds (asserted in debug); fallible
+/// construction paths return `StatusOr`.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// rows x cols matrix filled with \p fill.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  /// Builds from nested initializer lists:
+  ///   Matrix m({{1,2},{3,4}});
+  /// All inner lists must have equal length (asserted).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  /// Builds from flat row-major data. Returns InvalidArgument when
+  /// data.size() != rows*cols.
+  static StatusOr<Matrix> FromFlat(std::size_t rows, std::size_t cols,
+                                   std::vector<double> data);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  /// Element access (unchecked bounds in release builds).
+  double& At(std::size_t r, std::size_t c);
+  double At(std::size_t r, std::size_t c) const;
+  double& operator()(std::size_t r, std::size_t c) { return At(r, c); }
+  double operator()(std::size_t r, std::size_t c) const { return At(r, c); }
+
+  /// Copies out row \p r.
+  std::vector<double> Row(std::size_t r) const;
+  /// Copies out column \p c.
+  std::vector<double> Col(std::size_t c) const;
+  /// Overwrites row \p r. `PRECONDITION: values.size() == cols()`.
+  void SetRow(std::size_t r, const std::vector<double>& values);
+
+  /// Flat row-major storage (size rows*cols).
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& mutable_data() { return data_; }
+
+  /// Matrix transpose.
+  Matrix Transposed() const;
+
+  /// Matrix product this * other. Returns InvalidArgument on shape
+  /// mismatch.
+  StatusOr<Matrix> Multiply(const Matrix& other) const;
+
+  /// Row-vector * matrix: returns v^T * this (length cols()).
+  /// `PRECONDITION: v.size() == rows()`.
+  std::vector<double> LeftMultiply(const std::vector<double>& v) const;
+
+  /// Matrix * column-vector (length rows()).
+  /// `PRECONDITION: v.size() == cols()`.
+  std::vector<double> RightMultiply(const std::vector<double>& v) const;
+
+  /// Elementwise maximum |a_ij - b_ij|; requires equal shapes (asserted).
+  double MaxAbsDiff(const Matrix& other) const;
+
+  /// True iff shapes and all entries match within \p tol.
+  bool ApproxEquals(const Matrix& other, double tol = 1e-9) const;
+
+  /// Multi-line human-readable rendering (for diagnostics).
+  std::string ToString(int precision = 4) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_LINALG_MATRIX_H_

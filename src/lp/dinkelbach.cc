@@ -1,0 +1,93 @@
+#include "lp/dinkelbach.h"
+
+#include <cmath>
+#include <string>
+
+namespace tcdp {
+namespace {
+
+double Dot(const std::vector<double>& a, const std::vector<double>& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace
+
+StatusOr<LpSolution> SolveLfpByDinkelbach(
+    const LinearFractionalProgram& lfp,
+    const SimplexSolver::Options& lp_options,
+    std::size_t max_outer_iterations, double tol) {
+  const std::size_t n = lfp.num_variables();
+  if (n == 0) return Status::InvalidArgument("Dinkelbach: empty LFP");
+  if (lfp.denominator.size() != n) {
+    return Status::InvalidArgument("Dinkelbach: arity mismatch");
+  }
+
+  LinearProgram lp;
+  lp.maximize = true;
+  lp.constraints = lfp.constraints;
+  lp.objective.assign(n, 0.0);
+
+  // Bootstrap lambda_0 from any feasible point: solve a feasibility LP
+  // maximizing the denominator (also guards against D <= 0 regions).
+  lp.objective = lfp.denominator;
+  TCDP_ASSIGN_OR_RETURN(LpSolution feas, SimplexSolver::Solve(lp, lp_options));
+  if (feas.status != SolveStatus::kOptimal) {
+    LpSolution out;
+    out.status = feas.status;
+    out.iterations = feas.iterations;
+    return out;
+  }
+  double denom0 = Dot(lfp.denominator, feas.x) + lfp.denominator_const;
+  if (!(denom0 > 0.0)) {
+    return Status::FailedPrecondition(
+        "Dinkelbach: denominator not strictly positive on the feasible "
+        "region");
+  }
+  double lambda =
+      (Dot(lfp.numerator, feas.x) + lfp.numerator_const) / denom0;
+  std::size_t total_pivots = feas.iterations;
+
+  LpSolution best = feas;
+  for (std::size_t k = 0; k < max_outer_iterations; ++k) {
+    // Parametric objective Q(x) - lambda D(x); the constant part
+    // (q0 - lambda d0) does not influence the argmax.
+    for (std::size_t j = 0; j < n; ++j) {
+      lp.objective[j] = lfp.numerator[j] - lambda * lfp.denominator[j];
+    }
+    TCDP_ASSIGN_OR_RETURN(LpSolution step, SimplexSolver::Solve(lp, lp_options));
+    total_pivots += step.iterations;
+    if (step.status != SolveStatus::kOptimal) {
+      step.iterations = total_pivots;
+      return step;
+    }
+    const double q_val = Dot(lfp.numerator, step.x) + lfp.numerator_const;
+    const double d_val = Dot(lfp.denominator, step.x) + lfp.denominator_const;
+    const double f_lambda = q_val - lambda * d_val;
+    if (f_lambda <= tol * std::max(1.0, std::fabs(lambda))) {
+      // F(lambda) = 0: lambda is the optimal ratio (Dinkelbach's
+      // criterion). The argmax may be a denominator-zero point such as
+      // x = 0; the previously recorded point attains the ratio.
+      best.status = SolveStatus::kOptimal;
+      best.objective_value = lambda;
+      best.iterations = total_pivots;
+      return best;
+    }
+    if (!(d_val > 0.0)) {
+      // Positive parametric value on a zero denominator: the ratio is
+      // unbounded above over the closure.
+      best.status = SolveStatus::kUnbounded;
+      best.iterations = total_pivots;
+      return best;
+    }
+    best.x = step.x;
+    best.objective_value = q_val / d_val;
+    lambda = q_val / d_val;
+  }
+  best.status = SolveStatus::kIterationLimit;
+  best.iterations = total_pivots;
+  return best;
+}
+
+}  // namespace tcdp

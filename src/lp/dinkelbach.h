@@ -1,0 +1,34 @@
+#ifndef TCDP_LP_DINKELBACH_H_
+#define TCDP_LP_DINKELBACH_H_
+
+/// \file
+/// Dinkelbach's parametric algorithm for linear-fractional programs
+/// (Dinkelbach [11], cited by the paper's Theorem 6):
+///
+///   F(lambda) = max { Q(x) - lambda * D(x) : x feasible }
+///
+/// lambda* is the optimal ratio iff F(lambda*) = 0. The algorithm
+/// iterates lambda_{k+1} = Q(x_k)/D(x_k) where x_k attains F(lambda_k);
+/// convergence is superlinear. Each step is a plain LP solved with the
+/// simplex baseline, making this the library's second generic-solver
+/// stand-in for Figure 5.
+
+#include "common/status.h"
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+
+namespace tcdp {
+
+/// \brief Solves an LFP by Dinkelbach iteration.
+///
+/// \p max_outer_iterations bounds the number of parametric LP solves.
+/// The returned LpSolution::iterations counts *total simplex pivots*
+/// across all LP solves (comparable with the Charnes–Cooper route).
+StatusOr<LpSolution> SolveLfpByDinkelbach(
+    const LinearFractionalProgram& lfp,
+    const SimplexSolver::Options& lp_options = {},
+    std::size_t max_outer_iterations = 100, double tol = 1e-10);
+
+}  // namespace tcdp
+
+#endif  // TCDP_LP_DINKELBACH_H_

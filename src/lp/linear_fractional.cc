@@ -1,0 +1,72 @@
+#include "lp/linear_fractional.h"
+
+#include <cmath>
+#include <string>
+
+namespace tcdp {
+namespace {
+
+Status ValidateLfp(const LinearFractionalProgram& lfp) {
+  const std::size_t n = lfp.num_variables();
+  if (n == 0) return Status::InvalidArgument("LFP: empty numerator");
+  if (lfp.denominator.size() != n) {
+    return Status::InvalidArgument(
+        "LFP: numerator/denominator arity mismatch");
+  }
+  for (std::size_t i = 0; i < lfp.constraints.size(); ++i) {
+    if (lfp.constraints[i].coeffs.size() != n) {
+      return Status::InvalidArgument(
+          "LFP: constraint " + std::to_string(i) + " arity mismatch");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<LpSolution> SolveLfpByCharnesCooper(
+    const LinearFractionalProgram& lfp,
+    const SimplexSolver::Options& options) {
+  TCDP_RETURN_IF_ERROR(ValidateLfp(lfp));
+  const std::size_t n = lfp.num_variables();
+
+  LinearProgram lp;
+  lp.maximize = true;
+  lp.objective = lfp.numerator;
+  lp.objective.push_back(lfp.numerator_const);  // coefficient of t
+
+  lp.constraints.reserve(lfp.constraints.size() + 1);
+  for (const auto& c : lfp.constraints) {
+    LinearConstraint hc;
+    hc.coeffs = c.coeffs;
+    hc.coeffs.push_back(-c.rhs);  // A y - b t rel 0
+    hc.relation = c.relation;
+    hc.rhs = 0.0;
+    lp.constraints.push_back(std::move(hc));
+  }
+  LinearConstraint norm;
+  norm.coeffs = lfp.denominator;
+  norm.coeffs.push_back(lfp.denominator_const);
+  norm.relation = Relation::kEqual;
+  norm.rhs = 1.0;
+  lp.constraints.push_back(std::move(norm));
+
+  TCDP_ASSIGN_OR_RETURN(LpSolution sol, SimplexSolver::Solve(lp, options));
+  if (sol.status != SolveStatus::kOptimal) return sol;
+
+  const double t = sol.x[n];
+  if (!(t > 1e-12)) {
+    return Status::FailedPrecondition(
+        "Charnes-Cooper: t* ~ 0; ratio attained only in the limit "
+        "(unbounded or denominator-degenerate feasible region)");
+  }
+  LpSolution out;
+  out.status = SolveStatus::kOptimal;
+  out.iterations = sol.iterations;
+  out.objective_value = sol.objective_value;
+  out.x.resize(n);
+  for (std::size_t j = 0; j < n; ++j) out.x[j] = sol.x[j] / t;
+  return out;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,34 @@
+#ifndef TCDP_LP_LINEAR_FRACTIONAL_H_
+#define TCDP_LP_LINEAR_FRACTIONAL_H_
+
+/// \file
+/// Linear-fractional programming via the Charnes–Cooper transformation:
+///
+///   max (q.x + q0)/(d.x + d0)  s.t.  A x rel b, x >= 0
+///
+/// becomes, with y = t*x and the normalization d.y + d0*t = 1,
+///
+///   max q.y + q0*t  s.t.  A y - b t rel 0,  d.y + d0 t = 1,  y,t >= 0.
+///
+/// The optimal ratio is the LP optimum and x* = y*/t*. This is the
+/// "convert into a sequence of linear programming problems" route the
+/// paper attributes to generic solvers (Section IV-A).
+
+#include "common/status.h"
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+
+namespace tcdp {
+
+/// \brief Solves an LFP by Charnes–Cooper + two-phase simplex.
+///
+/// Requirements: the feasible region must be non-empty and bounded, and
+/// the denominator strictly positive on it. A vanishing t* (ratio attained
+/// only in the limit) yields FailedPrecondition.
+StatusOr<LpSolution> SolveLfpByCharnesCooper(
+    const LinearFractionalProgram& lfp,
+    const SimplexSolver::Options& options = {});
+
+}  // namespace tcdp
+
+#endif  // TCDP_LP_LINEAR_FRACTIONAL_H_

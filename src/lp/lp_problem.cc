@@ -1,0 +1,19 @@
+#include "lp/lp_problem.h"
+
+namespace tcdp {
+
+const char* SolveStatusToString(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return "Optimal";
+    case SolveStatus::kInfeasible:
+      return "Infeasible";
+    case SolveStatus::kUnbounded:
+      return "Unbounded";
+    case SolveStatus::kIterationLimit:
+      return "IterationLimit";
+  }
+  return "Unknown";
+}
+
+}  // namespace tcdp

@@ -1,0 +1,72 @@
+#ifndef TCDP_LP_LP_PROBLEM_H_
+#define TCDP_LP_LP_PROBLEM_H_
+
+/// \file
+/// Model types for linear and linear-fractional programs.
+///
+/// All programs are over non-negative variables (x >= 0); bounds such as
+/// x <= 1 are expressed as explicit constraints. This matches the
+/// standard-form input expected by the simplex solver.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tcdp {
+
+/// Constraint sense.
+enum class Relation { kLessEqual, kGreaterEqual, kEqual };
+
+/// \brief One linear constraint `coeffs . x  <relation>  rhs`.
+struct LinearConstraint {
+  std::vector<double> coeffs;
+  Relation relation = Relation::kLessEqual;
+  double rhs = 0.0;
+};
+
+/// \brief Linear program: optimize `objective . x` subject to constraints,
+/// x >= 0.
+struct LinearProgram {
+  std::vector<double> objective;
+  std::vector<LinearConstraint> constraints;
+  bool maximize = true;
+
+  std::size_t num_variables() const { return objective.size(); }
+};
+
+/// \brief Linear-fractional program (Bajalinov [2] form):
+/// maximize (numerator . x + numerator_const) /
+///          (denominator . x + denominator_const)
+/// subject to constraints, x >= 0. The denominator must be strictly
+/// positive over the feasible region.
+struct LinearFractionalProgram {
+  std::vector<double> numerator;
+  double numerator_const = 0.0;
+  std::vector<double> denominator;
+  double denominator_const = 0.0;
+  std::vector<LinearConstraint> constraints;
+
+  std::size_t num_variables() const { return numerator.size(); }
+};
+
+/// Solver termination condition.
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* SolveStatusToString(SolveStatus s);
+
+/// \brief Solution of an LP/LFP solve.
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  std::vector<double> x;          ///< primal point (original variables)
+  double objective_value = 0.0;   ///< objective at x (ratio for LFPs)
+  std::size_t iterations = 0;     ///< pivot / outer-iteration count
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_LP_LP_PROBLEM_H_

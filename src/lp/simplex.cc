@@ -1,0 +1,315 @@
+#include "lp/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace tcdp {
+namespace {
+
+/// Internal dense tableau. Column layout:
+///   [0, n)            structural variables
+///   [n, n+s)          slack/surplus variables
+///   [n+s, n+s+a)      artificial variables
+/// Row `i` stores the coefficients of basic-variable row i; `rhs_[i]` its
+/// value. `basis_[i]` is the variable index basic in row i.
+class Tableau {
+ public:
+  Tableau(const LinearProgram& lp, double tol) : tol_(tol) {
+    const std::size_t n = lp.num_variables();
+    const std::size_t m = lp.constraints.size();
+    num_structural_ = n;
+
+    // Count auxiliary columns.
+    std::size_t num_slack = 0, num_artificial = 0;
+    for (const auto& c : lp.constraints) {
+      const bool flip = c.rhs < 0.0;
+      Relation rel = c.relation;
+      if (flip) {
+        rel = rel == Relation::kLessEqual    ? Relation::kGreaterEqual
+              : rel == Relation::kGreaterEqual ? Relation::kLessEqual
+                                               : Relation::kEqual;
+      }
+      if (rel == Relation::kLessEqual) {
+        ++num_slack;
+      } else if (rel == Relation::kGreaterEqual) {
+        ++num_slack;  // surplus
+        ++num_artificial;
+      } else {
+        ++num_artificial;
+      }
+    }
+    num_cols_ = n + num_slack + num_artificial;
+    first_artificial_ = n + num_slack;
+    rows_.assign(m, std::vector<double>(num_cols_, 0.0));
+    rhs_.assign(m, 0.0);
+    basis_.assign(m, 0);
+
+    std::size_t slack_cursor = n;
+    std::size_t art_cursor = first_artificial_;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto& c = lp.constraints[i];
+      const bool flip = c.rhs < 0.0;
+      const double sign = flip ? -1.0 : 1.0;
+      Relation rel = c.relation;
+      if (flip) {
+        rel = rel == Relation::kLessEqual    ? Relation::kGreaterEqual
+              : rel == Relation::kGreaterEqual ? Relation::kLessEqual
+                                               : Relation::kEqual;
+      }
+      for (std::size_t j = 0; j < n; ++j) rows_[i][j] = sign * c.coeffs[j];
+      rhs_[i] = sign * c.rhs;
+      if (rel == Relation::kLessEqual) {
+        rows_[i][slack_cursor] = 1.0;
+        basis_[i] = slack_cursor++;
+      } else if (rel == Relation::kGreaterEqual) {
+        rows_[i][slack_cursor++] = -1.0;  // surplus
+        rows_[i][art_cursor] = 1.0;
+        basis_[i] = art_cursor++;
+      } else {
+        rows_[i][art_cursor] = 1.0;
+        basis_[i] = art_cursor++;
+      }
+    }
+  }
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return num_cols_; }
+  std::size_t first_artificial() const { return first_artificial_; }
+  bool has_artificials() const { return first_artificial_ < num_cols_; }
+  const std::vector<std::size_t>& basis() const { return basis_; }
+
+  /// Runs simplex on objective `maximize cost . all_vars` starting from the
+  /// current basis. `barred_from` excludes columns >= that index from
+  /// entering (used to bar artificials in phase 2). Returns the final
+  /// status; pivots are counted into *iterations.
+  SolveStatus Optimize(const std::vector<double>& cost, std::size_t barred_from,
+                       std::size_t max_iterations, bool dantzig,
+                       std::size_t* iterations) {
+    // Reduced-cost row: z_j - c_j form. We maintain `obj_[j]` such that
+    // entering any column with obj_[j] < -tol improves the maximization.
+    // Start from obj_ = -cost then add back basic rows' contributions.
+    obj_.assign(num_cols_, 0.0);
+    for (std::size_t j = 0; j < num_cols_ && j < cost.size(); ++j) {
+      obj_[j] = -cost[j];
+    }
+    obj_value_ = 0.0;
+    for (std::size_t i = 0; i < num_rows(); ++i) {
+      const double cb = basis_[i] < cost.size() ? cost[basis_[i]] : 0.0;
+      if (cb == 0.0) continue;
+      for (std::size_t j = 0; j < num_cols_; ++j) {
+        obj_[j] += cb * rows_[i][j];
+      }
+      obj_value_ += cb * rhs_[i];
+    }
+    // obj_[j] now equals z_j - c_j; optimal when all >= -tol.
+
+    std::size_t stall = 0;
+    while (true) {
+      if (*iterations >= max_iterations) return SolveStatus::kIterationLimit;
+      // Pricing: choose entering column.
+      std::size_t enter = num_cols_;
+      if (dantzig && stall < kStallSwitch) {
+        double best = -tol_;
+        for (std::size_t j = 0; j < barred_from; ++j) {
+          if (obj_[j] < best) {
+            best = obj_[j];
+            enter = j;
+          }
+        }
+      } else {  // Bland: smallest eligible index.
+        for (std::size_t j = 0; j < barred_from; ++j) {
+          if (obj_[j] < -tol_) {
+            enter = j;
+            break;
+          }
+        }
+      }
+      if (enter == num_cols_) return SolveStatus::kOptimal;
+
+      // Ratio test.
+      std::size_t leave = num_rows();
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < num_rows(); ++i) {
+        const double a = rows_[i][enter];
+        if (a > tol_) {
+          const double ratio = rhs_[i] / a;
+          if (ratio < best_ratio - tol_ ||
+              (ratio < best_ratio + tol_ && leave < num_rows() &&
+               basis_[i] < basis_[leave])) {
+            best_ratio = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave == num_rows()) return SolveStatus::kUnbounded;
+      if (best_ratio <= tol_) {
+        ++stall;  // degenerate pivot; consider switching to Bland
+      } else {
+        stall = 0;
+      }
+      Pivot(leave, enter);
+      ++*iterations;
+    }
+  }
+
+  /// Gauss-Jordan pivot making column `enter` basic in row `leave`.
+  void Pivot(std::size_t leave, std::size_t enter) {
+    std::vector<double>& prow = rows_[leave];
+    const double p = prow[enter];
+    assert(std::fabs(p) > 0.0);
+    const double inv = 1.0 / p;
+    for (double& v : prow) v *= inv;
+    rhs_[leave] *= inv;
+    prow[enter] = 1.0;  // exact
+    for (std::size_t i = 0; i < num_rows(); ++i) {
+      if (i == leave) continue;
+      const double f = rows_[i][enter];
+      if (f == 0.0) continue;
+      std::vector<double>& row = rows_[i];
+      for (std::size_t j = 0; j < num_cols_; ++j) row[j] -= f * prow[j];
+      row[enter] = 0.0;  // exact
+      rhs_[i] -= f * rhs_[leave];
+      if (std::fabs(rhs_[i]) < 1e-13) rhs_[i] = 0.0;
+    }
+    const double fo = obj_[enter];
+    if (fo != 0.0) {
+      for (std::size_t j = 0; j < num_cols_; ++j) obj_[j] -= fo * prow[j];
+      obj_[enter] = 0.0;
+      obj_value_ -= fo * rhs_[leave];
+    }
+    basis_[leave] = enter;
+  }
+
+  /// After phase 1: pivot artificial variables out of the basis where
+  /// possible; rows where no structural/slack pivot exists are redundant
+  /// and zeroed.
+  void DriveOutArtificials(std::size_t* iterations) {
+    for (std::size_t i = 0; i < num_rows(); ++i) {
+      if (basis_[i] < first_artificial_) continue;
+      // Find any eligible non-artificial column with nonzero coefficient.
+      std::size_t enter = num_cols_;
+      for (std::size_t j = 0; j < first_artificial_; ++j) {
+        if (std::fabs(rows_[i][j]) > tol_) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter == num_cols_) {
+        // Redundant constraint (rhs must be ~0 after feasible phase 1).
+        continue;
+      }
+      Pivot(i, enter);
+      ++*iterations;
+    }
+  }
+
+  double objective_value() const { return obj_value_; }
+  double rhs(std::size_t i) const { return rhs_[i]; }
+
+  /// Extracts structural-variable values from the basis.
+  std::vector<double> ExtractPrimal() const {
+    std::vector<double> x(num_structural_, 0.0);
+    for (std::size_t i = 0; i < num_rows(); ++i) {
+      if (basis_[i] < num_structural_) x[basis_[i]] = rhs_[i];
+    }
+    return x;
+  }
+
+ private:
+  static constexpr std::size_t kStallSwitch = 64;
+
+  double tol_;
+  std::size_t num_structural_ = 0;
+  std::size_t num_cols_ = 0;
+  std::size_t first_artificial_ = 0;
+  std::vector<std::vector<double>> rows_;
+  std::vector<double> rhs_;
+  std::vector<std::size_t> basis_;
+  std::vector<double> obj_;
+  double obj_value_ = 0.0;
+};
+
+Status ValidateLp(const LinearProgram& lp) {
+  if (lp.objective.empty()) {
+    return Status::InvalidArgument("Simplex: empty objective");
+  }
+  for (double c : lp.objective) {
+    if (!std::isfinite(c)) {
+      return Status::InvalidArgument("Simplex: non-finite objective coeff");
+    }
+  }
+  for (std::size_t i = 0; i < lp.constraints.size(); ++i) {
+    const auto& c = lp.constraints[i];
+    if (c.coeffs.size() != lp.num_variables()) {
+      return Status::InvalidArgument(
+          "Simplex: constraint " + std::to_string(i) + " arity " +
+          std::to_string(c.coeffs.size()) + " != num variables " +
+          std::to_string(lp.num_variables()));
+    }
+    if (!std::isfinite(c.rhs)) {
+      return Status::InvalidArgument("Simplex: non-finite rhs");
+    }
+    for (double a : c.coeffs) {
+      if (!std::isfinite(a)) {
+        return Status::InvalidArgument("Simplex: non-finite coefficient");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<LpSolution> SimplexSolver::Solve(const LinearProgram& lp,
+                                          const Options& options) {
+  TCDP_RETURN_IF_ERROR(ValidateLp(lp));
+
+  Tableau tableau(lp, options.tol);
+  LpSolution solution;
+  solution.iterations = 0;
+
+  // Phase 1: maximize -(sum of artificials) until it reaches 0.
+  if (tableau.has_artificials()) {
+    std::vector<double> phase1(tableau.num_cols(), 0.0);
+    for (std::size_t j = tableau.first_artificial(); j < tableau.num_cols();
+         ++j) {
+      phase1[j] = -1.0;
+    }
+    SolveStatus s =
+        tableau.Optimize(phase1, tableau.num_cols(), options.max_iterations,
+                         options.dantzig_pricing, &solution.iterations);
+    if (s == SolveStatus::kIterationLimit) {
+      solution.status = s;
+      return solution;
+    }
+    // Unbounded is impossible in phase 1 (objective bounded above by 0).
+    if (tableau.objective_value() < -1e-7) {
+      solution.status = SolveStatus::kInfeasible;
+      return solution;
+    }
+    tableau.DriveOutArtificials(&solution.iterations);
+  }
+
+  // Phase 2: the real objective over structural columns, artificials
+  // barred from entering.
+  std::vector<double> cost(tableau.num_cols(), 0.0);
+  const double sign = lp.maximize ? 1.0 : -1.0;
+  for (std::size_t j = 0; j < lp.num_variables(); ++j) {
+    cost[j] = sign * lp.objective[j];
+  }
+  SolveStatus s =
+      tableau.Optimize(cost, tableau.first_artificial(),
+                       options.max_iterations, options.dantzig_pricing,
+                       &solution.iterations);
+  solution.status = s;
+  if (s == SolveStatus::kOptimal) {
+    solution.x = tableau.ExtractPrimal();
+    solution.objective_value = sign * tableau.objective_value();
+  }
+  return solution;
+}
+
+}  // namespace tcdp

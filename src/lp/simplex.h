@@ -1,0 +1,44 @@
+#ifndef TCDP_LP_SIMPLEX_H_
+#define TCDP_LP_SIMPLEX_H_
+
+/// \file
+/// Dense two-phase primal simplex (Dantzig [10]) with Bland's anti-cycling
+/// rule. This is the generic-solver baseline of the paper's Figure 5: the
+/// stand-in for Gurobi/lp_solve in an offline environment (see DESIGN.md,
+/// "Deviations").
+///
+/// The implementation is tableau-based and intentionally straightforward:
+/// correctness and faithful asymptotics over micro-optimization.
+
+#include "common/status.h"
+#include "lp/lp_problem.h"
+
+namespace tcdp {
+
+/// Options for the simplex solver.
+struct SimplexOptions {
+  /// Pivot limit across both phases.
+  std::size_t max_iterations = 200000;
+  /// Numerical tolerance for reduced costs / feasibility.
+  double tol = 1e-9;
+  /// Use Dantzig's most-negative rule until stalling, then Bland.
+  /// Pure Bland (false) is slower but provably cycle-free.
+  bool dantzig_pricing = true;
+};
+
+/// \brief Two-phase dense simplex solver.
+class SimplexSolver {
+ public:
+  using Options = SimplexOptions;
+
+  /// Solves \p lp. Returns InvalidArgument on malformed input (empty
+  /// objective, constraint arity mismatch, non-finite coefficients).
+  /// Infeasibility/unboundedness are reported in LpSolution::status, not
+  /// as errors.
+  static StatusOr<LpSolution> Solve(const LinearProgram& lp,
+                                    const Options& options = {});
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_LP_SIMPLEX_H_

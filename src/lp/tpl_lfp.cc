@@ -1,0 +1,159 @@
+#include "lp/tpl_lfp.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/math_util.h"
+#include "lp/dinkelbach.h"
+#include "lp/linear_fractional.h"
+
+namespace tcdp {
+namespace {
+
+Status ValidatePair(const std::vector<double>& q, const std::vector<double>& d,
+                    double alpha) {
+  if (q.size() != d.size()) {
+    return Status::InvalidArgument("TplLfp: |q| != |d|");
+  }
+  if (q.size() < 2) {
+    return Status::InvalidArgument("TplLfp: need at least 2 variables");
+  }
+  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument("TplLfp: alpha must be finite and >= 0");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<LinearFractionalProgram> BuildPairwiseTplLfp(
+    const std::vector<double>& q, const std::vector<double>& d, double alpha) {
+  TCDP_RETURN_IF_ERROR(ValidatePair(q, d, alpha));
+  const std::size_t n = q.size();
+  const double ratio = std::exp(alpha);
+
+  LinearFractionalProgram lfp;
+  lfp.numerator = q;
+  lfp.denominator = d;
+  lfp.constraints.reserve(n * (n - 1) + n);
+  // x_j - e^alpha x_k <= 0 for every ordered pair (j, k), j != k.
+  // Together the two orientations encode e^-alpha <= x_j/x_k <= e^alpha.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (j == k) continue;
+      LinearConstraint c;
+      c.coeffs.assign(n, 0.0);
+      c.coeffs[j] = 1.0;
+      c.coeffs[k] = -ratio;
+      c.relation = Relation::kLessEqual;
+      c.rhs = 0.0;
+      lfp.constraints.push_back(std::move(c));
+    }
+  }
+  // Unit box (closure of the paper's 0 < x_j < 1).
+  for (std::size_t j = 0; j < n; ++j) {
+    LinearConstraint c;
+    c.coeffs.assign(n, 0.0);
+    c.coeffs[j] = 1.0;
+    c.relation = Relation::kLessEqual;
+    c.rhs = 1.0;
+    lfp.constraints.push_back(std::move(c));
+  }
+  return lfp;
+}
+
+StatusOr<LinearFractionalProgram> BuildCompactTplLfp(
+    const std::vector<double>& q, const std::vector<double>& d, double alpha) {
+  TCDP_RETURN_IF_ERROR(ValidatePair(q, d, alpha));
+  const std::size_t n = q.size();
+  const double ratio = std::exp(alpha);
+  const std::size_t var_m = n;      // lower envelope
+  const std::size_t var_cap = n + 1;  // upper envelope ("M")
+  const std::size_t total = n + 2;
+
+  LinearFractionalProgram lfp;
+  lfp.numerator.assign(total, 0.0);
+  lfp.denominator.assign(total, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    lfp.numerator[j] = q[j];
+    lfp.denominator[j] = d[j];
+  }
+  auto zero_row = [&] {
+    LinearConstraint c;
+    c.coeffs.assign(total, 0.0);
+    c.relation = Relation::kLessEqual;
+    c.rhs = 0.0;
+    return c;
+  };
+  for (std::size_t j = 0; j < n; ++j) {
+    // m - x_j <= 0.
+    LinearConstraint lo = zero_row();
+    lo.coeffs[var_m] = 1.0;
+    lo.coeffs[j] = -1.0;
+    lfp.constraints.push_back(std::move(lo));
+    // x_j - M <= 0.
+    LinearConstraint hi = zero_row();
+    hi.coeffs[j] = 1.0;
+    hi.coeffs[var_cap] = -1.0;
+    lfp.constraints.push_back(std::move(hi));
+  }
+  // M - e^alpha m <= 0.
+  LinearConstraint link = zero_row();
+  link.coeffs[var_cap] = 1.0;
+  link.coeffs[var_m] = -ratio;
+  lfp.constraints.push_back(std::move(link));
+  // M <= 1 (unit box).
+  LinearConstraint box = zero_row();
+  box.coeffs[var_cap] = 1.0;
+  box.rhs = 1.0;
+  lfp.constraints.push_back(std::move(box));
+  return lfp;
+}
+
+StatusOr<double> PairLossViaLfp(const std::vector<double>& q,
+                                const std::vector<double>& d, double alpha,
+                                LfpMethod method, LfpFormulation formulation,
+                                const SimplexSolver::Options& options) {
+  StatusOr<LinearFractionalProgram> lfp =
+      formulation == LfpFormulation::kPairwise
+          ? BuildPairwiseTplLfp(q, d, alpha)
+          : BuildCompactTplLfp(q, d, alpha);
+  TCDP_RETURN_IF_ERROR(lfp.status());
+
+  StatusOr<LpSolution> sol =
+      method == LfpMethod::kCharnesCooper
+          ? SolveLfpByCharnesCooper(*lfp, options)
+          : SolveLfpByDinkelbach(*lfp, options);
+  TCDP_RETURN_IF_ERROR(sol.status());
+  if (sol->status != SolveStatus::kOptimal) {
+    return Status::Internal(
+        std::string("PairLossViaLfp: solver terminated with ") +
+        SolveStatusToString(sol->status));
+  }
+  return SafeLog(sol->objective_value);
+}
+
+StatusOr<double> TemporalLossViaLfp(const StochasticMatrix& matrix,
+                                    double alpha, LfpMethod method,
+                                    LfpFormulation formulation,
+                                    const SimplexSolver::Options& options) {
+  const std::size_t n = matrix.size();
+  if (n < 2) {
+    return Status::InvalidArgument("TemporalLossViaLfp: need n >= 2");
+  }
+  double best = 0.0;
+  for (std::size_t a = 0; a < n; ++a) {
+    const std::vector<double> q = matrix.Row(a);
+    for (std::size_t b = 0; b < n; ++b) {
+      if (a == b) continue;
+      const std::vector<double> d = matrix.Row(b);
+      TCDP_ASSIGN_OR_RETURN(
+          double loss, PairLossViaLfp(q, d, alpha, method, formulation,
+                                      options));
+      if (loss > best) best = loss;
+    }
+  }
+  return best;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,66 @@
+#ifndef TCDP_LP_TPL_LFP_H_
+#define TCDP_LP_TPL_LFP_H_
+
+/// \file
+/// Builders for the paper's linear-fractional program (18)–(20):
+///
+///   maximize  (q . x) / (d . x)
+///   subject to  e^{-alpha} <= x_j / x_k <= e^{alpha}  for all j,k
+///               0 < x_j < 1
+///
+/// where q and d are two rows of a transition matrix and alpha is the
+/// previous BPL (or next FPL). The log of the optimum is the loss
+/// increment L(alpha) for that row pair.
+///
+/// Two encodings of the ratio constraints are provided:
+///  * kPairwise — the natural n(n-1) constraint form the paper feeds to
+///    generic solvers (x_j - e^alpha x_k <= 0 for every ordered pair).
+///  * kCompact — an equivalent 2n+1 constraint reformulation with two
+///    auxiliary variables m <= x_j <= M, M <= e^alpha m (ablation; see
+///    DESIGN.md Section 4).
+
+#include "common/status.h"
+#include "lp/lp_problem.h"
+#include "lp/simplex.h"
+#include "markov/stochastic_matrix.h"
+
+namespace tcdp {
+
+/// Ratio-constraint encoding.
+enum class LfpFormulation { kPairwise, kCompact };
+
+/// Generic LFP solution route.
+enum class LfpMethod { kCharnesCooper, kDinkelbach };
+
+/// \brief Builds the paper's LFP for one ordered row pair (q, d) using the
+/// natural pairwise encoding. Variables: x_1..x_n.
+/// Returns InvalidArgument if sizes mismatch, n < 2, or alpha < 0.
+StatusOr<LinearFractionalProgram> BuildPairwiseTplLfp(
+    const std::vector<double>& q, const std::vector<double>& d, double alpha);
+
+/// \brief Same feasible region encoded with auxiliary bounds m, M
+/// (variables x_1..x_n, m, M). The two extra variables do not enter the
+/// objective.
+StatusOr<LinearFractionalProgram> BuildCompactTplLfp(
+    const std::vector<double>& q, const std::vector<double>& d, double alpha);
+
+/// \brief Loss increment for one ordered row pair via a generic solver:
+/// log of the LFP optimum. This is the slow baseline route of Figure 5.
+StatusOr<double> PairLossViaLfp(const std::vector<double>& q,
+                                const std::vector<double>& d, double alpha,
+                                LfpMethod method, LfpFormulation formulation,
+                                const SimplexSolver::Options& options = {});
+
+/// \brief Full loss function L(alpha) for a transition matrix via a
+/// generic solver: maximum pair loss over all ordered pairs of distinct
+/// rows. O(n^2) LFP solves — exactly what feeding the problem to
+/// Gurobi/lp_solve entails. Serves as the correctness oracle for
+/// Algorithm 1 in property tests.
+StatusOr<double> TemporalLossViaLfp(const StochasticMatrix& matrix,
+                                    double alpha, LfpMethod method,
+                                    LfpFormulation formulation,
+                                    const SimplexSolver::Options& options = {});
+
+}  // namespace tcdp
+
+#endif  // TCDP_LP_TPL_LFP_H_

@@ -1,0 +1,109 @@
+#include "markov/estimation.h"
+
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace tcdp {
+namespace {
+
+Status ValidateTrajectories(const std::vector<Trajectory>& trajectories,
+                            std::size_t num_states) {
+  if (num_states == 0) {
+    return Status::InvalidArgument("Estimate: num_states must be positive");
+  }
+  for (const auto& traj : trajectories) {
+    for (std::size_t s : traj) {
+      if (s >= num_states) {
+        return Status::InvalidArgument(
+            "Estimate: state index " + std::to_string(s) +
+            " out of range [0," + std::to_string(num_states) + ")");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<StochasticMatrix> EstimateFromCounts(
+    const std::vector<Trajectory>& trajectories, std::size_t num_states,
+    const EstimationOptions& options, bool backward) {
+  TCDP_RETURN_IF_ERROR(ValidateTrajectories(trajectories, num_states));
+  if (options.additive_smoothing < 0.0) {
+    return Status::InvalidArgument(
+        "Estimate: additive_smoothing must be >= 0");
+  }
+  Matrix counts(num_states, num_states, options.additive_smoothing);
+  bool any_pair = false;
+  for (const auto& traj : trajectories) {
+    for (std::size_t t = 1; t < traj.size(); ++t) {
+      any_pair = true;
+      if (backward) {
+        counts.At(traj[t], traj[t - 1]) += 1.0;
+      } else {
+        counts.At(traj[t - 1], traj[t]) += 1.0;
+      }
+    }
+  }
+  if (!any_pair && options.additive_smoothing == 0.0) {
+    return Status::InvalidArgument(
+        "Estimate: no transition pairs observed (all trajectories have "
+        "length < 2) and no smoothing requested");
+  }
+  for (std::size_t r = 0; r < num_states; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < num_states; ++c) sum += counts.At(r, c);
+    if (sum == 0.0) {
+      // Unobserved state: fall back to the uniform row (max-entropy).
+      for (std::size_t c = 0; c < num_states; ++c) {
+        counts.At(r, c) = 1.0 / static_cast<double>(num_states);
+      }
+    } else {
+      for (std::size_t c = 0; c < num_states; ++c) counts.At(r, c) /= sum;
+    }
+  }
+  return StochasticMatrix::Create(std::move(counts));
+}
+
+}  // namespace
+
+StatusOr<StochasticMatrix> EstimateForwardTransition(
+    const std::vector<Trajectory>& trajectories, std::size_t num_states,
+    const EstimationOptions& options) {
+  return EstimateFromCounts(trajectories, num_states, options,
+                            /*backward=*/false);
+}
+
+StatusOr<StochasticMatrix> EstimateBackwardTransition(
+    const std::vector<Trajectory>& trajectories, std::size_t num_states,
+    const EstimationOptions& options) {
+  return EstimateFromCounts(trajectories, num_states, options,
+                            /*backward=*/true);
+}
+
+StatusOr<std::vector<double>> EstimateInitialDistribution(
+    const std::vector<Trajectory>& trajectories, std::size_t num_states,
+    const EstimationOptions& options) {
+  TCDP_RETURN_IF_ERROR(ValidateTrajectories(trajectories, num_states));
+  if (options.additive_smoothing < 0.0) {
+    return Status::InvalidArgument(
+        "Estimate: additive_smoothing must be >= 0");
+  }
+  std::vector<double> counts(num_states, options.additive_smoothing);
+  bool any = false;
+  for (const auto& traj : trajectories) {
+    if (!traj.empty()) {
+      counts[traj.front()] += 1.0;
+      any = true;
+    }
+  }
+  if (!any && options.additive_smoothing == 0.0) {
+    return Status::InvalidArgument(
+        "EstimateInitialDistribution: no non-empty trajectories");
+  }
+  double sum = 0.0;
+  for (double c : counts) sum += c;
+  for (double& c : counts) c /= sum;
+  return counts;
+}
+
+}  // namespace tcdp

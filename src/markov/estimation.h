@@ -1,0 +1,51 @@
+#ifndef TCDP_MARKOV_ESTIMATION_H_
+#define TCDP_MARKOV_ESTIMATION_H_
+
+/// \file
+/// Learning temporal correlations from observed trajectories — the
+/// adversary's knowledge-acquisition step the paper points to in
+/// Section III-A ("Maximum Likelihood estimation (supervised)").
+///
+/// Forward estimation counts t-1 -> t transitions; backward estimation
+/// counts t -> t-1 transitions (equivalently, MLE on reversed
+/// trajectories).
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "markov/markov_chain.h"
+#include "markov/stochastic_matrix.h"
+
+namespace tcdp {
+
+/// Options for transition-matrix MLE.
+struct EstimationOptions {
+  /// Additive (add-k / Laplace) smoothing applied to every count.
+  /// 0 = raw MLE; rows with no observations become uniform.
+  double additive_smoothing = 0.0;
+};
+
+/// \brief MLE of the forward transition matrix Pr(l^t | l^{t-1}).
+///
+/// Returns InvalidArgument if \p num_states is 0, any trajectory contains
+/// a state index >= num_states, or all trajectories are shorter than 2.
+StatusOr<StochasticMatrix> EstimateForwardTransition(
+    const std::vector<Trajectory>& trajectories, std::size_t num_states,
+    const EstimationOptions& options = {});
+
+/// \brief MLE of the backward transition matrix Pr(l^{t-1} | l^t):
+/// identical machinery on time-reversed trajectories.
+StatusOr<StochasticMatrix> EstimateBackwardTransition(
+    const std::vector<Trajectory>& trajectories, std::size_t num_states,
+    const EstimationOptions& options = {});
+
+/// \brief Empirical distribution of first states (with optional additive
+/// smoothing). Returns InvalidArgument on empty input or bad indices.
+StatusOr<std::vector<double>> EstimateInitialDistribution(
+    const std::vector<Trajectory>& trajectories, std::size_t num_states,
+    const EstimationOptions& options = {});
+
+}  // namespace tcdp
+
+#endif  // TCDP_MARKOV_ESTIMATION_H_

@@ -1,0 +1,168 @@
+#include "markov/higher_order.h"
+
+#include <cassert>
+#include <string>
+
+#include "common/math_util.h"
+
+namespace tcdp {
+
+StatusOr<std::size_t> PowChecked(std::size_t base, std::size_t exp,
+                                 std::size_t limit) {
+  std::size_t result = 1;
+  for (std::size_t i = 0; i < exp; ++i) {
+    if (base != 0 && result > limit / base) {
+      return Status::InvalidArgument(
+          "PowChecked: " + std::to_string(base) + "^" + std::to_string(exp) +
+          " exceeds the limit " + std::to_string(limit));
+    }
+    result *= base;
+  }
+  return result;
+}
+
+StatusOr<HigherOrderChain> HigherOrderChain::Create(std::size_t num_values,
+                                                    std::size_t order,
+                                                    Matrix table) {
+  if (num_values < 2) {
+    return Status::InvalidArgument("HigherOrderChain: need >= 2 values");
+  }
+  if (order < 1) {
+    return Status::InvalidArgument("HigherOrderChain: order must be >= 1");
+  }
+  TCDP_ASSIGN_OR_RETURN(std::size_t histories, PowChecked(num_values, order));
+  if (table.rows() != histories || table.cols() != num_values) {
+    return Status::InvalidArgument(
+        "HigherOrderChain: table must be " + std::to_string(histories) +
+        "x" + std::to_string(num_values) + ", got " +
+        std::to_string(table.rows()) + "x" + std::to_string(table.cols()));
+  }
+  for (std::size_t r = 0; r < table.rows(); ++r) {
+    if (!IsProbabilityVector(table.Row(r), 1e-6)) {
+      return Status::InvalidArgument(
+          "HigherOrderChain: row " + std::to_string(r) +
+          " is not a probability vector");
+    }
+  }
+  return HigherOrderChain(num_values, order, std::move(table));
+}
+
+StatusOr<HigherOrderChain> HigherOrderChain::Estimate(
+    const std::vector<Trajectory>& trajectories, std::size_t num_values,
+    std::size_t order, double additive_smoothing) {
+  if (num_values < 2 || order < 1) {
+    return Status::InvalidArgument("Estimate: bad num_values/order");
+  }
+  if (additive_smoothing < 0.0) {
+    return Status::InvalidArgument("Estimate: negative smoothing");
+  }
+  TCDP_ASSIGN_OR_RETURN(std::size_t histories, PowChecked(num_values, order));
+  Matrix counts(histories, num_values, additive_smoothing);
+  bool any = false;
+  for (const auto& traj : trajectories) {
+    for (std::size_t s : traj) {
+      if (s >= num_values) {
+        return Status::InvalidArgument("Estimate: state index out of range");
+      }
+    }
+    if (traj.size() <= order) continue;
+    // Sliding window: encode history, count the next value.
+    for (std::size_t t = order; t < traj.size(); ++t) {
+      std::size_t code = 0;
+      for (std::size_t k = t - order; k < t; ++k) {
+        code = code * num_values + traj[k];
+      }
+      counts.At(code, traj[t]) += 1.0;
+      any = true;
+    }
+  }
+  if (!any && additive_smoothing == 0.0) {
+    return Status::InvalidArgument(
+        "Estimate: no window of length order+1 observed and no smoothing");
+  }
+  for (std::size_t r = 0; r < histories; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < num_values; ++c) sum += counts.At(r, c);
+    if (sum == 0.0) {
+      for (std::size_t c = 0; c < num_values; ++c) {
+        counts.At(r, c) = 1.0 / static_cast<double>(num_values);
+      }
+    } else {
+      for (std::size_t c = 0; c < num_values; ++c) counts.At(r, c) /= sum;
+    }
+  }
+  return HigherOrderChain(num_values, order, std::move(counts));
+}
+
+StatusOr<std::size_t> HigherOrderChain::EncodeHistory(
+    const std::vector<std::size_t>& history) const {
+  if (history.size() != order_) {
+    return Status::OutOfRange("EncodeHistory: window size != order");
+  }
+  std::size_t code = 0;
+  for (std::size_t v : history) {
+    if (v >= num_values_) {
+      return Status::OutOfRange("EncodeHistory: value outside domain");
+    }
+    code = code * num_values_ + v;
+  }
+  return code;
+}
+
+std::vector<std::size_t> HigherOrderChain::DecodeHistory(
+    std::size_t index) const {
+  std::vector<std::size_t> history(order_, 0);
+  for (std::size_t k = order_; k-- > 0;) {
+    history[k] = index % num_values_;
+    index /= num_values_;
+  }
+  return history;
+}
+
+StatusOr<double> HigherOrderChain::TransitionProbability(
+    const std::vector<std::size_t>& history, std::size_t next) const {
+  if (next >= num_values_) {
+    return Status::OutOfRange("TransitionProbability: next outside domain");
+  }
+  TCDP_ASSIGN_OR_RETURN(std::size_t code, EncodeHistory(history));
+  return table_.At(code, next);
+}
+
+StochasticMatrix HigherOrderChain::EmbedAsFirstOrder() const {
+  const std::size_t histories = num_histories();
+  Matrix embedded(histories, histories, 0.0);
+  for (std::size_t code = 0; code < histories; ++code) {
+    // Shifting the window drops the most significant value and appends
+    // the new one: next_code = (code mod n^{k-1}) * n + next.
+    const std::size_t shifted =
+        (code % (histories / num_values_)) * num_values_;
+    for (std::size_t next = 0; next < num_values_; ++next) {
+      embedded.At(code, shifted + next) = table_.At(code, next);
+    }
+  }
+  auto result = StochasticMatrix::Create(std::move(embedded));
+  assert(result.ok());
+  return std::move(result).value();
+}
+
+Trajectory HigherOrderChain::Simulate(std::size_t horizon, Rng* rng) const {
+  assert(rng != nullptr && horizon >= order_);
+  Trajectory traj;
+  traj.reserve(horizon);
+  for (std::size_t k = 0; k < order_ && k < horizon; ++k) {
+    traj.push_back(static_cast<std::size_t>(
+        rng->UniformInt(0, static_cast<std::int64_t>(num_values_) - 1)));
+  }
+  while (traj.size() < horizon) {
+    std::size_t code = 0;
+    for (std::size_t k = traj.size() - order_; k < traj.size(); ++k) {
+      code = code * num_values_ + traj[k];
+    }
+    auto next = rng->Discrete(table_.Row(code));
+    assert(next.ok());
+    traj.push_back(next.value());
+  }
+  return traj;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,281 @@
+#include "markov/hmm.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "common/math_util.h"
+
+namespace tcdp {
+
+StatusOr<HiddenMarkovModel> HiddenMarkovModel::Create(
+    std::vector<double> initial, StochasticMatrix transition,
+    Matrix emission) {
+  const std::size_t n = transition.size();
+  if (n == 0) return Status::InvalidArgument("HMM: empty transition");
+  if (initial.size() != n) {
+    return Status::InvalidArgument("HMM: initial size != num states");
+  }
+  if (!IsProbabilityVector(initial, 1e-6)) {
+    return Status::InvalidArgument("HMM: initial is not a distribution");
+  }
+  if (emission.rows() != n || emission.cols() == 0) {
+    return Status::InvalidArgument("HMM: emission shape mismatch");
+  }
+  for (std::size_t r = 0; r < n; ++r) {
+    if (!IsProbabilityVector(emission.Row(r), 1e-6)) {
+      return Status::InvalidArgument(
+          "HMM: emission row " + std::to_string(r) +
+          " is not a distribution");
+    }
+  }
+  NormalizeInPlace(&initial);
+  return HiddenMarkovModel(std::move(initial), std::move(transition),
+                           std::move(emission));
+}
+
+HiddenMarkovModel HiddenMarkovModel::Random(std::size_t num_states,
+                                            std::size_t num_observations,
+                                            Rng* rng) {
+  assert(num_states > 0 && num_observations > 0 && rng != nullptr);
+  std::vector<double> initial(num_states);
+  for (double& p : initial) p = rng->Uniform() + 1e-6;
+  NormalizeInPlace(&initial);
+  StochasticMatrix a = StochasticMatrix::Random(num_states, rng);
+  Matrix b(num_states, num_observations);
+  for (std::size_t r = 0; r < num_states; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < num_observations; ++c) {
+      const double v = rng->Uniform() + 1e-6;
+      b.At(r, c) = v;
+      sum += v;
+    }
+    for (std::size_t c = 0; c < num_observations; ++c) b.At(r, c) /= sum;
+  }
+  auto model = Create(std::move(initial), std::move(a), std::move(b));
+  assert(model.ok());
+  return std::move(model).value();
+}
+
+StatusOr<double> HiddenMarkovModel::ForwardBackward(
+    const ObservationSequence& obs, Matrix* alpha, Matrix* beta,
+    std::vector<double>* scale) const {
+  const std::size_t n = num_states();
+  const std::size_t t_len = obs.size();
+  if (t_len == 0) {
+    return Status::InvalidArgument("HMM: empty observation sequence");
+  }
+  for (std::size_t o : obs) {
+    if (o >= num_observations()) {
+      return Status::InvalidArgument("HMM: observation symbol out of range");
+    }
+  }
+  *alpha = Matrix(t_len, n, 0.0);
+  *beta = Matrix(t_len, n, 0.0);
+  scale->assign(t_len, 0.0);
+
+  // Scaled forward pass.
+  double ll = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    alpha->At(0, i) = initial_[i] * emission_.At(i, obs[0]);
+  }
+  for (std::size_t t = 0; t < t_len; ++t) {
+    if (t > 0) {
+      for (std::size_t j = 0; j < n; ++j) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          acc += alpha->At(t - 1, i) * transition_.At(i, j);
+        }
+        alpha->At(t, j) = acc * emission_.At(j, obs[t]);
+      }
+    }
+    double norm = 0.0;
+    for (std::size_t i = 0; i < n; ++i) norm += alpha->At(t, i);
+    if (norm <= 0.0) {
+      return Status::FailedPrecondition(
+          "HMM: observation sequence has probability zero under the model");
+    }
+    (*scale)[t] = norm;
+    ll += std::log(norm);
+    for (std::size_t i = 0; i < n; ++i) alpha->At(t, i) /= norm;
+  }
+
+  // Scaled backward pass (same per-step scales).
+  for (std::size_t i = 0; i < n; ++i) beta->At(t_len - 1, i) = 1.0;
+  for (std::size_t t = t_len - 1; t-- > 0;) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t j = 0; j < n; ++j) {
+        acc += transition_.At(i, j) * emission_.At(j, obs[t + 1]) *
+               beta->At(t + 1, j);
+      }
+      beta->At(t, i) = acc / (*scale)[t + 1];
+    }
+  }
+  return ll;
+}
+
+StatusOr<double> HiddenMarkovModel::LogLikelihood(
+    const ObservationSequence& obs) const {
+  Matrix alpha, beta;
+  std::vector<double> scale;
+  return ForwardBackward(obs, &alpha, &beta, &scale);
+}
+
+void HiddenMarkovModel::Sample(std::size_t horizon, Rng* rng,
+                               Trajectory* hidden,
+                               ObservationSequence* observed) const {
+  assert(horizon >= 1 && rng != nullptr && hidden != nullptr &&
+         observed != nullptr);
+  hidden->clear();
+  observed->clear();
+  auto first = rng->Discrete(initial_);
+  assert(first.ok());
+  std::size_t state = first.value();
+  for (std::size_t t = 0; t < horizon; ++t) {
+    if (t > 0) {
+      auto next = rng->Discrete(transition_.Row(state));
+      assert(next.ok());
+      state = next.value();
+    }
+    hidden->push_back(state);
+    auto obs = rng->Discrete(emission_.Row(state));
+    assert(obs.ok());
+    observed->push_back(obs.value());
+  }
+}
+
+StatusOr<Trajectory> HiddenMarkovModel::Viterbi(
+    const ObservationSequence& obs) const {
+  const std::size_t n = num_states();
+  const std::size_t t_len = obs.size();
+  if (t_len == 0) {
+    return Status::InvalidArgument("Viterbi: empty observation sequence");
+  }
+  for (std::size_t o : obs) {
+    if (o >= num_observations()) {
+      return Status::InvalidArgument("Viterbi: symbol out of range");
+    }
+  }
+  Matrix delta(t_len, n, -kInf);
+  std::vector<std::vector<std::size_t>> parent(
+      t_len, std::vector<std::size_t>(n, 0));
+  for (std::size_t i = 0; i < n; ++i) {
+    delta.At(0, i) = SafeLog(initial_[i]) + SafeLog(emission_.At(i, obs[0]));
+  }
+  for (std::size_t t = 1; t < t_len; ++t) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double best = -kInf;
+      std::size_t arg = 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double cand = delta.At(t - 1, i) + SafeLog(transition_.At(i, j));
+        if (cand > best) {
+          best = cand;
+          arg = i;
+        }
+      }
+      delta.At(t, j) = best + SafeLog(emission_.At(j, obs[t]));
+      parent[t][j] = arg;
+    }
+  }
+  double best = -kInf;
+  std::size_t arg = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (delta.At(t_len - 1, i) > best) {
+      best = delta.At(t_len - 1, i);
+      arg = i;
+    }
+  }
+  if (!std::isfinite(best)) {
+    return Status::FailedPrecondition(
+        "Viterbi: sequence has probability zero under the model");
+  }
+  Trajectory path(t_len);
+  path[t_len - 1] = arg;
+  for (std::size_t t = t_len - 1; t-- > 0;) {
+    path[t] = parent[t + 1][path[t + 1]];
+  }
+  return path;
+}
+
+StatusOr<HmmFitResult> HiddenMarkovModel::BaumWelch(
+    const std::vector<ObservationSequence>& sequences, std::size_t max_iters,
+    double tol) const {
+  if (sequences.empty()) {
+    return Status::InvalidArgument("BaumWelch: no sequences");
+  }
+  const std::size_t n = num_states();
+  const std::size_t m = num_observations();
+  HiddenMarkovModel current = *this;
+  HmmFitResult result{current, {}, false};
+
+  double prev_ll = -kInf;
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    // Accumulators (small pseudocount keeps rows normalizable).
+    const double kPseudo = 1e-12;
+    std::vector<double> pi_acc(n, kPseudo);
+    Matrix a_acc(n, n, kPseudo);
+    Matrix b_acc(n, m, kPseudo);
+    std::vector<double> gamma_state(n, kPseudo);  // sum over t<T-1 of gamma
+    double total_ll = 0.0;
+
+    for (const auto& obs : sequences) {
+      Matrix alpha, beta;
+      std::vector<double> scale;
+      TCDP_ASSIGN_OR_RETURN(
+          double ll, current.ForwardBackward(obs, &alpha, &beta, &scale));
+      total_ll += ll;
+      const std::size_t t_len = obs.size();
+      // gamma_t(i) = alpha_t(i) * beta_t(i) (scaled variants already
+      // normalized so that sum_i gamma_t(i) = 1).
+      for (std::size_t t = 0; t < t_len; ++t) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const double g = alpha.At(t, i) * beta.At(t, i);
+          if (t == 0) pi_acc[i] += g;
+          b_acc.At(i, obs[t]) += g;
+          if (t + 1 < t_len) gamma_state[i] += g;
+        }
+      }
+      // xi_t(i,j) = alpha_t(i) A(i,j) B(j,o_{t+1}) beta_{t+1}(j) / c_{t+1}
+      for (std::size_t t = 0; t + 1 < t_len; ++t) {
+        for (std::size_t i = 0; i < n; ++i) {
+          const double a_ti = alpha.At(t, i);
+          if (a_ti == 0.0) continue;
+          for (std::size_t j = 0; j < n; ++j) {
+            const double xi = a_ti * current.transition_.At(i, j) *
+                              current.emission_.At(j, obs[t + 1]) *
+                              beta.At(t + 1, j) / scale[t + 1];
+            a_acc.At(i, j) += xi;
+          }
+        }
+      }
+    }
+
+    result.log_likelihoods.push_back(total_ll);
+    // M-step: normalize accumulators.
+    NormalizeInPlace(&pi_acc);
+    Matrix a_new(n, n), b_new(n, m);
+    for (std::size_t i = 0; i < n; ++i) {
+      double a_row = 0.0;
+      for (std::size_t j = 0; j < n; ++j) a_row += a_acc.At(i, j);
+      for (std::size_t j = 0; j < n; ++j) a_new.At(i, j) = a_acc.At(i, j) / a_row;
+      double b_row = 0.0;
+      for (std::size_t k = 0; k < m; ++k) b_row += b_acc.At(i, k);
+      for (std::size_t k = 0; k < m; ++k) b_new.At(i, k) = b_acc.At(i, k) / b_row;
+    }
+    TCDP_ASSIGN_OR_RETURN(auto a_sm, StochasticMatrix::Create(a_new));
+    TCDP_ASSIGN_OR_RETURN(
+        current, HiddenMarkovModel::Create(pi_acc, std::move(a_sm),
+                                           std::move(b_new)));
+    if (std::isfinite(prev_ll) && total_ll - prev_ll < tol) {
+      result.converged = true;
+      result.model = current;
+      return result;
+    }
+    prev_ll = total_ll;
+  }
+  result.model = current;
+  return result;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,94 @@
+#ifndef TCDP_MARKOV_HMM_H_
+#define TCDP_MARKOV_HMM_H_
+
+/// \file
+/// Hidden Markov model with Baum–Welch (EM) learning — the paper's
+/// "unsupervised" route for an adversary to acquire temporal correlations
+/// from data it cannot observe directly (Section III-A).
+///
+/// Scaled forward-backward recursions avoid underflow on long sequences.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "markov/markov_chain.h"
+#include "markov/stochastic_matrix.h"
+
+namespace tcdp {
+
+/// An observation sequence o^1..o^T (indices into the observation domain).
+using ObservationSequence = std::vector<std::size_t>;
+
+struct HmmFitResult;
+
+/// \brief Discrete-emission HMM: initial distribution pi, hidden-state
+/// transition A (row-stochastic), emission B (hidden x observed,
+/// row-stochastic rows over observations).
+class HiddenMarkovModel {
+ public:
+  /// Validates dimensions: pi.size() == A.size() == B.rows(); B rows must
+  /// each be a probability vector over num_observations() symbols.
+  static StatusOr<HiddenMarkovModel> Create(std::vector<double> initial,
+                                            StochasticMatrix transition,
+                                            Matrix emission);
+
+  /// Random initialization for EM restarts.
+  static HiddenMarkovModel Random(std::size_t num_states,
+                                  std::size_t num_observations, Rng* rng);
+
+  std::size_t num_states() const { return transition_.size(); }
+  std::size_t num_observations() const { return emission_.cols(); }
+  const std::vector<double>& initial() const { return initial_; }
+  const StochasticMatrix& transition() const { return transition_; }
+  const Matrix& emission() const { return emission_; }
+
+  /// Log-likelihood of an observation sequence (scaled forward pass).
+  /// Returns InvalidArgument on an out-of-range observation symbol, and
+  /// FailedPrecondition if the sequence has probability zero.
+  StatusOr<double> LogLikelihood(const ObservationSequence& obs) const;
+
+  /// Samples hidden states and observations for \p horizon steps.
+  void Sample(std::size_t horizon, Rng* rng, Trajectory* hidden,
+              ObservationSequence* observed) const;
+
+  /// Most likely hidden trajectory (Viterbi, log domain).
+  StatusOr<Trajectory> Viterbi(const ObservationSequence& obs) const;
+
+  /// Runs Baum–Welch EM from this model as the starting point.
+  /// Stops after \p max_iters or when the log-likelihood improvement
+  /// falls below \p tol. The log-likelihood is non-decreasing across
+  /// iterations (EM guarantee) — property-tested.
+  StatusOr<HmmFitResult> BaumWelch(
+      const std::vector<ObservationSequence>& sequences,
+      std::size_t max_iters = 100, double tol = 1e-6) const;
+
+ private:
+  HiddenMarkovModel(std::vector<double> initial, StochasticMatrix transition,
+                    Matrix emission)
+      : initial_(std::move(initial)),
+        transition_(std::move(transition)),
+        emission_(std::move(emission)) {}
+
+  /// Scaled forward-backward pass. Outputs per-step scaling factors,
+  /// alpha-hat, beta-hat. Returns the log-likelihood.
+  StatusOr<double> ForwardBackward(const ObservationSequence& obs,
+                                   Matrix* alpha, Matrix* beta,
+                                   std::vector<double>* scale) const;
+
+  std::vector<double> initial_;
+  StochasticMatrix transition_;
+  Matrix emission_;
+};
+
+/// \brief Result of Baum–Welch training.
+struct HmmFitResult {
+  HiddenMarkovModel model;
+  std::vector<double> log_likelihoods;  ///< one entry per EM iteration
+  bool converged = false;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_MARKOV_HMM_H_

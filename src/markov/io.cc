@@ -1,0 +1,203 @@
+#include "markov/io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "linalg/matrix.h"
+
+namespace tcdp {
+namespace {
+
+/// Splits a line on commas and whitespace, skipping empty fields.
+std::vector<std::string> SplitFields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char ch : line) {
+    if (ch == ',' || ch == ' ' || ch == '\t' || ch == '\r') {
+      if (!current.empty()) {
+        fields.push_back(current);
+        current.clear();
+      }
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) fields.push_back(current);
+  return fields;
+}
+
+bool IsCommentOrBlank(const std::string& line) {
+  for (char ch : line) {
+    if (ch == '#') return true;
+    if (ch != ' ' && ch != '\t' && ch != '\r') return false;
+  }
+  return true;
+}
+
+StatusOr<double> ParseDouble(const std::string& field, std::size_t line_no) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(field.c_str(), &end);
+  if (end == field.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": cannot parse number '" + field + "'");
+  }
+  return value;
+}
+
+StatusOr<std::size_t> ParseIndex(const std::string& field,
+                                 std::size_t line_no) {
+  for (char ch : field) {
+    if (ch < '0' || ch > '9') {
+      return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                     ": cannot parse state index '" + field +
+                                     "'");
+    }
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(field.c_str(), &end, 10);
+  if (end == field.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("line " + std::to_string(line_no) +
+                                   ": cannot parse state index '" + field +
+                                   "'");
+  }
+  return static_cast<std::size_t>(value);
+}
+
+StatusOr<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::NotFound("cannot write file: " + path);
+  }
+  out << content;
+  if (!out) {
+    return Status::Internal("write failed for file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<StochasticMatrix> ParseStochasticMatrix(const std::string& text) {
+  std::vector<std::vector<double>> rows;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    std::vector<double> row;
+    for (const std::string& field : SplitFields(line)) {
+      TCDP_ASSIGN_OR_RETURN(double v, ParseDouble(field, line_no));
+      row.push_back(v);
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_no) + ": ragged row (got " +
+          std::to_string(row.size()) + " fields, expected " +
+          std::to_string(rows.front().size()) + ")");
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("matrix text contains no data rows");
+  }
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) m.SetRow(r, rows[r]);
+  return StochasticMatrix::Create(std::move(m));
+}
+
+std::string SerializeStochasticMatrix(const StochasticMatrix& matrix,
+                                      char separator) {
+  std::ostringstream out;
+  out.precision(17);
+  for (std::size_t r = 0; r < matrix.size(); ++r) {
+    for (std::size_t c = 0; c < matrix.size(); ++c) {
+      if (c > 0) out << separator;
+      out << matrix.At(r, c);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+StatusOr<StochasticMatrix> LoadStochasticMatrix(const std::string& path) {
+  TCDP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseStochasticMatrix(text);
+}
+
+Status SaveStochasticMatrix(const StochasticMatrix& matrix,
+                            const std::string& path) {
+  return WriteFile(path, SerializeStochasticMatrix(matrix));
+}
+
+StatusOr<std::vector<Trajectory>> ParseTrajectories(const std::string& text,
+                                                    std::size_t num_states) {
+  std::vector<Trajectory> trajectories;
+  std::istringstream stream(text);
+  std::string line;
+  std::size_t line_no = 0;
+  std::size_t max_state = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (IsCommentOrBlank(line)) continue;
+    Trajectory traj;
+    for (const std::string& field : SplitFields(line)) {
+      TCDP_ASSIGN_OR_RETURN(std::size_t s, ParseIndex(field, line_no));
+      if (num_states > 0 && s >= num_states) {
+        return Status::InvalidArgument(
+            "line " + std::to_string(line_no) + ": state " +
+            std::to_string(s) + " outside domain of size " +
+            std::to_string(num_states));
+      }
+      max_state = std::max(max_state, s);
+      traj.push_back(s);
+    }
+    if (traj.empty()) continue;
+    trajectories.push_back(std::move(traj));
+  }
+  if (trajectories.empty()) {
+    return Status::InvalidArgument("trajectory text contains no data rows");
+  }
+  (void)max_state;
+  return trajectories;
+}
+
+std::string SerializeTrajectories(const std::vector<Trajectory>& trajectories,
+                                  char separator) {
+  std::ostringstream out;
+  for (const Trajectory& traj : trajectories) {
+    for (std::size_t i = 0; i < traj.size(); ++i) {
+      if (i > 0) out << separator;
+      out << traj[i];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+StatusOr<std::vector<Trajectory>> LoadTrajectories(const std::string& path,
+                                                   std::size_t num_states) {
+  TCDP_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseTrajectories(text, num_states);
+}
+
+Status SaveTrajectories(const std::vector<Trajectory>& trajectories,
+                        const std::string& path) {
+  return WriteFile(path, SerializeTrajectories(trajectories));
+}
+
+}  // namespace tcdp

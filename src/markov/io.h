@@ -1,0 +1,57 @@
+#ifndef TCDP_MARKOV_IO_H_
+#define TCDP_MARKOV_IO_H_
+
+/// \file
+/// Text I/O for correlation matrices and trajectories, so deployments can
+/// plug in real traces and externally estimated models:
+///
+///  * matrices: one row per line, comma- or whitespace-separated
+///    probabilities (a "#" prefix comments a line);
+///  * trajectories: one user per line, comma/whitespace-separated
+///    0-based state indices.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "markov/markov_chain.h"
+#include "markov/stochastic_matrix.h"
+
+namespace tcdp {
+
+/// \brief Parses a stochastic matrix from text. Returns InvalidArgument
+/// on ragged rows, non-numeric fields, or rows violating stochasticity.
+StatusOr<StochasticMatrix> ParseStochasticMatrix(const std::string& text);
+
+/// \brief Serializes with full double precision, one row per line.
+std::string SerializeStochasticMatrix(const StochasticMatrix& matrix,
+                                      char separator = ',');
+
+/// \brief Reads a matrix from a file. NotFound if unreadable.
+StatusOr<StochasticMatrix> LoadStochasticMatrix(const std::string& path);
+
+/// \brief Writes a matrix to a file (overwrites).
+Status SaveStochasticMatrix(const StochasticMatrix& matrix,
+                            const std::string& path);
+
+/// \brief Parses trajectories: one line per user, indices separated by
+/// commas and/or whitespace. \p num_states = 0 infers the domain as
+/// max index + 1; otherwise indices must be < num_states.
+StatusOr<std::vector<Trajectory>> ParseTrajectories(
+    const std::string& text, std::size_t num_states = 0);
+
+/// \brief Serializes trajectories, one per line.
+std::string SerializeTrajectories(const std::vector<Trajectory>& trajectories,
+                                  char separator = ',');
+
+/// \brief Reads trajectories from a file.
+StatusOr<std::vector<Trajectory>> LoadTrajectories(
+    const std::string& path, std::size_t num_states = 0);
+
+/// \brief Writes trajectories to a file (overwrites).
+Status SaveTrajectories(const std::vector<Trajectory>& trajectories,
+                        const std::string& path);
+
+}  // namespace tcdp
+
+#endif  // TCDP_MARKOV_IO_H_

@@ -1,0 +1,106 @@
+#include "markov/markov_chain.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_util.h"
+
+namespace tcdp {
+
+StatusOr<MarkovChain> MarkovChain::Create(std::vector<double> initial,
+                                          StochasticMatrix transition) {
+  if (transition.empty()) {
+    return Status::InvalidArgument("MarkovChain: empty transition matrix");
+  }
+  if (initial.size() != transition.size()) {
+    return Status::InvalidArgument(
+        "MarkovChain: initial distribution size " +
+        std::to_string(initial.size()) + " != number of states " +
+        std::to_string(transition.size()));
+  }
+  if (!IsProbabilityVector(initial, 1e-6)) {
+    return Status::InvalidArgument(
+        "MarkovChain: initial distribution is not a probability vector");
+  }
+  NormalizeInPlace(&initial);
+  return MarkovChain(std::move(initial), std::move(transition));
+}
+
+MarkovChain MarkovChain::WithUniformInitial(StochasticMatrix transition) {
+  const std::size_t n = transition.size();
+  assert(n > 0);
+  std::vector<double> initial(n, 1.0 / static_cast<double>(n));
+  return MarkovChain(std::move(initial), std::move(transition));
+}
+
+std::size_t MarkovChain::SampleNext(std::size_t state, Rng* rng) const {
+  assert(state < num_states() && rng != nullptr);
+  auto next = rng->Discrete(transition_.Row(state));
+  assert(next.ok());
+  return next.value();
+}
+
+Trajectory MarkovChain::Simulate(std::size_t horizon, Rng* rng) const {
+  assert(horizon >= 1 && rng != nullptr);
+  Trajectory traj;
+  traj.reserve(horizon);
+  auto first = rng->Discrete(initial_);
+  assert(first.ok());
+  traj.push_back(first.value());
+  for (std::size_t t = 1; t < horizon; ++t) {
+    traj.push_back(SampleNext(traj.back(), rng));
+  }
+  return traj;
+}
+
+std::vector<double> MarkovChain::MarginalAt(std::size_t t) const {
+  assert(t >= 1);
+  std::vector<double> dist = initial_;
+  for (std::size_t step = 1; step < t; ++step) {
+    dist = transition_.Propagate(dist);
+  }
+  return dist;
+}
+
+StatusOr<std::vector<double>> MarkovChain::StationaryDistribution(
+    std::size_t max_iters, double tol) const {
+  std::vector<double> dist(num_states(),
+                           1.0 / static_cast<double>(num_states()));
+  for (std::size_t it = 0; it < max_iters; ++it) {
+    std::vector<double> next = transition_.Propagate(dist);
+    if (L1Distance(next, dist) < tol) return next;
+    dist = std::move(next);
+  }
+  return Status::FailedPrecondition(
+      "StationaryDistribution: power iteration did not converge "
+      "(chain may be periodic)");
+}
+
+bool MarkovChain::IsIrreducible() const {
+  const std::size_t n = num_states();
+  // Strong connectivity via forward+backward BFS from state 0.
+  auto bfs = [&](bool forward) {
+    std::vector<bool> seen(n, false);
+    std::vector<std::size_t> stack = {0};
+    seen[0] = true;
+    while (!stack.empty()) {
+      std::size_t u = stack.back();
+      stack.pop_back();
+      for (std::size_t v = 0; v < n; ++v) {
+        const double p =
+            forward ? transition_.At(u, v) : transition_.At(v, u);
+        if (p > 0.0 && !seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    for (bool s : seen) {
+      if (!s) return false;
+    }
+    return true;
+  };
+  return bfs(/*forward=*/true) && bfs(/*forward=*/false);
+}
+
+}  // namespace tcdp

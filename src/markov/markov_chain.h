@@ -1,0 +1,69 @@
+#ifndef TCDP_MARKOV_MARKOV_CHAIN_H_
+#define TCDP_MARKOV_MARKOV_CHAIN_H_
+
+/// \file
+/// Time-homogeneous first-order Markov chains over a finite value domain
+/// (the paper's user-mobility model, Section III-A): simulation, k-step
+/// marginals, stationary distributions, and structural checks.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "markov/stochastic_matrix.h"
+
+namespace tcdp {
+
+/// A state trajectory l^1..l^T (values are indices into the domain).
+using Trajectory = std::vector<std::size_t>;
+
+/// \brief First-order Markov chain: initial distribution + forward
+/// transition matrix.
+class MarkovChain {
+ public:
+  /// Builds a chain. Returns InvalidArgument when the initial
+  /// distribution's size differs from the transition dimension or is not
+  /// a probability vector.
+  static StatusOr<MarkovChain> Create(std::vector<double> initial,
+                                      StochasticMatrix transition);
+
+  /// Chain with uniform initial distribution.
+  static MarkovChain WithUniformInitial(StochasticMatrix transition);
+
+  std::size_t num_states() const { return transition_.size(); }
+  const std::vector<double>& initial() const { return initial_; }
+  const StochasticMatrix& transition() const { return transition_; }
+
+  /// Samples the next state given the current one.
+  std::size_t SampleNext(std::size_t state, Rng* rng) const;
+
+  /// Samples a full trajectory of length \p horizon (>=1), starting from
+  /// the initial distribution.
+  Trajectory Simulate(std::size_t horizon, Rng* rng) const;
+
+  /// Marginal distribution of l^t for t >= 1 (t=1 is the initial
+  /// distribution).
+  std::vector<double> MarginalAt(std::size_t t) const;
+
+  /// Stationary distribution via power iteration. Returns
+  /// FailedPrecondition if iteration does not converge within
+  /// \p max_iters (e.g. periodic chains).
+  StatusOr<std::vector<double>> StationaryDistribution(
+      std::size_t max_iters = 100000, double tol = 1e-12) const;
+
+  /// True iff every state can reach every other state (strong
+  /// connectivity of the positive-transition digraph).
+  bool IsIrreducible() const;
+
+ private:
+  MarkovChain(std::vector<double> initial, StochasticMatrix transition)
+      : initial_(std::move(initial)), transition_(std::move(transition)) {}
+
+  std::vector<double> initial_;
+  StochasticMatrix transition_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_MARKOV_MARKOV_CHAIN_H_

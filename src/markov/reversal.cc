@@ -1,0 +1,43 @@
+#include "markov/reversal.h"
+
+#include "common/math_util.h"
+#include "linalg/matrix.h"
+#include "markov/markov_chain.h"
+
+namespace tcdp {
+
+StatusOr<StochasticMatrix> ReverseWithPrior(
+    const StochasticMatrix& forward, const std::vector<double>& prior) {
+  const std::size_t n = forward.size();
+  if (prior.size() != n) {
+    return Status::InvalidArgument(
+        "ReverseWithPrior: prior size mismatches matrix dimension");
+  }
+  if (!IsProbabilityVector(prior, 1e-6)) {
+    return Status::InvalidArgument(
+        "ReverseWithPrior: prior is not a probability vector");
+  }
+  // marginal(k) = Pr(l^t = k) = sum_j prior(j) * PF(j, k)
+  std::vector<double> marginal = forward.Propagate(prior);
+  Matrix back(n, n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {  // row of P^B: current value k
+    if (marginal[k] <= 0.0) {
+      return Status::FailedPrecondition(
+          "ReverseWithPrior: value " + std::to_string(k) +
+          " has zero marginal probability; backward conditional undefined");
+    }
+    for (std::size_t j = 0; j < n; ++j) {  // column: previous value j
+      back.At(k, j) = forward.At(j, k) * prior[j] / marginal[k];
+    }
+  }
+  return StochasticMatrix::Create(std::move(back));
+}
+
+StatusOr<StochasticMatrix> ReverseAtStationarity(
+    const StochasticMatrix& forward) {
+  MarkovChain chain = MarkovChain::WithUniformInitial(forward);
+  TCDP_ASSIGN_OR_RETURN(auto pi, chain.StationaryDistribution());
+  return ReverseWithPrior(forward, pi);
+}
+
+}  // namespace tcdp

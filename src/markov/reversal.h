@@ -1,0 +1,37 @@
+#ifndef TCDP_MARKOV_REVERSAL_H_
+#define TCDP_MARKOV_REVERSAL_H_
+
+/// \file
+/// Bayesian time reversal (paper Section III-A): deriving the backward
+/// temporal correlation Pr(l^{t-1} | l^t) from the forward correlation
+/// Pr(l^t | l^{t-1}) and a distribution over l^{t-1}.
+///
+///   Pr(l^{t-1}=j | l^t=k) = P^F(j,k) * prior(j) / sum_j' P^F(j',k) prior(j')
+
+#include <vector>
+
+#include "common/status.h"
+#include "markov/stochastic_matrix.h"
+
+namespace tcdp {
+
+/// \brief Derives P^B from P^F and a prior over the *earlier* time point.
+///
+/// Row r of the result is the distribution of l^{t-1} conditioned on
+/// l^t = r. Returns InvalidArgument on size mismatch or if the prior is
+/// not a probability vector, and FailedPrecondition if some value of l^t
+/// has zero marginal probability (the conditional is undefined there).
+StatusOr<StochasticMatrix> ReverseWithPrior(const StochasticMatrix& forward,
+                                            const std::vector<double>& prior);
+
+/// \brief Derives P^B under the chain's stationary distribution.
+///
+/// For a reversible chain this equals the forward matrix. Returns
+/// FailedPrecondition when the stationary distribution cannot be computed
+/// or has zero mass somewhere.
+StatusOr<StochasticMatrix> ReverseAtStationarity(
+    const StochasticMatrix& forward);
+
+}  // namespace tcdp
+
+#endif  // TCDP_MARKOV_REVERSAL_H_

@@ -1,0 +1,72 @@
+#include "markov/smoothing.h"
+
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/matrix.h"
+
+namespace tcdp {
+
+StatusOr<StochasticMatrix> LaplacianSmooth(const StochasticMatrix& matrix,
+                                           double s) {
+  if (!(s >= 0.0) || !std::isfinite(s)) {
+    return Status::InvalidArgument(
+        "LaplacianSmooth: s must be finite and >= 0, got " +
+        std::to_string(s));
+  }
+  if (s == 0.0) return matrix;
+  const std::size_t n = matrix.size();
+  Matrix out(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    // Row sums to 1, so the smoothed denominator is 1 + n*s.
+    const double denom = 1.0 + static_cast<double>(n) * s;
+    for (std::size_t c = 0; c < n; ++c) {
+      out.At(r, c) = (matrix.At(r, c) + s) / denom;
+    }
+  }
+  return StochasticMatrix::Create(std::move(out));
+}
+
+StochasticMatrix StrongestCorrelationMatrix(std::size_t n) {
+  assert(n > 0);
+  std::vector<std::size_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = (i + 1) % n;
+  auto m = StochasticMatrix::Permutation(perm);
+  assert(m.ok());
+  return std::move(m).value();
+}
+
+StochasticMatrix RandomStrongestCorrelationMatrix(std::size_t n, Rng* rng) {
+  assert(n > 0 && rng != nullptr);
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  rng->Shuffle(&perm);
+  auto m = StochasticMatrix::Permutation(perm);
+  assert(m.ok());
+  return std::move(m).value();
+}
+
+StatusOr<StochasticMatrix> SmoothedCorrelationMatrix(std::size_t n,
+                                                     double s) {
+  return LaplacianSmooth(StrongestCorrelationMatrix(n), s);
+}
+
+double CorrelationDegree(const StochasticMatrix& matrix) {
+  const std::size_t n = matrix.size();
+  if (n <= 1) return 0.0;
+  const double uniform = 1.0 / static_cast<double>(n);
+  // Max possible total variation of a row vs uniform: 1 - 1/n.
+  const double max_tv = 1.0 - uniform;
+  double acc = 0.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    double tv = 0.0;
+    for (std::size_t c = 0; c < n; ++c) {
+      tv += std::fabs(matrix.At(r, c) - uniform);
+    }
+    acc += 0.5 * tv;
+  }
+  return (acc / static_cast<double>(n)) / max_tv;
+}
+
+}  // namespace tcdp

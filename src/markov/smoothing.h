@@ -1,0 +1,54 @@
+#ifndef TCDP_MARKOV_SMOOTHING_H_
+#define TCDP_MARKOV_SMOOTHING_H_
+
+/// \file
+/// The paper's synthetic correlation generator (Section VI, Equation 25):
+/// start from a "strongest" transition matrix (one probability-1.0 cell
+/// per row, different columns) and apply Laplacian smoothing
+///
+///   p_hat(j,k) = (p(j,k) + s) / sum_u (p(j,u) + s)
+///
+/// Smaller s => stronger temporal correlation. s values are only
+/// comparable under the same domain size n.
+
+#include <cstddef>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "markov/stochastic_matrix.h"
+
+namespace tcdp {
+
+/// \brief Applies Laplacian smoothing (Equation 25) with parameter s >= 0.
+///
+/// s = 0 returns the matrix unchanged. Returns InvalidArgument for
+/// negative or non-finite s.
+StatusOr<StochasticMatrix> LaplacianSmooth(const StochasticMatrix& matrix,
+                                           double s);
+
+/// \brief The "strongest correlation" seed matrix used by Section VI.
+///
+/// A cyclic-shift permutation matrix: row i transitions to state
+/// (i + 1) mod n with probability 1. Rows have their 1.0 cells in
+/// pairwise-different columns, matching the paper's construction and
+/// maximizing the privacy-loss increment (Remark 1's upper bound).
+StochasticMatrix StrongestCorrelationMatrix(std::size_t n);
+
+/// \brief Random "strongest" seed: a uniformly random permutation matrix.
+StochasticMatrix RandomStrongestCorrelationMatrix(std::size_t n, Rng* rng);
+
+/// \brief One-call generator for the experiment sweeps: strongest seed
+/// smoothed with parameter \p s (Section VI setting).
+///
+/// s = 0 yields the strongest correlation; growing s approaches the
+/// uniform (no-correlation) matrix.
+StatusOr<StochasticMatrix> SmoothedCorrelationMatrix(std::size_t n, double s);
+
+/// \brief Degree-of-correlation diagnostic in [0, 1]: mean total-variation
+/// distance between rows and the uniform distribution, normalized so the
+/// strongest matrix scores 1 and the uniform matrix scores 0.
+double CorrelationDegree(const StochasticMatrix& matrix);
+
+}  // namespace tcdp
+
+#endif  // TCDP_MARKOV_SMOOTHING_H_

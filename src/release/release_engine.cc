@@ -1,0 +1,90 @@
+#include "release/release_engine.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace tcdp {
+
+ReleaseEngine::ReleaseEngine(std::unique_ptr<Query> query, Rng* rng,
+                             double total_budget, NoiseKind noise)
+    : query_(std::move(query)),
+      rng_(rng),
+      ledger_(total_budget),
+      noise_(noise) {
+  assert(query_ != nullptr && rng_ != nullptr);
+}
+
+StatusOr<NoisyRelease> ReleaseEngine::Release(const Database& db,
+                                              double epsilon) {
+  NoisyRelease out;
+  out.true_values = query_->Evaluate(db);
+  if (noise_ == NoiseKind::kGeometric) {
+    const double s = query_->Sensitivity();
+    if (s != std::floor(s)) {
+      return Status::FailedPrecondition(
+          "ReleaseEngine: geometric noise requires integral sensitivity");
+    }
+    TCDP_ASSIGN_OR_RETURN(
+        GeometricMechanism mech,
+        GeometricMechanism::Create(epsilon, static_cast<int>(s)));
+    TCDP_RETURN_IF_ERROR(
+        ledger_.Spend(epsilon, "t=" + std::to_string(next_time_)));
+    out.noisy_values = mech.PerturbVector(out.true_values, rng_);
+  } else {
+    TCDP_ASSIGN_OR_RETURN(
+        LaplaceMechanism mech,
+        LaplaceMechanism::Create(epsilon, query_->Sensitivity()));
+    TCDP_RETURN_IF_ERROR(
+        ledger_.Spend(epsilon, "t=" + std::to_string(next_time_)));
+    out.noisy_values = mech.PerturbVector(out.true_values, rng_);
+  }
+  out.time = next_time_++;
+  out.epsilon = epsilon;
+  return out;
+}
+
+StatusOr<std::vector<NoisyRelease>> ReleaseEngine::ReleaseSeries(
+    const TimeSeriesDatabase& series, const std::vector<double>& epsilons) {
+  if (epsilons.size() != series.horizon()) {
+    return Status::InvalidArgument(
+        "ReleaseSeries: epsilons size " + std::to_string(epsilons.size()) +
+        " != horizon " + std::to_string(series.horizon()));
+  }
+  std::vector<NoisyRelease> out;
+  out.reserve(series.horizon());
+  for (std::size_t t = 1; t <= series.horizon(); ++t) {
+    TCDP_ASSIGN_OR_RETURN(Database db, series.At(t));
+    TCDP_ASSIGN_OR_RETURN(NoisyRelease r, Release(db, epsilons[t - 1]));
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+StatusOr<std::vector<NoisyRelease>> ReleaseEngine::ReleaseSeriesUniform(
+    const TimeSeriesDatabase& series, double epsilon_per_step) {
+  return ReleaseSeries(
+      series, std::vector<double>(series.horizon(), epsilon_per_step));
+}
+
+double MeanAbsoluteError(const std::vector<NoisyRelease>& releases) {
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (const auto& r : releases) {
+    for (std::size_t i = 0; i < r.true_values.size(); ++i) {
+      acc += std::fabs(r.noisy_values[i] - r.true_values[i]);
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : acc / static_cast<double>(count);
+}
+
+double ExpectedAbsNoise(const std::vector<double>& epsilons,
+                        double sensitivity) {
+  if (epsilons.empty()) return 0.0;
+  double acc = 0.0;
+  for (double eps : epsilons) acc += sensitivity / eps;
+  return acc / static_cast<double>(epsilons.size());
+}
+
+}  // namespace tcdp

@@ -1,0 +1,59 @@
+#include "release/timeseries.h"
+
+#include <string>
+
+namespace tcdp {
+
+StatusOr<TimeSeriesDatabase> TimeSeriesDatabase::FromTrajectories(
+    const std::vector<Trajectory>& trajectories, std::size_t domain_size) {
+  if (trajectories.empty()) {
+    return Status::InvalidArgument("FromTrajectories: no trajectories");
+  }
+  const std::size_t horizon = trajectories.front().size();
+  if (horizon == 0) {
+    return Status::InvalidArgument("FromTrajectories: empty trajectories");
+  }
+  for (const auto& traj : trajectories) {
+    if (traj.size() != horizon) {
+      return Status::InvalidArgument(
+          "FromTrajectories: trajectories must share one horizon");
+    }
+  }
+  TimeSeriesDatabase series(domain_size);
+  for (std::size_t t = 0; t < horizon; ++t) {
+    std::vector<std::size_t> values;
+    values.reserve(trajectories.size());
+    for (const auto& traj : trajectories) values.push_back(traj[t]);
+    TCDP_ASSIGN_OR_RETURN(Database db,
+                          Database::Create(std::move(values), domain_size));
+    TCDP_RETURN_IF_ERROR(series.Append(std::move(db)));
+  }
+  return series;
+}
+
+Status TimeSeriesDatabase::Append(Database snapshot) {
+  if (snapshot.domain_size() != domain_size_) {
+    return Status::InvalidArgument(
+        "Append: snapshot domain size " +
+        std::to_string(snapshot.domain_size()) + " != series domain size " +
+        std::to_string(domain_size_));
+  }
+  if (!snapshots_.empty() &&
+      snapshot.num_users() != snapshots_.front().num_users()) {
+    return Status::InvalidArgument(
+        "Append: snapshot user count changed mid-series");
+  }
+  snapshots_.push_back(std::move(snapshot));
+  return Status::OK();
+}
+
+StatusOr<Database> TimeSeriesDatabase::At(std::size_t t) const {
+  if (t < 1 || t > snapshots_.size()) {
+    return Status::OutOfRange("At: time " + std::to_string(t) +
+                              " outside [1," +
+                              std::to_string(snapshots_.size()) + "]");
+  }
+  return snapshots_[t - 1];
+}
+
+}  // namespace tcdp

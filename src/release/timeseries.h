@@ -1,0 +1,54 @@
+#ifndef TCDP_RELEASE_TIMESERIES_H_
+#define TCDP_RELEASE_TIMESERIES_H_
+
+/// \file
+/// The continuous-observation data model (paper Section II-C): a trusted
+/// server collects one snapshot database per time point, D^1..D^T.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+#include "dp/database.h"
+#include "markov/markov_chain.h"
+
+namespace tcdp {
+
+/// \brief Ordered sequence of snapshot databases over a fixed user set
+/// and value domain.
+class TimeSeriesDatabase {
+ public:
+  /// Empty series over a domain of \p domain_size values.
+  explicit TimeSeriesDatabase(std::size_t domain_size)
+      : domain_size_(domain_size) {}
+
+  /// Builds the series from per-user trajectories (all the same length T,
+  /// all >= 1): snapshot t holds user i's t-th value. This is the
+  /// Figure 1(a) layout transposed into columns.
+  static StatusOr<TimeSeriesDatabase> FromTrajectories(
+      const std::vector<Trajectory>& trajectories, std::size_t domain_size);
+
+  std::size_t domain_size() const { return domain_size_; }
+  std::size_t horizon() const { return snapshots_.size(); }
+  std::size_t num_users() const {
+    return snapshots_.empty() ? 0 : snapshots_.front().num_users();
+  }
+
+  /// Appends a snapshot. Returns InvalidArgument when the domain or user
+  /// count disagrees with existing snapshots.
+  Status Append(Database snapshot);
+
+  /// Snapshot at 1-based time t (paper indexing). OutOfRange if t is not
+  /// in [1, horizon()].
+  StatusOr<Database> At(std::size_t t) const;
+
+  const std::vector<Database>& snapshots() const { return snapshots_; }
+
+ private:
+  std::size_t domain_size_;
+  std::vector<Database> snapshots_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_RELEASE_TIMESERIES_H_

@@ -1,0 +1,184 @@
+#include "release/w_event.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <string>
+
+#include "dp/laplace.h"
+
+namespace tcdp {
+
+Status ValidateWEventOptions(const WEventOptions& options) {
+  if (options.window == 0) {
+    return Status::InvalidArgument("WEvent: window must be >= 1");
+  }
+  if (!(options.epsilon > 0.0) || !std::isfinite(options.epsilon)) {
+    return Status::InvalidArgument("WEvent: epsilon must be finite and > 0");
+  }
+  if (!(options.dissimilarity_fraction > 0.0) ||
+      !(options.dissimilarity_fraction < 1.0)) {
+    return Status::InvalidArgument(
+        "WEvent: dissimilarity_fraction must lie in (0, 1)");
+  }
+  return Status::OK();
+}
+
+WEventMechanism::WEventMechanism(const char* name, WEventOptions options,
+                                 std::unique_ptr<Query> query)
+    : options_(options), query_(std::move(query)) {
+  name_ = name;
+  assert(query_ != nullptr);
+}
+
+double WEventMechanism::RecentPublicationSpend() const {
+  double sum = 0.0;
+  const std::size_t w = options_.window;
+  const std::size_t start =
+      publication_spend_.size() > w - 1 ? publication_spend_.size() - (w - 1)
+                                        : 0;
+  for (std::size_t i = start; i < publication_spend_.size(); ++i) {
+    sum += publication_spend_[i];
+  }
+  return sum;
+}
+
+StatusOr<WEventRelease> WEventMechanism::Process(const Database& db,
+                                                 Rng* rng) {
+  assert(rng != nullptr);
+  const double eps1 =
+      options_.epsilon * options_.dissimilarity_fraction;  // dissimilarity
+  const double dissim_step = eps1 / static_cast<double>(options_.window);
+  const double sensitivity = query_->Sensitivity();
+
+  WEventRelease release;
+  release.time = publication_spend_.size() + 1;
+  release.true_values = query_->Evaluate(db);
+  const std::size_t dim = release.true_values.size();
+  if (dim == 0) {
+    return Status::InvalidArgument("WEvent: query produced no values");
+  }
+
+  const double offer = OfferPublicationBudget();
+  bool publish;
+  if (last_published_.empty()) {
+    publish = true;  // nothing to re-publish yet
+  } else if (offer <= 0.0) {
+    publish = false;  // nullified / exhausted: forced re-publication
+  } else {
+    // Noisy dissimilarity test: mean L1 change vs the last publication,
+    // perturbed with the per-step dissimilarity budget. Publish only if
+    // the (estimated) change exceeds the publication noise level.
+    double dis = 0.0;
+    for (std::size_t b = 0; b < dim; ++b) {
+      dis += std::fabs(release.true_values[b] - last_published_[b]);
+    }
+    dis /= static_cast<double>(dim);
+    const double dis_sensitivity = sensitivity / static_cast<double>(dim);
+    const double noisy_dis =
+        dis + rng->Laplace(dis_sensitivity / dissim_step);
+    const double publication_noise = sensitivity / offer;
+    publish = noisy_dis > publication_noise;
+  }
+
+  if (publish && offer > 0.0) {
+    TCDP_ASSIGN_OR_RETURN(LaplaceMechanism mech,
+                          LaplaceMechanism::Create(offer, sensitivity));
+    release.released_values = mech.PerturbVector(release.true_values, rng);
+    release.published = true;
+    release.publication_epsilon = offer;
+    last_published_ = release.released_values;
+    publication_spend_.push_back(offer);
+    ++num_publications_;
+    OnDecision(/*published=*/true, offer);
+  } else {
+    release.released_values = last_published_;
+    release.published = false;
+    release.publication_epsilon = 0.0;
+    publication_spend_.push_back(0.0);
+    OnDecision(/*published=*/false, 0.0);
+  }
+  return release;
+}
+
+double WEventMechanism::MaxWindowSpend() const {
+  const std::size_t w = options_.window;
+  const double eps1 = options_.epsilon * options_.dissimilarity_fraction;
+  const double dissim_step = eps1 / static_cast<double>(w);
+  double best = 0.0;
+  double window_pub = 0.0;
+  for (std::size_t i = 0; i < publication_spend_.size(); ++i) {
+    window_pub += publication_spend_[i];
+    if (i >= w) window_pub -= publication_spend_[i - w];
+    const std::size_t steps_in_window = std::min(i + 1, w);
+    best = std::max(best,
+                    window_pub + dissim_step *
+                                     static_cast<double>(steps_in_window));
+  }
+  return best;
+}
+
+// --- Budget Distribution -------------------------------------------------
+
+StatusOr<std::unique_ptr<BudgetDistributionMechanism>>
+BudgetDistributionMechanism::Create(WEventOptions options,
+                                    std::unique_ptr<Query> query) {
+  TCDP_RETURN_IF_ERROR(ValidateWEventOptions(options));
+  if (query == nullptr) {
+    return Status::InvalidArgument("BudgetDistribution: null query");
+  }
+  return std::unique_ptr<BudgetDistributionMechanism>(
+      new BudgetDistributionMechanism(options, std::move(query)));
+}
+
+double BudgetDistributionMechanism::OfferPublicationBudget() {
+  const double eps2 =
+      options_.epsilon * (1.0 - options_.dissimilarity_fraction);
+  const double remaining = eps2 - RecentPublicationSpend();
+  return remaining > 0.0 ? remaining / 2.0 : 0.0;
+}
+
+void BudgetDistributionMechanism::OnDecision(bool, double) {
+  // Stateless beyond the spend history kept by the base class.
+}
+
+// --- Budget Absorption ---------------------------------------------------
+
+StatusOr<std::unique_ptr<BudgetAbsorptionMechanism>>
+BudgetAbsorptionMechanism::Create(WEventOptions options,
+                                  std::unique_ptr<Query> query) {
+  TCDP_RETURN_IF_ERROR(ValidateWEventOptions(options));
+  if (query == nullptr) {
+    return Status::InvalidArgument("BudgetAbsorption: null query");
+  }
+  return std::unique_ptr<BudgetAbsorptionMechanism>(
+      new BudgetAbsorptionMechanism(options, std::move(query)));
+}
+
+double BudgetAbsorptionMechanism::OfferPublicationBudget() {
+  if (nullified_remaining_ > 0) return 0.0;
+  const double eps2 =
+      options_.epsilon * (1.0 - options_.dissimilarity_fraction);
+  const double unit = eps2 / static_cast<double>(options_.window);
+  // The current step's pre-assigned budget becomes available; absorption
+  // is capped at w steps so a single publication never exceeds eps2.
+  absorbable_steps_ = std::min(absorbable_steps_ + 1, options_.window);
+  return unit * static_cast<double>(absorbable_steps_);
+}
+
+void BudgetAbsorptionMechanism::OnDecision(bool published, double) {
+  if (nullified_remaining_ > 0) {
+    // This step was nullified; its budget is forfeited.
+    --nullified_remaining_;
+    return;
+  }
+  if (published) {
+    // Nullify as many future steps as were absorbed beyond the current
+    // one (Kellaris et al., Budget Absorption).
+    nullified_remaining_ = absorbable_steps_ - 1;
+    absorbable_steps_ = 0;
+  }
+  // Otherwise the accumulated absorbable budget carries to the next step.
+}
+
+}  // namespace tcdp

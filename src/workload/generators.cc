@@ -1,0 +1,107 @@
+#include "workload/generators.h"
+
+#include <cassert>
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace tcdp {
+
+StatusOr<StochasticMatrix> RingRoadNetwork(std::size_t num_locations,
+                                           double stay_prob,
+                                           double move_prob) {
+  if (num_locations < 3) {
+    return Status::InvalidArgument("RingRoadNetwork: need >= 3 locations");
+  }
+  if (stay_prob < 0.0 || move_prob < 0.0 ||
+      stay_prob + 2.0 * move_prob > 1.0) {
+    return Status::InvalidArgument(
+        "RingRoadNetwork: require stay_prob, move_prob >= 0 and "
+        "stay_prob + 2*move_prob <= 1");
+  }
+  const std::size_t n = num_locations;
+  const double background =
+      (1.0 - stay_prob - 2.0 * move_prob) / static_cast<double>(n);
+  Matrix m(n, n, background);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.At(i, i) += stay_prob;
+    m.At(i, (i + 1) % n) += move_prob;
+    m.At(i, (i + n - 1) % n) += move_prob;
+  }
+  return StochasticMatrix::Create(std::move(m));
+}
+
+StatusOr<StochasticMatrix> ClickstreamModel(std::size_t num_pages,
+                                            double home_prob,
+                                            double link_prob) {
+  if (num_pages < 2) {
+    return Status::InvalidArgument("ClickstreamModel: need >= 2 pages");
+  }
+  if (home_prob < 0.0 || link_prob < 0.0 || home_prob + link_prob > 1.0) {
+    return Status::InvalidArgument(
+        "ClickstreamModel: require home_prob, link_prob >= 0 and "
+        "home_prob + link_prob <= 1");
+  }
+  const std::size_t n = num_pages;
+  const double jump = (1.0 - home_prob - link_prob) / static_cast<double>(n);
+  Matrix m(n, n, jump);
+  for (std::size_t i = 0; i < n; ++i) {
+    m.At(i, 0) += home_prob;               // return to the hub
+    m.At(i, (i + 1) % n) += link_prob;     // follow the next link
+  }
+  return StochasticMatrix::Create(std::move(m));
+}
+
+std::vector<Trajectory> SimulateTrajectories(const MarkovChain& chain,
+                                             std::size_t num_users,
+                                             std::size_t horizon, Rng* rng) {
+  assert(rng != nullptr && num_users > 0 && horizon > 0);
+  std::vector<Trajectory> out;
+  out.reserve(num_users);
+  for (std::size_t u = 0; u < num_users; ++u) {
+    out.push_back(chain.Simulate(horizon, rng));
+  }
+  return out;
+}
+
+StatusOr<TimeSeriesDatabase> SimulatePopulation(const MarkovChain& chain,
+                                                std::size_t num_users,
+                                                std::size_t horizon,
+                                                Rng* rng) {
+  if (num_users == 0 || horizon == 0) {
+    return Status::InvalidArgument(
+        "SimulatePopulation: users and horizon must be positive");
+  }
+  return TimeSeriesDatabase::FromTrajectories(
+      SimulateTrajectories(chain, num_users, horizon, rng),
+      chain.num_states());
+}
+
+StatusOr<Figure1Scenario> MakeFigure1Scenario() {
+  // Figure 1(a): rows = users u1..u4, columns = t = 1..3, values are
+  // 0-based location indices (loc1 = 0, ..., loc5 = 4).
+  const std::vector<Trajectory> user_rows = {
+      {2, 0, 0},  // u1: loc3 loc1 loc1
+      {1, 0, 0},  // u2: loc2 loc1 loc1
+      {1, 3, 4},  // u3: loc2 loc4 loc5
+      {3, 4, 2},  // u4: loc4 loc5 loc3
+  };
+  TCDP_ASSIGN_OR_RETURN(
+      TimeSeriesDatabase series,
+      TimeSeriesDatabase::FromTrajectories(user_rows, /*domain_size=*/5));
+
+  // Example 1's road-network pattern: whoever is at loc4 moves to loc5
+  // with probability 1; elsewhere movement is lightly structured.
+  const StochasticMatrix forward = StochasticMatrix::FromRows({
+      {0.6, 0.1, 0.1, 0.1, 0.1},   // loc1
+      {0.4, 0.2, 0.1, 0.2, 0.1},   // loc2
+      {0.3, 0.1, 0.3, 0.2, 0.1},   // loc3
+      {0.0, 0.0, 0.0, 0.0, 1.0},   // loc4 -> loc5 always
+      {0.2, 0.1, 0.4, 0.2, 0.1},   // loc5
+  });
+  Figure1Scenario scenario{std::move(series), forward,
+                           {"loc1", "loc2", "loc3", "loc4", "loc5"}};
+  return scenario;
+}
+
+}  // namespace tcdp

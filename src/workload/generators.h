@@ -1,0 +1,62 @@
+#ifndef TCDP_WORKLOAD_GENERATORS_H_
+#define TCDP_WORKLOAD_GENERATORS_H_
+
+/// \file
+/// Synthetic workload generators for the examples and the experiment
+/// harness: a Figure-1-style road network, a clickstream model, and the
+/// Section-VI experiment matrices.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "markov/markov_chain.h"
+#include "markov/stochastic_matrix.h"
+#include "release/timeseries.h"
+
+namespace tcdp {
+
+/// \brief A small road network over `num_locations` places laid out on a
+/// ring; vehicles mostly move to an adjacent place, sometimes stay.
+///
+/// `stay_prob` + 2 * `move_prob` + background noise = 1 per row. The
+/// resulting chain is irreducible and aperiodic for n >= 3.
+StatusOr<StochasticMatrix> RingRoadNetwork(std::size_t num_locations,
+                                           double stay_prob = 0.3,
+                                           double move_prob = 0.3);
+
+/// \brief Clickstream model: pages have a "home" hub (page 0); from any
+/// page users return home with `home_prob`, follow a forward link with
+/// `link_prob`, or jump uniformly at random.
+StatusOr<StochasticMatrix> ClickstreamModel(std::size_t num_pages,
+                                            double home_prob = 0.3,
+                                            double link_prob = 0.5);
+
+/// \brief Simulates a population of independent users following \p chain
+/// for \p horizon steps, packaged as a time-series database.
+StatusOr<TimeSeriesDatabase> SimulatePopulation(const MarkovChain& chain,
+                                                std::size_t num_users,
+                                                std::size_t horizon,
+                                                Rng* rng);
+
+/// \brief Simulates per-user trajectories (same chain, independent
+/// randomness).
+std::vector<Trajectory> SimulateTrajectories(const MarkovChain& chain,
+                                             std::size_t num_users,
+                                             std::size_t horizon, Rng* rng);
+
+/// \brief The Figure 1 hand-built scenario: 4 users, 5 locations, 3 time
+/// points, plus the deterministic road-network correlation
+/// Pr(l^t = loc5 | l^{t-1} = loc4) = 1 of Example 1.
+struct Figure1Scenario {
+  TimeSeriesDatabase series;
+  StochasticMatrix forward_correlation;
+  std::vector<std::string> location_names;
+};
+StatusOr<Figure1Scenario> MakeFigure1Scenario();
+
+}  // namespace tcdp
+
+#endif  // TCDP_WORKLOAD_GENERATORS_H_

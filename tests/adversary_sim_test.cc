@@ -1,0 +1,288 @@
+// Unit tests for core/adversary_sim: the operational Bayesian adversary
+// and the Monte-Carlo validation that realized leakage never exceeds the
+// analytic BPL bound.
+
+#include "core/adversary_sim.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/tpl_accountant.h"
+#include "dp/laplace.h"
+
+namespace tcdp {
+namespace {
+
+TEST(HistogramLogDensities, ValidatesInput) {
+  EXPECT_FALSE(HistogramLogDensities({1.0}, {1.0, 2.0}, 1.0).ok());
+  EXPECT_FALSE(HistogramLogDensities({1.0}, {1.0}, 0.0).ok());
+}
+
+TEST(HistogramLogDensities, PrefersBinNearNoisyValue) {
+  // Others' histogram is flat zero; the release shows bin 1 elevated by
+  // ~1 -> the target most plausibly sits in bin 1.
+  auto d = HistogramLogDensities({0.0, 1.0, 0.0}, {0.0, 0.0, 0.0}, 1.0);
+  ASSERT_TRUE(d.ok());
+  EXPECT_GT((*d)[1], (*d)[0]);
+  EXPECT_GT((*d)[1], (*d)[2]);
+}
+
+TEST(HistogramLogDensities, MatchesDirectDensityComputation) {
+  const std::vector<double> noisy = {1.3, -0.2};
+  const std::vector<double> others = {1.0, 0.0};
+  const double eps = 0.5;
+  auto d = HistogramLogDensities(noisy, others, eps);
+  ASSERT_TRUE(d.ok());
+  const double scale = 1.0 / eps;
+  // v = 0: target in bin 0.
+  const double direct0 =
+      std::log(LaplaceMechanism::Pdf(noisy[0] - others[0] - 1.0, scale)) +
+      std::log(LaplaceMechanism::Pdf(noisy[1] - others[1], scale));
+  EXPECT_NEAR((*d)[0], direct0, 1e-12);
+  // v = 1: target in bin 1.
+  const double direct1 =
+      std::log(LaplaceMechanism::Pdf(noisy[0] - others[0], scale)) +
+      std::log(LaplaceMechanism::Pdf(noisy[1] - others[1] - 1.0, scale));
+  EXPECT_NEAR((*d)[1], direct1, 1e-12);
+}
+
+TEST(HistogramLogDensities, SingleObservationLeakageBounded) {
+  // For one release, the log-density gap between any two candidate
+  // values is at most 2 * eps... no: each value shifts exactly one bin by
+  // sensitivity 1, and the Laplace log-density Lipschitz bound gives
+  // |log p(r|v) - log p(r|v')| <= 2 * eps/sensitivity * 1 / 2... verify
+  // empirically <= 2*eps (two bins differ by 1 each).
+  Rng rng(70);
+  const double eps = 0.8;
+  double max_gap = 0.0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::vector<double> noisy = {rng.Laplace(1.0 / eps) + 1.0,
+                                 rng.Laplace(1.0 / eps)};
+    auto d = HistogramLogDensities(noisy, {0.0, 0.0}, eps);
+    ASSERT_TRUE(d.ok());
+    max_gap = std::max(max_gap, std::fabs((*d)[0] - (*d)[1]));
+  }
+  EXPECT_LE(max_gap, 2 * eps + 1e-9);
+}
+
+TEST(BayesianAdversary, ObserveValidatesSize) {
+  BayesianAdversary adv(StochasticMatrix::Uniform(3));
+  EXPECT_FALSE(adv.Observe({0.0, 0.0}).ok());
+}
+
+TEST(BayesianAdversary, FirstObservationSetsLikelihoods) {
+  BayesianAdversary adv(StochasticMatrix::Uniform(2));
+  ASSERT_TRUE(adv.Observe({-1.0, -2.0}).ok());
+  EXPECT_EQ(adv.num_observations(), 1u);
+  EXPECT_NEAR(adv.RealizedLeakage(), 1.0, 1e-12);
+}
+
+TEST(BayesianAdversary, UniformCorrelationErasesHistory) {
+  // With uniform P^B the previous likelihoods contribute a constant, so
+  // leakage equals the gap of the latest densities only.
+  BayesianAdversary adv(StochasticMatrix::Uniform(2));
+  ASSERT_TRUE(adv.Observe({-1.0, -3.0}).ok());
+  ASSERT_TRUE(adv.Observe({-0.5, -1.0}).ok());
+  EXPECT_NEAR(adv.RealizedLeakage(), 0.5, 1e-12);
+}
+
+TEST(BayesianAdversary, IdentityCorrelationAccumulates) {
+  // P^B = I chains the likelihood ratios: gaps add up across time.
+  BayesianAdversary adv(StochasticMatrix::Identity(2));
+  ASSERT_TRUE(adv.Observe({-1.0, -1.5}).ok());
+  ASSERT_TRUE(adv.Observe({-1.0, -1.5}).ok());
+  EXPECT_NEAR(adv.RealizedLeakage(), 1.0, 1e-12);
+}
+
+TEST(BayesianAdversary, PosteriorIsDistribution) {
+  BayesianAdversary adv(StochasticMatrix::Uniform(3));
+  ASSERT_TRUE(adv.Observe({-1.0, -2.0, -3.0}).ok());
+  auto post = adv.Posterior();
+  double sum = 0.0;
+  for (double p : post) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  EXPECT_GT(post[0], post[2]);
+}
+
+TEST(BayesianAdversary, ResetClearsState) {
+  BayesianAdversary adv(StochasticMatrix::Uniform(2));
+  ASSERT_TRUE(adv.Observe({-1.0, -2.0}).ok());
+  adv.Reset();
+  EXPECT_EQ(adv.num_observations(), 0u);
+  EXPECT_DOUBLE_EQ(adv.RealizedLeakage(), 0.0);
+}
+
+// The central validation: Monte-Carlo realized leakage never exceeds the
+// analytic BPL bound computed by Algorithm 1.
+TEST(BayesianAdversary, RealizedLeakageBoundedByAnalyticBpl) {
+  const auto backward = StochasticMatrix::FromRows({{0.9, 0.1}, {0.2, 0.8}});
+  const double eps = 0.5;
+  const std::size_t horizon = 8;
+
+  TplAccountant accountant(TemporalCorrelations::BackwardOnly(backward));
+  ASSERT_TRUE(accountant.RecordUniformReleases(eps, horizon).ok());
+
+  // Full-histogram observation: eps-DP requires the strict L1
+  // sensitivity 2 (one user's value change moves two bins by 1 each).
+  const double kSensitivity = 2.0;
+  const double scale = kSensitivity / eps;
+  Rng rng(71);
+  const std::vector<double> others = {10.0, 5.0};
+  for (int trial = 0; trial < 300; ++trial) {
+    BayesianAdversary adv(backward);
+    // Ground truth: the target stays in state 0 the whole time (a
+    // worst-ish case for this correlation).
+    for (std::size_t t = 1; t <= horizon; ++t) {
+      std::vector<double> truth = others;
+      truth[0] += 1.0;
+      std::vector<double> noisy = {truth[0] + rng.Laplace(scale),
+                                   truth[1] + rng.Laplace(scale)};
+      auto densities =
+          HistogramLogDensities(noisy, others, eps, kSensitivity);
+      ASSERT_TRUE(densities.ok());
+      ASSERT_TRUE(adv.Observe(*densities).ok());
+      const double bound = *accountant.Bpl(t);
+      EXPECT_LE(adv.RealizedLeakage(), bound + 1e-9)
+          << "trial=" << trial << " t=" << t;
+    }
+  }
+}
+
+// --- SmoothingAdversary: the offline (full-sequence) attack ------------
+
+TEST(SmoothingAdversary, CreateValidatesDimensions) {
+  EXPECT_FALSE(SmoothingAdversary::Create(StochasticMatrix::Uniform(2),
+                                          StochasticMatrix::Uniform(3))
+                   .ok());
+}
+
+TEST(SmoothingAdversary, ValidatesInputShapes) {
+  auto adv = SmoothingAdversary::Create(StochasticMatrix::Uniform(2),
+                                        StochasticMatrix::Uniform(2));
+  ASSERT_TRUE(adv.ok());
+  EXPECT_FALSE(adv->RealizedTplSeries({}).ok());
+  EXPECT_FALSE(adv->RealizedTplSeries({{0.0, 0.0, 0.0}}).ok());
+}
+
+TEST(SmoothingAdversary, UniformCorrelationsReduceToPerReleaseGap) {
+  // With uniform P^B and P^F, only the release at time t informs l^t.
+  auto adv = SmoothingAdversary::Create(StochasticMatrix::Uniform(2),
+                                        StochasticMatrix::Uniform(2));
+  ASSERT_TRUE(adv.ok());
+  auto realized =
+      adv->RealizedTplSeries({{-1.0, -2.0}, {-0.25, -0.5}, {-3.0, -3.0}});
+  ASSERT_TRUE(realized.ok());
+  EXPECT_NEAR((*realized)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*realized)[1], 0.25, 1e-12);
+  EXPECT_NEAR((*realized)[2], 0.0, 1e-12);
+}
+
+TEST(SmoothingAdversary, IdentityCorrelationsSumAllGaps) {
+  // P = I both ways chains every release's evidence into every t.
+  auto adv = SmoothingAdversary::Create(StochasticMatrix::Identity(2),
+                                        StochasticMatrix::Identity(2));
+  ASSERT_TRUE(adv.ok());
+  auto realized =
+      adv->RealizedTplSeries({{-1.0, -1.5}, {-2.0, -2.25}, {0.0, -0.25}});
+  ASSERT_TRUE(realized.ok());
+  for (double v : *realized) {
+    EXPECT_NEAR(v, 0.5 + 0.25 + 0.25, 1e-12);
+  }
+}
+
+TEST(SmoothingAdversary, InteriorLeakageExceedsOnlineAdversary) {
+  // The smoothing attack uses future releases too, so its realized
+  // leakage at interior t dominates the online (filtering-only) one.
+  const auto p = StochasticMatrix::FromRows({{0.9, 0.1}, {0.2, 0.8}});
+  auto smoothing = SmoothingAdversary::Create(p, p);
+  ASSERT_TRUE(smoothing.ok());
+  Rng rng(81);
+  const double eps = 0.6;
+  const double scale = 2.0 / eps;  // strict histogram sensitivity
+  const std::size_t horizon = 6;
+
+  std::vector<std::vector<double>> densities;
+  BayesianAdversary online(p);
+  std::vector<double> online_leakage;
+  for (std::size_t t = 0; t < horizon; ++t) {
+    std::vector<double> noisy = {1.0 + rng.Laplace(scale),
+                                 rng.Laplace(scale)};
+    auto d = HistogramLogDensities(noisy, {0.0, 0.0}, eps, 2.0);
+    ASSERT_TRUE(d.ok());
+    densities.push_back(*d);
+    ASSERT_TRUE(online.Observe(*d).ok());
+    online_leakage.push_back(online.RealizedLeakage());
+  }
+  auto realized = smoothing->RealizedTplSeries(densities);
+  ASSERT_TRUE(realized.ok());
+  // At t=1 (index 0) the smoothing adversary sees 5 extra future
+  // releases the online one had not seen at that point.
+  EXPECT_GE((*realized)[0], online_leakage[0] - 1e-9);
+  // At the last step they coincide: no future left, same past.
+  EXPECT_NEAR((*realized)[horizon - 1], online_leakage[horizon - 1], 1e-9);
+}
+
+// The central validation: realized smoothed leakage never exceeds the
+// analytic TPL bound at any time point, across many trials.
+TEST(SmoothingAdversary, RealizedLeakageBoundedByAnalyticTpl) {
+  const auto p = StochasticMatrix::FromRows({{0.85, 0.15}, {0.25, 0.75}});
+  auto corr = TemporalCorrelations::Both(p, p);
+  ASSERT_TRUE(corr.ok());
+  const double eps = 0.5;
+  const std::size_t horizon = 8;
+
+  TplAccountant accountant(*corr);
+  ASSERT_TRUE(accountant.RecordUniformReleases(eps, horizon).ok());
+  const auto tpl = accountant.TplSeries();
+
+  auto adversary = SmoothingAdversary::Create(p, p);
+  ASSERT_TRUE(adversary.ok());
+  Rng rng(82);
+  const double scale = 2.0 / eps;
+  const std::vector<double> others = {9.0, 6.0};
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::vector<double>> densities;
+    for (std::size_t t = 0; t < horizon; ++t) {
+      std::vector<double> noisy = {others[0] + 1.0 + rng.Laplace(scale),
+                                   others[1] + rng.Laplace(scale)};
+      auto d = HistogramLogDensities(noisy, others, eps, 2.0);
+      ASSERT_TRUE(d.ok());
+      densities.push_back(*d);
+    }
+    auto realized = adversary->RealizedTplSeries(densities);
+    ASSERT_TRUE(realized.ok());
+    for (std::size_t t = 0; t < horizon; ++t) {
+      EXPECT_LE((*realized)[t], tpl[t] + 1e-9)
+          << "trial=" << trial << " t=" << (t + 1);
+    }
+  }
+}
+
+// Under the strongest correlation the realized leakage should get close
+// to the (linearly growing) bound for extreme outputs.
+TEST(BayesianAdversary, StrongCorrelationLeakageGrowsOverTime) {
+  const auto backward = StochasticMatrix::Identity(2);
+  const double eps = 1.0;
+  Rng rng(72);
+  BayesianAdversary adv(backward);
+  double prev = 0.0;
+  bool grew = false;
+  for (std::size_t t = 1; t <= 10; ++t) {
+    std::vector<double> noisy = {1.0 + rng.Laplace(1.0 / eps),
+                                 rng.Laplace(1.0 / eps)};
+    auto densities = HistogramLogDensities(noisy, {0.0, 0.0}, eps);
+    ASSERT_TRUE(densities.ok());
+    ASSERT_TRUE(adv.Observe(*densities).ok());
+    if (adv.RealizedLeakage() > prev + 0.3) grew = true;
+    prev = adv.RealizedLeakage();
+  }
+  EXPECT_TRUE(grew);
+  EXPECT_GT(prev, 2.0);  // well beyond single-release eps = 1
+}
+
+}  // namespace
+}  // namespace tcdp

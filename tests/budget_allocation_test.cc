@@ -1,0 +1,180 @@
+// Unit tests for core/budget_allocation: Algorithms 2 and 3 on the
+// paper's Figure 7 configuration, plus invariants audited through the
+// accountant.
+
+#include "core/budget_allocation.h"
+
+#include <gtest/gtest.h>
+
+#include "core/supremum.h"
+#include "core/tpl_accountant.h"
+#include "markov/smoothing.h"
+
+namespace tcdp {
+namespace {
+
+// Figure 7 configuration: P^B = (0.8 .2; .2 .8), P^F = (0.8 .2; .1 .9),
+// goal 1-DP_T.
+TemporalCorrelations Fig7Correlations() {
+  auto c = TemporalCorrelations::Both(
+      StochasticMatrix::FromRows({{0.8, 0.2}, {0.2, 0.8}}),
+      StochasticMatrix::FromRows({{0.8, 0.2}, {0.1, 0.9}}));
+  EXPECT_TRUE(c.ok());
+  return std::move(c).value();
+}
+
+TEST(BudgetAllocator, ValidatesAlpha) {
+  EXPECT_FALSE(BudgetAllocator::Create(Fig7Correlations(), 0.0).ok());
+  EXPECT_FALSE(BudgetAllocator::Create(Fig7Correlations(), -1.0).ok());
+}
+
+TEST(BudgetAllocator, NoCorrelationGivesFullBudget) {
+  auto alloc = BudgetAllocator::Create(TemporalCorrelations::None(), 0.7);
+  ASSERT_TRUE(alloc.ok());
+  EXPECT_DOUBLE_EQ(alloc->budget().eps_steady, 0.7);
+  auto sched = alloc->QuantifiedSchedule(4);
+  ASSERT_TRUE(sched.ok());
+  for (double e : *sched) EXPECT_DOUBLE_EQ(e, 0.7);
+}
+
+TEST(BudgetAllocator, StrongestBackwardCorrelationFails) {
+  auto c = TemporalCorrelations::BackwardOnly(StochasticMatrix::Identity(2));
+  auto alloc = BudgetAllocator::Create(c, 1.0);
+  EXPECT_FALSE(alloc.ok());
+  EXPECT_EQ(alloc.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(BudgetAllocator, StrongestForwardCorrelationFails) {
+  auto c = TemporalCorrelations::ForwardOnly(StochasticMatrix::Identity(2));
+  auto alloc = BudgetAllocator::Create(c, 1.0);
+  EXPECT_FALSE(alloc.ok());
+}
+
+TEST(BudgetAllocator, BalanceEquationsHold) {
+  auto alloc = BudgetAllocator::Create(Fig7Correlations(), 1.0);
+  ASSERT_TRUE(alloc.ok());
+  const BalancedBudget& b = alloc->budget();
+  EXPECT_GT(b.eps_steady, 0.0);
+  EXPECT_GT(b.alpha_b, 0.0);
+  EXPECT_LE(b.alpha_b, 1.0 + 1e-9);
+  // eps = alpha_b - L^B(alpha_b).
+  TemporalLossFunction lb(Fig7Correlations().backward());
+  EXPECT_NEAR(b.eps_steady, b.alpha_b - lb.Evaluate(b.alpha_b), 1e-6);
+  // eps = alpha_f - L^F(alpha_f).
+  TemporalLossFunction lf(Fig7Correlations().forward());
+  EXPECT_NEAR(b.eps_steady, b.alpha_f - lf.Evaluate(b.alpha_f), 1e-6);
+  // alpha split: alpha_b + alpha_f - eps = alpha (Equation 10).
+  EXPECT_NEAR(b.alpha_b + b.alpha_f - b.eps_steady, 1.0, 1e-6);
+}
+
+TEST(BudgetAllocator, BackwardOnlyPutsWholeBoundOnBpl) {
+  auto c = TemporalCorrelations::BackwardOnly(
+      StochasticMatrix::FromRows({{0.8, 0.2}, {0.0, 1.0}}));
+  auto alloc = BudgetAllocator::Create(c, 0.6459511);  // sup at eps=0.1
+  ASSERT_TRUE(alloc.ok());
+  // With no forward correlation, alpha_b = alpha and eps = alpha - L(alpha),
+  // which for this matrix/alpha is the paper's eps = 0.1.
+  EXPECT_NEAR(alloc->budget().alpha_b, 0.6459511, 1e-6);
+  EXPECT_NEAR(alloc->budget().eps_steady, 0.1, 1e-5);
+}
+
+// Algorithm 2 contract: uniform schedule keeps TPL_t < alpha for every t
+// and any horizon.
+TEST(BudgetAllocator, UpperBoundScheduleBoundsTplForAnyHorizon) {
+  auto alloc = BudgetAllocator::Create(Fig7Correlations(), 1.0);
+  ASSERT_TRUE(alloc.ok());
+  for (std::size_t horizon : {1u, 2u, 5u, 30u, 200u}) {
+    auto schedule = alloc->UpperBoundSchedule(horizon);
+    TplAccountant acc(Fig7Correlations());
+    for (double e : schedule) ASSERT_TRUE(acc.RecordRelease(e).ok());
+    EXPECT_LE(acc.MaxTpl(), 1.0 + 1e-8) << "horizon=" << horizon;
+  }
+}
+
+// Algorithm 3 contract: TPL_t == alpha exactly at every time point.
+TEST(BudgetAllocator, QuantifiedScheduleAchievesAlphaExactly) {
+  auto alloc = BudgetAllocator::Create(Fig7Correlations(), 1.0);
+  ASSERT_TRUE(alloc.ok());
+  for (std::size_t horizon : {2u, 3u, 10u, 30u}) {
+    auto schedule = alloc->QuantifiedSchedule(horizon);
+    ASSERT_TRUE(schedule.ok());
+    TplAccountant acc(Fig7Correlations());
+    for (double e : *schedule) ASSERT_TRUE(acc.RecordRelease(e).ok());
+    auto tpl = acc.TplSeries();
+    for (std::size_t t = 0; t < tpl.size(); ++t) {
+      EXPECT_NEAR(tpl[t], 1.0, 1e-6)
+          << "horizon=" << horizon << " t=" << (t + 1);
+    }
+  }
+}
+
+TEST(BudgetAllocator, QuantifiedScheduleShape) {
+  auto alloc = BudgetAllocator::Create(Fig7Correlations(), 1.0);
+  ASSERT_TRUE(alloc.ok());
+  auto s = alloc->QuantifiedSchedule(6);
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->size(), 6u);
+  // First and last get more budget than the steady middle (the paper's
+  // "more influential" observation).
+  EXPECT_GT(s->front(), (*s)[1]);
+  EXPECT_GT(s->back(), (*s)[1]);
+  for (std::size_t i = 1; i + 1 < s->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*s)[i], alloc->budget().eps_steady);
+  }
+  EXPECT_FALSE(alloc->QuantifiedSchedule(0).ok());
+  // Horizon 1: single release with full alpha.
+  auto s1 = alloc->QuantifiedSchedule(1);
+  ASSERT_TRUE(s1.ok());
+  EXPECT_DOUBLE_EQ((*s1)[0], 1.0);
+}
+
+TEST(BudgetAllocator, QuantifiedBeatsUpperBoundOnShortHorizons) {
+  // Figure 8(a): for short T the quantified schedule spends more budget
+  // (less noise).
+  auto alloc = BudgetAllocator::Create(Fig7Correlations(), 1.0);
+  ASSERT_TRUE(alloc.ok());
+  const std::size_t horizon = 5;
+  auto q = alloc->QuantifiedSchedule(horizon);
+  ASSERT_TRUE(q.ok());
+  auto u = alloc->UpperBoundSchedule(horizon);
+  double q_sum = 0.0, u_sum = 0.0;
+  for (double e : *q) q_sum += e;
+  for (double e : u) u_sum += e;
+  EXPECT_GT(q_sum, u_sum);
+}
+
+TEST(BudgetAllocator, StrongerCorrelationsGetSmallerSteadyBudget) {
+  double prev = 0.0;
+  for (double s : {0.001, 0.01, 0.1, 1.0}) {
+    auto m = SmoothedCorrelationMatrix(4, s);
+    ASSERT_TRUE(m.ok());
+    auto c = TemporalCorrelations::Both(*m, *m);
+    ASSERT_TRUE(c.ok());
+    auto alloc = BudgetAllocator::Create(*c, 2.0);
+    ASSERT_TRUE(alloc.ok());
+    EXPECT_GT(alloc->budget().eps_steady, prev) << "s=" << s;
+    prev = alloc->budget().eps_steady;
+  }
+}
+
+TEST(MinSchedule, TakesPerTimeMinimum) {
+  auto m = MinSchedule({{0.5, 1.0, 0.2}, {0.4, 2.0, 0.3}});
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(*m, (std::vector<double>{0.4, 1.0, 0.2}));
+}
+
+TEST(MinSchedule, Validates) {
+  EXPECT_FALSE(MinSchedule({}).ok());
+  EXPECT_FALSE(MinSchedule({{}}).ok());
+  EXPECT_FALSE(MinSchedule({{0.1}, {0.1, 0.2}}).ok());
+}
+
+TEST(GroupDpSchedule, UniformAlphaOverT) {
+  auto s = GroupDpSchedule(1.0, 4);
+  ASSERT_EQ(s.size(), 4u);
+  for (double e : s) EXPECT_DOUBLE_EQ(e, 0.25);
+  EXPECT_TRUE(GroupDpSchedule(1.0, 0).empty());
+}
+
+}  // namespace
+}  // namespace tcdp

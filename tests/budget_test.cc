@@ -1,0 +1,91 @@
+// Unit tests for dp/budget: the ledger, sequential composition
+// (Theorem 3), and w-event windows (Table II).
+
+#include "dp/budget.h"
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(BudgetLedger, StartsEmpty) {
+  BudgetLedger ledger;
+  EXPECT_EQ(ledger.num_releases(), 0u);
+  EXPECT_DOUBLE_EQ(ledger.TotalSpent(), 0.0);
+}
+
+TEST(BudgetLedger, SpendValidatesEpsilon) {
+  BudgetLedger ledger;
+  EXPECT_FALSE(ledger.Spend(0.0).ok());
+  EXPECT_FALSE(ledger.Spend(-1.0).ok());
+  EXPECT_TRUE(ledger.Spend(0.5).ok());
+}
+
+TEST(BudgetLedger, SequentialCompositionSums) {
+  // Theorem 3: the combined mechanism spends the sum.
+  BudgetLedger ledger;
+  ASSERT_TRUE(ledger.Spend(0.1).ok());
+  ASSERT_TRUE(ledger.Spend(0.2).ok());
+  ASSERT_TRUE(ledger.Spend(0.3).ok());
+  EXPECT_NEAR(ledger.TotalSpent(), 0.6, 1e-12);
+  EXPECT_EQ(ledger.num_releases(), 3u);
+}
+
+TEST(BudgetLedger, CapEnforced) {
+  BudgetLedger ledger(1.0);
+  ASSERT_TRUE(ledger.Spend(0.7).ok());
+  auto over = ledger.Spend(0.5);
+  EXPECT_EQ(over.code(), StatusCode::kResourceExhausted);
+  EXPECT_NEAR(ledger.TotalSpent(), 0.7, 1e-12);  // rejected spend not booked
+  EXPECT_TRUE(ledger.Spend(0.3).ok());
+  EXPECT_NEAR(ledger.Remaining(), 0.0, 1e-9);
+}
+
+TEST(BudgetLedger, LabelsStored) {
+  BudgetLedger ledger;
+  ASSERT_TRUE(ledger.Spend(0.5, "t=1").ok());
+  ASSERT_EQ(ledger.entries().size(), 1u);
+  EXPECT_EQ(ledger.entries()[0].label, "t=1");
+}
+
+TEST(BudgetLedger, WindowSpendValidatesW) {
+  BudgetLedger ledger;
+  EXPECT_FALSE(ledger.WindowSpend(0).ok());
+}
+
+TEST(BudgetLedger, WindowSpendEmptyLedgerIsZero) {
+  BudgetLedger ledger;
+  auto w = ledger.WindowSpend(3);
+  ASSERT_TRUE(w.ok());
+  EXPECT_DOUBLE_EQ(*w, 0.0);
+}
+
+TEST(BudgetLedger, WindowSpendSlidingMaximum) {
+  BudgetLedger ledger;
+  for (double e : {0.1, 0.5, 0.2, 0.4, 0.05}) ASSERT_TRUE(ledger.Spend(e).ok());
+  // Windows of 2: (0.6, 0.7, 0.6, 0.45) -> 0.7.
+  auto w2 = ledger.WindowSpend(2);
+  ASSERT_TRUE(w2.ok());
+  EXPECT_NEAR(*w2, 0.7, 1e-12);
+  // Window of 1: max single = 0.5.
+  auto w1 = ledger.WindowSpend(1);
+  ASSERT_TRUE(w1.ok());
+  EXPECT_NEAR(*w1, 0.5, 1e-12);
+  // Window larger than history: total.
+  auto w9 = ledger.WindowSpend(9);
+  ASSERT_TRUE(w9.ok());
+  EXPECT_NEAR(*w9, ledger.TotalSpent(), 1e-12);
+}
+
+TEST(BudgetLedger, WEventPropertyUniformBudget) {
+  // Table II: releasing eps-DP at each step gives w*eps over any window.
+  BudgetLedger ledger;
+  const double eps = 0.2;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(ledger.Spend(eps).ok());
+  auto w4 = ledger.WindowSpend(4);
+  ASSERT_TRUE(w4.ok());
+  EXPECT_NEAR(*w4, 4 * eps, 1e-12);
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,166 @@
+// Unit tests for tools/cli: every subcommand driven in-process, against
+// temp files.
+
+#include "tools/cli.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "markov/io.h"
+
+namespace tcdp {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    matrix_path_ = "/tmp/tcdp_cli_test_matrix.csv";
+    traj_path_ = "/tmp/tcdp_cli_test_traj.csv";
+    std::ofstream m(matrix_path_);
+    m << "0.8,0.2\n0.0,1.0\n";
+    std::ofstream t(traj_path_);
+    t << "0,0,1,1,1\n0,1,1,0,0\n1,1,1,1,0\n";
+  }
+  void TearDown() override {
+    std::remove(matrix_path_.c_str());
+    std::remove(traj_path_.c_str());
+    std::remove("/tmp/tcdp_cli_test_out.csv");
+    std::remove("/tmp/tcdp_cli_test_back.csv");
+  }
+
+  StatusOr<std::string> Run(std::vector<std::string> args) {
+    std::ostringstream out;
+    Status s = cli::Run(args, out);
+    if (!s.ok()) return s;
+    return out.str();
+  }
+
+  std::string matrix_path_;
+  std::string traj_path_;
+};
+
+TEST_F(CliTest, HelpOnEmptyAndExplicit) {
+  auto empty = Run({});
+  ASSERT_TRUE(empty.ok());
+  EXPECT_NE(empty->find("usage: tcdp"), std::string::npos);
+  auto help = Run({"help"});
+  ASSERT_TRUE(help.ok());
+  EXPECT_EQ(*help, cli::HelpText());
+}
+
+TEST_F(CliTest, UnknownCommandFails) {
+  auto r = Run({"frobnicate"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, FlagParsingErrors) {
+  EXPECT_FALSE(Run({"quantify", "positional"}).ok());
+  EXPECT_FALSE(Run({"quantify", "--epsilon"}).ok());  // missing value
+  EXPECT_FALSE(Run({"quantify", "--epsilon", "abc", "--matrix",
+                    matrix_path_, "--horizon", "3"})
+                   .ok());
+}
+
+TEST_F(CliTest, QuantifyPrintsTimeline) {
+  auto r = Run({"quantify", "--matrix", matrix_path_, "--epsilon", "0.1",
+                "--horizon", "10"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  // The Figure 3 hump: max TPL ~ 0.6368, user level = 1.0.
+  EXPECT_NE(r->find("max TPL (event-level alpha): 0.6368"),
+            std::string::npos);
+  EXPECT_NE(r->find("user-level TPL (Corollary 1): 1.0000"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, QuantifyWithExplicitSchedule) {
+  auto r = Run({"quantify", "--backward", matrix_path_, "--schedule",
+                "0.1,0.2,0.3"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(r->find("0.300000"), std::string::npos);
+}
+
+TEST_F(CliTest, QuantifyRequiresCorrelations) {
+  EXPECT_FALSE(Run({"quantify", "--epsilon", "0.1", "--horizon", "5"}).ok());
+  // --matrix excludes --backward.
+  EXPECT_FALSE(Run({"quantify", "--matrix", matrix_path_, "--backward",
+                    matrix_path_, "--epsilon", "0.1", "--horizon", "5"})
+                   .ok());
+}
+
+TEST_F(CliTest, SupremumReportsBothDirections) {
+  auto r = Run({"supremum", "--matrix", matrix_path_, "--epsilon", "0.1"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(r->find("BPL: supremum = 0.645907"), std::string::npos);
+  EXPECT_NE(r->find("FPL: supremum = 0.645907"), std::string::npos);
+}
+
+TEST_F(CliTest, SupremumDetectsNonExistence) {
+  auto r = Run({"supremum", "--matrix", matrix_path_, "--epsilon", "0.25"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NE(r->find("does not exist"), std::string::npos);
+}
+
+TEST_F(CliTest, AllocateQuantifiedAuditsAtAlpha) {
+  auto r = Run({"allocate", "--matrix", matrix_path_, "--alpha", "1.0",
+                "--horizon", "8"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(r->find("strategy: quantified"), std::string::npos);
+  EXPECT_NE(r->find("audited max TPL: 1.0000"), std::string::npos);
+}
+
+TEST_F(CliTest, AllocateStrategies) {
+  auto ub = Run({"allocate", "--matrix", matrix_path_, "--alpha", "1.0",
+                 "--horizon", "5", "--strategy", "upper-bound"});
+  ASSERT_TRUE(ub.ok());
+  auto group = Run({"allocate", "--matrix", matrix_path_, "--alpha", "1.0",
+                    "--horizon", "5", "--strategy", "group"});
+  ASSERT_TRUE(group.ok());
+  EXPECT_NE(group->find("0.200000"), std::string::npos);  // alpha/T
+  EXPECT_FALSE(Run({"allocate", "--matrix", matrix_path_, "--alpha", "1.0",
+                    "--horizon", "5", "--strategy", "bogus"})
+                   .ok());
+}
+
+TEST_F(CliTest, EstimatePrintsMatrix) {
+  auto r = Run({"estimate", "--trajectories", traj_path_});
+  ASSERT_TRUE(r.ok()) << r.status();
+  // Output must itself parse as a stochastic matrix.
+  auto parsed = ParseStochasticMatrix(*r);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed->size(), 2u);
+}
+
+TEST_F(CliTest, EstimateWritesFiles) {
+  auto r = Run({"estimate", "--trajectories", traj_path_, "--out",
+                "/tmp/tcdp_cli_test_out.csv", "--backward-out",
+                "/tmp/tcdp_cli_test_back.csv"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_TRUE(LoadStochasticMatrix("/tmp/tcdp_cli_test_out.csv").ok());
+  EXPECT_TRUE(LoadStochasticMatrix("/tmp/tcdp_cli_test_back.csv").ok());
+}
+
+TEST_F(CliTest, EstimateHigherOrderEmbeds) {
+  auto r = Run({"estimate", "--trajectories", traj_path_, "--order", "2",
+                "--smoothing", "0.1"});
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_NE(r->find("order-2 model embedded over 4 histories"),
+            std::string::npos);
+  // Strip the comment line, the rest is a 4x4 matrix.
+  auto body = r->substr(r->find('\n') + 1);
+  auto parsed = ParseStochasticMatrix(body);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 4u);
+}
+
+TEST_F(CliTest, EstimateMissingFileIsNotFound) {
+  auto r = Run({"estimate", "--trajectories", "/tmp/missing_tcdp.csv"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace tcdp

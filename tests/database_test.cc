@@ -1,0 +1,80 @@
+// Unit tests for dp/database: snapshots and the event-level neighboring
+// relation.
+
+#include "dp/database.h"
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(Database, CreateValidatesDomain) {
+  EXPECT_FALSE(Database::Create({0, 1}, 0).ok());
+  EXPECT_FALSE(Database::Create({0, 5}, 3).ok());
+  EXPECT_TRUE(Database::Create({0, 2}, 3).ok());
+  EXPECT_TRUE(Database::Create({}, 3).ok());  // empty user set is legal
+}
+
+TEST(Database, AccessorsWork) {
+  auto db = Database::Create({1, 0, 1}, 2);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_users(), 3u);
+  EXPECT_EQ(db->domain_size(), 2u);
+  EXPECT_EQ(db->value(0), 1u);
+  EXPECT_EQ(db->value(1), 0u);
+}
+
+TEST(Database, HistogramCountsValues) {
+  auto db = Database::Create({0, 0, 2, 1, 0}, 3);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->Histogram(), (std::vector<double>{3, 1, 1}));
+}
+
+TEST(Database, Figure1CountsAtTime1) {
+  // Fig 1(a) column t=1: u1=loc3, u2=loc2, u3=loc2, u4=loc4.
+  auto db = Database::Create({2, 1, 1, 3}, 5);
+  ASSERT_TRUE(db.ok());
+  // Fig 1(c) column t=1: loc1..loc5 = 0, 2, 1, 1, 0.
+  EXPECT_EQ(db->Histogram(), (std::vector<double>{0, 2, 1, 1, 0}));
+}
+
+TEST(Database, WithValueBuildsNeighbor) {
+  auto db = Database::Create({0, 1}, 3);
+  ASSERT_TRUE(db.ok());
+  auto n = db->WithValue(0, 2);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->value(0), 2u);
+  EXPECT_EQ(db->value(0), 0u);  // original untouched
+  EXPECT_TRUE(AreNeighbors(*db, *n));
+}
+
+TEST(Database, WithValueValidates) {
+  auto db = Database::Create({0, 1}, 3);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->WithValue(5, 1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(db->WithValue(0, 7).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AreNeighbors, RequiresExactlyOneDifference) {
+  auto a = Database::Create({0, 1, 2}, 3);
+  auto b = Database::Create({0, 1, 2}, 3);   // identical
+  auto c = Database::Create({1, 1, 2}, 3);   // one diff
+  auto d = Database::Create({1, 0, 2}, 3);   // two diffs
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok() && d.ok());
+  EXPECT_FALSE(AreNeighbors(*a, *b));
+  EXPECT_TRUE(AreNeighbors(*a, *c));
+  EXPECT_FALSE(AreNeighbors(*a, *d));
+}
+
+TEST(AreNeighbors, ShapeMismatchIsNotNeighboring) {
+  auto a = Database::Create({0, 1}, 3);
+  auto b = Database::Create({0}, 3);
+  auto c = Database::Create({0, 1}, 4);
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_FALSE(AreNeighbors(*a, *b));
+  EXPECT_FALSE(AreNeighbors(*a, *c));
+}
+
+}  // namespace
+}  // namespace tcdp

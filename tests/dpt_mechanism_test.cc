@@ -1,0 +1,136 @@
+// Unit tests for core/dpt_mechanism: the end-to-end alpha-DP_T wrapper.
+
+#include "core/dpt_mechanism.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace tcdp {
+namespace {
+
+TemporalCorrelations MildCorrelations() {
+  auto c = TemporalCorrelations::Both(
+      StochasticMatrix::FromRows({{0.8, 0.2}, {0.2, 0.8}}),
+      StochasticMatrix::FromRows({{0.8, 0.2}, {0.1, 0.9}}));
+  EXPECT_TRUE(c.ok());
+  return std::move(c).value();
+}
+
+TimeSeriesDatabase SmallSeries(std::size_t horizon) {
+  auto m = StochasticMatrix::FromRows({{0.8, 0.2}, {0.1, 0.9}});
+  auto chain = MarkovChain::WithUniformInitial(m);
+  Rng rng(60);
+  auto series = SimulatePopulation(chain, 20, horizon, &rng);
+  EXPECT_TRUE(series.ok());
+  return std::move(series).value();
+}
+
+TEST(DptMechanism, CreatePropagatesAllocatorFailure) {
+  auto strongest =
+      TemporalCorrelations::BackwardOnly(StochasticMatrix::Identity(2));
+  auto m = DptMechanism::Create(strongest, 1.0, DptStrategy::kUpperBound);
+  EXPECT_FALSE(m.ok());
+}
+
+TEST(DptMechanism, ScheduleMatchesStrategy) {
+  auto mech =
+      DptMechanism::Create(MildCorrelations(), 1.0, DptStrategy::kQuantified);
+  ASSERT_TRUE(mech.ok());
+  auto s = mech->Schedule(5);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT(s->front(), (*s)[1]);  // quantified shape
+
+  auto ub =
+      DptMechanism::Create(MildCorrelations(), 1.0, DptStrategy::kUpperBound);
+  ASSERT_TRUE(ub.ok());
+  auto us = ub->Schedule(5);
+  ASSERT_TRUE(us.ok());
+  for (double e : *us) EXPECT_DOUBLE_EQ(e, ub->budget().eps_steady);
+
+  auto gp = DptMechanism::Create(MildCorrelations(), 1.0,
+                                 DptStrategy::kGroupDpBaseline);
+  ASSERT_TRUE(gp.ok());
+  auto gs = gp->Schedule(5);
+  ASSERT_TRUE(gs.ok());
+  for (double e : *gs) EXPECT_DOUBLE_EQ(e, 0.2);
+
+  EXPECT_FALSE(mech->Schedule(0).ok());
+}
+
+TEST(DptMechanism, ReleaseSeriesAuditsWithinAlpha) {
+  Rng rng(61);
+  auto mech =
+      DptMechanism::Create(MildCorrelations(), 1.0, DptStrategy::kQuantified);
+  ASSERT_TRUE(mech.ok());
+  auto result = mech->ReleaseSeries(SmallSeries(12),
+                                    std::make_unique<HistogramQuery>(), &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->releases.size(), 12u);
+  EXPECT_EQ(result->tpl_series.size(), 12u);
+  EXPECT_LE(result->max_tpl, 1.0 + 1e-6);
+  EXPECT_NEAR(result->max_tpl, 1.0, 1e-5);  // quantified is exact
+  EXPECT_GT(result->expected_abs_noise, 0.0);
+}
+
+TEST(DptMechanism, UpperBoundStaysStrictlyBelowAlphaOnShortHorizons) {
+  Rng rng(62);
+  auto mech =
+      DptMechanism::Create(MildCorrelations(), 1.0, DptStrategy::kUpperBound);
+  ASSERT_TRUE(mech.ok());
+  auto result = mech->ReleaseSeries(SmallSeries(6),
+                                    std::make_unique<HistogramQuery>(), &rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->max_tpl, 1.0);
+}
+
+TEST(DptMechanism, QuantifiedHasLessNoiseThanUpperBoundShortT) {
+  Rng rng(63);
+  auto q =
+      DptMechanism::Create(MildCorrelations(), 1.0, DptStrategy::kQuantified);
+  auto u =
+      DptMechanism::Create(MildCorrelations(), 1.0, DptStrategy::kUpperBound);
+  ASSERT_TRUE(q.ok());
+  ASSERT_TRUE(u.ok());
+  auto series = SmallSeries(5);
+  auto qr =
+      q->ReleaseSeries(series, std::make_unique<HistogramQuery>(), &rng);
+  auto ur =
+      u->ReleaseSeries(series, std::make_unique<HistogramQuery>(), &rng);
+  ASSERT_TRUE(qr.ok());
+  ASSERT_TRUE(ur.ok());
+  EXPECT_LT(qr->expected_abs_noise, ur->expected_abs_noise);
+}
+
+TEST(DptMechanism, GroupDpBaselineOverPerturbsLongHorizons) {
+  Rng rng(64);
+  auto g = DptMechanism::Create(MildCorrelations(), 1.0,
+                                DptStrategy::kGroupDpBaseline);
+  auto u =
+      DptMechanism::Create(MildCorrelations(), 1.0, DptStrategy::kUpperBound);
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(u.ok());
+  auto series = SmallSeries(40);
+  auto gr =
+      g->ReleaseSeries(series, std::make_unique<HistogramQuery>(), &rng);
+  auto ur =
+      u->ReleaseSeries(series, std::make_unique<HistogramQuery>(), &rng);
+  ASSERT_TRUE(gr.ok());
+  ASSERT_TRUE(ur.ok());
+  // alpha/T = 0.025 per step vs the correlation-aware steady budget.
+  EXPECT_GT(gr->expected_abs_noise, ur->expected_abs_noise);
+}
+
+TEST(DptMechanism, RejectsEmptySeries) {
+  Rng rng(65);
+  auto mech =
+      DptMechanism::Create(MildCorrelations(), 1.0, DptStrategy::kUpperBound);
+  ASSERT_TRUE(mech.ok());
+  TimeSeriesDatabase empty(2);
+  EXPECT_FALSE(
+      mech->ReleaseSeries(empty, std::make_unique<HistogramQuery>(), &rng)
+          .ok());
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,100 @@
+// Unit tests for markov/estimation: MLE of forward/backward correlations
+// from trajectories (the adversary's supervised route, Section III-A).
+
+#include "markov/estimation.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "markov/smoothing.h"
+
+namespace tcdp {
+namespace {
+
+TEST(EstimateForward, ValidatesInputs) {
+  EXPECT_FALSE(EstimateForwardTransition({{0, 1}}, 0).ok());
+  EXPECT_FALSE(EstimateForwardTransition({{0, 5}}, 2).ok());
+  EXPECT_FALSE(EstimateForwardTransition({{0}}, 2).ok());  // no pairs
+  EstimationOptions bad;
+  bad.additive_smoothing = -1.0;
+  EXPECT_FALSE(EstimateForwardTransition({{0, 1}}, 2, bad).ok());
+}
+
+TEST(EstimateForward, CountsSimpleTransitions) {
+  // 0->1 twice, 0->0 once, 1->0 twice.
+  std::vector<Trajectory> trajs = {{0, 1, 0, 1, 0}, {0, 0}};
+  auto m = EstimateForwardTransition(trajs, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->At(0, 1), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m->At(0, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m->At(1, 0), 1.0);
+}
+
+TEST(EstimateForward, UnobservedRowFallsBackToUniform) {
+  std::vector<Trajectory> trajs = {{0, 0, 0}};
+  auto m = EstimateForwardTransition(trajs, 3);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->At(1, 0), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m->At(2, 2), 1.0 / 3.0, 1e-12);
+}
+
+TEST(EstimateForward, AdditiveSmoothingShiftsTowardUniform) {
+  std::vector<Trajectory> trajs = {{0, 1, 0, 1}};
+  EstimationOptions opts;
+  opts.additive_smoothing = 1000.0;
+  auto m = EstimateForwardTransition(trajs, 2, opts);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->At(0, 1), 0.5, 0.01);
+}
+
+TEST(EstimateBackward, ReversesCountDirection) {
+  // Trajectory 0 -> 1: backward transition from current 1 to previous 0.
+  std::vector<Trajectory> trajs = {{0, 1}};
+  auto m = EstimateBackwardTransition(trajs, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->At(1, 0), 1.0);
+}
+
+TEST(EstimateForward, RecoversTrueMatrixFromManySamples) {
+  Rng rng(77);
+  auto truth = SmoothedCorrelationMatrix(4, 0.2);
+  ASSERT_TRUE(truth.ok());
+  auto chain = MarkovChain::WithUniformInitial(*truth);
+  std::vector<Trajectory> trajs;
+  for (int i = 0; i < 400; ++i) trajs.push_back(chain.Simulate(200, &rng));
+  auto est = EstimateForwardTransition(trajs, 4);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(est->matrix().MaxAbsDiff(truth->matrix()), 0.02);
+}
+
+TEST(EstimateBackward, MatchesBayesReversalOnLongRuns) {
+  // Empirical backward MLE should approximate the stationary Bayesian
+  // reversal of the forward chain.
+  Rng rng(78);
+  auto fwd = StochasticMatrix::FromRows(
+      {{0.1, 0.8, 0.1}, {0.1, 0.1, 0.8}, {0.8, 0.1, 0.1}});
+  auto chain = MarkovChain::WithUniformInitial(fwd);
+  std::vector<Trajectory> trajs;
+  for (int i = 0; i < 200; ++i) trajs.push_back(chain.Simulate(400, &rng));
+  auto est_back = EstimateBackwardTransition(trajs, 3);
+  ASSERT_TRUE(est_back.ok());
+  // Current state 1 mostly came from state 0 in this biased cycle.
+  EXPECT_GT(est_back->At(1, 0), 0.6);
+}
+
+TEST(EstimateInitialDistribution, CountsFirstStates) {
+  std::vector<Trajectory> trajs = {{0, 1}, {0}, {2, 2}, {0}};
+  auto d = EstimateInitialDistribution(trajs, 3);
+  ASSERT_TRUE(d.ok());
+  EXPECT_DOUBLE_EQ((*d)[0], 0.75);
+  EXPECT_DOUBLE_EQ((*d)[1], 0.0);
+  EXPECT_DOUBLE_EQ((*d)[2], 0.25);
+}
+
+TEST(EstimateInitialDistribution, RejectsEmptyInput) {
+  EXPECT_FALSE(EstimateInitialDistribution({}, 2).ok());
+  EXPECT_FALSE(EstimateInitialDistribution({{}}, 2).ok());
+}
+
+}  // namespace
+}  // namespace tcdp

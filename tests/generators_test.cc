@@ -1,0 +1,106 @@
+// Unit tests for workload/generators.
+
+#include "workload/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "markov/smoothing.h"
+
+namespace tcdp {
+namespace {
+
+TEST(RingRoadNetwork, ValidatesParameters) {
+  EXPECT_FALSE(RingRoadNetwork(2).ok());
+  EXPECT_FALSE(RingRoadNetwork(5, 0.6, 0.3).ok());  // 0.6 + 0.6 > 1
+  EXPECT_FALSE(RingRoadNetwork(5, -0.1, 0.3).ok());
+}
+
+TEST(RingRoadNetwork, RowsAreDistributionsWithNeighborStructure) {
+  auto m = RingRoadNetwork(6, 0.4, 0.25);
+  ASSERT_TRUE(m.ok());
+  for (std::size_t i = 0; i < 6; ++i) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < 6; ++j) sum += m->At(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+    // Stay and adjacent moves dominate background.
+    EXPECT_GT(m->At(i, i), m->At(i, (i + 2) % 6));
+    EXPECT_GT(m->At(i, (i + 1) % 6), m->At(i, (i + 3) % 6));
+  }
+}
+
+TEST(RingRoadNetwork, IsIrreducible) {
+  auto m = RingRoadNetwork(5);
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(MarkovChain::WithUniformInitial(*m).IsIrreducible());
+}
+
+TEST(ClickstreamModel, ValidatesParameters) {
+  EXPECT_FALSE(ClickstreamModel(1).ok());
+  EXPECT_FALSE(ClickstreamModel(5, 0.6, 0.6).ok());
+}
+
+TEST(ClickstreamModel, HubAttractsTraffic) {
+  auto m = ClickstreamModel(8, 0.4, 0.3);
+  ASSERT_TRUE(m.ok());
+  for (std::size_t i = 2; i < 8; ++i) {
+    EXPECT_GT(m->At(i, 0), m->At(i, 2)) << "page " << i;
+  }
+}
+
+TEST(SimulateTrajectories, ShapesAndDeterminism) {
+  auto m = RingRoadNetwork(5);
+  ASSERT_TRUE(m.ok());
+  auto chain = MarkovChain::WithUniformInitial(*m);
+  Rng rng1(55), rng2(55);
+  auto t1 = SimulateTrajectories(chain, 10, 20, &rng1);
+  auto t2 = SimulateTrajectories(chain, 10, 20, &rng2);
+  ASSERT_EQ(t1.size(), 10u);
+  EXPECT_EQ(t1, t2);  // same seed, same trajectories
+  for (const auto& traj : t1) EXPECT_EQ(traj.size(), 20u);
+}
+
+TEST(SimulatePopulation, BuildsConsistentSeries) {
+  auto m = RingRoadNetwork(5);
+  ASSERT_TRUE(m.ok());
+  auto chain = MarkovChain::WithUniformInitial(*m);
+  Rng rng(56);
+  auto series = SimulatePopulation(chain, 12, 8, &rng);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->horizon(), 8u);
+  EXPECT_EQ(series->num_users(), 12u);
+  EXPECT_EQ(series->domain_size(), 5u);
+  // Every snapshot histogram sums to the population.
+  for (std::size_t t = 1; t <= 8; ++t) {
+    auto db = series->At(t);
+    ASSERT_TRUE(db.ok());
+    double total = 0.0;
+    for (double c : db->Histogram()) total += c;
+    EXPECT_DOUBLE_EQ(total, 12.0);
+  }
+}
+
+TEST(SimulatePopulation, ValidatesArguments) {
+  auto m = RingRoadNetwork(5);
+  ASSERT_TRUE(m.ok());
+  auto chain = MarkovChain::WithUniformInitial(*m);
+  Rng rng(57);
+  EXPECT_FALSE(SimulatePopulation(chain, 0, 5, &rng).ok());
+  EXPECT_FALSE(SimulatePopulation(chain, 5, 0, &rng).ok());
+}
+
+TEST(MakeFigure1Scenario, MatchesPaperTables) {
+  auto scenario = MakeFigure1Scenario();
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->series.horizon(), 3u);
+  EXPECT_EQ(scenario->series.num_users(), 4u);
+  EXPECT_EQ(scenario->location_names.size(), 5u);
+  // True counts of Figure 1(c), t=2: loc1=2, loc4=1, loc5=1.
+  auto d2 = scenario->series.At(2);
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d2->Histogram(), (std::vector<double>{2, 0, 0, 1, 1}));
+  // The Example 1 pattern: loc4 -> loc5 with probability 1.
+  EXPECT_DOUBLE_EQ(scenario->forward_correlation.At(3, 4), 1.0);
+}
+
+}  // namespace
+}  // namespace tcdp

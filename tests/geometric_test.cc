@@ -1,0 +1,117 @@
+// Unit tests for dp/geometric: the discrete (two-sided geometric)
+// mechanism, including a likelihood-ratio DP audit.
+
+#include "dp/geometric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(GeometricMechanism, CreateValidates) {
+  EXPECT_FALSE(GeometricMechanism::Create(0.0).ok());
+  EXPECT_FALSE(GeometricMechanism::Create(-1.0).ok());
+  EXPECT_FALSE(GeometricMechanism::Create(1.0, 0).ok());
+  EXPECT_FALSE(GeometricMechanism::Create(1.0, -2).ok());
+  EXPECT_TRUE(GeometricMechanism::Create(0.5, 2).ok());
+}
+
+TEST(GeometricMechanism, RatioFormula) {
+  auto m = GeometricMechanism::Create(1.0, 2);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->ratio(), std::exp(-0.5), 1e-12);
+}
+
+TEST(GeometricMechanism, PmfSumsToOne) {
+  auto m = GeometricMechanism::Create(0.7);
+  ASSERT_TRUE(m.ok());
+  double mass = 0.0;
+  for (std::int64_t k = -200; k <= 200; ++k) mass += m->Pmf(k);
+  EXPECT_NEAR(mass, 1.0, 1e-10);
+}
+
+TEST(GeometricMechanism, PmfSymmetricAndDecaying) {
+  auto m = GeometricMechanism::Create(0.5);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->Pmf(3), m->Pmf(-3));
+  EXPECT_GT(m->Pmf(0), m->Pmf(1));
+  EXPECT_NEAR(m->Pmf(1) / m->Pmf(0), m->ratio(), 1e-12);
+}
+
+TEST(GeometricMechanism, EmpiricalMomentsMatchAnalytic) {
+  Rng rng(90);
+  auto m = GeometricMechanism::Create(0.4);
+  ASSERT_TRUE(m.ok());
+  const int kSamples = 300000;
+  double abs_acc = 0.0, sq_acc = 0.0, acc = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const auto k = m->SampleNoise(&rng);
+    acc += static_cast<double>(k);
+    abs_acc += static_cast<double>(std::llabs(k));
+    sq_acc += static_cast<double>(k) * static_cast<double>(k);
+  }
+  EXPECT_NEAR(acc / kSamples, 0.0, 0.03);  // symmetric
+  EXPECT_NEAR(abs_acc / kSamples, m->ExpectedAbsNoise(), 0.05);
+  EXPECT_NEAR(sq_acc / kSamples, m->NoiseVariance(), 0.35);
+}
+
+TEST(GeometricMechanism, PerturbVectorKeepsIntegrality) {
+  Rng rng(91);
+  auto m = GeometricMechanism::Create(1.0);
+  ASSERT_TRUE(m.ok());
+  auto out = m->PerturbVector({3.0, 0.0, 12.0}, &rng);
+  ASSERT_EQ(out.size(), 3u);
+  for (double v : out) {
+    EXPECT_DOUBLE_EQ(v, std::round(v)) << "non-integer release";
+  }
+}
+
+// The DP property: Pmf(k) / Pmf(k - sensitivity) <= e^eps for all k.
+TEST(GeometricMechanism, LikelihoodRatioBounded) {
+  const double eps = 0.8;
+  const int sensitivity = 2;
+  auto m = GeometricMechanism::Create(eps, sensitivity);
+  ASSERT_TRUE(m.ok());
+  for (std::int64_t k = -30; k <= 30; ++k) {
+    const double ratio = m->Pmf(k) / m->Pmf(k - sensitivity);
+    EXPECT_LE(std::log(ratio), eps + 1e-12) << "k=" << k;
+    EXPECT_GE(std::log(ratio), -eps - 1e-12) << "k=" << k;
+  }
+}
+
+// Empirical audit, mirroring the Laplace one: histogram outputs under
+// neighboring inputs and check observed log-odds.
+TEST(GeometricMechanism, EmpiricalPrivacyAudit) {
+  Rng rng(92);
+  const double eps = 1.0;
+  auto m = GeometricMechanism::Create(eps);
+  ASSERT_TRUE(m.ok());
+  const int kSamples = 300000;
+  const int lo = -6, hi = 8;
+  std::vector<double> h0(hi - lo + 1, 1.0), h1(hi - lo + 1, 1.0);
+  for (int i = 0; i < kSamples; ++i) {
+    const auto r0 = m->Perturb(0, &rng);
+    const auto r1 = m->Perturb(1, &rng);
+    if (r0 >= lo && r0 <= hi) h0[static_cast<std::size_t>(r0 - lo)] += 1.0;
+    if (r1 >= lo && r1 <= hi) h1[static_cast<std::size_t>(r1 - lo)] += 1.0;
+  }
+  for (std::size_t b = 0; b < h0.size(); ++b) {
+    // Only bins with enough mass for the log-odds estimate to be stable
+    // (tail bins carry ~100 samples and +-10% noise).
+    if (h0[b] < 2000.0 || h1[b] < 2000.0) continue;
+    EXPECT_LE(std::fabs(std::log(h0[b] / h1[b])), eps + 0.1) << "bin " << b;
+  }
+}
+
+TEST(GeometricMechanism, SmallerEpsilonMoreNoise) {
+  auto tight = GeometricMechanism::Create(2.0);
+  auto loose = GeometricMechanism::Create(0.2);
+  ASSERT_TRUE(tight.ok());
+  ASSERT_TRUE(loose.ok());
+  EXPECT_LT(tight->ExpectedAbsNoise(), loose->ExpectedAbsNoise());
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,159 @@
+// Unit tests for markov/higher_order: k-th order chains, the first-order
+// embedding, and estimation — the Section III-D extension.
+
+#include "markov/higher_order.h"
+
+#include <gtest/gtest.h>
+
+#include "core/privacy_loss.h"
+#include "core/tpl_accountant.h"
+#include "linalg/matrix.h"
+#include "markov/estimation.h"
+
+namespace tcdp {
+namespace {
+
+// Order-2 chain over {0,1}: next value = XOR of the last two w.p. 0.9.
+HigherOrderChain XorishChain() {
+  Matrix table(4, 2);
+  // histories: 00 01 10 11 (oldest first); xor: 0 1 1 0.
+  const double p = 0.9;
+  table.SetRow(0, {p, 1 - p});
+  table.SetRow(1, {1 - p, p});
+  table.SetRow(2, {1 - p, p});
+  table.SetRow(3, {p, 1 - p});
+  auto chain = HigherOrderChain::Create(2, 2, std::move(table));
+  EXPECT_TRUE(chain.ok());
+  return std::move(chain).value();
+}
+
+TEST(PowChecked, ComputesAndGuards) {
+  auto ok = PowChecked(3, 4);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 81u);
+  EXPECT_FALSE(PowChecked(10, 10).ok());  // 1e10 > default limit
+  auto one = PowChecked(5, 0);
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(*one, 1u);
+}
+
+TEST(HigherOrderChain, CreateValidatesShape) {
+  EXPECT_FALSE(HigherOrderChain::Create(2, 2, Matrix(3, 2, 0.5)).ok());
+  EXPECT_FALSE(HigherOrderChain::Create(2, 2, Matrix(4, 3, 1.0 / 3)).ok());
+  EXPECT_FALSE(HigherOrderChain::Create(1, 2, Matrix(1, 1, 1.0)).ok());
+  EXPECT_FALSE(HigherOrderChain::Create(2, 0, Matrix(1, 2, 0.5)).ok());
+  // Non-stochastic row.
+  Matrix bad(4, 2, 0.3);
+  EXPECT_FALSE(HigherOrderChain::Create(2, 2, std::move(bad)).ok());
+}
+
+TEST(HigherOrderChain, EncodeDecodeRoundTrip) {
+  auto chain = XorishChain();
+  for (std::size_t code = 0; code < 4; ++code) {
+    auto history = chain.DecodeHistory(code);
+    auto back = chain.EncodeHistory(history);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, code);
+  }
+  EXPECT_EQ(chain.DecodeHistory(2), (std::vector<std::size_t>{1, 0}));
+}
+
+TEST(HigherOrderChain, EncodeValidates) {
+  auto chain = XorishChain();
+  EXPECT_FALSE(chain.EncodeHistory({0}).ok());        // wrong window size
+  EXPECT_FALSE(chain.EncodeHistory({0, 5}).ok());     // bad value
+}
+
+TEST(HigherOrderChain, TransitionProbabilityLookups) {
+  auto chain = XorishChain();
+  auto p = chain.TransitionProbability({0, 1}, 1);  // xor = 1
+  ASSERT_TRUE(p.ok());
+  EXPECT_DOUBLE_EQ(*p, 0.9);
+  EXPECT_FALSE(chain.TransitionProbability({0, 1}, 9).ok());
+}
+
+TEST(HigherOrderChain, EmbeddingIsStochasticAndShiftsWindows) {
+  auto chain = XorishChain();
+  auto embedded = chain.EmbedAsFirstOrder();
+  EXPECT_EQ(embedded.size(), 4u);
+  // From history 01 (code 1), emitting value v moves to history (1, v):
+  // code 2 for v=0, code 3 for v=1.
+  EXPECT_DOUBLE_EQ(embedded.At(1, 2), 0.1);
+  EXPECT_DOUBLE_EQ(embedded.At(1, 3), 0.9);
+  // Unreachable codes from 01 are zero.
+  EXPECT_DOUBLE_EQ(embedded.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(embedded.At(1, 1), 0.0);
+}
+
+TEST(HigherOrderChain, EmbeddedLossFeedsPaperMachinery) {
+  // The whole point of the embedding: Algorithm 1 + the accountant work
+  // on the embedded matrix unchanged.
+  auto chain = XorishChain();
+  TemporalLossFunction loss(chain.EmbedAsFirstOrder());
+  const double l1 = loss.Evaluate(1.0);
+  EXPECT_GT(l1, 0.0);
+  EXPECT_LE(l1, 1.0 + 1e-12);
+
+  TplAccountant acc(
+      TemporalCorrelations::BackwardOnly(chain.EmbedAsFirstOrder()));
+  ASSERT_TRUE(acc.RecordUniformReleases(0.2, 6).ok());
+  EXPECT_GT(acc.MaxTpl(), 0.2);  // correlations compound
+}
+
+TEST(HigherOrderChain, SimulateRespectsDynamics) {
+  Rng rng(99);
+  auto chain = XorishChain();
+  auto traj = chain.Simulate(5000, &rng);
+  ASSERT_EQ(traj.size(), 5000u);
+  // Count how often the next value equals xor of the previous two.
+  std::size_t match = 0, total = 0;
+  for (std::size_t t = 2; t < traj.size(); ++t) {
+    ++total;
+    if (traj[t] == (traj[t - 1] ^ traj[t - 2])) ++match;
+  }
+  EXPECT_NEAR(static_cast<double>(match) / static_cast<double>(total), 0.9,
+              0.02);
+}
+
+TEST(HigherOrderChain, EstimateRecoversTable) {
+  Rng rng(100);
+  auto truth = XorishChain();
+  std::vector<Trajectory> trajs;
+  for (int i = 0; i < 60; ++i) trajs.push_back(truth.Simulate(400, &rng));
+  auto est = HigherOrderChain::Estimate(trajs, 2, 2);
+  ASSERT_TRUE(est.ok());
+  EXPECT_LT(est->table().MaxAbsDiff(truth.table()), 0.03);
+}
+
+TEST(HigherOrderChain, EstimateValidates) {
+  EXPECT_FALSE(HigherOrderChain::Estimate({{0, 1}}, 2, 2).ok());  // too short
+  EXPECT_FALSE(HigherOrderChain::Estimate({{0, 1, 5}}, 2, 2).ok());
+  EXPECT_FALSE(HigherOrderChain::Estimate({{0, 1, 0}}, 2, 2, -1.0).ok());
+  // Smoothing rescues the no-window case.
+  EXPECT_TRUE(HigherOrderChain::Estimate({{0, 1}}, 2, 2, 0.5).ok());
+}
+
+TEST(HigherOrderChain, SecondOrderBeatsFirstOrderOnXorData) {
+  // The XOR process has NO first-order signal: Pr(next | current) is
+  // 50/50. An order-2 model captures it; the embedded TPL reflects the
+  // stronger adversary.
+  Rng rng(101);
+  auto truth = XorishChain();
+  std::vector<Trajectory> trajs;
+  for (int i = 0; i < 60; ++i) trajs.push_back(truth.Simulate(300, &rng));
+
+  auto first = EstimateForwardTransition(trajs, 2);
+  ASSERT_TRUE(first.ok());
+  TemporalLossFunction first_loss(*first);
+  auto second = HigherOrderChain::Estimate(trajs, 2, 2);
+  ASSERT_TRUE(second.ok());
+  TemporalLossFunction second_loss(second->EmbedAsFirstOrder());
+
+  // First-order sees an almost uniform matrix -> tiny loss increment.
+  EXPECT_LT(first_loss.Evaluate(1.0), 0.05);
+  // Second-order sees the deterministic-ish structure -> large increment.
+  EXPECT_GT(second_loss.Evaluate(1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,155 @@
+// Unit tests for markov/hmm: forward-backward, Viterbi, and Baum-Welch
+// (the adversary's unsupervised correlation-learning route).
+
+#include "markov/hmm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+HiddenMarkovModel SimpleHmm() {
+  // Two hidden states with near-deterministic emissions.
+  auto m = HiddenMarkovModel::Create(
+      {0.6, 0.4}, StochasticMatrix::FromRows({{0.7, 0.3}, {0.4, 0.6}}),
+      Matrix({{0.9, 0.1}, {0.2, 0.8}}));
+  EXPECT_TRUE(m.ok());
+  return std::move(m).value();
+}
+
+TEST(Hmm, CreateValidatesShapes) {
+  EXPECT_FALSE(HiddenMarkovModel::Create(
+                   {1.0}, StochasticMatrix::Uniform(2), Matrix(2, 2, 0.5))
+                   .ok());
+  EXPECT_FALSE(HiddenMarkovModel::Create({0.5, 0.5},
+                                         StochasticMatrix::Uniform(2),
+                                         Matrix(3, 2, 0.5))
+                   .ok());
+  EXPECT_FALSE(HiddenMarkovModel::Create({0.5, 0.5},
+                                         StochasticMatrix::Uniform(2),
+                                         Matrix({{0.9, 0.9}, {0.5, 0.5}}))
+                   .ok());
+}
+
+TEST(Hmm, LogLikelihoodMatchesBruteForceEnumeration) {
+  auto hmm = SimpleHmm();
+  const ObservationSequence obs = {0, 1, 0};
+  // Brute force: sum over all 2^3 hidden paths.
+  double total = 0.0;
+  for (int h0 = 0; h0 < 2; ++h0) {
+    for (int h1 = 0; h1 < 2; ++h1) {
+      for (int h2 = 0; h2 < 2; ++h2) {
+        double p = hmm.initial()[h0] * hmm.emission().At(h0, obs[0]);
+        p *= hmm.transition().At(h0, h1) * hmm.emission().At(h1, obs[1]);
+        p *= hmm.transition().At(h1, h2) * hmm.emission().At(h2, obs[2]);
+        total += p;
+      }
+    }
+  }
+  auto ll = hmm.LogLikelihood(obs);
+  ASSERT_TRUE(ll.ok());
+  EXPECT_NEAR(*ll, std::log(total), 1e-10);
+}
+
+TEST(Hmm, LogLikelihoodRejectsBadSymbols) {
+  auto hmm = SimpleHmm();
+  EXPECT_FALSE(hmm.LogLikelihood({0, 5}).ok());
+  EXPECT_FALSE(hmm.LogLikelihood({}).ok());
+}
+
+TEST(Hmm, ImpossibleSequenceFailsCleanly) {
+  // Emission of symbol 1 from every state is 0 -> zero-probability path.
+  auto hmm = HiddenMarkovModel::Create(
+      {1.0, 0.0}, StochasticMatrix::Identity(2),
+      Matrix({{1.0, 0.0}, {1.0, 0.0}}));
+  ASSERT_TRUE(hmm.ok());
+  auto ll = hmm->LogLikelihood({1});
+  EXPECT_FALSE(ll.ok());
+  EXPECT_EQ(ll.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Hmm, SampleShapesAndRanges) {
+  Rng rng(10);
+  auto hmm = SimpleHmm();
+  Trajectory hidden;
+  ObservationSequence observed;
+  hmm.Sample(25, &rng, &hidden, &observed);
+  ASSERT_EQ(hidden.size(), 25u);
+  ASSERT_EQ(observed.size(), 25u);
+  for (auto h : hidden) EXPECT_LT(h, 2u);
+  for (auto o : observed) EXPECT_LT(o, 2u);
+}
+
+TEST(Hmm, ViterbiRecoversObviousPath) {
+  // Nearly deterministic emissions: the decoded path should match the
+  // symbols' "home" states.
+  auto hmm = SimpleHmm();
+  auto path = hmm.Viterbi({0, 0, 1, 1, 0});
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (Trajectory{0, 0, 1, 1, 0}));
+}
+
+TEST(Hmm, ViterbiPathLikelihoodIsAchievable) {
+  auto hmm = SimpleHmm();
+  const ObservationSequence obs = {0, 1, 1, 0};
+  auto path = hmm.Viterbi(obs);
+  ASSERT_TRUE(path.ok());
+  auto ll = hmm.LogLikelihood(obs);
+  ASSERT_TRUE(ll.ok());
+  // Single-path probability <= total probability.
+  double logp = std::log(hmm.initial()[(*path)[0]]) +
+                std::log(hmm.emission().At((*path)[0], obs[0]));
+  for (std::size_t t = 1; t < obs.size(); ++t) {
+    logp += std::log(hmm.transition().At((*path)[t - 1], (*path)[t]));
+    logp += std::log(hmm.emission().At((*path)[t], obs[t]));
+  }
+  EXPECT_LE(logp, *ll + 1e-12);
+}
+
+TEST(Hmm, BaumWelchRejectsEmptyInput) {
+  EXPECT_FALSE(SimpleHmm().BaumWelch({}).ok());
+}
+
+TEST(Hmm, BaumWelchLikelihoodNonDecreasing) {
+  Rng rng(11);
+  auto truth = SimpleHmm();
+  std::vector<ObservationSequence> data;
+  for (int i = 0; i < 20; ++i) {
+    Trajectory h;
+    ObservationSequence o;
+    truth.Sample(60, &rng, &h, &o);
+    data.push_back(std::move(o));
+  }
+  auto start = HiddenMarkovModel::Random(2, 2, &rng);
+  auto fit = start.BaumWelch(data, 30);
+  ASSERT_TRUE(fit.ok());
+  for (std::size_t i = 1; i < fit->log_likelihoods.size(); ++i) {
+    EXPECT_GE(fit->log_likelihoods[i], fit->log_likelihoods[i - 1] - 1e-6)
+        << "EM iteration " << i;
+  }
+}
+
+TEST(Hmm, BaumWelchImprovesOverRandomInit) {
+  Rng rng(12);
+  auto truth = SimpleHmm();
+  std::vector<ObservationSequence> data;
+  for (int i = 0; i < 30; ++i) {
+    Trajectory h;
+    ObservationSequence o;
+    truth.Sample(80, &rng, &h, &o);
+    data.push_back(std::move(o));
+  }
+  auto start = HiddenMarkovModel::Random(2, 2, &rng);
+  double start_ll = 0.0;
+  for (const auto& o : data) start_ll += *start.LogLikelihood(o);
+  auto fit = start.BaumWelch(data, 50);
+  ASSERT_TRUE(fit.ok());
+  double end_ll = 0.0;
+  for (const auto& o : data) end_ll += *fit->model.LogLikelihood(o);
+  EXPECT_GT(end_ll, start_ll);
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,127 @@
+// Unit tests for dp/laplace: the Theorem 1 mechanism and an empirical
+// differential-privacy check of the likelihood-ratio bound.
+
+#include "dp/laplace.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(LaplaceMechanism, CreateValidates) {
+  EXPECT_FALSE(LaplaceMechanism::Create(0.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Create(-1.0).ok());
+  EXPECT_FALSE(LaplaceMechanism::Create(1.0, 0.0).ok());
+  EXPECT_TRUE(LaplaceMechanism::Create(0.5, 2.0).ok());
+}
+
+TEST(LaplaceMechanism, ScaleIsSensitivityOverEpsilon) {
+  auto m = LaplaceMechanism::Create(0.5, 2.0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->scale(), 4.0);
+  EXPECT_DOUBLE_EQ(m->ExpectedAbsNoise(), 4.0);
+  EXPECT_DOUBLE_EQ(m->NoiseVariance(), 32.0);
+}
+
+TEST(LaplaceMechanism, PerturbIsUnbiased) {
+  Rng rng(20);
+  auto m = LaplaceMechanism::Create(1.0);
+  ASSERT_TRUE(m.ok());
+  double acc = 0.0;
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) acc += m->Perturb(10.0, &rng);
+  EXPECT_NEAR(acc / kSamples, 10.0, 0.02);
+}
+
+TEST(LaplaceMechanism, EmpiricalAbsNoiseMatchesExpectation) {
+  Rng rng(21);
+  auto m = LaplaceMechanism::Create(0.1);  // scale 10
+  ASSERT_TRUE(m.ok());
+  double acc = 0.0;
+  const int kSamples = 200000;
+  for (int i = 0; i < kSamples; ++i) {
+    acc += std::fabs(m->Perturb(0.0, &rng));
+  }
+  EXPECT_NEAR(acc / kSamples, m->ExpectedAbsNoise(), 0.15);
+}
+
+TEST(LaplaceMechanism, PerturbVectorIsElementwise) {
+  Rng rng(22);
+  auto m = LaplaceMechanism::Create(1.0);
+  ASSERT_TRUE(m.ok());
+  auto out = m->PerturbVector({1.0, 2.0, 3.0}, &rng);
+  ASSERT_EQ(out.size(), 3u);
+  // Noise should differ per coordinate almost surely.
+  EXPECT_NE(out[0] - 1.0, out[1] - 2.0);
+}
+
+TEST(LaplaceMechanism, PdfIntegratesToOneOnGrid) {
+  const double scale = 1.5;
+  double mass = 0.0;
+  const double dx = 0.01;
+  for (double x = -30.0; x <= 30.0; x += dx) {
+    mass += LaplaceMechanism::Pdf(x, scale) * dx;
+  }
+  EXPECT_NEAR(mass, 1.0, 1e-3);
+}
+
+TEST(LaplaceMechanism, CdfMatchesClosedForm) {
+  EXPECT_DOUBLE_EQ(LaplaceMechanism::Cdf(0.0, 1.0), 0.5);
+  EXPECT_NEAR(LaplaceMechanism::Cdf(1.0, 1.0), 1.0 - 0.5 * std::exp(-1.0),
+              1e-12);
+  EXPECT_NEAR(LaplaceMechanism::Cdf(-1.0, 1.0), 0.5 * std::exp(-1.0), 1e-12);
+}
+
+TEST(LaplaceMechanism, CdfIsMonotone) {
+  double prev = 0.0;
+  for (double x = -10.0; x <= 10.0; x += 0.25) {
+    const double c = LaplaceMechanism::Cdf(x, 2.0);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+}
+
+// The DP guarantee itself: for outputs r, neighboring values v, v' with
+// |v - v'| <= sensitivity, pdf(r - v) / pdf(r - v') <= e^eps.
+TEST(LaplaceMechanism, LikelihoodRatioBoundedByExpEpsilon) {
+  const double eps = 0.7;
+  const double sensitivity = 1.0;
+  const double scale = sensitivity / eps;
+  for (double r = -5.0; r <= 5.0; r += 0.1) {
+    const double p0 = LaplaceMechanism::Pdf(r - 0.0, scale);
+    const double p1 = LaplaceMechanism::Pdf(r - 1.0, scale);
+    EXPECT_LE(std::log(p0 / p1), eps + 1e-12);
+    EXPECT_GE(std::log(p0 / p1), -eps - 1e-12);
+  }
+}
+
+// Empirical DP audit: histogram the mechanism's outputs under two
+// neighboring inputs and check the observed log-odds never exceed eps by
+// more than sampling error.
+TEST(LaplaceMechanism, EmpiricalPrivacyAudit) {
+  Rng rng(23);
+  const double eps = 1.0;
+  auto m = LaplaceMechanism::Create(eps);
+  ASSERT_TRUE(m.ok());
+  const int kSamples = 400000;
+  const double lo = -4.0, hi = 5.0, width = 0.5;
+  const int bins = static_cast<int>((hi - lo) / width);
+  std::vector<double> h0(bins, 1.0), h1(bins, 1.0);  // +1 smoothing
+  for (int i = 0; i < kSamples; ++i) {
+    const double r0 = m->Perturb(0.0, &rng);
+    const double r1 = m->Perturb(1.0, &rng);
+    const int b0 = static_cast<int>((r0 - lo) / width);
+    const int b1 = static_cast<int>((r1 - lo) / width);
+    if (b0 >= 0 && b0 < bins) h0[b0] += 1.0;
+    if (b1 >= 0 && b1 < bins) h1[b1] += 1.0;
+  }
+  for (int b = 0; b < bins; ++b) {
+    const double ratio = std::log(h0[b] / h1[b]);
+    EXPECT_LE(std::fabs(ratio), eps + 0.15) << "bin " << b;
+  }
+}
+
+}  // namespace
+}  // namespace tcdp

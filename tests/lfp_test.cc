@@ -1,0 +1,127 @@
+// Unit tests for lp/linear_fractional (Charnes-Cooper) and lp/dinkelbach:
+// both generic LFP routes must agree on hand-solvable fractional programs.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "lp/dinkelbach.h"
+#include "lp/linear_fractional.h"
+
+namespace tcdp {
+namespace {
+
+LinearConstraint Le(std::vector<double> coeffs, double rhs) {
+  return LinearConstraint{std::move(coeffs), Relation::kLessEqual, rhs};
+}
+
+// max (2x + y) / (x + y) on the box 1 <= x <= 2, 1 <= y <= 2.
+// The ratio increases with x and decreases with y -> optimum at (2, 1),
+// value 5/3.
+LinearFractionalProgram BoxInstance() {
+  LinearFractionalProgram lfp;
+  lfp.numerator = {2.0, 1.0};
+  lfp.denominator = {1.0, 1.0};
+  lfp.constraints = {Le({1, 0}, 2), Le({0, 1}, 2), Le({-1, 0}, -1),
+                     Le({0, -1}, -1)};
+  return lfp;
+}
+
+TEST(CharnesCooper, SolvesBoxInstance) {
+  auto sol = SolveLfpByCharnesCooper(BoxInstance());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 5.0 / 3.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-8);
+  EXPECT_NEAR(sol->x[1], 1.0, 1e-8);
+}
+
+TEST(Dinkelbach, SolvesBoxInstance) {
+  auto sol = SolveLfpByDinkelbach(BoxInstance());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 5.0 / 3.0, 1e-9);
+}
+
+TEST(BothRoutes, AgreeOnConstantRatio) {
+  // Numerator = denominator -> ratio identically 1.
+  LinearFractionalProgram lfp;
+  lfp.numerator = {1.0, 1.0};
+  lfp.denominator = {1.0, 1.0};
+  lfp.constraints = {Le({1, 1}, 4), Le({-1, -1}, -1)};
+  auto cc = SolveLfpByCharnesCooper(lfp);
+  auto dk = SolveLfpByDinkelbach(lfp);
+  ASSERT_TRUE(cc.ok());
+  ASSERT_TRUE(dk.ok());
+  EXPECT_NEAR(cc->objective_value, 1.0, 1e-9);
+  EXPECT_NEAR(dk->objective_value, 1.0, 1e-9);
+}
+
+TEST(BothRoutes, AgreeWithAffineTerms) {
+  // max (x + 1) / (2x + 1), x in [0, 3]: decreasing in x -> optimum x=0,
+  // value 1.
+  LinearFractionalProgram lfp;
+  lfp.numerator = {1.0};
+  lfp.numerator_const = 1.0;
+  lfp.denominator = {2.0};
+  lfp.denominator_const = 1.0;
+  lfp.constraints = {Le({1}, 3)};
+  auto cc = SolveLfpByCharnesCooper(lfp);
+  auto dk = SolveLfpByDinkelbach(lfp);
+  ASSERT_TRUE(cc.ok());
+  ASSERT_TRUE(dk.ok());
+  EXPECT_NEAR(cc->objective_value, 1.0, 1e-9);
+  EXPECT_NEAR(dk->objective_value, 1.0, 1e-9);
+}
+
+TEST(BothRoutes, AgreeOnIncreasingAffineInstance) {
+  // max (3x + 2) / (x + 4), x in [0, 5]: increasing -> x=5, value 17/9.
+  LinearFractionalProgram lfp;
+  lfp.numerator = {3.0};
+  lfp.numerator_const = 2.0;
+  lfp.denominator = {1.0};
+  lfp.denominator_const = 4.0;
+  lfp.constraints = {Le({1}, 5)};
+  auto cc = SolveLfpByCharnesCooper(lfp);
+  auto dk = SolveLfpByDinkelbach(lfp);
+  ASSERT_TRUE(cc.ok());
+  ASSERT_TRUE(dk.ok());
+  EXPECT_NEAR(cc->objective_value, 17.0 / 9.0, 1e-9);
+  EXPECT_NEAR(dk->objective_value, 17.0 / 9.0, 1e-9);
+}
+
+TEST(CharnesCooper, RejectsArityMismatch) {
+  LinearFractionalProgram lfp;
+  lfp.numerator = {1.0, 2.0};
+  lfp.denominator = {1.0};
+  EXPECT_FALSE(SolveLfpByCharnesCooper(lfp).ok());
+}
+
+TEST(CharnesCooper, ReportsInfeasible) {
+  LinearFractionalProgram lfp;
+  lfp.numerator = {1.0};
+  lfp.denominator = {1.0};
+  lfp.constraints = {Le({1}, 1), Le({-1}, -3)};  // x <= 1 and x >= 3
+  auto sol = SolveLfpByCharnesCooper(lfp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kInfeasible);
+}
+
+TEST(Dinkelbach, ReportsInfeasible) {
+  LinearFractionalProgram lfp;
+  lfp.numerator = {1.0};
+  lfp.denominator = {1.0};
+  lfp.constraints = {Le({1}, 1), Le({-1}, -3)};
+  auto sol = SolveLfpByDinkelbach(lfp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kInfeasible);
+}
+
+TEST(Dinkelbach, CountsTotalPivots) {
+  auto sol = SolveLfpByDinkelbach(BoxInstance());
+  ASSERT_TRUE(sol.ok());
+  EXPECT_GT(sol->iterations, 0u);
+}
+
+}  // namespace
+}  // namespace tcdp

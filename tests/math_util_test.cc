@@ -1,0 +1,101 @@
+// Unit tests for common/math_util.
+
+#include "common/math_util.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(ApproxEqual, WithinTolerance) {
+  EXPECT_TRUE(ApproxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(ApproxEqual(1.0, 1.0001));
+  EXPECT_TRUE(ApproxEqual(1.0, 1.1, 0.2));
+}
+
+TEST(RelApproxEqual, ScalesWithMagnitude) {
+  EXPECT_TRUE(RelApproxEqual(1e12, 1e12 * (1 + 1e-10)));
+  EXPECT_FALSE(RelApproxEqual(1e12, 1e12 * 1.01));
+  EXPECT_TRUE(RelApproxEqual(0.0, 1e-10));
+}
+
+TEST(Clamp, ClampsBothEnds) {
+  EXPECT_DOUBLE_EQ(Clamp(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Clamp(2.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+TEST(SafeLog, HandlesEdgeCases) {
+  EXPECT_DOUBLE_EQ(SafeLog(std::exp(1.0)), 1.0);
+  EXPECT_EQ(SafeLog(0.0), -kInf);
+  EXPECT_TRUE(std::isnan(SafeLog(-1.0)));
+}
+
+TEST(IsProbability, AcceptsRangeRejectsOutside) {
+  EXPECT_TRUE(IsProbability(0.0));
+  EXPECT_TRUE(IsProbability(1.0));
+  EXPECT_TRUE(IsProbability(0.5));
+  EXPECT_FALSE(IsProbability(1.1));
+  EXPECT_FALSE(IsProbability(-0.1));
+  EXPECT_FALSE(IsProbability(kInf));
+}
+
+TEST(IsProbabilityVector, ValidatesSumAndEntries) {
+  EXPECT_TRUE(IsProbabilityVector({0.25, 0.25, 0.5}));
+  EXPECT_FALSE(IsProbabilityVector({0.5, 0.6}));
+  EXPECT_FALSE(IsProbabilityVector({1.5, -0.5}));
+  EXPECT_FALSE(IsProbabilityVector({}));  // sums to 0
+}
+
+TEST(NormalizeInPlace, NormalizesPositiveVectors) {
+  std::vector<double> v = {1.0, 3.0};
+  ASSERT_TRUE(NormalizeInPlace(&v));
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+}
+
+TEST(NormalizeInPlace, RejectsZeroAndNegativeSums) {
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_FALSE(NormalizeInPlace(&zero));
+  std::vector<double> neg = {1.0, -2.0};
+  EXPECT_FALSE(NormalizeInPlace(&neg));
+  EXPECT_DOUBLE_EQ(neg[0], 1.0);  // untouched on failure
+}
+
+TEST(L1Distance, ComputesSumOfAbsoluteDiffs) {
+  EXPECT_DOUBLE_EQ(L1Distance({1, 2, 3}, {1, 0, 6}), 5.0);
+  EXPECT_DOUBLE_EQ(L1Distance({}, {}), 0.0);
+}
+
+TEST(LogSumExp, MatchesDirectComputation) {
+  std::vector<double> x = {0.0, 1.0, 2.0};
+  double direct = std::log(std::exp(0.0) + std::exp(1.0) + std::exp(2.0));
+  EXPECT_NEAR(LogSumExp(x), direct, 1e-12);
+}
+
+TEST(LogSumExp, StableForLargeInputs) {
+  std::vector<double> x = {1000.0, 1000.0};
+  EXPECT_NEAR(LogSumExp(x), 1000.0 + std::log(2.0), 1e-9);
+}
+
+TEST(LogSumExp, EmptyIsMinusInfinity) {
+  EXPECT_EQ(LogSumExp({}), -kInf);
+}
+
+TEST(LogSumExp, AllMinusInfinity) {
+  EXPECT_EQ(LogSumExp({-kInf, -kInf}), -kInf);
+}
+
+TEST(MeanStdDev, BasicValues) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(v), 5.0);
+  EXPECT_NEAR(StdDev(v), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(StdDev({1.0}), 0.0);
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,125 @@
+// Unit tests for linalg/matrix.
+
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+}
+
+TEST(Matrix, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m.At(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerListLayout) {
+  Matrix m({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4);
+}
+
+TEST(Matrix, FromFlatValidatesSize) {
+  auto ok = Matrix::FromFlat(2, 2, {1, 2, 3, 4});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok->At(1, 0), 3);
+  auto bad = Matrix::FromFlat(2, 2, {1, 2, 3});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Matrix, IdentityHasOnesOnDiagonal) {
+  Matrix id = Matrix::Identity(3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, RowAndColExtraction) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  EXPECT_EQ(m.Row(1), (std::vector<double>{4, 5, 6}));
+  EXPECT_EQ(m.Col(2), (std::vector<double>{3, 6}));
+}
+
+TEST(Matrix, SetRowOverwrites) {
+  Matrix m(2, 2, 0.0);
+  m.SetRow(0, {7, 8});
+  EXPECT_DOUBLE_EQ(m(0, 0), 7);
+  EXPECT_DOUBLE_EQ(m(0, 1), 8);
+  EXPECT_DOUBLE_EQ(m(1, 0), 0);
+}
+
+TEST(Matrix, TransposeSwapsIndices) {
+  Matrix m({{1, 2, 3}, {4, 5, 6}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{5, 6}, {7, 8}});
+  auto c = a.Multiply(b);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->ApproxEquals(Matrix({{19, 22}, {43, 50}})));
+}
+
+TEST(Matrix, MultiplyShapeMismatchFails) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_FALSE(a.Multiply(b).ok());
+}
+
+TEST(Matrix, MultiplyByIdentityIsNoop) {
+  Matrix a({{1, 2}, {3, 4}});
+  auto c = a.Multiply(Matrix::Identity(2));
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->ApproxEquals(a));
+}
+
+TEST(Matrix, LeftMultiplyIsRowVectorTimesMatrix) {
+  Matrix m({{1, 2}, {3, 4}});
+  // (1, 1) * m = (4, 6)
+  EXPECT_EQ(m.LeftMultiply({1, 1}), (std::vector<double>{4, 6}));
+}
+
+TEST(Matrix, RightMultiplyIsMatrixTimesColumn) {
+  Matrix m({{1, 2}, {3, 4}});
+  EXPECT_EQ(m.RightMultiply({1, 1}), (std::vector<double>{3, 7}));
+}
+
+TEST(Matrix, MaxAbsDiffAndApproxEquals) {
+  Matrix a({{1, 2}, {3, 4}});
+  Matrix b({{1, 2}, {3, 4.5}});
+  EXPECT_DOUBLE_EQ(a.MaxAbsDiff(b), 0.5);
+  EXPECT_FALSE(a.ApproxEquals(b));
+  EXPECT_TRUE(a.ApproxEquals(b, 0.6));
+}
+
+TEST(Matrix, ApproxEqualsRejectsShapeMismatch) {
+  EXPECT_FALSE(Matrix(2, 2).ApproxEquals(Matrix(2, 3)));
+}
+
+TEST(Matrix, ToStringContainsEntries) {
+  Matrix m({{1.25, 0}, {0, 1}});
+  const std::string s = m.ToString(2);
+  EXPECT_NE(s.find("1.25"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,134 @@
+// Unit tests for core/pdp_dpt: personalized alpha_i-DP_T planning and
+// release (Section III-D).
+
+#include "core/pdp_dpt.h"
+
+#include <gtest/gtest.h>
+
+#include "markov/smoothing.h"
+#include "workload/generators.h"
+
+namespace tcdp {
+namespace {
+
+TemporalCorrelations CorrOf(double s) {
+  auto m = SmoothedCorrelationMatrix(3, s);
+  EXPECT_TRUE(m.ok());
+  auto c = TemporalCorrelations::Both(*m, *m);
+  EXPECT_TRUE(c.ok());
+  return std::move(c).value();
+}
+
+std::vector<PdpUserSpec> ThreeUsers() {
+  return {
+      {"cautious", CorrOf(0.5), 0.5, DptStrategy::kQuantified},
+      {"moderate", CorrOf(0.5), 1.0, DptStrategy::kQuantified},
+      {"liberal", CorrOf(0.5), 2.0, DptStrategy::kQuantified},
+  };
+}
+
+TEST(PersonalizedDptPlanner, CreateValidates) {
+  EXPECT_FALSE(PersonalizedDptPlanner::Create({}).ok());
+  // A user with strongest correlations cannot be bounded; the error names
+  // the user.
+  std::vector<PdpUserSpec> users = ThreeUsers();
+  users.push_back({"impossible",
+                   TemporalCorrelations::BackwardOnly(
+                       StochasticMatrix::Identity(2)),
+                   1.0, DptStrategy::kQuantified});
+  auto planner = PersonalizedDptPlanner::Create(std::move(users));
+  ASSERT_FALSE(planner.ok());
+  EXPECT_NE(planner.status().message().find("impossible"),
+            std::string::npos);
+}
+
+TEST(PersonalizedDptPlanner, SchedulesOrderedByAlpha) {
+  auto planner = PersonalizedDptPlanner::Create(ThreeUsers());
+  ASSERT_TRUE(planner.ok());
+  auto schedules = planner->Schedules(8);
+  ASSERT_TRUE(schedules.ok());
+  ASSERT_EQ(schedules->size(), 3u);
+  // Identical correlations, increasing alphas -> pointwise increasing
+  // budgets.
+  for (std::size_t t = 0; t < 8; ++t) {
+    EXPECT_LT((*schedules)[0][t], (*schedules)[1][t]) << "t=" << t;
+    EXPECT_LT((*schedules)[1][t], (*schedules)[2][t]) << "t=" << t;
+  }
+}
+
+TEST(PersonalizedDptPlanner, ThresholdIsMaxOverUsers) {
+  auto planner = PersonalizedDptPlanner::Create(ThreeUsers());
+  ASSERT_TRUE(planner.ok());
+  auto schedules = planner->Schedules(5);
+  auto thresholds = planner->ThresholdSchedule(5);
+  ASSERT_TRUE(schedules.ok());
+  ASSERT_TRUE(thresholds.ok());
+  for (std::size_t t = 0; t < 5; ++t) {
+    double expected = 0.0;
+    for (const auto& s : *schedules) expected = std::max(expected, s[t]);
+    EXPECT_DOUBLE_EQ((*thresholds)[t], expected);
+  }
+}
+
+TEST(PersonalizedDptPlanner, MixedStrategiesSupported) {
+  std::vector<PdpUserSpec> users = {
+      {"ub", CorrOf(0.5), 1.0, DptStrategy::kUpperBound},
+      {"q", CorrOf(0.5), 1.0, DptStrategy::kQuantified},
+      {"g", CorrOf(0.5), 1.0, DptStrategy::kGroupDpBaseline},
+  };
+  auto planner = PersonalizedDptPlanner::Create(std::move(users));
+  ASSERT_TRUE(planner.ok());
+  auto schedules = planner->Schedules(4);
+  ASSERT_TRUE(schedules.ok());
+  // Upper bound: flat; quantified: peaked ends; group: alpha/T flat.
+  EXPECT_DOUBLE_EQ((*schedules)[0][0], (*schedules)[0][1]);
+  EXPECT_GT((*schedules)[1][0], (*schedules)[1][1]);
+  EXPECT_DOUBLE_EQ((*schedules)[2][0], 0.25);
+}
+
+TEST(PersonalizedDptPlanner, ReleaseSeriesAuditsEveryUser) {
+  auto planner = PersonalizedDptPlanner::Create(ThreeUsers());
+  ASSERT_TRUE(planner.ok());
+
+  // Build a 3-user series matching the planner's user count.
+  auto road = RingRoadNetwork(3, 0.5, 0.2);
+  ASSERT_TRUE(road.ok());
+  auto chain = MarkovChain::WithUniformInitial(*road);
+  Rng rng(11);
+  auto series = SimulatePopulation(chain, 3, 10, &rng);
+  ASSERT_TRUE(series.ok());
+
+  HistogramQuery query;
+  auto result = planner->ReleaseSeries(*series, query, &rng);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->releases.size(), 10u);
+  ASSERT_EQ(result->per_user_max_tpl.size(), 3u);
+  EXPECT_LE(result->per_user_max_tpl[0], 0.5 + 1e-6);
+  EXPECT_LE(result->per_user_max_tpl[1], 1.0 + 1e-6);
+  EXPECT_LE(result->per_user_max_tpl[2], 2.0 + 1e-6);
+  // Quantified strategy: each user's audit is tight at their own alpha.
+  EXPECT_NEAR(result->per_user_max_tpl[0], 0.5, 1e-5);
+  EXPECT_NEAR(result->per_user_max_tpl[2], 2.0, 1e-5);
+  // Thresholds match the max schedule.
+  auto thresholds = planner->ThresholdSchedule(10);
+  ASSERT_TRUE(thresholds.ok());
+  for (std::size_t t = 0; t < 10; ++t) {
+    EXPECT_DOUBLE_EQ(result->thresholds[t], (*thresholds)[t]);
+  }
+}
+
+TEST(PersonalizedDptPlanner, ReleaseSeriesValidatesUserCount) {
+  auto planner = PersonalizedDptPlanner::Create(ThreeUsers());
+  ASSERT_TRUE(planner.ok());
+  auto road = RingRoadNetwork(3, 0.5, 0.2);
+  ASSERT_TRUE(road.ok());
+  auto chain = MarkovChain::WithUniformInitial(*road);
+  Rng rng(12);
+  auto series = SimulatePopulation(chain, 5, 4, &rng);  // 5 users != 3
+  ASSERT_TRUE(series.ok());
+  HistogramQuery query;
+  EXPECT_FALSE(planner->ReleaseSeries(*series, query, &rng).ok());
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,109 @@
+// Unit tests for dp/personalized: the PDP Sample mechanism (Jorgensen et
+// al. [21], the paper's Section III-D hook).
+
+#include "dp/personalized.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(PdpSampleMechanism, CreateValidates) {
+  EXPECT_FALSE(PdpSampleMechanism::Create({}).ok());
+  EXPECT_FALSE(PdpSampleMechanism::Create({0.5, 0.0}).ok());
+  EXPECT_FALSE(PdpSampleMechanism::Create({0.5, -1.0}).ok());
+  // Threshold below max budget is inconsistent.
+  EXPECT_FALSE(PdpSampleMechanism::Create({0.5, 1.0}, 0.8).ok());
+  EXPECT_TRUE(PdpSampleMechanism::Create({0.5, 1.0}, 1.5).ok());
+}
+
+TEST(PdpSampleMechanism, DefaultThresholdIsMaxBudget) {
+  auto m = PdpSampleMechanism::Create({0.2, 0.9, 0.5});
+  ASSERT_TRUE(m.ok());
+  EXPECT_DOUBLE_EQ(m->threshold(), 0.9);
+}
+
+TEST(PdpSampleMechanism, InclusionProbabilityFormula) {
+  auto m = PdpSampleMechanism::Create({0.3, 1.0}, 1.0);
+  ASSERT_TRUE(m.ok());
+  EXPECT_NEAR(m->InclusionProbability(0),
+              std::expm1(0.3) / std::expm1(1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(m->InclusionProbability(1), 1.0);
+}
+
+TEST(PdpSampleMechanism, InclusionMonotoneInBudget) {
+  auto m = PdpSampleMechanism::Create({0.1, 0.5, 0.9, 1.3}, 1.3);
+  ASSERT_TRUE(m.ok());
+  for (std::size_t u = 1; u < 4; ++u) {
+    EXPECT_GT(m->InclusionProbability(u), m->InclusionProbability(u - 1));
+  }
+}
+
+TEST(PdpSampleMechanism, ReleaseValidatesUserCount) {
+  Rng rng(1);
+  auto m = PdpSampleMechanism::Create({0.5, 0.5});
+  ASSERT_TRUE(m.ok());
+  auto db = Database::Create({0, 1, 0}, 2);  // 3 users vs 2 budgets
+  ASSERT_TRUE(db.ok());
+  HistogramQuery query;
+  EXPECT_FALSE(m->Release(*db, query, &rng).ok());
+}
+
+TEST(PdpSampleMechanism, FullBudgetUsersAlwaysIncluded) {
+  Rng rng(2);
+  auto m = PdpSampleMechanism::Create({1.0, 0.05}, 1.0);
+  ASSERT_TRUE(m.ok());
+  auto db = Database::Create({0, 1}, 2);
+  ASSERT_TRUE(db.ok());
+  HistogramQuery query;
+  for (int trial = 0; trial < 200; ++trial) {
+    auto r = m->Release(*db, query, &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r->included[0]);
+  }
+}
+
+TEST(PdpSampleMechanism, SamplingRateMatchesFormula) {
+  Rng rng(3);
+  const double eps_small = 0.2, threshold = 1.0;
+  auto m = PdpSampleMechanism::Create({eps_small, threshold}, threshold);
+  ASSERT_TRUE(m.ok());
+  auto db = Database::Create({0, 1}, 2);
+  ASSERT_TRUE(db.ok());
+  HistogramQuery query;
+  int included = 0;
+  const int kTrials = 20000;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto r = m->Release(*db, query, &rng);
+    ASSERT_TRUE(r.ok());
+    if (r->included[0]) ++included;
+  }
+  EXPECT_NEAR(static_cast<double>(included) / kTrials,
+              std::expm1(eps_small) / std::expm1(threshold), 0.01);
+}
+
+TEST(PdpSampleMechanism, SampledCountsNeverExceedTrueCounts) {
+  Rng rng(4);
+  auto m = PdpSampleMechanism::Create({0.3, 0.3, 0.3, 0.3});
+  ASSERT_TRUE(m.ok());
+  auto db = Database::Create({0, 0, 1, 1}, 2);
+  ASSERT_TRUE(db.ok());
+  HistogramQuery query;
+  for (int trial = 0; trial < 100; ++trial) {
+    auto r = m->Release(*db, query, &rng);
+    ASSERT_TRUE(r.ok());
+    EXPECT_LE(r->true_values[0], 2.0);
+    EXPECT_LE(r->true_values[1], 2.0);
+    EXPECT_DOUBLE_EQ(r->threshold, 0.3);
+  }
+}
+
+TEST(MinimumBudget, PicksSmallest) {
+  EXPECT_DOUBLE_EQ(MinimumBudget({0.5, 0.2, 0.9}), 0.2);
+  EXPECT_DOUBLE_EQ(MinimumBudget({}), 0.0);
+}
+
+}  // namespace
+}  // namespace tcdp

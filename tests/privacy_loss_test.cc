@@ -1,0 +1,216 @@
+// Unit tests for Algorithm 1 (core/privacy_loss): subset selection,
+// the loss recurrence, and exact agreement with the numbers printed in
+// the paper's Figure 3.
+
+#include "core/privacy_loss.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "markov/smoothing.h"
+#include "markov/stochastic_matrix.h"
+
+namespace tcdp {
+namespace {
+
+TEST(LogLinearInExpAlpha, ZeroCoefficientGivesZero) {
+  EXPECT_DOUBLE_EQ(LogLinearInExpAlpha(0.0, 5.0), 0.0);
+}
+
+TEST(LogLinearInExpAlpha, ZeroAlphaGivesZero) {
+  EXPECT_DOUBLE_EQ(LogLinearInExpAlpha(0.7, 0.0), 0.0);
+}
+
+TEST(LogLinearInExpAlpha, MatchesDirectFormulaSmallAlpha) {
+  const double c = 0.37, a = 2.5;
+  EXPECT_NEAR(LogLinearInExpAlpha(c, a), std::log(c * (std::exp(a) - 1) + 1),
+              1e-12);
+}
+
+TEST(LogLinearInExpAlpha, StableForLargeAlpha) {
+  // log(c e^a (1 + ...)) ~ a + log(c) for huge a.
+  const double c = 0.5, a = 500.0;
+  EXPECT_NEAR(LogLinearInExpAlpha(c, a), a + std::log(c), 1e-9);
+}
+
+TEST(LogLinearInExpAlpha, ContinuousAcrossBranchSwitch) {
+  // The function's slope is ~1 near the branch point, so values 1e-6
+  // apart in alpha may differ by ~1e-6; allow 3x that.
+  const double c = 0.3;
+  EXPECT_NEAR(LogLinearInExpAlpha(c, 29.999999), LogLinearInExpAlpha(c, 30.0),
+              3e-6);
+}
+
+TEST(ComputePairLoss, RejectsMismatchedSizes) {
+  auto r = ComputePairLoss({0.5, 0.5}, {1.0}, 1.0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ComputePairLoss, RejectsNegativeAlpha) {
+  auto r = ComputePairLoss({0.5, 0.5}, {0.2, 0.8}, -0.1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(ComputePairLoss, IdenticalRowsGiveZeroLoss) {
+  auto r = ComputePairLoss({0.3, 0.7}, {0.3, 0.7}, 2.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->loss, 0.0);
+  EXPECT_TRUE(r->subset.empty());
+}
+
+TEST(ComputePairLoss, ZeroAlphaGivesZeroLoss) {
+  auto r = ComputePairLoss({0.8, 0.2}, {0.0, 1.0}, 0.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_DOUBLE_EQ(r->loss, 0.0);
+  // The Corollary 2 seed subset is still reported.
+  EXPECT_EQ(r->subset, std::vector<std::size_t>({0}));
+}
+
+TEST(ComputePairLoss, SelectsCoordinatesWhereQExceedsD) {
+  // q = (0.8, 0.2), d = (0, 1): only coordinate 0 has q > d.
+  auto r = ComputePairLoss({0.8, 0.2}, {0.0, 1.0}, 0.1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->subset, std::vector<std::size_t>({0}));
+  EXPECT_NEAR(r->q_sum, 0.8, 1e-12);
+  EXPECT_NEAR(r->d_sum, 0.0, 1e-12);
+}
+
+TEST(ComputePairLoss, HandCheckedValue) {
+  // L = log(0.8*(e^0.1 - 1) + 1) = log(1.0841...) = 0.08078...
+  auto r = ComputePairLoss({0.8, 0.2}, {0.0, 1.0}, 0.1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->loss, std::log(0.8 * (std::exp(0.1) - 1.0) + 1.0), 1e-12);
+}
+
+TEST(ComputePairLoss, StrongestCorrelationIsIdentityOnAlpha) {
+  // q = (1, 0), d = (0, 1): L(alpha) = alpha (Remark 1 upper bound).
+  for (double alpha : {0.1, 0.5, 1.0, 5.0, 20.0}) {
+    auto r = ComputePairLoss({1.0, 0.0}, {0.0, 1.0}, alpha);
+    ASSERT_TRUE(r.ok());
+    EXPECT_NEAR(r->loss, alpha, 1e-9) << "alpha=" << alpha;
+  }
+}
+
+TEST(ComputePairLoss, RemovalRuleDropsWeakCoordinates) {
+  // Coordinate 2 has q slightly above d; with large alpha the aggregate
+  // ratio exceeds q2/d2 and the pair must be dropped (Inequality 21).
+  const std::vector<double> q = {0.70, 0.05, 0.25};
+  const std::vector<double> d = {0.05, 0.75, 0.20};
+  auto big = ComputePairLoss(q, d, 10.0);
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->subset, std::vector<std::size_t>({0}));
+  // With tiny alpha the ratio bound is ~1 and both survive.
+  auto small = ComputePairLoss(q, d, 0.001);
+  ASSERT_TRUE(small.ok());
+  EXPECT_EQ(small->subset, std::vector<std::size_t>({0, 2}));
+}
+
+TEST(ComputePairLoss, LossIsNonNegativeAndBoundedByAlpha) {
+  const std::vector<double> q = {0.5, 0.3, 0.2};
+  const std::vector<double> d = {0.1, 0.6, 0.3};
+  for (double alpha : {0.01, 0.1, 1.0, 3.0, 10.0}) {
+    auto r = ComputePairLoss(q, d, alpha);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(r->loss, 0.0);
+    EXPECT_LE(r->loss, alpha + 1e-12);
+  }
+}
+
+// --- TemporalLossFunction over full matrices --------------------------
+
+TEST(TemporalLossFunction, UniformMatrixHasZeroLoss) {
+  TemporalLossFunction loss(StochasticMatrix::Uniform(4));
+  EXPECT_DOUBLE_EQ(loss.Evaluate(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(loss.Evaluate(10.0), 0.0);
+}
+
+TEST(TemporalLossFunction, IdentityMatrixLossEqualsAlpha) {
+  TemporalLossFunction loss(StochasticMatrix::Identity(3));
+  for (double alpha : {0.1, 1.0, 7.0}) {
+    EXPECT_NEAR(loss.Evaluate(alpha), alpha, 1e-9);
+  }
+}
+
+TEST(TemporalLossFunction, SingleStateMatrixHasZeroLoss) {
+  TemporalLossFunction loss(StochasticMatrix::Uniform(1));
+  EXPECT_DOUBLE_EQ(loss.Evaluate(3.0), 0.0);
+}
+
+// The paper's Figure 3(a)(ii): P = (0.8 0.2; 0 1), eps = 0.1 per step.
+// Printed series: 0.10 0.18 0.25 0.30 0.35 0.39 0.42 0.45 0.48 0.50.
+TEST(TemporalLossFunction, ReproducesFigure3BplSeries) {
+  TemporalLossFunction loss(
+      StochasticMatrix::FromRows({{0.8, 0.2}, {0.0, 1.0}}));
+  const double eps = 0.1;
+  const std::vector<double> expected = {0.10, 0.18, 0.25, 0.30, 0.35,
+                                        0.39, 0.42, 0.45, 0.48, 0.50};
+  double bpl = eps;
+  for (std::size_t t = 0; t < expected.size(); ++t) {
+    if (t > 0) bpl = loss.Evaluate(bpl) + eps;
+    EXPECT_NEAR(bpl, expected[t], 0.005) << "t=" << (t + 1);
+  }
+}
+
+// Fine-grained check of the first accumulation steps.
+TEST(TemporalLossFunction, Figure3FirstStepsHighPrecision) {
+  TemporalLossFunction loss(
+      StochasticMatrix::FromRows({{0.8, 0.2}, {0.0, 1.0}}));
+  // L(0.1): best pair is (row0, row1): log(0.8*(e^0.1-1)+1) ~ 0.080784.
+  EXPECT_NEAR(loss.Evaluate(0.1), std::log(0.8 * std::expm1(0.1) + 1.0),
+              1e-12);
+  // Competing pair (row1, row0) with subset {1}:
+  // log(1.10517/1.02103) ~ 0.079189 — strictly smaller.
+  const double competing =
+      std::log((1.0 * std::expm1(0.1) + 1.0) /
+               (0.2 * std::expm1(0.1) + 1.0));
+  EXPECT_LT(competing, loss.Evaluate(0.1));
+  auto detail = loss.EvaluateDetailed(0.1);
+  EXPECT_EQ(detail.row_q, 0u);
+  EXPECT_EQ(detail.row_d, 1u);
+  EXPECT_NEAR(detail.q_sum, 0.8, 1e-12);
+  EXPECT_NEAR(detail.d_sum, 0.0, 1e-12);
+}
+
+TEST(TemporalLossFunction, DetailReportsMaximizingPair) {
+  // Asymmetric matrix: pair (2 -> 0) direction differs from (0 -> 2).
+  TemporalLossFunction loss(StochasticMatrix::FromRows(
+      {{0.9, 0.05, 0.05}, {0.3, 0.4, 0.3}, {0.1, 0.1, 0.8}}));
+  auto detail = loss.EvaluateDetailed(1.0);
+  EXPECT_GT(detail.loss, 0.0);
+  // Recompute the reported pair directly and confirm the loss matches.
+  auto pair = ComputePairLoss(loss.transition().Row(detail.row_q),
+                              loss.transition().Row(detail.row_d), 1.0);
+  ASSERT_TRUE(pair.ok());
+  EXPECT_NEAR(pair->loss, detail.loss, 1e-12);
+}
+
+TEST(TemporalLossFunction, MonotoneInAlpha) {
+  TemporalLossFunction loss(StochasticMatrix::FromRows(
+      {{0.6, 0.3, 0.1}, {0.2, 0.5, 0.3}, {0.25, 0.25, 0.5}}));
+  double prev = 0.0;
+  for (double alpha = 0.0; alpha <= 8.0; alpha += 0.25) {
+    const double v = loss.Evaluate(alpha);
+    EXPECT_GE(v, prev - 1e-12) << "alpha=" << alpha;
+    prev = v;
+  }
+}
+
+TEST(TemporalLossFunction, SmoothedMatricesOrderedByStrength) {
+  // Smaller s => stronger correlation => larger loss (Section VI).
+  const double alpha = 1.0;
+  double prev = 1e18;
+  for (double s : {0.005, 0.05, 0.5}) {
+    auto m = SmoothedCorrelationMatrix(8, s);
+    ASSERT_TRUE(m.ok());
+    TemporalLossFunction loss(*m);
+    const double v = loss.Evaluate(alpha);
+    EXPECT_LT(v, prev) << "s=" << s;
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,86 @@
+// Unit tests for dp/query: count and histogram queries with their
+// sensitivities.
+
+#include "dp/query.h"
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+Database MakeDb() {
+  auto db = Database::Create({0, 0, 2, 1}, 3);
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+TEST(CountQuery, CountsTarget) {
+  Database db = MakeDb();
+  EXPECT_EQ(CountQuery(0).Evaluate(db), (std::vector<double>{2}));
+  EXPECT_EQ(CountQuery(1).Evaluate(db), (std::vector<double>{1}));
+  EXPECT_EQ(CountQuery(2).Evaluate(db), (std::vector<double>{1}));
+}
+
+TEST(CountQuery, SensitivityIsOne) {
+  EXPECT_DOUBLE_EQ(CountQuery(0).Sensitivity(), 1.0);
+  EXPECT_EQ(CountQuery(0).OutputSize(10), 1u);
+}
+
+TEST(CountQuery, SensitivityBoundHoldsOnNeighbors) {
+  Database db = MakeDb();
+  CountQuery query(0);
+  const double base = query.Evaluate(db)[0];
+  for (std::size_t u = 0; u < db.num_users(); ++u) {
+    for (std::size_t v = 0; v < db.domain_size(); ++v) {
+      auto n = db.WithValue(u, v);
+      ASSERT_TRUE(n.ok());
+      EXPECT_LE(std::abs(query.Evaluate(*n)[0] - base),
+                query.Sensitivity());
+    }
+  }
+}
+
+TEST(CountQuery, NameIsDescriptive) {
+  EXPECT_EQ(CountQuery(0).name(), "count(loc1)");
+  EXPECT_EQ(CountQuery(4).name(), "count(loc5)");
+}
+
+TEST(HistogramQuery, EvaluatesFullHistogram) {
+  Database db = MakeDb();
+  EXPECT_EQ(HistogramQuery().Evaluate(db), (std::vector<double>{2, 1, 1}));
+  EXPECT_EQ(HistogramQuery().OutputSize(3), 3u);
+}
+
+TEST(HistogramQuery, SensitivityConventions) {
+  EXPECT_DOUBLE_EQ(
+      HistogramQuery(HistogramSensitivity::kPerCount).Sensitivity(), 1.0);
+  EXPECT_DOUBLE_EQ(
+      HistogramQuery(HistogramSensitivity::kStrictL1).Sensitivity(), 2.0);
+}
+
+TEST(HistogramQuery, StrictL1BoundHoldsOnNeighbors) {
+  Database db = MakeDb();
+  HistogramQuery query(HistogramSensitivity::kStrictL1);
+  const auto base = query.Evaluate(db);
+  for (std::size_t u = 0; u < db.num_users(); ++u) {
+    for (std::size_t v = 0; v < db.domain_size(); ++v) {
+      auto n = db.WithValue(u, v);
+      ASSERT_TRUE(n.ok());
+      const auto h = query.Evaluate(*n);
+      double l1 = 0.0;
+      for (std::size_t b = 0; b < h.size(); ++b) {
+        l1 += std::abs(h[b] - base[b]);
+      }
+      EXPECT_LE(l1, query.Sensitivity());
+    }
+  }
+}
+
+TEST(Query, PolymorphicUseThroughBasePointer) {
+  std::unique_ptr<Query> q = std::make_unique<CountQuery>(2);
+  Database db = MakeDb();
+  EXPECT_EQ(q->Evaluate(db)[0], 1.0);
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,161 @@
+// Unit tests for common/random: determinism and distributional sanity.
+
+#include "common/random.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+
+namespace tcdp {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.Uniform(), b.Uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Uniform() == b.Uniform()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespected) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.UniformInt(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, LaplaceMomentsMatchTheory) {
+  // E|X| = b, Var = 2 b^2 for Lap(b).
+  Rng rng(42);
+  const double b = 2.5;
+  const int kSamples = 200000;
+  double abs_acc = 0.0, sq_acc = 0.0;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.Laplace(b);
+    abs_acc += std::fabs(x);
+    sq_acc += x * x;
+  }
+  EXPECT_NEAR(abs_acc / kSamples, b, 0.05);
+  EXPECT_NEAR(sq_acc / kSamples, 2 * b * b, 0.3);
+}
+
+TEST(Rng, LaplaceSymmetric) {
+  Rng rng(43);
+  int pos = 0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (rng.Laplace(1.0) > 0.0) ++pos;
+  }
+  EXPECT_NEAR(static_cast<double>(pos) / kSamples, 0.5, 0.01);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(44);
+  const double rate = 4.0;
+  double acc = 0.0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.Exponential(rate);
+    EXPECT_GE(x, 0.0);
+    acc += x;
+  }
+  EXPECT_NEAR(acc / kSamples, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(45);
+  double acc = 0.0, sq = 0.0;
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.Gaussian(1.0, 2.0);
+    acc += x;
+    sq += (x - 1.0) * (x - 1.0);
+  }
+  EXPECT_NEAR(acc / kSamples, 1.0, 0.05);
+  EXPECT_NEAR(sq / kSamples, 4.0, 0.1);
+}
+
+TEST(Rng, DiscreteMatchesWeights) {
+  Rng rng(46);
+  std::vector<double> probs = {0.1, 0.2, 0.7};
+  std::vector<int> counts(3, 0);
+  const int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    auto idx = rng.Discrete(probs);
+    ASSERT_TRUE(idx.ok());
+    counts[*idx]++;
+  }
+  for (std::size_t k = 0; k < probs.size(); ++k) {
+    EXPECT_NEAR(static_cast<double>(counts[k]) / kSamples, probs[k], 0.01);
+  }
+}
+
+TEST(Rng, DiscreteAcceptsUnnormalizedWeights) {
+  Rng rng(47);
+  auto idx = rng.Discrete({2.0, 6.0});  // 25% / 75%
+  ASSERT_TRUE(idx.ok());
+}
+
+TEST(Rng, DiscreteRejectsBadInput) {
+  Rng rng(48);
+  EXPECT_FALSE(rng.Discrete({}).ok());
+  EXPECT_FALSE(rng.Discrete({0.0, 0.0}).ok());
+  EXPECT_FALSE(rng.Discrete({0.5, -0.5}).ok());
+}
+
+TEST(Rng, DiscreteDegenerateAlwaysPicksMassPoint) {
+  Rng rng(49);
+  for (int i = 0; i < 100; ++i) {
+    auto idx = rng.Discrete({0.0, 1.0, 0.0});
+    ASSERT_TRUE(idx.ok());
+    EXPECT_EQ(*idx, 1u);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(50);
+  std::vector<int> v = {1, 2, 3, 4, 5};
+  auto sorted = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace tcdp

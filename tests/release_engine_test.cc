@@ -1,0 +1,166 @@
+// Unit tests for release/release_engine.
+
+#include "release/release_engine.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TimeSeriesDatabase MakeSeries() {
+  auto series = TimeSeriesDatabase::FromTrajectories(
+      {{0, 1, 1}, {1, 1, 0}, {0, 0, 0}}, 2);
+  EXPECT_TRUE(series.ok());
+  return std::move(series).value();
+}
+
+TEST(ReleaseEngine, ReleaseRecordsTrueAndNoisyValues) {
+  Rng rng(30);
+  ReleaseEngine engine(std::make_unique<HistogramQuery>(), &rng);
+  auto db = Database::Create({0, 1, 0}, 2);
+  ASSERT_TRUE(db.ok());
+  auto r = engine.Release(*db, 1.0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->time, 1u);
+  EXPECT_EQ(r->true_values, (std::vector<double>{2, 1}));
+  EXPECT_EQ(r->noisy_values.size(), 2u);
+  EXPECT_DOUBLE_EQ(r->epsilon, 1.0);
+}
+
+TEST(ReleaseEngine, ReleaseRejectsBadEpsilon) {
+  Rng rng(31);
+  ReleaseEngine engine(std::make_unique<HistogramQuery>(), &rng);
+  auto db = Database::Create({0}, 2);
+  ASSERT_TRUE(db.ok());
+  EXPECT_FALSE(engine.Release(*db, 0.0).ok());
+}
+
+TEST(ReleaseEngine, TimeAdvancesPerRelease) {
+  Rng rng(32);
+  ReleaseEngine engine(std::make_unique<HistogramQuery>(), &rng);
+  auto db = Database::Create({0}, 2);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(engine.Release(*db, 0.5)->time, 1u);
+  EXPECT_EQ(engine.Release(*db, 0.5)->time, 2u);
+  EXPECT_EQ(engine.ledger().num_releases(), 2u);
+}
+
+TEST(ReleaseEngine, BudgetCapStopsReleases) {
+  Rng rng(33);
+  ReleaseEngine engine(std::make_unique<HistogramQuery>(), &rng,
+                       /*total_budget=*/1.0);
+  auto db = Database::Create({0}, 2);
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(engine.Release(*db, 0.6).ok());
+  auto over = engine.Release(*db, 0.6);
+  EXPECT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ReleaseEngine, ReleaseSeriesMatchesSchedule) {
+  Rng rng(34);
+  ReleaseEngine engine(std::make_unique<HistogramQuery>(), &rng);
+  auto out = engine.ReleaseSeries(MakeSeries(), {0.1, 0.2, 0.3});
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->size(), 3u);
+  EXPECT_DOUBLE_EQ((*out)[0].epsilon, 0.1);
+  EXPECT_DOUBLE_EQ((*out)[2].epsilon, 0.3);
+  // Snapshot t=2 holds column {1,1,0}: histogram (1, 2).
+  EXPECT_EQ((*out)[1].true_values, (std::vector<double>{1, 2}));
+}
+
+TEST(ReleaseEngine, ReleaseSeriesValidatesLength) {
+  Rng rng(35);
+  ReleaseEngine engine(std::make_unique<HistogramQuery>(), &rng);
+  EXPECT_FALSE(engine.ReleaseSeries(MakeSeries(), {0.1}).ok());
+}
+
+TEST(ReleaseEngine, UniformSeriesConvenience) {
+  Rng rng(36);
+  ReleaseEngine engine(std::make_unique<HistogramQuery>(), &rng);
+  auto out = engine.ReleaseSeriesUniform(MakeSeries(), 0.5);
+  ASSERT_TRUE(out.ok());
+  for (const auto& r : *out) EXPECT_DOUBLE_EQ(r.epsilon, 0.5);
+}
+
+TEST(ReleaseEngine, NoiseMagnitudeScalesWithEpsilon) {
+  // Smaller epsilon -> bigger noise, on average.
+  auto measure = [](double eps) {
+    Rng rng(37);
+    ReleaseEngine engine(std::make_unique<HistogramQuery>(), &rng);
+    auto db = Database::Create(std::vector<std::size_t>(100, 0), 2);
+    EXPECT_TRUE(db.ok());
+    double acc = 0.0;
+    const int kTrials = 3000;
+    for (int i = 0; i < kTrials; ++i) {
+      auto r = engine.Release(*db, eps);
+      EXPECT_TRUE(r.ok());
+      acc += std::fabs(r->noisy_values[0] - r->true_values[0]);
+    }
+    return acc / kTrials;
+  };
+  const double noise_tight = measure(10.0);
+  const double noise_loose = measure(0.1);
+  EXPECT_NEAR(noise_tight, 0.1, 0.05);
+  EXPECT_NEAR(noise_loose, 10.0, 1.0);
+}
+
+TEST(ReleaseEngine, GeometricNoiseKeepsCountsIntegral) {
+  Rng rng(38);
+  ReleaseEngine engine(std::make_unique<HistogramQuery>(), &rng,
+                       std::numeric_limits<double>::infinity(),
+                       NoiseKind::kGeometric);
+  auto db = Database::Create({0, 0, 1, 1, 1}, 2);
+  ASSERT_TRUE(db.ok());
+  for (int trial = 0; trial < 50; ++trial) {
+    auto r = engine.Release(*db, 0.8);
+    ASSERT_TRUE(r.ok());
+    for (double v : r->noisy_values) {
+      EXPECT_DOUBLE_EQ(v, std::round(v)) << "non-integer count released";
+    }
+  }
+  EXPECT_EQ(engine.ledger().num_releases(), 50u);
+}
+
+TEST(ReleaseEngine, GeometricRequiresIntegralSensitivity) {
+  // A query with fractional sensitivity cannot use geometric noise.
+  class HalfQuery : public Query {
+   public:
+    std::vector<double> Evaluate(const Database& db) const override {
+      return {static_cast<double>(db.num_users()) / 2.0};
+    }
+    std::size_t OutputSize(std::size_t) const override { return 1; }
+    double Sensitivity() const override { return 0.5; }
+    std::string name() const override { return "half"; }
+  };
+  Rng rng(39);
+  ReleaseEngine engine(std::make_unique<HalfQuery>(), &rng,
+                       std::numeric_limits<double>::infinity(),
+                       NoiseKind::kGeometric);
+  auto db = Database::Create({0}, 2);
+  ASSERT_TRUE(db.ok());
+  auto r = engine.Release(*db, 1.0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+  // The failed release must not have spent budget.
+  EXPECT_EQ(engine.ledger().num_releases(), 0u);
+}
+
+TEST(Metrics, MeanAbsoluteErrorOverReleases) {
+  NoisyRelease a{1, 1.0, {1.0, 2.0}, {1.5, 2.0}};
+  NoisyRelease b{2, 1.0, {0.0}, {-1.0}};
+  EXPECT_NEAR(MeanAbsoluteError({a, b}), (0.5 + 0.0 + 1.0) / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(MeanAbsoluteError({}), 0.0);
+}
+
+TEST(Metrics, ExpectedAbsNoiseIsMeanOfScales) {
+  EXPECT_NEAR(ExpectedAbsNoise({0.5, 1.0}, 1.0), (2.0 + 1.0) / 2.0, 1e-12);
+  EXPECT_NEAR(ExpectedAbsNoise({0.5}, 2.0), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ExpectedAbsNoise({}, 1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace tcdp

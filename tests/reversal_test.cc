@@ -1,0 +1,99 @@
+// Unit tests for markov/reversal: Bayesian derivation of backward
+// correlations (paper Section III-A) including the Figure 2 example
+// structure.
+
+#include "markov/reversal.h"
+
+#include <gtest/gtest.h>
+
+#include "common/math_util.h"
+#include "markov/markov_chain.h"
+
+namespace tcdp {
+namespace {
+
+TEST(ReverseWithPrior, ValidatesSizes) {
+  auto fwd = StochasticMatrix::Uniform(3);
+  EXPECT_FALSE(ReverseWithPrior(fwd, {0.5, 0.5}).ok());
+}
+
+TEST(ReverseWithPrior, ValidatesPrior) {
+  auto fwd = StochasticMatrix::Uniform(2);
+  EXPECT_FALSE(ReverseWithPrior(fwd, {0.7, 0.7}).ok());
+}
+
+TEST(ReverseWithPrior, FailsOnZeroMarginal) {
+  // State 1 is unreachable: forward never transitions into it and the
+  // prior gives it no mass.
+  auto fwd = StochasticMatrix::FromRows({{1.0, 0.0}, {1.0, 0.0}});
+  auto r = ReverseWithPrior(fwd, {1.0, 0.0});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ReverseWithPrior, BayesRuleHandComputed) {
+  // P^F = ((0.9, 0.1), (0.2, 0.8)), prior = (0.5, 0.5).
+  // marginal = (0.55, 0.45).
+  // P^B(0,0) = 0.9*0.5/0.55 = 9/11; P^B(0,1) = 0.2*0.5/0.55 = 2/11.
+  auto fwd = StochasticMatrix::FromRows({{0.9, 0.1}, {0.2, 0.8}});
+  auto back = ReverseWithPrior(fwd, {0.5, 0.5});
+  ASSERT_TRUE(back.ok());
+  EXPECT_NEAR(back->At(0, 0), 9.0 / 11.0, 1e-12);
+  EXPECT_NEAR(back->At(0, 1), 2.0 / 11.0, 1e-12);
+  EXPECT_NEAR(back->At(1, 0), 0.1 * 0.5 / 0.45, 1e-12);
+  EXPECT_NEAR(back->At(1, 1), 0.8 * 0.5 / 0.45, 1e-12);
+}
+
+TEST(ReverseWithPrior, UniformChainIsSelfReverse) {
+  auto fwd = StochasticMatrix::Uniform(4);
+  std::vector<double> prior(4, 0.25);
+  auto back = ReverseWithPrior(fwd, prior);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ApproxEquals(fwd, 1e-12));
+}
+
+TEST(ReverseWithPrior, RowsAreDistributions) {
+  auto fwd = StochasticMatrix::FromRows(
+      {{0.2, 0.3, 0.5}, {0.1, 0.1, 0.8}, {0.6, 0.2, 0.2}});
+  auto back = ReverseWithPrior(fwd, {0.3, 0.3, 0.4});
+  ASSERT_TRUE(back.ok());
+  for (std::size_t r = 0; r < 3; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) sum += back->At(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(ReverseAtStationarity, ReversibleChainEqualsForward) {
+  // Symmetric transition matrices are reversible w.r.t. the uniform
+  // stationary distribution: P^B == P^F.
+  auto fwd = StochasticMatrix::FromRows({{0.7, 0.3}, {0.3, 0.7}});
+  auto back = ReverseAtStationarity(fwd);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->ApproxEquals(fwd, 1e-6));
+}
+
+TEST(ReverseAtStationarity, NonReversibleChainDiffers) {
+  // A biased cycle flows one way forward and the other way backward.
+  auto fwd = StochasticMatrix::FromRows(
+      {{0.1, 0.8, 0.1}, {0.1, 0.1, 0.8}, {0.8, 0.1, 0.1}});
+  auto back = ReverseAtStationarity(fwd);
+  ASSERT_TRUE(back.ok());
+  EXPECT_FALSE(back->ApproxEquals(fwd, 1e-3));
+  // Backward mass should concentrate on the predecessor in the cycle:
+  // current 1 came mostly from 0.
+  EXPECT_GT(back->At(1, 0), 0.6);
+}
+
+TEST(ReverseAtStationarity, DoubleReversalRecoversForward) {
+  auto fwd = StochasticMatrix::FromRows(
+      {{0.5, 0.4, 0.1}, {0.2, 0.5, 0.3}, {0.3, 0.3, 0.4}});
+  auto back = ReverseAtStationarity(fwd);
+  ASSERT_TRUE(back.ok());
+  auto fwd_again = ReverseAtStationarity(*back);
+  ASSERT_TRUE(fwd_again.ok());
+  EXPECT_TRUE(fwd_again->ApproxEquals(fwd, 1e-6));
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,167 @@
+// Unit tests for lp/simplex: two-phase simplex on hand-solvable programs,
+// infeasible/unbounded detection, and degenerate instances.
+
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+LinearConstraint Le(std::vector<double> coeffs, double rhs) {
+  return LinearConstraint{std::move(coeffs), Relation::kLessEqual, rhs};
+}
+LinearConstraint Ge(std::vector<double> coeffs, double rhs) {
+  return LinearConstraint{std::move(coeffs), Relation::kGreaterEqual, rhs};
+}
+LinearConstraint Eq(std::vector<double> coeffs, double rhs) {
+  return LinearConstraint{std::move(coeffs), Relation::kEqual, rhs};
+}
+
+TEST(Simplex, RejectsMalformedInput) {
+  LinearProgram empty;
+  EXPECT_FALSE(SimplexSolver::Solve(empty).ok());
+
+  LinearProgram arity;
+  arity.objective = {1.0, 1.0};
+  arity.constraints.push_back(Le({1.0}, 1.0));
+  EXPECT_FALSE(SimplexSolver::Solve(arity).ok());
+
+  LinearProgram nan_obj;
+  nan_obj.objective = {std::numeric_limits<double>::quiet_NaN()};
+  EXPECT_FALSE(SimplexSolver::Solve(nan_obj).ok());
+}
+
+TEST(Simplex, TextbookMaximization) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> (2, 6), 36.
+  LinearProgram lp;
+  lp.objective = {3.0, 5.0};
+  lp.constraints = {Le({1, 0}, 4), Le({0, 2}, 12), Le({3, 2}, 18)};
+  auto sol = SimplexSolver::Solve(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 36.0, 1e-9);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+  EXPECT_NEAR(sol->x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, MinimizationViaFlag) {
+  // min x + y s.t. x + 2y >= 4, 3x + y >= 6 -> vertex (8/5, 6/5), value 14/5.
+  LinearProgram lp;
+  lp.maximize = false;
+  lp.objective = {1.0, 1.0};
+  lp.constraints = {Ge({1, 2}, 4), Ge({3, 1}, 6)};
+  auto sol = SimplexSolver::Solve(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 14.0 / 5.0, 1e-9);
+}
+
+TEST(Simplex, EqualityConstraintHandled) {
+  // max x + y s.t. x + y = 5, x <= 3 -> 5 (any split), e.g. x=3,y=2.
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0};
+  lp.constraints = {Eq({1, 1}, 5), Le({1, 0}, 3)};
+  auto sol = SimplexSolver::Solve(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 5.0, 1e-9);
+  EXPECT_NEAR(sol->x[0] + sol->x[1], 5.0, 1e-9);
+}
+
+TEST(Simplex, NegativeRhsNormalized) {
+  // -x <= -2 means x >= 2; max -x -> x = 2, value -2.
+  LinearProgram lp;
+  lp.objective = {-1.0};
+  lp.constraints = {Le({-1}, -2), Le({1}, 10)};
+  auto sol = SimplexSolver::Solve(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, DetectsInfeasible) {
+  // x <= 1 and x >= 3 cannot both hold.
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.constraints = {Le({1}, 1), Ge({1}, 3)};
+  auto sol = SimplexSolver::Solve(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnbounded) {
+  // max x with only x >= 1.
+  LinearProgram lp;
+  lp.objective = {1.0};
+  lp.constraints = {Ge({1}, 1)};
+  auto sol = SimplexSolver::Solve(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, ZeroObjectiveReturnsFeasiblePoint) {
+  LinearProgram lp;
+  lp.objective = {0.0, 0.0};
+  lp.constraints = {Eq({1, 1}, 2)};
+  auto sol = SimplexSolver::Solve(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->x[0] + sol->x[1], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateProgramTerminates) {
+  // Highly degenerate: many constraints active at the origin.
+  LinearProgram lp;
+  lp.objective = {1.0, 1.0, 1.0};
+  lp.constraints = {Le({1, -1, 0}, 0), Le({0, 1, -1}, 0), Le({-1, 0, 1}, 0),
+                    Le({1, 0, 0}, 1),  Le({0, 1, 0}, 1),  Le({0, 0, 1}, 1)};
+  auto sol = SimplexSolver::Solve(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->objective_value, 3.0, 1e-9);
+}
+
+TEST(Simplex, BlandOnlyModeSolvesToo) {
+  LinearProgram lp;
+  lp.objective = {3.0, 5.0};
+  lp.constraints = {Le({1, 0}, 4), Le({0, 2}, 12), Le({3, 2}, 18)};
+  SimplexSolver::Options opts;
+  opts.dantzig_pricing = false;
+  auto sol = SimplexSolver::Solve(lp, opts);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_NEAR(sol->objective_value, 36.0, 1e-9);
+}
+
+TEST(Simplex, IterationLimitReported) {
+  LinearProgram lp;
+  lp.objective = {3.0, 5.0};
+  lp.constraints = {Le({1, 0}, 4), Le({0, 2}, 12), Le({3, 2}, 18)};
+  SimplexSolver::Options opts;
+  opts.max_iterations = 1;
+  auto sol = SimplexSolver::Solve(lp, opts);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kIterationLimit);
+}
+
+TEST(Simplex, RedundantEqualityRowsHandled) {
+  // Same equality twice: phase 1 leaves a redundant artificial row.
+  LinearProgram lp;
+  lp.objective = {1.0, 0.0};
+  lp.constraints = {Eq({1, 1}, 3), Eq({1, 1}, 3), Le({1, 0}, 2)};
+  auto sol = SimplexSolver::Solve(lp);
+  ASSERT_TRUE(sol.ok());
+  EXPECT_EQ(sol->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(sol->x[0], 2.0, 1e-9);
+}
+
+TEST(SolveStatusToString, Names) {
+  EXPECT_STREQ(SolveStatusToString(SolveStatus::kOptimal), "Optimal");
+  EXPECT_STREQ(SolveStatusToString(SolveStatus::kInfeasible), "Infeasible");
+  EXPECT_STREQ(SolveStatusToString(SolveStatus::kUnbounded), "Unbounded");
+  EXPECT_STREQ(SolveStatusToString(SolveStatus::kIterationLimit),
+               "IterationLimit");
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,112 @@
+// Unit tests for markov/smoothing: the Section VI / Equation 25
+// correlation generator.
+
+#include "markov/smoothing.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(LaplacianSmooth, RejectsNegativeS) {
+  EXPECT_FALSE(LaplacianSmooth(StochasticMatrix::Uniform(3), -0.1).ok());
+}
+
+TEST(LaplacianSmooth, ZeroSIsIdentityOperation) {
+  auto m = StochasticMatrix::FromRows({{0.8, 0.2}, {0.3, 0.7}});
+  auto out = LaplacianSmooth(m, 0.0);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ApproxEquals(m));
+}
+
+TEST(LaplacianSmooth, MatchesEquation25) {
+  // p_hat(j,k) = (p(j,k) + s) / (1 + n s) for row sums of 1.
+  auto m = StochasticMatrix::FromRows({{1.0, 0.0}, {0.0, 1.0}});
+  const double s = 0.25;
+  auto out = LaplacianSmooth(m, s);
+  ASSERT_TRUE(out.ok());
+  EXPECT_NEAR(out->At(0, 0), 1.25 / 1.5, 1e-12);
+  EXPECT_NEAR(out->At(0, 1), 0.25 / 1.5, 1e-12);
+}
+
+TEST(LaplacianSmooth, LargeSApproachesUniform) {
+  auto m = StrongestCorrelationMatrix(4);
+  auto out = LaplacianSmooth(m, 1e6);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->ApproxEquals(StochasticMatrix::Uniform(4), 1e-5));
+}
+
+TEST(LaplacianSmooth, PreservesStochasticity) {
+  auto out = LaplacianSmooth(StrongestCorrelationMatrix(7), 0.005);
+  ASSERT_TRUE(out.ok());
+  for (std::size_t r = 0; r < 7; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 7; ++c) sum += out->At(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(StrongestCorrelationMatrix, IsCyclicShift) {
+  auto m = StrongestCorrelationMatrix(4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(m.At(i, (i + 1) % 4), 1.0);
+  }
+}
+
+TEST(StrongestCorrelationMatrix, RowsHaveDistinctColumns) {
+  // The paper requires the 1.0 cells in different columns per row.
+  auto m = StrongestCorrelationMatrix(6);
+  std::vector<bool> used(6, false);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      if (m.At(i, j) == 1.0) {
+        EXPECT_FALSE(used[j]);
+        used[j] = true;
+      }
+    }
+  }
+}
+
+TEST(RandomStrongestCorrelationMatrix, IsPermutation) {
+  Rng rng(9);
+  auto m = RandomStrongestCorrelationMatrix(5, &rng);
+  for (std::size_t r = 0; r < 5; ++r) {
+    double sum = 0.0;
+    double max = 0.0;
+    for (std::size_t c = 0; c < 5; ++c) {
+      sum += m.At(r, c);
+      max = std::max(max, m.At(r, c));
+    }
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+    EXPECT_DOUBLE_EQ(max, 1.0);
+  }
+}
+
+TEST(SmoothedCorrelationMatrix, SmallerSMeansStrongerCorrelation) {
+  auto strong = SmoothedCorrelationMatrix(10, 0.001);
+  auto weak = SmoothedCorrelationMatrix(10, 1.0);
+  ASSERT_TRUE(strong.ok());
+  ASSERT_TRUE(weak.ok());
+  EXPECT_GT(CorrelationDegree(*strong), CorrelationDegree(*weak));
+}
+
+TEST(CorrelationDegree, EndpointsAreZeroAndOne) {
+  EXPECT_DOUBLE_EQ(CorrelationDegree(StochasticMatrix::Uniform(5)), 0.0);
+  EXPECT_DOUBLE_EQ(CorrelationDegree(StrongestCorrelationMatrix(5)), 1.0);
+}
+
+TEST(CorrelationDegree, MonotoneInS) {
+  double prev = 2.0;
+  for (double s : {0.0, 0.01, 0.1, 1.0, 10.0}) {
+    auto m = SmoothedCorrelationMatrix(6, s);
+    ASSERT_TRUE(m.ok());
+    const double deg = CorrelationDegree(*m);
+    EXPECT_LT(deg, prev);
+    prev = deg;
+  }
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,123 @@
+// Unit tests for markov/stochastic_matrix.
+
+#include "markov/stochastic_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tcdp {
+namespace {
+
+TEST(StochasticMatrix, CreateValidatesSquare) {
+  auto bad = StochasticMatrix::Create(Matrix(2, 3, 0.5));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StochasticMatrix, CreateValidatesRowSums) {
+  auto bad = StochasticMatrix::Create(Matrix({{0.5, 0.4}, {0.5, 0.5}}));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(StochasticMatrix, CreateValidatesEntryRange) {
+  auto bad = StochasticMatrix::Create(Matrix({{1.5, -0.5}, {0.5, 0.5}}));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(StochasticMatrix, CreateRejectsEmpty) {
+  EXPECT_FALSE(StochasticMatrix::Create(Matrix()).ok());
+}
+
+TEST(StochasticMatrix, CreateRenormalizesWithinTolerance) {
+  // Row sums 1 +- 1e-7 are accepted and snapped to exactly 1.
+  auto m = StochasticMatrix::Create(
+      Matrix({{0.5 + 5e-8, 0.5}, {0.25, 0.75 - 5e-8}}));
+  ASSERT_TRUE(m.ok());
+  for (std::size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 2; ++c) sum += m->At(r, c);
+    EXPECT_DOUBLE_EQ(sum, 1.0);
+  }
+}
+
+TEST(StochasticMatrix, FromRowsPaperFigure2) {
+  // Figure 2(b): the paper's forward correlation example.
+  auto m = StochasticMatrix::FromRows(
+      {{0.2, 0.3, 0.5}, {0.1, 0.1, 0.8}, {0.6, 0.2, 0.2}});
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_DOUBLE_EQ(m.At(2, 0), 0.6);
+}
+
+TEST(StochasticMatrix, UniformRows) {
+  auto m = StochasticMatrix::Uniform(4);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) EXPECT_DOUBLE_EQ(m.At(r, c), 0.25);
+  }
+}
+
+TEST(StochasticMatrix, IdentityIsPermutation) {
+  auto m = StochasticMatrix::Identity(3);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 0.0);
+}
+
+TEST(StochasticMatrix, PermutationValidates) {
+  auto ok = StochasticMatrix::Permutation({1, 2, 0});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok->At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(ok->At(2, 0), 1.0);
+  EXPECT_FALSE(StochasticMatrix::Permutation({0, 0, 1}).ok());
+  EXPECT_FALSE(StochasticMatrix::Permutation({0, 3, 1}).ok());
+  EXPECT_FALSE(StochasticMatrix::Permutation({}).ok());
+}
+
+TEST(StochasticMatrix, RandomRowsAreDistributions) {
+  Rng rng(5);
+  auto m = StochasticMatrix::Random(6, &rng);
+  for (std::size_t r = 0; r < 6; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 6; ++c) {
+      EXPECT_GT(m.At(r, c), 0.0);
+      sum += m.At(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(StochasticMatrix, PowerKIdentityCases) {
+  auto m = StochasticMatrix::FromRows({{0.5, 0.5}, {0.25, 0.75}});
+  EXPECT_TRUE(m.PowerK(0).ApproxEquals(StochasticMatrix::Identity(2)));
+  EXPECT_TRUE(m.PowerK(1).ApproxEquals(m));
+}
+
+TEST(StochasticMatrix, PowerKMatchesRepeatedMultiplication) {
+  auto m = StochasticMatrix::FromRows({{0.9, 0.1}, {0.3, 0.7}});
+  auto p3 = m.PowerK(3);
+  auto direct = m.matrix()
+                    .Multiply(m.matrix())
+                    .value()
+                    .Multiply(m.matrix())
+                    .value();
+  EXPECT_TRUE(p3.matrix().ApproxEquals(direct, 1e-12));
+}
+
+TEST(StochasticMatrix, PowerKStaysStochastic) {
+  auto m = StochasticMatrix::FromRows({{0.8, 0.2}, {0.0, 1.0}});
+  auto p = m.PowerK(17);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < 2; ++c) sum += p.At(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(StochasticMatrix, PropagateAppliesOneStep) {
+  auto m = StochasticMatrix::FromRows({{0.0, 1.0}, {1.0, 0.0}});
+  auto out = m.Propagate({0.3, 0.7});
+  EXPECT_DOUBLE_EQ(out[0], 0.7);
+  EXPECT_DOUBLE_EQ(out[1], 0.3);
+}
+
+}  // namespace
+}  // namespace tcdp

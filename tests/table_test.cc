@@ -1,0 +1,70 @@
+// Unit tests for common/table.
+
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(FormatNumber, FixedPrecision) {
+  EXPECT_EQ(FormatNumber(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatNumber(1.0, 4), "1.0000");
+  EXPECT_EQ(FormatNumber(-0.5, 1), "-0.5");
+}
+
+TEST(FormatNumber, SpecialValues) {
+  EXPECT_EQ(FormatNumber(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(FormatNumber(-std::numeric_limits<double>::infinity()), "-inf");
+  EXPECT_EQ(FormatNumber(std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(Table, BuildsRowsAndCounts) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow();
+  t.AddCell("x");
+  t.AddNumber(1.5, 1);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, AlignedOutputContainsHeaderAndCells) {
+  Table t({"name", "value"});
+  t.AddRow();
+  t.AddCell("epsilon");
+  t.AddNumber(0.25, 2);
+  const std::string out = t.ToAlignedString();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("epsilon"), std::string::npos);
+  EXPECT_NE(out.find("0.25"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommasAndQuotes) {
+  Table t({"k"});
+  t.AddRow();
+  t.AddCell("a,b");
+  t.AddRow();
+  t.AddCell("say \"hi\"");
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvRowsNewlineSeparated) {
+  Table t({"x", "y"});
+  t.AddRowCells({"1", "2"});
+  t.AddRowCells({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, AddIntFormatsWithoutDecimals) {
+  Table t({"n"});
+  t.AddRow();
+  t.AddInt(42);
+  EXPECT_NE(t.ToCsv().find("42"), std::string::npos);
+  EXPECT_EQ(t.ToCsv().find("42.0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,61 @@
+// Unit tests for core/temporal_correlations.
+
+#include "core/temporal_correlations.h"
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(TemporalCorrelations, NoneIsEmpty) {
+  auto c = TemporalCorrelations::None();
+  EXPECT_TRUE(c.empty());
+  EXPECT_FALSE(c.has_backward());
+  EXPECT_FALSE(c.has_forward());
+  EXPECT_EQ(c.domain_size(), 0u);
+}
+
+TEST(TemporalCorrelations, BackwardOnly) {
+  auto c = TemporalCorrelations::BackwardOnly(StochasticMatrix::Uniform(3));
+  EXPECT_TRUE(c.has_backward());
+  EXPECT_FALSE(c.has_forward());
+  EXPECT_EQ(c.domain_size(), 3u);
+  EXPECT_EQ(c.backward().size(), 3u);
+}
+
+TEST(TemporalCorrelations, ForwardOnly) {
+  auto c = TemporalCorrelations::ForwardOnly(StochasticMatrix::Uniform(4));
+  EXPECT_FALSE(c.has_backward());
+  EXPECT_TRUE(c.has_forward());
+  EXPECT_EQ(c.domain_size(), 4u);
+}
+
+TEST(TemporalCorrelations, BothValidatesDimensions) {
+  auto ok = TemporalCorrelations::Both(StochasticMatrix::Uniform(3),
+                                       StochasticMatrix::Uniform(3));
+  ASSERT_TRUE(ok.ok());
+  EXPECT_TRUE(ok->has_backward());
+  EXPECT_TRUE(ok->has_forward());
+
+  auto bad = TemporalCorrelations::Both(StochasticMatrix::Uniform(3),
+                                        StochasticMatrix::Uniform(4));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TemporalCorrelations, ToStringMentionsMatrices) {
+  EXPECT_EQ(TemporalCorrelations::None().ToString(),
+            "TemporalCorrelations{none}");
+  auto c = TemporalCorrelations::BackwardOnly(StochasticMatrix::Uniform(2));
+  EXPECT_NE(c.ToString().find("P^B"), std::string::npos);
+}
+
+TEST(AdversaryT, AggregatesTargetAndKnowledge) {
+  AdversaryT adv{7, TemporalCorrelations::ForwardOnly(
+                        StochasticMatrix::Uniform(2))};
+  EXPECT_EQ(adv.target_user, 7u);
+  EXPECT_TRUE(adv.knowledge.has_forward());
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,42 @@
+// Unit tests for common/timer.
+
+#include "common/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(WallTimer, ElapsedIsNonNegativeAndMonotone) {
+  WallTimer timer;
+  const double t1 = timer.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  // Busy-wait a little so time visibly advances.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink += static_cast<double>(i) * 1e-9;
+  const double t2 = timer.ElapsedSeconds();
+  EXPECT_GE(t2, t1);
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(WallTimer, MillisMatchesSeconds) {
+  WallTimer timer;
+  const double s = timer.ElapsedSeconds();
+  const double ms = timer.ElapsedMillis();
+  // Sampled at slightly different instants; coarse consistency only.
+  EXPECT_NEAR(ms, s * 1e3, 10.0);
+}
+
+TEST(WallTimer, ResetRestartsClock) {
+  WallTimer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 500000; ++i) sink += static_cast<double>(i) * 1e-9;
+  const double before = timer.ElapsedSeconds();
+  timer.Reset();
+  const double after = timer.ElapsedSeconds();
+  EXPECT_LE(after, before + 1e-6);
+  EXPECT_GT(sink, 0.0);
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,67 @@
+// Unit tests for release/timeseries.
+
+#include "release/timeseries.h"
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(TimeSeriesDatabase, FromTrajectoriesTransposesUsersToSnapshots) {
+  // Figure 1(a): rows are users, columns are time points.
+  std::vector<Trajectory> users = {
+      {2, 0, 0}, {1, 0, 0}, {1, 3, 4}, {3, 4, 2}};
+  auto series = TimeSeriesDatabase::FromTrajectories(users, 5);
+  ASSERT_TRUE(series.ok());
+  EXPECT_EQ(series->horizon(), 3u);
+  EXPECT_EQ(series->num_users(), 4u);
+  auto d1 = series->At(1);
+  ASSERT_TRUE(d1.ok());
+  EXPECT_EQ(d1->values(), (std::vector<std::size_t>{2, 1, 1, 3}));
+  auto d3 = series->At(3);
+  ASSERT_TRUE(d3.ok());
+  EXPECT_EQ(d3->values(), (std::vector<std::size_t>{0, 0, 4, 2}));
+}
+
+TEST(TimeSeriesDatabase, FromTrajectoriesValidates) {
+  EXPECT_FALSE(TimeSeriesDatabase::FromTrajectories({}, 3).ok());
+  EXPECT_FALSE(TimeSeriesDatabase::FromTrajectories({{}}, 3).ok());
+  EXPECT_FALSE(
+      TimeSeriesDatabase::FromTrajectories({{0, 1}, {0}}, 3).ok());
+  EXPECT_FALSE(TimeSeriesDatabase::FromTrajectories({{0, 7}}, 3).ok());
+}
+
+TEST(TimeSeriesDatabase, AppendValidatesShape) {
+  TimeSeriesDatabase series(3);
+  auto db1 = Database::Create({0, 1}, 3);
+  ASSERT_TRUE(db1.ok());
+  EXPECT_TRUE(series.Append(*db1).ok());
+
+  auto wrong_domain = Database::Create({0, 1}, 4);
+  ASSERT_TRUE(wrong_domain.ok());
+  EXPECT_FALSE(series.Append(*wrong_domain).ok());
+
+  auto wrong_users = Database::Create({0, 1, 2}, 3);
+  ASSERT_TRUE(wrong_users.ok());
+  EXPECT_FALSE(series.Append(*wrong_users).ok());
+}
+
+TEST(TimeSeriesDatabase, AtUsesOneBasedPaperIndexing) {
+  TimeSeriesDatabase series(2);
+  auto db = Database::Create({0}, 2);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(series.Append(*db).ok());
+  EXPECT_TRUE(series.At(1).ok());
+  EXPECT_EQ(series.At(0).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(series.At(2).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(TimeSeriesDatabase, EmptySeriesProperties) {
+  TimeSeriesDatabase series(4);
+  EXPECT_EQ(series.horizon(), 0u);
+  EXPECT_EQ(series.num_users(), 0u);
+  EXPECT_EQ(series.domain_size(), 4u);
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,101 @@
+// Unit tests for lp/tpl_lfp: the paper's LFP instance (18)-(20) built for
+// generic solvers, and its agreement with the closed-form objective of
+// Theorem 4 on hand-checked pairs.
+
+#include "lp/tpl_lfp.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tcdp {
+namespace {
+
+TEST(BuildPairwiseTplLfp, ShapeMatchesPaperFormulation) {
+  auto lfp = BuildPairwiseTplLfp({0.8, 0.2}, {0.0, 1.0}, 0.5);
+  ASSERT_TRUE(lfp.ok());
+  // n(n-1) ratio constraints + n unit-box constraints.
+  EXPECT_EQ(lfp->constraints.size(), 2u * 1u + 2u);
+  EXPECT_EQ(lfp->num_variables(), 2u);
+}
+
+TEST(BuildPairwiseTplLfp, ValidatesInput) {
+  EXPECT_FALSE(BuildPairwiseTplLfp({1.0}, {1.0}, 0.5).ok());          // n<2
+  EXPECT_FALSE(BuildPairwiseTplLfp({0.5, 0.5}, {1.0}, 0.5).ok());     // size
+  EXPECT_FALSE(BuildPairwiseTplLfp({0.5, 0.5}, {0.5, 0.5}, -1).ok()); // alpha
+}
+
+TEST(BuildCompactTplLfp, HasTwoAuxiliaryVariables) {
+  auto lfp = BuildCompactTplLfp({0.8, 0.2}, {0.0, 1.0}, 0.5);
+  ASSERT_TRUE(lfp.ok());
+  EXPECT_EQ(lfp->num_variables(), 4u);  // x1, x2, m, M
+  // 2n envelope constraints + link + box.
+  EXPECT_EQ(lfp->constraints.size(), 2u * 2u + 2u);
+}
+
+// The Theorem 4 closed form for the pair q=(0.8,0.2), d=(0,1):
+// subset {0}, value = (0.8 (e^a - 1) + 1) / 1.
+double ClosedFormLoss(double alpha) {
+  return std::log(0.8 * std::expm1(alpha) + 1.0);
+}
+
+TEST(PairLossViaLfp, CharnesCooperPairwiseMatchesClosedForm) {
+  for (double alpha : {0.1, 0.5, 1.0, 2.0}) {
+    auto loss = PairLossViaLfp({0.8, 0.2}, {0.0, 1.0}, alpha,
+                               LfpMethod::kCharnesCooper,
+                               LfpFormulation::kPairwise);
+    ASSERT_TRUE(loss.ok()) << loss.status();
+    EXPECT_NEAR(*loss, ClosedFormLoss(alpha), 1e-7) << "alpha=" << alpha;
+  }
+}
+
+TEST(PairLossViaLfp, DinkelbachPairwiseMatchesClosedForm) {
+  for (double alpha : {0.1, 1.0, 2.0}) {
+    auto loss =
+        PairLossViaLfp({0.8, 0.2}, {0.0, 1.0}, alpha, LfpMethod::kDinkelbach,
+                       LfpFormulation::kPairwise);
+    ASSERT_TRUE(loss.ok()) << loss.status();
+    EXPECT_NEAR(*loss, ClosedFormLoss(alpha), 1e-7) << "alpha=" << alpha;
+  }
+}
+
+TEST(PairLossViaLfp, CompactFormulationAgreesWithPairwise) {
+  const std::vector<double> q = {0.5, 0.3, 0.2};
+  const std::vector<double> d = {0.1, 0.6, 0.3};
+  for (double alpha : {0.2, 1.0, 3.0}) {
+    auto pw = PairLossViaLfp(q, d, alpha, LfpMethod::kCharnesCooper,
+                             LfpFormulation::kPairwise);
+    auto cp = PairLossViaLfp(q, d, alpha, LfpMethod::kCharnesCooper,
+                             LfpFormulation::kCompact);
+    ASSERT_TRUE(pw.ok());
+    ASSERT_TRUE(cp.ok());
+    EXPECT_NEAR(*pw, *cp, 1e-7) << "alpha=" << alpha;
+  }
+}
+
+TEST(PairLossViaLfp, IdenticalRowsGiveZero) {
+  auto loss = PairLossViaLfp({0.4, 0.6}, {0.4, 0.6}, 1.0,
+                             LfpMethod::kCharnesCooper,
+                             LfpFormulation::kPairwise);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_NEAR(*loss, 0.0, 1e-8);
+}
+
+TEST(TemporalLossViaLfp, MaximizesOverOrderedPairs) {
+  // Figure 3's matrix: max over pairs is log(0.8(e^a -1)+1) (pair 0->1).
+  auto m = StochasticMatrix::FromRows({{0.8, 0.2}, {0.0, 1.0}});
+  auto loss = TemporalLossViaLfp(m, 0.1, LfpMethod::kCharnesCooper,
+                                 LfpFormulation::kPairwise);
+  ASSERT_TRUE(loss.ok());
+  EXPECT_NEAR(*loss, ClosedFormLoss(0.1), 1e-7);
+}
+
+TEST(TemporalLossViaLfp, RejectsTinyMatrices) {
+  EXPECT_FALSE(TemporalLossViaLfp(StochasticMatrix::Uniform(1), 1.0,
+                                  LfpMethod::kCharnesCooper,
+                                  LfpFormulation::kPairwise)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,205 @@
+// Unit tests for release/w_event: Kellaris et al.'s Budget Distribution
+// and Budget Absorption mechanisms — the paper's [22] baseline.
+//
+// Central invariant: for EVERY window of w consecutive steps, the total
+// spent budget (dissimilarity + publications) never exceeds epsilon.
+
+#include "release/w_event.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace tcdp {
+namespace {
+
+WEventOptions Opts(std::size_t w, double eps) {
+  WEventOptions o;
+  o.window = w;
+  o.epsilon = eps;
+  return o;
+}
+
+Database Snapshot(std::vector<std::size_t> values) {
+  auto db = Database::Create(std::move(values), 3);
+  EXPECT_TRUE(db.ok());
+  return std::move(db).value();
+}
+
+TEST(WEventOptionsValidation, RejectsBadParameters) {
+  EXPECT_FALSE(ValidateWEventOptions(Opts(0, 1.0)).ok());
+  EXPECT_FALSE(ValidateWEventOptions(Opts(3, 0.0)).ok());
+  WEventOptions bad = Opts(3, 1.0);
+  bad.dissimilarity_fraction = 1.0;
+  EXPECT_FALSE(ValidateWEventOptions(bad).ok());
+  EXPECT_TRUE(ValidateWEventOptions(Opts(3, 1.0)).ok());
+}
+
+TEST(BudgetDistribution, CreateValidates) {
+  EXPECT_FALSE(BudgetDistributionMechanism::Create(Opts(0, 1.0),
+                                                   std::make_unique<HistogramQuery>())
+                   .ok());
+  EXPECT_FALSE(
+      BudgetDistributionMechanism::Create(Opts(3, 1.0), nullptr).ok());
+}
+
+TEST(BudgetDistribution, FirstStepAlwaysPublishes) {
+  Rng rng(1);
+  auto m = BudgetDistributionMechanism::Create(
+      Opts(4, 1.0), std::make_unique<HistogramQuery>());
+  ASSERT_TRUE(m.ok());
+  auto r = (*m)->Process(Snapshot({0, 1, 2}), &rng);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->published);
+  EXPECT_GT(r->publication_epsilon, 0.0);
+  EXPECT_EQ(r->time, 1u);
+}
+
+TEST(BudgetDistribution, RepublishesStableStreams) {
+  // A constant stream should mostly re-publish after the first step.
+  Rng rng(2);
+  auto m = BudgetDistributionMechanism::Create(
+      Opts(4, 2.0), std::make_unique<HistogramQuery>());
+  ASSERT_TRUE(m.ok());
+  auto snapshot = Snapshot(std::vector<std::size_t>(60, 1));
+  std::size_t republished = 0;
+  for (int t = 0; t < 30; ++t) {
+    auto r = (*m)->Process(snapshot, &rng);
+    ASSERT_TRUE(r.ok());
+    if (!r->published) ++republished;
+  }
+  EXPECT_GT(republished, 20u);
+}
+
+TEST(BudgetDistribution, WindowBudgetNeverExceeded) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const double eps = 1.0;
+    auto m = BudgetDistributionMechanism::Create(
+        Opts(4, eps), std::make_unique<HistogramQuery>());
+    ASSERT_TRUE(m.ok());
+    // Volatile stream: force frequent publications.
+    for (int t = 0; t < 60; ++t) {
+      std::vector<std::size_t> values(40);
+      for (auto& v : values) {
+        v = static_cast<std::size_t>(rng.UniformInt(0, 2));
+      }
+      ASSERT_TRUE((*m)->Process(Snapshot(values), &rng).ok());
+    }
+    EXPECT_LE((*m)->MaxWindowSpend(), eps + 1e-9) << "seed=" << seed;
+    EXPECT_GT((*m)->num_publications(), 1u);
+  }
+}
+
+TEST(BudgetAbsorption, WindowBudgetNeverExceeded) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed + 50);
+    const double eps = 1.0;
+    auto m = BudgetAbsorptionMechanism::Create(
+        Opts(4, eps), std::make_unique<HistogramQuery>());
+    ASSERT_TRUE(m.ok());
+    for (int t = 0; t < 60; ++t) {
+      std::vector<std::size_t> values(40);
+      for (auto& v : values) {
+        v = static_cast<std::size_t>(rng.UniformInt(0, 2));
+      }
+      ASSERT_TRUE((*m)->Process(Snapshot(values), &rng).ok());
+    }
+    EXPECT_LE((*m)->MaxWindowSpend(), eps + 1e-9) << "seed=" << seed;
+  }
+}
+
+TEST(BudgetAbsorption, NullificationForcesRepublication) {
+  // Publish after a long skip run -> large absorbed budget -> the next
+  // steps are nullified (publication_epsilon == 0) regardless of change.
+  Rng rng(7);
+  auto m = BudgetAbsorptionMechanism::Create(
+      Opts(6, 1.0), std::make_unique<HistogramQuery>());
+  ASSERT_TRUE(m.ok());
+  auto stable = Snapshot(std::vector<std::size_t>(50, 0));
+  // First publication at t=1.
+  ASSERT_TRUE((*m)->Process(stable, &rng).ok());
+  // Let several stable steps accumulate absorbable budget.
+  for (int t = 0; t < 4; ++t) ASSERT_TRUE((*m)->Process(stable, &rng).ok());
+  // Strong change: should publish with absorbed budget...
+  auto changed = Snapshot(std::vector<std::size_t>(50, 2));
+  auto pub = (*m)->Process(changed, &rng);
+  ASSERT_TRUE(pub.ok());
+  ASSERT_TRUE(pub->published);
+  EXPECT_GT(pub->publication_epsilon, (1.0 - 0.5) / 6.0 + 1e-12);
+  // ...and the following steps must be nullified re-publications.
+  auto changed_again = Snapshot(std::vector<std::size_t>(50, 1));
+  auto nullified = (*m)->Process(changed_again, &rng);
+  ASSERT_TRUE(nullified.ok());
+  EXPECT_FALSE(nullified->published);
+}
+
+TEST(WEvent, AdaptiveBeatsUniformOnSparseStreams) {
+  // Piecewise-constant stream (the regime Kellaris et al. designed for):
+  // the population redistributes only every 10 steps. Re-publication is
+  // free between change points, so the adaptive mechanisms should beat
+  // the uniform eps/w baseline at equal window budget.
+  const double eps = 1.0;
+  const std::size_t w = 5;
+  TimeSeriesDatabase series_builder(3);
+  for (int t = 0; t < 40; ++t) {
+    const std::size_t hot = static_cast<std::size_t>(t / 10) % 3;
+    // In each 10-step phase one "hot" bin holds 120 users, the others 40.
+    std::vector<std::size_t> values;
+    for (std::size_t b = 0; b < 3; ++b) {
+      const std::size_t count = (b == hot) ? 120 : 40;
+      values.insert(values.end(), count, b);
+    }
+    auto db = Database::Create(std::move(values), 3);
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(series_builder.Append(std::move(*db)).ok());
+  }
+  auto series = StatusOr<TimeSeriesDatabase>(std::move(series_builder));
+
+  auto run_adaptive = [&](auto mechanism) {
+    Rng rng(123);
+    double err = 0.0;
+    std::size_t cells = 0;
+    for (std::size_t t = 1; t <= series->horizon(); ++t) {
+      auto r = mechanism->Process(*series->At(t), &rng);
+      EXPECT_TRUE(r.ok());
+      for (std::size_t b = 0; b < r->true_values.size(); ++b) {
+        err += std::fabs(r->released_values[b] - r->true_values[b]);
+        ++cells;
+      }
+    }
+    return err / static_cast<double>(cells);
+  };
+
+  auto bd = BudgetDistributionMechanism::Create(
+      Opts(w, eps), std::make_unique<HistogramQuery>());
+  ASSERT_TRUE(bd.ok());
+  const double bd_err = run_adaptive(bd->get());
+
+  // Uniform baseline: eps/w per step, always publish.
+  Rng rng(123);
+  ReleaseEngine uniform(std::make_unique<HistogramQuery>(), &rng);
+  auto uniform_releases =
+      uniform.ReleaseSeriesUniform(*series, eps / static_cast<double>(w));
+  ASSERT_TRUE(uniform_releases.ok());
+  const double uniform_err = MeanAbsoluteError(*uniform_releases);
+
+  EXPECT_LT(bd_err, uniform_err);
+}
+
+TEST(WEvent, NamesExposed) {
+  auto bd = BudgetDistributionMechanism::Create(
+      Opts(3, 1.0), std::make_unique<HistogramQuery>());
+  auto ba = BudgetAbsorptionMechanism::Create(
+      Opts(3, 1.0), std::make_unique<HistogramQuery>());
+  ASSERT_TRUE(bd.ok());
+  ASSERT_TRUE(ba.ok());
+  EXPECT_STREQ((*bd)->name(), "budget-distribution");
+  EXPECT_STREQ((*ba)->name(), "budget-absorption");
+}
+
+}  // namespace
+}  // namespace tcdp

@@ -1,0 +1,335 @@
+#include "tools/cli.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+#include <optional>
+
+#include "common/table.h"
+#include "core/budget_allocation.h"
+#include "core/supremum.h"
+#include "core/tpl_accountant.h"
+#include "markov/estimation.h"
+#include "markov/higher_order.h"
+#include "markov/io.h"
+
+namespace tcdp {
+namespace cli {
+namespace {
+
+using Flags = std::map<std::string, std::string>;
+
+StatusOr<Flags> ParseFlags(const std::vector<std::string>& args,
+                           std::size_t start) {
+  Flags flags;
+  for (std::size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("expected a --flag, got '" + arg + "'");
+    }
+    if (i + 1 >= args.size()) {
+      return Status::InvalidArgument("flag '" + arg + "' is missing a value");
+    }
+    flags[arg.substr(2)] = args[++i];
+  }
+  return flags;
+}
+
+StatusOr<double> FlagAsDouble(const Flags& flags, const std::string& name) {
+  auto it = flags.find(name);
+  if (it == flags.end()) {
+    return Status::InvalidArgument("missing required flag --" + name);
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  if (end == it->second.c_str() || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("flag --" + name +
+                                   ": cannot parse number '" + it->second +
+                                   "'");
+  }
+  return v;
+}
+
+StatusOr<std::size_t> FlagAsSize(const Flags& flags, const std::string& name,
+                                 std::optional<std::size_t> fallback = {}) {
+  auto it = flags.find(name);
+  if (it == flags.end()) {
+    if (fallback.has_value()) return *fallback;
+    return Status::InvalidArgument("missing required flag --" + name);
+  }
+  TCDP_ASSIGN_OR_RETURN(double v, FlagAsDouble(flags, name));
+  if (v < 0 || v != static_cast<double>(static_cast<std::size_t>(v))) {
+    return Status::InvalidArgument("flag --" + name +
+                                   " must be a non-negative integer");
+  }
+  return static_cast<std::size_t>(v);
+}
+
+/// Loads the correlation pair from --matrix (both directions) or the
+/// explicit --backward / --forward flags.
+StatusOr<TemporalCorrelations> LoadCorrelations(const Flags& flags) {
+  const bool has_matrix = flags.count("matrix") > 0;
+  const bool has_backward = flags.count("backward") > 0;
+  const bool has_forward = flags.count("forward") > 0;
+  if (has_matrix && (has_backward || has_forward)) {
+    return Status::InvalidArgument(
+        "--matrix is exclusive with --backward/--forward");
+  }
+  if (has_matrix) {
+    TCDP_ASSIGN_OR_RETURN(auto m,
+                          LoadStochasticMatrix(flags.at("matrix")));
+    return TemporalCorrelations::Both(m, m);
+  }
+  if (has_backward && has_forward) {
+    TCDP_ASSIGN_OR_RETURN(auto b,
+                          LoadStochasticMatrix(flags.at("backward")));
+    TCDP_ASSIGN_OR_RETURN(auto f,
+                          LoadStochasticMatrix(flags.at("forward")));
+    return TemporalCorrelations::Both(std::move(b), std::move(f));
+  }
+  if (has_backward) {
+    TCDP_ASSIGN_OR_RETURN(auto b,
+                          LoadStochasticMatrix(flags.at("backward")));
+    return TemporalCorrelations::BackwardOnly(std::move(b));
+  }
+  if (has_forward) {
+    TCDP_ASSIGN_OR_RETURN(auto f,
+                          LoadStochasticMatrix(flags.at("forward")));
+    return TemporalCorrelations::ForwardOnly(std::move(f));
+  }
+  return Status::InvalidArgument(
+      "provide --matrix, or --backward and/or --forward");
+}
+
+StatusOr<std::vector<double>> ParseScheduleFlag(const std::string& text) {
+  std::vector<double> schedule;
+  std::string field;
+  auto flush = [&]() -> Status {
+    if (field.empty()) return Status::OK();
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(field.c_str(), &end);
+    if (end == field.c_str() || *end != '\0' || errno == ERANGE) {
+      return Status::InvalidArgument("--schedule: bad number '" + field +
+                                     "'");
+    }
+    schedule.push_back(v);
+    field.clear();
+    return Status::OK();
+  };
+  for (char ch : text) {
+    if (ch == ',' || ch == ' ') {
+      TCDP_RETURN_IF_ERROR(flush());
+    } else {
+      field.push_back(ch);
+    }
+  }
+  TCDP_RETURN_IF_ERROR(flush());
+  if (schedule.empty()) {
+    return Status::InvalidArgument("--schedule: no values");
+  }
+  return schedule;
+}
+
+Status CmdQuantify(const Flags& flags, std::ostream& out) {
+  TCDP_ASSIGN_OR_RETURN(auto corr, LoadCorrelations(flags));
+  std::vector<double> schedule;
+  if (flags.count("schedule") > 0) {
+    TCDP_ASSIGN_OR_RETURN(schedule, ParseScheduleFlag(flags.at("schedule")));
+  } else {
+    TCDP_ASSIGN_OR_RETURN(double eps, FlagAsDouble(flags, "epsilon"));
+    TCDP_ASSIGN_OR_RETURN(std::size_t horizon,
+                          FlagAsSize(flags, "horizon"));
+    if (horizon == 0) {
+      return Status::InvalidArgument("--horizon must be >= 1");
+    }
+    schedule.assign(horizon, eps);
+  }
+  TplAccountant acc(corr);
+  for (double eps : schedule) {
+    TCDP_RETURN_IF_ERROR(acc.RecordRelease(eps));
+  }
+  Table table({"t", "epsilon", "BPL", "FPL", "TPL"});
+  for (std::size_t t = 1; t <= acc.horizon(); ++t) {
+    table.AddRow();
+    table.AddInt(static_cast<long long>(t));
+    table.AddNumber(schedule[t - 1], 6);
+    TCDP_ASSIGN_OR_RETURN(double bpl, acc.Bpl(t));
+    TCDP_ASSIGN_OR_RETURN(double fpl, acc.Fpl(t));
+    TCDP_ASSIGN_OR_RETURN(double tpl, acc.Tpl(t));
+    table.AddNumber(bpl, 6);
+    table.AddNumber(fpl, 6);
+    table.AddNumber(tpl, 6);
+  }
+  out << table.ToAlignedString();
+  out << "max TPL (event-level alpha): " << FormatNumber(acc.MaxTpl(), 6)
+      << "\nuser-level TPL (Corollary 1): "
+      << FormatNumber(acc.UserLevelTpl(), 6) << "\n";
+  return Status::OK();
+}
+
+Status CmdSupremum(const Flags& flags, std::ostream& out) {
+  TCDP_ASSIGN_OR_RETURN(auto corr, LoadCorrelations(flags));
+  TCDP_ASSIGN_OR_RETURN(double eps, FlagAsDouble(flags, "epsilon"));
+  auto report = [&](const char* label,
+                    const StochasticMatrix& m) -> Status {
+    TemporalLossFunction loss(m);
+    TCDP_ASSIGN_OR_RETURN(auto sup, ComputeSupremum(loss, eps));
+    out << label << ": ";
+    if (sup.exists) {
+      out << "supremum = " << FormatNumber(sup.value, 6)
+          << "  (maximizing pair q=" << FormatNumber(sup.q_sum, 4)
+          << ", d=" << FormatNumber(sup.d_sum, 4) << ")\n";
+    } else {
+      out << "supremum does not exist (leakage grows without bound)\n";
+    }
+    return Status::OK();
+  };
+  if (corr.has_backward()) {
+    TCDP_RETURN_IF_ERROR(report("BPL", corr.backward()));
+  }
+  if (corr.has_forward()) {
+    TCDP_RETURN_IF_ERROR(report("FPL", corr.forward()));
+  }
+  return Status::OK();
+}
+
+Status CmdAllocate(const Flags& flags, std::ostream& out) {
+  TCDP_ASSIGN_OR_RETURN(auto corr, LoadCorrelations(flags));
+  TCDP_ASSIGN_OR_RETURN(double alpha, FlagAsDouble(flags, "alpha"));
+  TCDP_ASSIGN_OR_RETURN(std::size_t horizon, FlagAsSize(flags, "horizon"));
+  std::string strategy = "quantified";
+  if (flags.count("strategy") > 0) strategy = flags.at("strategy");
+
+  TCDP_ASSIGN_OR_RETURN(auto alloc, BudgetAllocator::Create(corr, alpha));
+  std::vector<double> schedule;
+  if (strategy == "quantified") {
+    TCDP_ASSIGN_OR_RETURN(schedule, alloc.QuantifiedSchedule(horizon));
+  } else if (strategy == "upper-bound") {
+    schedule = alloc.UpperBoundSchedule(horizon);
+  } else if (strategy == "group") {
+    schedule = GroupDpSchedule(alpha, horizon);
+  } else {
+    return Status::InvalidArgument(
+        "--strategy must be quantified, upper-bound or group");
+  }
+
+  out << "strategy: " << strategy
+      << "\nbalanced split: alpha_b=" << FormatNumber(alloc.budget().alpha_b, 6)
+      << " alpha_f=" << FormatNumber(alloc.budget().alpha_f, 6)
+      << " eps*=" << FormatNumber(alloc.budget().eps_steady, 6) << "\n";
+
+  TplAccountant acc(corr);
+  Table table({"t", "epsilon_t", "TPL_t"});
+  for (double eps : schedule) {
+    TCDP_RETURN_IF_ERROR(acc.RecordRelease(eps));
+  }
+  for (std::size_t t = 1; t <= horizon; ++t) {
+    table.AddRow();
+    table.AddInt(static_cast<long long>(t));
+    table.AddNumber(schedule[t - 1], 6);
+    TCDP_ASSIGN_OR_RETURN(double tpl, acc.Tpl(t));
+    table.AddNumber(tpl, 6);
+  }
+  out << table.ToAlignedString();
+  out << "audited max TPL: " << FormatNumber(acc.MaxTpl(), 6)
+      << " (target alpha " << FormatNumber(alpha, 6) << ")\n";
+  return Status::OK();
+}
+
+Status CmdEstimate(const Flags& flags, std::ostream& out) {
+  auto it = flags.find("trajectories");
+  if (it == flags.end()) {
+    return Status::InvalidArgument("missing required flag --trajectories");
+  }
+  TCDP_ASSIGN_OR_RETURN(std::size_t states,
+                        FlagAsSize(flags, "states", std::size_t{0}));
+  TCDP_ASSIGN_OR_RETURN(auto trajectories,
+                        LoadTrajectories(it->second, states));
+  if (states == 0) {
+    for (const auto& traj : trajectories) {
+      for (std::size_t s : traj) states = std::max(states, s + 1);
+    }
+  }
+  TCDP_ASSIGN_OR_RETURN(std::size_t order,
+                        FlagAsSize(flags, "order", std::size_t{1}));
+  EstimationOptions options;
+  if (flags.count("smoothing") > 0) {
+    TCDP_ASSIGN_OR_RETURN(options.additive_smoothing,
+                          FlagAsDouble(flags, "smoothing"));
+  }
+
+  StochasticMatrix forward;
+  if (order == 1) {
+    TCDP_ASSIGN_OR_RETURN(
+        forward, EstimateForwardTransition(trajectories, states, options));
+  } else {
+    TCDP_ASSIGN_OR_RETURN(
+        auto chain, HigherOrderChain::Estimate(trajectories, states, order,
+                                               options.additive_smoothing));
+    forward = chain.EmbedAsFirstOrder();
+    out << "# order-" << order << " model embedded over "
+        << forward.size() << " histories\n";
+  }
+  if (flags.count("out") > 0) {
+    TCDP_RETURN_IF_ERROR(SaveStochasticMatrix(forward, flags.at("out")));
+    out << "forward matrix written to " << flags.at("out") << "\n";
+  } else {
+    out << SerializeStochasticMatrix(forward);
+  }
+  if (flags.count("backward-out") > 0) {
+    TCDP_ASSIGN_OR_RETURN(
+        auto backward,
+        EstimateBackwardTransition(trajectories, states, options));
+    TCDP_RETURN_IF_ERROR(
+        SaveStochasticMatrix(backward, flags.at("backward-out")));
+    out << "backward matrix written to " << flags.at("backward-out") << "\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string HelpText() {
+  return
+      "tcdp — temporal-correlation-aware differential privacy toolkit\n"
+      "\n"
+      "usage: tcdp <command> [--flag value]...\n"
+      "\n"
+      "commands:\n"
+      "  quantify   BPL/FPL/TPL timeline of a release sequence\n"
+      "             --matrix M.csv | --backward B.csv | --forward F.csv\n"
+      "             --epsilon E --horizon T | --schedule \"e1,e2,...\"\n"
+      "  supremum   Theorem 5 leakage supremum under a uniform budget\n"
+      "             --matrix M.csv --epsilon E\n"
+      "  allocate   alpha-DP_T budget schedule (Algorithms 2/3)\n"
+      "             --matrix M.csv --alpha A --horizon T\n"
+      "             [--strategy quantified|upper-bound|group]\n"
+      "  estimate   correlation MLE from trajectories\n"
+      "             --trajectories T.csv [--states n] [--order k]\n"
+      "             [--smoothing s] [--out F.csv] [--backward-out B.csv]\n"
+      "  help       this text\n"
+      "\n"
+      "file formats: matrices are one row per line (comma/space separated\n"
+      "probabilities); trajectories are one user per line (state indices).\n"
+      "Lines starting with '#' are comments.\n";
+}
+
+Status Run(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << HelpText();
+    return Status::OK();
+  }
+  const std::string& command = args[0];
+  TCDP_ASSIGN_OR_RETURN(Flags flags, ParseFlags(args, 1));
+  if (command == "quantify") return CmdQuantify(flags, out);
+  if (command == "supremum") return CmdSupremum(flags, out);
+  if (command == "allocate") return CmdAllocate(flags, out);
+  if (command == "estimate") return CmdEstimate(flags, out);
+  return Status::InvalidArgument("unknown command '" + command +
+                                 "'; see `tcdp help`");
+}
+
+}  // namespace cli
+}  // namespace tcdp

@@ -1,0 +1,47 @@
+#ifndef TCDP_TOOLS_CLI_H_
+#define TCDP_TOOLS_CLI_H_
+
+/// \file
+/// The `tcdp` command-line tool, as a library so tests can drive it
+/// in-process. Subcommands:
+///
+///   quantify  --matrix M.csv --epsilon 0.1 --horizon 10
+///             [--backward B.csv] [--forward F.csv] [--schedule "a,b,c"]
+///       Print the BPL/FPL/TPL timeline of a release sequence.
+///
+///   supremum  --matrix M.csv --epsilon 0.1
+///       Theorem 5: the leakage supremum under a uniform budget.
+///
+///   allocate  --matrix M.csv --alpha 1.0 --horizon 20
+///             [--strategy quantified|upper-bound|group]
+///       Algorithms 2/3: a budget schedule achieving alpha-DP_T,
+///       with its audit.
+///
+///   estimate  --trajectories T.csv [--states n] [--order k]
+///             [--smoothing s] [--out F.csv] [--backward-out B.csv]
+///       MLE of forward/backward correlations from trajectories.
+///
+///   help
+///
+/// Matrix/trajectory file formats: see markov/io.h.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcdp {
+namespace cli {
+
+/// Executes one invocation. \p args excludes the program name.
+/// Human-oriented results go to \p out; errors come back as Status.
+Status Run(const std::vector<std::string>& args, std::ostream& out);
+
+/// The help text (also printed by `tcdp help`).
+std::string HelpText();
+
+}  // namespace cli
+}  // namespace tcdp
+
+#endif  // TCDP_TOOLS_CLI_H_

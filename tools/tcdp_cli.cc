@@ -1,0 +1,19 @@
+// Entry point of the `tcdp` command-line tool; the logic lives in
+// tools/cli.{h,cc} so tests can drive it in-process.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  tcdp::Status status = tcdp::cli::Run(args, std::cout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "tcdp: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
