@@ -1,0 +1,116 @@
+// Throughput of the fleet release engine on a 1000-user uniform-matrix
+// clickstream workload: every user shares one transition matrix, the
+// exact redundancy the shared temporal-loss cache removes.
+//
+// Three configurations are timed over the same schedule:
+//   baseline   — no cache, single thread (1000 Algorithm-1 solves per
+//                release);
+//   cached     — shared cache, single thread (~1 solve per release);
+//   cached+par — shared cache plus the work-stealing pool.
+//
+// Also asserts the acceptance criteria: cached+parallel reaches >= 5x
+// the baseline releases/sec, and its TPL series is bitwise identical to
+// the serial cached run.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "service/fleet_engine.h"
+#include "workload/generators.h"
+
+namespace {
+
+using namespace tcdp;
+
+constexpr std::size_t kUsers = 1000;
+constexpr std::size_t kHorizon = 24;
+constexpr std::size_t kPages = 16;
+constexpr double kEpsilon = 0.1;
+
+struct RunResult {
+  double seconds = 0.0;
+  double releases_per_sec = 0.0;
+  double overall_alpha = 0.0;
+  std::vector<double> tpl_user0;
+  TemporalLossCache::Stats cache;
+  ThreadPool::Stats pool;
+};
+
+RunResult RunFleet(const TemporalCorrelations& corr, bool use_cache,
+                   std::size_t threads) {
+  FleetEngineOptions options;
+  options.share_loss_cache = use_cache;
+  options.num_threads = threads;
+  FleetEngine engine(options);
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    engine.AddUser("user-" + std::to_string(u), corr);
+  }
+  auto status = engine.RecordReleases(std::vector<double>(kHorizon, kEpsilon));
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    std::exit(1);
+  }
+  RunResult r;
+  r.seconds = engine.stats().record_seconds;
+  r.releases_per_sec = engine.stats().UserReleasesPerSecond();
+  r.overall_alpha = engine.OverallAlpha();
+  r.tpl_user0 = engine.user(0).TplSeries();
+  r.cache = engine.cache_stats();
+  r.pool = engine.pool_stats();
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  auto matrix = ClickstreamModel(kPages);
+  if (!matrix.ok()) {
+    std::fprintf(stderr, "error: %s\n", matrix.status().ToString().c_str());
+    return 1;
+  }
+  auto corr = TemporalCorrelations::Both(*matrix, *matrix);
+  if (!corr.ok()) {
+    std::fprintf(stderr, "error: %s\n", corr.status().ToString().c_str());
+    return 1;
+  }
+
+  const RunResult baseline = RunFleet(*corr, /*use_cache=*/false, 1);
+  const RunResult cached = RunFleet(*corr, /*use_cache=*/true, 1);
+  const RunResult parallel = RunFleet(*corr, /*use_cache=*/true, 0);
+
+  Table table({"configuration", "seconds", "releases/sec", "speedup",
+               "cache hit rate", "tasks stolen"});
+  auto add = [&table, &baseline](const char* name, const RunResult& r,
+                                 bool cache_on) {
+    table.AddRow();
+    table.AddCell(name);
+    table.AddNumber(r.seconds, 4);
+    table.AddNumber(r.releases_per_sec, 0);
+    table.AddNumber(r.releases_per_sec / baseline.releases_per_sec, 2);
+    table.AddCell(cache_on ? FormatNumber(r.cache.HitRate(), 4) : "-");
+    table.AddInt(static_cast<long long>(r.pool.tasks_stolen));
+  };
+  add("baseline (no cache, 1 thread)", baseline, false);
+  add("cached (1 thread)", cached, true);
+  add("cached + parallel", parallel, true);
+  std::printf("fleet throughput — %zu users, horizon %zu, uniform matrix "
+              "(%zu pages), eps %.2f\n%s",
+              kUsers, kHorizon, kPages, kEpsilon,
+              table.ToAlignedString().c_str());
+
+  const bool identical = cached.tpl_user0 == parallel.tpl_user0 &&
+                         cached.overall_alpha == parallel.overall_alpha;
+  std::printf("parallel TPL series bitwise-identical to serial: %s\n",
+              identical ? "yes" : "NO");
+  const double speedup = parallel.releases_per_sec / baseline.releases_per_sec;
+  std::printf("cached+parallel speedup over baseline: %.2fx (target >= 5x)\n",
+              speedup);
+  if (!identical || speedup < 5.0) {
+    std::fprintf(stderr, "FAILED acceptance criteria\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace tcdp {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  queues_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back(&ThreadPool::WorkerLoop, this, i);
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  Wait();
+  {
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  idle_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  assert(task);
+  const std::size_t target =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  in_flight_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // Pair the notify with the idle mutex so a worker checking the
+    // predicate cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(idle_mu_);
+    queued_.fetch_add(1, std::memory_order_release);
+  }
+  idle_cv_.notify_one();
+}
+
+bool ThreadPool::RunOneTask(std::size_t self) {
+  std::function<void()> task;
+  bool stolen = false;
+  {
+    WorkerQueue& own = *queues_[self];
+    std::lock_guard<std::mutex> lock(own.mu);
+    if (!own.tasks.empty()) {
+      task = std::move(own.tasks.back());
+      own.tasks.pop_back();
+    }
+  }
+  if (!task) {
+    for (std::size_t k = 1; k < queues_.size() && !task; ++k) {
+      WorkerQueue& victim = *queues_[(self + k) % queues_.size()];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        stolen = true;
+      }
+    }
+  }
+  if (!task) return false;
+  queued_.fetch_sub(1, std::memory_order_relaxed);
+  // Count before running: a ParallelFor caller wakes the instant its last
+  // body returns, and must already see that task in the stats.
+  tasks_executed_.fetch_add(1, std::memory_order_relaxed);
+  if (stolen) tasks_stolen_.fetch_add(1, std::memory_order_relaxed);
+  task();
+  FinishTask();
+  return true;
+}
+
+void ThreadPool::FinishTask() {
+  if (in_flight_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::WorkerLoop(std::size_t index) {
+  while (true) {
+    if (RunOneTask(index)) continue;
+    std::unique_lock<std::mutex> lock(idle_mu_);
+    idle_cv_.wait(lock, [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             queued_.load(std::memory_order_acquire) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        queued_.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+  }
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(done_mu_);
+  done_cv_.wait(lock, [this] {
+    return in_flight_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body,
+                             std::size_t grain) {
+  if (end <= begin) return;
+  const std::size_t count = end - begin;
+  if (grain == 0) {
+    // Aim for a few chunks per worker so stealing can balance stragglers.
+    grain = std::max<std::size_t>(1, count / (4 * num_threads()));
+  }
+  const std::size_t num_chunks = (count + grain - 1) / grain;
+
+  struct Latch {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+  };
+  auto latch = std::make_shared<Latch>();
+  latch->remaining = num_chunks;
+
+  for (std::size_t chunk = 0; chunk < num_chunks; ++chunk) {
+    const std::size_t lo = begin + chunk * grain;
+    const std::size_t hi = std::min(end, lo + grain);
+    Submit([latch, lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) body(i);
+      std::lock_guard<std::mutex> lock(latch->mu);
+      if (--latch->remaining == 0) latch->cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(latch->mu);
+  latch->cv.wait(lock, [&] { return latch->remaining == 0; });
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.tasks_executed = tasks_executed_.load(std::memory_order_relaxed);
+  s.tasks_stolen = tasks_stolen_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,94 @@
+#ifndef TCDP_COMMON_THREAD_POOL_H_
+#define TCDP_COMMON_THREAD_POOL_H_
+
+/// \file
+/// A small work-stealing thread pool for the fleet-scale release paths.
+///
+/// Each worker owns a deque: it pops its own tasks LIFO (cache-warm) and
+/// steals from other workers FIFO (oldest first, the classic
+/// Blumofe–Leiserson discipline). Submission round-robins across worker
+/// queues so a burst from one producer still spreads over the fleet.
+///
+/// The pool is intentionally minimal: no futures, no priorities, no
+/// nested-parallelism support. `ParallelFor` is the only structured
+/// primitive the release engine needs, and it must not be called from
+/// inside a pool task (it blocks the caller until the range completes).
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tcdp {
+
+class ThreadPool {
+ public:
+  /// \p num_threads == 0 picks std::thread::hardware_concurrency()
+  /// (at least 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues \p task for asynchronous execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished.
+  void Wait();
+
+  /// Runs body(i) for every i in [begin, end), partitioned into chunks of
+  /// about \p grain indices (0 = pick automatically). Blocks until the
+  /// whole range is done. Must not be called from a pool thread.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& body,
+                   std::size_t grain = 0);
+
+  struct Stats {
+    std::uint64_t tasks_executed = 0;
+    std::uint64_t tasks_stolen = 0;  ///< subset of executed taken by theft
+  };
+  Stats stats() const;
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  /// Pops one task (own queue back, then steal others' front) and runs
+  /// it. Returns false when every queue was empty.
+  bool RunOneTask(std::size_t self);
+  void WorkerLoop(std::size_t index);
+  void FinishTask();
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;  // workers sleep here when drained
+  std::mutex done_mu_;
+  std::condition_variable done_cv_;  // Wait() sleeps here
+
+  // Signed: a worker may pop a task in the window between Submit's push
+  // and its counter increment, transiently driving the count to -1.
+  std::atomic<std::ptrdiff_t> queued_{0};  // tasks sitting in queues
+  std::atomic<std::size_t> in_flight_{0};  // queued + currently running
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<bool> stop_{false};
+
+  std::atomic<std::uint64_t> tasks_executed_{0};
+  std::atomic<std::uint64_t> tasks_stolen_{0};
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_COMMON_THREAD_POOL_H_

@@ -1,0 +1,194 @@
+#include "core/loss_cache.h"
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace tcdp {
+namespace {
+
+/// FNV-1a over the matrix dimensions and raw entry bit patterns.
+std::uint64_t FingerprintMatrix(const StochasticMatrix& matrix) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(matrix.size());
+  for (double entry : matrix.matrix().data()) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &entry, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+bool SameContents(const StochasticMatrix& a, const StochasticMatrix& b) {
+  return a.size() == b.size() && a.matrix().data() == b.matrix().data();
+}
+
+}  // namespace
+
+class TemporalLossCache::Impl {
+ public:
+  explicit Impl(const Options& options) : options_(options) {
+    if (options_.num_shards == 0) options_.num_shards = 1;
+  }
+
+  /// One interned matrix: its loss function plus a sharded value table.
+  struct Entry {
+    explicit Entry(StochasticMatrix matrix, std::size_t num_shards)
+        : loss(std::move(matrix)), shards(num_shards) {}
+    TemporalLossFunction loss;
+    struct Shard {
+      std::mutex mu;
+      std::unordered_map<std::int64_t, double> values;
+    };
+    std::vector<Shard> shards;
+  };
+
+  std::shared_ptr<Entry> InternEntry(const StochasticMatrix& matrix) {
+    const std::uint64_t fp = FingerprintMatrix(matrix);
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    auto [it, inserted] = registry_.try_emplace(fp);
+    for (const auto& existing : it->second) {
+      if (SameContents(existing->loss.transition(), matrix)) return existing;
+    }
+    auto entry = std::make_shared<Entry>(matrix, options_.num_shards);
+    it->second.push_back(entry);
+    return entry;
+  }
+
+  double Evaluate(Entry& entry, double alpha) {
+    if (!(alpha > 0.0)) return 0.0;
+    std::int64_t key;
+    if (options_.alpha_resolution > 0.0) {
+      const double scaled = alpha / options_.alpha_resolution;
+      if (scaled >= 9.0e18) {  // llround would overflow int64
+        // Leakage this deep is astronomically past any real budget;
+        // evaluate directly rather than corrupt the key space.
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        return entry.loss.Evaluate(alpha);
+      }
+      // Snap to the grid point at or above alpha: L is nondecreasing, so
+      // evaluating at a larger argument keeps the memoized value an
+      // upper bound on the true loss — an accountant must never round a
+      // privacy leakage down.
+      key = static_cast<std::int64_t>(std::llround(scaled));
+      double snapped = static_cast<double>(key) * options_.alpha_resolution;
+      if (snapped < alpha) {
+        ++key;
+        snapped = static_cast<double>(key) * options_.alpha_resolution;
+      }
+      alpha = snapped;
+    } else {
+      std::memcpy(&key, &alpha, sizeof(key));
+    }
+    Entry::Shard& shard =
+        entry.shards[static_cast<std::uint64_t>(key) % entry.shards.size()];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.values.find(key);
+      if (it != shard.values.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    // Compute outside the lock: Algorithm 1 is the expensive part, and a
+    // concurrent duplicate computes the identical value anyway. Only the
+    // thread whose insert wins counts the miss, so hits + misses always
+    // equals lookups even when a cold bucket is raced.
+    const double value = entry.loss.Evaluate(alpha);
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto [it, inserted] = shard.values.emplace(key, value);
+      if (inserted) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return it->second;
+    }
+  }
+
+  Stats stats() const {
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (const auto& [fp, entries] : registry_) {
+      s.distinct_matrices += entries.size();
+      for (const auto& entry : entries) {
+        for (auto& shard : entry->shards) {
+          std::lock_guard<std::mutex> shard_lock(shard.mu);
+          s.entries += shard.values.size();
+        }
+      }
+    }
+    return s;
+  }
+
+  void Clear() {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    for (auto& [fp, entries] : registry_) {
+      for (auto& entry : entries) {
+        for (auto& shard : entry->shards) {
+          std::lock_guard<std::mutex> shard_lock(shard.mu);
+          shard.values.clear();
+        }
+      }
+    }
+  }
+
+ private:
+  Options options_;
+  mutable std::mutex registry_mu_;
+  // fingerprint -> entries (a bucket list guards against hash collision).
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<Entry>>>
+      registry_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+namespace {
+
+/// The evaluator handed to accountants: routes through the shared table.
+class CachedLoss : public LossEvaluator {
+ public:
+  CachedLoss(std::shared_ptr<TemporalLossCache::Impl> impl,
+             std::shared_ptr<TemporalLossCache::Impl::Entry> entry)
+      : impl_(std::move(impl)), entry_(std::move(entry)) {}
+
+  double Evaluate(double alpha) const override {
+    return impl_->Evaluate(*entry_, alpha);
+  }
+
+ private:
+  std::shared_ptr<TemporalLossCache::Impl> impl_;
+  std::shared_ptr<TemporalLossCache::Impl::Entry> entry_;
+};
+
+}  // namespace
+
+TemporalLossCache::TemporalLossCache() : TemporalLossCache(Options()) {}
+
+TemporalLossCache::TemporalLossCache(const Options& options)
+    : impl_(std::make_shared<Impl>(options)) {}
+
+std::shared_ptr<const LossEvaluator> TemporalLossCache::Intern(
+    const StochasticMatrix& matrix) {
+  return std::make_shared<CachedLoss>(impl_, impl_->InternEntry(matrix));
+}
+
+TemporalLossCache::Stats TemporalLossCache::stats() const {
+  return impl_->stats();
+}
+
+void TemporalLossCache::Clear() { impl_->Clear(); }
+
+}  // namespace tcdp

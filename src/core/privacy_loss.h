@@ -63,6 +63,16 @@ StatusOr<PairLossResult> ComputePairLossSorted(const std::vector<double>& q,
                                                const std::vector<double>& d,
                                                double alpha);
 
+/// \brief Interface for a temporal loss function L(alpha): alpha >= 0 ->
+/// [0, alpha]. Lets accountants share one evaluation backend — a direct
+/// per-user TemporalLossFunction, the trivial zero loss, or a fleet-wide
+/// memoizing cache (core/loss_cache.h).
+class LossEvaluator {
+ public:
+  virtual ~LossEvaluator() = default;
+  virtual double Evaluate(double alpha) const = 0;
+};
+
 /// How TemporalLossFunction solves each ordered row pair.
 enum class PairLossMethod {
   kIterativeRefinement,  ///< the paper's Algorithm 1 removal loop
@@ -79,7 +89,7 @@ struct LossEvalOptions {
 ///
 /// Construction copies the matrix; evaluation is O(n^4) worst case
 /// (n^2 pairs x O(n^2) subset refinement), matching the paper's bound.
-class TemporalLossFunction {
+class TemporalLossFunction : public LossEvaluator {
  public:
   explicit TemporalLossFunction(StochasticMatrix transition);
 
@@ -88,7 +98,7 @@ class TemporalLossFunction {
 
   /// L(alpha) for alpha >= 0. alpha = 0 gives 0. Asserts on negative
   /// alpha in debug builds; clamps to 0 otherwise.
-  double Evaluate(double alpha) const;
+  double Evaluate(double alpha) const override;
 
   using EvalOptions = LossEvalOptions;
 
@@ -112,9 +122,9 @@ class TemporalLossFunction {
 /// \brief Trivial loss function L(alpha) = 0 used when the adversary
 /// lacks the corresponding correlation knowledge (BPL/FPL collapse to
 /// PL0, Examples 2 and 3 case (iii)).
-class ZeroLossFunction {
+class ZeroLossFunction : public LossEvaluator {
  public:
-  double Evaluate(double) const { return 0.0; }
+  double Evaluate(double) const override { return 0.0; }
 };
 
 }  // namespace tcdp

@@ -12,12 +12,21 @@ namespace tcdp {
 TplAccountant::TplAccountant(TemporalCorrelations correlations)
     : correlations_(std::move(correlations)) {
   if (correlations_.has_backward()) {
-    backward_loss_.emplace(correlations_.backward());
+    backward_loss_ =
+        std::make_shared<TemporalLossFunction>(correlations_.backward());
   }
   if (correlations_.has_forward()) {
-    forward_loss_.emplace(correlations_.forward());
+    forward_loss_ =
+        std::make_shared<TemporalLossFunction>(correlations_.forward());
   }
 }
+
+TplAccountant::TplAccountant(TemporalCorrelations correlations,
+                             std::shared_ptr<const LossEvaluator> backward_loss,
+                             std::shared_ptr<const LossEvaluator> forward_loss)
+    : correlations_(std::move(correlations)),
+      backward_loss_(std::move(backward_loss)),
+      forward_loss_(std::move(forward_loss)) {}
 
 Status TplAccountant::RecordRelease(double epsilon) {
   if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
@@ -25,7 +34,7 @@ Status TplAccountant::RecordRelease(double epsilon) {
         "TplAccountant: epsilon must be finite and > 0");
   }
   double bpl = epsilon;
-  if (!bpl_.empty() && backward_loss_.has_value()) {
+  if (!bpl_.empty() && backward_loss_ != nullptr) {
     bpl += backward_loss_->Evaluate(bpl_.back());
   }
   epsilons_.push_back(epsilon);
@@ -48,7 +57,7 @@ void TplAccountant::EnsureFplCache() const {
   fpl_.assign(t_len, 0.0);
   for (std::size_t idx = t_len; idx-- > 0;) {
     double fpl = epsilons_[idx];
-    if (idx + 1 < t_len && forward_loss_.has_value()) {
+    if (idx + 1 < t_len && forward_loss_ != nullptr) {
       fpl += forward_loss_->Evaluate(fpl_[idx + 1]);
     }
     fpl_[idx] = fpl;

@@ -14,6 +14,7 @@
 /// accountant recomputes the backward pass lazily.
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,6 +31,18 @@ class TplAccountant {
   /// \p correlations may lack either matrix; the missing direction's loss
   /// function is identically zero (classical DP adversary on that side).
   explicit TplAccountant(TemporalCorrelations correlations);
+
+  /// Fleet construction: evaluate through externally supplied loss
+  /// evaluators (e.g. a shared TemporalLossCache) instead of building
+  /// per-user TemporalLossFunctions. A null evaluator means zero loss on
+  /// that side; callers must pass evaluators consistent with
+  /// \p correlations. Note Serialize() embeds only the matrices and the
+  /// spend sequence: Deserialize() always rebuilds direct (uncached)
+  /// evaluators, so a cache-backed accountant's restored series may
+  /// differ from the live one at the cache's quantization level.
+  TplAccountant(TemporalCorrelations correlations,
+                std::shared_ptr<const LossEvaluator> backward_loss,
+                std::shared_ptr<const LossEvaluator> forward_loss);
 
   /// Appends a release with budget eps > 0 at time horizon()+1.
   Status RecordRelease(double epsilon);
@@ -89,9 +102,10 @@ class TplAccountant {
   void EnsureFplCache() const;
 
   TemporalCorrelations correlations_;
-  // Loss functions (empty optionals when the matrix is absent).
-  std::optional<TemporalLossFunction> backward_loss_;
-  std::optional<TemporalLossFunction> forward_loss_;
+  // Loss evaluators, possibly shared across users (null when the matrix
+  // is absent — zero loss on that side).
+  std::shared_ptr<const LossEvaluator> backward_loss_;
+  std::shared_ptr<const LossEvaluator> forward_loss_;
 
   std::vector<double> epsilons_;
   std::vector<double> bpl_;              // incremental forward pass
@@ -101,6 +115,12 @@ class TplAccountant {
 
 /// \brief Population view (Section III-D): per-user accountants, overall
 /// leakage = max over users; also yields the personalized profile.
+///
+/// NOTE: for fleets beyond a handful of users prefer
+/// service/fleet_engine.h, which offers the same surface batched over a
+/// shared loss cache and thread pool (and, unlike this class, replays
+/// the recorded schedule for late-joining users). This class remains the
+/// simple single-threaded reference implementation.
 class PopulationAccountant {
  public:
   /// Adds a user; returns its index.

@@ -1,0 +1,127 @@
+#ifndef TCDP_SERVICE_FLEET_ENGINE_H_
+#define TCDP_SERVICE_FLEET_ENGINE_H_
+
+/// \file
+/// Fleet-scale release accounting: thousands of per-user TplAccountants
+/// driven over a shared temporal-loss cache and a work-stealing thread
+/// pool.
+///
+/// The per-user recurrences (Equations 13/15) are embarrassingly
+/// parallel across users — user A's BPL never reads user B's state — so
+/// `RecordRelease` fans the forward step out over the pool. All users
+/// whose adversaries know the same transition matrix share one memoized
+/// loss function (core/loss_cache.h), turning the fleet's per-release
+/// cost from num_users Algorithm-1 solves into (roughly) one solve plus
+/// num_users hash lookups.
+///
+/// Determinism: each user's series depends only on its own inputs, and
+/// cached evaluations are performed at quantized arguments, so the
+/// computed TPL series are bitwise identical whatever the thread count
+/// or interleaving — parallel replay equals serial replay exactly
+/// (tested, and reasserted by bench_fleet_throughput).
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "core/loss_cache.h"
+#include "core/tpl_accountant.h"
+
+namespace tcdp {
+
+struct FleetEngineOptions {
+  /// Worker threads for fan-out; 0 = hardware concurrency, 1 = run the
+  /// per-user loop inline (no pool is created).
+  std::size_t num_threads = 0;
+  /// When false, every user builds its own TemporalLossFunction and no
+  /// memoization happens (the single-accountant baseline, for ablation).
+  bool share_loss_cache = true;
+  TemporalLossCache::Options cache;
+};
+
+/// \brief A population of per-user accountants behind one release feed.
+///
+/// Thread-compatible: concurrent calls on one FleetEngine must be
+/// externally serialized (the internal parallelism is the engine's own).
+class FleetEngine {
+ public:
+  explicit FleetEngine(FleetEngineOptions options = {});
+
+  /// Registers a user and returns its index. A user added after
+  /// releases have been recorded replays the full recorded schedule, so
+  /// every accountant always sits at the same horizon (late joiners in a
+  /// live service inherit the history of the feed they join).
+  std::size_t AddUser(std::string name, TemporalCorrelations correlations);
+
+  /// Records one release of budget \p epsilon > 0 for every user, in
+  /// parallel.
+  Status RecordRelease(double epsilon);
+
+  /// Records a whole schedule in order.
+  Status RecordReleases(const std::vector<double>& schedule);
+
+  std::size_t num_users() const { return users_.size(); }
+  std::size_t horizon() const { return schedule_.size(); }
+  const std::vector<double>& schedule() const { return schedule_; }
+
+  const TplAccountant& user(std::size_t index) const {
+    return users_[index].accountant;
+  }
+  const std::string& user_name(std::size_t index) const {
+    return users_[index].name;
+  }
+
+  /// Definition 5's outer max at one time point: max over users of
+  /// TPL_t. OutOfRange for t outside [1, horizon]; FailedPrecondition
+  /// with no users.
+  StatusOr<double> MaxTplAt(std::size_t t) const;
+
+  /// Per-user event-level alpha (max_t TPL_t), computed in parallel —
+  /// the personalized privacy profile of Section III-D.
+  std::vector<double> PersonalizedAlphas() const;
+
+  /// Overall alpha of the recorded sequence: max over users and t.
+  double OverallAlpha() const;
+
+  /// Zeroed stats when share_loss_cache is false.
+  TemporalLossCache::Stats cache_stats() const;
+  /// Zeroed stats when running inline (num_threads == 1).
+  ThreadPool::Stats pool_stats() const;
+
+  struct Stats {
+    std::uint64_t user_releases = 0;  ///< user x release pairs recorded
+    double record_seconds = 0.0;      ///< wall time inside RecordRelease
+    double UserReleasesPerSecond() const {
+      return record_seconds > 0.0
+                 ? static_cast<double>(user_releases) / record_seconds
+                 : 0.0;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct UserEntry {
+    std::string name;
+    TplAccountant accountant;
+  };
+
+  TplAccountant MakeAccountant(TemporalCorrelations correlations);
+  /// Runs body(i) over [0, num_users) — pooled or inline per options.
+  void ForEachUser(const std::function<void(std::size_t)>& body) const;
+
+  FleetEngineOptions options_;
+  std::unique_ptr<TemporalLossCache> cache_;  // null when not sharing
+  std::unique_ptr<ThreadPool> pool_;          // null when inline
+  std::vector<UserEntry> users_;
+  std::vector<double> schedule_;
+  Stats stats_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_SERVICE_FLEET_ENGINE_H_

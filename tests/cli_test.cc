@@ -162,5 +162,27 @@ TEST_F(CliTest, EstimateMissingFileIsNotFound) {
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
+TEST_F(CliTest, FleetPrintsThroughputAndCacheStats) {
+  auto r = Run({"fleet", "--users", "20", "--horizon", "4", "--threads", "2",
+                "--groups", "2", "--pages", "6"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->find("releases/sec"), std::string::npos);
+  EXPECT_NE(r->find("overall alpha"), std::string::npos);
+  EXPECT_NE(r->find("loss cache hit rate"), std::string::npos);
+}
+
+TEST_F(CliTest, FleetCacheOffSkipsCacheStats) {
+  auto r = Run({"fleet", "--users", "5", "--horizon", "2", "--threads", "1",
+                "--cache", "off"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->find("loss cache"), std::string::npos);
+  EXPECT_EQ(r->find("hit rate"), std::string::npos);
+}
+
+TEST_F(CliTest, FleetRejectsBadFlags) {
+  EXPECT_FALSE(Run({"fleet", "--users", "0"}).ok());
+  EXPECT_FALSE(Run({"fleet", "--cache", "maybe"}).ok());
+}
+
 }  // namespace
 }  // namespace tcdp

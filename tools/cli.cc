@@ -1,5 +1,6 @@
 #include "tools/cli.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <map>
@@ -12,6 +13,8 @@
 #include "markov/estimation.h"
 #include "markov/higher_order.h"
 #include "markov/io.h"
+#include "service/fleet_engine.h"
+#include "workload/generators.h"
 
 namespace tcdp {
 namespace cli {
@@ -289,6 +292,96 @@ Status CmdEstimate(const Flags& flags, std::ostream& out) {
   return Status::OK();
 }
 
+Status CmdFleet(const Flags& flags, std::ostream& out) {
+  TCDP_ASSIGN_OR_RETURN(std::size_t users,
+                        FlagAsSize(flags, "users", std::size_t{1000}));
+  TCDP_ASSIGN_OR_RETURN(std::size_t horizon,
+                        FlagAsSize(flags, "horizon", std::size_t{20}));
+  TCDP_ASSIGN_OR_RETURN(std::size_t pages,
+                        FlagAsSize(flags, "pages", std::size_t{16}));
+  TCDP_ASSIGN_OR_RETURN(std::size_t groups,
+                        FlagAsSize(flags, "groups", std::size_t{4}));
+  TCDP_ASSIGN_OR_RETURN(std::size_t threads,
+                        FlagAsSize(flags, "threads", std::size_t{0}));
+  double epsilon = 0.1;
+  if (flags.count("epsilon") > 0) {
+    TCDP_ASSIGN_OR_RETURN(epsilon, FlagAsDouble(flags, "epsilon"));
+  }
+  if (users == 0 || horizon == 0 || groups == 0) {
+    return Status::InvalidArgument(
+        "--users, --horizon and --groups must be >= 1");
+  }
+  bool use_cache = true;
+  if (flags.count("cache") > 0) {
+    const std::string& v = flags.at("cache");
+    if (v == "off") {
+      use_cache = false;
+    } else if (v != "on") {
+      return Status::InvalidArgument("--cache must be on or off");
+    }
+  }
+
+  // Synthetic multi-user clickstream fleet: `groups` browsing profiles
+  // (increasingly home-page-bound), users assigned round-robin.
+  std::vector<TemporalCorrelations> profiles;
+  for (std::size_t g = 0; g < groups; ++g) {
+    // Sweep home_prob over [0.15, 0.45); with link_prob = 0.5 the row
+    // budget home_prob + link_prob stays within 1.
+    const double home_prob =
+        0.15 + 0.3 * static_cast<double>(g) / static_cast<double>(groups);
+    TCDP_ASSIGN_OR_RETURN(auto matrix, ClickstreamModel(pages, home_prob));
+    TCDP_ASSIGN_OR_RETURN(auto corr,
+                          TemporalCorrelations::Both(matrix, matrix));
+    profiles.push_back(std::move(corr));
+  }
+
+  FleetEngineOptions options;
+  options.num_threads = threads;
+  options.share_loss_cache = use_cache;
+  FleetEngine engine(options);
+  for (std::size_t u = 0; u < users; ++u) {
+    engine.AddUser("user-" + std::to_string(u), profiles[u % groups]);
+  }
+  TCDP_RETURN_IF_ERROR(
+      engine.RecordReleases(std::vector<double>(horizon, epsilon)));
+
+  // One parallel fleet sweep yields both aggregates.
+  const auto alphas = engine.PersonalizedAlphas();
+  double min_alpha = alphas.front();
+  double max_alpha = alphas.front();
+  for (double a : alphas) {
+    min_alpha = std::min(min_alpha, a);
+    max_alpha = std::max(max_alpha, a);
+  }
+
+  const auto stats = engine.stats();
+  const auto cache = engine.cache_stats();
+  Table table({"metric", "value"});
+  auto add = [&table](const std::string& name, const std::string& value) {
+    table.AddRow();
+    table.AddCell(name);
+    table.AddCell(value);
+  };
+  add("users", std::to_string(users));
+  add("horizon", std::to_string(horizon));
+  add("correlation groups", std::to_string(groups));
+  add("user-releases recorded", std::to_string(stats.user_releases));
+  add("record wall time (s)", FormatNumber(stats.record_seconds, 4));
+  add("releases/sec", FormatNumber(stats.UserReleasesPerSecond(), 0));
+  add("overall alpha (max TPL)", FormatNumber(max_alpha, 6));
+  add("min personalized alpha", FormatNumber(min_alpha, 6));
+  if (use_cache) {
+    add("loss cache hits", std::to_string(cache.hits));
+    add("loss cache misses", std::to_string(cache.misses));
+    add("loss cache hit rate", FormatNumber(cache.HitRate(), 4));
+    add("distinct matrices", std::to_string(cache.distinct_matrices));
+  } else {
+    add("loss cache", "off");
+  }
+  out << table.ToAlignedString();
+  return Status::OK();
+}
+
 }  // namespace
 
 std::string HelpText() {
@@ -309,6 +402,10 @@ std::string HelpText() {
       "  estimate   correlation MLE from trajectories\n"
       "             --trajectories T.csv [--states n] [--order k]\n"
       "             [--smoothing s] [--out F.csv] [--backward-out B.csv]\n"
+      "  fleet      multi-user clickstream replay through the batched\n"
+      "             release engine (shared loss cache + thread pool)\n"
+      "             [--users N] [--horizon T] [--epsilon E] [--pages n]\n"
+      "             [--groups g] [--threads k] [--cache on|off]\n"
       "  help       this text\n"
       "\n"
       "file formats: matrices are one row per line (comma/space separated\n"
@@ -327,6 +424,7 @@ Status Run(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "supremum") return CmdSupremum(flags, out);
   if (command == "allocate") return CmdAllocate(flags, out);
   if (command == "estimate") return CmdEstimate(flags, out);
+  if (command == "fleet") return CmdFleet(flags, out);
   return Status::InvalidArgument("unknown command '" + command +
                                  "'; see `tcdp help`");
 }

@@ -21,6 +21,12 @@
 ///             [--smoothing s] [--out F.csv] [--backward-out B.csv]
 ///       MLE of forward/backward correlations from trajectories.
 ///
+///   fleet     [--users N] [--horizon T] [--epsilon E] [--pages n]
+///             [--groups g] [--threads k] [--cache on|off]
+///       Replays a synthetic multi-user clickstream workload through the
+///       batched release engine (shared loss cache + thread pool) and
+///       prints throughput, leakage, and cache statistics.
+///
 ///   help
 ///
 /// Matrix/trajectory file formats: see markov/io.h.
