@@ -113,6 +113,18 @@ void ThreadPool::Wait() {
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
                              const std::function<void(std::size_t)>& body,
                              std::size_t grain) {
+  ParallelForRange(
+      begin, end,
+      [&body](std::size_t lo, std::size_t hi) {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      },
+      grain);
+}
+
+void ThreadPool::ParallelForRange(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
   if (end <= begin) return;
   const std::size_t count = end - begin;
   if (grain == 0) {
@@ -133,7 +145,7 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
     const std::size_t lo = begin + chunk * grain;
     const std::size_t hi = std::min(end, lo + grain);
     Submit([latch, lo, hi, &body] {
-      for (std::size_t i = lo; i < hi; ++i) body(i);
+      body(lo, hi);
       std::lock_guard<std::mutex> lock(latch->mu);
       if (--latch->remaining == 0) latch->cv.notify_all();
     });

@@ -52,6 +52,18 @@ class ThreadPool {
                    const std::function<void(std::size_t)>& body,
                    std::size_t grain = 0);
 
+  /// Range-chunked variant: body(lo, hi) receives a whole contiguous
+  /// slice [lo, hi) instead of one index at a time, so callers can run a
+  /// tight inner loop over column slices (the SoA accountant-bank update
+  /// path) without a std::function call per element. Chunk boundaries
+  /// are deterministic for a given (range, grain, num_threads); only the
+  /// assignment of chunks to workers varies. Blocks until the whole
+  /// range is done; must not be called from a pool thread.
+  void ParallelForRange(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& body,
+      std::size_t grain = 0);
+
   struct Stats {
     std::uint64_t tasks_executed = 0;
     std::uint64_t tasks_stolen = 0;  ///< subset of executed taken by theft

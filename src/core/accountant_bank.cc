@@ -1,0 +1,339 @@
+#include "core/accountant_bank.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+#include "markov/stochastic_matrix.h"
+
+namespace tcdp {
+namespace {
+
+/// Combined content fingerprint of an optional (P^B, P^F) pair.
+/// Presence flags are mixed in so BackwardOnly(M) != ForwardOnly(M).
+std::uint64_t FingerprintPair(const TemporalCorrelations& corr) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(corr.has_backward() ? 1u : 0u);
+  if (corr.has_backward()) mix(FingerprintStochasticMatrix(corr.backward()));
+  mix(corr.has_forward() ? 2u : 0u);
+  if (corr.has_forward()) mix(FingerprintStochasticMatrix(corr.forward()));
+  return h;
+}
+
+bool SamePair(const TemporalCorrelations& a, const TemporalCorrelations& b) {
+  if (a.has_backward() != b.has_backward() ||
+      a.has_forward() != b.has_forward()) {
+    return false;
+  }
+  if (a.has_backward() && !ExactlyEquals(a.backward(), b.backward())) {
+    return false;
+  }
+  if (a.has_forward() && !ExactlyEquals(a.forward(), b.forward())) {
+    return false;
+  }
+  return true;
+}
+
+bool MaskBit(const std::vector<std::uint64_t>& mask, std::size_t user) {
+  // An empty mask means "everyone enrolled participated"; a user id at
+  // or past the mask width was not enrolled when the row was written.
+  if (mask.empty()) return true;
+  const std::size_t word = user >> 6;
+  if (word >= mask.size()) return false;
+  return (mask[word] >> (user & 63u)) & 1u;
+}
+
+/// A small exact-bits memo for the per-slice update loop: cohort
+/// members overwhelmingly carry bit-identical BPL state (identical
+/// sub-schedules), so one evaluation serves the whole run without
+/// touching the shared cache's locks. Falls through to the evaluator
+/// (itself deterministic) when full — a perf valve, never a semantic
+/// one.
+class LocalLossMemo {
+ public:
+  double Evaluate(const LossEvaluator& loss, double alpha) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &alpha, sizeof(bits));
+    for (std::size_t i = 0; i < size_; ++i) {
+      if (keys_[i] == bits) return values_[i];
+    }
+    const double value = loss.Evaluate(alpha);
+    if (size_ < kCapacity) {
+      keys_[size_] = bits;
+      values_[size_] = value;
+      ++size_;
+    }
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kCapacity = 32;
+  std::size_t size_ = 0;
+  std::uint64_t keys_[kCapacity];
+  double values_[kCapacity];
+};
+
+}  // namespace
+
+AccountantBank::AccountantBank(AccountantBankOptions options)
+    : options_(std::move(options)) {
+  if (options_.share_loss_cache) {
+    cache_ = std::make_unique<TemporalLossCache>(options_.cache);
+  }
+  cohort_offsets_.push_back(0);
+}
+
+std::size_t AccountantBank::FindOrCreateCohort(
+    const TemporalCorrelations& correlations) {
+  const std::uint64_t fp = FingerprintPair(correlations);
+  auto [it, inserted] = cohort_index_.try_emplace(fp);
+  for (std::uint32_t c : it->second) {
+    if (SamePair(cohorts_[c].correlations, correlations)) return c;
+  }
+  Cohort cohort;
+  cohort.correlations = correlations;
+  if (correlations.has_backward()) {
+    cohort.backward =
+        cache_ != nullptr
+            ? cache_->Intern(correlations.backward())
+            : std::make_shared<TemporalLossFunction>(correlations.backward());
+  }
+  if (correlations.has_forward()) {
+    cohort.forward =
+        cache_ != nullptr
+            ? cache_->Intern(correlations.forward())
+            : std::make_shared<TemporalLossFunction>(correlations.forward());
+  }
+  cohorts_.push_back(std::move(cohort));
+  const std::uint32_t index = static_cast<std::uint32_t>(cohorts_.size() - 1);
+  it->second.push_back(index);
+  cohort_offsets_.push_back(cohort_offsets_.back());
+  return index;
+}
+
+std::size_t AccountantBank::AddUser(TemporalCorrelations correlations) {
+  const std::size_t c = FindOrCreateCohort(correlations);
+  Cohort& cohort = cohorts_[c];
+  const std::size_t user = num_users();
+  user_join_.push_back(static_cast<std::uint32_t>(horizon()));
+  user_cohort_.push_back(static_cast<std::uint32_t>(c));
+  user_slot_.push_back(static_cast<std::uint32_t>(cohort.users.size()));
+  cohort.users.push_back(static_cast<std::uint32_t>(user));
+  cohort.bpl_last.push_back(0.0);
+  cohort.eps_sum.push_back(0.0);
+  for (std::size_t k = c + 1; k < cohort_offsets_.size(); ++k) {
+    ++cohort_offsets_[k];
+  }
+  return user;
+}
+
+void AccountantBank::StepSlots(std::size_t lo, std::size_t hi, double epsilon,
+                               const std::vector<std::uint64_t>& mask) {
+  // Locate the cohort owning `lo` (offsets are sorted, cohorts few).
+  std::size_t c = static_cast<std::size_t>(
+      std::upper_bound(cohort_offsets_.begin(), cohort_offsets_.end(), lo) -
+      cohort_offsets_.begin() - 1);
+  while (lo < hi) {
+    const std::size_t end = std::min(hi, cohort_offsets_[c + 1]);
+    Cohort& cohort = cohorts_[c];
+    const LossEvaluator* backward = cohort.backward.get();
+    const std::size_t s0 = lo - cohort_offsets_[c];
+    const std::size_t s1 = end - cohort_offsets_[c];
+    LocalLossMemo memo;
+    for (std::size_t s = s0; s < s1; ++s) {
+      double loss = 0.0;
+      if (backward != nullptr) {
+        const double alpha = cohort.bpl_last[s];
+        if (alpha > 0.0) loss = memo.Evaluate(*backward, alpha);
+      }
+      const double add =
+          MaskBit(mask, cohort.users[s]) ? epsilon : 0.0;
+      cohort.bpl_last[s] = loss + add;
+      cohort.eps_sum[s] += add;
+    }
+    lo = end;
+    ++c;
+  }
+}
+
+Status AccountantBank::Record(double epsilon,
+                              const std::vector<std::size_t>* participants) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "AccountantBank: epsilon must be finite and > 0");
+  }
+  std::vector<std::uint64_t> mask;  // empty = every enrolled user
+  if (participants != nullptr) {
+    mask.assign((num_users() + 63) / 64, 0);
+    if (mask.empty()) mask.push_back(0);  // 0 users: distinct from "all"
+    for (std::size_t user : *participants) {
+      if (user >= num_users()) {
+        return Status::InvalidArgument(
+            "AccountantBank: participant index " + std::to_string(user) +
+            " out of range");
+      }
+      mask[user >> 6] |= std::uint64_t{1} << (user & 63u);
+    }
+  }
+  const std::size_t total = cohort_offsets_.back();
+  if (total > 0) {
+    if (pool_ != nullptr && total > 1) {
+      pool_->ParallelForRange(
+          0, total,
+          [this, epsilon, &mask](std::size_t lo, std::size_t hi) {
+            StepSlots(lo, hi, epsilon, mask);
+          });
+    } else {
+      StepSlots(0, total, epsilon, mask);
+    }
+  }
+  schedule_.push_back(epsilon);
+  participation_.push_back(std::move(mask));
+  return Status::OK();
+}
+
+Status AccountantBank::RecordRelease(double epsilon) {
+  return Record(epsilon, nullptr);
+}
+
+Status AccountantBank::RecordRelease(
+    double epsilon, const std::vector<std::size_t>& participants) {
+  return Record(epsilon, &participants);
+}
+
+bool AccountantBank::ParticipatedRaw(std::size_t user, std::size_t t) const {
+  return MaskBit(participation_[t], user);
+}
+
+bool AccountantBank::Participated(std::size_t user, std::size_t t) const {
+  assert(user < num_users() && t < horizon());
+  return t >= user_join_[user] && ParticipatedRaw(user, t);
+}
+
+double AccountantBank::UserEpsSum(std::size_t user) const {
+  assert(user < num_users());
+  const Cohort& cohort = cohorts_[user_cohort_[user]];
+  return cohort.eps_sum[user_slot_[user]];
+}
+
+std::vector<double> AccountantBank::EpsilonsFor(std::size_t user) const {
+  assert(user < num_users());
+  const std::size_t join = user_join_[user];
+  std::vector<double> out(horizon() - join);
+  for (std::size_t idx = 0; idx < out.size(); ++idx) {
+    const std::size_t t = join + idx;
+    out[idx] = ParticipatedRaw(user, t) ? schedule_[t] : 0.0;
+  }
+  return out;
+}
+
+std::vector<double> AccountantBank::BplSeriesFor(std::size_t user) const {
+  assert(user < num_users());
+  const Cohort& cohort = cohorts_[user_cohort_[user]];
+  const LossEvaluator* backward = cohort.backward.get();
+  const std::size_t join = user_join_[user];
+  std::vector<double> out(horizon() - join);
+  double prev = 0.0;
+  for (std::size_t idx = 0; idx < out.size(); ++idx) {
+    const std::size_t t = join + idx;
+    const double eps = ParticipatedRaw(user, t) ? schedule_[t] : 0.0;
+    double loss = 0.0;
+    if (backward != nullptr && prev > 0.0) loss = backward->Evaluate(prev);
+    prev = loss + eps;
+    out[idx] = prev;
+  }
+  // The recomputed tail must land exactly on the running column.
+  assert(out.empty() ||
+         out.back() == cohort.bpl_last[user_slot_[user]]);
+  return out;
+}
+
+std::vector<double> AccountantBank::FplSeriesFor(std::size_t user) const {
+  assert(user < num_users());
+  const Cohort& cohort = cohorts_[user_cohort_[user]];
+  const LossEvaluator* forward = cohort.forward.get();
+  const std::size_t join = user_join_[user];
+  const std::size_t len = horizon() - join;
+  std::vector<double> out(len);
+  for (std::size_t idx = len; idx-- > 0;) {
+    const std::size_t t = join + idx;
+    double fpl = ParticipatedRaw(user, t) ? schedule_[t] : 0.0;
+    if (idx + 1 < len && forward != nullptr) {
+      fpl += forward->Evaluate(out[idx + 1]);
+    }
+    out[idx] = fpl;
+  }
+  return out;
+}
+
+std::vector<double> AccountantBank::TplSeriesFor(std::size_t user) const {
+  const std::vector<double> eps = EpsilonsFor(user);
+  const std::vector<double> bpl = BplSeriesFor(user);
+  const std::vector<double> fpl = FplSeriesFor(user);
+  std::vector<double> out(bpl.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = bpl[i] + fpl[i] - eps[i];
+  }
+  return out;
+}
+
+double AccountantBank::MaxTplFor(std::size_t user) const {
+  double best = 0.0;
+  for (double v : TplSeriesFor(user)) best = std::max(best, v);
+  return best;
+}
+
+StatusOr<double> AccountantBank::MaxTplAt(std::size_t t) const {
+  if (num_users() == 0) {
+    return Status::FailedPrecondition("MaxTplAt: no users registered");
+  }
+  if (t < 1 || t > horizon()) {
+    return Status::OutOfRange("MaxTplAt: t outside [1, horizon]");
+  }
+  std::vector<double> per_user(num_users(), 0.0);
+  auto body = [this, t, &per_user](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) {
+      if (user_join_[u] >= t) continue;  // joined after t: no series there
+      const std::vector<double> tpl = TplSeriesFor(u);
+      per_user[u] = tpl[t - 1 - user_join_[u]];
+    }
+  };
+  if (pool_ != nullptr && num_users() > 1) {
+    pool_->ParallelForRange(0, num_users(), body);
+  } else {
+    body(0, num_users());
+  }
+  // Deterministic serial reduction in user order.
+  double best = 0.0;
+  for (double v : per_user) best = std::max(best, v);
+  return best;
+}
+
+std::vector<double> AccountantBank::PersonalizedAlphas() const {
+  std::vector<double> alphas(num_users(), 0.0);
+  auto body = [this, &alphas](std::size_t lo, std::size_t hi) {
+    for (std::size_t u = lo; u < hi; ++u) alphas[u] = MaxTplFor(u);
+  };
+  if (pool_ != nullptr && num_users() > 1) {
+    pool_->ParallelForRange(0, num_users(), body);
+  } else {
+    body(0, num_users());
+  }
+  return alphas;
+}
+
+double AccountantBank::OverallAlpha() const {
+  double best = 0.0;
+  for (double v : PersonalizedAlphas()) best = std::max(best, v);
+  return best;
+}
+
+TemporalLossCache::Stats AccountantBank::cache_stats() const {
+  return cache_ != nullptr ? cache_->stats() : TemporalLossCache::Stats{};
+}
+
+}  // namespace tcdp

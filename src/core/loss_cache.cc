@@ -8,31 +8,6 @@
 #include <vector>
 
 namespace tcdp {
-namespace {
-
-/// FNV-1a over the matrix dimensions and raw entry bit patterns.
-std::uint64_t FingerprintMatrix(const StochasticMatrix& matrix) {
-  std::uint64_t h = 1469598103934665603ull;
-  auto mix = [&h](std::uint64_t v) {
-    for (int byte = 0; byte < 8; ++byte) {
-      h ^= (v >> (8 * byte)) & 0xffu;
-      h *= 1099511628211ull;
-    }
-  };
-  mix(matrix.size());
-  for (double entry : matrix.matrix().data()) {
-    std::uint64_t bits;
-    std::memcpy(&bits, &entry, sizeof(bits));
-    mix(bits);
-  }
-  return h;
-}
-
-bool SameContents(const StochasticMatrix& a, const StochasticMatrix& b) {
-  return a.size() == b.size() && a.matrix().data() == b.matrix().data();
-}
-
-}  // namespace
 
 class TemporalLossCache::Impl {
  public:
@@ -53,11 +28,11 @@ class TemporalLossCache::Impl {
   };
 
   std::shared_ptr<Entry> InternEntry(const StochasticMatrix& matrix) {
-    const std::uint64_t fp = FingerprintMatrix(matrix);
+    const std::uint64_t fp = FingerprintStochasticMatrix(matrix);
     std::lock_guard<std::mutex> lock(registry_mu_);
     auto [it, inserted] = registry_.try_emplace(fp);
     for (const auto& existing : it->second) {
-      if (SameContents(existing->loss.transition(), matrix)) return existing;
+      if (ExactlyEquals(existing->loss.transition(), matrix)) return existing;
     }
     auto entry = std::make_shared<Entry>(matrix, options_.num_shards);
     it->second.push_back(entry);
@@ -73,7 +48,7 @@ class TemporalLossCache::Impl {
         // Leakage this deep is astronomically past any real budget;
         // evaluate directly rather than corrupt the key space.
         misses_.fetch_add(1, std::memory_order_relaxed);
-        return entry.loss.Evaluate(alpha);
+        return entry.loss.EvaluateDetailed(alpha, options_.eval).loss;
       }
       // Snap to the grid point at or above alpha: L is nondecreasing, so
       // evaluating at a larger argument keeps the memoized value an
@@ -103,7 +78,7 @@ class TemporalLossCache::Impl {
     // concurrent duplicate computes the identical value anyway. Only the
     // thread whose insert wins counts the miss, so hits + misses always
     // equals lookups even when a cold bucket is raced.
-    const double value = entry.loss.Evaluate(alpha);
+    const double value = entry.loss.EvaluateDetailed(alpha, options_.eval).loss;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
       auto [it, inserted] = shard.values.emplace(key, value);

@@ -42,6 +42,9 @@ class TemporalLossCache {
     double alpha_resolution = 1e-9;
     /// Shards per interned matrix's value table (lock striping).
     std::size_t num_shards = 16;
+    /// How cache misses solve each ordered row pair (forwarded to
+    /// TemporalLossFunction::EvaluateDetailed on every evaluation).
+    LossEvalOptions eval;
   };
 
   struct Stats {

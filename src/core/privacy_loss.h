@@ -79,9 +79,13 @@ enum class PairLossMethod {
   kSortedPrefix,         ///< the O(n log n) threshold-set scan
 };
 
-/// Evaluation knobs for TemporalLossFunction.
+/// Evaluation knobs for TemporalLossFunction. The default is the
+/// O(n log n) threshold-set scan: it is property-tested equivalent to
+/// the paper's iterative refinement (see LossBoundsTest) and
+/// asymptotically cheaper per pair; kIterativeRefinement remains
+/// available as the literal Algorithm-1 transcription.
 struct LossEvalOptions {
-  PairLossMethod method = PairLossMethod::kIterativeRefinement;
+  PairLossMethod method = PairLossMethod::kSortedPrefix;
 };
 
 /// \brief The full loss function for a transition matrix: the maximum

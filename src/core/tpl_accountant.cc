@@ -5,6 +5,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "core/loss_cache.h"
 #include "markov/io.h"
 
 namespace tcdp {
@@ -23,16 +24,14 @@ TplAccountant::TplAccountant(TemporalCorrelations correlations)
 
 TplAccountant::TplAccountant(TemporalCorrelations correlations,
                              std::shared_ptr<const LossEvaluator> backward_loss,
-                             std::shared_ptr<const LossEvaluator> forward_loss)
+                             std::shared_ptr<const LossEvaluator> forward_loss,
+                             double cache_alpha_resolution)
     : correlations_(std::move(correlations)),
       backward_loss_(std::move(backward_loss)),
-      forward_loss_(std::move(forward_loss)) {}
+      forward_loss_(std::move(forward_loss)),
+      cache_alpha_resolution_(cache_alpha_resolution) {}
 
-Status TplAccountant::RecordRelease(double epsilon) {
-  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
-    return Status::InvalidArgument(
-        "TplAccountant: epsilon must be finite and > 0");
-  }
+void TplAccountant::AppendStep(double epsilon) {
   double bpl = epsilon;
   if (!bpl_.empty() && backward_loss_ != nullptr) {
     bpl += backward_loss_->Evaluate(bpl_.back());
@@ -40,6 +39,19 @@ Status TplAccountant::RecordRelease(double epsilon) {
   epsilons_.push_back(epsilon);
   bpl_.push_back(bpl);
   fpl_dirty_ = true;
+}
+
+Status TplAccountant::RecordRelease(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "TplAccountant: epsilon must be finite and > 0");
+  }
+  AppendStep(epsilon);
+  return Status::OK();
+}
+
+Status TplAccountant::RecordSkip() {
+  AppendStep(0.0);
   return Status::OK();
 }
 
@@ -141,7 +153,9 @@ StatusOr<double> TplAccountant::MaxWindowTpl(std::size_t w) const {
 
 std::string TplAccountant::Serialize() const {
   std::ostringstream out;
-  out << "tcdp-accountant-v1\n";
+  out << "tcdp-accountant-v2\n";
+  out.precision(17);
+  out << "quantization " << cache_alpha_resolution_ << "\n";
   out << "backward " << (correlations_.has_backward()
                              ? correlations_.backward().size()
                              : 0)
@@ -165,13 +179,26 @@ std::string TplAccountant::Serialize() const {
 StatusOr<TplAccountant> TplAccountant::Deserialize(const std::string& text) {
   std::istringstream in(text);
   std::string header;
-  if (!std::getline(in, header) || header != "tcdp-accountant-v1") {
+  if (!std::getline(in, header) ||
+      (header != "tcdp-accountant-v1" && header != "tcdp-accountant-v2")) {
     return Status::InvalidArgument(
         "TplAccountant::Deserialize: bad header (expected "
-        "tcdp-accountant-v1)");
+        "tcdp-accountant-v1 or tcdp-accountant-v2)");
   }
+  // v1 predates cached accounting: always restores direct evaluators.
+  double quantization = -1.0;
+  if (header == "tcdp-accountant-v2") {
+    std::string word;
+    if (!(in >> word >> quantization) || word != "quantization" ||
+        !std::isfinite(quantization)) {
+      return Status::InvalidArgument(
+          "TplAccountant::Deserialize: expected 'quantization <step>'");
+    }
+    in.ignore();  // trailing newline
+  }
+  using OptionalMatrix = std::optional<StochasticMatrix>;
   auto read_matrix =
-      [&](const std::string& keyword) -> StatusOr<std::optional<StochasticMatrix>> {
+      [&](const std::string& keyword) -> StatusOr<OptionalMatrix> {
     std::string word;
     std::size_t n = 0;
     if (!(in >> word >> n) || word != keyword) {
@@ -226,9 +253,29 @@ StatusOr<TplAccountant> TplAccountant::Deserialize(const std::string& text) {
   } else if (forward.has_value()) {
     corr = TemporalCorrelations::ForwardOnly(std::move(*forward));
   }
-  TplAccountant accountant(std::move(corr));
+
+  auto make_accountant = [&]() -> TplAccountant {
+    if (quantization < 0.0) return TplAccountant(std::move(corr));
+    // Rebuild an identically quantized cache; the interned evaluators
+    // keep its internals alive past this scope, and replaying below
+    // reproduces the live series bitwise.
+    TemporalLossCache::Options options;
+    options.alpha_resolution = quantization;
+    TemporalLossCache cache(options);
+    std::shared_ptr<const LossEvaluator> b;
+    std::shared_ptr<const LossEvaluator> f;
+    if (corr.has_backward()) b = cache.Intern(corr.backward());
+    if (corr.has_forward()) f = cache.Intern(corr.forward());
+    return TplAccountant(std::move(corr), std::move(b), std::move(f),
+                         quantization);
+  };
+  TplAccountant accountant = make_accountant();
   for (double e : epsilons) {
-    TCDP_RETURN_IF_ERROR(accountant.RecordRelease(e));
+    if (e == 0.0) {
+      TCDP_RETURN_IF_ERROR(accountant.RecordSkip());
+    } else {
+      TCDP_RETURN_IF_ERROR(accountant.RecordRelease(e));
+    }
   }
   return accountant;
 }
@@ -243,6 +290,33 @@ std::size_t PopulationAccountant::AddUser(std::string name,
 Status PopulationAccountant::RecordRelease(double epsilon) {
   for (auto& u : users_) {
     TCDP_RETURN_IF_ERROR(u.accountant.RecordRelease(epsilon));
+  }
+  return Status::OK();
+}
+
+Status PopulationAccountant::RecordRelease(
+    double epsilon, const std::vector<std::size_t>& participants) {
+  // Validate before mutating any accountant: a mid-loop failure would
+  // leave users at inconsistent horizons.
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "PopulationAccountant: epsilon must be finite and > 0");
+  }
+  std::vector<bool> in_release(users_.size(), false);
+  for (std::size_t index : participants) {
+    if (index >= users_.size()) {
+      return Status::InvalidArgument(
+          "PopulationAccountant: participant index " +
+          std::to_string(index) + " out of range");
+    }
+    in_release[index] = true;
+  }
+  for (std::size_t i = 0; i < users_.size(); ++i) {
+    if (in_release[i]) {
+      TCDP_RETURN_IF_ERROR(users_[i].accountant.RecordRelease(epsilon));
+    } else {
+      TCDP_RETURN_IF_ERROR(users_[i].accountant.RecordSkip());
+    }
   }
   return Status::OK();
 }

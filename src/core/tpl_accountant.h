@@ -36,16 +36,28 @@ class TplAccountant {
   /// evaluators (e.g. a shared TemporalLossCache) instead of building
   /// per-user TemporalLossFunctions. A null evaluator means zero loss on
   /// that side; callers must pass evaluators consistent with
-  /// \p correlations. Note Serialize() embeds only the matrices and the
-  /// spend sequence: Deserialize() always rebuilds direct (uncached)
-  /// evaluators, so a cache-backed accountant's restored series may
-  /// differ from the live one at the cache's quantization level.
+  /// \p correlations. When the evaluators come from a TemporalLossCache,
+  /// pass that cache's alpha_resolution as \p cache_alpha_resolution so
+  /// Serialize() can record it and Deserialize() can rebuild an
+  /// identically quantized cache — the restored series is then bitwise
+  /// equal to the live one, provided the cache used the default
+  /// LossEvalOptions (the eval method is not serialized; a
+  /// non-default method restores within solver parity, i.e. ULPs).
+  /// Negative (the default) means "direct evaluators" and restores the
+  /// uncached path.
   TplAccountant(TemporalCorrelations correlations,
                 std::shared_ptr<const LossEvaluator> backward_loss,
-                std::shared_ptr<const LossEvaluator> forward_loss);
+                std::shared_ptr<const LossEvaluator> forward_loss,
+                double cache_alpha_resolution = -1.0);
 
   /// Appends a release with budget eps > 0 at time horizon()+1.
   Status RecordRelease(double epsilon);
+
+  /// Appends a time step in which this user released nothing (a sparse
+  /// schedule's gap): eps_t = 0, but prior leakage still propagates
+  /// through the backward loss — BPL_t = L^B(BPL_{t-1}) — and the FPL
+  /// horizon advances so later releases back-propagate over the gap.
+  Status RecordSkip();
 
   /// Convenience: record \p count releases of the same budget.
   Status RecordUniformReleases(double epsilon, std::size_t count);
@@ -91,21 +103,31 @@ class TplAccountant {
   /// \name State persistence.
   /// A release service must survive restarts without losing its leakage
   /// history (BPL depends on every past release). The text format embeds
-  /// the correlation matrices and the spend sequence; versioned header
-  /// "tcdp-accountant-v1".
+  /// the correlation matrices, the spend sequence (0 entries are skips),
+  /// and — header "tcdp-accountant-v2" — the loss-cache quantization
+  /// step, so a restored cache-backed accountant replays through an
+  /// identically quantized cache and reproduces the live series bitwise.
+  /// "tcdp-accountant-v1" inputs (no quantization line) remain readable
+  /// and restore direct evaluators, as v1 writers always did.
   /// @{
   std::string Serialize() const;
   static StatusOr<TplAccountant> Deserialize(const std::string& text);
   /// @}
 
+  /// The cache grid this accountant evaluates on; negative for direct
+  /// (uncached) evaluators.
+  double cache_alpha_resolution() const { return cache_alpha_resolution_; }
+
  private:
   void EnsureFplCache() const;
+  void AppendStep(double epsilon);
 
   TemporalCorrelations correlations_;
   // Loss evaluators, possibly shared across users (null when the matrix
   // is absent — zero loss on that side).
   std::shared_ptr<const LossEvaluator> backward_loss_;
   std::shared_ptr<const LossEvaluator> forward_loss_;
+  double cache_alpha_resolution_ = -1.0;
 
   std::vector<double> epsilons_;
   std::vector<double> bpl_;              // incremental forward pass
@@ -117,10 +139,10 @@ class TplAccountant {
 /// leakage = max over users; also yields the personalized profile.
 ///
 /// NOTE: for fleets beyond a handful of users prefer
-/// service/fleet_engine.h, which offers the same surface batched over a
-/// shared loss cache and thread pool (and, unlike this class, replays
-/// the recorded schedule for late-joining users). This class remains the
-/// simple single-threaded reference implementation.
+/// service/fleet_engine.h, which offers the same surface batched over
+/// the structure-of-arrays AccountantBank (core/accountant_bank.h).
+/// This class remains the simple single-threaded reference
+/// implementation the bank is property-tested against.
 class PopulationAccountant {
  public:
   /// Adds a user; returns its index.
@@ -128,6 +150,12 @@ class PopulationAccountant {
 
   /// Records one release (budget eps) for every user.
   Status RecordRelease(double epsilon);
+
+  /// Heterogeneous-schedule release: users listed in \p participants
+  /// (by index) accrue \p epsilon; every other user records a skip
+  /// (see TplAccountant::RecordSkip). Rejects out-of-range indices.
+  Status RecordRelease(double epsilon,
+                       const std::vector<std::size_t>& participants);
 
   std::size_t num_users() const { return users_.size(); }
   std::size_t horizon() const;

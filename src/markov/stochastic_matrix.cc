@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <string>
 
 #include "common/math_util.h"
@@ -114,6 +115,27 @@ std::vector<double> StochasticMatrix::Propagate(
     const std::vector<double>& dist) const {
   assert(dist.size() == size());
   return matrix_.LeftMultiply(dist);
+}
+
+std::uint64_t FingerprintStochasticMatrix(const StochasticMatrix& matrix) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (8 * byte)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(matrix.size());
+  for (double entry : matrix.matrix().data()) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &entry, sizeof(bits));
+    mix(bits);
+  }
+  return h;
+}
+
+bool ExactlyEquals(const StochasticMatrix& a, const StochasticMatrix& b) {
+  return a.size() == b.size() && a.matrix().data() == b.matrix().data();
 }
 
 }  // namespace tcdp

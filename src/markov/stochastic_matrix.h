@@ -14,6 +14,7 @@
 /// sites (see tcdp::core::TemporalCorrelations).
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/random.h"
@@ -86,6 +87,17 @@ class StochasticMatrix {
   explicit StochasticMatrix(Matrix m) : matrix_(std::move(m)) {}
   Matrix matrix_;
 };
+
+/// \brief FNV-1a over the matrix dimension and raw entry bit patterns.
+///
+/// Content identity for interning/cohorting: equal-bit matrices hash
+/// equal; callers must still compare contents exactly on collision
+/// (see ExactlyEquals).
+std::uint64_t FingerprintStochasticMatrix(const StochasticMatrix& matrix);
+
+/// \brief True iff both matrices have bit-identical entries (stricter
+/// than ApproxEquals, which the fingerprint cannot certify alone).
+bool ExactlyEquals(const StochasticMatrix& a, const StochasticMatrix& b);
 
 }  // namespace tcdp
 

@@ -1,73 +1,55 @@
 #include "service/fleet_engine.h"
 
-#include <algorithm>
-#include <cassert>
-#include <cmath>
+#include <utility>
 
 #include "common/timer.h"
 
 namespace tcdp {
+namespace {
 
-FleetEngine::FleetEngine(FleetEngineOptions options)
-    : options_(std::move(options)) {
-  if (options_.share_loss_cache) {
-    cache_ = std::make_unique<TemporalLossCache>(options_.cache);
-  }
-  if (options_.num_threads != 1) {
-    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
-  }
+AccountantBankOptions BankOptions(const FleetEngineOptions& options) {
+  AccountantBankOptions bank;
+  bank.share_loss_cache = options.share_loss_cache;
+  bank.cache = options.cache;
+  return bank;
 }
 
-TplAccountant FleetEngine::MakeAccountant(TemporalCorrelations correlations) {
-  if (cache_ == nullptr) return TplAccountant(std::move(correlations));
-  std::shared_ptr<const LossEvaluator> backward;
-  std::shared_ptr<const LossEvaluator> forward;
-  if (correlations.has_backward()) {
-    backward = cache_->Intern(correlations.backward());
+}  // namespace
+
+FleetEngine::FleetEngine(FleetEngineOptions options)
+    : options_(std::move(options)), bank_(BankOptions(options_)) {
+  if (options_.num_threads != 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    bank_.set_pool(pool_.get());
   }
-  if (correlations.has_forward()) {
-    forward = cache_->Intern(correlations.forward());
-  }
-  return TplAccountant(std::move(correlations), std::move(backward),
-                       std::move(forward));
 }
 
 std::size_t FleetEngine::AddUser(std::string name,
                                  TemporalCorrelations correlations) {
-  UserEntry entry{std::move(name), MakeAccountant(std::move(correlations))};
-  for (double epsilon : schedule_) {
-    const Status replayed = entry.accountant.RecordRelease(epsilon);
-    assert(replayed.ok());  // schedule_ holds only validated budgets
-    (void)replayed;
-  }
-  users_.push_back(std::move(entry));
-  return users_.size() - 1;
+  const std::size_t index = bank_.AddUser(std::move(correlations));
+  names_.push_back(std::move(name));
+  return index;
 }
 
-void FleetEngine::ForEachUser(
-    const std::function<void(std::size_t)>& body) const {
-  if (pool_ != nullptr && users_.size() > 1) {
-    pool_->ParallelFor(0, users_.size(), body);
-  } else {
-    for (std::size_t i = 0; i < users_.size(); ++i) body(i);
-  }
+Status FleetEngine::TimedRecord(
+    double epsilon, const std::vector<std::size_t>* participants) {
+  WallTimer timer;
+  const Status recorded = participants != nullptr
+                              ? bank_.RecordRelease(epsilon, *participants)
+                              : bank_.RecordRelease(epsilon);
+  if (!recorded.ok()) return recorded;
+  stats_.user_releases += num_users();
+  stats_.record_seconds += timer.ElapsedSeconds();
+  return Status::OK();
 }
 
 Status FleetEngine::RecordRelease(double epsilon) {
-  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
-    return Status::InvalidArgument(
-        "FleetEngine: epsilon must be finite and > 0");
-  }
-  WallTimer timer;
-  ForEachUser([this, epsilon](std::size_t i) {
-    const Status recorded = users_[i].accountant.RecordRelease(epsilon);
-    assert(recorded.ok());  // epsilon validated above; cannot fail per-user
-    (void)recorded;
-  });
-  schedule_.push_back(epsilon);
-  stats_.user_releases += users_.size();
-  stats_.record_seconds += timer.ElapsedSeconds();
-  return Status::OK();
+  return TimedRecord(epsilon, nullptr);
+}
+
+Status FleetEngine::RecordRelease(
+    double epsilon, const std::vector<std::size_t>& participants) {
+  return TimedRecord(epsilon, &participants);
 }
 
 Status FleetEngine::RecordReleases(const std::vector<double>& schedule) {
@@ -77,39 +59,25 @@ Status FleetEngine::RecordReleases(const std::vector<double>& schedule) {
   return Status::OK();
 }
 
-StatusOr<double> FleetEngine::MaxTplAt(std::size_t t) const {
-  if (users_.empty()) {
-    return Status::FailedPrecondition("MaxTplAt: no users registered");
-  }
+StatusOr<double> FleetEngine::UserView::Bpl(std::size_t t) const {
   if (t < 1 || t > horizon()) {
-    return Status::OutOfRange("MaxTplAt: t outside [1, horizon]");
+    return Status::OutOfRange("Bpl: t outside [1, horizon]");
   }
-  std::vector<double> per_user(users_.size(), 0.0);
-  ForEachUser([this, t, &per_user](std::size_t i) {
-    per_user[i] = *users_[i].accountant.Tpl(t);
-  });
-  // Deterministic serial reduction in user order.
-  double best = 0.0;
-  for (double v : per_user) best = std::max(best, v);
-  return best;
+  return bank_->BplSeriesFor(index_)[t - 1];
 }
 
-std::vector<double> FleetEngine::PersonalizedAlphas() const {
-  std::vector<double> alphas(users_.size(), 0.0);
-  ForEachUser([this, &alphas](std::size_t i) {
-    alphas[i] = users_[i].accountant.MaxTpl();
-  });
-  return alphas;
+StatusOr<double> FleetEngine::UserView::Fpl(std::size_t t) const {
+  if (t < 1 || t > horizon()) {
+    return Status::OutOfRange("Fpl: t outside [1, horizon]");
+  }
+  return bank_->FplSeriesFor(index_)[t - 1];
 }
 
-double FleetEngine::OverallAlpha() const {
-  double best = 0.0;
-  for (double v : PersonalizedAlphas()) best = std::max(best, v);
-  return best;
-}
-
-TemporalLossCache::Stats FleetEngine::cache_stats() const {
-  return cache_ != nullptr ? cache_->stats() : TemporalLossCache::Stats{};
+StatusOr<double> FleetEngine::UserView::Tpl(std::size_t t) const {
+  if (t < 1 || t > horizon()) {
+    return Status::OutOfRange("Tpl: t outside [1, horizon]");
+  }
+  return bank_->TplSeriesFor(index_)[t - 1];
 }
 
 ThreadPool::Stats FleetEngine::pool_stats() const {

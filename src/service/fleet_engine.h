@@ -2,33 +2,39 @@
 #define TCDP_SERVICE_FLEET_ENGINE_H_
 
 /// \file
-/// Fleet-scale release accounting: thousands of per-user TplAccountants
-/// driven over a shared temporal-loss cache and a work-stealing thread
-/// pool.
+/// Fleet-scale release accounting: a thin façade over the
+/// structure-of-arrays AccountantBank (core/accountant_bank.h) that
+/// adds user naming, a thread pool, wall-clock stats, and convenience
+/// aggregates.
 ///
-/// The per-user recurrences (Equations 13/15) are embarrassingly
-/// parallel across users — user A's BPL never reads user B's state — so
-/// `RecordRelease` fans the forward step out over the pool. All users
-/// whose adversaries know the same transition matrix share one memoized
-/// loss function (core/loss_cache.h), turning the fleet's per-release
-/// cost from num_users Algorithm-1 solves into (roughly) one solve plus
-/// num_users hash lookups.
+/// The bank groups users into cohorts by interned transition-matrix
+/// pair and advances Equation 13 in a tight loop over contiguous
+/// column slices, fanned out over the pool in range chunks — per-user
+/// work no longer collapses to a hash lookup, so parallel recording
+/// stays profitable on warm caches (bench_fleet_throughput tracks
+/// this).
 ///
-/// Determinism: each user's series depends only on its own inputs, and
-/// cached evaluations are performed at quantized arguments, so the
-/// computed TPL series are bitwise identical whatever the thread count
-/// or interleaving — parallel replay equals serial replay exactly
-/// (tested, and reasserted by bench_fleet_throughput).
+/// Heterogeneous schedules: `RecordRelease(epsilon, participants)`
+/// charges only the listed users; absent users record skips whose
+/// leakage still propagates. Users added after releases started join
+/// at the current horizon and accrue only the sub-schedule from then
+/// on (they do NOT replay history — the joining feed's past releases
+/// never included them).
+///
+/// Determinism: every per-user series is bitwise identical to the
+/// single-user TplAccountant reference driven with the same
+/// sub-schedule, whatever the thread count or chunking
+/// (property-tested, and reasserted by bench_fleet_throughput).
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "common/thread_pool.h"
+#include "core/accountant_bank.h"
 #include "core/loss_cache.h"
 #include "core/tpl_accountant.h"
 
@@ -38,13 +44,13 @@ struct FleetEngineOptions {
   /// Worker threads for fan-out; 0 = hardware concurrency, 1 = run the
   /// per-user loop inline (no pool is created).
   std::size_t num_threads = 0;
-  /// When false, every user builds its own TemporalLossFunction and no
-  /// memoization happens (the single-accountant baseline, for ablation).
+  /// When false, every cohort builds a direct TemporalLossFunction and
+  /// no memoization happens (the uncached ablation baseline).
   bool share_loss_cache = true;
   TemporalLossCache::Options cache;
 };
 
-/// \brief A population of per-user accountants behind one release feed.
+/// \brief A population of named users behind one release feed.
 ///
 /// Thread-compatible: concurrent calls on one FleetEngine must be
 /// externally serialized (the internal parallelism is the engine's own).
@@ -52,49 +58,95 @@ class FleetEngine {
  public:
   explicit FleetEngine(FleetEngineOptions options = {});
 
-  /// Registers a user and returns its index. A user added after
-  /// releases have been recorded replays the full recorded schedule, so
-  /// every accountant always sits at the same horizon (late joiners in a
-  /// live service inherit the history of the feed they join).
+  /// \brief Read-only view of one user's accounting, computed on demand
+  /// from the bank's columns. All series/time indices are relative to
+  /// the user's own sub-schedule (1-based t in [1, horizon()]).
+  class UserView {
+   public:
+    /// Length of this user's series (releases since the user joined).
+    std::size_t horizon() const { return bank_->user_horizon(index_); }
+    /// Global release index (0-based) at which the user joined.
+    std::size_t join_release() const { return bank_->join_release(index_); }
+    /// Effective spend sequence; 0 entries are skipped releases.
+    std::vector<double> epsilons() const {
+      return bank_->EpsilonsFor(index_);
+    }
+    std::vector<double> BplSeries() const {
+      return bank_->BplSeriesFor(index_);
+    }
+    std::vector<double> FplSeries() const {
+      return bank_->FplSeriesFor(index_);
+    }
+    std::vector<double> TplSeries() const {
+      return bank_->TplSeriesFor(index_);
+    }
+    StatusOr<double> Bpl(std::size_t t) const;
+    StatusOr<double> Fpl(std::size_t t) const;
+    StatusOr<double> Tpl(std::size_t t) const;
+    /// max_t TPL_t (0 for an empty series).
+    double MaxTpl() const { return bank_->MaxTplFor(index_); }
+    /// Corollary 1: sum of accrued budgets.
+    double UserLevelTpl() const { return bank_->UserEpsSum(index_); }
+
+   private:
+    friend class FleetEngine;
+    UserView(const AccountantBank* bank, std::size_t index)
+        : bank_(bank), index_(index) {}
+    const AccountantBank* bank_;
+    std::size_t index_;
+  };
+
+  /// Registers a user and returns its index. The user joins at the
+  /// current horizon (no replay of earlier releases).
   std::size_t AddUser(std::string name, TemporalCorrelations correlations);
 
-  /// Records one release of budget \p epsilon > 0 for every user, in
-  /// parallel.
+  /// Records one release of budget \p epsilon > 0 for every user.
   Status RecordRelease(double epsilon);
 
-  /// Records a whole schedule in order.
+  /// Heterogeneous-schedule release: only \p participants (user
+  /// indices) accrue \p epsilon; everyone else records a skip.
+  Status RecordRelease(double epsilon,
+                       const std::vector<std::size_t>& participants);
+
+  /// Records a whole schedule in order (every user participates).
   Status RecordReleases(const std::vector<double>& schedule);
 
-  std::size_t num_users() const { return users_.size(); }
-  std::size_t horizon() const { return schedule_.size(); }
-  const std::vector<double>& schedule() const { return schedule_; }
+  std::size_t num_users() const { return bank_.num_users(); }
+  std::size_t num_cohorts() const { return bank_.num_cohorts(); }
+  std::size_t horizon() const { return bank_.horizon(); }
+  const std::vector<double>& schedule() const { return bank_.schedule(); }
 
-  const TplAccountant& user(std::size_t index) const {
-    return users_[index].accountant;
-  }
+  UserView user(std::size_t index) const { return UserView(&bank_, index); }
   const std::string& user_name(std::size_t index) const {
-    return users_[index].name;
+    return names_[index];
   }
 
-  /// Definition 5's outer max at one time point: max over users of
-  /// TPL_t. OutOfRange for t outside [1, horizon]; FailedPrecondition
-  /// with no users.
-  StatusOr<double> MaxTplAt(std::size_t t) const;
+  /// Definition 5's outer max at one global time point: max over users
+  /// whose series covers t. OutOfRange for t outside [1, horizon];
+  /// FailedPrecondition with no users.
+  StatusOr<double> MaxTplAt(std::size_t t) const { return bank_.MaxTplAt(t); }
 
   /// Per-user event-level alpha (max_t TPL_t), computed in parallel —
   /// the personalized privacy profile of Section III-D.
-  std::vector<double> PersonalizedAlphas() const;
+  std::vector<double> PersonalizedAlphas() const {
+    return bank_.PersonalizedAlphas();
+  }
 
   /// Overall alpha of the recorded sequence: max over users and t.
-  double OverallAlpha() const;
+  double OverallAlpha() const { return bank_.OverallAlpha(); }
+
+  const AccountantBank& bank() const { return bank_; }
 
   /// Zeroed stats when share_loss_cache is false.
-  TemporalLossCache::Stats cache_stats() const;
+  TemporalLossCache::Stats cache_stats() const { return bank_.cache_stats(); }
   /// Zeroed stats when running inline (num_threads == 1).
   ThreadPool::Stats pool_stats() const;
 
   struct Stats {
-    std::uint64_t user_releases = 0;  ///< user x release pairs recorded
+    /// User x release steps driven. Skipped users count: a skip still
+    /// advances state (the backward loss propagates), so this is the
+    /// work denominator, not the number of budgets accrued.
+    std::uint64_t user_releases = 0;
     double record_seconds = 0.0;      ///< wall time inside RecordRelease
     double UserReleasesPerSecond() const {
       return record_seconds > 0.0
@@ -105,20 +157,13 @@ class FleetEngine {
   const Stats& stats() const { return stats_; }
 
  private:
-  struct UserEntry {
-    std::string name;
-    TplAccountant accountant;
-  };
-
-  TplAccountant MakeAccountant(TemporalCorrelations correlations);
-  /// Runs body(i) over [0, num_users) — pooled or inline per options.
-  void ForEachUser(const std::function<void(std::size_t)>& body) const;
+  Status TimedRecord(double epsilon,
+                     const std::vector<std::size_t>* participants);
 
   FleetEngineOptions options_;
-  std::unique_ptr<TemporalLossCache> cache_;  // null when not sharing
-  std::unique_ptr<ThreadPool> pool_;          // null when inline
-  std::vector<UserEntry> users_;
-  std::vector<double> schedule_;
+  std::unique_ptr<ThreadPool> pool_;  // null when inline
+  AccountantBank bank_;
+  std::vector<std::string> names_;
   Stats stats_;
 };
 

@@ -182,6 +182,40 @@ TEST_F(CliTest, FleetCacheOffSkipsCacheStats) {
 TEST_F(CliTest, FleetRejectsBadFlags) {
   EXPECT_FALSE(Run({"fleet", "--users", "0"}).ok());
   EXPECT_FALSE(Run({"fleet", "--cache", "maybe"}).ok());
+  EXPECT_FALSE(Run({"fleet", "--sparsity", "1.5"}).ok());
+  EXPECT_FALSE(Run({"fleet", "--json", "/tmp/not-supported.json"}).ok());
+}
+
+TEST_F(CliTest, FleetSparseJsonSmoke) {
+  // The machine-readable mode the perf trajectory scripts consume:
+  // sparse heterogeneous schedule, explicit thread count, JSON output.
+  auto r = Run({"fleet", "--users", "16", "--horizon", "4", "--threads", "2",
+                "--groups", "2", "--pages", "5", "--sparsity", "0.5",
+                "--seed", "7", "--json", "-"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Schema keys the dashboards key on.
+  for (const char* key :
+       {"\"users\": 16", "\"horizon\": 4", "\"cohorts\": 2",
+        "\"threads\": 2", "\"sparsity\": 0.5", "\"user_releases\": 64",
+        "\"user_releases_per_sec\":", "\"overall_alpha\":",
+        "\"cache_hits\":"}) {
+    EXPECT_NE(r->find(key), std::string::npos) << "missing " << key
+                                               << " in:\n" << *r;
+  }
+  EXPECT_EQ(r->front(), '{');
+  EXPECT_EQ(r->back(), '\n');
+
+  // Same seed, same fleet: byte-identical JSON apart from the timing
+  // fields — spot-check the deterministic alpha instead.
+  auto again = Run({"fleet", "--users", "16", "--horizon", "4", "--threads",
+                    "1", "--groups", "2", "--pages", "5", "--sparsity", "0.5",
+                    "--seed", "7", "--json", "-"});
+  ASSERT_TRUE(again.ok());
+  const auto alpha_of = [](const std::string& text) {
+    const auto pos = text.find("\"overall_alpha\":");
+    return text.substr(pos, text.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(alpha_of(*r), alpha_of(*again));
 }
 
 }  // namespace

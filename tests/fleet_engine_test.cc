@@ -132,15 +132,95 @@ TEST(FleetEngine, HeterogeneousMatricesStayIsolated) {
   EXPECT_NEAR(*engine.user(2).Tpl(2), 0.1, 1e-12);
 }
 
-TEST(FleetEngine, LateJoinerReplaysSchedule) {
+TEST(FleetEngine, LateJoinerAccruesOnlyTheSubScheduleAfterJoining) {
+  // A user added mid-stream joins at the current horizon: the feed's
+  // past releases never included them, so nothing is replayed and the
+  // leakage series starts fresh.
   auto engine = MakeEngine(/*threads=*/1, /*cache=*/true, /*users=*/1,
                            Fig3Both());
   ASSERT_TRUE(engine.RecordReleases({0.1, 0.2}).ok());
   const std::size_t late = engine.AddUser("late", Fig3Both());
-  EXPECT_EQ(engine.user(late).horizon(), 2u);
-  EXPECT_EQ(engine.user(late).TplSeries(), engine.user(0).TplSeries());
+  EXPECT_EQ(engine.user(late).join_release(), 2u);
+  EXPECT_EQ(engine.user(late).horizon(), 0u);
   ASSERT_TRUE(engine.RecordRelease(0.05).ok());
-  EXPECT_EQ(engine.user(late).horizon(), 3u);
+  EXPECT_EQ(engine.user(late).horizon(), 1u);
+  EXPECT_DOUBLE_EQ(engine.user(late).UserLevelTpl(), 0.05);
+
+  // The late joiner's series equals a fresh accountant over the
+  // sub-schedule it actually saw.
+  TplAccountant reference(Fig3Both());
+  ASSERT_TRUE(reference.RecordRelease(0.05).ok());
+  const auto got = engine.user(late).TplSeries();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NEAR(got[0], reference.TplSeries()[0], 1e-7);
+  // The original user keeps its longer history.
+  EXPECT_EQ(engine.user(0).horizon(), 3u);
+  EXPECT_DOUBLE_EQ(engine.user(0).UserLevelTpl(), 0.35);
+}
+
+TEST(FleetEngine, SparseParticipationMatchesReferenceWithSkips) {
+  // Heterogeneous schedule: user 0 sees every release, user 1 only the
+  // 1st and 3rd. The bank must match reference accountants driven with
+  // RecordRelease/RecordSkip through an identically quantized cache —
+  // bitwise.
+  FleetEngineOptions options;
+  options.num_threads = 1;
+  FleetEngine engine(options);
+  engine.AddUser("always", Fig3Both());
+  engine.AddUser("sometimes", Fig3Both());
+  ASSERT_TRUE(engine.RecordRelease(0.1, {0, 1}).ok());
+  ASSERT_TRUE(engine.RecordRelease(0.2, {0}).ok());
+  ASSERT_TRUE(engine.RecordRelease(0.15, {0, 1}).ok());
+
+  TemporalLossCache cache(options.cache);
+  auto make_reference = [&cache]() {
+    auto corr = Fig3Both();
+    auto b = cache.Intern(corr.backward());
+    auto f = cache.Intern(corr.forward());
+    return TplAccountant(std::move(corr), std::move(b), std::move(f));
+  };
+  TplAccountant always = make_reference();
+  ASSERT_TRUE(always.RecordRelease(0.1).ok());
+  ASSERT_TRUE(always.RecordRelease(0.2).ok());
+  ASSERT_TRUE(always.RecordRelease(0.15).ok());
+  TplAccountant sometimes = make_reference();
+  ASSERT_TRUE(sometimes.RecordRelease(0.1).ok());
+  ASSERT_TRUE(sometimes.RecordSkip().ok());
+  ASSERT_TRUE(sometimes.RecordRelease(0.15).ok());
+
+  EXPECT_EQ(engine.user(0).BplSeries(), always.BplSeries());
+  EXPECT_EQ(engine.user(0).FplSeries(), always.FplSeries());
+  EXPECT_EQ(engine.user(0).TplSeries(), always.TplSeries());
+  EXPECT_EQ(engine.user(1).BplSeries(), sometimes.BplSeries());
+  EXPECT_EQ(engine.user(1).FplSeries(), sometimes.FplSeries());
+  EXPECT_EQ(engine.user(1).TplSeries(), sometimes.TplSeries());
+  EXPECT_DOUBLE_EQ(engine.user(1).UserLevelTpl(), 0.25);
+  // The absent release still advanced the FPL horizon: the skipped
+  // step's leakage is nonzero because later releases back-propagate.
+  EXPECT_GT(*engine.user(1).Fpl(2), 0.0);
+}
+
+TEST(FleetEngine, SparseParticipationRejectsBadIndices) {
+  FleetEngine engine;
+  engine.AddUser("only", Fig3Both());
+  EXPECT_FALSE(engine.RecordRelease(0.1, {1}).ok());
+  EXPECT_EQ(engine.horizon(), 0u);
+}
+
+TEST(FleetEngine, CohortsDeduplicateByMatrixPairContents) {
+  FleetEngineOptions options;
+  options.num_threads = 1;
+  FleetEngine engine(options);
+  engine.AddUser("a", Fig3Both());
+  engine.AddUser("b", Fig3Both());  // same pair contents -> same cohort
+  engine.AddUser("c", TemporalCorrelations::BackwardOnly(Fig3Matrix()));
+  engine.AddUser("d", TemporalCorrelations::ForwardOnly(Fig3Matrix()));
+  engine.AddUser("e", TemporalCorrelations::None());
+  EXPECT_EQ(engine.num_cohorts(), 4u);
+  // Backward-only and forward-only over the same matrix must NOT share
+  // a cohort (their recurrences differ) even though the interned loss
+  // table is shared underneath.
+  EXPECT_EQ(engine.cache_stats().distinct_matrices, 1u);
 }
 
 TEST(FleetEngine, PopulationAggregates) {

@@ -71,6 +71,35 @@ TEST(ThreadPool, ParallelForRespectsOffsetRange) {
   EXPECT_EQ(sum.load(), expected);
 }
 
+TEST(ThreadPool, ParallelForRangeCoversRangeInDisjointSlices) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 4096;
+  std::vector<std::atomic<int>> touched(kN);
+  std::atomic<int> slices{0};
+  pool.ParallelForRange(
+      0, kN,
+      [&](std::size_t lo, std::size_t hi) {
+        EXPECT_LT(lo, hi);
+        slices.fetch_add(1);
+        for (std::size_t i = lo; i < hi; ++i) touched[i].fetch_add(1);
+      },
+      /*grain=*/100);
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(touched[i].load(), 1) << "index " << i;
+  }
+  // ceil(4096 / 100) slices, each at most the grain wide.
+  EXPECT_EQ(slices.load(), 41);
+}
+
+TEST(ThreadPool, ParallelForRangeEmptyRangeNeverCallsBody) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.ParallelForRange(9, 9, [&calls](std::size_t, std::size_t) {
+    calls.fetch_add(1);
+  });
+  EXPECT_EQ(calls.load(), 0);
+}
+
 TEST(ThreadPool, StealingHappensUnderImbalance) {
   // One long task per queue slot followed by many short ones: idle
   // workers must steal to finish. Stats are advisory; just verify the

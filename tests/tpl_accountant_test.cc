@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "core/loss_cache.h"
+
 namespace tcdp {
 namespace {
 
@@ -218,6 +222,49 @@ TEST(PopulationAccountant, MaxOverUsers) {
   EXPECT_EQ(pop.user(0).horizon(), 2u);
 }
 
+TEST(TplAccountant, RecordSkipPropagatesLossWithoutAccruingBudget) {
+  TplAccountant acc(Fig3Both());
+  ASSERT_TRUE(acc.RecordRelease(0.5).ok());
+  ASSERT_TRUE(acc.RecordSkip().ok());
+  ASSERT_TRUE(acc.RecordRelease(0.5).ok());
+  EXPECT_EQ(acc.horizon(), 3u);
+  EXPECT_DOUBLE_EQ(acc.UserLevelTpl(), 1.0);
+  const auto bpl = acc.BplSeries();
+  // The gap step: BPL_2 = L^B(BPL_1), inside (0, BPL_1] by Remark 1.
+  EXPECT_GT(bpl[1], 0.0);
+  EXPECT_LE(bpl[1], bpl[0]);
+  EXPECT_GT(bpl[2], bpl[0]);  // leakage carried over the gap
+  // TPL identity still holds with eps_t = 0.
+  EXPECT_DOUBLE_EQ(*acc.Tpl(2), bpl[1] + *acc.Fpl(2));
+}
+
+TEST(TplAccountant, SkipOnlySequenceStaysAtZero) {
+  TplAccountant acc(Fig3Both());
+  ASSERT_TRUE(acc.RecordSkip().ok());
+  ASSERT_TRUE(acc.RecordSkip().ok());
+  EXPECT_EQ(acc.horizon(), 2u);
+  EXPECT_DOUBLE_EQ(acc.MaxTpl(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.UserLevelTpl(), 0.0);
+}
+
+TEST(PopulationAccountant, SparseReleaseSkipsAbsentUsers) {
+  PopulationAccountant pop;
+  pop.AddUser("in", TemporalCorrelations::BackwardOnly(Fig3Matrix()));
+  pop.AddUser("out", TemporalCorrelations::BackwardOnly(Fig3Matrix()));
+  ASSERT_TRUE(pop.RecordRelease(0.2, {0}).ok());
+  ASSERT_TRUE(pop.RecordRelease(0.2, {0, 1}).ok());
+  EXPECT_EQ(pop.horizon(), 2u);
+  EXPECT_DOUBLE_EQ(pop.user(0).UserLevelTpl(), 0.4);
+  EXPECT_DOUBLE_EQ(pop.user(1).UserLevelTpl(), 0.2);
+  EXPECT_FALSE(pop.RecordRelease(0.2, {7}).ok());
+  // Invalid epsilon is rejected BEFORE any skip is recorded — horizons
+  // must stay aligned.
+  EXPECT_FALSE(pop.RecordRelease(-1.0, {0}).ok());
+  EXPECT_FALSE(pop.RecordRelease(0.0, {}).ok());
+  EXPECT_EQ(pop.user(0).horizon(), 2u);
+  EXPECT_EQ(pop.user(1).horizon(), 2u);
+}
+
 TEST(TplAccountant, SerializeDeserializeRoundTrip) {
   TplAccountant original(Fig3Both());
   ASSERT_TRUE(original.RecordRelease(0.1).ok());
@@ -259,11 +306,67 @@ TEST(TplAccountant, SerializeHandlesPartialCorrelations) {
   EXPECT_DOUBLE_EQ(*restored_none->Tpl(1), 0.2);
 }
 
+TEST(TplAccountant, SerializedCacheBackedAccountantRestoresBitwise) {
+  // The v2 header records the cache quantization step, so the restored
+  // accountant replays through an identically quantized cache and the
+  // series is bitwise equal to the live one — the drift documented
+  // against v1 is gone.
+  TemporalLossCache::Options cache_options;
+  cache_options.alpha_resolution = 1e-6;  // coarse: drift would show
+  TemporalLossCache cache(cache_options);
+  auto corr = Fig3Both();
+  TplAccountant live(corr, cache.Intern(corr.backward()),
+                     cache.Intern(corr.forward()),
+                     cache_options.alpha_resolution);
+  ASSERT_TRUE(live.RecordRelease(0.1).ok());
+  ASSERT_TRUE(live.RecordSkip().ok());
+  ASSERT_TRUE(live.RecordRelease(0.3).ok());
+
+  const std::string text = live.Serialize();
+  EXPECT_EQ(text.rfind("tcdp-accountant-v2", 0), 0u);
+  auto restored = TplAccountant::Deserialize(text);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_EQ(restored->cache_alpha_resolution(),
+            cache_options.alpha_resolution);
+  EXPECT_EQ(restored->epsilons(), live.epsilons());
+  EXPECT_EQ(restored->BplSeries(), live.BplSeries());
+  EXPECT_EQ(restored->FplSeries(), live.FplSeries());
+  EXPECT_EQ(restored->TplSeries(), live.TplSeries());
+}
+
+TEST(TplAccountant, DeserializeReadsLegacyV1AsDirect) {
+  // A v1 blob (no quantization line) keeps restoring direct evaluators.
+  TplAccountant direct(Fig3Both());
+  ASSERT_TRUE(direct.RecordRelease(0.1).ok());
+  ASSERT_TRUE(direct.RecordRelease(0.25).ok());
+  std::string v1 = direct.Serialize();
+  const std::string v2_header = "tcdp-accountant-v2\nquantization -1\n";
+  ASSERT_EQ(v1.rfind(v2_header, 0), 0u);
+  v1 = "tcdp-accountant-v1\n" + v1.substr(v2_header.size());
+  auto restored = TplAccountant::Deserialize(v1);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_LT(restored->cache_alpha_resolution(), 0.0);
+  EXPECT_EQ(restored->TplSeries(), direct.TplSeries());
+}
+
 TEST(TplAccountant, DeserializeRejectsMalformedInput) {
   EXPECT_FALSE(TplAccountant::Deserialize("").ok());
   EXPECT_FALSE(TplAccountant::Deserialize("wrong-header\n").ok());
   EXPECT_FALSE(
       TplAccountant::Deserialize("tcdp-accountant-v1\nbogus 2\n").ok());
+  // v2 requires the quantization line before the matrices.
+  EXPECT_FALSE(
+      TplAccountant::Deserialize("tcdp-accountant-v2\nbackward 0\n").ok());
+  // Non-finite quantization steps are rejected (inf would snap every
+  // alpha to infinity and silently zero the losses).
+  EXPECT_FALSE(TplAccountant::Deserialize(
+                   "tcdp-accountant-v2\nquantization inf\nbackward 0\n"
+                   "forward 0\nepsilons 0\n")
+                   .ok());
+  EXPECT_FALSE(TplAccountant::Deserialize(
+                   "tcdp-accountant-v2\nquantization nan\nbackward 0\n"
+                   "forward 0\nepsilons 0\n")
+                   .ok());
   // Truncated matrix block.
   EXPECT_FALSE(TplAccountant::Deserialize(
                    "tcdp-accountant-v1\nbackward 2\n0.5,0.5\n")

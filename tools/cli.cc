@@ -6,6 +6,7 @@
 #include <map>
 #include <optional>
 
+#include "common/random.h"
 #include "common/table.h"
 #include "core/budget_allocation.h"
 #include "core/supremum.h"
@@ -303,9 +304,18 @@ Status CmdFleet(const Flags& flags, std::ostream& out) {
                         FlagAsSize(flags, "groups", std::size_t{4}));
   TCDP_ASSIGN_OR_RETURN(std::size_t threads,
                         FlagAsSize(flags, "threads", std::size_t{0}));
+  TCDP_ASSIGN_OR_RETURN(std::size_t seed,
+                        FlagAsSize(flags, "seed", std::size_t{42}));
   double epsilon = 0.1;
   if (flags.count("epsilon") > 0) {
     TCDP_ASSIGN_OR_RETURN(epsilon, FlagAsDouble(flags, "epsilon"));
+  }
+  double sparsity = 0.0;
+  if (flags.count("sparsity") > 0) {
+    TCDP_ASSIGN_OR_RETURN(sparsity, FlagAsDouble(flags, "sparsity"));
+    if (!(sparsity >= 0.0 && sparsity < 1.0)) {
+      return Status::InvalidArgument("--sparsity must be in [0, 1)");
+    }
   }
   if (users == 0 || horizon == 0 || groups == 0) {
     return Status::InvalidArgument(
@@ -319,6 +329,10 @@ Status CmdFleet(const Flags& flags, std::ostream& out) {
     } else if (v != "on") {
       return Status::InvalidArgument("--cache must be on or off");
     }
+  }
+  const bool json = flags.count("json") > 0;
+  if (json && flags.at("json") != "-") {
+    return Status::InvalidArgument("--json only supports '-' (stdout)");
   }
 
   // Synthetic multi-user clickstream fleet: `groups` browsing profiles
@@ -342,8 +356,22 @@ Status CmdFleet(const Flags& flags, std::ostream& out) {
   for (std::size_t u = 0; u < users; ++u) {
     engine.AddUser("user-" + std::to_string(u), profiles[u % groups]);
   }
-  TCDP_RETURN_IF_ERROR(
-      engine.RecordReleases(std::vector<double>(horizon, epsilon)));
+  if (sparsity == 0.0) {
+    TCDP_RETURN_IF_ERROR(
+        engine.RecordReleases(std::vector<double>(horizon, epsilon)));
+  } else {
+    // Heterogeneous schedule: each user participates in each release
+    // with probability 1 - sparsity (seeded, reproducible).
+    Rng rng(static_cast<std::uint64_t>(seed));
+    std::vector<std::size_t> participants;
+    for (std::size_t t = 0; t < horizon; ++t) {
+      participants.clear();
+      for (std::size_t u = 0; u < users; ++u) {
+        if (rng.Uniform() >= sparsity) participants.push_back(u);
+      }
+      TCDP_RETURN_IF_ERROR(engine.RecordRelease(epsilon, participants));
+    }
+  }
 
   // One parallel fleet sweep yields both aggregates.
   const auto alphas = engine.PersonalizedAlphas();
@@ -356,6 +384,31 @@ Status CmdFleet(const Flags& flags, std::ostream& out) {
 
   const auto stats = engine.stats();
   const auto cache = engine.cache_stats();
+  if (json) {
+    // Machine-readable single-object schema, mirrored by the fleet CLI
+    // smoke test and consumed alongside BENCH_fleet.json.
+    out.precision(17);
+    out << "{\n"
+        << "  \"users\": " << users << ",\n"
+        << "  \"horizon\": " << horizon << ",\n"
+        << "  \"groups\": " << groups << ",\n"
+        << "  \"cohorts\": " << engine.num_cohorts() << ",\n"
+        << "  \"threads\": " << threads << ",\n"
+        << "  \"sparsity\": " << sparsity << ",\n"
+        << "  \"epsilon\": " << epsilon << ",\n"
+        << "  \"cache\": " << (use_cache ? "true" : "false") << ",\n"
+        << "  \"user_releases\": " << stats.user_releases << ",\n"
+        << "  \"record_seconds\": " << stats.record_seconds << ",\n"
+        << "  \"user_releases_per_sec\": " << stats.UserReleasesPerSecond()
+        << ",\n"
+        << "  \"overall_alpha\": " << max_alpha << ",\n"
+        << "  \"min_personalized_alpha\": " << min_alpha << ",\n"
+        << "  \"cache_hits\": " << cache.hits << ",\n"
+        << "  \"cache_misses\": " << cache.misses << ",\n"
+        << "  \"distinct_matrices\": " << cache.distinct_matrices << "\n"
+        << "}\n";
+    return Status::OK();
+  }
   Table table({"metric", "value"});
   auto add = [&table](const std::string& name, const std::string& value) {
     table.AddRow();
@@ -365,7 +418,9 @@ Status CmdFleet(const Flags& flags, std::ostream& out) {
   add("users", std::to_string(users));
   add("horizon", std::to_string(horizon));
   add("correlation groups", std::to_string(groups));
-  add("user-releases recorded", std::to_string(stats.user_releases));
+  add("cohorts", std::to_string(engine.num_cohorts()));
+  add("sparsity", FormatNumber(sparsity, 2));
+  add("user-steps driven (incl. skips)", std::to_string(stats.user_releases));
   add("record wall time (s)", FormatNumber(stats.record_seconds, 4));
   add("releases/sec", FormatNumber(stats.UserReleasesPerSecond(), 0));
   add("overall alpha (max TPL)", FormatNumber(max_alpha, 6));
@@ -402,10 +457,12 @@ std::string HelpText() {
       "  estimate   correlation MLE from trajectories\n"
       "             --trajectories T.csv [--states n] [--order k]\n"
       "             [--smoothing s] [--out F.csv] [--backward-out B.csv]\n"
-      "  fleet      multi-user clickstream replay through the batched\n"
-      "             release engine (shared loss cache + thread pool)\n"
+      "  fleet      multi-user clickstream replay through the cohort-\n"
+      "             batched SoA accountant bank (shared loss cache +\n"
+      "             thread pool)\n"
       "             [--users N] [--horizon T] [--epsilon E] [--pages n]\n"
       "             [--groups g] [--threads k] [--cache on|off]\n"
+      "             [--sparsity s] [--seed r] [--json -]\n"
       "  help       this text\n"
       "\n"
       "file formats: matrices are one row per line (comma/space separated\n"
