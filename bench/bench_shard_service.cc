@@ -1,0 +1,402 @@
+// Throughput and recovery benchmarks for the sharded release service
+// (ISSUE 3 acceptance):
+//
+//   * requests/sec over a shard-count x batch-window grid, against the
+//     single-shard FleetEngine path (PR 2's engine driven serially with
+//     the identical batched event sequence). On multi-core hosts the
+//     best multi-shard configuration must beat the FleetEngine
+//     baseline (gate enforced when hardware_concurrency >= 2 and not
+//     --smoke) — shard workers parallelize the per-release Algorithm-1
+//     work the same way the bank's ParallelForRange does, plus
+//     pipeline overlap between ingest and apply.
+//   * recovery time vs WAL length, with and without snapshots: full
+//     log replay vs snapshot + suffix.
+//
+// Emits BENCH_shard.json next to BENCH_fleet.json; `--smoke` runs a
+// seconds-scale configuration for the CI schema check (CTest label
+// perf_smoke). Bitwise service/baseline equality is asserted in every
+// mode.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "markov/stochastic_matrix.h"
+#include "server/sharded_service.h"
+#include "service/fleet_engine.h"
+
+namespace {
+
+using namespace tcdp;
+
+struct BenchSpec {
+  std::size_t users = 0;
+  std::size_t profiles = 0;     // distinct matrix pairs
+  std::size_t matrix_size = 0;  // n
+  std::size_t requests = 0;     // per-user release requests
+  std::uint64_t seed = 20260728;
+};
+
+struct Request {
+  std::size_t user = 0;
+  double epsilon = 0.0;
+};
+
+std::vector<TemporalCorrelations> MakeProfiles(const BenchSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<TemporalCorrelations> profiles;
+  for (std::size_t p = 0; p < spec.profiles; ++p) {
+    const StochasticMatrix m = StochasticMatrix::Random(spec.matrix_size, &rng);
+    profiles.push_back(TemporalCorrelations::Both(m, m).value());
+  }
+  return profiles;
+}
+
+std::vector<Request> MakeRequests(const BenchSpec& spec) {
+  Rng rng(spec.seed + 1);
+  const double epsilons[] = {0.05, 0.1, 0.2};
+  std::vector<Request> requests(spec.requests);
+  for (auto& request : requests) {
+    request.user = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(spec.users) - 1));
+    request.epsilon = epsilons[rng.UniformInt(0, 2)];
+  }
+  return requests;
+}
+
+/// The deterministic micro-batch semantics, applied offline: the exact
+/// global (eps, participants) sequence the service dispatches.
+struct GlobalRelease {
+  double epsilon = 0.0;
+  std::vector<std::size_t> participants;
+};
+
+std::vector<GlobalRelease> BatchRequests(const std::vector<Request>& requests,
+                                         std::size_t batch_window) {
+  std::vector<GlobalRelease> releases;
+  std::vector<GlobalRelease> window;
+  std::size_t count = 0;
+  auto flush = [&] {
+    for (auto& group : window) releases.push_back(std::move(group));
+    window.clear();
+    count = 0;
+  };
+  for (const Request& request : requests) {
+    GlobalRelease* group = nullptr;
+    for (auto& candidate : window) {
+      if (candidate.epsilon == request.epsilon) group = &candidate;
+    }
+    if (group == nullptr) {
+      window.push_back(GlobalRelease{request.epsilon, {}});
+      group = &window.back();
+    }
+    bool seen = false;
+    for (std::size_t u : group->participants) seen |= u == request.user;
+    if (!seen) group->participants.push_back(request.user);
+    if (++count >= batch_window) flush();
+  }
+  flush();
+  return releases;
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double overall_alpha = 0.0;
+  std::size_t global_releases = 0;
+};
+
+/// PR 2's engine, single shard, no queue, no WAL: the bar the sharded
+/// service has to clear.
+RunResult RunFleetEngineBaseline(const BenchSpec& spec,
+                                 std::size_t batch_window) {
+  const auto profiles = MakeProfiles(spec);
+  const auto requests = MakeRequests(spec);
+  const auto releases = BatchRequests(requests, batch_window);
+  FleetEngineOptions options;
+  options.num_threads = 1;
+  FleetEngine engine(options);
+  for (std::size_t u = 0; u < spec.users; ++u) {
+    engine.AddUser("user-" + std::to_string(u), profiles[u % spec.profiles]);
+  }
+  WallTimer timer;
+  for (const GlobalRelease& release : releases) {
+    const Status recorded =
+        engine.RecordRelease(release.epsilon, release.participants);
+    if (!recorded.ok()) {
+      std::fprintf(stderr, "baseline: %s\n", recorded.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  RunResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.requests_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(requests.size()) / result.seconds
+          : 0.0;
+  result.overall_alpha = engine.OverallAlpha();
+  result.global_releases = releases.size();
+  return result;
+}
+
+RunResult RunService(const BenchSpec& spec, std::size_t shards,
+                     std::size_t batch_window, const std::string& log_dir) {
+  const auto profiles = MakeProfiles(spec);
+  const auto requests = MakeRequests(spec);
+  server::ShardedServiceOptions options;
+  options.num_shards = shards;
+  options.batch_window = batch_window;
+  auto service = server::ShardedReleaseService::Create(log_dir, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "service: %s\n",
+                 service.status().ToString().c_str());
+    std::exit(1);
+  }
+  for (std::size_t u = 0; u < spec.users; ++u) {
+    const Status joined = (*service)->Join("user-" + std::to_string(u),
+                                           profiles[u % spec.profiles]);
+    if (!joined.ok()) {
+      std::fprintf(stderr, "join: %s\n", joined.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  Status flushed = (*service)->Flush();  // joins applied before timing
+  WallTimer timer;
+  for (const Request& request : requests) {
+    const Status released = (*service)->Release(
+        "user-" + std::to_string(request.user), request.epsilon);
+    if (!released.ok()) {
+      std::fprintf(stderr, "release: %s\n", released.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  flushed = (*service)->Flush();
+  RunResult result;
+  result.seconds = timer.ElapsedSeconds();
+  if (!flushed.ok()) {
+    std::fprintf(stderr, "flush: %s\n", flushed.ToString().c_str());
+    std::exit(1);
+  }
+  result.requests_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(requests.size()) / result.seconds
+          : 0.0;
+  auto alpha = (*service)->OverallAlpha();
+  result.overall_alpha = alpha.ok() ? *alpha : -1.0;
+  result.global_releases = (*service)->stats().global_releases;
+  const Status closed = (*service)->Close();
+  if (!closed.ok()) {
+    std::fprintf(stderr, "close: %s\n", closed.ToString().c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+double TimeRecovery(const std::string& log_dir) {
+  WallTimer timer;
+  auto service = server::ShardedReleaseService::Recover(log_dir);
+  if (!service.ok()) {
+    std::fprintf(stderr, "recover: %s\n",
+                 service.status().ToString().c_str());
+    std::exit(1);
+  }
+  const double seconds = timer.ElapsedSeconds();
+  (void)(*service)->Close();
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_shard.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json path]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  BenchSpec spec;
+  spec.users = smoke ? 32 : 256;
+  spec.profiles = smoke ? 4 : 16;
+  spec.matrix_size = smoke ? 6 : 16;
+  spec.requests = smoke ? 120 : 1000;
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t batch_window = smoke ? 8 : 16;
+  std::vector<std::size_t> shard_counts =
+      smoke ? std::vector<std::size_t>{1, 2}
+            : std::vector<std::size_t>{1, 2, 4};
+  if (!smoke && hw > 4) shard_counts.push_back(hw);
+  std::vector<std::size_t> windows =
+      smoke ? std::vector<std::size_t>{batch_window}
+            : std::vector<std::size_t>{batch_window, 64};
+
+  std::string json = "{\n  \"bench\": \"shard_service\",\n";
+  json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  json += "  \"workloads\": [\n";
+  char buf[512];
+  bool ok = true;
+  bool first = true;
+
+  const RunResult baseline = RunFleetEngineBaseline(spec, batch_window);
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"fleet_engine_baseline\", \"shards\": 1, "
+                "\"batch_window\": %zu, \"durable\": false, \"users\": %zu, "
+                "\"requests\": %zu, \"global_releases\": %zu, "
+                "\"seconds\": %.6f, \"requests_per_sec\": %.1f}",
+                batch_window, spec.users, spec.requests,
+                baseline.global_releases, baseline.seconds,
+                baseline.requests_per_sec);
+  json += buf;
+  first = false;
+  std::printf(
+      "baseline (FleetEngine, %zu users, %zu profiles, n=%zu, window %zu): "
+      "%.0f req/s over %zu global releases\n",
+      spec.users, spec.profiles, spec.matrix_size, batch_window,
+      baseline.requests_per_sec, baseline.global_releases);
+
+  double best_multi_shard = 0.0;
+  for (std::size_t window : windows) {
+    for (std::size_t shards : shard_counts) {
+      const RunResult run = RunService(spec, shards, window, "");
+      std::snprintf(buf, sizeof(buf),
+                    ",\n    {\"name\": \"service\", \"shards\": %zu, "
+                    "\"batch_window\": %zu, \"durable\": false, "
+                    "\"users\": %zu, \"requests\": %zu, "
+                    "\"global_releases\": %zu, \"seconds\": %.6f, "
+                    "\"requests_per_sec\": %.1f}",
+                    shards, window, spec.users, spec.requests,
+                    run.global_releases, run.seconds, run.requests_per_sec);
+      json += buf;
+      std::printf("service shards=%zu window=%zu: %.0f req/s (%zu global "
+                  "releases)\n",
+                  shards, window, run.requests_per_sec, run.global_releases);
+      // Only same-window runs count toward the gate: a coarser window
+      // does less accounting work per request and would flatter the
+      // comparison.
+      if (shards > 1 && window == batch_window) {
+        best_multi_shard = std::max(best_multi_shard, run.requests_per_sec);
+      }
+      // Determinism: every configuration must agree with the baseline
+      // on the fleet's overall alpha, bitwise.
+      if (window == batch_window &&
+          run.overall_alpha != baseline.overall_alpha) {
+        std::fprintf(stderr,
+                     "FAILED: shards=%zu window=%zu overall alpha %.17g != "
+                     "baseline %.17g\n",
+                     shards, window, run.overall_alpha,
+                     baseline.overall_alpha);
+        ok = false;
+      }
+    }
+  }
+
+  // Durable run + recovery scaling: half and full logs, then full log
+  // with snapshots cutting the replay.
+  json += "\n  ],\n  \"recovery\": [\n";
+  first = true;
+  const std::string base_dir = "/tmp/tcdp_bench_shard_logs";
+  struct RecoveryCase {
+    const char* name;
+    std::size_t requests;
+    std::size_t snapshot_every;
+  };
+  const RecoveryCase cases[] = {
+      {"half_log", spec.requests / 2, 0},
+      {"full_log", spec.requests, 0},
+      {"full_log_snapshots", spec.requests, 25},
+  };
+  for (const RecoveryCase& c : cases) {
+    std::filesystem::remove_all(base_dir);
+    BenchSpec durable_spec = spec;
+    durable_spec.requests = c.requests;
+    {
+      const auto profiles = MakeProfiles(durable_spec);
+      const auto requests = MakeRequests(durable_spec);
+      server::ShardedServiceOptions options;
+      options.num_shards = 2;
+      options.batch_window = batch_window;
+      options.snapshot_every = c.snapshot_every;
+      auto service = server::ShardedReleaseService::Create(base_dir, options);
+      if (!service.ok()) {
+        std::fprintf(stderr, "durable create: %s\n",
+                     service.status().ToString().c_str());
+        return 1;
+      }
+      for (std::size_t u = 0; u < durable_spec.users; ++u) {
+        (void)(*service)->Join("user-" + std::to_string(u),
+                               profiles[u % durable_spec.profiles]);
+      }
+      for (const Request& request : requests) {
+        (void)(*service)->Release("user-" + std::to_string(request.user),
+                                  request.epsilon);
+      }
+      if (!(*service)->Close().ok()) return 1;
+    }
+    std::uint64_t wal_records = 0;
+    {
+      auto probe = server::ShardedReleaseService::Recover(base_dir);
+      if (!probe.ok()) return 1;
+      for (std::size_t s = 0; s < (*probe)->num_shards(); ++s) {
+        wal_records += (*probe)->shard_stats(s).wal_records;
+      }
+      (void)(*probe)->Close();
+    }
+    const double recover_seconds = TimeRecovery(base_dir);
+    std::snprintf(buf, sizeof(buf),
+                  "%s    {\"name\": \"%s\", \"wal_records\": %llu, "
+                  "\"snapshot_every\": %zu, \"recover_seconds\": %.6f}",
+                  first ? "" : ",\n", c.name,
+                  static_cast<unsigned long long>(wal_records),
+                  c.snapshot_every, recover_seconds);
+    json += buf;
+    first = false;
+    std::printf("recovery %s: %llu WAL records, %.4fs\n", c.name,
+                static_cast<unsigned long long>(wal_records),
+                recover_seconds);
+  }
+  std::filesystem::remove_all(base_dir);
+
+  const double speedup = baseline.requests_per_sec > 0.0
+                             ? best_multi_shard / baseline.requests_per_sec
+                             : 0.0;
+  std::printf("multi-shard speedup over FleetEngine baseline: %.2fx%s\n",
+              speedup, hw < 2 ? " (single-core host: not enforced)" : "");
+  if (!smoke && hw >= 2 && speedup <= 1.0) {
+    std::fprintf(stderr,
+                 "FAILED: best multi-shard (%.0f req/s) did not beat the "
+                 "single-shard FleetEngine path (%.0f req/s)\n",
+                 best_multi_shard, baseline.requests_per_sec);
+    ok = false;
+  }
+
+  json += "\n  ],\n  \"criteria\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"multi_shard_speedup_vs_fleet_engine\": %.2f,\n"
+                "    \"gate_enforced\": %s\n",
+                speedup, (!smoke && hw >= 2) ? "true" : "false");
+  json += buf;
+  json += "  }\n}\n";
+  std::ofstream json_out(json_path);
+  json_out << json;
+  if (!json_out) {
+    std::fprintf(stderr, "FAILED: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,140 @@
+#include "common/binary_io.h"
+
+#include <cstring>
+
+namespace tcdp {
+
+void PutFixed32(std::string* dst, std::uint32_t value) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 4);
+}
+
+void PutFixed64(std::string* dst, std::uint64_t value) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(value >> (8 * i));
+  dst->append(buf, 8);
+}
+
+void PutVarint64(std::string* dst, std::uint64_t value) {
+  while (value >= 0x80) {
+    dst->push_back(static_cast<char>(value | 0x80));
+    value >>= 7;
+  }
+  dst->push_back(static_cast<char>(value));
+}
+
+void PutDoubleBits(std::string* dst, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  PutFixed64(dst, bits);
+}
+
+void PutLengthPrefixed(std::string* dst, const std::string& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value);
+}
+
+Status BinaryCursor::ReadByte(std::uint8_t* value) {
+  if (pos_ == end_) {
+    return Status::OutOfRange("BinaryCursor: truncated byte");
+  }
+  *value = static_cast<std::uint8_t>(*pos_++);
+  return Status::OK();
+}
+
+Status BinaryCursor::ReadFixed32(std::uint32_t* value) {
+  if (remaining() < 4) {
+    return Status::OutOfRange("BinaryCursor: truncated fixed32");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(pos_[i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  *value = v;
+  return Status::OK();
+}
+
+Status BinaryCursor::ReadFixed64(std::uint64_t* value) {
+  if (remaining() < 8) {
+    return Status::OutOfRange("BinaryCursor: truncated fixed64");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(pos_[i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  *value = v;
+  return Status::OK();
+}
+
+Status BinaryCursor::ReadVarint64(std::uint64_t* value) {
+  std::uint64_t v = 0;
+  for (int shift = 0; shift < 70; shift += 7) {
+    if (pos_ == end_) {
+      return Status::OutOfRange("BinaryCursor: truncated varint");
+    }
+    const unsigned char byte = static_cast<unsigned char>(*pos_++);
+    if (shift == 63 && (byte & ~1u) != 0) {
+      return Status::InvalidArgument("BinaryCursor: varint overflows 64 bits");
+    }
+    v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *value = v;
+      return Status::OK();
+    }
+  }
+  return Status::InvalidArgument("BinaryCursor: varint longer than 10 bytes");
+}
+
+Status BinaryCursor::ReadDoubleBits(double* value) {
+  std::uint64_t bits = 0;
+  TCDP_RETURN_IF_ERROR(ReadFixed64(&bits));
+  std::memcpy(value, &bits, sizeof(*value));
+  return Status::OK();
+}
+
+Status BinaryCursor::ReadLengthPrefixed(std::string* value) {
+  std::uint64_t length = 0;
+  TCDP_RETURN_IF_ERROR(ReadVarint64(&length));
+  if (length > remaining()) {
+    return Status::OutOfRange("BinaryCursor: length-prefixed field of " +
+                              std::to_string(length) +
+                              " bytes exceeds remaining input");
+  }
+  value->assign(pos_, static_cast<std::size_t>(length));
+  pos_ += length;
+  return Status::OK();
+}
+
+namespace {
+
+struct Crc32Table {
+  std::uint32_t entries[256];
+  Crc32Table() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      entries[i] = c;
+    }
+  }
+};
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const Crc32Table table;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table.entries[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace tcdp

@@ -1,0 +1,87 @@
+#ifndef TCDP_COMMON_PACKED_MASK_H_
+#define TCDP_COMMON_PACKED_MASK_H_
+
+/// \file
+/// Participation bitmask rows for the accountant bank, write-ahead log,
+/// and snapshots.
+///
+/// A release's participation row is one bit per enrolled user. Fleets
+/// are large and sparse schedules repeat long stretches of identical
+/// words (all-zeros between coherent cohort blocks, all-ones in dense
+/// phases), so rows beyond a small threshold are stored with
+/// **word-level run-length encoding**: consecutive equal 64-bit words
+/// collapse into (run length, word) pairs. Short rows keep the dense
+/// path — at a handful of words RLE bookkeeping costs more than it
+/// saves and the hot per-bit lookup stays a single index.
+///
+/// Three states:
+///   * kAll   — "every user enrolled at write time participated"
+///              (the bank's historical empty-row convention);
+///   * kDense — raw word vector;
+///   * kRle   — runs, with cumulative word offsets for O(log runs)
+///              random-access bit().
+///
+/// Bit semantics match the bank: bit(i) is true for kAll, and false for
+/// any i at or past the row's word width (the user was not enrolled
+/// when the row was written).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcdp {
+
+class PackedMask {
+ public:
+  /// "Everyone enrolled participated" (width-less).
+  PackedMask() = default;
+  static PackedMask All() { return PackedMask(); }
+
+  /// Packs a dense word vector, choosing RLE automatically when it is
+  /// strictly smaller. An empty vector is a zero-width explicit mask
+  /// (nobody participates), NOT kAll.
+  static PackedMask FromWords(std::vector<std::uint64_t> words);
+
+  bool is_all() const { return kind_ == Kind::kAll; }
+  bool is_rle() const { return kind_ == Kind::kRle; }
+  /// Width in 64-bit words (0 for kAll).
+  std::size_t num_words() const { return num_words_; }
+
+  /// Membership of user \p i under the bank's conventions.
+  bool bit(std::size_t i) const;
+
+  /// The dense representation (kAll expands to \p num_words ones-words).
+  std::vector<std::uint64_t> ToWords(std::size_t num_words) const;
+
+  /// Heap bytes held by this row (the compression metric).
+  std::size_t MemoryBytes() const;
+
+  /// \name Durable wire format (varint-framed, see binary_io.h).
+  /// @{
+  void EncodeTo(std::string* dst) const;
+  /// Consumes one encoded mask from \p cursor. Rejects unknown kinds,
+  /// zero-length runs, run overflow past the declared width, and
+  /// truncation — corrupted log/snapshot bytes surface as Status.
+  static StatusOr<PackedMask> Decode(class BinaryCursor& cursor);
+  /// @}
+
+  bool operator==(const PackedMask& other) const;
+
+ private:
+  enum class Kind : std::uint8_t { kAll = 0, kDense = 1, kRle = 2 };
+
+  Kind kind_ = Kind::kAll;
+  std::size_t num_words_ = 0;
+  std::vector<std::uint64_t> dense_;
+  /// run_end_[r] = total words covered by runs [0, r]; strictly
+  /// increasing, back() == num_words_.
+  std::vector<std::uint64_t> run_end_;
+  std::vector<std::uint64_t> run_value_;
+};
+
+}  // namespace tcdp
+
+#endif  // TCDP_COMMON_PACKED_MASK_H_

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/tpl_accountant.h"
 #include "markov/stochastic_matrix.h"
 
 namespace tcdp {
@@ -192,7 +193,9 @@ Status AccountantBank::Record(double epsilon,
     }
   }
   schedule_.push_back(epsilon);
-  participation_.push_back(std::move(mask));
+  participation_.push_back(participants != nullptr
+                               ? PackedMask::FromWords(std::move(mask))
+                               : PackedMask::All());
   return Status::OK();
 }
 
@@ -206,7 +209,7 @@ Status AccountantBank::RecordRelease(
 }
 
 bool AccountantBank::ParticipatedRaw(std::size_t user, std::size_t t) const {
-  return MaskBit(participation_[t], user);
+  return participation_[t].bit(user);
 }
 
 bool AccountantBank::Participated(std::size_t user, std::size_t t) const {
@@ -334,6 +337,110 @@ double AccountantBank::OverallAlpha() const {
 
 TemporalLossCache::Stats AccountantBank::cache_stats() const {
   return cache_ != nullptr ? cache_->stats() : TemporalLossCache::Stats{};
+}
+
+const TemporalCorrelations& AccountantBank::user_correlations(
+    std::size_t user) const {
+  assert(user < num_users());
+  return cohorts_[user_cohort_[user]].correlations;
+}
+
+double AccountantBank::UserBplLast(std::size_t user) const {
+  assert(user < num_users());
+  return cohorts_[user_cohort_[user]].bpl_last[user_slot_[user]];
+}
+
+std::string AccountantBank::SerializeUser(std::size_t user) const {
+  assert(user < num_users());
+  AccountantImage image;
+  image.correlations = user_correlations(user);
+  image.cache_alpha_resolution = cache_alpha_resolution();
+  image.epsilons = EpsilonsFor(user);
+  return SerializeAccountantImage(image);
+}
+
+std::size_t AccountantBank::ParticipationBytes() const {
+  std::size_t bytes = 0;
+  for (const PackedMask& row : participation_) bytes += row.MemoryBytes();
+  return bytes;
+}
+
+AccountantBank::Image AccountantBank::ExportImage() const {
+  Image image;
+  image.schedule = schedule_;
+  image.participation = participation_;
+  image.users.reserve(num_users());
+  for (std::size_t u = 0; u < num_users(); ++u) {
+    UserImage user;
+    user.correlations = user_correlations(u);
+    user.join = user_join_[u];
+    user.bpl_last = UserBplLast(u);
+    user.eps_sum = UserEpsSum(u);
+    image.users.push_back(std::move(user));
+  }
+  return image;
+}
+
+StatusOr<AccountantBank> AccountantBank::Restore(
+    Image image, AccountantBankOptions options) {
+  if (image.participation.size() != image.schedule.size()) {
+    return Status::InvalidArgument(
+        "AccountantBank::Restore: " +
+        std::to_string(image.participation.size()) +
+        " participation rows for " + std::to_string(image.schedule.size()) +
+        " releases");
+  }
+  for (double eps : image.schedule) {
+    if (!(eps > 0.0) || !std::isfinite(eps)) {
+      return Status::InvalidArgument(
+          "AccountantBank::Restore: schedule entry not finite and > 0");
+    }
+  }
+  const std::size_t max_words = (image.users.size() + 63) / 64;
+  for (const PackedMask& row : image.participation) {
+    if (!row.is_all() && row.num_words() > std::max<std::size_t>(max_words, 1)) {
+      return Status::InvalidArgument(
+          "AccountantBank::Restore: participation row wider than the fleet");
+    }
+  }
+  AccountantBank bank(std::move(options));
+  for (const UserImage& user : image.users) {
+    if (user.join > image.schedule.size()) {
+      return Status::InvalidArgument(
+          "AccountantBank::Restore: user join " + std::to_string(user.join) +
+          " past horizon " + std::to_string(image.schedule.size()));
+    }
+    if (!std::isfinite(user.bpl_last) || user.bpl_last < 0.0 ||
+        !std::isfinite(user.eps_sum) || user.eps_sum < 0.0) {
+      return Status::InvalidArgument(
+          "AccountantBank::Restore: per-user state not finite and >= 0");
+    }
+    bank.AddUser(user.correlations);
+  }
+  bank.schedule_ = std::move(image.schedule);
+  bank.participation_ = std::move(image.participation);
+  for (std::size_t u = 0; u < image.users.size(); ++u) {
+    const UserImage& user = image.users[u];
+    // The accrued sum is a pure function of (mask, schedule) and must
+    // match bitwise — the additions replay in the same release order
+    // the live bank accumulated them in. A mismatch means the image's
+    // columns, masks, and schedule disagree (silent corruption that a
+    // per-field check cannot see).
+    double eps_sum = 0.0;
+    for (std::size_t t = user.join; t < bank.schedule_.size(); ++t) {
+      eps_sum += bank.ParticipatedRaw(u, t) ? bank.schedule_[t] : 0.0;
+    }
+    if (eps_sum != user.eps_sum) {
+      return Status::InvalidArgument(
+          "AccountantBank::Restore: user " + std::to_string(u) +
+          " eps_sum does not match its mask-selected schedule sum");
+    }
+    Cohort& cohort = bank.cohorts_[bank.user_cohort_[u]];
+    bank.user_join_[u] = user.join;
+    cohort.bpl_last[bank.user_slot_[u]] = user.bpl_last;
+    cohort.eps_sum[bank.user_slot_[u]] = user.eps_sum;
+  }
+  return bank;
 }
 
 }  // namespace tcdp

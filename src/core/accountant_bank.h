@@ -38,6 +38,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/packed_mask.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "core/loss_cache.h"
@@ -122,6 +123,56 @@ class AccountantBank {
   /// Zeroed when share_loss_cache is false.
   TemporalLossCache::Stats cache_stats() const;
 
+  /// \name Durable-state hooks (the snapshot layer in src/server/ is
+  /// built on these).
+  /// @{
+  /// The grid the bank's evaluators quantize to; negative when running
+  /// direct (uncached) evaluators.
+  double cache_alpha_resolution() const {
+    return cache_ != nullptr ? options_.cache.alpha_resolution : -1.0;
+  }
+  /// The user's cohort exemplar correlations.
+  const TemporalCorrelations& user_correlations(std::size_t user) const;
+  /// Running Equation-13 state (the value the next release's backward
+  /// loss is evaluated at).
+  double UserBplLast(std::size_t user) const;
+  /// Exports one user as a standalone "tcdp-accountant-v2" blob;
+  /// TplAccountant::Deserialize on it reproduces the user's series
+  /// bitwise (given the bank's quantization).
+  std::string SerializeUser(std::size_t user) const;
+  /// Stored participation row of global release \p t (0-based).
+  const PackedMask& participation_row(std::size_t t) const {
+    return participation_[t];
+  }
+  /// Heap bytes held by stored participation rows (the RLE metric).
+  std::size_t ParticipationBytes() const;
+
+  /// Everything needed to rebuild a bank without replaying releases.
+  struct UserImage {
+    TemporalCorrelations correlations = TemporalCorrelations::None();
+    std::uint32_t join = 0;   ///< global release index at join
+    double bpl_last = 0.0;    ///< Equation 13 running state
+    double eps_sum = 0.0;     ///< lifetime accrued budget
+  };
+  struct Image {
+    std::vector<double> schedule;
+    std::vector<PackedMask> participation;  ///< aligned with schedule
+    std::vector<UserImage> users;           ///< in user-index order
+  };
+  Image ExportImage() const;
+
+  /// Rebuilds a bank from \p image in O(users + horizon) with **no**
+  /// loss evaluations: cohorts are re-interned, columns injected
+  /// directly. Hardened restore path: malformed images (non-finite or
+  /// non-positive schedule entries, row/schedule length mismatch,
+  /// out-of-range joins, mask rows wider than the fleet, or an eps_sum
+  /// that does not equal the mask-selected schedule sum bitwise) return
+  /// InvalidArgument. Series queried from the restored bank are bitwise
+  /// identical to the originals.
+  static StatusOr<AccountantBank> Restore(Image image,
+                                          AccountantBankOptions options = {});
+  /// @}
+
  private:
   /// One cohort: all users sharing a bit-identical (P^B, P^F) pair.
   struct Cohort {
@@ -162,9 +213,12 @@ class AccountantBank {
   std::vector<std::uint32_t> user_slot_;    ///< slot within the cohort
 
   std::vector<double> schedule_;  ///< global per-release budgets
-  /// Participation bitmask per release over global user indices; an
-  /// EMPTY row means "every user enrolled at that time participated".
-  std::vector<std::vector<std::uint64_t>> participation_;
+  /// Participation row per release over global user indices; an All row
+  /// means "every user enrolled at that time participated". Rows beyond
+  /// a few words store word-level RLE (see common/packed_mask.h) so
+  /// 10^5-release histories — and the snapshots/logs derived from them —
+  /// stay small.
+  std::vector<PackedMask> participation_;
 };
 
 }  // namespace tcdp

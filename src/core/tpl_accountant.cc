@@ -151,48 +151,46 @@ StatusOr<double> TplAccountant::MaxWindowTpl(std::size_t w) const {
   return best;
 }
 
-std::string TplAccountant::Serialize() const {
+std::string SerializeAccountantImage(const AccountantImage& image) {
+  const TemporalCorrelations& corr = image.correlations;
   std::ostringstream out;
   out << "tcdp-accountant-v2\n";
   out.precision(17);
-  out << "quantization " << cache_alpha_resolution_ << "\n";
-  out << "backward " << (correlations_.has_backward()
-                             ? correlations_.backward().size()
-                             : 0)
+  out << "quantization " << image.cache_alpha_resolution << "\n";
+  out << "backward " << (corr.has_backward() ? corr.backward().size() : 0)
       << "\n";
-  if (correlations_.has_backward()) {
-    out << SerializeStochasticMatrix(correlations_.backward());
+  if (corr.has_backward()) {
+    out << SerializeStochasticMatrix(corr.backward());
   }
-  out << "forward " << (correlations_.has_forward()
-                            ? correlations_.forward().size()
-                            : 0)
+  out << "forward " << (corr.has_forward() ? corr.forward().size() : 0)
       << "\n";
-  if (correlations_.has_forward()) {
-    out << SerializeStochasticMatrix(correlations_.forward());
+  if (corr.has_forward()) {
+    out << SerializeStochasticMatrix(corr.forward());
   }
-  out << "epsilons " << epsilons_.size() << "\n";
+  out << "epsilons " << image.epsilons.size() << "\n";
   out.precision(17);
-  for (double e : epsilons_) out << e << "\n";
+  for (double e : image.epsilons) out << e << "\n";
   return out.str();
 }
 
-StatusOr<TplAccountant> TplAccountant::Deserialize(const std::string& text) {
+StatusOr<AccountantImage> ParseAccountantImage(const std::string& text) {
   std::istringstream in(text);
   std::string header;
   if (!std::getline(in, header) ||
       (header != "tcdp-accountant-v1" && header != "tcdp-accountant-v2")) {
     return Status::InvalidArgument(
-        "TplAccountant::Deserialize: bad header (expected "
-        "tcdp-accountant-v1 or tcdp-accountant-v2)");
+        "ParseAccountantImage: bad header (expected tcdp-accountant-v1 or "
+        "tcdp-accountant-v2)");
   }
+  AccountantImage image;
   // v1 predates cached accounting: always restores direct evaluators.
-  double quantization = -1.0;
   if (header == "tcdp-accountant-v2") {
     std::string word;
-    if (!(in >> word >> quantization) || word != "quantization" ||
-        !std::isfinite(quantization)) {
+    if (!(in >> word >> image.cache_alpha_resolution) ||
+        word != "quantization" ||
+        !std::isfinite(image.cache_alpha_resolution)) {
       return Status::InvalidArgument(
-          "TplAccountant::Deserialize: expected 'quantization <step>'");
+          "ParseAccountantImage: expected 'quantization <step>'");
     }
     in.ignore();  // trailing newline
   }
@@ -203,7 +201,14 @@ StatusOr<TplAccountant> TplAccountant::Deserialize(const std::string& text) {
     std::size_t n = 0;
     if (!(in >> word >> n) || word != keyword) {
       return Status::InvalidArgument(
-          "TplAccountant::Deserialize: expected '" + keyword + " <n>'");
+          "ParseAccountantImage: expected '" + keyword + " <n>'");
+    }
+    // A corrupted count cannot exceed the bytes available to hold the
+    // rows (>= 2 chars per row): bound it before any allocation.
+    if (n > text.size()) {
+      return Status::InvalidArgument(
+          "ParseAccountantImage: declared " + keyword + " size " +
+          std::to_string(n) + " exceeds the input");
     }
     in.ignore();  // trailing newline
     if (n == 0) return std::optional<StochasticMatrix>{};
@@ -212,15 +217,19 @@ StatusOr<TplAccountant> TplAccountant::Deserialize(const std::string& text) {
     for (std::size_t r = 0; r < n; ++r) {
       if (!std::getline(in, line)) {
         return Status::InvalidArgument(
-            "TplAccountant::Deserialize: truncated " + keyword + " matrix");
+            "ParseAccountantImage: truncated " + keyword + " matrix");
       }
       block += line;
       block += '\n';
     }
-    TCDP_ASSIGN_OR_RETURN(StochasticMatrix m, ParseStochasticMatrix(block));
+    // Exact parse: blobs are machine-written, and a forgiving
+    // renormalization would shift entries by ULPs — the restored
+    // series would drift off the live one.
+    TCDP_ASSIGN_OR_RETURN(StochasticMatrix m,
+                          ParseStochasticMatrixExact(block));
     if (m.size() != n) {
       return Status::InvalidArgument(
-          "TplAccountant::Deserialize: " + keyword + " matrix size " +
+          "ParseAccountantImage: " + keyword + " matrix size " +
           std::to_string(m.size()) + " != declared " + std::to_string(n));
     }
     return std::optional<StochasticMatrix>{std::move(m)};
@@ -233,44 +242,72 @@ StatusOr<TplAccountant> TplAccountant::Deserialize(const std::string& text) {
   std::size_t count = 0;
   if (!(in >> word >> count) || word != "epsilons") {
     return Status::InvalidArgument(
-        "TplAccountant::Deserialize: expected 'epsilons <count>'");
+        "ParseAccountantImage: expected 'epsilons <count>'");
   }
-  std::vector<double> epsilons(count);
+  // Same bound as the matrices: a count that cannot fit in the input
+  // (every entry needs at least "0\n") is corruption, not data. This
+  // keeps a flipped digit from requesting an exabyte vector.
+  if (count > text.size()) {
+    return Status::InvalidArgument(
+        "ParseAccountantImage: declared epsilon count " +
+        std::to_string(count) + " exceeds the input");
+  }
+  image.epsilons.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
-    if (!(in >> epsilons[i])) {
+    if (!(in >> image.epsilons[i])) {
       return Status::InvalidArgument(
-          "TplAccountant::Deserialize: truncated epsilon list");
+          "ParseAccountantImage: truncated epsilon list");
+    }
+    if (!std::isfinite(image.epsilons[i]) || image.epsilons[i] < 0.0) {
+      return Status::InvalidArgument(
+          "ParseAccountantImage: epsilon " + std::to_string(i) +
+          " is not finite and >= 0");
     }
   }
 
-  TemporalCorrelations corr = TemporalCorrelations::None();
   if (backward.has_value() && forward.has_value()) {
     TCDP_ASSIGN_OR_RETURN(
-        corr, TemporalCorrelations::Both(std::move(*backward),
-                                         std::move(*forward)));
+        image.correlations,
+        TemporalCorrelations::Both(std::move(*backward), std::move(*forward)));
   } else if (backward.has_value()) {
-    corr = TemporalCorrelations::BackwardOnly(std::move(*backward));
+    image.correlations =
+        TemporalCorrelations::BackwardOnly(std::move(*backward));
   } else if (forward.has_value()) {
-    corr = TemporalCorrelations::ForwardOnly(std::move(*forward));
+    image.correlations = TemporalCorrelations::ForwardOnly(std::move(*forward));
   }
+  return image;
+}
 
+std::string TplAccountant::Serialize() const {
+  AccountantImage image;
+  image.correlations = correlations_;
+  image.cache_alpha_resolution = cache_alpha_resolution_;
+  image.epsilons = epsilons_;
+  return SerializeAccountantImage(image);
+}
+
+StatusOr<TplAccountant> TplAccountant::Deserialize(const std::string& text) {
+  TCDP_ASSIGN_OR_RETURN(AccountantImage image, ParseAccountantImage(text));
+  TemporalCorrelations corr = image.correlations;
   auto make_accountant = [&]() -> TplAccountant {
-    if (quantization < 0.0) return TplAccountant(std::move(corr));
+    if (image.cache_alpha_resolution < 0.0) {
+      return TplAccountant(std::move(corr));
+    }
     // Rebuild an identically quantized cache; the interned evaluators
     // keep its internals alive past this scope, and replaying below
     // reproduces the live series bitwise.
     TemporalLossCache::Options options;
-    options.alpha_resolution = quantization;
+    options.alpha_resolution = image.cache_alpha_resolution;
     TemporalLossCache cache(options);
     std::shared_ptr<const LossEvaluator> b;
     std::shared_ptr<const LossEvaluator> f;
     if (corr.has_backward()) b = cache.Intern(corr.backward());
     if (corr.has_forward()) f = cache.Intern(corr.forward());
     return TplAccountant(std::move(corr), std::move(b), std::move(f),
-                         quantization);
+                         image.cache_alpha_resolution);
   };
   TplAccountant accountant = make_accountant();
-  for (double e : epsilons) {
+  for (double e : image.epsilons) {
     if (e == 0.0) {
       TCDP_RETURN_IF_ERROR(accountant.RecordSkip());
     } else {

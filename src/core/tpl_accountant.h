@@ -24,6 +24,29 @@
 
 namespace tcdp {
 
+/// \brief The parsed form of a serialized accountant: correlations, the
+/// loss-cache quantization step, and the effective spend sequence
+/// (0 entries are skips). Everything a restore path needs, with no
+/// replay performed — `TplAccountant::Deserialize` replays an image,
+/// while bulk consumers (snapshot restore in `src/server/`) inject the
+/// fields directly and skip the per-release loss evaluations.
+struct AccountantImage {
+  TemporalCorrelations correlations = TemporalCorrelations::None();
+  /// Negative = direct (uncached) evaluators.
+  double cache_alpha_resolution = -1.0;
+  std::vector<double> epsilons;
+};
+
+/// \brief Renders \p image in the "tcdp-accountant-v2" text format.
+std::string SerializeAccountantImage(const AccountantImage& image);
+
+/// \brief Parses a "tcdp-accountant-v1"/"-v2" blob. Hardened: any
+/// truncated, corrupted, or semantically invalid input (bad header,
+/// malformed matrices, element counts exceeding the input, non-finite
+/// or negative budgets) returns InvalidArgument — never asserts,
+/// allocates unboundedly, or reads past the text.
+StatusOr<AccountantImage> ParseAccountantImage(const std::string& text);
+
 /// \brief Tracks one user's BPL/FPL/TPL across an event-level release
 /// sequence, given that user's temporal correlations.
 class TplAccountant {

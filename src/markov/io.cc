@@ -91,7 +91,9 @@ Status WriteFile(const std::string& path, const std::string& content) {
 
 }  // namespace
 
-StatusOr<StochasticMatrix> ParseStochasticMatrix(const std::string& text) {
+namespace {
+
+StatusOr<Matrix> ParseMatrixRows(const std::string& text) {
   std::vector<std::vector<double>> rows;
   std::istringstream stream(text);
   std::string line;
@@ -117,7 +119,20 @@ StatusOr<StochasticMatrix> ParseStochasticMatrix(const std::string& text) {
   }
   Matrix m(rows.size(), rows.front().size());
   for (std::size_t r = 0; r < rows.size(); ++r) m.SetRow(r, rows[r]);
+  return m;
+}
+
+}  // namespace
+
+StatusOr<StochasticMatrix> ParseStochasticMatrix(const std::string& text) {
+  TCDP_ASSIGN_OR_RETURN(Matrix m, ParseMatrixRows(text));
   return StochasticMatrix::Create(std::move(m));
+}
+
+StatusOr<StochasticMatrix> ParseStochasticMatrixExact(
+    const std::string& text) {
+  TCDP_ASSIGN_OR_RETURN(Matrix m, ParseMatrixRows(text));
+  return StochasticMatrix::CreateExact(std::move(m));
 }
 
 std::string SerializeStochasticMatrix(const StochasticMatrix& matrix,

@@ -21,7 +21,17 @@ namespace tcdp {
 
 /// \brief Parses a stochastic matrix from text. Returns InvalidArgument
 /// on ragged rows, non-numeric fields, or rows violating stochasticity.
+/// Rows are forgivingly renormalized (Create semantics) — right for
+/// hand-authored files, wrong for bitwise round-trips.
 StatusOr<StochasticMatrix> ParseStochasticMatrix(const std::string& text);
+
+/// \brief Parses with CreateExact semantics: entries keep their exact
+/// bit patterns (no renormalization). The round-trip path for
+/// machine-written matrices — accountant blobs and the release
+/// service's WAL/snapshots parse through this so replayed accounting
+/// stays bitwise identical.
+StatusOr<StochasticMatrix> ParseStochasticMatrixExact(
+    const std::string& text);
 
 /// \brief Serializes with full double precision, one row per line.
 std::string SerializeStochasticMatrix(const StochasticMatrix& matrix,

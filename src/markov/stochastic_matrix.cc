@@ -43,6 +43,33 @@ StatusOr<StochasticMatrix> StochasticMatrix::Create(Matrix m, double tol) {
   return StochasticMatrix(std::move(m));
 }
 
+StatusOr<StochasticMatrix> StochasticMatrix::CreateExact(Matrix m,
+                                                         double tol) {
+  if (m.rows() != m.cols() || m.rows() == 0) {
+    return Status::InvalidArgument(
+        "StochasticMatrix::CreateExact: matrix must be square and "
+        "non-empty");
+  }
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      const double v = m.At(r, c);
+      if (!(v >= 0.0) || !(v <= 1.0)) {
+        return Status::InvalidArgument(
+            "StochasticMatrix::CreateExact: entry (" + std::to_string(r) +
+            "," + std::to_string(c) + ") outside [0,1]");
+      }
+      sum += v;
+    }
+    if (std::fabs(sum - 1.0) > tol) {
+      return Status::InvalidArgument(
+          "StochasticMatrix::CreateExact: row " + std::to_string(r) +
+          " sums to " + std::to_string(sum) + ", expected 1");
+    }
+  }
+  return StochasticMatrix(std::move(m));
+}
+
 StochasticMatrix StochasticMatrix::FromRows(
     std::initializer_list<std::initializer_list<double>> rows) {
   auto result = Create(Matrix(rows));

@@ -37,6 +37,15 @@ class StochasticMatrix {
   /// not summing to 1 within \p tol. Rows are re-normalized exactly.
   static StatusOr<StochasticMatrix> Create(Matrix m, double tol = 1e-6);
 
+  /// Validates like Create but preserves every entry's exact bit
+  /// pattern — no clamping, no row renormalization. This is the
+  /// round-trip path for machine-written matrices (accountant blobs,
+  /// WAL/snapshot records), where Create's forgiving `/ sum`
+  /// renormalization would shift entries by ULPs on every
+  /// serialize/parse cycle and break bitwise replay.
+  static StatusOr<StochasticMatrix> CreateExact(Matrix m,
+                                                double tol = 1e-6);
+
   /// Convenience for tests/examples: builds from an initializer list and
   /// asserts validity.
   static StochasticMatrix FromRows(

@@ -1,0 +1,225 @@
+#include "server/event_log.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "common/binary_io.h"
+
+namespace tcdp {
+namespace server {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'C', 'D', 'P', 'W', 'A', 'L', '1'};
+constexpr std::size_t kHeaderBytes = 1 + 4 + 4;  // type + len + crc
+
+Status ErrnoStatus(const std::string& op, const std::string& path) {
+  return Status::Internal(op + " " + path + ": " + std::strerror(errno));
+}
+
+bool ValidEventType(std::uint8_t type) {
+  switch (static_cast<EventType>(type)) {
+    case EventType::kManifest:
+    case EventType::kAddUser:
+    case EventType::kRelease:
+    case EventType::kSnapHeader:
+    case EventType::kSnapUser:
+    case EventType::kSnapRelease:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+EventLogWriter::~EventLogWriter() {
+  if (fd_ >= 0) {
+    (void)Flush();
+    ::close(fd_);
+  }
+}
+
+EventLogWriter::EventLogWriter(EventLogWriter&& other) noexcept
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      buffer_(std::move(other.buffer_)),
+      bytes_written_(other.bytes_written_),
+      records_written_(other.records_written_) {
+  other.fd_ = -1;
+}
+
+EventLogWriter& EventLogWriter::operator=(EventLogWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      (void)Flush();
+      ::close(fd_);
+    }
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    buffer_ = std::move(other.buffer_);
+    bytes_written_ = other.bytes_written_;
+    records_written_ = other.records_written_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+StatusOr<EventLogWriter> EventLogWriter::Create(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return ErrnoStatus("EventLogWriter::Create", path);
+  EventLogWriter writer;
+  writer.fd_ = fd;
+  writer.path_ = path;
+  writer.buffer_.append(kMagic, sizeof(kMagic));
+  writer.bytes_written_ = sizeof(kMagic);
+  return writer;
+}
+
+StatusOr<EventLogWriter> EventLogWriter::OpenForAppend(
+    const std::string& path, std::uint64_t resume_offset,
+    std::uint64_t resume_records) {
+  const int fd = ::open(path.c_str(), O_WRONLY, 0644);
+  if (fd < 0) return ErrnoStatus("EventLogWriter::OpenForAppend", path);
+  if (::lseek(fd, static_cast<off_t>(resume_offset), SEEK_SET) < 0) {
+    ::close(fd);
+    return ErrnoStatus("EventLogWriter::OpenForAppend lseek", path);
+  }
+  EventLogWriter writer;
+  writer.fd_ = fd;
+  writer.path_ = path;
+  writer.bytes_written_ = resume_offset;
+  writer.records_written_ = resume_records;
+  return writer;
+}
+
+Status EventLogWriter::Append(EventType type, const std::string& payload) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("EventLogWriter: appending to a closed log");
+  }
+  if (payload.size() > 0xFFFFFFFFull) {
+    return Status::InvalidArgument("EventLogWriter: payload exceeds 4 GiB");
+  }
+  const std::uint8_t type_byte = static_cast<std::uint8_t>(type);
+  std::uint32_t crc = Crc32(&type_byte, 1);
+  crc = Crc32(payload.data(), payload.size(), crc);
+  buffer_.push_back(static_cast<char>(type_byte));
+  PutFixed32(&buffer_, static_cast<std::uint32_t>(payload.size()));
+  PutFixed32(&buffer_, crc);
+  buffer_.append(payload);
+  bytes_written_ += kHeaderBytes + payload.size();
+  ++records_written_;
+  return Status::OK();
+}
+
+Status EventLogWriter::Flush() {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("EventLogWriter: flushing a closed log");
+  }
+  const char* data = buffer_.data();
+  std::size_t left = buffer_.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return ErrnoStatus("EventLogWriter::Flush write", path_);
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  buffer_.clear();
+  return Status::OK();
+}
+
+Status EventLogWriter::Sync() {
+  TCDP_RETURN_IF_ERROR(Flush());
+  if (::fdatasync(fd_) < 0) {
+    return ErrnoStatus("EventLogWriter::Sync fdatasync", path_);
+  }
+  return Status::OK();
+}
+
+Status EventLogWriter::Close() {
+  if (fd_ < 0) return Status::OK();
+  const Status flushed = Flush();
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (!flushed.ok()) return flushed;
+  if (rc < 0) return ErrnoStatus("EventLogWriter::Close", path_);
+  return Status::OK();
+}
+
+StatusOr<ReadLogResult> ReadEventLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("ReadEventLog: cannot open " + path);
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (contents.size() < sizeof(kMagic) ||
+      std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("ReadEventLog: " + path +
+                                   " is not a tcdp event log (bad magic)");
+  }
+  ReadLogResult result;
+  std::size_t pos = sizeof(kMagic);
+  result.valid_bytes = pos;
+  while (pos < contents.size()) {
+    if (contents.size() - pos < kHeaderBytes) {
+      result.clean = false;
+      result.tail_error = "truncated record header at offset " +
+                          std::to_string(pos);
+      break;
+    }
+    const std::uint8_t type_byte =
+        static_cast<std::uint8_t>(contents[pos]);
+    BinaryCursor cursor(contents.data() + pos + 1, 8);
+    std::uint32_t payload_len = 0;
+    std::uint32_t stored_crc = 0;
+    (void)cursor.ReadFixed32(&payload_len);
+    (void)cursor.ReadFixed32(&stored_crc);
+    if (!ValidEventType(type_byte)) {
+      result.clean = false;
+      result.tail_error = "unknown record type " +
+                          std::to_string(type_byte) + " at offset " +
+                          std::to_string(pos);
+      break;
+    }
+    if (contents.size() - pos - kHeaderBytes < payload_len) {
+      result.clean = false;
+      result.tail_error = "truncated record payload at offset " +
+                          std::to_string(pos);
+      break;
+    }
+    const char* payload = contents.data() + pos + kHeaderBytes;
+    std::uint32_t crc = Crc32(&type_byte, 1);
+    crc = Crc32(payload, payload_len, crc);
+    if (crc != stored_crc) {
+      result.clean = false;
+      result.tail_error =
+          "CRC mismatch at offset " + std::to_string(pos);
+      break;
+    }
+    EventRecord record;
+    record.type = static_cast<EventType>(type_byte);
+    record.payload.assign(payload, payload_len);
+    result.records.push_back(std::move(record));
+    pos += kHeaderBytes + payload_len;
+    result.record_end.push_back(pos);
+    result.valid_bytes = pos;
+  }
+  return result;
+}
+
+Status TruncateFile(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) < 0) {
+    return ErrnoStatus("TruncateFile", path);
+  }
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace tcdp

@@ -1,0 +1,96 @@
+#ifndef TCDP_SERVER_RECORDS_H_
+#define TCDP_SERVER_RECORDS_H_
+
+/// \file
+/// Typed payload codecs for the event-log record types (event_log.h
+/// owns the framing + CRC; this file owns what goes inside).
+///
+/// Wire conventions: little-endian fixed ints, LEB128 varints, doubles
+/// as raw IEEE-754 bits (bitwise replay), strings length-prefixed,
+/// participation masks via the PackedMask codec. Correlation matrices
+/// travel inside the "tcdp-accountant-v2" text blob (core's
+/// AccountantImage serializer) so the durable formats share one matrix
+/// grammar with accountant persistence.
+///
+/// Every decoder is total: truncated or corrupted payloads (those that
+/// survive the frame CRC, e.g. hand-edited files) come back as Status,
+/// never UB.
+
+#include <cstdint>
+#include <string>
+
+#include "common/packed_mask.h"
+#include "common/status.h"
+#include "core/tpl_accountant.h"
+
+namespace tcdp {
+namespace server {
+
+/// First record of every shard WAL: identity + the accounting options
+/// the rest of the log must be replayed under.
+struct ManifestRecord {
+  std::uint64_t format_version = 1;
+  std::uint64_t shard_index = 0;
+  std::uint64_t num_shards = 1;
+  bool share_loss_cache = true;
+  double alpha_resolution = 1e-9;
+};
+
+/// A user enrolled on this shard. The embedded accountant image carries
+/// the correlation matrices and quantization; its epsilon list is empty
+/// (history lives in the release records).
+struct AddUserRecord {
+  std::string name;
+  AccountantImage image;
+};
+
+/// One global release: every shard logs one of these per global time
+/// step, with its local participation. An All mask means every user
+/// enrolled on the shard at that point participated.
+struct ReleaseRecord {
+  double epsilon = 0.0;
+  bool all = false;
+  PackedMask mask;  ///< over shard-local user indices when !all
+};
+
+/// Snapshot prologue: how much of the WAL the snapshot reflects and
+/// what the state dimensions are (readers validate counts against it).
+/// Carries the quantization itself so a zero-user shard's snapshot is
+/// still fully self-describing.
+struct SnapHeaderRecord {
+  std::uint64_t applied_records = 0;  ///< WAL records (manifest included)
+  std::uint64_t horizon = 0;
+  std::uint64_t num_users = 0;
+  double alpha_resolution = -1.0;
+};
+
+/// Snapshot per-user record: name + running columns + the v2 accountant
+/// blob (correlations/quantization; empty epsilon list — the schedule
+/// and masks are snapshotted once globally, not per user).
+struct SnapUserRecord {
+  std::string name;
+  std::uint64_t join = 0;
+  double bpl_last = 0.0;
+  double eps_sum = 0.0;
+  AccountantImage image;
+};
+
+std::string EncodeManifest(const ManifestRecord& record);
+StatusOr<ManifestRecord> DecodeManifest(const std::string& payload);
+
+std::string EncodeAddUser(const AddUserRecord& record);
+StatusOr<AddUserRecord> DecodeAddUser(const std::string& payload);
+
+std::string EncodeRelease(const ReleaseRecord& record);
+StatusOr<ReleaseRecord> DecodeRelease(const std::string& payload);
+
+std::string EncodeSnapHeader(const SnapHeaderRecord& record);
+StatusOr<SnapHeaderRecord> DecodeSnapHeader(const std::string& payload);
+
+std::string EncodeSnapUser(const SnapUserRecord& record);
+StatusOr<SnapUserRecord> DecodeSnapUser(const std::string& payload);
+
+}  // namespace server
+}  // namespace tcdp
+
+#endif  // TCDP_SERVER_RECORDS_H_

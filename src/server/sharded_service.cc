@@ -1,0 +1,804 @@
+#include "server/sharded_service.h"
+
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <utility>
+
+#include "core/accountant_bank.h"
+#include "server/event_log.h"
+#include "server/records.h"
+#include "server/snapshot.h"
+
+namespace tcdp {
+namespace server {
+namespace {
+
+constexpr char kManifestFile[] = "MANIFEST";
+constexpr char kManifestHeader[] = "tcdp-shard-manifest-v1";
+
+std::string ShardWalPath(const std::string& dir, std::size_t shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".wal";
+}
+
+std::string ShardSnapPath(const std::string& dir, std::size_t shard) {
+  return dir + "/shard-" + std::to_string(shard) + ".snap";
+}
+
+AccountantBankOptions BankOptions(const ShardedServiceOptions& options) {
+  AccountantBankOptions bank;
+  bank.share_loss_cache = options.share_loss_cache;
+  bank.cache = options.cache;
+  return bank;
+}
+
+Status WriteManifestFile(const std::string& dir,
+                         const ShardedServiceOptions& options) {
+  const std::string path = std::string(dir) + "/" + kManifestFile;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp);
+    if (!out) return Status::Internal("cannot write " + tmp);
+    out.precision(17);
+    out << kManifestHeader << "\n"
+        << "shards " << options.num_shards << "\n"
+        << "batch_window " << options.batch_window << "\n"
+        << "queue_capacity " << options.queue_capacity << "\n"
+        << "snapshot_every " << options.snapshot_every << "\n"
+        << "sync_every " << options.sync_every << "\n"
+        << "share_cache " << (options.share_loss_cache ? 1 : 0) << "\n"
+        << "alpha_resolution " << options.cache.alpha_resolution << "\n";
+    if (!out) return Status::Internal("cannot write " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+StatusOr<ShardedServiceOptions> ReadManifestFile(const std::string& dir) {
+  const std::string path = std::string(dir) + "/" + kManifestFile;
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("no manifest at " + path);
+  std::string header;
+  if (!std::getline(in, header) || header != kManifestHeader) {
+    return Status::InvalidArgument(path + ": bad manifest header");
+  }
+  ShardedServiceOptions options;
+  std::string key;
+  while (in >> key) {
+    // A key whose value fails to parse is corruption, not EOF: silently
+    // stopping here would hand back default options for everything the
+    // loop never reached.
+    auto bad_value = [&] {
+      return Status::InvalidArgument(path + ": malformed value for '" +
+                                     key + "'");
+    };
+    if (key == "shards") {
+      if (!(in >> options.num_shards)) return bad_value();
+    } else if (key == "batch_window") {
+      if (!(in >> options.batch_window)) return bad_value();
+    } else if (key == "queue_capacity") {
+      if (!(in >> options.queue_capacity)) return bad_value();
+    } else if (key == "snapshot_every") {
+      if (!(in >> options.snapshot_every)) return bad_value();
+    } else if (key == "sync_every") {
+      if (!(in >> options.sync_every)) return bad_value();
+    } else if (key == "share_cache") {
+      int v = 0;
+      if (!(in >> v)) return bad_value();
+      options.share_loss_cache = v != 0;
+    } else if (key == "alpha_resolution") {
+      if (!(in >> options.cache.alpha_resolution)) return bad_value();
+    } else {
+      // Unknown keys are forward-compatible: skip the value.
+      std::string ignored;
+      if (!(in >> ignored)) return bad_value();
+    }
+  }
+  if (options.num_shards == 0 || options.batch_window == 0 ||
+      options.queue_capacity == 0 ||
+      !std::isfinite(options.cache.alpha_resolution)) {
+    return Status::InvalidArgument(path + ": malformed manifest values");
+  }
+  return options;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- commands
+
+namespace {
+
+struct ShardCommand {
+  enum class Kind { kAddUser, kRelease, kSnapshot };
+  Kind kind = Kind::kRelease;
+  // kAddUser
+  std::string name;
+  TemporalCorrelations correlations = TemporalCorrelations::None();
+  // kRelease
+  double epsilon = 0.0;
+  bool all = false;
+  std::vector<std::size_t> participants;  ///< shard-local indices
+};
+
+}  // namespace
+
+struct ShardedReleaseService::PendingGroup {
+  double epsilon = 0.0;
+  bool all = false;
+  std::vector<std::vector<std::size_t>> per_shard;  ///< local indices
+  std::unordered_set<std::uint64_t> seen;           ///< dedup keys
+};
+
+// ------------------------------------------------------------------ shard
+
+struct ShardedReleaseService::Shard {
+  std::size_t index = 0;
+  const ShardedServiceOptions* options = nullptr;
+  AccountantBank bank;
+  std::vector<std::string> names;
+
+  bool durable = false;
+  EventLogWriter wal;
+  std::string snap_path;
+  std::uint64_t wal_records = 0;  ///< manifest included
+  std::uint64_t releases_since_snapshot = 0;
+  std::uint64_t releases_since_sync = 0;
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t replayed_records = 0;
+  bool restored_from_snapshot = false;
+
+  std::mutex mu;
+  std::condition_variable cv_push;  ///< producers wait for queue space
+  std::condition_variable cv_pop;   ///< worker waits for commands
+  std::condition_variable cv_idle;  ///< Drain waits for quiescence
+  std::deque<ShardCommand> queue;
+  bool busy = false;
+  bool stop = false;
+  Status first_error;
+  std::thread worker;
+
+  explicit Shard(const ShardedServiceOptions& opts)
+      : options(&opts), bank(BankOptions(opts)) {}
+
+  ~Shard() { StopAndJoin(); }
+
+  void Start() {
+    worker = std::thread([this] { Loop(); });
+  }
+
+  void Push(ShardCommand command) {
+    std::unique_lock<std::mutex> lock(mu);
+    cv_push.wait(lock, [this] {
+      return queue.size() < options->queue_capacity || stop;
+    });
+    if (stop) return;
+    queue.push_back(std::move(command));
+    cv_pop.notify_one();
+  }
+
+  /// Blocks until the queue is empty and the worker idle.
+  Status Drain() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv_idle.wait(lock, [this] { return (queue.empty() && !busy) || stop; });
+    return first_error;
+  }
+
+  void StopAndJoin() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (stop && !worker.joinable()) return;
+      stop = true;
+    }
+    cv_pop.notify_all();
+    cv_push.notify_all();
+    if (worker.joinable()) worker.join();
+  }
+
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu);
+    for (;;) {
+      cv_pop.wait(lock, [this] { return stop || !queue.empty(); });
+      if (queue.empty()) return;  // stop requested and queue drained
+      ShardCommand command = std::move(queue.front());
+      queue.pop_front();
+      busy = true;
+      lock.unlock();
+      cv_push.notify_one();
+      // Fail-stop: after the first error the shard consumes (and
+      // drops) commands so producers never deadlock, but neither the
+      // WAL nor the bank advance — a half-applied shard would no
+      // longer match its own log.
+      Status applied = Status::OK();
+      {
+        std::lock_guard<std::mutex> peek(mu);
+        applied = first_error;
+      }
+      if (applied.ok()) applied = Apply(std::move(command));
+      lock.lock();
+      if (!applied.ok() && first_error.ok()) first_error = applied;
+      busy = false;
+      if (queue.empty()) cv_idle.notify_all();
+    }
+  }
+
+  Status Apply(ShardCommand command) {
+    switch (command.kind) {
+      case ShardCommand::Kind::kAddUser:
+        return ApplyAddUser(std::move(command));
+      case ShardCommand::Kind::kRelease:
+        return ApplyRelease(std::move(command));
+      case ShardCommand::Kind::kSnapshot:
+        return WriteSnapshotNow();
+    }
+    return Status::Internal("unknown shard command");
+  }
+
+  Status ApplyAddUser(ShardCommand command) {
+    if (durable) {
+      AddUserRecord record;
+      record.name = command.name;
+      record.image.correlations = command.correlations;
+      record.image.cache_alpha_resolution = bank.cache_alpha_resolution();
+      TCDP_RETURN_IF_ERROR(
+          wal.Append(EventType::kAddUser, EncodeAddUser(record)));
+      ++wal_records;
+    }
+    bank.AddUser(std::move(command.correlations));
+    names.push_back(std::move(command.name));
+    return Status::OK();
+  }
+
+  Status ApplyRelease(ShardCommand command) {
+    if (durable) {
+      ReleaseRecord record;
+      record.epsilon = command.epsilon;
+      record.all = command.all;
+      if (!command.all) {
+        std::vector<std::uint64_t> words((names.size() + 63) / 64, 0);
+        for (std::size_t local : command.participants) {
+          words[local >> 6] |= std::uint64_t{1} << (local & 63u);
+        }
+        record.mask = PackedMask::FromWords(std::move(words));
+      }
+      TCDP_RETURN_IF_ERROR(
+          wal.Append(EventType::kRelease, EncodeRelease(record)));
+      ++wal_records;
+    }
+    TCDP_RETURN_IF_ERROR(command.all
+                             ? bank.RecordRelease(command.epsilon)
+                             : bank.RecordRelease(command.epsilon,
+                                                  command.participants));
+    if (durable) {
+      ++releases_since_sync;
+      if (options->sync_every > 0 &&
+          releases_since_sync >= options->sync_every) {
+        TCDP_RETURN_IF_ERROR(wal.Sync());
+        releases_since_sync = 0;
+      } else {
+        TCDP_RETURN_IF_ERROR(wal.Flush());
+      }
+      ++releases_since_snapshot;
+      if (options->snapshot_every > 0 &&
+          releases_since_snapshot >= options->snapshot_every) {
+        TCDP_RETURN_IF_ERROR(WriteSnapshotNow());
+      }
+    }
+    return Status::OK();
+  }
+
+  Status WriteSnapshotNow() {
+    if (!durable) {
+      return Status::FailedPrecondition(
+          "shard snapshot requested on an ephemeral service");
+    }
+    // The WAL must be on disk before a snapshot may claim to cover it.
+    TCDP_RETURN_IF_ERROR(wal.Sync());
+    releases_since_sync = 0;
+    ShardSnapshot snapshot;
+    snapshot.applied_records = wal_records;
+    snapshot.names = names;
+    snapshot.bank = bank.ExportImage();
+    snapshot.alpha_resolution = bank.cache_alpha_resolution();
+    TCDP_RETURN_IF_ERROR(WriteShardSnapshot(snap_path, snapshot));
+    ++snapshots_written;
+    releases_since_snapshot = 0;
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------- service
+
+std::size_t ShardedReleaseService::ShardOf(const std::string& name,
+                                           std::size_t num_shards) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a 64
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return num_shards <= 1 ? 0 : static_cast<std::size_t>(h % num_shards);
+}
+
+ShardedReleaseService::ShardedReleaseService(ShardedServiceOptions options)
+    : options_(std::move(options)) {
+  if (options_.num_shards == 0) options_.num_shards = 1;
+  if (options_.batch_window == 0) options_.batch_window = 1;
+  if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+}
+
+ShardedReleaseService::~ShardedReleaseService() { (void)Close(); }
+
+Status ShardedReleaseService::InitShardsFresh(const std::string& log_dir) {
+  log_dir_ = log_dir;
+  shard_user_count_.assign(options_.num_shards, 0);
+  for (std::size_t i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>(options_);
+    shard->index = i;
+    if (!log_dir_.empty()) {
+      shard->durable = true;
+      shard->snap_path = ShardSnapPath(log_dir_, i);
+      TCDP_ASSIGN_OR_RETURN(
+          shard->wal, EventLogWriter::Create(ShardWalPath(log_dir_, i)));
+      ManifestRecord manifest;
+      manifest.shard_index = i;
+      manifest.num_shards = options_.num_shards;
+      manifest.share_loss_cache = options_.share_loss_cache;
+      manifest.alpha_resolution = options_.cache.alpha_resolution;
+      TCDP_RETURN_IF_ERROR(shard->wal.Append(EventType::kManifest,
+                                             EncodeManifest(manifest)));
+      TCDP_RETURN_IF_ERROR(shard->wal.Sync());
+      shard->wal_records = 1;
+    }
+    shard->Start();
+    shards_.push_back(std::move(shard));
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<ShardedReleaseService>> ShardedReleaseService::Create(
+    const std::string& log_dir, ShardedServiceOptions options) {
+  std::unique_ptr<ShardedReleaseService> service(
+      new ShardedReleaseService(std::move(options)));
+  if (!log_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(log_dir, ec);
+    if (ec) {
+      return Status::Internal("cannot create log dir " + log_dir + ": " +
+                              ec.message());
+    }
+    if (std::filesystem::exists(log_dir + "/" + kManifestFile)) {
+      return Status::AlreadyExists(log_dir +
+                                   " already holds a service (use Recover)");
+    }
+  }
+  TCDP_RETURN_IF_ERROR(service->InitShardsFresh(log_dir));
+  // The MANIFEST is the directory's commit point: written only after
+  // every shard WAL exists with a synced manifest record. A crash
+  // before this line leaves a manifest-less directory that a rerun of
+  // Create simply re-initializes (no AlreadyExists wedge).
+  if (!log_dir.empty()) {
+    TCDP_RETURN_IF_ERROR(WriteManifestFile(log_dir, service->options_));
+  }
+  return service;
+}
+
+StatusOr<std::unique_ptr<ShardedReleaseService>>
+ShardedReleaseService::Recover(const std::string& log_dir) {
+  TCDP_ASSIGN_OR_RETURN(ShardedServiceOptions options,
+                        ReadManifestFile(log_dir));
+  std::unique_ptr<ShardedReleaseService> service(
+      new ShardedReleaseService(std::move(options)));
+  service->log_dir_ = log_dir;
+  const std::size_t num_shards = service->options_.num_shards;
+
+  // Pass 1: scan every shard's valid WAL prefix and find the minimum
+  // common horizon — a global release is committed only when every
+  // shard holds it.
+  std::vector<ReadLogResult> logs;
+  logs.reserve(num_shards);
+  std::size_t global_horizon = SIZE_MAX;
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    TCDP_ASSIGN_OR_RETURN(ReadLogResult log,
+                          ReadEventLog(ShardWalPath(log_dir, i)));
+    if (log.records.empty() ||
+        log.records[0].type != EventType::kManifest) {
+      return Status::InvalidArgument("shard " + std::to_string(i) +
+                                     " WAL has no manifest record");
+    }
+    TCDP_ASSIGN_OR_RETURN(ManifestRecord manifest,
+                          DecodeManifest(log.records[0].payload));
+    if (manifest.shard_index != i || manifest.num_shards != num_shards) {
+      return Status::InvalidArgument(
+          "shard " + std::to_string(i) +
+          " WAL manifest disagrees with the directory MANIFEST");
+    }
+    std::size_t releases = 0;
+    for (const EventRecord& record : log.records) {
+      if (record.type == EventType::kRelease) ++releases;
+    }
+    global_horizon = std::min(global_horizon, releases);
+    logs.push_back(std::move(log));
+  }
+  if (global_horizon == SIZE_MAX) global_horizon = 0;
+
+  // Pass 2: per shard, cut the log at the common horizon (keeping any
+  // trailing joins), restore snapshot + replay the suffix, truncate,
+  // and reopen for append.
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    const ReadLogResult& log = logs[i];
+    std::size_t keep = log.records.size();
+    std::size_t releases = 0;
+    for (std::size_t r = 0; r < log.records.size(); ++r) {
+      if (log.records[r].type != EventType::kRelease) continue;
+      ++releases;
+      if (releases == global_horizon) {
+        keep = r + 1;
+        // Joins after the last committed release are shard-local
+        // facts; keep them (the user exists with an empty series).
+        while (keep < log.records.size() &&
+               log.records[keep].type == EventType::kAddUser) {
+          ++keep;
+        }
+        break;
+      }
+    }
+    if (global_horizon == 0) {
+      keep = 1;  // manifest
+      while (keep < log.records.size() &&
+             log.records[keep].type == EventType::kAddUser) {
+        ++keep;
+      }
+    }
+
+    auto shard = std::make_unique<Shard>(service->options_);
+    shard->index = i;
+    shard->durable = true;
+    shard->snap_path = ShardSnapPath(log_dir, i);
+
+    // Snapshot restore when one exists, is readable, and fits inside
+    // the kept prefix; anything else falls back to full replay.
+    std::size_t replay_from = 1;
+    if (std::filesystem::exists(shard->snap_path)) {
+      auto snapshot = ReadShardSnapshot(shard->snap_path);
+      if (snapshot.ok() && snapshot->applied_records <= keep &&
+          snapshot->bank.schedule.size() <= global_horizon) {
+        // Cross-check: the snapshot's horizon must equal the number of
+        // releases among the records it claims to cover.
+        std::size_t covered = 0;
+        for (std::size_t r = 0; r < snapshot->applied_records; ++r) {
+          if (log.records[r].type == EventType::kRelease) ++covered;
+        }
+        if (covered == snapshot->bank.schedule.size() &&
+            snapshot->alpha_resolution ==
+                shard->bank.cache_alpha_resolution()) {
+          auto restored = AccountantBank::Restore(
+              std::move(snapshot->bank), BankOptions(service->options_));
+          if (restored.ok()) {
+            shard->bank = std::move(restored).value();
+            shard->names = std::move(snapshot->names);
+            replay_from = static_cast<std::size_t>(snapshot->applied_records);
+            shard->restored_from_snapshot = true;
+          }
+        }
+      }
+    }
+
+    for (std::size_t r = replay_from; r < keep; ++r) {
+      const EventRecord& record = log.records[r];
+      if (record.type == EventType::kAddUser) {
+        TCDP_ASSIGN_OR_RETURN(AddUserRecord add,
+                              DecodeAddUser(record.payload));
+        shard->bank.AddUser(std::move(add.image.correlations));
+        shard->names.push_back(std::move(add.name));
+      } else if (record.type == EventType::kRelease) {
+        TCDP_ASSIGN_OR_RETURN(ReleaseRecord release,
+                              DecodeRelease(record.payload));
+        if (release.all) {
+          TCDP_RETURN_IF_ERROR(shard->bank.RecordRelease(release.epsilon));
+        } else {
+          std::vector<std::size_t> participants;
+          for (std::size_t u = 0; u < shard->names.size(); ++u) {
+            if (release.mask.bit(u)) participants.push_back(u);
+          }
+          TCDP_RETURN_IF_ERROR(
+              shard->bank.RecordRelease(release.epsilon, participants));
+        }
+      } else {
+        return Status::InvalidArgument(
+            "shard " + std::to_string(i) + " WAL record " +
+            std::to_string(r) + " has unexpected type");
+      }
+      ++shard->replayed_records;
+    }
+
+    const std::uint64_t resume_offset =
+        keep > 0 ? log.record_end[keep - 1] : log.valid_bytes;
+    TCDP_RETURN_IF_ERROR(
+        TruncateFile(ShardWalPath(log_dir, i), resume_offset));
+    TCDP_ASSIGN_OR_RETURN(
+        shard->wal,
+        EventLogWriter::OpenForAppend(ShardWalPath(log_dir, i),
+                                      resume_offset, keep));
+    shard->wal_records = keep;
+
+    for (std::size_t u = 0; u < shard->names.size(); ++u) {
+      auto [it, inserted] = service->registry_.try_emplace(
+          shard->names[u], static_cast<std::uint32_t>(i),
+          static_cast<std::uint32_t>(u));
+      if (!inserted) {
+        return Status::InvalidArgument("user '" + shard->names[u] +
+                                       "' appears on two shards");
+      }
+    }
+    service->shard_user_count_.push_back(
+        static_cast<std::uint32_t>(shard->names.size()));
+    shard->Start();
+    service->shards_.push_back(std::move(shard));
+  }
+  return service;
+}
+
+Status ShardedReleaseService::Join(const std::string& name,
+                                   TemporalCorrelations correlations) {
+  if (closed_) {
+    return Status::FailedPrecondition("service is closed");
+  }
+  const std::size_t shard = ShardOf(name, shards_.size());
+  const std::uint32_t local = shard_user_count_[shard];
+  auto [it, inserted] = registry_.try_emplace(
+      name, static_cast<std::uint32_t>(shard), local);
+  if (!inserted) {
+    return Status::AlreadyExists("user '" + name + "' already joined");
+  }
+  ++shard_user_count_[shard];
+  pending_joins_.push_back(
+      PendingJoin{name, std::move(correlations), shard});
+  ++stats_.join_requests;
+  if (++window_count_ >= options_.batch_window) return Tick();
+  return Status::OK();
+}
+
+Status ShardedReleaseService::Release(const std::string& name,
+                                      double epsilon) {
+  if (closed_) {
+    return Status::FailedPrecondition("service is closed");
+  }
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "Release: epsilon must be finite and > 0");
+  }
+  const auto it = registry_.find(name);
+  if (it == registry_.end()) {
+    return Status::NotFound("user '" + name + "' has not joined");
+  }
+  PendingGroup& group = GroupFor(epsilon);
+  if (!group.all) {
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(it->second.first) << 32) |
+        it->second.second;
+    if (group.seen.insert(key).second) {
+      group.per_shard[it->second.first].push_back(it->second.second);
+    }
+  }
+  ++stats_.release_requests;
+  if (++window_count_ >= options_.batch_window) return Tick();
+  return Status::OK();
+}
+
+Status ShardedReleaseService::ReleaseAll(double epsilon) {
+  if (closed_) {
+    return Status::FailedPrecondition("service is closed");
+  }
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(
+        "ReleaseAll: epsilon must be finite and > 0");
+  }
+  GroupFor(epsilon).all = true;
+  ++stats_.release_requests;
+  if (++window_count_ >= options_.batch_window) return Tick();
+  return Status::OK();
+}
+
+ShardedReleaseService::PendingGroup& ShardedReleaseService::GroupFor(
+    double epsilon) {
+  for (auto& candidate : pending_groups_) {
+    if (candidate->epsilon == epsilon) return *candidate;
+  }
+  auto fresh = std::make_unique<PendingGroup>();
+  fresh->epsilon = epsilon;
+  fresh->per_shard.resize(shards_.size());
+  pending_groups_.push_back(std::move(fresh));
+  return *pending_groups_.back();
+}
+
+Status ShardedReleaseService::Tick() {
+  window_count_ = 0;
+  if (pending_joins_.empty() && pending_groups_.empty()) {
+    return Status::OK();
+  }
+  for (PendingJoin& join : pending_joins_) {
+    ShardCommand command;
+    command.kind = ShardCommand::Kind::kAddUser;
+    command.name = std::move(join.name);
+    command.correlations = std::move(join.correlations);
+    shards_[join.shard]->Push(std::move(command));
+  }
+  pending_joins_.clear();
+  for (auto& group : pending_groups_) {
+    // One global time step: EVERY shard records this release, so all
+    // users' skip-leakage propagates and shards share one time axis.
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      ShardCommand command;
+      command.kind = ShardCommand::Kind::kRelease;
+      command.epsilon = group->epsilon;
+      command.all = group->all;
+      if (!group->all) {
+        command.participants = std::move(group->per_shard[s]);
+      }
+      shards_[s]->Push(std::move(command));
+    }
+    ++stats_.global_releases;
+  }
+  pending_groups_.clear();
+  ++stats_.ticks;
+  return Status::OK();
+}
+
+Status ShardedReleaseService::DrainShard(std::size_t shard) {
+  return shards_[shard]->Drain();
+}
+
+Status ShardedReleaseService::DrainAll() {
+  Status first = Status::OK();
+  for (auto& shard : shards_) {
+    const Status drained = shard->Drain();
+    if (!drained.ok() && first.ok()) first = drained;
+  }
+  return first;
+}
+
+Status ShardedReleaseService::Flush() {
+  if (closed_) {
+    return Status::FailedPrecondition("service is closed");
+  }
+  TCDP_RETURN_IF_ERROR(Tick());
+  return DrainAll();
+}
+
+Status ShardedReleaseService::Snapshot() {
+  if (log_dir_.empty()) {
+    // Reject up front: pushing the command would store FailedPrecondition
+    // as every shard's first_error and fail-stop the whole service.
+    return Status::FailedPrecondition(
+        "snapshot requested on an ephemeral service (no log dir)");
+  }
+  TCDP_RETURN_IF_ERROR(Flush());
+  for (auto& shard : shards_) {
+    ShardCommand command;
+    command.kind = ShardCommand::Kind::kSnapshot;
+    shard->Push(std::move(command));
+  }
+  return DrainAll();
+}
+
+StatusOr<UserReport> ShardedReleaseService::Query(const std::string& name) {
+  if (closed_) {
+    return Status::FailedPrecondition("service is closed");
+  }
+  const auto it = registry_.find(name);
+  if (it == registry_.end()) {
+    return Status::NotFound("user '" + name + "' has not joined");
+  }
+  // A query closes the current window: everything submitted before it
+  // is assigned a time step and applied before we read.
+  TCDP_RETURN_IF_ERROR(Tick());
+  TCDP_RETURN_IF_ERROR(DrainShard(it->second.first));
+  const Shard& shard = *shards_[it->second.first];
+  const std::size_t local = it->second.second;
+  if (local >= shard.bank.num_users()) {
+    return Status::Internal("user '" + name + "' not applied after drain");
+  }
+  UserReport report;
+  report.name = name;
+  report.shard = it->second.first;
+  report.join_release = shard.bank.join_release(local);
+  report.horizon = shard.bank.user_horizon(local);
+  report.max_tpl = shard.bank.MaxTplFor(local);
+  report.user_level_tpl = shard.bank.UserEpsSum(local);
+  report.epsilons = shard.bank.EpsilonsFor(local);
+  report.tpl_series = shard.bank.TplSeriesFor(local);
+  return report;
+}
+
+StatusOr<std::string> ShardedReleaseService::ExportUser(
+    const std::string& name) {
+  if (closed_) {
+    return Status::FailedPrecondition("service is closed");
+  }
+  const auto it = registry_.find(name);
+  if (it == registry_.end()) {
+    return Status::NotFound("user '" + name + "' has not joined");
+  }
+  TCDP_RETURN_IF_ERROR(Tick());
+  TCDP_RETURN_IF_ERROR(DrainShard(it->second.first));
+  const Shard& shard = *shards_[it->second.first];
+  if (it->second.second >= shard.bank.num_users()) {
+    return Status::Internal("user '" + name + "' not applied after drain");
+  }
+  return shard.bank.SerializeUser(it->second.second);
+}
+
+std::size_t ShardedReleaseService::horizon() {
+  if (!closed_) (void)DrainAll();
+  std::size_t h = SIZE_MAX;
+  for (const auto& shard : shards_) {
+    h = std::min(h, shard->bank.horizon());
+  }
+  return shards_.empty() || h == SIZE_MAX ? 0 : h;
+}
+
+StatusOr<double> ShardedReleaseService::OverallAlpha() {
+  TCDP_RETURN_IF_ERROR(Flush());
+  double best = 0.0;
+  for (const auto& shard : shards_) {
+    best = std::max(best, shard->bank.OverallAlpha());
+  }
+  return best;
+}
+
+StatusOr<std::vector<std::pair<std::string, double>>>
+ShardedReleaseService::PersonalizedAlphas() {
+  TCDP_RETURN_IF_ERROR(Flush());
+  std::vector<std::pair<std::string, double>> alphas;
+  alphas.reserve(registry_.size());
+  for (const auto& shard : shards_) {
+    const std::vector<double> local = shard->bank.PersonalizedAlphas();
+    for (std::size_t u = 0; u < local.size(); ++u) {
+      alphas.emplace_back(shard->names[u], local[u]);
+    }
+  }
+  return alphas;
+}
+
+ShardStats ShardedReleaseService::shard_stats(std::size_t shard) {
+  if (!closed_) (void)DrainShard(shard);
+  const Shard& s = *shards_[shard];
+  ShardStats stats;
+  stats.users = s.bank.num_users();
+  stats.horizon = s.bank.horizon();
+  stats.wal_records = s.wal_records;
+  stats.wal_bytes = s.durable ? s.wal.bytes_written() : 0;
+  stats.snapshots_written = s.snapshots_written;
+  stats.replayed_records = s.replayed_records;
+  stats.restored_from_snapshot = s.restored_from_snapshot;
+  return stats;
+}
+
+Status ShardedReleaseService::Close() {
+  if (closed_) return Status::OK();
+  Status first = Tick();
+  for (auto& shard : shards_) {
+    shard->StopAndJoin();
+  }
+  for (auto& shard : shards_) {
+    if (!shard->first_error.ok() && first.ok()) first = shard->first_error;
+    if (shard->durable && shard->wal.is_open()) {
+      const Status synced = shard->wal.Sync();
+      if (!synced.ok() && first.ok()) first = synced;
+      const Status closed = shard->wal.Close();
+      if (!closed.ok() && first.ok()) first = closed;
+    }
+  }
+  closed_ = true;
+  return first;
+}
+
+}  // namespace server
+}  // namespace tcdp

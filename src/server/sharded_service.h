@@ -1,0 +1,229 @@
+#ifndef TCDP_SERVER_SHARDED_SERVICE_H_
+#define TCDP_SERVER_SHARDED_SERVICE_H_
+
+/// \file
+/// ShardedReleaseService: the fleet accounting engine behind a durable,
+/// horizontally partitioned request front.
+///
+///   requests ──► router (hash by user name) ──► micro-batcher
+///                                                  │ tick
+///                          ┌───────────────────────┼──────────────┐
+///                          ▼                       ▼              ▼
+///                    shard 0 queue           shard 1 queue   ... shard N-1
+///                    worker thread           worker thread
+///                    WAL ► bank              WAL ► bank
+///
+/// **Partitioning.** Users are hash-partitioned by name (FNV-1a mod N).
+/// Each shard owns an AccountantBank, its user names, and a dedicated
+/// worker thread consuming a bounded command queue — enqueueing blocks
+/// when the queue is full (backpressure), so a slow shard throttles
+/// ingest instead of buffering unboundedly.
+///
+/// **Micro-batching.** Per-user release requests coalesce: every
+/// `batch_window` requests (or an explicit Flush/Close) ends a batch
+/// with a *tick*. A tick dispatches, per distinct epsilon in
+/// first-seen order, ONE global release: every shard receives a
+/// RecordRelease(eps, local participants) command — shards without
+/// participants record the release with an empty participant list, so
+/// every user's skip-leakage still propagates and all shards share one
+/// global time axis. Joins dispatch at the head of the tick that closes
+/// their window (a user can join and release in the same window).
+/// Batching is purely count/flush-driven — never wall-clock — so a
+/// request stream maps to one deterministic event sequence, and
+/// per-user series are **bitwise independent of the shard count**
+/// (property-tested against the serial TplAccountant reference).
+///
+/// **Durability.** Each shard write-ahead logs every command to its
+/// event log before applying it (src/server/event_log.h), fdatasyncing
+/// every `sync_every` releases, and writes a point-in-time snapshot
+/// (src/server/snapshot.h) every `snapshot_every` releases. `Recover`
+/// reads every shard's valid WAL prefix, aligns all shards to the
+/// minimum common horizon (a global release is committed only once
+/// every shard has logged it), truncates torn or over-the-horizon
+/// tails, restores from snapshots when they fit under that horizon
+/// (replaying only the WAL suffix), and resumes appending. Recovered
+/// per-user TPL series are bitwise identical to the uninterrupted
+/// run's at the recovered horizon.
+///
+/// Thread-compatible like the bank: calls on one service must be
+/// externally serialized (the internal shard parallelism is the
+/// service's own).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "core/loss_cache.h"
+#include "core/temporal_correlations.h"
+
+namespace tcdp {
+namespace server {
+
+struct ShardedServiceOptions {
+  std::size_t num_shards = 1;
+  /// Requests (joins + releases) coalesced per micro-batch tick.
+  std::size_t batch_window = 64;
+  /// Commands a shard queue buffers before enqueueing blocks.
+  std::size_t queue_capacity = 256;
+  /// Releases between automatic per-shard snapshots; 0 disables.
+  std::size_t snapshot_every = 0;
+  /// Releases between WAL fdatasyncs; 0 syncs only at snapshot/close.
+  std::size_t sync_every = 0;
+  bool share_loss_cache = true;
+  /// NOTE: the durable MANIFEST records only `cache.alpha_resolution`
+  /// (and `share_loss_cache`); a non-default `cache.eval` method is
+  /// not persisted, so a recovered service evaluates with the default
+  /// method — bitwise replay is guaranteed for default-eval services
+  /// (which includes everything `tcdp serve` can create).
+  TemporalLossCache::Options cache;
+};
+
+/// Point-in-time view of one user's accounting (Query result).
+struct UserReport {
+  std::string name;
+  std::size_t shard = 0;
+  std::size_t join_release = 0;
+  std::size_t horizon = 0;       ///< length of the user's own series
+  double max_tpl = 0.0;          ///< event-level alpha
+  double user_level_tpl = 0.0;   ///< Corollary 1 budget sum
+  std::vector<double> epsilons;  ///< effective spend sequence (0 = skip)
+  std::vector<double> tpl_series;
+};
+
+struct ShardStats {
+  std::size_t users = 0;
+  std::size_t horizon = 0;
+  std::uint64_t wal_records = 0;  ///< manifest included
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t replayed_records = 0;   ///< WAL records applied by Recover
+  bool restored_from_snapshot = false;
+};
+
+struct ServiceStats {
+  std::uint64_t join_requests = 0;
+  std::uint64_t release_requests = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t global_releases = 0;  ///< global time steps dispatched
+};
+
+class ShardedReleaseService {
+ public:
+  /// Starts a fresh service. \p log_dir empty runs ephemeral (no
+  /// durability); otherwise the directory is created, a MANIFEST and
+  /// per-shard WALs are laid down, and AlreadyExists is returned if a
+  /// MANIFEST is already present (use Recover for that).
+  static StatusOr<std::unique_ptr<ShardedReleaseService>> Create(
+      const std::string& log_dir, ShardedServiceOptions options = {});
+
+  /// Rebuilds a service from \p log_dir (options come from its
+  /// MANIFEST): per shard, snapshot restore when usable plus WAL
+  /// replay, torn tails truncated, shards aligned to the minimum
+  /// common horizon. The service resumes accepting requests.
+  static StatusOr<std::unique_ptr<ShardedReleaseService>> Recover(
+      const std::string& log_dir);
+
+  ~ShardedReleaseService();
+  ShardedReleaseService(const ShardedReleaseService&) = delete;
+  ShardedReleaseService& operator=(const ShardedReleaseService&) = delete;
+
+  /// Enrolls a user (effective at the tick closing this window).
+  /// AlreadyExists for duplicate names.
+  Status Join(const std::string& name, TemporalCorrelations correlations);
+
+  /// One per-user release request: \p name spends \p epsilon at the
+  /// global time step its batch tick creates. NotFound for unknown
+  /// users (a join in the same window is visible).
+  Status Release(const std::string& name, double epsilon);
+
+  /// Requests \p epsilon for every user enrolled at tick time.
+  Status ReleaseAll(double epsilon);
+
+  /// Forces the pending window to tick and drains every shard.
+  Status Flush();
+
+  /// Flush + snapshot every shard now.
+  Status Snapshot();
+
+  /// Drains the user's shard and reports its accounting.
+  StatusOr<UserReport> Query(const std::string& name);
+
+  /// Exports one user as a standalone "tcdp-accountant-v2" blob (the
+  /// bank's SerializeUser hook): TplAccountant::Deserialize on it
+  /// replays the user's sub-schedule through an identically quantized
+  /// cache and reproduces the service's series bitwise — `tcdp replay
+  /// --verify` is built on this.
+  StatusOr<std::string> ExportUser(const std::string& name);
+
+  /// Final tick, drain, fdatasync, join worker threads. Idempotent;
+  /// also run by the destructor.
+  Status Close();
+
+  std::size_t num_shards() const { return shards_.size(); }
+  std::size_t num_users() const { return registry_.size(); }
+  /// Global releases applied (uniform across shards after Flush).
+  /// Drains every shard first so the read does not race the workers;
+  /// note it does NOT tick the pending window.
+  std::size_t horizon();
+  const std::string& log_dir() const { return log_dir_; }
+
+  /// Max over users and t of TPL (drains all shards first).
+  StatusOr<double> OverallAlpha();
+  /// (name, event-level alpha) for every user, shard-major order.
+  StatusOr<std::vector<std::pair<std::string, double>>> PersonalizedAlphas();
+
+  /// Drains \p shard first so the snapshot of its counters is not read
+  /// mid-apply.
+  ShardStats shard_stats(std::size_t shard);
+  const ServiceStats& stats() const { return stats_; }
+
+  /// Shard index \p name routes to, given \p num_shards (exposed so
+  /// tools and tests agree with the service's partitioning).
+  static std::size_t ShardOf(const std::string& name,
+                             std::size_t num_shards);
+
+ private:
+  struct Shard;
+  struct PendingGroup;
+
+  explicit ShardedReleaseService(ShardedServiceOptions options);
+
+  Status InitShardsFresh(const std::string& log_dir);
+  /// The pending window's group for \p epsilon (created on first use).
+  PendingGroup& GroupFor(double epsilon);
+  Status Tick();
+  Status DrainShard(std::size_t shard);
+  Status DrainAll();
+
+  ShardedServiceOptions options_;
+  std::string log_dir_;  // empty = ephemeral
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// name -> (shard, local index); local indices assigned at request
+  /// time (the shard's AddUser order matches dispatch order).
+  std::unordered_map<std::string, std::pair<std::uint32_t, std::uint32_t>>
+      registry_;
+  /// Users assigned to each shard so far (pending joins included).
+  std::vector<std::uint32_t> shard_user_count_;
+
+  // Micro-batch state (requests since the last tick).
+  struct PendingJoin {
+    std::string name;
+    TemporalCorrelations correlations;
+    std::size_t shard;
+  };
+  std::vector<PendingJoin> pending_joins_;
+  std::vector<std::unique_ptr<PendingGroup>> pending_groups_;
+  std::size_t window_count_ = 0;
+
+  ServiceStats stats_;
+  bool closed_ = false;
+};
+
+}  // namespace server
+}  // namespace tcdp
+
+#endif  // TCDP_SERVER_SHARDED_SERVICE_H_

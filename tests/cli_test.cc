@@ -4,6 +4,7 @@
 #include "tools/cli.h"
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -216,6 +217,91 @@ TEST_F(CliTest, FleetSparseJsonSmoke) {
     return text.substr(pos, text.find('\n', pos) - pos);
   };
   EXPECT_EQ(alpha_of(*r), alpha_of(*again));
+}
+
+class ServeCliTest : public CliTest {
+ protected:
+  void SetUp() override {
+    CliTest::SetUp();
+    script_path_ = "/tmp/tcdp_cli_serve_script.txt";
+    log_dir_ = "/tmp/tcdp_cli_serve_logs";
+    std::filesystem::remove_all(log_dir_);
+    std::ofstream script(script_path_);
+    script << "# two users, mixed releases, a query\n"
+              "join alice 6 0.3\n"
+              "join bob 6 0.4\n"
+              "release 0.1 all\n"
+              "release 0.2 alice\n"
+              "flush\n"
+              "release 0.1 alice,bob\n"
+              "query alice\n";
+  }
+  void TearDown() override {
+    CliTest::TearDown();
+    std::remove(script_path_.c_str());
+    std::filesystem::remove_all(log_dir_);
+  }
+
+  std::string script_path_;
+  std::string log_dir_;
+};
+
+TEST_F(ServeCliTest, ServeEphemeralPrintsStats) {
+  auto r = Run({"serve", "--script", script_path_, "--shards", "2",
+                "--batch-window", "4"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->find("global releases"), std::string::npos);
+  EXPECT_NE(r->find("overall alpha"), std::string::npos);
+  EXPECT_NE(r->find("query alice"), std::string::npos);
+}
+
+TEST_F(ServeCliTest, ServeJsonThenReplayVerifies) {
+  auto served = Run({"serve", "--script", script_path_, "--shards", "2",
+                     "--batch-window", "4", "--snapshot-every", "2",
+                     "--log-dir", log_dir_, "--json", "-"});
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  for (const char* key :
+       {"\"shards\": 2", "\"users\": 2", "\"horizon\": 3",
+        "\"release_requests\": 4", "\"queries\": [", "\"name\": \"alice\"",
+        "\"wal_records\":"}) {
+    EXPECT_NE(served->find(key), std::string::npos)
+        << "missing " << key << " in:\n" << *served;
+  }
+
+  auto replayed = Run({"replay", "--log-dir", log_dir_, "--verify", "1",
+                       "--json", "-"});
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  for (const char* key :
+       {"\"users\": 2", "\"horizon\": 3", "\"verified\": true",
+        "\"verified_users\": 2", "\"verify_failures\": 0"}) {
+    EXPECT_NE(replayed->find(key), std::string::npos)
+        << "missing " << key << " in:\n" << *replayed;
+  }
+
+  auto human = Run({"replay", "--log-dir", log_dir_, "--verify", "1"});
+  ASSERT_TRUE(human.ok()) << human.status().ToString();
+  EXPECT_NE(human->find("2 users bitwise-equal, 0 failures"),
+            std::string::npos)
+      << *human;
+}
+
+TEST_F(ServeCliTest, ServeRejectsBadInput) {
+  EXPECT_FALSE(Run({"serve"}).ok());  // no script
+  EXPECT_FALSE(
+      Run({"serve", "--script", "/tmp/no_such_tcdp_script.txt"}).ok());
+  std::ofstream(script_path_) << "frobnicate everything\n";
+  auto r = Run({"serve", "--script", script_path_});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("unknown command"),
+            std::string::npos);
+  std::ofstream(script_path_) << "release 0.1 nobody\n";
+  EXPECT_FALSE(Run({"serve", "--script", script_path_}).ok());
+}
+
+TEST_F(ServeCliTest, ReplayRequiresLogDir) {
+  EXPECT_FALSE(Run({"replay"}).ok());
+  EXPECT_FALSE(
+      Run({"replay", "--log-dir", "/tmp/no_such_tcdp_log_dir"}).ok());
 }
 
 }  // namespace

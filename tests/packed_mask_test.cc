@@ -1,0 +1,206 @@
+// PackedMask: all/dense/RLE representation choice, bit semantics, wire
+// round-trips, and corrupted-input rejection.
+
+#include "common/packed_mask.h"
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "common/random.h"
+
+namespace tcdp {
+namespace {
+
+std::vector<std::uint64_t> RandomWords(Rng* rng, std::size_t n,
+                                       double run_bias) {
+  // run_bias near 1 produces long runs of repeated words.
+  std::vector<std::uint64_t> words(n);
+  std::uint64_t current =
+      static_cast<std::uint64_t>(rng->UniformInt(0, 3)) * 0x5555555555555555ull;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng->Uniform() > run_bias) {
+      current = static_cast<std::uint64_t>(
+          rng->UniformInt(0, static_cast<std::int64_t>(1) << 62));
+    }
+    words[i] = current;
+  }
+  return words;
+}
+
+TEST(PackedMask, AllMaskIsEveryone) {
+  const PackedMask mask = PackedMask::All();
+  EXPECT_TRUE(mask.is_all());
+  EXPECT_TRUE(mask.bit(0));
+  EXPECT_TRUE(mask.bit(1'000'000));
+  EXPECT_EQ(mask.num_words(), 0u);
+}
+
+TEST(PackedMask, EmptyExplicitMaskIsNobody) {
+  const PackedMask mask = PackedMask::FromWords({});
+  EXPECT_FALSE(mask.is_all());
+  EXPECT_FALSE(mask.bit(0));
+  EXPECT_FALSE(mask.bit(63));
+}
+
+TEST(PackedMask, ShortRowsStayDense) {
+  // Three identical words would RLE to one run, but short rows keep the
+  // dense path.
+  const PackedMask mask = PackedMask::FromWords({0xFFull, 0xFFull, 0xFFull});
+  EXPECT_FALSE(mask.is_rle());
+  EXPECT_TRUE(mask.bit(0));
+  EXPECT_FALSE(mask.bit(8));
+  EXPECT_TRUE(mask.bit(64));
+  EXPECT_FALSE(mask.bit(3 * 64));  // past the width
+}
+
+TEST(PackedMask, LongUniformRowsCompress) {
+  const std::vector<std::uint64_t> words(1000, ~std::uint64_t{0});
+  const PackedMask mask = PackedMask::FromWords(words);
+  EXPECT_TRUE(mask.is_rle());
+  EXPECT_LT(mask.MemoryBytes(), 100u);  // 2 u64 arrays of 1 run each
+  EXPECT_TRUE(mask.bit(0));
+  EXPECT_TRUE(mask.bit(999 * 64 + 63));
+  EXPECT_FALSE(mask.bit(1000 * 64));
+  EXPECT_EQ(mask.ToWords(1000), words);
+}
+
+TEST(PackedMask, MixedRowsMatchDenseReference) {
+  Rng rng(20260728);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(0, 40));
+    const double bias = rng.Uniform();
+    const std::vector<std::uint64_t> words = RandomWords(&rng, n, bias);
+    const PackedMask mask = PackedMask::FromWords(words);
+    for (std::size_t i = 0; i < n * 64 + 64; ++i) {
+      const bool expected =
+          (i >> 6) < n && ((words[i >> 6] >> (i & 63)) & 1u);
+      ASSERT_EQ(mask.bit(i), expected) << "iter " << iter << " bit " << i;
+    }
+    EXPECT_EQ(mask.ToWords(n), words);
+  }
+}
+
+TEST(PackedMask, WireRoundTrip) {
+  Rng rng(7);
+  for (int iter = 0; iter < 30; ++iter) {
+    const std::size_t n = static_cast<std::size_t>(rng.UniformInt(0, 64));
+    const PackedMask original =
+        PackedMask::FromWords(RandomWords(&rng, n, rng.Uniform()));
+    std::string encoded;
+    original.EncodeTo(&encoded);
+    BinaryCursor cursor(encoded);
+    auto decoded = PackedMask::Decode(cursor);
+    ASSERT_TRUE(decoded.ok()) << decoded.status();
+    EXPECT_TRUE(cursor.empty());
+    EXPECT_TRUE(*decoded == original);
+  }
+  // The All mask too.
+  std::string encoded;
+  PackedMask::All().EncodeTo(&encoded);
+  BinaryCursor cursor(encoded);
+  auto decoded = PackedMask::Decode(cursor);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->is_all());
+}
+
+TEST(PackedMask, DecodeRejectsCorruption) {
+  const PackedMask original = PackedMask::FromWords(
+      std::vector<std::uint64_t>(100, 0xAAAAAAAAAAAAAAAAull));
+  ASSERT_TRUE(original.is_rle());
+  std::string encoded;
+  original.EncodeTo(&encoded);
+
+  // Every strict prefix must fail cleanly, never crash.
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    std::string prefix = encoded.substr(0, len);
+    BinaryCursor cursor(prefix);
+    EXPECT_FALSE(PackedMask::Decode(cursor).ok()) << "prefix " << len;
+  }
+  // Unknown kind byte.
+  {
+    std::string bad = encoded;
+    bad[0] = 9;
+    BinaryCursor cursor(bad);
+    EXPECT_FALSE(PackedMask::Decode(cursor).ok());
+  }
+}
+
+TEST(PackedMask, DecodeRejectsInconsistentRuns) {
+  // Hand-build an RLE encoding whose runs over/under-cover the width.
+  auto build = [](std::uint64_t width, std::uint64_t runs,
+                  std::uint64_t run_len) {
+    std::string out;
+    out.push_back(2);  // kRle
+    PutVarint64(&out, width);
+    PutVarint64(&out, runs);
+    for (std::uint64_t r = 0; r < runs; ++r) {
+      PutVarint64(&out, run_len);
+      PutFixed64(&out, 0xFFull);
+    }
+    return out;
+  };
+  {
+    std::string under = build(10, 1, 5);  // covers 5 of 10
+    BinaryCursor cursor(under);
+    EXPECT_FALSE(PackedMask::Decode(cursor).ok());
+  }
+  {
+    std::string over = build(10, 2, 9);  // 18 > 10
+    BinaryCursor cursor(over);
+    EXPECT_FALSE(PackedMask::Decode(cursor).ok());
+  }
+  {
+    std::string zero_run = build(10, 1, 0);
+    BinaryCursor cursor(zero_run);
+    EXPECT_FALSE(PackedMask::Decode(cursor).ok());
+  }
+}
+
+TEST(BinaryIo, VarintRoundTripAndBounds) {
+  for (std::uint64_t v :
+       {std::uint64_t{0}, std::uint64_t{1}, std::uint64_t{127},
+        std::uint64_t{128}, std::uint64_t{1} << 32,
+        ~std::uint64_t{0}}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    BinaryCursor cursor(buf);
+    std::uint64_t back = 0;
+    ASSERT_TRUE(cursor.ReadVarint64(&back).ok());
+    EXPECT_EQ(back, v);
+    EXPECT_TRUE(cursor.empty());
+  }
+  // An unterminated varint (all continuation bits) must fail.
+  std::string runaway(11, static_cast<char>(0x80));
+  BinaryCursor cursor(runaway);
+  std::uint64_t out = 0;
+  EXPECT_FALSE(cursor.ReadVarint64(&out).ok());
+}
+
+TEST(BinaryIo, DoubleBitsAreExact) {
+  for (double v : {0.0, -0.0, 1.0 / 3.0, 1e-300, -2.5}) {
+    std::string buf;
+    PutDoubleBits(&buf, v);
+    BinaryCursor cursor(buf);
+    double back = 1.0;
+    ASSERT_TRUE(cursor.ReadDoubleBits(&back).ok());
+    std::uint64_t a, b;
+    std::memcpy(&a, &v, 8);
+    std::memcpy(&b, &back, 8);
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST(BinaryIo, Crc32KnownVector) {
+  // The classic check value for "123456789" under CRC-32/ISO-HDLC.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  // Incremental == one-shot.
+  const std::uint32_t head = Crc32("1234", 4);
+  EXPECT_EQ(Crc32("56789", 5, head), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace tcdp

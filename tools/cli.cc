@@ -6,14 +6,20 @@
 #include <map>
 #include <optional>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "common/random.h"
 #include "common/table.h"
+#include "common/timer.h"
 #include "core/budget_allocation.h"
 #include "core/supremum.h"
 #include "core/tpl_accountant.h"
 #include "markov/estimation.h"
 #include "markov/higher_order.h"
 #include "markov/io.h"
+#include "server/sharded_service.h"
 #include "service/fleet_engine.h"
 #include "workload/generators.h"
 
@@ -437,6 +443,343 @@ Status CmdFleet(const Flags& flags, std::ostream& out) {
   return Status::OK();
 }
 
+/// Minimal JSON string escaping for values we interpolate (user names,
+/// paths): quotes, backslashes, and control characters.
+std::string JsonEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out.push_back(ch);
+        }
+    }
+  }
+  return out;
+}
+
+/// Splits a comma-separated field list (no empty entries).
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  for (char ch : text) {
+    if (ch == ',') {
+      if (!current.empty()) out.push_back(current);
+      current.clear();
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (!current.empty()) out.push_back(current);
+  return out;
+}
+
+struct ServeOutcome {
+  std::uint64_t script_lines = 0;
+  double elapsed_seconds = 0.0;
+  std::vector<server::UserReport> queries;
+};
+
+/// Drives one scripted request stream into \p service. Grammar (one
+/// command per line, '#' comments):
+///   join <name> <pages> <home_prob>
+///   release <eps> all | release <eps> <name[,name...]>
+///   flush | snapshot | query <name>
+Status RunServeScript(std::istream& script,
+                      server::ShardedReleaseService* service,
+                      ServeOutcome* outcome) {
+  std::string line;
+  std::size_t line_no = 0;
+  WallTimer timer;
+  while (std::getline(script, line)) {
+    ++line_no;
+    std::istringstream fields(line);
+    std::string command;
+    if (!(fields >> command) || command[0] == '#') continue;
+    ++outcome->script_lines;
+    auto syntax_error = [&](const std::string& why) {
+      return Status::InvalidArgument("script line " +
+                                     std::to_string(line_no) + ": " + why);
+    };
+    if (command == "join") {
+      std::string name;
+      std::size_t pages = 0;
+      double home_prob = 0.0;
+      if (!(fields >> name >> pages >> home_prob)) {
+        return syntax_error("expected 'join <name> <pages> <home_prob>'");
+      }
+      TCDP_ASSIGN_OR_RETURN(auto matrix, ClickstreamModel(pages, home_prob));
+      TCDP_ASSIGN_OR_RETURN(auto corr,
+                            TemporalCorrelations::Both(matrix, matrix));
+      TCDP_RETURN_IF_ERROR(service->Join(name, std::move(corr)));
+    } else if (command == "release") {
+      double eps = 0.0;
+      std::string who;
+      if (!(fields >> eps >> who)) {
+        return syntax_error("expected 'release <eps> all|<names>'");
+      }
+      if (who == "all") {
+        TCDP_RETURN_IF_ERROR(service->ReleaseAll(eps));
+      } else {
+        for (const std::string& name : SplitCommas(who)) {
+          TCDP_RETURN_IF_ERROR(service->Release(name, eps));
+        }
+      }
+    } else if (command == "flush") {
+      TCDP_RETURN_IF_ERROR(service->Flush());
+    } else if (command == "snapshot") {
+      TCDP_RETURN_IF_ERROR(service->Snapshot());
+    } else if (command == "query") {
+      std::string name;
+      if (!(fields >> name)) return syntax_error("expected 'query <name>'");
+      TCDP_ASSIGN_OR_RETURN(auto report, service->Query(name));
+      outcome->queries.push_back(std::move(report));
+    } else {
+      return syntax_error("unknown command '" + command + "'");
+    }
+  }
+  TCDP_RETURN_IF_ERROR(service->Flush());
+  outcome->elapsed_seconds = timer.ElapsedSeconds();
+  return Status::OK();
+}
+
+void PrintServiceJson(server::ShardedReleaseService* service,
+                      const ServeOutcome& outcome, double overall_alpha,
+                      double min_alpha, std::ostream& out) {
+  const auto& stats = service->stats();
+  const std::uint64_t requests =
+      stats.join_requests + stats.release_requests;
+  out.precision(17);
+  out << "{\n"
+      << "  \"shards\": " << service->num_shards() << ",\n"
+      << "  \"users\": " << service->num_users() << ",\n"
+      << "  \"horizon\": " << service->horizon() << ",\n"
+      << "  \"join_requests\": " << stats.join_requests << ",\n"
+      << "  \"release_requests\": " << stats.release_requests << ",\n"
+      << "  \"ticks\": " << stats.ticks << ",\n"
+      << "  \"global_releases\": " << stats.global_releases << ",\n"
+      << "  \"elapsed_seconds\": " << outcome.elapsed_seconds << ",\n"
+      << "  \"requests_per_sec\": "
+      << (outcome.elapsed_seconds > 0.0
+              ? static_cast<double>(requests) / outcome.elapsed_seconds
+              : 0.0)
+      << ",\n"
+      << "  \"overall_alpha\": " << overall_alpha << ",\n"
+      << "  \"min_personalized_alpha\": " << min_alpha << ",\n"
+      << "  \"shard_stats\": [";
+  for (std::size_t s = 0; s < service->num_shards(); ++s) {
+    const server::ShardStats shard = service->shard_stats(s);
+    out << (s == 0 ? "\n" : ",\n") << "    {\"shard\": " << s
+        << ", \"users\": " << shard.users
+        << ", \"horizon\": " << shard.horizon
+        << ", \"wal_records\": " << shard.wal_records
+        << ", \"wal_bytes\": " << shard.wal_bytes
+        << ", \"snapshots\": " << shard.snapshots_written
+        << ", \"replayed_records\": " << shard.replayed_records
+        << ", \"restored_from_snapshot\": "
+        << (shard.restored_from_snapshot ? "true" : "false") << "}";
+  }
+  out << "\n  ],\n  \"queries\": [";
+  for (std::size_t q = 0; q < outcome.queries.size(); ++q) {
+    const server::UserReport& report = outcome.queries[q];
+    out << (q == 0 ? "\n" : ",\n") << "    {\"name\": \""
+        << JsonEscape(report.name) << "\", \"shard\": " << report.shard
+        << ", \"horizon\": " << report.horizon
+        << ", \"max_tpl\": " << report.max_tpl
+        << ", \"user_level_tpl\": " << report.user_level_tpl << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
+Status CmdServe(const Flags& flags, std::ostream& out) {
+  const auto script_it = flags.find("script");
+  if (script_it == flags.end()) {
+    return Status::InvalidArgument("missing required flag --script");
+  }
+  std::ifstream script(script_it->second);
+  if (!script) {
+    return Status::NotFound("cannot open script " + script_it->second);
+  }
+  server::ShardedServiceOptions options;
+  TCDP_ASSIGN_OR_RETURN(options.num_shards,
+                        FlagAsSize(flags, "shards", std::size_t{2}));
+  TCDP_ASSIGN_OR_RETURN(options.batch_window,
+                        FlagAsSize(flags, "batch-window", std::size_t{16}));
+  TCDP_ASSIGN_OR_RETURN(options.snapshot_every,
+                        FlagAsSize(flags, "snapshot-every", std::size_t{0}));
+  TCDP_ASSIGN_OR_RETURN(options.sync_every,
+                        FlagAsSize(flags, "sync-every", std::size_t{0}));
+  if (options.num_shards == 0 || options.batch_window == 0) {
+    return Status::InvalidArgument(
+        "--shards and --batch-window must be >= 1");
+  }
+  std::string log_dir;
+  if (flags.count("log-dir") > 0) log_dir = flags.at("log-dir");
+  const bool json = flags.count("json") > 0;
+  if (json && flags.at("json") != "-") {
+    return Status::InvalidArgument("--json only supports '-' (stdout)");
+  }
+
+  TCDP_ASSIGN_OR_RETURN(auto service,
+                        server::ShardedReleaseService::Create(log_dir,
+                                                              options));
+  ServeOutcome outcome;
+  TCDP_RETURN_IF_ERROR(RunServeScript(script, service.get(), &outcome));
+  TCDP_ASSIGN_OR_RETURN(auto alphas, service->PersonalizedAlphas());
+  double overall = 0.0;
+  double min_alpha = alphas.empty() ? 0.0 : alphas.front().second;
+  for (const auto& [name, alpha] : alphas) {
+    (void)name;
+    overall = std::max(overall, alpha);
+    min_alpha = std::min(min_alpha, alpha);
+  }
+  if (json) {
+    PrintServiceJson(service.get(), outcome, overall, min_alpha, out);
+  } else {
+    Table table({"metric", "value"});
+    auto add = [&table](const std::string& name, const std::string& value) {
+      table.AddRow();
+      table.AddCell(name);
+      table.AddCell(value);
+    };
+    const auto& stats = service->stats();
+    add("shards", std::to_string(service->num_shards()));
+    add("users", std::to_string(service->num_users()));
+    add("requests",
+        std::to_string(stats.join_requests + stats.release_requests));
+    add("micro-batch ticks", std::to_string(stats.ticks));
+    add("global releases", std::to_string(stats.global_releases));
+    add("horizon", std::to_string(service->horizon()));
+    add("overall alpha (max TPL)", FormatNumber(overall, 6));
+    add("min personalized alpha", FormatNumber(min_alpha, 6));
+    add("elapsed (s)", FormatNumber(outcome.elapsed_seconds, 4));
+    if (!log_dir.empty()) {
+      std::uint64_t wal_bytes = 0;
+      std::uint64_t snapshots = 0;
+      for (std::size_t s = 0; s < service->num_shards(); ++s) {
+        wal_bytes += service->shard_stats(s).wal_bytes;
+        snapshots += service->shard_stats(s).snapshots_written;
+      }
+      add("log dir", log_dir);
+      add("WAL bytes (all shards)", std::to_string(wal_bytes));
+      add("snapshots written", std::to_string(snapshots));
+    }
+    out << table.ToAlignedString();
+    for (const server::UserReport& report : outcome.queries) {
+      out << "query " << report.name << ": horizon " << report.horizon
+          << "  max TPL " << FormatNumber(report.max_tpl, 6)
+          << "  user-level " << FormatNumber(report.user_level_tpl, 6)
+          << "\n";
+    }
+  }
+  return service->Close();
+}
+
+Status CmdReplay(const Flags& flags, std::ostream& out) {
+  const auto dir_it = flags.find("log-dir");
+  if (dir_it == flags.end()) {
+    return Status::InvalidArgument("missing required flag --log-dir");
+  }
+  const bool verify = flags.count("verify") > 0;
+  const bool json = flags.count("json") > 0;
+  if (json && flags.at("json") != "-") {
+    return Status::InvalidArgument("--json only supports '-' (stdout)");
+  }
+  WallTimer timer;
+  TCDP_ASSIGN_OR_RETURN(auto service,
+                        server::ShardedReleaseService::Recover(
+                            dir_it->second));
+  const double recover_seconds = timer.ElapsedSeconds();
+
+  std::size_t verified_users = 0;
+  std::size_t verify_failures = 0;
+  TCDP_ASSIGN_OR_RETURN(auto alphas, service->PersonalizedAlphas());
+  if (verify) {
+    // Every user's exported accountant blob, replayed standalone, must
+    // reproduce the recovered series bitwise — the serialization hooks
+    // are the contract the snapshots are built on.
+    for (const auto& [name, alpha] : alphas) {
+      TCDP_ASSIGN_OR_RETURN(auto report, service->Query(name));
+      TCDP_ASSIGN_OR_RETURN(std::string blob, service->ExportUser(name));
+      auto reference = TplAccountant::Deserialize(blob);
+      if (!reference.ok()) {
+        ++verify_failures;
+        continue;
+      }
+      const bool ok = reference->TplSeries() == report.tpl_series &&
+                      reference->MaxTpl() == alpha;
+      verified_users += ok ? 1 : 0;
+      verify_failures += ok ? 0 : 1;
+    }
+  }
+  double overall = 0.0;
+  for (const auto& [name, alpha] : alphas) {
+    (void)name;
+    overall = std::max(overall, alpha);
+  }
+  if (json) {
+    out.precision(17);
+    out << "{\n"
+        << "  \"log_dir\": \"" << JsonEscape(dir_it->second) << "\",\n"
+        << "  \"shards\": " << service->num_shards() << ",\n"
+        << "  \"users\": " << service->num_users() << ",\n"
+        << "  \"horizon\": " << service->horizon() << ",\n"
+        << "  \"recover_seconds\": " << recover_seconds << ",\n"
+        << "  \"overall_alpha\": " << overall << ",\n"
+        << "  \"verified\": " << (verify ? "true" : "false") << ",\n"
+        << "  \"verified_users\": " << verified_users << ",\n"
+        << "  \"verify_failures\": " << verify_failures << ",\n"
+        << "  \"shard_stats\": [";
+    for (std::size_t s = 0; s < service->num_shards(); ++s) {
+      const server::ShardStats shard = service->shard_stats(s);
+      out << (s == 0 ? "\n" : ",\n") << "    {\"shard\": " << s
+          << ", \"users\": " << shard.users
+          << ", \"horizon\": " << shard.horizon
+          << ", \"replayed_records\": " << shard.replayed_records
+          << ", \"restored_from_snapshot\": "
+          << (shard.restored_from_snapshot ? "true" : "false") << "}";
+    }
+    out << "\n  ]\n}\n";
+  } else {
+    out << "recovered " << service->num_users() << " users across "
+        << service->num_shards() << " shards at horizon "
+        << service->horizon() << " in "
+        << FormatNumber(recover_seconds, 4) << "s\n";
+    for (std::size_t s = 0; s < service->num_shards(); ++s) {
+      const server::ShardStats shard = service->shard_stats(s);
+      out << "  shard " << s << ": " << shard.users << " users, "
+          << shard.replayed_records << " WAL records replayed"
+          << (shard.restored_from_snapshot ? " after snapshot restore"
+                                           : "")
+          << "\n";
+    }
+    out << "overall alpha (max TPL): " << FormatNumber(overall, 6) << "\n";
+    if (verify) {
+      out << "verification: " << verified_users << " users bitwise-equal, "
+          << verify_failures << " failures\n";
+    }
+  }
+  const Status closed = service->Close();
+  if (verify && verify_failures > 0) {
+    return Status::Internal(
+        "replay verification failed for " +
+        std::to_string(verify_failures) + " users");
+  }
+  return closed;
+}
+
 }  // namespace
 
 std::string HelpText() {
@@ -463,6 +806,16 @@ std::string HelpText() {
       "             [--users N] [--horizon T] [--epsilon E] [--pages n]\n"
       "             [--groups g] [--threads k] [--cache on|off]\n"
       "             [--sparsity s] [--seed r] [--json -]\n"
+      "  serve      sharded release service driven by a scripted request\n"
+      "             stream (join/release/flush/snapshot/query commands),\n"
+      "             micro-batched, durable when --log-dir is given\n"
+      "             --script S.txt [--log-dir D] [--shards N]\n"
+      "             [--batch-window W] [--snapshot-every K]\n"
+      "             [--sync-every Y] [--json -]\n"
+      "  replay     recover a service from its log dir; --verify 1\n"
+      "             replays every user's exported accountant blob and\n"
+      "             checks the recovered series bitwise\n"
+      "             --log-dir D [--verify 1] [--json -]\n"
       "  help       this text\n"
       "\n"
       "file formats: matrices are one row per line (comma/space separated\n"
@@ -482,6 +835,8 @@ Status Run(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "allocate") return CmdAllocate(flags, out);
   if (command == "estimate") return CmdEstimate(flags, out);
   if (command == "fleet") return CmdFleet(flags, out);
+  if (command == "serve") return CmdServe(flags, out);
+  if (command == "replay") return CmdReplay(flags, out);
   return Status::InvalidArgument("unknown command '" + command +
                                  "'; see `tcdp help`");
 }

@@ -27,6 +27,17 @@
 ///       batched release engine (shared loss cache + thread pool) and
 ///       prints throughput, leakage, and cache statistics.
 ///
+///   serve     --script S.txt [--log-dir D] [--shards N]
+///             [--batch-window W] [--snapshot-every K] [--sync-every Y]
+///       Drives a scripted request stream (join/release/flush/snapshot/
+///       query) through the sharded release service; durable when
+///       --log-dir is given.
+///
+///   replay    --log-dir D [--verify 1]
+///       Recovers a service from its write-ahead logs/snapshots and
+///       reports what was restored; --verify re-derives every user's
+///       series from an exported accountant blob and checks bitwise.
+///
 ///   help
 ///
 /// Matrix/trajectory file formats: see markov/io.h.
