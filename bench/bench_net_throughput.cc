@@ -1,0 +1,316 @@
+// Network frontend throughput (ISSUE 4 acceptance): requests/sec over
+// loopback TCP — by connection count and pipeline depth — against the
+// same request stream dispatched in-process into the
+// ShardedReleaseService.
+//
+//   * In-process baseline: Release() calls straight into the service
+//     (shards=2), no sockets. This is the bar: the acceptance gate
+//     requires loopback throughput within 5x of it at pipeline depth
+//     >= 8 (enforced when not --smoke and the host has >= 2 cores;
+//     single-core hosts timeslice the server loop, the shard workers,
+//     and the clients through one pipe and are reported unenforced).
+//   * Loopback: a NetServer on 127.0.0.1 with C client threads
+//     (disjoint user slices) pipelining D deep. Depth 1 pays a full
+//     round trip per request; depth >= 8 amortizes it, which is the
+//     number the gate cares about.
+//   * Determinism: the single-connection configuration preserves the
+//     baseline's request order, so its overall alpha must equal the
+//     in-process run's bitwise (asserted in every mode).
+//
+// Emits BENCH_net.json next to BENCH_fleet.json / BENCH_shard.json;
+// `--smoke` runs a seconds-scale configuration for the CI schema check
+// (CTest label perf_smoke_net).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "markov/stochastic_matrix.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "server/sharded_service.h"
+
+namespace {
+
+using namespace tcdp;
+
+struct BenchSpec {
+  std::size_t users = 0;
+  std::size_t profiles = 0;     // distinct matrix pairs
+  std::size_t matrix_size = 0;  // n
+  std::size_t requests = 0;     // per-user release requests
+  std::size_t shards = 2;
+  std::size_t batch_window = 16;
+  std::uint64_t seed = 20260728;
+};
+
+struct Request {
+  std::size_t user = 0;
+  double epsilon = 0.0;
+};
+
+std::vector<TemporalCorrelations> MakeProfiles(const BenchSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<TemporalCorrelations> profiles;
+  for (std::size_t p = 0; p < spec.profiles; ++p) {
+    const StochasticMatrix m =
+        StochasticMatrix::Random(spec.matrix_size, &rng);
+    profiles.push_back(TemporalCorrelations::Both(m, m).value());
+  }
+  return profiles;
+}
+
+std::vector<Request> MakeRequests(const BenchSpec& spec) {
+  Rng rng(spec.seed + 1);
+  const double epsilons[] = {0.05, 0.1, 0.2};
+  std::vector<Request> requests(spec.requests);
+  for (auto& request : requests) {
+    request.user = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(spec.users) - 1));
+    request.epsilon = epsilons[rng.UniformInt(0, 2)];
+  }
+  return requests;
+}
+
+std::string UserName(std::size_t u) { return "user-" + std::to_string(u); }
+
+struct RunResult {
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double overall_alpha = 0.0;
+};
+
+[[noreturn]] void Die(const char* what, const Status& status) {
+  std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+  std::exit(1);
+}
+
+/// The bar: the identical request stream applied without sockets.
+RunResult RunInProcess(const BenchSpec& spec) {
+  const auto profiles = MakeProfiles(spec);
+  const auto requests = MakeRequests(spec);
+  server::ShardedServiceOptions options;
+  options.num_shards = spec.shards;
+  options.batch_window = spec.batch_window;
+  auto service = server::ShardedReleaseService::Create("", options);
+  if (!service.ok()) Die("create", service.status());
+  for (std::size_t u = 0; u < spec.users; ++u) {
+    const Status joined =
+        (*service)->Join(UserName(u), profiles[u % spec.profiles]);
+    if (!joined.ok()) Die("join", joined);
+  }
+  if (Status s = (*service)->Flush(); !s.ok()) Die("flush", s);
+  WallTimer timer;
+  for (const Request& request : requests) {
+    const Status released =
+        (*service)->Release(UserName(request.user), request.epsilon);
+    if (!released.ok()) Die("release", released);
+  }
+  if (Status s = (*service)->Flush(); !s.ok()) Die("flush", s);
+  RunResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.requests_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(requests.size()) / result.seconds
+          : 0.0;
+  auto alpha = (*service)->OverallAlpha();
+  if (!alpha.ok()) Die("alpha", alpha.status());
+  result.overall_alpha = *alpha;
+  if (Status s = (*service)->Close(); !s.ok()) Die("close", s);
+  return result;
+}
+
+/// The same stream over loopback TCP: \p connections client threads
+/// (disjoint user slices, original order within a slice), each
+/// pipelining \p depth requests.
+RunResult RunLoopback(const BenchSpec& spec, std::size_t connections,
+                      std::size_t depth) {
+  const auto profiles = MakeProfiles(spec);
+  const auto requests = MakeRequests(spec);
+  server::ShardedServiceOptions options;
+  options.num_shards = spec.shards;
+  options.batch_window = spec.batch_window;
+  auto service = server::ShardedReleaseService::Create("", options);
+  if (!service.ok()) Die("create", service.status());
+  auto net_server = net::NetServer::Listen(service->get());
+  if (!net_server.ok()) Die("listen", net_server.status());
+  std::thread serve_thread([&net_server] {
+    const Status served = (*net_server)->Serve();
+    if (!served.ok()) Die("serve", served);
+  });
+
+  auto connect = [&](std::size_t pipeline) {
+    net::NetClientOptions client_options;
+    client_options.pipeline_depth = pipeline;
+    auto client = net::NetClient::Connect("127.0.0.1",
+                                          (*net_server)->port(),
+                                          client_options);
+    if (!client.ok()) Die("connect", client.status());
+    return std::move(client).value();
+  };
+
+  {
+    auto setup = connect(depth);
+    for (std::size_t u = 0; u < spec.users; ++u) {
+      const Status joined = setup->Join(UserName(u),
+                                        profiles[u % spec.profiles]);
+      if (!joined.ok()) Die("join", joined);
+    }
+    if (Status s = setup->Flush(); !s.ok()) Die("flush", s);
+  }
+
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < connections; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = connect(depth);
+      for (const Request& request : requests) {
+        if (request.user % connections != c) continue;
+        const Status released =
+            client->Release(UserName(request.user), request.epsilon);
+        if (!released.ok()) Die("release", released);
+      }
+      if (Status s = client->Drain(); !s.ok()) Die("drain", s);
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  auto control = connect(1);
+  if (Status s = control->Flush(); !s.ok()) Die("flush", s);
+  RunResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.requests_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(requests.size()) / result.seconds
+          : 0.0;
+  if (Status s = control->Shutdown(); !s.ok()) Die("shutdown", s);
+  serve_thread.join();
+  auto alpha = (*service)->OverallAlpha();
+  if (!alpha.ok()) Die("alpha", alpha.status());
+  result.overall_alpha = *alpha;
+  if (Status s = (*service)->Close(); !s.ok()) Die("close", s);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path = "BENCH_net.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--smoke] [--json path]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  BenchSpec spec;
+  spec.users = smoke ? 32 : 128;
+  spec.profiles = smoke ? 4 : 8;
+  spec.matrix_size = smoke ? 6 : 8;
+  spec.requests = smoke ? 200 : 1500;
+
+  const std::size_t hw = std::thread::hardware_concurrency();
+  struct Config {
+    std::size_t connections;
+    std::size_t depth;
+  };
+  const std::vector<Config> configs =
+      smoke ? std::vector<Config>{{1, 1}, {1, 8}}
+            : std::vector<Config>{{1, 1}, {1, 8}, {1, 32}, {4, 8}};
+
+  const RunResult in_process = RunInProcess(spec);
+  std::printf(
+      "in-process baseline (%zu users, %zu requests, %zu shards, window "
+      "%zu): %.0f req/s\n",
+      spec.users, spec.requests, spec.shards, spec.batch_window,
+      in_process.requests_per_sec);
+
+  std::string json = "{\n  \"bench\": \"net_throughput\",\n";
+  json += "  \"smoke\": " + std::string(smoke ? "true" : "false") + ",\n";
+  json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
+  json += "  \"workloads\": [\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "    {\"name\": \"in_process\", \"connections\": 0, "
+                "\"pipeline_depth\": 0, \"users\": %zu, \"requests\": %zu, "
+                "\"seconds\": %.6f, \"requests_per_sec\": %.1f}",
+                spec.users, spec.requests, in_process.seconds,
+                in_process.requests_per_sec);
+  json += buf;
+
+  bool ok = true;
+  double best_deep_loopback = 0.0;
+  for (const Config& config : configs) {
+    const RunResult run =
+        RunLoopback(spec, config.connections, config.depth);
+    std::snprintf(buf, sizeof(buf),
+                  ",\n    {\"name\": \"loopback\", \"connections\": %zu, "
+                  "\"pipeline_depth\": %zu, \"users\": %zu, "
+                  "\"requests\": %zu, \"seconds\": %.6f, "
+                  "\"requests_per_sec\": %.1f}",
+                  config.connections, config.depth, spec.users,
+                  spec.requests, run.seconds, run.requests_per_sec);
+    json += buf;
+    std::printf("loopback connections=%zu depth=%zu: %.0f req/s\n",
+                config.connections, config.depth, run.requests_per_sec);
+    if (config.depth >= 8) {
+      best_deep_loopback =
+          std::max(best_deep_loopback, run.requests_per_sec);
+    }
+    // Single-connection runs preserve the baseline's request order, so
+    // the fleet's overall alpha must match bitwise: the wire moved the
+    // requests, it did not change the accounting.
+    if (config.connections == 1 &&
+        run.overall_alpha != in_process.overall_alpha) {
+      std::fprintf(stderr,
+                   "FAILED: loopback depth=%zu overall alpha %.17g != "
+                   "in-process %.17g\n",
+                   config.depth, run.overall_alpha,
+                   in_process.overall_alpha);
+      ok = false;
+    }
+  }
+
+  const double slowdown = best_deep_loopback > 0.0
+                              ? in_process.requests_per_sec /
+                                    best_deep_loopback
+                              : 0.0;
+  const bool gate_enforced = !smoke && hw >= 2;
+  std::printf(
+      "loopback (best, depth >= 8) vs in-process: %.2fx slower%s\n",
+      slowdown, gate_enforced ? "" : " (gate not enforced on this host)");
+  if (gate_enforced && slowdown > 5.0) {
+    std::fprintf(stderr,
+                 "FAILED: loopback at depth >= 8 is %.2fx slower than "
+                 "in-process dispatch (acceptance bound: 5x)\n",
+                 slowdown);
+    ok = false;
+  }
+
+  json += "\n  ],\n  \"criteria\": {\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"loopback_slowdown_vs_in_process_depth8\": %.3f,\n"
+                "    \"bound\": 5.0,\n"
+                "    \"gate_enforced\": %s\n",
+                slowdown, gate_enforced ? "true" : "false");
+  json += buf;
+  json += "  }\n}\n";
+  std::ofstream json_out(json_path);
+  json_out << json;
+  if (!json_out) {
+    std::fprintf(stderr, "FAILED: cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", json_path.c_str());
+  return ok ? 0 : 1;
+}

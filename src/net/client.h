@@ -1,0 +1,117 @@
+#ifndef TCDP_NET_CLIENT_H_
+#define TCDP_NET_CLIENT_H_
+
+/// \file
+/// NetClient: a blocking client for the tcdp network protocol.
+///
+/// Mutating requests (Join/Release/ReleaseAll) are **pipelined**: the
+/// client sends up to `pipeline_depth` requests before reading the
+/// oldest acknowledgement, which is what amortizes a network round
+/// trip over a batch — the server answers strictly in request order,
+/// so responses and requests re-associate by position. Flush, Query,
+/// Stats, Snapshot, and Shutdown are synchronization points: they
+/// drain every outstanding ack first, then wait for their own typed
+/// response.
+///
+/// Error model: a server-reported error (kError frame) is returned
+/// from the call whose request caused it — which for a pipelined call
+/// may be a *later* Join/Release invocation — and latches: every
+/// subsequent call returns the first error (the stream's request/
+/// response pairing is fine, but the caller's view of applied state is
+/// not, so the only sane continuation is none). Transport failures
+/// (connect/read/write) are returned directly and also latch.
+///
+/// Thread-compatible: one thread per client, like the service itself.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/temporal_correlations.h"
+#include "net/messages.h"
+#include "net/wire.h"
+
+namespace tcdp {
+namespace net {
+
+struct NetClientOptions {
+  /// Max unacknowledged pipelined requests (1 = fully synchronous).
+  std::size_t pipeline_depth = 1;
+  /// Connection attempts before giving up (the server may still be
+  /// binding when a client races it up).
+  int connect_attempts = 20;
+  int connect_retry_delay_ms = 50;
+};
+
+class NetClient {
+ public:
+  /// Connects (with retry), sends the stream preamble, and validates
+  /// the server's.
+  static StatusOr<std::unique_ptr<NetClient>> Connect(
+      const std::string& host, std::uint16_t port,
+      NetClientOptions options = {});
+
+  ~NetClient();
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// \name Pipelined mutations (acked up to pipeline_depth behind).
+  /// @{
+  Status Join(const std::string& name,
+              const TemporalCorrelations& correlations);
+  Status Release(const std::string& name, double epsilon);
+  Status ReleaseAll(double epsilon);
+  /// @}
+
+  /// \name Synchronization points (drain outstanding acks first).
+  /// @{
+  /// Server-side Flush: every prior request is applied on return.
+  Status Flush();
+  Status Snapshot();
+  StatusOr<server::UserReport> Query(const std::string& name);
+  StatusOr<WireServiceStats> Stats();
+  /// Asks the server to stop serving (it acks, flushes, and exits its
+  /// loop). The connection is unusable afterwards.
+  Status Shutdown();
+  /// Waits for every outstanding ack without a server-side flush.
+  Status Drain();
+  /// @}
+
+  /// Drains, then closes the socket. Idempotent; run by the destructor
+  /// (which discards the status).
+  Status Close();
+
+  std::size_t outstanding() const { return outstanding_; }
+  std::uint64_t requests_sent() const { return requests_sent_; }
+  std::uint64_t responses_received() const { return responses_received_; }
+
+ private:
+  NetClient(int fd, NetClientOptions options);
+
+  /// Sends one framed request, reading acks when the pipeline is full.
+  Status SendPipelined(MsgType type, const std::string& payload);
+  Status SendAll(const std::string& bytes);
+  /// After a write failure, drains any already-received kError frame —
+  /// the server's explanation for closing — and returns it in place of
+  /// the generic \p transport status when one is found.
+  Status SalvageServerError(Status transport);
+  /// Blocks until one complete response frame is available.
+  Status ReadFrame(Frame* frame);
+  /// Reads one response that must be kOk/kError; kError latches.
+  Status ReadAck();
+  Status latched() const { return first_error_; }
+
+  int fd_ = -1;
+  NetClientOptions options_;
+  FrameDecoder decoder_;
+  std::size_t outstanding_ = 0;
+  std::uint64_t requests_sent_ = 0;
+  std::uint64_t responses_received_ = 0;
+  Status first_error_;
+};
+
+}  // namespace net
+}  // namespace tcdp
+
+#endif  // TCDP_NET_CLIENT_H_

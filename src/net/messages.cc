@@ -1,0 +1,229 @@
+#include "net/messages.h"
+
+#include <cmath>
+
+#include "common/binary_io.h"
+
+namespace tcdp {
+namespace net {
+namespace {
+
+Status ExpectConsumed(const BinaryCursor& cursor, const char* what) {
+  if (!cursor.empty()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": trailing bytes in payload");
+  }
+  return Status::OK();
+}
+
+Status CheckEpsilon(double epsilon, const char* what) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": epsilon not finite and > 0");
+  }
+  return Status::OK();
+}
+
+/// Reads a varint element count followed by that many raw-bits doubles.
+/// The count is validated against the bytes actually present before
+/// anything is reserved.
+Status ReadDoubleSeries(BinaryCursor* cursor, const char* what,
+                        std::vector<double>* out) {
+  std::uint64_t count = 0;
+  TCDP_RETURN_IF_ERROR(cursor->ReadVarint64(&count));
+  if (count > cursor->remaining() / sizeof(double)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": series count exceeds payload");
+  }
+  out->clear();
+  out->reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    double value = 0.0;
+    TCDP_RETURN_IF_ERROR(cursor->ReadDoubleBits(&value));
+    out->push_back(value);
+  }
+  return Status::OK();
+}
+
+void PutDoubleSeries(std::string* dst, const std::vector<double>& series) {
+  PutVarint64(dst, series.size());
+  for (double value : series) PutDoubleBits(dst, value);
+}
+
+}  // namespace
+
+std::string EncodeJoin(const std::string& name,
+                       const TemporalCorrelations& correlations) {
+  server::AddUserRecord record;
+  record.name = name;
+  record.image.correlations = correlations;
+  // The server replaces the resolution with its own cache's; what the
+  // client believes about quantization is irrelevant to the request.
+  record.image.cache_alpha_resolution = -1.0;
+  return server::EncodeAddUser(record);
+}
+
+StatusOr<server::AddUserRecord> DecodeJoin(const std::string& payload) {
+  return server::DecodeAddUser(payload);
+}
+
+std::string EncodeRelease(const std::string& name, double epsilon) {
+  std::string out;
+  PutLengthPrefixed(&out, name);
+  PutDoubleBits(&out, epsilon);
+  return out;
+}
+
+StatusOr<ReleaseRequest> DecodeRelease(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  ReleaseRequest request;
+  TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&request.name));
+  TCDP_RETURN_IF_ERROR(cursor.ReadDoubleBits(&request.epsilon));
+  TCDP_RETURN_IF_ERROR(CheckEpsilon(request.epsilon, "DecodeRelease"));
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeRelease"));
+  return request;
+}
+
+std::string EncodeReleaseAll(double epsilon) {
+  std::string out;
+  PutDoubleBits(&out, epsilon);
+  return out;
+}
+
+StatusOr<double> DecodeReleaseAll(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  double epsilon = 0.0;
+  TCDP_RETURN_IF_ERROR(cursor.ReadDoubleBits(&epsilon));
+  TCDP_RETURN_IF_ERROR(CheckEpsilon(epsilon, "DecodeReleaseAll"));
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeReleaseAll"));
+  return epsilon;
+}
+
+std::string EncodeName(const std::string& name) {
+  std::string out;
+  PutLengthPrefixed(&out, name);
+  return out;
+}
+
+StatusOr<std::string> DecodeName(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  std::string name;
+  TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&name));
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeName"));
+  return name;
+}
+
+std::string EncodeError(const Status& status) {
+  std::string out;
+  PutVarint64(&out, static_cast<std::uint64_t>(status.code()));
+  PutLengthPrefixed(&out, status.message());
+  return out;
+}
+
+Status DecodeError(const std::string& payload, Status* error) {
+  BinaryCursor cursor(payload);
+  std::uint64_t code = 0;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&code));
+  if (code == 0 ||
+      code > static_cast<std::uint64_t>(StatusCode::kResourceExhausted)) {
+    return Status::InvalidArgument("DecodeError: unknown status code " +
+                                   std::to_string(code));
+  }
+  std::string message;
+  TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&message));
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeError"));
+  *error = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+std::string EncodeReport(const server::UserReport& report) {
+  std::string out;
+  PutLengthPrefixed(&out, report.name);
+  PutVarint64(&out, report.shard);
+  PutVarint64(&out, report.join_release);
+  PutVarint64(&out, report.horizon);
+  PutDoubleBits(&out, report.max_tpl);
+  PutDoubleBits(&out, report.user_level_tpl);
+  PutDoubleSeries(&out, report.epsilons);
+  PutDoubleSeries(&out, report.tpl_series);
+  return out;
+}
+
+StatusOr<server::UserReport> DecodeReport(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  server::UserReport report;
+  TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&report.name));
+  std::uint64_t shard = 0;
+  std::uint64_t join_release = 0;
+  std::uint64_t horizon = 0;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&shard));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&join_release));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&horizon));
+  report.shard = static_cast<std::size_t>(shard);
+  report.join_release = static_cast<std::size_t>(join_release);
+  report.horizon = static_cast<std::size_t>(horizon);
+  TCDP_RETURN_IF_ERROR(cursor.ReadDoubleBits(&report.max_tpl));
+  TCDP_RETURN_IF_ERROR(cursor.ReadDoubleBits(&report.user_level_tpl));
+  TCDP_RETURN_IF_ERROR(
+      ReadDoubleSeries(&cursor, "DecodeReport", &report.epsilons));
+  TCDP_RETURN_IF_ERROR(
+      ReadDoubleSeries(&cursor, "DecodeReport", &report.tpl_series));
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeReport"));
+  return report;
+}
+
+std::string EncodeStatsReport(const WireServiceStats& stats) {
+  std::string out;
+  PutVarint64(&out, stats.num_shards);
+  PutVarint64(&out, stats.num_users);
+  PutVarint64(&out, stats.horizon);
+  PutVarint64(&out, stats.join_requests);
+  PutVarint64(&out, stats.release_requests);
+  PutVarint64(&out, stats.ticks);
+  PutVarint64(&out, stats.global_releases);
+  PutVarint64(&out, stats.shards.size());
+  for (const WireShardStats& shard : stats.shards) {
+    PutVarint64(&out, shard.users);
+    PutVarint64(&out, shard.horizon);
+    PutVarint64(&out, shard.wal_records);
+    PutVarint64(&out, shard.wal_bytes);
+    PutVarint64(&out, shard.snapshots_written);
+    PutVarint64(&out, shard.queue_depth);
+    PutVarint64(&out, shard.enqueue_blocks);
+  }
+  return out;
+}
+
+StatusOr<WireServiceStats> DecodeStatsReport(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  WireServiceStats stats;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&stats.num_shards));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&stats.num_users));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&stats.horizon));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&stats.join_requests));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&stats.release_requests));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&stats.ticks));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&stats.global_releases));
+  std::uint64_t shard_count = 0;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&shard_count));
+  // Each shard row is at least 7 one-byte varints.
+  if (shard_count > cursor.remaining() / 7) {
+    return Status::InvalidArgument(
+        "DecodeStatsReport: shard count exceeds payload");
+  }
+  stats.shards.resize(static_cast<std::size_t>(shard_count));
+  for (WireShardStats& shard : stats.shards) {
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&shard.users));
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&shard.horizon));
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&shard.wal_records));
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&shard.wal_bytes));
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&shard.snapshots_written));
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&shard.queue_depth));
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&shard.enqueue_blocks));
+  }
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeStatsReport"));
+  return stats;
+}
+
+}  // namespace net
+}  // namespace tcdp

@@ -1,0 +1,90 @@
+#ifndef TCDP_NET_MESSAGES_H_
+#define TCDP_NET_MESSAGES_H_
+
+/// \file
+/// Typed payload codecs for the network frame types (net/wire.h owns
+/// the framing; this file owns what goes inside), mirroring the split
+/// between server/event_log.h and server/records.h.
+///
+/// Wire conventions are the durable formats' (common/binary_io):
+/// little-endian fixed ints, LEB128 varints, doubles as raw IEEE-754
+/// bits — which is what makes a series fetched over the network
+/// bitwise comparable to the in-process one. A Join payload IS the
+/// WAL's AddUser record (server/records), so the correlation matrices
+/// travel in the same "tcdp-accountant-v2" grammar everywhere.
+///
+/// Every decoder is total: truncated or corrupted payloads (those that
+/// survive the frame CRC) come back as Status, never UB, and decoded
+/// counts are validated against the payload size before reserving.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/records.h"
+#include "server/sharded_service.h"
+
+namespace tcdp {
+namespace net {
+
+/// kRelease request: one user spends epsilon at the next batch tick.
+struct ReleaseRequest {
+  std::string name;
+  double epsilon = 0.0;
+};
+
+/// kStatsReport response: the service counters plus per-shard depth /
+/// backpressure / WAL gauges (the network face of `tcdp serve` stats).
+struct WireShardStats {
+  std::uint64_t users = 0;
+  std::uint64_t horizon = 0;
+  std::uint64_t wal_records = 0;
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t snapshots_written = 0;
+  std::uint64_t queue_depth = 0;      ///< sampled at request time
+  std::uint64_t enqueue_blocks = 0;   ///< Pushes that had to wait
+};
+
+struct WireServiceStats {
+  std::uint64_t num_shards = 0;
+  std::uint64_t num_users = 0;
+  std::uint64_t horizon = 0;
+  std::uint64_t join_requests = 0;
+  std::uint64_t release_requests = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t global_releases = 0;
+  std::vector<WireShardStats> shards;
+};
+
+/// kJoin reuses the WAL AddUser codec verbatim: name + a history-free
+/// "tcdp-accountant-v2" correlation blob.
+std::string EncodeJoin(const std::string& name,
+                       const TemporalCorrelations& correlations);
+StatusOr<server::AddUserRecord> DecodeJoin(const std::string& payload);
+
+std::string EncodeRelease(const std::string& name, double epsilon);
+StatusOr<ReleaseRequest> DecodeRelease(const std::string& payload);
+
+std::string EncodeReleaseAll(double epsilon);
+StatusOr<double> DecodeReleaseAll(const std::string& payload);
+
+/// Shared by kQuery (request) — a bare length-prefixed user name.
+std::string EncodeName(const std::string& name);
+StatusOr<std::string> DecodeName(const std::string& payload);
+
+/// kError carries a Status by value. The return value is the decode
+/// result; \p error receives the server-reported status on success.
+std::string EncodeError(const Status& status);
+Status DecodeError(const std::string& payload, Status* error);
+
+std::string EncodeReport(const server::UserReport& report);
+StatusOr<server::UserReport> DecodeReport(const std::string& payload);
+
+std::string EncodeStatsReport(const WireServiceStats& stats);
+StatusOr<WireServiceStats> DecodeStatsReport(const std::string& payload);
+
+}  // namespace net
+}  // namespace tcdp
+
+#endif  // TCDP_NET_MESSAGES_H_

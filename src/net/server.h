@@ -1,0 +1,145 @@
+#ifndef TCDP_NET_SERVER_H_
+#define TCDP_NET_SERVER_H_
+
+/// \file
+/// NetServer: the TCP ingress of the sharded release service.
+///
+///   clients ──► poll(2) readiness loop ──► FrameDecoder per conn
+///                        │ complete request frames
+///                        ▼
+///              ShardedReleaseService (shard queues + workers)
+///                        │ responses, in request order
+///                        ▼
+///              per-connection write buffer ──► socket
+///
+/// **Threading.** One I/O thread (the caller of Serve) owns every
+/// socket and is the only thread that touches the service — which is
+/// exactly the external serialization ShardedReleaseService requires.
+/// Parallelism lives where it already exists: the service's shard
+/// worker threads. Dispatching a release can block on a full shard
+/// queue; that stall is the engine's backpressure propagating to the
+/// wire, by design.
+///
+/// **Backpressure.** Each connection bounds (a) parsed-but-unanswered
+/// request frames (`max_inflight`) and (b) buffered response bytes
+/// (`max_write_buffer`). At either bound the server simply stops
+/// reading that socket — TCP flow control pushes the queue back to the
+/// client — and `stats().backpressure_pauses` counts the events.
+///
+/// **Trust.** Framing violations (bad magic/version, oversized length,
+/// CRC mismatch) poison the stream; the connection is dropped without
+/// a response. A well-framed but malformed payload gets a kError
+/// response and then the connection is closed (the peer is confused
+/// but the stream is still parseable). Service-level failures (unknown
+/// user, duplicate join) are ordinary kError responses and the
+/// connection stays open. None of these can corrupt accounting state:
+/// a request either fully dispatches into the service or produces no
+/// service call at all.
+///
+/// **Shutdown.** Stop() (thread-safe, e.g. from a signal handler path)
+/// or a client kShutdown request ends Serve(): the listener closes,
+/// buffered responses are flushed to connected peers, and every socket
+/// is torn down. The service itself is NOT closed — that's the
+/// owner's call.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+#include "server/sharded_service.h"
+
+namespace tcdp {
+namespace net {
+
+struct NetServerOptions {
+  /// Bind address; loopback by default (there is no auth on the wire).
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port (read it back via port()).
+  std::uint16_t port = 0;
+  int listen_backlog = 64;
+  std::size_t max_connections = 64;
+  /// Parsed request frames a connection may have outstanding before
+  /// the server stops reading its socket.
+  std::size_t max_inflight = 64;
+  /// Buffered response bytes per connection before reads pause.
+  std::size_t max_write_buffer = 4u << 20;
+};
+
+struct NetServerStats {
+  std::uint64_t connections_accepted = 0;
+  /// accept(2) failures survived (e.g. EMFILE under fd pressure —
+  /// the refused connection is the peer's problem, not the server's).
+  std::uint64_t accept_failures = 0;
+  /// Connections torn down for framing/payload protocol violations.
+  std::uint64_t connections_dropped = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  /// Times a connection's reads were paused at an in-flight or
+  /// write-buffer bound.
+  std::uint64_t backpressure_pauses = 0;
+};
+
+class NetServer {
+ public:
+  /// Binds and listens. \p service must outlive the server and must
+  /// not be used by other threads while Serve runs.
+  static StatusOr<std::unique_ptr<NetServer>> Listen(
+      server::ShardedReleaseService* service, NetServerOptions options = {});
+
+  ~NetServer();
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (the ephemeral one when options.port was 0).
+  std::uint16_t port() const { return port_; }
+
+  /// Runs the readiness loop on the calling thread until Stop() or a
+  /// kShutdown request. Returns the first I/O-loop error, or OK on a
+  /// clean shutdown. Call at most once.
+  Status Serve();
+
+  /// Requests shutdown from any thread; Serve() returns soon after.
+  /// Idempotent, and safe before/without Serve().
+  void Stop();
+
+  /// Counters; read after Serve() returns (not synchronized while the
+  /// loop runs).
+  const NetServerStats& stats() const { return stats_; }
+
+ private:
+  struct Connection;
+
+  NetServer(server::ShardedReleaseService* service, NetServerOptions options);
+
+  void AcceptOne();
+  /// Reads once from \p conn; false when the connection must close.
+  bool ReadFrom(Connection* conn);
+  /// Dispatches parsed frames up to the backpressure bounds.
+  void ProcessFrames(Connection* conn);
+  /// One request frame -> one queued response. A payload-level
+  /// protocol violation marks the connection close_after_flush.
+  void HandleFrame(Connection* conn, MsgType type,
+                   const std::string& payload);
+  bool WriteTo(Connection* conn);
+
+  server::ShardedReleaseService* service_;  // not owned
+  NetServerOptions options_;
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;   ///< self-pipe: Stop() wakes poll()
+  int wake_write_fd_ = -1;
+  std::uint16_t port_ = 0;
+  bool stopping_ = false;
+  bool served_ = false;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  NetServerStats stats_;
+};
+
+}  // namespace net
+}  // namespace tcdp
+
+#endif  // TCDP_NET_SERVER_H_

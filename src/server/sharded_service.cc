@@ -1,5 +1,6 @@
 #include "server/sharded_service.h"
 
+#include <algorithm>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
@@ -11,6 +12,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "common/thread_pool.h"
 #include "core/accountant_bank.h"
 #include "server/event_log.h"
 #include "server/records.h"
@@ -160,6 +162,7 @@ struct ShardedReleaseService::Shard {
   std::condition_variable cv_pop;   ///< worker waits for commands
   std::condition_variable cv_idle;  ///< Drain waits for quiescence
   std::deque<ShardCommand> queue;
+  std::uint64_t enqueue_blocks = 0;  ///< Pushes that found the queue full
   bool busy = false;
   bool stop = false;
   Status first_error;
@@ -176,6 +179,7 @@ struct ShardedReleaseService::Shard {
 
   void Push(ShardCommand command) {
     std::unique_lock<std::mutex> lock(mu);
+    if (queue.size() >= options->queue_capacity && !stop) ++enqueue_blocks;
     cv_push.wait(lock, [this] {
       return queue.size() < options->queue_capacity || stop;
     });
@@ -390,7 +394,8 @@ StatusOr<std::unique_ptr<ShardedReleaseService>> ShardedReleaseService::Create(
 }
 
 StatusOr<std::unique_ptr<ShardedReleaseService>>
-ShardedReleaseService::Recover(const std::string& log_dir) {
+ShardedReleaseService::Recover(const std::string& log_dir,
+                               std::size_t recovery_threads) {
   TCDP_ASSIGN_OR_RETURN(ShardedServiceOptions options,
                         ReadManifestFile(log_dir));
   std::unique_ptr<ShardedReleaseService> service(
@@ -430,8 +435,13 @@ ShardedReleaseService::Recover(const std::string& log_dir) {
 
   // Pass 2: per shard, cut the log at the common horizon (keeping any
   // trailing joins), restore snapshot + replay the suffix, truncate,
-  // and reopen for append.
-  for (std::size_t i = 0; i < num_shards; ++i) {
+  // and reopen for append. Shards share no state (each owns its bank,
+  // cache, WAL, and snapshot), so replay fans out over a thread pool;
+  // registration below stays serial so registry order is shard-major
+  // regardless of which shard finishes first.
+  std::vector<std::unique_ptr<Shard>> recovered(num_shards);
+  std::vector<Status> shard_status(num_shards, Status::OK());
+  auto recover_one = [&](std::size_t i) -> Status {
     const ReadLogResult& log = logs[i];
     std::size_t keep = log.records.size();
     std::size_t releases = 0;
@@ -527,7 +537,31 @@ ShardedReleaseService::Recover(const std::string& log_dir) {
         EventLogWriter::OpenForAppend(ShardWalPath(log_dir, i),
                                       resume_offset, keep));
     shard->wal_records = keep;
+    recovered[i] = std::move(shard);
+    return Status::OK();
+  };
 
+  const std::size_t hw = std::thread::hardware_concurrency();
+  std::size_t threads =
+      recovery_threads == 0 ? std::max<std::size_t>(hw, 1)
+                            : recovery_threads;
+  threads = std::min(threads, num_shards);
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < num_shards; ++i) {
+      shard_status[i] = recover_one(i);
+    }
+  } else {
+    ThreadPool pool(threads);
+    pool.ParallelFor(0, num_shards,
+                     [&](std::size_t i) { shard_status[i] = recover_one(i); });
+  }
+  for (const Status& status : shard_status) {
+    TCDP_RETURN_IF_ERROR(status);
+  }
+
+  service->shard_user_count_.assign(num_shards, 0);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    std::unique_ptr<Shard>& shard = recovered[i];
     for (std::size_t u = 0; u < shard->names.size(); ++u) {
       auto [it, inserted] = service->registry_.try_emplace(
           shard->names[u], static_cast<std::uint32_t>(i),
@@ -537,8 +571,8 @@ ShardedReleaseService::Recover(const std::string& log_dir) {
                                        "' appears on two shards");
       }
     }
-    service->shard_user_count_.push_back(
-        static_cast<std::uint32_t>(shard->names.size()));
+    service->shard_user_count_[i] =
+        static_cast<std::uint32_t>(shard->names.size());
     shard->Start();
     service->shards_.push_back(std::move(shard));
   }
@@ -768,9 +802,17 @@ ShardedReleaseService::PersonalizedAlphas() {
 }
 
 ShardStats ShardedReleaseService::shard_stats(std::size_t shard) {
+  ShardStats stats;
+  {
+    // Depth is sampled before the drain below empties the queue — it
+    // answers "how backed up was this shard when you asked".
+    Shard& live = *shards_[shard];
+    std::lock_guard<std::mutex> lock(live.mu);
+    stats.queue_depth = live.queue.size();
+    stats.enqueue_blocks = live.enqueue_blocks;
+  }
   if (!closed_) (void)DrainShard(shard);
   const Shard& s = *shards_[shard];
-  ShardStats stats;
   stats.users = s.bank.num_users();
   stats.horizon = s.bank.horizon();
   stats.wal_records = s.wal_records;

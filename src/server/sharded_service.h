@@ -102,6 +102,11 @@ struct ShardStats {
   std::uint64_t snapshots_written = 0;
   std::uint64_t replayed_records = 0;   ///< WAL records applied by Recover
   bool restored_from_snapshot = false;
+  /// Commands waiting in the shard queue, sampled when the stats call
+  /// entered (before it drains the shard).
+  std::size_t queue_depth = 0;
+  /// Enqueues that blocked on a full queue (backpressure events).
+  std::uint64_t enqueue_blocks = 0;
 };
 
 struct ServiceStats {
@@ -124,8 +129,13 @@ class ShardedReleaseService {
   /// MANIFEST): per shard, snapshot restore when usable plus WAL
   /// replay, torn tails truncated, shards aligned to the minimum
   /// common horizon. The service resumes accepting requests.
+  ///
+  /// Shard replay fans out over \p recovery_threads (0 picks
+  /// hardware_concurrency, 1 replays serially) — shards are
+  /// independent, so the recovered state is bitwise identical at any
+  /// thread count (property-tested).
   static StatusOr<std::unique_ptr<ShardedReleaseService>> Recover(
-      const std::string& log_dir);
+      const std::string& log_dir, std::size_t recovery_threads = 0);
 
   ~ShardedReleaseService();
   ShardedReleaseService(const ShardedReleaseService&) = delete;

@@ -3,10 +3,12 @@
 
 #include "tools/cli.h"
 
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -302,6 +304,81 @@ TEST_F(ServeCliTest, ReplayRequiresLogDir) {
   EXPECT_FALSE(Run({"replay"}).ok());
   EXPECT_FALSE(
       Run({"replay", "--log-dir", "/tmp/no_such_tcdp_log_dir"}).ok());
+}
+
+/// Extracts the `"queries": [...]` JSON section — the part that must be
+/// bitwise identical between an in-process serve run and a networked
+/// client replay of the same script.
+std::string QueriesSection(const std::string& json) {
+  const std::size_t begin = json.find("\"queries\": [");
+  EXPECT_NE(begin, std::string::npos) << json;
+  if (begin == std::string::npos) return "";
+  const std::size_t end = json.find(']', begin);
+  EXPECT_NE(end, std::string::npos);
+  return json.substr(begin, end - begin + 1);
+}
+
+TEST_F(ServeCliTest, ClientReplayOverLoopbackMatchesInProcessBitwise) {
+  // In-process run (the ISSUE 4 acceptance reference).
+  auto in_process = Run({"serve", "--script", script_path_, "--shards", "3",
+                         "--batch-window", "4", "--json", "-"});
+  ASSERT_TRUE(in_process.ok()) << in_process.status().ToString();
+
+  // Networked run: serve --listen on a background thread, replay the
+  // same script through `tcdp client`, shut the server down.
+  const std::string port_file = "/tmp/tcdp_cli_net_port.txt";
+  std::remove(port_file.c_str());
+  StatusOr<std::string> served = Status::Internal("serve never ran");
+  std::thread server([&] {
+    served = Run({"serve", "--listen", "0", "--shards", "3",
+                  "--batch-window", "4", "--port-file", port_file,
+                  "--json", "-"});
+  });
+  std::string port;
+  for (int i = 0; i < 200 && port.empty(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    std::ifstream in(port_file);
+    std::getline(in, port);
+  }
+  ASSERT_FALSE(port.empty()) << "server never wrote its port file";
+  auto client = Run({"client", "--port", port, "--script", script_path_,
+                     "--pipeline", "4", "--shutdown", "1", "--json", "-"});
+  server.join();
+  std::remove(port_file.c_str());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  // Bitwise: the doubles print at precision 17 in both outputs.
+  EXPECT_EQ(QueriesSection(*client), QueriesSection(*in_process))
+      << "client:\n" << *client << "\nin-process:\n" << *in_process;
+  for (const char* key :
+       {"\"server_stats\":", "\"queue_depth\":", "\"enqueue_blocks\":"}) {
+    EXPECT_NE(client->find(key), std::string::npos)
+        << "missing " << key << " in:\n" << *client;
+  }
+  for (const char* key : {"\"net\":", "\"connections_accepted\": 1",
+                          "\"queue_depth\":", "\"enqueue_blocks\":"}) {
+    EXPECT_NE(served->find(key), std::string::npos)
+        << "missing " << key << " in:\n" << *served;
+  }
+}
+
+TEST_F(ServeCliTest, ClientRejectsBadFlags) {
+  EXPECT_FALSE(Run({"client"}).ok());  // no script, no port
+  EXPECT_FALSE(Run({"client", "--script", script_path_}).ok());  // no port
+  EXPECT_FALSE(Run({"client", "--script", script_path_, "--port",
+                    "99999999"})
+                   .ok());
+  EXPECT_FALSE(Run({"client", "--port", "1", "--script",
+                    "/tmp/no_such_tcdp_script.txt"})
+                   .ok());
+}
+
+TEST_F(ServeCliTest, HelpMentionsNetworkCommands) {
+  auto help = Run({"help"});
+  ASSERT_TRUE(help.ok());
+  EXPECT_NE(help->find("client"), std::string::npos);
+  EXPECT_NE(help->find("--listen"), std::string::npos);
 }
 
 }  // namespace

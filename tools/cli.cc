@@ -19,6 +19,8 @@
 #include "markov/estimation.h"
 #include "markov/higher_order.h"
 #include "markov/io.h"
+#include "net/client.h"
+#include "net/server.h"
 #include "server/sharded_service.h"
 #include "service/fleet_engine.h"
 #include "workload/generators.h"
@@ -492,14 +494,17 @@ struct ServeOutcome {
   std::vector<server::UserReport> queries;
 };
 
-/// Drives one scripted request stream into \p service. Grammar (one
-/// command per line, '#' comments):
+/// Drives one scripted request stream into \p backend — either the
+/// in-process ShardedReleaseService or a NetClient; both expose the
+/// same verbs, and sharing one parser is what keeps the two replay
+/// paths' grammar identical (the ISSUE 4 bitwise-comparison contract).
+/// Grammar (one command per line, '#' comments):
 ///   join <name> <pages> <home_prob>
 ///   release <eps> all | release <eps> <name[,name...]>
 ///   flush | snapshot | query <name>
-Status RunServeScript(std::istream& script,
-                      server::ShardedReleaseService* service,
-                      ServeOutcome* outcome) {
+template <typename Backend>
+Status RunScript(std::istream& script, Backend* backend,
+                 ServeOutcome* outcome) {
   std::string line;
   std::size_t line_no = 0;
   WallTimer timer;
@@ -523,7 +528,7 @@ Status RunServeScript(std::istream& script,
       TCDP_ASSIGN_OR_RETURN(auto matrix, ClickstreamModel(pages, home_prob));
       TCDP_ASSIGN_OR_RETURN(auto corr,
                             TemporalCorrelations::Both(matrix, matrix));
-      TCDP_RETURN_IF_ERROR(service->Join(name, std::move(corr)));
+      TCDP_RETURN_IF_ERROR(backend->Join(name, std::move(corr)));
     } else if (command == "release") {
       double eps = 0.0;
       std::string who;
@@ -531,33 +536,34 @@ Status RunServeScript(std::istream& script,
         return syntax_error("expected 'release <eps> all|<names>'");
       }
       if (who == "all") {
-        TCDP_RETURN_IF_ERROR(service->ReleaseAll(eps));
+        TCDP_RETURN_IF_ERROR(backend->ReleaseAll(eps));
       } else {
         for (const std::string& name : SplitCommas(who)) {
-          TCDP_RETURN_IF_ERROR(service->Release(name, eps));
+          TCDP_RETURN_IF_ERROR(backend->Release(name, eps));
         }
       }
     } else if (command == "flush") {
-      TCDP_RETURN_IF_ERROR(service->Flush());
+      TCDP_RETURN_IF_ERROR(backend->Flush());
     } else if (command == "snapshot") {
-      TCDP_RETURN_IF_ERROR(service->Snapshot());
+      TCDP_RETURN_IF_ERROR(backend->Snapshot());
     } else if (command == "query") {
       std::string name;
       if (!(fields >> name)) return syntax_error("expected 'query <name>'");
-      TCDP_ASSIGN_OR_RETURN(auto report, service->Query(name));
+      TCDP_ASSIGN_OR_RETURN(auto report, backend->Query(name));
       outcome->queries.push_back(std::move(report));
     } else {
       return syntax_error("unknown command '" + command + "'");
     }
   }
-  TCDP_RETURN_IF_ERROR(service->Flush());
+  TCDP_RETURN_IF_ERROR(backend->Flush());
   outcome->elapsed_seconds = timer.ElapsedSeconds();
   return Status::OK();
 }
 
 void PrintServiceJson(server::ShardedReleaseService* service,
                       const ServeOutcome& outcome, double overall_alpha,
-                      double min_alpha, std::ostream& out) {
+                      double min_alpha, const net::NetServerStats* net,
+                      std::ostream& out) {
   const auto& stats = service->stats();
   const std::uint64_t requests =
       stats.join_requests + stats.release_requests;
@@ -589,9 +595,24 @@ void PrintServiceJson(server::ShardedReleaseService* service,
         << ", \"snapshots\": " << shard.snapshots_written
         << ", \"replayed_records\": " << shard.replayed_records
         << ", \"restored_from_snapshot\": "
-        << (shard.restored_from_snapshot ? "true" : "false") << "}";
+        << (shard.restored_from_snapshot ? "true" : "false")
+        << ", \"queue_depth\": " << shard.queue_depth
+        << ", \"enqueue_blocks\": " << shard.enqueue_blocks << "}";
   }
-  out << "\n  ],\n  \"queries\": [";
+  out << "\n  ],";
+  if (net != nullptr) {
+    out << "\n  \"net\": {\"connections_accepted\": "
+        << net->connections_accepted
+        << ", \"accept_failures\": " << net->accept_failures
+        << ", \"connections_dropped\": " << net->connections_dropped
+        << ", \"requests\": " << net->requests
+        << ", \"responses\": " << net->responses
+        << ", \"bytes_in\": " << net->bytes_in
+        << ", \"bytes_out\": " << net->bytes_out
+        << ", \"backpressure_pauses\": " << net->backpressure_pauses
+        << "},";
+  }
+  out << "\n  \"queries\": [";
   for (std::size_t q = 0; q < outcome.queries.size(); ++q) {
     const server::UserReport& report = outcome.queries[q];
     out << (q == 0 ? "\n" : ",\n") << "    {\"name\": \""
@@ -604,13 +625,11 @@ void PrintServiceJson(server::ShardedReleaseService* service,
 }
 
 Status CmdServe(const Flags& flags, std::ostream& out) {
+  const bool listen = flags.count("listen") > 0;
   const auto script_it = flags.find("script");
-  if (script_it == flags.end()) {
-    return Status::InvalidArgument("missing required flag --script");
-  }
-  std::ifstream script(script_it->second);
-  if (!script) {
-    return Status::NotFound("cannot open script " + script_it->second);
+  if (script_it == flags.end() && !listen) {
+    return Status::InvalidArgument(
+        "missing required flag --script (or --listen)");
   }
   server::ShardedServiceOptions options;
   TCDP_ASSIGN_OR_RETURN(options.num_shards,
@@ -636,7 +655,48 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
                         server::ShardedReleaseService::Create(log_dir,
                                                               options));
   ServeOutcome outcome;
-  TCDP_RETURN_IF_ERROR(RunServeScript(script, service.get(), &outcome));
+  if (script_it != flags.end()) {
+    std::ifstream script(script_it->second);
+    if (!script) {
+      return Status::NotFound("cannot open script " + script_it->second);
+    }
+    TCDP_RETURN_IF_ERROR(RunScript(script, service.get(), &outcome));
+  }
+
+  net::NetServerStats net_stats;
+  bool served = false;
+  if (listen) {
+    TCDP_ASSIGN_OR_RETURN(std::size_t port, FlagAsSize(flags, "listen"));
+    if (port > 65535) {
+      return Status::InvalidArgument("--listen must be a port (0-65535)");
+    }
+    net::NetServerOptions net_options;
+    net_options.port = static_cast<std::uint16_t>(port);
+    if (flags.count("host") > 0) net_options.host = flags.at("host");
+    TCDP_ASSIGN_OR_RETURN(auto net_server,
+                          net::NetServer::Listen(service.get(),
+                                                 net_options));
+    if (flags.count("port-file") > 0) {
+      // Written (and closed) before Serve blocks: pollers treat the
+      // file's presence as "the port is bound".
+      std::ofstream port_file(flags.at("port-file"));
+      port_file << net_server->port() << "\n";
+      if (!port_file) {
+        return Status::Internal("cannot write " + flags.at("port-file"));
+      }
+    }
+    if (!json) {
+      out << "listening on " << net_options.host << ":"
+          << net_server->port() << "\n";
+      out.flush();
+    }
+    WallTimer timer;
+    TCDP_RETURN_IF_ERROR(net_server->Serve());
+    outcome.elapsed_seconds += timer.ElapsedSeconds();
+    net_stats = net_server->stats();
+    served = true;
+    TCDP_RETURN_IF_ERROR(service->Flush());
+  }
   TCDP_ASSIGN_OR_RETURN(auto alphas, service->PersonalizedAlphas());
   double overall = 0.0;
   double min_alpha = alphas.empty() ? 0.0 : alphas.front().second;
@@ -646,7 +706,8 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
     min_alpha = std::min(min_alpha, alpha);
   }
   if (json) {
-    PrintServiceJson(service.get(), outcome, overall, min_alpha, out);
+    PrintServiceJson(service.get(), outcome, overall, min_alpha,
+                     served ? &net_stats : nullptr, out);
   } else {
     Table table({"metric", "value"});
     auto add = [&table](const std::string& name, const std::string& value) {
@@ -656,6 +717,17 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
     };
     const auto& stats = service->stats();
     add("shards", std::to_string(service->num_shards()));
+    if (served) {
+      add("connections accepted",
+          std::to_string(net_stats.connections_accepted));
+      add("net requests", std::to_string(net_stats.requests));
+      add("net bytes in/out", std::to_string(net_stats.bytes_in) + "/" +
+                                  std::to_string(net_stats.bytes_out));
+      add("backpressure pauses",
+          std::to_string(net_stats.backpressure_pauses));
+      add("connections dropped (protocol)",
+          std::to_string(net_stats.connections_dropped));
+    }
     add("users", std::to_string(service->num_users()));
     add("requests",
         std::to_string(stats.join_requests + stats.release_requests));
@@ -685,6 +757,114 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
     }
   }
   return service->Close();
+}
+
+Status CmdClient(const Flags& flags, std::ostream& out) {
+  const auto script_it = flags.find("script");
+  if (script_it == flags.end()) {
+    return Status::InvalidArgument("missing required flag --script");
+  }
+  std::ifstream script(script_it->second);
+  if (!script) {
+    return Status::NotFound("cannot open script " + script_it->second);
+  }
+  TCDP_ASSIGN_OR_RETURN(std::size_t port, FlagAsSize(flags, "port"));
+  if (port == 0 || port > 65535) {
+    return Status::InvalidArgument("--port must be in 1-65535");
+  }
+  std::string host = "127.0.0.1";
+  if (flags.count("host") > 0) host = flags.at("host");
+  net::NetClientOptions client_options;
+  TCDP_ASSIGN_OR_RETURN(client_options.pipeline_depth,
+                        FlagAsSize(flags, "pipeline", std::size_t{8}));
+  TCDP_ASSIGN_OR_RETURN(std::size_t shutdown,
+                        FlagAsSize(flags, "shutdown", std::size_t{0}));
+  const bool json = flags.count("json") > 0;
+  if (json && flags.at("json") != "-") {
+    return Status::InvalidArgument("--json only supports '-' (stdout)");
+  }
+
+  TCDP_ASSIGN_OR_RETURN(
+      auto client,
+      net::NetClient::Connect(host, static_cast<std::uint16_t>(port),
+                              client_options));
+  ServeOutcome outcome;
+  TCDP_RETURN_IF_ERROR(RunScript(script, client.get(), &outcome));
+  TCDP_ASSIGN_OR_RETURN(auto stats, client->Stats());
+  if (shutdown != 0) {
+    TCDP_RETURN_IF_ERROR(client->Shutdown());
+  }
+  const std::uint64_t requests = client->requests_sent();
+  const double rps = outcome.elapsed_seconds > 0.0
+                         ? static_cast<double>(requests) /
+                               outcome.elapsed_seconds
+                         : 0.0;
+  if (json) {
+    out.precision(17);
+    out << "{\n"
+        << "  \"host\": \"" << JsonEscape(host) << "\",\n"
+        << "  \"port\": " << port << ",\n"
+        << "  \"pipeline\": " << client_options.pipeline_depth << ",\n"
+        << "  \"script_lines\": " << outcome.script_lines << ",\n"
+        << "  \"elapsed_seconds\": " << outcome.elapsed_seconds << ",\n"
+        << "  \"requests_sent\": " << requests << ",\n"
+        << "  \"responses_received\": " << client->responses_received()
+        << ",\n"
+        << "  \"requests_per_sec\": " << rps << ",\n"
+        << "  \"server_stats\": {\"shards\": " << stats.num_shards
+        << ", \"users\": " << stats.num_users
+        << ", \"horizon\": " << stats.horizon
+        << ", \"join_requests\": " << stats.join_requests
+        << ", \"release_requests\": " << stats.release_requests
+        << ", \"ticks\": " << stats.ticks
+        << ", \"global_releases\": " << stats.global_releases
+        << ", \"shard_stats\": [";
+    for (std::size_t s = 0; s < stats.shards.size(); ++s) {
+      const net::WireShardStats& shard = stats.shards[s];
+      out << (s == 0 ? "\n" : ",\n") << "    {\"shard\": " << s
+          << ", \"users\": " << shard.users
+          << ", \"horizon\": " << shard.horizon
+          << ", \"wal_records\": " << shard.wal_records
+          << ", \"wal_bytes\": " << shard.wal_bytes
+          << ", \"snapshots\": " << shard.snapshots_written
+          << ", \"queue_depth\": " << shard.queue_depth
+          << ", \"enqueue_blocks\": " << shard.enqueue_blocks << "}";
+    }
+    out << "\n  ]},\n  \"queries\": [";
+    for (std::size_t q = 0; q < outcome.queries.size(); ++q) {
+      const server::UserReport& report = outcome.queries[q];
+      out << (q == 0 ? "\n" : ",\n") << "    {\"name\": \""
+          << JsonEscape(report.name) << "\", \"shard\": " << report.shard
+          << ", \"horizon\": " << report.horizon
+          << ", \"max_tpl\": " << report.max_tpl
+          << ", \"user_level_tpl\": " << report.user_level_tpl << "}";
+    }
+    out << "\n  ]\n}\n";
+  } else {
+    Table table({"metric", "value"});
+    auto add = [&table](const std::string& name, const std::string& value) {
+      table.AddRow();
+      table.AddCell(name);
+      table.AddCell(value);
+    };
+    add("server", host + ":" + std::to_string(port));
+    add("pipeline depth", std::to_string(client_options.pipeline_depth));
+    add("script lines", std::to_string(outcome.script_lines));
+    add("requests sent", std::to_string(requests));
+    add("elapsed (s)", FormatNumber(outcome.elapsed_seconds, 4));
+    add("requests/sec", FormatNumber(rps, 0));
+    add("server shards", std::to_string(stats.num_shards));
+    add("server users", std::to_string(stats.num_users));
+    add("server horizon", std::to_string(stats.horizon));
+    out << table.ToAlignedString();
+    for (const server::UserReport& report : outcome.queries) {
+      out << "query " << report.name << ": horizon " << report.horizon
+          << "  max TPL " << FormatNumber(report.max_tpl, 6)
+          << "  user-level " << FormatNumber(report.user_level_tpl, 6)
+          << "\n";
+    }
+  }
+  return client->Close();
 }
 
 Status CmdReplay(const Flags& flags, std::ostream& out) {
@@ -808,10 +988,17 @@ std::string HelpText() {
       "             [--sparsity s] [--seed r] [--json -]\n"
       "  serve      sharded release service driven by a scripted request\n"
       "             stream (join/release/flush/snapshot/query commands),\n"
-      "             micro-batched, durable when --log-dir is given\n"
+      "             micro-batched, durable when --log-dir is given;\n"
+      "             --listen adds the binary wire protocol on a TCP\n"
+      "             port (script becomes an optional preload)\n"
       "             --script S.txt [--log-dir D] [--shards N]\n"
       "             [--batch-window W] [--snapshot-every K]\n"
-      "             [--sync-every Y] [--json -]\n"
+      "             [--sync-every Y] [--listen PORT] [--host H]\n"
+      "             [--port-file P] [--json -]\n"
+      "  client     replay a serve script against a remote server over\n"
+      "             the wire protocol (pipelined; see docs/PROTOCOL.md)\n"
+      "             --port PORT --script S.txt [--host H]\n"
+      "             [--pipeline N] [--shutdown 1] [--json -]\n"
       "  replay     recover a service from its log dir; --verify 1\n"
       "             replays every user's exported accountant blob and\n"
       "             checks the recovered series bitwise\n"
@@ -836,6 +1023,7 @@ Status Run(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "estimate") return CmdEstimate(flags, out);
   if (command == "fleet") return CmdFleet(flags, out);
   if (command == "serve") return CmdServe(flags, out);
+  if (command == "client") return CmdClient(flags, out);
   if (command == "replay") return CmdReplay(flags, out);
   return Status::InvalidArgument("unknown command '" + command +
                                  "'; see `tcdp help`");

@@ -29,9 +29,18 @@
 ///
 ///   serve     --script S.txt [--log-dir D] [--shards N]
 ///             [--batch-window W] [--snapshot-every K] [--sync-every Y]
+///             [--listen PORT] [--host H] [--port-file P]
 ///       Drives a scripted request stream (join/release/flush/snapshot/
 ///       query) through the sharded release service; durable when
-///       --log-dir is given.
+///       --log-dir is given. With --listen the service additionally
+///       accepts the binary wire protocol on a TCP port (0 picks an
+///       ephemeral port, reported via --port-file) until a client
+///       sends shutdown; --script becomes an optional preload.
+///
+///   client    --port PORT --script S.txt [--host H] [--pipeline N]
+///             [--shutdown 1]
+///       Replays the serve script format against a remote server over
+///       the wire protocol, pipelining requests N deep.
 ///
 ///   replay    --log-dir D [--verify 1]
 ///       Recovers a service from its write-ahead logs/snapshots and
