@@ -9,8 +9,9 @@
 //     --smoke) — shard workers parallelize the per-release Algorithm-1
 //     work the same way the bank's ParallelForRange does, plus
 //     pipeline overlap between ingest and apply.
-//   * recovery time vs WAL length, with and without snapshots: full
-//     log replay vs snapshot + suffix.
+//   * recovery time and disk footprint vs WAL length: full log replay
+//     vs snapshot + suffix vs a compacted log (ISSUE 5) — compaction
+//     must shrink the on-disk WAL (gate) while recovery stays correct.
 //
 // Emits BENCH_shard.json next to BENCH_fleet.json; `--smoke` runs a
 // seconds-scale configuration for the CI schema check (CTest label
@@ -305,8 +306,10 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Durable run + recovery scaling: half and full logs, then full log
-  // with snapshots cutting the replay.
+  // Durable run + recovery scaling: half and full logs, full log with
+  // snapshots cutting the replay, and the snapshotted log after a WAL
+  // compaction (disk footprint bounded by manifest + compaction record
+  // + post-snapshot suffix).
   json += "\n  ],\n  \"recovery\": [\n";
   first = true;
   const std::string base_dir = "/tmp/tcdp_bench_shard_logs";
@@ -314,12 +317,17 @@ int main(int argc, char** argv) {
     const char* name;
     std::size_t requests;
     std::size_t snapshot_every;
+    bool compact;
   };
   const RecoveryCase cases[] = {
-      {"half_log", spec.requests / 2, 0},
-      {"full_log", spec.requests, 0},
-      {"full_log_snapshots", spec.requests, 25},
+      {"half_log", spec.requests / 2, 0, false},
+      {"full_log", spec.requests, 0, false},
+      {"full_log_snapshots", spec.requests, 25, false},
+      {"full_log_compacted", spec.requests, 25, true},
   };
+  std::uint64_t snapshotted_bytes = 0;
+  std::uint64_t compacted_bytes = 0;
+  double compact_seconds = 0.0;
   for (const RecoveryCase& c : cases) {
     std::filesystem::remove_all(base_dir);
     BenchSpec durable_spec = spec;
@@ -345,31 +353,74 @@ int main(int argc, char** argv) {
         (void)(*service)->Release("user-" + std::to_string(request.user),
                                   request.epsilon);
       }
+      if (c.compact) {
+        if (!(*service)->Flush().ok()) return 1;
+        WallTimer compact_timer;
+        const Status compacted = (*service)->Compact();
+        compact_seconds = compact_timer.ElapsedSeconds();
+        if (!compacted.ok()) {
+          std::fprintf(stderr, "compact: %s\n",
+                       compacted.ToString().c_str());
+          return 1;
+        }
+      }
       if (!(*service)->Close().ok()) return 1;
     }
     std::uint64_t wal_records = 0;
+    std::uint64_t wal_physical_records = 0;
+    std::uint64_t wal_bytes = 0;
     {
       auto probe = server::ShardedReleaseService::Recover(base_dir);
       if (!probe.ok()) return 1;
       for (std::size_t s = 0; s < (*probe)->num_shards(); ++s) {
-        wal_records += (*probe)->shard_stats(s).wal_records;
+        const server::ShardStats stats = (*probe)->shard_stats(s);
+        wal_records += stats.wal_records;
+        wal_physical_records += stats.wal_physical_records;
+        wal_bytes += stats.wal_bytes;
       }
       (void)(*probe)->Close();
     }
+    if (std::strcmp(c.name, "full_log_snapshots") == 0) {
+      snapshotted_bytes = wal_bytes;
+    }
+    if (c.compact) compacted_bytes = wal_bytes;
     const double recover_seconds = TimeRecovery(base_dir);
     std::snprintf(buf, sizeof(buf),
                   "%s    {\"name\": \"%s\", \"wal_records\": %llu, "
-                  "\"snapshot_every\": %zu, \"recover_seconds\": %.6f}",
+                  "\"wal_physical_records\": %llu, \"wal_bytes\": %llu, "
+                  "\"snapshot_every\": %zu, \"compacted\": %s, "
+                  "\"recover_seconds\": %.6f}",
                   first ? "" : ",\n", c.name,
                   static_cast<unsigned long long>(wal_records),
-                  c.snapshot_every, recover_seconds);
+                  static_cast<unsigned long long>(wal_physical_records),
+                  static_cast<unsigned long long>(wal_bytes),
+                  c.snapshot_every, c.compact ? "true" : "false",
+                  recover_seconds);
     json += buf;
     first = false;
-    std::printf("recovery %s: %llu WAL records, %.4fs\n", c.name,
-                static_cast<unsigned long long>(wal_records),
+    std::printf("recovery %s: %llu WAL records (%llu on disk, %llu "
+                "bytes), %.4fs\n",
+                c.name, static_cast<unsigned long long>(wal_records),
+                static_cast<unsigned long long>(wal_physical_records),
+                static_cast<unsigned long long>(wal_bytes),
                 recover_seconds);
   }
   std::filesystem::remove_all(base_dir);
+  std::printf("compaction: %llu -> %llu WAL bytes in %.4fs\n",
+              static_cast<unsigned long long>(snapshotted_bytes),
+              static_cast<unsigned long long>(compacted_bytes),
+              compact_seconds);
+  // Disk gate (always enforced; the workload is deterministic): a
+  // compacted log must be strictly smaller than the same log
+  // uncompacted.
+  if (compacted_bytes == 0 || compacted_bytes >= snapshotted_bytes) {
+    std::fprintf(stderr,
+                 "FAILED: compaction did not shrink the WAL (%llu -> "
+                 "%llu bytes)\n",
+                 static_cast<unsigned long long>(snapshotted_bytes),
+                 static_cast<unsigned long long>(compacted_bytes));
+    ok = false;
+  }
 
   const double speedup = baseline.requests_per_sec > 0.0
                              ? best_multi_shard / baseline.requests_per_sec
@@ -387,8 +438,14 @@ int main(int argc, char** argv) {
   json += "\n  ],\n  \"criteria\": {\n";
   std::snprintf(buf, sizeof(buf),
                 "    \"multi_shard_speedup_vs_fleet_engine\": %.2f,\n"
-                "    \"gate_enforced\": %s\n",
-                speedup, (!smoke && hw >= 2) ? "true" : "false");
+                "    \"gate_enforced\": %s,\n"
+                "    \"compacted_wal_bytes\": %llu,\n"
+                "    \"uncompacted_wal_bytes\": %llu,\n"
+                "    \"compact_seconds\": %.6f\n",
+                speedup, (!smoke && hw >= 2) ? "true" : "false",
+                static_cast<unsigned long long>(compacted_bytes),
+                static_cast<unsigned long long>(snapshotted_bytes),
+                compact_seconds);
   json += buf;
   json += "  }\n}\n";
   std::ofstream json_out(json_path);

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Schema validation for the BENCH_*.json files the benchmarks emit.
+
+CI runs this on both the seconds-scale smoke outputs and the full
+acceptance runs, so a bench refactor that drops or renames a field
+fails visibly instead of silently shipping an empty artifact.
+
+Usage: check_bench_schema.py <kind> <json-path>
+  kind: fleet | shard | net
+"""
+
+import json
+import sys
+
+
+def require(obj, keys, where):
+    missing = [key for key in keys if key not in obj]
+    if missing:
+        raise SystemExit(f"{where}: missing keys {missing}")
+
+
+def check_shard(data):
+    require(data, ["bench", "smoke", "hardware_concurrency", "workloads",
+                   "recovery", "criteria"], "BENCH_shard.json")
+    if not data["workloads"]:
+        raise SystemExit("BENCH_shard.json: empty workloads")
+    for row in data["workloads"]:
+        require(row, ["name", "shards", "batch_window", "durable", "users",
+                      "requests", "global_releases", "seconds",
+                      "requests_per_sec"], f"workload {row.get('name')}")
+    if not data["recovery"]:
+        raise SystemExit("BENCH_shard.json: empty recovery section")
+    names = set()
+    for row in data["recovery"]:
+        require(row, ["name", "wal_records", "wal_physical_records",
+                      "wal_bytes", "snapshot_every", "compacted",
+                      "recover_seconds"], f"recovery {row.get('name')}")
+        names.add(row["name"])
+    for expected in ("full_log", "full_log_snapshots", "full_log_compacted"):
+        if expected not in names:
+            raise SystemExit(f"BENCH_shard.json: recovery case '{expected}'"
+                             " missing")
+    require(data["criteria"], ["multi_shard_speedup_vs_fleet_engine",
+                               "gate_enforced", "compacted_wal_bytes",
+                               "uncompacted_wal_bytes", "compact_seconds"],
+            "criteria")
+    compacted = data["criteria"]["compacted_wal_bytes"]
+    uncompacted = data["criteria"]["uncompacted_wal_bytes"]
+    if not 0 < compacted < uncompacted:
+        raise SystemExit("BENCH_shard.json: compaction did not shrink the "
+                         f"WAL ({uncompacted} -> {compacted} bytes)")
+
+
+def check_fleet(data):
+    require(data, ["bench", "smoke", "workloads", "criteria"],
+            "BENCH_fleet.json")
+    if not data["workloads"]:
+        raise SystemExit("BENCH_fleet.json: empty workloads")
+
+
+def check_net(data):
+    require(data, ["bench", "smoke", "workloads", "criteria"],
+            "BENCH_net.json")
+    if not data["workloads"]:
+        raise SystemExit("BENCH_net.json: empty workloads")
+
+
+def main(argv):
+    if len(argv) != 3 or argv[1] not in ("fleet", "shard", "net"):
+        raise SystemExit(f"usage: {argv[0]} fleet|shard|net <json-path>")
+    with open(argv[2], encoding="utf-8") as handle:
+        data = json.load(handle)
+    {"fleet": check_fleet, "shard": check_shard, "net": check_net}[argv[1]](
+        data)
+    print(f"check_bench_schema: {argv[2]} ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

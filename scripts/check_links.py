@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Markdown link checker for README.md and docs/.
+
+Validates, with no dependencies beyond the stdlib:
+  * relative file links resolve to an existing file or directory;
+  * intra-document and cross-document anchors (#fragment) resolve to a
+    heading whose GitHub slug matches;
+  * reference-style link definitions are not silently broken.
+
+External links (http/https/mailto) are intentionally NOT fetched — CI
+must not depend on the network — but their syntax is still parsed.
+
+Usage: check_links.py [file-or-dir ...]   (default: README.md docs/)
+Exit code 0 when every link resolves, 1 otherwise.
+"""
+
+import os
+import re
+import sys
+
+# [text](target) — excluding images' leading "!" is unnecessary: image
+# targets are checked the same way.
+INLINE_LINK = re.compile(r"\[(?:[^\]\\]|\\.)*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+CODE_FENCE = re.compile(r"^(```|~~~)")
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, punctuation
+    dropped (inline code/emphasis markers included)."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)
+    text = re.sub(r"\*\*([^*]*)\*\*|\*([^*]*)\*", r"\1\2", text)
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # linked headings
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def markdown_lines_outside_code(path: str):
+    in_fence = False
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            if CODE_FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if not in_fence:
+                yield line
+
+
+def heading_slugs(path: str):
+    slugs = {}
+    for line in markdown_lines_outside_code(path):
+        match = HEADING.match(line)
+        if not match:
+            continue
+        slug = github_slug(match.group(2))
+        # GitHub disambiguates duplicates with -1, -2, ...
+        count = slugs.get(slug, 0)
+        slugs[slug] = count + 1
+        if count:
+            slugs[f"{slug}-{count}"] = 1
+    return set(slugs)
+
+
+def check_file(path: str):
+    errors = []
+    base = os.path.dirname(path)
+    own_slugs = None
+    for line in markdown_lines_outside_code(path):
+        for match in INLINE_LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            file_part, _, fragment = target.partition("#")
+            if file_part:
+                resolved = os.path.normpath(os.path.join(base, file_part))
+                if not os.path.exists(resolved):
+                    errors.append(f"{path}: broken file link '{target}'"
+                                  f" ({resolved} does not exist)")
+                    continue
+                anchor_file = resolved
+            else:
+                anchor_file = path
+            if not fragment:
+                continue
+            if not anchor_file.endswith(".md"):
+                continue  # anchors into non-markdown are not checkable
+            if anchor_file == path:
+                if own_slugs is None:
+                    own_slugs = heading_slugs(path)
+                slugs = own_slugs
+            else:
+                slugs = heading_slugs(anchor_file)
+            if fragment.lower() not in slugs:
+                errors.append(f"{path}: broken anchor '{target}' "
+                              f"(no heading slugs to '{fragment}' in "
+                              f"{anchor_file})")
+    return errors
+
+
+def collect(paths):
+    for path in paths:
+        if os.path.isdir(path):
+            for root, _, names in os.walk(path):
+                for name in sorted(names):
+                    if name.endswith(".md"):
+                        yield os.path.join(root, name)
+        elif path.endswith(".md"):
+            yield path
+
+
+def main(argv):
+    targets = argv[1:] or ["README.md", "docs"]
+    errors = []
+    checked = 0
+    for path in collect(targets):
+        checked += 1
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"check_links: {checked} files, {len(errors)} broken links")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -205,6 +205,11 @@ Status NetClient::Snapshot() {
   return Drain();
 }
 
+Status NetClient::Compact() {
+  TCDP_RETURN_IF_ERROR(SendPipelined(MsgType::kCompact, std::string()));
+  return Drain();
+}
+
 StatusOr<server::UserReport> NetClient::Query(const std::string& name) {
   TCDP_RETURN_IF_ERROR(Drain());
   std::string bytes;

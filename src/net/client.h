@@ -69,6 +69,8 @@ class NetClient {
   /// Server-side Flush: every prior request is applied on return.
   Status Flush();
   Status Snapshot();
+  /// Server-side WAL compaction (durable services only).
+  Status Compact();
   StatusOr<server::UserReport> Query(const std::string& name);
   StatusOr<WireServiceStats> Stats();
   /// Asks the server to stop serving (it acks, flushes, and exits its

@@ -192,7 +192,8 @@ void NetServer::HandleFrame(Connection* conn, MsgType type,
   // is total" includes the trivial one): junk bytes mean the peer is
   // misframing, which is a tier-2 violation, not a silent pass.
   if ((type == MsgType::kFlush || type == MsgType::kSnapshot ||
-       type == MsgType::kStats || type == MsgType::kShutdown) &&
+       type == MsgType::kCompact || type == MsgType::kStats ||
+       type == MsgType::kShutdown) &&
       !payload.empty()) {
     AppendFrame(&conn->out, MsgType::kError,
                 EncodeError(Status::InvalidArgument(
@@ -241,6 +242,9 @@ void NetServer::HandleFrame(Connection* conn, MsgType type,
       break;
     case MsgType::kSnapshot:
       applied = service_->Snapshot();
+      break;
+    case MsgType::kCompact:
+      applied = service_->Compact();
       break;
     case MsgType::kQuery: {
       auto name = DecodeName(payload);

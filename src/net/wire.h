@@ -58,6 +58,7 @@ enum class MsgType : std::uint8_t {
   kQuery = 6,       ///< payload: name
   kStats = 7,       ///< empty payload
   kShutdown = 8,    ///< empty payload; server acks then stops
+  kCompact = 9,     ///< empty payload; flush + compact every shard WAL
 
   // Responses (server -> client).
   kOk = 64,           ///< empty payload

@@ -1,0 +1,164 @@
+#include "server/compaction.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace tcdp {
+namespace server {
+
+Status PersistAnchorCopy(const std::string& snap_path,
+                         const std::string& anchor_path) {
+  std::ifstream in(snap_path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("PersistAnchorCopy: cannot read " + snap_path);
+  }
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  const std::string tmp_path = anchor_path + ".tmp";
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                        0644);
+  if (fd < 0) {
+    return Status::Internal("PersistAnchorCopy: open " + tmp_path + ": " +
+                            std::strerror(errno));
+  }
+  const char* data = bytes.data();
+  std::size_t left = bytes.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, data, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status failed = Status::Internal(
+          "PersistAnchorCopy: write " + tmp_path + ": " +
+          std::strerror(errno));
+      ::close(fd);
+      return failed;
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fdatasync(fd) < 0) {
+    const Status failed = Status::Internal(
+        "PersistAnchorCopy: fdatasync " + tmp_path + ": " +
+        std::strerror(errno));
+    ::close(fd);
+    return failed;
+  }
+  if (::close(fd) < 0) {
+    return Status::Internal("PersistAnchorCopy: close " + tmp_path + ": " +
+                            std::strerror(errno));
+  }
+  if (std::rename(tmp_path.c_str(), anchor_path.c_str()) != 0) {
+    return Status::Internal("PersistAnchorCopy: rename to " + anchor_path +
+                            " failed");
+  }
+  return Status::OK();
+}
+
+StatusOr<WalBase> InspectWalBase(const ReadLogResult& log) {
+  WalBase base;
+  if (log.records.size() < 2 ||
+      log.records[1].type != EventType::kCompaction) {
+    return base;  // plain log: logical == physical
+  }
+  TCDP_ASSIGN_OR_RETURN(base.record,
+                        DecodeCompaction(log.records[1].payload));
+  base.compacted = true;
+  base.suffix_start = 2;
+  return base;
+}
+
+StatusOr<CompactionResult> CompactShardWal(const std::string& wal_path,
+                                           const ManifestRecord& manifest,
+                                           std::uint64_t base_records,
+                                           std::uint64_t base_releases,
+                                           std::uint64_t base_users) {
+  TCDP_ASSIGN_OR_RETURN(ReadLogResult log, ReadEventLog(wal_path));
+  if (!log.clean) {
+    return Status::FailedPrecondition(
+        "CompactShardWal: " + wal_path + " has a torn tail (" +
+        log.tail_error + ") — sync and recover before compacting");
+  }
+  if (log.records.empty() ||
+      log.records[0].type != EventType::kManifest) {
+    return Status::InvalidArgument("CompactShardWal: " + wal_path +
+                                   " has no manifest record");
+  }
+  TCDP_ASSIGN_OR_RETURN(WalBase prev, InspectWalBase(log));
+  const std::uint64_t logical_count =
+      prev.compacted
+          ? prev.record.base_records + (log.records.size() - 2)
+          : log.records.size();
+  if (base_records < 1 || base_records > logical_count ||
+      (prev.compacted && base_records < prev.record.base_records)) {
+    return Status::InvalidArgument(
+        "CompactShardWal: snapshot covers logical record " +
+        std::to_string(base_records) + " of a log holding [" +
+        std::to_string(prev.compacted ? prev.record.base_records : 0) +
+        ", " + std::to_string(logical_count) + ")");
+  }
+  // Physical index of the first record NOT replaced by the snapshot.
+  const std::size_t replay_from = static_cast<std::size_t>(
+      prev.compacted ? 2 + (base_records - prev.record.base_records)
+                     : base_records);
+  // Cross-check the base counts against the prefix actually on disk: a
+  // snapshot that does not describe this log must not erase it.
+  std::uint64_t releases = prev.compacted ? prev.record.base_releases : 0;
+  std::uint64_t users = prev.compacted ? prev.record.base_users : 0;
+  for (std::size_t r = prev.suffix_start; r < replay_from; ++r) {
+    if (log.records[r].type == EventType::kRelease) ++releases;
+    if (log.records[r].type == EventType::kAddUser) ++users;
+  }
+  if (releases != base_releases || users != base_users) {
+    return Status::Internal(
+        "CompactShardWal: snapshot declares " +
+        std::to_string(base_releases) + " releases / " +
+        std::to_string(base_users) + " users over its horizon but the log "
+        "prefix holds " + std::to_string(releases) + " / " +
+        std::to_string(users) + " — refusing to erase it");
+  }
+  for (std::size_t r = replay_from; r < log.records.size(); ++r) {
+    if (log.records[r].type != EventType::kAddUser &&
+        log.records[r].type != EventType::kRelease) {
+      return Status::InvalidArgument(
+          "CompactShardWal: suffix record " + std::to_string(r) +
+          " has unexpected type");
+    }
+  }
+
+  CompactionRecord compaction;
+  compaction.base_records = base_records;
+  compaction.base_releases = base_releases;
+  compaction.base_users = base_users;
+
+  const std::string tmp_path = wal_path + ".compact.tmp";
+  TCDP_ASSIGN_OR_RETURN(EventLogWriter writer,
+                        EventLogWriter::Create(tmp_path));
+  TCDP_RETURN_IF_ERROR(
+      writer.Append(EventType::kManifest, EncodeManifest(manifest)));
+  TCDP_RETURN_IF_ERROR(
+      writer.Append(EventType::kCompaction, EncodeCompaction(compaction)));
+  for (std::size_t r = replay_from; r < log.records.size(); ++r) {
+    TCDP_RETURN_IF_ERROR(
+        writer.Append(log.records[r].type, log.records[r].payload));
+  }
+  TCDP_RETURN_IF_ERROR(writer.Sync());
+  CompactionResult result;
+  result.bytes_before = log.valid_bytes;
+  result.bytes_after = writer.bytes_written();
+  result.physical_records = writer.records_written();
+  result.suffix_records = log.records.size() - replay_from;
+  TCDP_RETURN_IF_ERROR(writer.Close());
+  if (std::rename(tmp_path.c_str(), wal_path.c_str()) != 0) {
+    return Status::Internal("CompactShardWal: rename to " + wal_path +
+                            " failed");
+  }
+  return result;
+}
+
+}  // namespace server
+}  // namespace tcdp

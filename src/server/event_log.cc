@@ -26,6 +26,7 @@ bool ValidEventType(std::uint8_t type) {
     case EventType::kManifest:
     case EventType::kAddUser:
     case EventType::kRelease:
+    case EventType::kCompaction:
     case EventType::kSnapHeader:
     case EventType::kSnapUser:
     case EventType::kSnapRelease:

@@ -40,6 +40,8 @@ enum class EventType : std::uint8_t {
   kManifest = 1,      ///< first WAL record: shard identity + options
   kAddUser = 2,       ///< a user enrolled on this shard
   kRelease = 3,       ///< one global release (eps + local participation)
+  kCompaction = 4,    ///< second record of a compacted WAL: the prefix
+                      ///< summarized by the shard snapshot (base counts)
   kSnapHeader = 16,   ///< snapshot: counts + quantization
   kSnapUser = 17,     ///< snapshot: one user (v2 accountant blob + state)
   kSnapRelease = 18,  ///< snapshot: one historical release row

@@ -125,6 +125,41 @@ StatusOr<ReleaseRecord> DecodeRelease(const std::string& payload) {
   return record;
 }
 
+std::string EncodeCompaction(const CompactionRecord& record) {
+  std::string out;
+  PutVarint64(&out, record.format_version);
+  PutVarint64(&out, record.base_records);
+  PutVarint64(&out, record.base_releases);
+  PutVarint64(&out, record.base_users);
+  return out;
+}
+
+StatusOr<CompactionRecord> DecodeCompaction(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  CompactionRecord record;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&record.format_version));
+  if (record.format_version != 1) {
+    return Status::InvalidArgument(
+        "DecodeCompaction: unsupported format version " +
+        std::to_string(record.format_version));
+  }
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&record.base_records));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&record.base_releases));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&record.base_users));
+  // The replaced prefix is manifest + adds + releases (nothing else is
+  // a WAL record type), so the base counts must tile it exactly.
+  if (record.base_records < 1 ||
+      1 + record.base_releases + record.base_users != record.base_records) {
+    return Status::InvalidArgument(
+        "DecodeCompaction: base counts 1+" +
+        std::to_string(record.base_users) + "+" +
+        std::to_string(record.base_releases) + " do not tile " +
+        std::to_string(record.base_records) + " records");
+  }
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeCompaction"));
+  return record;
+}
+
 std::string EncodeSnapHeader(const SnapHeaderRecord& record) {
   std::string out;
   PutVarint64(&out, record.applied_records);

@@ -53,6 +53,26 @@ struct ReleaseRecord {
   PackedMask mask;  ///< over shard-local user indices when !all
 };
 
+/// Second record of a compacted WAL (immediately after the manifest):
+/// declares that the first `base_records` *logical* records of the log
+/// (manifest included) were rewritten away and live on only as the
+/// shard snapshot — recovery of a compacted shard MUST restore from a
+/// snapshot whose `applied_records >= base_records`. The base counts
+/// keep logical accounting intact: a physical record at index p >= 2
+/// is logical record `base_records + (p - 2)`, and the shard's total
+/// release count is `base_releases` plus the kRelease records in the
+/// physical suffix.
+struct CompactionRecord {
+  std::uint64_t format_version = 1;
+  /// Logical WAL records replaced (manifest included); equals the
+  /// anchoring snapshot's `applied_records` at compaction time.
+  std::uint64_t base_records = 0;
+  /// kRelease records among the replaced prefix (the snapshot horizon).
+  std::uint64_t base_releases = 0;
+  /// kAddUser records among the replaced prefix (the snapshot users).
+  std::uint64_t base_users = 0;
+};
+
 /// Snapshot prologue: how much of the WAL the snapshot reflects and
 /// what the state dimensions are (readers validate counts against it).
 /// Carries the quantization itself so a zero-user shard's snapshot is
@@ -83,6 +103,9 @@ StatusOr<AddUserRecord> DecodeAddUser(const std::string& payload);
 
 std::string EncodeRelease(const ReleaseRecord& record);
 StatusOr<ReleaseRecord> DecodeRelease(const std::string& payload);
+
+std::string EncodeCompaction(const CompactionRecord& record);
+StatusOr<CompactionRecord> DecodeCompaction(const std::string& payload);
 
 std::string EncodeSnapHeader(const SnapHeaderRecord& record);
 StatusOr<SnapHeaderRecord> DecodeSnapHeader(const std::string& payload);

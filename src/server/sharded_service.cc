@@ -12,8 +12,11 @@
 #include <unordered_set>
 #include <utility>
 
+#include <atomic>
+
 #include "common/thread_pool.h"
 #include "core/accountant_bank.h"
+#include "server/compaction.h"
 #include "server/event_log.h"
 #include "server/records.h"
 #include "server/snapshot.h"
@@ -31,6 +34,12 @@ std::string ShardWalPath(const std::string& dir, std::size_t shard) {
 
 std::string ShardSnapPath(const std::string& dir, std::size_t shard) {
   return dir + "/shard-" + std::to_string(shard) + ".snap";
+}
+
+/// The compaction anchor: a copy of the snapshot a compacted WAL's
+/// base points at, immune to later snapshot overwrites.
+std::string ShardAnchorPath(const std::string& dir, std::size_t shard) {
+  return ShardSnapPath(dir, shard) + ".anchor";
 }
 
 AccountantBankOptions BankOptions(const ShardedServiceOptions& options) {
@@ -55,7 +64,12 @@ Status WriteManifestFile(const std::string& dir,
         << "snapshot_every " << options.snapshot_every << "\n"
         << "sync_every " << options.sync_every << "\n"
         << "share_cache " << (options.share_loss_cache ? 1 : 0) << "\n"
-        << "alpha_resolution " << options.cache.alpha_resolution << "\n";
+        << "alpha_resolution " << options.cache.alpha_resolution << "\n"
+        << "compact_after_snapshot "
+        << (options.compaction.after_snapshot ? 1 : 0) << "\n"
+        << "compact_max_bytes " << options.compaction.max_wal_bytes << "\n"
+        << "compact_max_records " << options.compaction.max_wal_records
+        << "\n";
     if (!out) return Status::Internal("cannot write " + tmp);
   }
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
@@ -98,6 +112,14 @@ StatusOr<ShardedServiceOptions> ReadManifestFile(const std::string& dir) {
       options.share_loss_cache = v != 0;
     } else if (key == "alpha_resolution") {
       if (!(in >> options.cache.alpha_resolution)) return bad_value();
+    } else if (key == "compact_after_snapshot") {
+      int v = 0;
+      if (!(in >> v)) return bad_value();
+      options.compaction.after_snapshot = v != 0;
+    } else if (key == "compact_max_bytes") {
+      if (!(in >> options.compaction.max_wal_bytes)) return bad_value();
+    } else if (key == "compact_max_records") {
+      if (!(in >> options.compaction.max_wal_records)) return bad_value();
     } else {
       // Unknown keys are forward-compatible: skip the value.
       std::string ignored;
@@ -119,7 +141,7 @@ StatusOr<ShardedServiceOptions> ReadManifestFile(const std::string& dir) {
 namespace {
 
 struct ShardCommand {
-  enum class Kind { kAddUser, kRelease, kSnapshot };
+  enum class Kind { kAddUser, kRelease, kSnapshot, kSync, kCompact };
   Kind kind = Kind::kRelease;
   // kAddUser
   std::string name;
@@ -149,13 +171,21 @@ struct ShardedReleaseService::Shard {
 
   bool durable = false;
   EventLogWriter wal;
+  std::string wal_path;
   std::string snap_path;
-  std::uint64_t wal_records = 0;  ///< manifest included
+  std::string anchor_path;
+  std::uint64_t wal_records = 0;  ///< LOGICAL records, manifest included
   std::uint64_t releases_since_snapshot = 0;
   std::uint64_t releases_since_sync = 0;
   std::uint64_t snapshots_written = 0;
   std::uint64_t replayed_records = 0;
+  std::uint64_t compactions = 0;
   bool restored_from_snapshot = false;
+  /// On-disk footprint gauges, published by the worker after each
+  /// apply so the service thread can check retention thresholds at
+  /// tick boundaries without draining the shard.
+  std::atomic<std::uint64_t> published_wal_bytes{0};
+  std::atomic<std::uint64_t> published_wal_records{0};
 
   std::mutex mu;
   std::condition_variable cv_push;  ///< producers wait for queue space
@@ -234,15 +264,40 @@ struct ShardedReleaseService::Shard {
   }
 
   Status Apply(ShardCommand command) {
+    Status applied = Status::Internal("unknown shard command");
     switch (command.kind) {
       case ShardCommand::Kind::kAddUser:
-        return ApplyAddUser(std::move(command));
+        applied = ApplyAddUser(std::move(command));
+        break;
       case ShardCommand::Kind::kRelease:
-        return ApplyRelease(std::move(command));
+        applied = ApplyRelease(std::move(command));
+        break;
       case ShardCommand::Kind::kSnapshot:
-        return WriteSnapshotNow();
+        applied = WriteSnapshotNow();
+        break;
+      case ShardCommand::Kind::kSync:
+        applied = SyncWal();
+        break;
+      case ShardCommand::Kind::kCompact:
+        applied = ApplyCompact();
+        break;
     }
-    return Status::Internal("unknown shard command");
+    if (durable && applied.ok()) PublishGauges();
+    return applied;
+  }
+
+  void PublishGauges() {
+    published_wal_bytes.store(wal.bytes_written(),
+                              std::memory_order_relaxed);
+    published_wal_records.store(wal.records_written(),
+                                std::memory_order_relaxed);
+  }
+
+  Status SyncWal() {
+    if (!durable) return Status::OK();
+    TCDP_RETURN_IF_ERROR(wal.Sync());
+    releases_since_sync = 0;
+    return Status::OK();
   }
 
   Status ApplyAddUser(ShardCommand command) {
@@ -316,6 +371,64 @@ struct ShardedReleaseService::Shard {
     releases_since_snapshot = 0;
     return Status::OK();
   }
+
+  /// Rewrites this shard's WAL against its newest snapshot
+  /// (server/compaction.h). PRECONDITION (enforced by the service's
+  /// Compact/Snapshot flows): every shard of the service has durably
+  /// synced the current horizon, so dropping records beneath it can
+  /// never strand recovery's min-common-horizon alignment.
+  Status ApplyCompact() {
+    if (!durable) {
+      return Status::FailedPrecondition(
+          "shard compaction requested on an ephemeral service");
+    }
+    // The file must be complete on disk before it is re-derived.
+    TCDP_RETURN_IF_ERROR(wal.Sync());
+    releases_since_sync = 0;
+    // Anchor: the newest on-disk snapshot; a shard that has never
+    // snapshotted (or whose snapshot predates a previous compaction
+    // and is thus unreadable) writes a fresh one now — safe, because
+    // the precondition above already made this horizon durable
+    // everywhere.
+    bool refresh = true;
+    ShardSnapshot anchor;
+    if (std::filesystem::exists(snap_path)) {
+      auto read = ReadShardSnapshot(snap_path);
+      if (read.ok()) {
+        anchor = std::move(read).value();
+        refresh = false;
+      }
+    }
+    if (refresh) {
+      TCDP_RETURN_IF_ERROR(WriteSnapshotNow());
+      TCDP_ASSIGN_OR_RETURN(anchor, ReadShardSnapshot(snap_path));
+    }
+    // Persist the anchor BEFORE the WAL loses its prefix: later
+    // snapshots overwrite snap_path at horizons that may not yet be
+    // durable on every shard, and recovery falls back to this copy
+    // when the newer snapshot does not fit under the common horizon.
+    // A crash between this rename and the WAL rename leaves an
+    // uncompacted log with a harmless anchor (recovery removes it).
+    TCDP_RETURN_IF_ERROR(PersistAnchorCopy(snap_path, anchor_path));
+    ManifestRecord manifest;
+    manifest.shard_index = index;
+    manifest.num_shards = options->num_shards;
+    manifest.share_loss_cache = options->share_loss_cache;
+    manifest.alpha_resolution = options->cache.alpha_resolution;
+    TCDP_ASSIGN_OR_RETURN(
+        CompactionResult result,
+        CompactShardWal(wal_path, manifest, anchor.applied_records,
+                        anchor.bank.schedule.size(),
+                        anchor.bank.users.size()));
+    // Swap the writer onto the rewritten file (closing the old fd,
+    // whose inode the rename orphaned). Logical wal_records is
+    // untouched — compaction changes disk layout, not history.
+    TCDP_ASSIGN_OR_RETURN(
+        wal, EventLogWriter::OpenForAppend(wal_path, result.bytes_after,
+                                           result.physical_records));
+    ++compactions;
+    return Status::OK();
+  }
 };
 
 // ---------------------------------------------------------------- service
@@ -347,9 +460,11 @@ Status ShardedReleaseService::InitShardsFresh(const std::string& log_dir) {
     shard->index = i;
     if (!log_dir_.empty()) {
       shard->durable = true;
+      shard->wal_path = ShardWalPath(log_dir_, i);
       shard->snap_path = ShardSnapPath(log_dir_, i);
-      TCDP_ASSIGN_OR_RETURN(
-          shard->wal, EventLogWriter::Create(ShardWalPath(log_dir_, i)));
+      shard->anchor_path = ShardAnchorPath(log_dir_, i);
+      TCDP_ASSIGN_OR_RETURN(shard->wal,
+                            EventLogWriter::Create(shard->wal_path));
       ManifestRecord manifest;
       manifest.shard_index = i;
       manifest.num_shards = options_.num_shards;
@@ -359,6 +474,7 @@ Status ShardedReleaseService::InitShardsFresh(const std::string& log_dir) {
                                              EncodeManifest(manifest)));
       TCDP_RETURN_IF_ERROR(shard->wal.Sync());
       shard->wal_records = 1;
+      shard->PublishGauges();
     }
     shard->Start();
     shards_.push_back(std::move(shard));
@@ -405,9 +521,12 @@ ShardedReleaseService::Recover(const std::string& log_dir,
 
   // Pass 1: scan every shard's valid WAL prefix and find the minimum
   // common horizon — a global release is committed only when every
-  // shard holds it.
+  // shard holds it. A compacted WAL's base releases count toward its
+  // horizon (they are durable inside the shard snapshot).
   std::vector<ReadLogResult> logs;
+  std::vector<WalBase> bases;
   logs.reserve(num_shards);
+  bases.reserve(num_shards);
   std::size_t global_horizon = SIZE_MAX;
   for (std::size_t i = 0; i < num_shards; ++i) {
     TCDP_ASSIGN_OR_RETURN(ReadLogResult log,
@@ -424,12 +543,17 @@ ShardedReleaseService::Recover(const std::string& log_dir,
           "shard " + std::to_string(i) +
           " WAL manifest disagrees with the directory MANIFEST");
     }
-    std::size_t releases = 0;
-    for (const EventRecord& record : log.records) {
-      if (record.type == EventType::kRelease) ++releases;
+    TCDP_ASSIGN_OR_RETURN(WalBase base, InspectWalBase(log));
+    std::size_t releases =
+        base.compacted
+            ? static_cast<std::size_t>(base.record.base_releases)
+            : 0;
+    for (std::size_t r = base.suffix_start; r < log.records.size(); ++r) {
+      if (log.records[r].type == EventType::kRelease) ++releases;
     }
     global_horizon = std::min(global_horizon, releases);
     logs.push_back(std::move(log));
+    bases.push_back(base);
   }
   if (global_horizon == SIZE_MAX) global_horizon = 0;
 
@@ -443,46 +567,92 @@ ShardedReleaseService::Recover(const std::string& log_dir,
   std::vector<Status> shard_status(num_shards, Status::OK());
   auto recover_one = [&](std::size_t i) -> Status {
     const ReadLogResult& log = logs[i];
-    std::size_t keep = log.records.size();
-    std::size_t releases = 0;
-    for (std::size_t r = 0; r < log.records.size(); ++r) {
-      if (log.records[r].type != EventType::kRelease) continue;
-      ++releases;
-      if (releases == global_horizon) {
-        keep = r + 1;
-        // Joins after the last committed release are shard-local
-        // facts; keep them (the user exists with an empty series).
-        while (keep < log.records.size() &&
-               log.records[keep].type == EventType::kAddUser) {
-          ++keep;
-        }
-        break;
-      }
+    const WalBase& base = bases[i];
+    const std::size_t base_releases =
+        base.compacted ? static_cast<std::size_t>(base.record.base_releases)
+                       : 0;
+    if (base.compacted && global_horizon < base_releases) {
+      // Another shard's durable log ends below this shard's compaction
+      // floor. Compact() makes every shard durable at the compaction
+      // horizon before any rewrite, so reaching here means the logs
+      // were tampered with or compacted by a broken external tool.
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(i) + " is compacted at horizon " +
+          std::to_string(base_releases) +
+          " but the common durable horizon is only " +
+          std::to_string(global_horizon) +
+          " — the shards cannot be aligned");
     }
-    if (global_horizon == 0) {
-      keep = 1;  // manifest
+    std::size_t keep = log.records.size();
+    std::size_t releases = base_releases;
+    if (global_horizon == base_releases) {
+      // Nothing past the base commits; keep only trailing joins (a
+      // user may exist with an empty series).
+      keep = base.suffix_start;
       while (keep < log.records.size() &&
              log.records[keep].type == EventType::kAddUser) {
         ++keep;
       }
+    } else {
+      for (std::size_t r = base.suffix_start; r < log.records.size();
+           ++r) {
+        if (log.records[r].type != EventType::kRelease) continue;
+        ++releases;
+        if (releases == global_horizon) {
+          keep = r + 1;
+          // Joins after the last committed release are shard-local
+          // facts; keep them (the user exists with an empty series).
+          while (keep < log.records.size() &&
+                 log.records[keep].type == EventType::kAddUser) {
+            ++keep;
+          }
+          break;
+        }
+      }
     }
+    // Logical index just past the kept physical prefix.
+    const std::uint64_t logical_keep =
+        base.compacted ? base.record.base_records + (keep - 2) : keep;
 
     auto shard = std::make_unique<Shard>(service->options_);
     shard->index = i;
     shard->durable = true;
+    shard->wal_path = ShardWalPath(log_dir, i);
     shard->snap_path = ShardSnapPath(log_dir, i);
+    shard->anchor_path = ShardAnchorPath(log_dir, i);
+    // Stray temporaries from a crash mid-snapshot/mid-compaction are
+    // dead weight; the durable files are the only truth. An anchor
+    // next to an UNCOMPACTED log is the same (the compaction that
+    // wrote it never renamed its WAL into place).
+    std::error_code ignored;
+    std::filesystem::remove(shard->snap_path + ".tmp", ignored);
+    std::filesystem::remove(shard->wal_path + ".compact.tmp", ignored);
+    std::filesystem::remove(shard->anchor_path + ".tmp", ignored);
+    if (!base.compacted) {
+      std::filesystem::remove(shard->anchor_path, ignored);
+    }
 
     // Snapshot restore when one exists, is readable, and fits inside
-    // the kept prefix; anything else falls back to full replay.
-    std::size_t replay_from = 1;
+    // the kept prefix. An uncompacted shard falls back to full replay
+    // on any mismatch; a compacted shard CANNOT (its prefix exists
+    // only as the snapshot), so there a bad snapshot fails recovery
+    // loudly instead of resurrecting partial state.
+    std::size_t replay_from = base.suffix_start;
+    std::string snap_reject;
     if (std::filesystem::exists(shard->snap_path)) {
       auto snapshot = ReadShardSnapshot(shard->snap_path);
-      if (snapshot.ok() && snapshot->applied_records <= keep &&
-          snapshot->bank.schedule.size() <= global_horizon) {
+      if (snapshot.ok() && snapshot->applied_records <= logical_keep &&
+          snapshot->bank.schedule.size() <= global_horizon &&
+          (!base.compacted ||
+           snapshot->applied_records >= base.record.base_records)) {
         // Cross-check: the snapshot's horizon must equal the number of
-        // releases among the records it claims to cover.
-        std::size_t covered = 0;
-        for (std::size_t r = 0; r < snapshot->applied_records; ++r) {
+        // releases among the logical records it claims to cover.
+        const std::size_t snap_end = static_cast<std::size_t>(
+            base.compacted
+                ? 2 + (snapshot->applied_records - base.record.base_records)
+                : snapshot->applied_records);
+        std::size_t covered = base_releases;
+        for (std::size_t r = base.suffix_start; r < snap_end; ++r) {
           if (log.records[r].type == EventType::kRelease) ++covered;
         }
         if (covered == snapshot->bank.schedule.size() &&
@@ -493,11 +663,58 @@ ShardedReleaseService::Recover(const std::string& log_dir,
           if (restored.ok()) {
             shard->bank = std::move(restored).value();
             shard->names = std::move(snapshot->names);
-            replay_from = static_cast<std::size_t>(snapshot->applied_records);
+            replay_from = snap_end;
             shard->restored_from_snapshot = true;
+          } else {
+            snap_reject = restored.status().ToString();
           }
+        } else {
+          snap_reject = "snapshot horizon/quantization disagrees with "
+                        "the WAL prefix";
         }
+      } else {
+        snap_reject = snapshot.ok()
+                          ? "snapshot does not fit under the common horizon"
+                          : snapshot.status().ToString();
       }
+    } else {
+      snap_reject = "no snapshot at " + shard->snap_path;
+    }
+    // Compacted shard whose current snapshot is unusable (most often:
+    // a newer snapshot that does not fit under the common horizon):
+    // fall back to the anchor copy preserved at compaction time — it
+    // sits at exactly the base, which the compaction invariants made
+    // durable on every shard, so it always fits.
+    if (base.compacted && !shard->restored_from_snapshot &&
+        std::filesystem::exists(shard->anchor_path)) {
+      auto anchor = ReadShardSnapshot(shard->anchor_path);
+      if (anchor.ok() &&
+          anchor->applied_records == base.record.base_records &&
+          anchor->bank.schedule.size() == base_releases &&
+          anchor->alpha_resolution ==
+              shard->bank.cache_alpha_resolution()) {
+        auto restored = AccountantBank::Restore(
+            std::move(anchor->bank), BankOptions(service->options_));
+        if (restored.ok()) {
+          shard->bank = std::move(restored).value();
+          shard->names = std::move(anchor->names);
+          replay_from = base.suffix_start;
+          shard->restored_from_snapshot = true;
+        } else {
+          snap_reject += "; anchor: " + restored.status().ToString();
+        }
+      } else if (!anchor.ok()) {
+        snap_reject += "; anchor: " + anchor.status().ToString();
+      } else {
+        snap_reject += "; anchor does not sit at the compaction base";
+      }
+    }
+    if (base.compacted && !shard->restored_from_snapshot) {
+      return Status::FailedPrecondition(
+          "shard " + std::to_string(i) +
+          " is compacted but neither its snapshot nor its anchor is "
+          "usable (" + snap_reject +
+          ") — the compacted prefix cannot be replayed");
     }
 
     for (std::size_t r = replay_from; r < keep; ++r) {
@@ -536,7 +753,8 @@ ShardedReleaseService::Recover(const std::string& log_dir,
         shard->wal,
         EventLogWriter::OpenForAppend(ShardWalPath(log_dir, i),
                                       resume_offset, keep));
-    shard->wal_records = keep;
+    shard->wal_records = logical_keep;
+    shard->PublishGauges();
     recovered[i] = std::move(shard);
     return Status::OK();
   };
@@ -595,8 +813,7 @@ Status ShardedReleaseService::Join(const std::string& name,
   pending_joins_.push_back(
       PendingJoin{name, std::move(correlations), shard});
   ++stats_.join_requests;
-  if (++window_count_ >= options_.batch_window) return Tick();
-  return Status::OK();
+  return EndRequestWindow();
 }
 
 Status ShardedReleaseService::Release(const std::string& name,
@@ -622,8 +839,7 @@ Status ShardedReleaseService::Release(const std::string& name,
     }
   }
   ++stats_.release_requests;
-  if (++window_count_ >= options_.batch_window) return Tick();
-  return Status::OK();
+  return EndRequestWindow();
 }
 
 Status ShardedReleaseService::ReleaseAll(double epsilon) {
@@ -636,8 +852,7 @@ Status ShardedReleaseService::ReleaseAll(double epsilon) {
   }
   GroupFor(epsilon).all = true;
   ++stats_.release_requests;
-  if (++window_count_ >= options_.batch_window) return Tick();
-  return Status::OK();
+  return EndRequestWindow();
 }
 
 ShardedReleaseService::PendingGroup& ShardedReleaseService::GroupFor(
@@ -650,6 +865,12 @@ ShardedReleaseService::PendingGroup& ShardedReleaseService::GroupFor(
   fresh->per_shard.resize(shards_.size());
   pending_groups_.push_back(std::move(fresh));
   return *pending_groups_.back();
+}
+
+Status ShardedReleaseService::EndRequestWindow() {
+  if (++window_count_ < options_.batch_window) return Status::OK();
+  TCDP_RETURN_IF_ERROR(Tick());
+  return MaybeAutoCompact();
 }
 
 Status ShardedReleaseService::Tick() {
@@ -703,7 +924,12 @@ Status ShardedReleaseService::Flush() {
     return Status::FailedPrecondition("service is closed");
   }
   TCDP_RETURN_IF_ERROR(Tick());
-  return DrainAll();
+  TCDP_RETURN_IF_ERROR(DrainAll());
+  // The drain made the gauges exact, so this is where a retention
+  // threshold reliably engages even when the tick-time (lag-prone)
+  // checks kept missing it — e.g. a producer outrunning the workers on
+  // a loaded host.
+  return MaybeAutoCompact();
 }
 
 Status ShardedReleaseService::Snapshot() {
@@ -713,6 +939,15 @@ Status ShardedReleaseService::Snapshot() {
     return Status::FailedPrecondition(
         "snapshot requested on an ephemeral service (no log dir)");
   }
+  TCDP_RETURN_IF_ERROR(SnapshotAllShards());
+  // Every shard just fdatasynced its WAL (snapshots sync first) at the
+  // same horizon, so the rewrite precondition holds without an extra
+  // sync round.
+  if (options_.compaction.after_snapshot) return CompactShards();
+  return Status::OK();
+}
+
+Status ShardedReleaseService::SnapshotAllShards() {
   TCDP_RETURN_IF_ERROR(Flush());
   for (auto& shard : shards_) {
     ShardCommand command;
@@ -720,6 +955,76 @@ Status ShardedReleaseService::Snapshot() {
     shard->Push(std::move(command));
   }
   return DrainAll();
+}
+
+Status ShardedReleaseService::Compact() {
+  if (closed_) {
+    return Status::FailedPrecondition("service is closed");
+  }
+  if (log_dir_.empty()) {
+    return Status::FailedPrecondition(
+        "compaction requested on an ephemeral service (no log dir)");
+  }
+  compacting_ = true;
+  struct Unguard {
+    bool* flag;
+    ~Unguard() { *flag = false; }
+  } unguard{&compacting_};
+  TCDP_RETURN_IF_ERROR(Flush());
+  // Phase 1: make the current horizon durable on EVERY shard. Only
+  // then may any shard drop records beneath it — otherwise a crash
+  // could leave another shard's durable log below this shard's
+  // compaction floor and recovery's alignment would have nowhere to go.
+  for (auto& shard : shards_) {
+    ShardCommand command;
+    command.kind = ShardCommand::Kind::kSync;
+    shard->Push(std::move(command));
+  }
+  TCDP_RETURN_IF_ERROR(DrainAll());
+  return CompactShards();
+}
+
+Status ShardedReleaseService::CompactShards() {
+  for (auto& shard : shards_) {
+    ShardCommand command;
+    command.kind = ShardCommand::Kind::kCompact;
+    shard->Push(std::move(command));
+  }
+  return DrainAll();
+}
+
+Status ShardedReleaseService::MaybeAutoCompact() {
+  const CompactionOptions& policy = options_.compaction;
+  if (compacting_ || log_dir_.empty() ||
+      (policy.max_wal_bytes == 0 && policy.max_wal_records == 0)) {
+    return Status::OK();
+  }
+  bool over = false;
+  for (const auto& shard : shards_) {
+    const std::uint64_t bytes =
+        shard->published_wal_bytes.load(std::memory_order_relaxed);
+    const std::uint64_t records =
+        shard->published_wal_records.load(std::memory_order_relaxed);
+    if ((policy.max_wal_bytes > 0 && bytes >= policy.max_wal_bytes) ||
+        (policy.max_wal_records > 0 && records >= policy.max_wal_records)) {
+      over = true;
+      break;
+    }
+  }
+  if (!over) return Status::OK();
+  // Fresh snapshots, not whatever anchor happens to exist: a stale
+  // anchor could leave the post-anchor suffix still over the
+  // threshold, and the check would re-trigger a full (useless)
+  // rewrite every window. Snapshotting first collapses each WAL to
+  // its floor, so one pass always converges; it also satisfies the
+  // cross-shard durability precondition of CompactShards.
+  compacting_ = true;
+  struct Unguard {
+    bool* flag;
+    ~Unguard() { *flag = false; }
+  } unguard{&compacting_};
+  TCDP_RETURN_IF_ERROR(SnapshotAllShards());
+  return CompactShards();
 }
 
 StatusOr<UserReport> ShardedReleaseService::Query(const std::string& name) {
@@ -816,8 +1121,10 @@ ShardStats ShardedReleaseService::shard_stats(std::size_t shard) {
   stats.users = s.bank.num_users();
   stats.horizon = s.bank.horizon();
   stats.wal_records = s.wal_records;
+  stats.wal_physical_records = s.durable ? s.wal.records_written() : 0;
   stats.wal_bytes = s.durable ? s.wal.bytes_written() : 0;
   stats.snapshots_written = s.snapshots_written;
+  stats.compactions = s.compactions;
   stats.replayed_records = s.replayed_records;
   stats.restored_from_snapshot = s.restored_from_snapshot;
   return stats;

@@ -63,6 +63,23 @@
 namespace tcdp {
 namespace server {
 
+/// Retention policy for snapshot-anchored WAL compaction
+/// (server/compaction.h; on-disk format in docs/DURABILITY.md).
+struct CompactionOptions {
+  /// Compact every shard right after a service-level Snapshot()
+  /// completes (the snapshot just written is the anchor, so the
+  /// rewritten WAL holds only the manifest + compaction records).
+  bool after_snapshot = false;
+  /// Auto-compact when any shard's on-disk WAL exceeds this many
+  /// bytes; 0 disables. Checked at micro-batch tick boundaries
+  /// against worker-published gauges, so the trigger point is
+  /// approximate — benign, since compaction never changes accounting
+  /// state, only disk layout.
+  std::uint64_t max_wal_bytes = 0;
+  /// Same, for on-disk (physical) WAL record count; 0 disables.
+  std::uint64_t max_wal_records = 0;
+};
+
 struct ShardedServiceOptions {
   std::size_t num_shards = 1;
   /// Requests (joins + releases) coalesced per micro-batch tick.
@@ -73,6 +90,8 @@ struct ShardedServiceOptions {
   std::size_t snapshot_every = 0;
   /// Releases between WAL fdatasyncs; 0 syncs only at snapshot/close.
   std::size_t sync_every = 0;
+  /// WAL retention (log compaction) policy; off by default.
+  CompactionOptions compaction;
   bool share_loss_cache = true;
   /// NOTE: the durable MANIFEST records only `cache.alpha_resolution`
   /// (and `share_loss_cache`); a non-default `cache.eval` method is
@@ -97,8 +116,14 @@ struct UserReport {
 struct ShardStats {
   std::size_t users = 0;
   std::size_t horizon = 0;
-  std::uint64_t wal_records = 0;  ///< manifest included
+  /// *Logical* WAL records (manifest included): monotone across
+  /// compactions — the horizon snapshots and compaction bases key on.
+  std::uint64_t wal_records = 0;
+  /// Records physically on disk (== wal_records until a compaction
+  /// rewrites the prefix away).
+  std::uint64_t wal_physical_records = 0;
   std::uint64_t wal_bytes = 0;
+  std::uint64_t compactions = 0;  ///< WAL rewrites performed
   std::uint64_t snapshots_written = 0;
   std::uint64_t replayed_records = 0;   ///< WAL records applied by Recover
   bool restored_from_snapshot = false;
@@ -156,8 +181,18 @@ class ShardedReleaseService {
   /// Forces the pending window to tick and drains every shard.
   Status Flush();
 
-  /// Flush + snapshot every shard now.
+  /// Flush + snapshot every shard now. When the compaction policy's
+  /// `after_snapshot` is set, also compacts every shard's WAL against
+  /// the snapshot just written.
   Status Snapshot();
+
+  /// Flush, fdatasync every shard's WAL at the current horizon (the
+  /// floor no recovery can fall below), then rewrite every shard's WAL
+  /// to manifest + compaction record + the records past its newest
+  /// snapshot (server/compaction.h). A shard that has never
+  /// snapshotted writes one first. FailedPrecondition on an ephemeral
+  /// service. Accounting state is untouched; only disk layout changes.
+  Status Compact();
 
   /// Drains the user's shard and reports its accounting.
   StatusOr<UserReport> Query(const std::string& name);
@@ -206,6 +241,23 @@ class ShardedReleaseService {
   /// The pending window's group for \p epsilon (created on first use).
   PendingGroup& GroupFor(double epsilon);
   Status Tick();
+  /// Counts one request into the micro-batch window; ticks (and runs
+  /// the retention check) when the window fills.
+  Status EndRequestWindow();
+  /// Flush + snapshot every shard (no compaction hook): afterwards
+  /// every shard's WAL is fdatasynced at the same horizon and carries
+  /// a snapshot of it.
+  Status SnapshotAllShards();
+  /// Compact() phase 2 alone: every shard rewrites against its newest
+  /// snapshot. Callers must have made the current horizon durable on
+  /// EVERY shard first (sync or snapshot commands, drained).
+  Status CompactShards();
+  /// Retention check: when a shard's published WAL gauges exceed the
+  /// thresholds, snapshot every shard (fresh anchors at the current
+  /// horizon — anchoring a stale snapshot could leave the log over
+  /// the threshold and re-trigger forever) and compact. Called at
+  /// tick boundaries and after every Flush.
+  Status MaybeAutoCompact();
   Status DrainShard(std::size_t shard);
   Status DrainAll();
 
@@ -230,6 +282,10 @@ class ShardedReleaseService {
   std::size_t window_count_ = 0;
 
   ServiceStats stats_;
+  /// Re-entrancy guard: Compact() flushes, and Flush() checks the
+  /// retention thresholds — without this a threshold-triggered
+  /// compaction would recurse into itself.
+  bool compacting_ = false;
   bool closed_ = false;
 };
 

@@ -306,6 +306,73 @@ TEST_F(ServeCliTest, ReplayRequiresLogDir) {
       Run({"replay", "--log-dir", "/tmp/no_such_tcdp_log_dir"}).ok());
 }
 
+TEST_F(ServeCliTest, CompactShrinksLogsAndReplayStillVerifies) {
+  // Serve durably with a mid-stream snapshot so compaction has an
+  // anchor, compact, and check the replay verification still passes
+  // against the shrunken logs.
+  std::ofstream(script_path_) << "join alice 6 0.3\n"
+                                 "join bob 6 0.4\n"
+                                 "release 0.1 all\n"
+                                 "release 0.2 alice\n"
+                                 "snapshot\n"
+                                 "release 0.1 alice,bob\n"
+                                 "flush\n";
+  auto served = Run({"serve", "--script", script_path_, "--shards", "2",
+                     "--batch-window", "4", "--log-dir", log_dir_});
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+
+  auto compacted = Run({"compact", "--log-dir", log_dir_, "--json", "-"});
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  for (const char* key :
+       {"\"wal_bytes_before\":", "\"wal_bytes_after\":",
+        "\"physical_records_after\":", "\"compact_seconds\":"}) {
+    EXPECT_NE(compacted->find(key), std::string::npos)
+        << "missing " << key << " in:\n" << *compacted;
+  }
+
+  auto replayed = Run({"replay", "--log-dir", log_dir_, "--verify", "1"});
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_NE(replayed->find("2 users bitwise-equal, 0 failures"),
+            std::string::npos)
+      << *replayed;
+
+  auto human = Run({"compact", "--log-dir", log_dir_});
+  ASSERT_TRUE(human.ok()) << human.status().ToString();
+  EXPECT_NE(human->find("compacted 2 shard WALs"), std::string::npos)
+      << *human;
+}
+
+TEST_F(ServeCliTest, CompactRejectsBadInput) {
+  EXPECT_FALSE(Run({"compact"}).ok());
+  EXPECT_FALSE(
+      Run({"compact", "--log-dir", "/tmp/no_such_tcdp_log_dir"}).ok());
+  // Retention flags on an ephemeral serve are a contradiction.
+  auto r = Run({"serve", "--script", script_path_, "--auto-compact", "1"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("--log-dir"), std::string::npos);
+}
+
+TEST_F(ServeCliTest, ServeScriptCompactVerbAndAutoCompactFlags) {
+  std::ofstream(script_path_) << "join alice 6 0.3\n"
+                                 "release 0.1 all\n"
+                                 "snapshot\n"
+                                 "compact\n"
+                                 "release 0.2 alice\n"
+                                 "query alice\n";
+  auto served = Run({"serve", "--script", script_path_, "--shards", "2",
+                     "--batch-window", "2", "--log-dir", log_dir_,
+                     "--auto-compact", "1", "--json", "-"});
+  ASSERT_TRUE(served.ok()) << served.status().ToString();
+  for (const char* key :
+       {"\"compactions\":", "\"wal_physical_records\":",
+        "\"name\": \"alice\""}) {
+    EXPECT_NE(served->find(key), std::string::npos)
+        << "missing " << key << " in:\n" << *served;
+  }
+  EXPECT_EQ(served->find("\"compactions\": 0"), std::string::npos)
+      << "no shard compacted in:\n" << *served;
+}
+
 /// Extracts the `"queries": [...]` JSON section — the part that must be
 /// bitwise identical between an in-process serve run and a networked
 /// client replay of the same script.

@@ -497,6 +497,77 @@ TEST(NetServerTest, DurableServiceOverNetworkRecovers) {
   std::filesystem::remove_all(dir);
 }
 
+TEST(NetServerTest, CompactOverNetworkShrinksLogsAndRecovers) {
+  const std::string dir = "/tmp/tcdp_net_compact_test_logs";
+  std::filesystem::remove_all(dir);
+  std::vector<server::UserReport> before;
+  {
+    auto ts = TestServer::Start(2, 4, dir);
+    ASSERT_NE(ts, nullptr);
+    auto client = Connect(*ts, /*pipeline=*/4);
+    ASSERT_TRUE(client.ok());
+    for (std::size_t u = 0; u < kUsers; ++u) {
+      ASSERT_TRUE((*client)->Join(UserName(u), Profile(u)).ok());
+    }
+    for (int round = 0; round < 3; ++round) {
+      ASSERT_TRUE((*client)->ReleaseAll(0.1).ok());
+      ASSERT_TRUE((*client)->Flush().ok());
+    }
+    ASSERT_TRUE((*client)->Snapshot().ok());
+    // Suffix past the anchor, then the admin request under test.
+    ASSERT_TRUE((*client)->ReleaseAll(0.2).ok());
+    ASSERT_TRUE((*client)->Flush().ok());
+    auto dense = (*client)->Stats();
+    ASSERT_TRUE(dense.ok());
+    ASSERT_TRUE((*client)->Compact().ok());
+    auto compacted = (*client)->Stats();
+    ASSERT_TRUE(compacted.ok());
+    for (std::size_t s = 0; s < compacted->shards.size(); ++s) {
+      EXPECT_LT(compacted->shards[s].wal_bytes, dense->shards[s].wal_bytes)
+          << "shard " << s << " did not shrink over the wire";
+    }
+    // The connection survives the admin request and keeps serving.
+    ASSERT_TRUE((*client)->ReleaseAll(0.05).ok());
+    ASSERT_TRUE((*client)->Flush().ok());
+    before = QueryAll(client->get());
+    EXPECT_TRUE((*client)->Shutdown().ok());
+    ts->Finish();
+    EXPECT_TRUE(ts->service->Close().ok());
+  }
+  auto recovered = server::ShardedReleaseService::Recover(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  std::vector<server::UserReport> after;
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    auto report = (*recovered)->Query(UserName(u));
+    ASSERT_TRUE(report.ok());
+    after.push_back(std::move(report).value());
+  }
+  ExpectSameReports(after, before, "compacted-recovered");
+  EXPECT_TRUE((*recovered)->Close().ok());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(NetServerTest, CompactOnEphemeralServiceIsAnApplicationError) {
+  auto ts = TestServer::Start(1, 4);
+  ASSERT_NE(ts, nullptr);
+  auto client = Connect(*ts);
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE((*client)->Join(UserName(0), Profile(0)).ok());
+  const Status compacted = (*client)->Compact();
+  EXPECT_FALSE(compacted.ok());
+  EXPECT_EQ(compacted.code(), StatusCode::kFailedPrecondition)
+      << compacted;
+  // Tier-3 error: the error latches in THIS client (its view of
+  // applied state is pipelined), but the connection itself stays open
+  // and a fresh client keeps working against untouched state.
+  auto fresh = Connect(*ts);
+  ASSERT_TRUE(fresh.ok());
+  auto report = (*fresh)->Query(UserName(0));
+  EXPECT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE((*fresh)->Shutdown().ok());
+  ts->Finish();
+}
+
 }  // namespace
 }  // namespace net
 }  // namespace tcdp

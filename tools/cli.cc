@@ -501,7 +501,7 @@ struct ServeOutcome {
 /// Grammar (one command per line, '#' comments):
 ///   join <name> <pages> <home_prob>
 ///   release <eps> all | release <eps> <name[,name...]>
-///   flush | snapshot | query <name>
+///   flush | snapshot | compact | query <name>
 template <typename Backend>
 Status RunScript(std::istream& script, Backend* backend,
                  ServeOutcome* outcome) {
@@ -546,6 +546,8 @@ Status RunScript(std::istream& script, Backend* backend,
       TCDP_RETURN_IF_ERROR(backend->Flush());
     } else if (command == "snapshot") {
       TCDP_RETURN_IF_ERROR(backend->Snapshot());
+    } else if (command == "compact") {
+      TCDP_RETURN_IF_ERROR(backend->Compact());
     } else if (command == "query") {
       std::string name;
       if (!(fields >> name)) return syntax_error("expected 'query <name>'");
@@ -591,8 +593,10 @@ void PrintServiceJson(server::ShardedReleaseService* service,
         << ", \"users\": " << shard.users
         << ", \"horizon\": " << shard.horizon
         << ", \"wal_records\": " << shard.wal_records
+        << ", \"wal_physical_records\": " << shard.wal_physical_records
         << ", \"wal_bytes\": " << shard.wal_bytes
         << ", \"snapshots\": " << shard.snapshots_written
+        << ", \"compactions\": " << shard.compactions
         << ", \"replayed_records\": " << shard.replayed_records
         << ", \"restored_from_snapshot\": "
         << (shard.restored_from_snapshot ? "true" : "false")
@@ -644,8 +648,24 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
     return Status::InvalidArgument(
         "--shards and --batch-window must be >= 1");
   }
+  TCDP_ASSIGN_OR_RETURN(std::size_t auto_compact,
+                        FlagAsSize(flags, "auto-compact", std::size_t{0}));
+  options.compaction.after_snapshot = auto_compact != 0;
+  TCDP_ASSIGN_OR_RETURN(options.compaction.max_wal_bytes,
+                        FlagAsSize(flags, "compact-bytes", std::size_t{0}));
+  TCDP_ASSIGN_OR_RETURN(
+      options.compaction.max_wal_records,
+      FlagAsSize(flags, "compact-records", std::size_t{0}));
   std::string log_dir;
   if (flags.count("log-dir") > 0) log_dir = flags.at("log-dir");
+  if (log_dir.empty() &&
+      (options.compaction.after_snapshot ||
+       options.compaction.max_wal_bytes > 0 ||
+       options.compaction.max_wal_records > 0)) {
+    return Status::InvalidArgument(
+        "--auto-compact/--compact-bytes/--compact-records require "
+        "--log-dir (compaction needs a durable WAL)");
+  }
   const bool json = flags.count("json") > 0;
   if (json && flags.at("json") != "-") {
     return Status::InvalidArgument("--json only supports '-' (stdout)");
@@ -960,6 +980,77 @@ Status CmdReplay(const Flags& flags, std::ostream& out) {
   return closed;
 }
 
+Status CmdCompact(const Flags& flags, std::ostream& out) {
+  const auto dir_it = flags.find("log-dir");
+  if (dir_it == flags.end()) {
+    return Status::InvalidArgument("missing required flag --log-dir");
+  }
+  const bool json = flags.count("json") > 0;
+  if (json && flags.at("json") != "-") {
+    return Status::InvalidArgument("--json only supports '-' (stdout)");
+  }
+  TCDP_ASSIGN_OR_RETURN(auto service,
+                        server::ShardedReleaseService::Recover(
+                            dir_it->second));
+  struct Footprint {
+    std::uint64_t bytes = 0;
+    std::uint64_t physical_records = 0;
+    std::uint64_t logical_records = 0;
+  };
+  auto measure = [&] {
+    std::vector<Footprint> shards;
+    for (std::size_t s = 0; s < service->num_shards(); ++s) {
+      const server::ShardStats stats = service->shard_stats(s);
+      shards.push_back(Footprint{stats.wal_bytes,
+                                 stats.wal_physical_records,
+                                 stats.wal_records});
+    }
+    return shards;
+  };
+  const std::vector<Footprint> before = measure();
+  WallTimer timer;
+  TCDP_RETURN_IF_ERROR(service->Compact());
+  const double compact_seconds = timer.ElapsedSeconds();
+  const std::vector<Footprint> after = measure();
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+  for (const Footprint& f : before) bytes_before += f.bytes;
+  for (const Footprint& f : after) bytes_after += f.bytes;
+  if (json) {
+    out.precision(17);
+    out << "{\n"
+        << "  \"log_dir\": \"" << JsonEscape(dir_it->second) << "\",\n"
+        << "  \"shards\": " << service->num_shards() << ",\n"
+        << "  \"users\": " << service->num_users() << ",\n"
+        << "  \"horizon\": " << service->horizon() << ",\n"
+        << "  \"compact_seconds\": " << compact_seconds << ",\n"
+        << "  \"wal_bytes_before\": " << bytes_before << ",\n"
+        << "  \"wal_bytes_after\": " << bytes_after << ",\n"
+        << "  \"shard_stats\": [";
+    for (std::size_t s = 0; s < service->num_shards(); ++s) {
+      out << (s == 0 ? "\n" : ",\n") << "    {\"shard\": " << s
+          << ", \"wal_bytes_before\": " << before[s].bytes
+          << ", \"wal_bytes_after\": " << after[s].bytes
+          << ", \"physical_records_before\": " << before[s].physical_records
+          << ", \"physical_records_after\": " << after[s].physical_records
+          << ", \"logical_records\": " << after[s].logical_records << "}";
+    }
+    out << "\n  ]\n}\n";
+  } else {
+    out << "compacted " << service->num_shards() << " shard WALs in "
+        << FormatNumber(compact_seconds, 4) << "s: " << bytes_before
+        << " -> " << bytes_after << " bytes\n";
+    for (std::size_t s = 0; s < service->num_shards(); ++s) {
+      out << "  shard " << s << ": " << before[s].bytes << " -> "
+          << after[s].bytes << " bytes, " << before[s].physical_records
+          << " -> " << after[s].physical_records
+          << " records on disk (" << after[s].logical_records
+          << " logical records preserved via the snapshot)\n";
+    }
+  }
+  return service->Close();
+}
+
 }  // namespace
 
 std::string HelpText() {
@@ -987,14 +1078,15 @@ std::string HelpText() {
       "             [--groups g] [--threads k] [--cache on|off]\n"
       "             [--sparsity s] [--seed r] [--json -]\n"
       "  serve      sharded release service driven by a scripted request\n"
-      "             stream (join/release/flush/snapshot/query commands),\n"
-      "             micro-batched, durable when --log-dir is given;\n"
-      "             --listen adds the binary wire protocol on a TCP\n"
-      "             port (script becomes an optional preload)\n"
+      "             stream (join/release/flush/snapshot/compact/query\n"
+      "             commands), micro-batched, durable when --log-dir is\n"
+      "             given; --listen adds the binary wire protocol on a\n"
+      "             TCP port (script becomes an optional preload)\n"
       "             --script S.txt [--log-dir D] [--shards N]\n"
       "             [--batch-window W] [--snapshot-every K]\n"
-      "             [--sync-every Y] [--listen PORT] [--host H]\n"
-      "             [--port-file P] [--json -]\n"
+      "             [--sync-every Y] [--auto-compact 1]\n"
+      "             [--compact-bytes B] [--compact-records R]\n"
+      "             [--listen PORT] [--host H] [--port-file P] [--json -]\n"
       "  client     replay a serve script against a remote server over\n"
       "             the wire protocol (pipelined; see docs/PROTOCOL.md)\n"
       "             --port PORT --script S.txt [--host H]\n"
@@ -1003,6 +1095,10 @@ std::string HelpText() {
       "             replays every user's exported accountant blob and\n"
       "             checks the recovered series bitwise\n"
       "             --log-dir D [--verify 1] [--json -]\n"
+      "  compact    recover a service, then rewrite every shard WAL to\n"
+      "             its snapshot anchor + suffix (crash-safe tmp+rename;\n"
+      "             see docs/DURABILITY.md) and report the disk savings\n"
+      "             --log-dir D [--json -]\n"
       "  help       this text\n"
       "\n"
       "file formats: matrices are one row per line (comma/space separated\n"
@@ -1025,6 +1121,7 @@ Status Run(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "serve") return CmdServe(flags, out);
   if (command == "client") return CmdClient(flags, out);
   if (command == "replay") return CmdReplay(flags, out);
+  if (command == "compact") return CmdCompact(flags, out);
   return Status::InvalidArgument("unknown command '" + command +
                                  "'; see `tcdp help`");
 }

@@ -29,13 +29,17 @@
 ///
 ///   serve     --script S.txt [--log-dir D] [--shards N]
 ///             [--batch-window W] [--snapshot-every K] [--sync-every Y]
+///             [--auto-compact 1] [--compact-bytes B] [--compact-records R]
 ///             [--listen PORT] [--host H] [--port-file P]
 ///       Drives a scripted request stream (join/release/flush/snapshot/
-///       query) through the sharded release service; durable when
-///       --log-dir is given. With --listen the service additionally
-///       accepts the binary wire protocol on a TCP port (0 picks an
-///       ephemeral port, reported via --port-file) until a client
-///       sends shutdown; --script becomes an optional preload.
+///       compact/query) through the sharded release service; durable
+///       when --log-dir is given. --auto-compact compacts WALs after
+///       every snapshot; --compact-bytes/--compact-records bound the
+///       per-shard on-disk WAL (docs/DURABILITY.md). With --listen the
+///       service additionally accepts the binary wire protocol on a
+///       TCP port (0 picks an ephemeral port, reported via --port-file)
+///       until a client sends shutdown; --script becomes an optional
+///       preload.
 ///
 ///   client    --port PORT --script S.txt [--host H] [--pipeline N]
 ///             [--shutdown 1]
@@ -46,6 +50,11 @@
 ///       Recovers a service from its write-ahead logs/snapshots and
 ///       reports what was restored; --verify re-derives every user's
 ///       series from an exported accountant blob and checks bitwise.
+///
+///   compact   --log-dir D
+///       Recovers a service, rewrites every shard WAL to its snapshot
+///       anchor plus the post-snapshot suffix (crash-safe tmp+rename),
+///       and reports the before/after disk footprint.
 ///
 ///   help
 ///
