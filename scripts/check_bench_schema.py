@@ -1,78 +1,258 @@
 #!/usr/bin/env python3
-"""Schema validation for the BENCH_*.json files the benchmarks emit.
+"""External validator for the unified tcdp-bench-v1 BENCH.json schema.
 
-CI runs this on both the seconds-scale smoke outputs and the full
-acceptance runs, so a bench refactor that drops or renames a field
-fails visibly instead of silently shipping an empty artifact.
+`tcdp bench` validates its own output before writing (bench/report.h),
+so this script exists to catch the failure the in-process check cannot:
+a C++ serializer bug that drops or renames a field would be validated
+against the same broken in-memory shape. CI therefore re-checks the
+artifact — and the committed baseline — from the outside, with an
+independent implementation of the schema.
 
-Usage: check_bench_schema.py <kind> <json-path>
-  kind: fleet | shard | net
+Usage:
+  check_bench_schema.py BENCH.json [more.json ...]
+  check_bench_schema.py --self-test
+
+--self-test feeds a set of deliberately malformed reports through the
+validator and fails if any of them is accepted (the negative tests the
+issue asks for), plus one well-formed report that must pass.
 """
 
+import copy
 import json
 import sys
 
-
-def require(obj, keys, where):
-    missing = [key for key in keys if key not in obj]
-    if missing:
-        raise SystemExit(f"{where}: missing keys {missing}")
+SCHEMA = "tcdp-bench-v1"
+MODES = ("smoke", "full")
+DIRECTIONS = ("exact", "higher_is_better", "lower_is_better")
 
 
-def check_shard(data):
-    require(data, ["bench", "smoke", "hardware_concurrency", "workloads",
-                   "recovery", "criteria"], "BENCH_shard.json")
-    if not data["workloads"]:
-        raise SystemExit("BENCH_shard.json: empty workloads")
-    for row in data["workloads"]:
-        require(row, ["name", "shards", "batch_window", "durable", "users",
-                      "requests", "global_releases", "seconds",
-                      "requests_per_sec"], f"workload {row.get('name')}")
-    if not data["recovery"]:
-        raise SystemExit("BENCH_shard.json: empty recovery section")
-    names = set()
-    for row in data["recovery"]:
-        require(row, ["name", "wal_records", "wal_physical_records",
-                      "wal_bytes", "snapshot_every", "compacted",
-                      "recover_seconds"], f"recovery {row.get('name')}")
-        names.add(row["name"])
-    for expected in ("full_log", "full_log_snapshots", "full_log_compacted"):
-        if expected not in names:
-            raise SystemExit(f"BENCH_shard.json: recovery case '{expected}'"
-                             " missing")
-    require(data["criteria"], ["multi_shard_speedup_vs_fleet_engine",
-                               "gate_enforced", "compacted_wal_bytes",
-                               "uncompacted_wal_bytes", "compact_seconds"],
-            "criteria")
-    compacted = data["criteria"]["compacted_wal_bytes"]
-    uncompacted = data["criteria"]["uncompacted_wal_bytes"]
-    if not 0 < compacted < uncompacted:
-        raise SystemExit("BENCH_shard.json: compaction did not shrink the "
-                         f"WAL ({uncompacted} -> {compacted} bytes)")
+class SchemaError(Exception):
+    pass
 
 
-def check_fleet(data):
-    require(data, ["bench", "smoke", "workloads", "criteria"],
-            "BENCH_fleet.json")
-    if not data["workloads"]:
-        raise SystemExit("BENCH_fleet.json: empty workloads")
+def require(obj, where, **fields):
+    """Checks presence and type of each named field of a JSON object."""
+    if not isinstance(obj, dict):
+        raise SchemaError(f"{where}: expected an object, got {type(obj).__name__}")
+    for name, types in fields.items():
+        if name not in obj:
+            raise SchemaError(f"{where}: missing key '{name}'")
+        if not isinstance(obj[name], types) or (
+                isinstance(obj[name], bool) and bool not in (
+                    types if isinstance(types, tuple) else (types,))):
+            raise SchemaError(
+                f"{where}: key '{name}' has type {type(obj[name]).__name__}")
 
 
-def check_net(data):
-    require(data, ["bench", "smoke", "workloads", "criteria"],
-            "BENCH_net.json")
-    if not data["workloads"]:
-        raise SystemExit("BENCH_net.json: empty workloads")
+def check_numeric_map(obj, where):
+    if not isinstance(obj, dict):
+        raise SchemaError(f"{where}: expected an object")
+    for key, value in obj.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SchemaError(f"{where}: '{key}' is not a number")
+
+
+def check_hardware(obj, where):
+    require(obj, where, cores=int, cpu_mhz=(int, float), hostname=str)
+    if obj["cores"] < 1:
+        raise SchemaError(f"{where}: cores must be >= 1")
+
+
+def check_build(obj, where):
+    require(obj, where, git_sha=str, flags=str, build_type=str, compiler=str)
+
+
+def check_record(record, index):
+    where = f"records[{index}]"
+    require(record, where, suite=str, case=str, mode=str, params=dict,
+            metrics=dict, hardware=dict, build=dict, timestamps=dict)
+    if record["mode"] not in MODES:
+        raise SchemaError(f"{where}: mode '{record['mode']}' not in {MODES}")
+    check_numeric_map(record["params"], f"{where}.params")
+    check_numeric_map(record["metrics"], f"{where}.metrics")
+    if not record["metrics"]:
+        raise SchemaError(f"{where}: empty metrics")
+    check_hardware(record["hardware"], f"{where}.hardware")
+    check_build(record["build"], f"{where}.build")
+    require(record["timestamps"], f"{where}.timestamps",
+            unix=(int, float), iso=str)
+
+
+def check_gate(gate, index):
+    where = f"gates[{index}]"
+    require(gate, where, suite=str, name=str, expression=str,
+            enforced=bool, passed=bool, reason=str)
+
+
+def check_skip(skip, index):
+    where = f"skips[{index}]"
+    require(skip, where, suite=str, case=str, reason=str)
+    if not skip["reason"]:
+        raise SchemaError(f"{where}: empty skip reason")
+
+
+def check_policy(policy, where):
+    require(policy, where, direction=str, noise_frac=(int, float),
+            informational=bool)
+    if policy["direction"] not in DIRECTIONS:
+        raise SchemaError(
+            f"{where}: direction '{policy['direction']}' not in {DIRECTIONS}")
+    if policy["noise_frac"] < 0:
+        raise SchemaError(f"{where}: negative noise_frac")
+
+
+def check_report(data):
+    require(data, "report", schema=str, smoke=bool, hardware=dict,
+            build=dict, timestamps=dict, suites_run=list,
+            records=list, derived=dict, gates=list, skips=list,
+            metric_policies=dict)
+    if data["schema"] != SCHEMA:
+        raise SchemaError(f"report: schema '{data['schema']}' != '{SCHEMA}'")
+    check_hardware(data["hardware"], "hardware")
+    check_build(data["build"], "build")
+    require(data["timestamps"], "timestamps", started_unix=(int, float),
+            finished_unix=(int, float), started_iso=str)
+    if not data["suites_run"]:
+        raise SchemaError("report: empty suites_run")
+    suites = set()
+    for i, name in enumerate(data["suites_run"]):
+        if not isinstance(name, str) or not name:
+            raise SchemaError(f"suites_run[{i}]: not a non-empty string")
+        suites.add(name)
+    if not data["records"]:
+        raise SchemaError("report: empty records")
+    mode = "smoke" if data["smoke"] else "full"
+    for i, record in enumerate(data["records"]):
+        check_record(record, i)
+        if record["mode"] != mode:
+            raise SchemaError(
+                f"records[{i}]: mode '{record['mode']}' contradicts "
+                f"report smoke={data['smoke']}")
+        if record["suite"] not in suites:
+            raise SchemaError(
+                f"records[{i}]: suite '{record['suite']}' not in suites_run")
+    for suite, values in data["derived"].items():
+        check_numeric_map(values, f"derived['{suite}']")
+    for i, gate in enumerate(data["gates"]):
+        check_gate(gate, i)
+    for i, skip in enumerate(data["skips"]):
+        check_skip(skip, i)
+    for suite, metrics in data["metric_policies"].items():
+        if not isinstance(metrics, dict):
+            raise SchemaError(f"metric_policies['{suite}']: expected an object")
+        for metric, policy in metrics.items():
+            check_policy(policy, f"metric_policies['{suite}']['{metric}']")
+
+
+def minimal_valid_report():
+    return {
+        "schema": SCHEMA,
+        "smoke": True,
+        "hardware": {"cores": 1, "cpu_mhz": 2000.0, "hostname": "host"},
+        "build": {"git_sha": "abc1234", "flags": "-O2",
+                  "build_type": "Release", "compiler": "g++"},
+        "timestamps": {"started_unix": 1.0, "finished_unix": 2.0,
+                       "started_iso": "2026-01-01T00:00:00Z"},
+        "suites_run": ["demo"],
+        "records": [{
+            "suite": "demo",
+            "case": "case_a",
+            "mode": "smoke",
+            "params": {"n": 4},
+            "metrics": {"seconds": 0.5},
+            "hardware": {"cores": 1, "cpu_mhz": 2000.0, "hostname": "host"},
+            "build": {"git_sha": "abc1234", "flags": "-O2",
+                      "build_type": "Release", "compiler": "g++"},
+            "timestamps": {"unix": 1.5, "iso": "2026-01-01T00:00:01Z"},
+        }],
+        "derived": {"demo": {"speedup": 2.0}},
+        "gates": [{"suite": "demo", "name": "g", "expression": "speedup > 1",
+                   "enforced": True, "passed": True, "reason": ""}],
+        "skips": [{"suite": "demo", "case": "case_b",
+                   "reason": "requires >= 2 cores"}],
+        "metric_policies": {"demo": {"seconds": {
+            "direction": "lower_is_better", "noise_frac": 0.15,
+            "informational": True}}},
+    }
+
+
+def self_test():
+    check_report(minimal_valid_report())  # the well-formed one must pass
+
+    rejected = 0
+
+    def mutate(description, fn):
+        nonlocal rejected
+        data = copy.deepcopy(minimal_valid_report())
+        fn(data)
+        try:
+            check_report(data)
+        except SchemaError:
+            rejected += 1
+            return
+        raise SystemExit(
+            f"self-test: accepted malformed report: {description}")
+
+    mutate("wrong schema tag", lambda d: d.update(schema="tcdp-bench-v0"))
+    mutate("missing records", lambda d: d.pop("records"))
+    mutate("empty records", lambda d: d.update(records=[]))
+    mutate("record missing case", lambda d: d["records"][0].pop("case"))
+    mutate("record missing hardware",
+           lambda d: d["records"][0].pop("hardware"))
+    mutate("record missing build", lambda d: d["records"][0].pop("build"))
+    mutate("record missing timestamps",
+           lambda d: d["records"][0].pop("timestamps"))
+    mutate("record timestamp missing unix",
+           lambda d: d["records"][0]["timestamps"].pop("unix"))
+    mutate("record with bad mode",
+           lambda d: d["records"][0].update(mode="warmup"))
+    mutate("record mode contradicting report mode",
+           lambda d: d["records"][0].update(mode="full"))
+    mutate("record for unlisted suite",
+           lambda d: d["records"][0].update(suite="ghost"))
+    mutate("non-numeric metric",
+           lambda d: d["records"][0]["metrics"].update(seconds="fast"))
+    mutate("boolean posing as a metric",
+           lambda d: d["records"][0]["metrics"].update(seconds=True))
+    mutate("empty metrics", lambda d: d["records"][0].update(metrics={}))
+    mutate("hardware without cores", lambda d: d["hardware"].pop("cores"))
+    mutate("zero cores", lambda d: d["hardware"].update(cores=0))
+    mutate("build without git_sha", lambda d: d["build"].pop("git_sha"))
+    mutate("report without timestamps", lambda d: d.pop("timestamps"))
+    mutate("timestamps missing started_iso",
+           lambda d: d["timestamps"].pop("started_iso"))
+    mutate("gate without expression",
+           lambda d: d["gates"][0].pop("expression"))
+    mutate("skip without reason", lambda d: d["skips"][0].update(reason=""))
+    mutate("unknown policy direction",
+           lambda d: d["metric_policies"]["demo"]["seconds"].update(
+               direction="sideways"))
+    mutate("negative noise band",
+           lambda d: d["metric_policies"]["demo"]["seconds"].update(
+               noise_frac=-0.1))
+    mutate("empty suites_run", lambda d: d.update(suites_run=[]))
+    print(f"self-test OK: {rejected} malformed reports rejected, "
+          "1 valid accepted")
 
 
 def main(argv):
-    if len(argv) != 3 or argv[1] not in ("fleet", "shard", "net"):
-        raise SystemExit(f"usage: {argv[0]} fleet|shard|net <json-path>")
-    with open(argv[2], encoding="utf-8") as handle:
-        data = json.load(handle)
-    {"fleet": check_fleet, "shard": check_shard, "net": check_net}[argv[1]](
-        data)
-    print(f"check_bench_schema: {argv[2]} ok")
+    if len(argv) < 2:
+        raise SystemExit(__doc__)
+    if argv[1] == "--self-test":
+        self_test()
+        return 0
+    for path in argv[1:]:
+        with open(path, encoding="utf-8") as handle:
+            try:
+                data = json.load(handle)
+            except json.JSONDecodeError as err:
+                raise SystemExit(f"{path}: not valid JSON: {err}")
+        try:
+            check_report(data)
+        except SchemaError as err:
+            raise SystemExit(f"{path}: {err}")
+        print(f"{path}: OK ({len(data['records'])} records, "
+              f"{len(data['gates'])} gates, schema {SCHEMA})")
     return 0
 
 

@@ -1,0 +1,161 @@
+#include "bench/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+std::string RecordKey(const BenchRecord& record) {
+  std::string key = record.suite + "/" + record.case_name;
+  for (const auto& [name, value] : record.params) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    key += ";" + name + "=" + buf;
+  }
+  return key;
+}
+
+void Append(std::string* report, const std::string& line) {
+  *report += line;
+  report->push_back('\n');
+}
+
+std::string FormatDelta(double current, double baseline) {
+  char buf[160];
+  if (baseline != 0.0) {
+    std::snprintf(buf, sizeof(buf), "%.6g -> %.6g (%+.1f%%)", baseline,
+                  current, 100.0 * (current - baseline) / baseline);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g -> %.6g", baseline, current);
+  }
+  return buf;
+}
+
+}  // namespace
+
+CompareResult CompareReports(const BenchReport& current,
+                             const BenchReport& baseline,
+                             const CompareOptions& options) {
+  CompareResult result;
+  const std::set<std::string> suites_run(current.suites_run.begin(),
+                                         current.suites_run.end());
+
+  // Index baseline records of the current run's mode, restricted to
+  // the suites this run executed.
+  std::map<std::string, const BenchRecord*> baseline_index;
+  for (const BenchRecord& record : baseline.records) {
+    if (record.mode != current.mode()) continue;
+    if (suites_run.count(record.suite) == 0) continue;
+    baseline_index[RecordKey(record)] = &record;
+  }
+
+  std::set<std::string> matched;
+  for (const BenchRecord& record : current.records) {
+    const std::string key = RecordKey(record);
+    const auto base_it = baseline_index.find(key);
+    if (base_it == baseline_index.end()) {
+      ++result.new_cases;
+      Append(&result.report, "NEW      " + key + " (not in baseline)");
+      continue;
+    }
+    matched.insert(key);
+    const BenchRecord& base = *base_it->second;
+
+    for (const auto& [metric, base_value] : base.metrics) {
+      const auto cur_it = record.metrics.find(metric);
+      if (cur_it == record.metrics.end()) {
+        ++result.regressions;
+        result.ok = false;
+        Append(&result.report,
+               "LOST     " + key + " " + metric + " (metric disappeared)");
+        continue;
+      }
+      const double cur_value = cur_it->second;
+      ++result.metrics_checked;
+
+      MetricPolicy policy;
+      policy.noise_frac = options.default_noise_frac;
+      const auto suite_policies = current.policies.find(record.suite);
+      if (suite_policies != current.policies.end()) {
+        const auto policy_it = suite_policies->second.find(metric);
+        if (policy_it != suite_policies->second.end()) {
+          policy = policy_it->second;
+        }
+      }
+
+      const double band =
+          policy.noise_frac * std::max(std::fabs(base_value), 1.0e-12);
+      bool worse = false;
+      bool better = false;
+      switch (policy.direction) {
+        case MetricPolicy::Direction::kExact:
+          worse = std::fabs(cur_value - base_value) >
+                  std::max(band, policy.noise_frac);
+          break;
+        case MetricPolicy::Direction::kHigherIsBetter:
+          worse = cur_value < base_value - band;
+          better = cur_value > base_value + band;
+          break;
+        case MetricPolicy::Direction::kLowerIsBetter:
+          worse = cur_value > base_value + band;
+          better = cur_value < base_value - band;
+          break;
+      }
+      if (!worse && !better) continue;
+      const std::string line = key + " " + metric + ": " +
+                               FormatDelta(cur_value, base_value) +
+                               " [band " +
+                               std::to_string(policy.noise_frac * 100.0) +
+                               "%]";
+      if (policy.informational) {
+        ++result.informational;
+        Append(&result.report, "DRIFT    " + line + " (informational)");
+      } else if (worse) {
+        ++result.regressions;
+        result.ok = false;
+        Append(&result.report, "REGRESS  " + line);
+      } else {
+        ++result.improvements;
+        Append(&result.report, "IMPROVE  " + line);
+      }
+    }
+
+    // Metrics added since the baseline are fine (schema is additive).
+    for (const auto& [metric, value] : record.metrics) {
+      (void)value;
+      if (base.metrics.count(metric) == 0) {
+        Append(&result.report, "NEWMET   " + key + " " + metric);
+      }
+    }
+  }
+
+  // Baseline cases the current run did not produce: lost unless the
+  // run explicitly skipped them with a reason.
+  for (const auto& [key, record] : baseline_index) {
+    if (matched.count(key) > 0) continue;
+    if (current.HasSkip(record->suite, record->case_name)) {
+      Append(&result.report, "SKIPPED  " + key + " (skipped with reason)");
+      continue;
+    }
+    ++result.missing_cases;
+    result.ok = false;
+    Append(&result.report, "MISSING  " + key + " (in baseline, not in run)");
+  }
+
+  char summary[256];
+  std::snprintf(summary, sizeof(summary),
+                "compared %zu metrics: %zu regressions, %zu improvements, "
+                "%zu informational drifts, %zu missing cases, %zu new cases",
+                result.metrics_checked, result.regressions,
+                result.improvements, result.informational,
+                result.missing_cases, result.new_cases);
+  Append(&result.report, summary);
+  return result;
+}
+
+}  // namespace bench
+}  // namespace tcdp

@@ -1,0 +1,45 @@
+#ifndef TCDP_BENCH_COMPARE_H_
+#define TCDP_BENCH_COMPARE_H_
+
+/// \file
+/// Run-over-run comparison: diff a fresh BENCH.json against a
+/// committed baseline and fail on regression beyond the per-metric
+/// noise band (docs/BENCHMARKING.md "Regression gating").
+///
+/// Records match on (suite, case, mode, params). Policies come from
+/// the CURRENT run's embedded metric_policies — a perturbed baseline
+/// cannot weaken its own comparison. Only suites the current run
+/// executed, in the current run's mode, are compared.
+
+#include <string>
+
+#include "bench/report.h"
+
+namespace tcdp {
+namespace bench {
+
+struct CompareOptions {
+  /// Band for metrics without an explicit policy (+-15%, two-sided).
+  double default_noise_frac = 0.15;
+};
+
+struct CompareResult {
+  bool ok = true;
+  std::size_t metrics_checked = 0;
+  std::size_t regressions = 0;     ///< gated metrics outside the band
+  std::size_t improvements = 0;    ///< gated metrics better beyond the band
+  std::size_t informational = 0;   ///< informational drifts outside the band
+  std::size_t missing_cases = 0;   ///< baseline cases lost (not skipped)
+  std::size_t new_cases = 0;       ///< current cases absent from baseline
+  /// Human-readable per-metric diff report (one line per finding).
+  std::string report;
+};
+
+CompareResult CompareReports(const BenchReport& current,
+                             const BenchReport& baseline,
+                             const CompareOptions& options = {});
+
+}  // namespace bench
+}  // namespace tcdp
+
+#endif  // TCDP_BENCH_COMPARE_H_

@@ -1,0 +1,96 @@
+#include "bench/env.h"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#ifndef TCDP_GIT_SHA
+#define TCDP_GIT_SHA "unknown"
+#endif
+#ifndef TCDP_BUILD_FLAGS
+#define TCDP_BUILD_FLAGS "unknown"
+#endif
+#ifndef TCDP_BUILD_TYPE
+#define TCDP_BUILD_TYPE "unknown"
+#endif
+
+namespace tcdp {
+namespace bench {
+
+namespace {
+
+double ProbeCpuMhz() {
+  // /proc/cpuinfo's "cpu MHz" line (Linux). Absent (other OS,
+  // containers without procfs) -> 0, reported as unknown.
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    if (line.rfind("cpu MHz", 0) == 0) {
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        return std::strtod(line.c_str() + colon + 1, nullptr);
+      }
+    }
+  }
+  return 0.0;
+}
+
+std::string ProbeHostname() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf[0] != '\0' ? std::string(buf) : std::string("unknown");
+}
+
+}  // namespace
+
+const HardwareInfo& Hardware() {
+  static const HardwareInfo info = [] {
+    HardwareInfo h;
+    h.cores = std::thread::hardware_concurrency();
+    if (h.cores == 0) h.cores = 1;
+    h.cpu_mhz = ProbeCpuMhz();
+    h.hostname = ProbeHostname();
+    return h;
+  }();
+  return info;
+}
+
+const BuildInfo& Build() {
+  static const BuildInfo info = [] {
+    BuildInfo b;
+    b.git_sha = TCDP_GIT_SHA;
+    b.flags = TCDP_BUILD_FLAGS;
+    b.build_type = TCDP_BUILD_TYPE;
+#ifdef __VERSION__
+    b.compiler = __VERSION__;
+#else
+    b.compiler = "unknown";
+#endif
+    return b;
+  }();
+  return info;
+}
+
+double NowUnixSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string NowIso8601() {
+  const std::time_t now = std::time(nullptr);
+  std::tm utc{};
+  gmtime_r(&now, &utc);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &utc);
+  return buf;
+}
+
+}  // namespace bench
+}  // namespace tcdp

@@ -1,0 +1,41 @@
+#ifndef TCDP_BENCH_ENV_H_
+#define TCDP_BENCH_ENV_H_
+
+/// \file
+/// Hardware and build metadata stamped into every BENCH.json record so
+/// a perf number is never separated from the machine and binary that
+/// produced it.
+
+#include <cstddef>
+#include <string>
+
+namespace tcdp {
+namespace bench {
+
+struct HardwareInfo {
+  std::size_t cores = 0;   ///< std::thread::hardware_concurrency()
+  double cpu_mhz = 0.0;    ///< best-effort, 0 when unknown
+  std::string hostname;    ///< "unknown" when unavailable
+};
+
+struct BuildInfo {
+  std::string git_sha;     ///< configure-time `git rev-parse`, or "unknown"
+  std::string flags;       ///< compiler flags (build type + CXX flags)
+  std::string build_type;  ///< Release / Debug / ...
+  std::string compiler;    ///< __VERSION__
+};
+
+/// Probes the host (cached after the first call).
+const HardwareInfo& Hardware();
+
+/// Compile-time build metadata (TCDP_GIT_SHA etc., injected by CMake).
+const BuildInfo& Build();
+
+/// Current wall-clock time as (unix seconds, ISO-8601 UTC).
+double NowUnixSeconds();
+std::string NowIso8601();
+
+}  // namespace bench
+}  // namespace tcdp
+
+#endif  // TCDP_BENCH_ENV_H_

@@ -1,0 +1,255 @@
+#include "bench/gate_expr.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+struct Token {
+  enum class Kind { kNumber, kIdent, kOp, kEnd };
+  Kind kind = Kind::kEnd;
+  double number = 0.0;
+  std::string text;  // identifier or operator spelling
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+        char* end = nullptr;
+        const double value = std::strtod(text_.c_str() + pos_, &end);
+        Token t;
+        t.kind = Token::Kind::kNumber;
+        t.number = value;
+        tokens.push_back(t);
+        pos_ = static_cast<std::size_t>(end - text_.c_str());
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        std::size_t start = pos_;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '.')) {
+          ++pos_;
+        }
+        Token t;
+        t.kind = Token::Kind::kIdent;
+        t.text = text_.substr(start, pos_ - start);
+        tokens.push_back(t);
+        continue;
+      }
+      static const char* kTwoChar[] = {"<=", ">=", "==", "!=", "&&", "||"};
+      std::string op(1, c);
+      for (const char* two : kTwoChar) {
+        if (text_.compare(pos_, 2, two) == 0) {
+          op = two;
+          break;
+        }
+      }
+      static const std::string kOneChar = "<>+-*/!(),";
+      if (op.size() == 1 && kOneChar.find(c) == std::string::npos) {
+        return Status::InvalidArgument("gate: unexpected character '" +
+                                       std::string(1, c) + "' in '" + text_ +
+                                       "'");
+      }
+      Token t;
+      t.kind = Token::Kind::kOp;
+      t.text = op;
+      tokens.push_back(t);
+      pos_ += op.size();
+    }
+    tokens.push_back(Token{});  // kEnd
+    return tokens;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+class Evaluator {
+ public:
+  Evaluator(const std::string& expression, std::vector<Token> tokens,
+            const std::map<std::string, double>& variables)
+      : expression_(expression),
+        tokens_(std::move(tokens)),
+        variables_(variables) {}
+
+  StatusOr<double> Evaluate() {
+    TCDP_ASSIGN_OR_RETURN(double value, ParseOr());
+    if (tokens_[pos_].kind != Token::Kind::kEnd) {
+      return Error("trailing tokens");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("gate: " + what + " in '" + expression_ +
+                                   "'");
+  }
+
+  bool ConsumeOp(const std::string& op) {
+    if (tokens_[pos_].kind == Token::Kind::kOp && tokens_[pos_].text == op) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<double> ParseOr() {
+    TCDP_ASSIGN_OR_RETURN(double left, ParseAnd());
+    while (ConsumeOp("||")) {
+      TCDP_ASSIGN_OR_RETURN(double right, ParseAnd());
+      left = (left != 0.0 || right != 0.0) ? 1.0 : 0.0;
+    }
+    return left;
+  }
+
+  StatusOr<double> ParseAnd() {
+    TCDP_ASSIGN_OR_RETURN(double left, ParseCmp());
+    while (ConsumeOp("&&")) {
+      TCDP_ASSIGN_OR_RETURN(double right, ParseCmp());
+      left = (left != 0.0 && right != 0.0) ? 1.0 : 0.0;
+    }
+    return left;
+  }
+
+  StatusOr<double> ParseCmp() {
+    TCDP_ASSIGN_OR_RETURN(double left, ParseAdd());
+    static const char* kCmps[] = {"<=", ">=", "==", "!=", "<", ">"};
+    for (const char* op : kCmps) {
+      if (!ConsumeOp(op)) continue;
+      TCDP_ASSIGN_OR_RETURN(double right, ParseAdd());
+      const std::string o = op;
+      bool result = false;
+      if (o == "<=") result = left <= right;
+      if (o == ">=") result = left >= right;
+      if (o == "==") result = left == right;
+      if (o == "!=") result = left != right;
+      if (o == "<") result = left < right;
+      if (o == ">") result = left > right;
+      return result ? 1.0 : 0.0;
+    }
+    return left;
+  }
+
+  StatusOr<double> ParseAdd() {
+    TCDP_ASSIGN_OR_RETURN(double left, ParseMul());
+    while (true) {
+      if (ConsumeOp("+")) {
+        TCDP_ASSIGN_OR_RETURN(double right, ParseMul());
+        left += right;
+      } else if (ConsumeOp("-")) {
+        TCDP_ASSIGN_OR_RETURN(double right, ParseMul());
+        left -= right;
+      } else {
+        return left;
+      }
+    }
+  }
+
+  StatusOr<double> ParseMul() {
+    TCDP_ASSIGN_OR_RETURN(double left, ParseUnary());
+    while (true) {
+      if (ConsumeOp("*")) {
+        TCDP_ASSIGN_OR_RETURN(double right, ParseUnary());
+        left *= right;
+      } else if (ConsumeOp("/")) {
+        TCDP_ASSIGN_OR_RETURN(double right, ParseUnary());
+        left /= right;  // IEEE semantics; a 0/0 gate reads false (NaN)
+      } else {
+        return left;
+      }
+    }
+  }
+
+  StatusOr<double> ParseUnary() {
+    if (ConsumeOp("-")) {
+      TCDP_ASSIGN_OR_RETURN(double value, ParseUnary());
+      return -value;
+    }
+    if (ConsumeOp("!")) {
+      TCDP_ASSIGN_OR_RETURN(double value, ParseUnary());
+      return value == 0.0 ? 1.0 : 0.0;
+    }
+    return ParsePrimary();
+  }
+
+  StatusOr<double> ParsePrimary() {
+    const Token& token = tokens_[pos_];
+    if (token.kind == Token::Kind::kNumber) {
+      ++pos_;
+      return token.number;
+    }
+    if (token.kind == Token::Kind::kIdent) {
+      const std::string name = token.text;
+      ++pos_;
+      if (ConsumeOp("(")) {
+        std::vector<double> args;
+        if (!ConsumeOp(")")) {
+          while (true) {
+            TCDP_ASSIGN_OR_RETURN(double arg, ParseOr());
+            args.push_back(arg);
+            if (ConsumeOp(",")) continue;
+            if (ConsumeOp(")")) break;
+            return Error("expected ',' or ')' in call to " + name);
+          }
+        }
+        if (name == "abs" && args.size() == 1) return std::fabs(args[0]);
+        if (name == "min" && args.size() == 2) {
+          return std::fmin(args[0], args[1]);
+        }
+        if (name == "max" && args.size() == 2) {
+          return std::fmax(args[0], args[1]);
+        }
+        return Error("unknown function " + name + "/" +
+                     std::to_string(args.size()));
+      }
+      const auto it = variables_.find(name);
+      if (it == variables_.end()) {
+        return Error("unbound variable '" + name + "'");
+      }
+      return it->second;
+    }
+    if (ConsumeOp("(")) {
+      TCDP_ASSIGN_OR_RETURN(double value, ParseOr());
+      if (!ConsumeOp(")")) return Error("expected ')'");
+      return value;
+    }
+    return Error("expected a value");
+  }
+
+  const std::string& expression_;
+  std::vector<Token> tokens_;
+  const std::map<std::string, double>& variables_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StatusOr<double> EvalGateExpression(
+    const std::string& expression,
+    const std::map<std::string, double>& variables) {
+  TCDP_ASSIGN_OR_RETURN(std::vector<Token> tokens,
+                        Lexer(expression).Tokenize());
+  return Evaluator(expression, std::move(tokens), variables).Evaluate();
+}
+
+}  // namespace bench
+}  // namespace tcdp

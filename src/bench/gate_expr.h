@@ -1,0 +1,49 @@
+#ifndef TCDP_BENCH_GATE_EXPR_H_
+#define TCDP_BENCH_GATE_EXPR_H_
+
+/// \file
+/// The tiny expression language benchmark gates are written in.
+///
+/// A gate is a boolean expression over the suite's published variables
+/// (suite-level derived values plus every case metric as
+/// `case.metric`), e.g.
+///
+///   "cached_speedup >= 5.0"
+///   "abs(quantified.tpl_dev_max) <= 1e-6"
+///   "compacted_wal_bytes < uncompacted_wal_bytes"
+///
+/// Grammar (usual precedence, all values double; booleans are 1/0):
+///
+///   expr  := or
+///   or    := and ("||" and)*
+///   and   := cmp ("&&" cmp)*
+///   cmp   := add (("<="|"<"|">="|">"|"=="|"!=") add)?
+///   add   := mul (("+"|"-") mul)*
+///   mul   := unary (("*"|"/") unary)*
+///   unary := "-" unary | "!" unary | primary
+///   primary := number | ident | ident "(" expr ("," expr)* ")"
+///            | "(" expr ")"
+///
+/// Identifiers may contain dots (`moderate.bpl_t10`). Functions:
+/// abs(x), min(a, b), max(a, b). Referencing an unbound variable is an
+/// evaluation error (never a silent 0), so a typo in a gate fails the
+/// run loudly.
+
+#include <map>
+#include <string>
+
+#include "common/status.h"
+
+namespace tcdp {
+namespace bench {
+
+/// Evaluates \p expression over \p variables; returns the numeric
+/// result (for a comparison/boolean expression: 1.0 or 0.0).
+StatusOr<double> EvalGateExpression(
+    const std::string& expression,
+    const std::map<std::string, double>& variables);
+
+}  // namespace bench
+}  // namespace tcdp
+
+#endif  // TCDP_BENCH_GATE_EXPR_H_

@@ -1,0 +1,104 @@
+#ifndef TCDP_BENCH_HARNESS_H_
+#define TCDP_BENCH_HARNESS_H_
+
+/// \file
+/// The unified benchmark harness behind `tcdp bench` (modeled on
+/// mxnet's opperf: one runner, declarative workload specs, one output
+/// schema, run-over-run comparison).
+///
+/// Suites register a SuiteSpec plus a run function. The harness runs
+/// the selected suites, collects records/derived values/skips through
+/// a SuiteContext, evaluates the spec's gates (skipping-with-reason
+/// those whose host requirements or full-run requirements are not
+/// met), and assembles the unified BenchReport.
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "bench/report.h"
+#include "bench/spec.h"
+#include "common/status.h"
+
+namespace tcdp {
+namespace bench {
+
+/// Handed to a suite's run function: where records, derived gate
+/// inputs and skips go.
+class SuiteContext {
+ public:
+  SuiteContext(std::string suite, const RunOptions& opts,
+               std::size_t repetitions, BenchReport* report)
+      : suite_(std::move(suite)),
+        opts_(opts),
+        repetitions_(repetitions),
+        report_(report) {}
+
+  const RunOptions& opts() const { return opts_; }
+  bool smoke() const { return opts_.smoke; }
+  std::size_t cores() const { return opts_.cores; }
+  /// Resolved repetition count (CLI override or the spec default).
+  std::size_t repetitions() const { return repetitions_; }
+
+  /// Records one measured case.
+  void Record(const std::string& case_name,
+              std::map<std::string, double> params,
+              std::map<std::string, double> metrics);
+
+  /// Records that a case was intentionally not run, and why. The
+  /// comparator treats a baseline case that is skipped here as absent
+  /// for a reason, not as a lost case.
+  void Skip(const std::string& case_name, const std::string& reason);
+
+  /// Publishes a suite-level derived value; gate expressions see it
+  /// under \p name (case metrics are also visible as `case.metric`).
+  void Derived(const std::string& name, double value);
+
+  /// Times \p fn (seconds) as the minimum over repetitions() runs.
+  double TimeBestOf(const std::function<void()>& fn) const;
+
+ private:
+  std::string suite_;
+  RunOptions opts_;
+  std::size_t repetitions_;
+  BenchReport* report_;
+};
+
+using SuiteRunFn = std::function<Status(SuiteContext*)>;
+
+/// Registry + runner. Not thread-safe; build, register, run.
+class Harness {
+ public:
+  /// Registration order is execution and report order.
+  void Register(SuiteSpec spec, SuiteRunFn run);
+
+  std::vector<std::string> SuiteNames() const;
+  const SuiteSpec* FindSpec(const std::string& name) const;
+
+  /// Runs \p suites (empty = all) and returns the assembled report.
+  /// Progress and gate outcomes go to \p log. Gate failures do NOT
+  /// make this return an error (the report records them); errors are
+  /// reserved for broken invocations (unknown suite) and suite-internal
+  /// failures.
+  StatusOr<BenchReport> Run(const RunOptions& options,
+                            const std::vector<std::string>& suites,
+                            std::ostream& log) const;
+
+ private:
+  struct Entry {
+    SuiteSpec spec;
+    SuiteRunFn run;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Registers every built-in suite (fleet, shard, net, fig3..fig8,
+/// table2, wevent, ablation) — implemented under src/bench/suites/.
+void RegisterAllSuites(Harness* harness);
+
+}  // namespace bench
+}  // namespace tcdp
+
+#endif  // TCDP_BENCH_HARNESS_H_

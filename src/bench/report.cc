@@ -1,0 +1,306 @@
+#include "bench/report.h"
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+Json NumberMapToJson(const std::map<std::string, double>& map) {
+  JsonObject object;
+  for (const auto& [key, value] : map) object.Set(key, Json(value));
+  return Json(std::move(object));
+}
+
+StatusOr<std::map<std::string, double>> NumberMapFromJson(const Json& json,
+                                                          const char* where) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument(std::string(where) + ": not an object");
+  }
+  std::map<std::string, double> map;
+  for (const auto& [key, value] : json.as_object().items()) {
+    if (!value.is_number()) {
+      return Status::InvalidArgument(std::string(where) + "." + key +
+                                     ": not a number");
+    }
+    map[key] = value.as_number();
+  }
+  return map;
+}
+
+Json HardwareToJson(const HardwareInfo& hardware) {
+  JsonObject object;
+  object.Set("cores", Json(hardware.cores));
+  object.Set("cpu_mhz", Json(hardware.cpu_mhz));
+  object.Set("hostname", Json(hardware.hostname));
+  return Json(std::move(object));
+}
+
+StatusOr<HardwareInfo> HardwareFromJson(const Json& json) {
+  HardwareInfo hardware;
+  TCDP_ASSIGN_OR_RETURN(double cores, GetNumber(json, "cores"));
+  hardware.cores = static_cast<std::size_t>(cores);
+  TCDP_ASSIGN_OR_RETURN(hardware.cpu_mhz, GetNumber(json, "cpu_mhz"));
+  TCDP_ASSIGN_OR_RETURN(hardware.hostname, GetString(json, "hostname"));
+  return hardware;
+}
+
+Json BuildToJson(const BuildInfo& build) {
+  JsonObject object;
+  object.Set("git_sha", Json(build.git_sha));
+  object.Set("flags", Json(build.flags));
+  object.Set("build_type", Json(build.build_type));
+  object.Set("compiler", Json(build.compiler));
+  return Json(std::move(object));
+}
+
+StatusOr<BuildInfo> BuildFromJson(const Json& json) {
+  BuildInfo build;
+  TCDP_ASSIGN_OR_RETURN(build.git_sha, GetString(json, "git_sha"));
+  TCDP_ASSIGN_OR_RETURN(build.flags, GetString(json, "flags"));
+  TCDP_ASSIGN_OR_RETURN(build.build_type, GetString(json, "build_type"));
+  TCDP_ASSIGN_OR_RETURN(build.compiler, GetString(json, "compiler"));
+  return build;
+}
+
+const char* DirectionName(MetricPolicy::Direction direction) {
+  switch (direction) {
+    case MetricPolicy::Direction::kExact:
+      return "exact";
+    case MetricPolicy::Direction::kHigherIsBetter:
+      return "higher_is_better";
+    case MetricPolicy::Direction::kLowerIsBetter:
+      return "lower_is_better";
+  }
+  return "exact";
+}
+
+StatusOr<MetricPolicy::Direction> DirectionFromName(const std::string& name) {
+  if (name == "exact") return MetricPolicy::Direction::kExact;
+  if (name == "higher_is_better") {
+    return MetricPolicy::Direction::kHigherIsBetter;
+  }
+  if (name == "lower_is_better") {
+    return MetricPolicy::Direction::kLowerIsBetter;
+  }
+  return Status::InvalidArgument("unknown metric direction '" + name + "'");
+}
+
+}  // namespace
+
+Json ReportToJson(const BenchReport& report) {
+  JsonObject root;
+  root.Set("schema", Json(report.schema));
+  root.Set("smoke", Json(report.smoke));
+  root.Set("hardware", HardwareToJson(report.hardware));
+  root.Set("build", BuildToJson(report.build));
+  {
+    JsonObject timestamps;
+    timestamps.Set("started_unix", Json(report.started_unix));
+    timestamps.Set("finished_unix", Json(report.finished_unix));
+    timestamps.Set("started_iso", Json(report.started_iso));
+    root.Set("timestamps", Json(std::move(timestamps)));
+  }
+  {
+    JsonArray suites;
+    for (const std::string& suite : report.suites_run) {
+      suites.push_back(Json(suite));
+    }
+    root.Set("suites_run", Json(std::move(suites)));
+  }
+  {
+    JsonArray records;
+    for (const BenchRecord& record : report.records) {
+      JsonObject r;
+      r.Set("suite", Json(record.suite));
+      r.Set("case", Json(record.case_name));
+      r.Set("mode", Json(record.mode));
+      r.Set("params", NumberMapToJson(record.params));
+      r.Set("metrics", NumberMapToJson(record.metrics));
+      r.Set("hardware", HardwareToJson(report.hardware));
+      r.Set("build", BuildToJson(report.build));
+      JsonObject timestamps;
+      timestamps.Set("unix", Json(record.timestamp_unix));
+      timestamps.Set("iso", Json(record.timestamp_iso));
+      r.Set("timestamps", Json(std::move(timestamps)));
+      records.push_back(Json(std::move(r)));
+    }
+    root.Set("records", Json(std::move(records)));
+  }
+  {
+    JsonObject derived;
+    for (const auto& [suite, values] : report.derived) {
+      derived.Set(suite, NumberMapToJson(values));
+    }
+    root.Set("derived", Json(std::move(derived)));
+  }
+  {
+    JsonArray gates;
+    for (const GateResult& gate : report.gates) {
+      JsonObject g;
+      g.Set("suite", Json(gate.suite));
+      g.Set("name", Json(gate.name));
+      g.Set("expression", Json(gate.expression));
+      g.Set("enforced", Json(gate.enforced));
+      g.Set("passed", Json(gate.passed));
+      g.Set("reason", Json(gate.reason));
+      gates.push_back(Json(std::move(g)));
+    }
+    root.Set("gates", Json(std::move(gates)));
+  }
+  {
+    JsonArray skips;
+    for (const SkipEntry& skip : report.skips) {
+      JsonObject s;
+      s.Set("suite", Json(skip.suite));
+      s.Set("case", Json(skip.case_name));
+      s.Set("reason", Json(skip.reason));
+      skips.push_back(Json(std::move(s)));
+    }
+    root.Set("skips", Json(std::move(skips)));
+  }
+  {
+    JsonObject policies;
+    for (const auto& [suite, metrics] : report.policies) {
+      JsonObject suite_policies;
+      for (const auto& [metric, policy] : metrics) {
+        JsonObject p;
+        p.Set("direction", Json(DirectionName(policy.direction)));
+        p.Set("noise_frac", Json(policy.noise_frac));
+        p.Set("informational", Json(policy.informational));
+        suite_policies.Set(metric, Json(std::move(p)));
+      }
+      policies.Set(suite, Json(std::move(suite_policies)));
+    }
+    root.Set("metric_policies", Json(std::move(policies)));
+  }
+  return Json(std::move(root));
+}
+
+StatusOr<BenchReport> ReportFromJson(const Json& json) {
+  BenchReport report;
+  TCDP_ASSIGN_OR_RETURN(report.schema, GetString(json, "schema"));
+  if (report.schema != kReportSchema) {
+    return Status::InvalidArgument("unsupported BENCH.json schema '" +
+                                   report.schema + "' (expected " +
+                                   kReportSchema + ")");
+  }
+  TCDP_ASSIGN_OR_RETURN(report.smoke, GetBool(json, "smoke"));
+  TCDP_ASSIGN_OR_RETURN(const Json* hardware, GetMember(json, "hardware"));
+  TCDP_ASSIGN_OR_RETURN(report.hardware, HardwareFromJson(*hardware));
+  TCDP_ASSIGN_OR_RETURN(const Json* build, GetMember(json, "build"));
+  TCDP_ASSIGN_OR_RETURN(report.build, BuildFromJson(*build));
+  TCDP_ASSIGN_OR_RETURN(const Json* timestamps,
+                        GetMember(json, "timestamps"));
+  TCDP_ASSIGN_OR_RETURN(report.started_unix,
+                        GetNumber(*timestamps, "started_unix"));
+  TCDP_ASSIGN_OR_RETURN(report.finished_unix,
+                        GetNumber(*timestamps, "finished_unix"));
+  TCDP_ASSIGN_OR_RETURN(report.started_iso,
+                        GetString(*timestamps, "started_iso"));
+
+  TCDP_ASSIGN_OR_RETURN(const Json* suites, GetMember(json, "suites_run"));
+  if (!suites->is_array()) {
+    return Status::InvalidArgument("suites_run: not an array");
+  }
+  for (const Json& suite : suites->as_array()) {
+    if (!suite.is_string()) {
+      return Status::InvalidArgument("suites_run: non-string entry");
+    }
+    report.suites_run.push_back(suite.as_string());
+  }
+
+  TCDP_ASSIGN_OR_RETURN(const Json* records, GetMember(json, "records"));
+  if (!records->is_array()) {
+    return Status::InvalidArgument("records: not an array");
+  }
+  for (const Json& r : records->as_array()) {
+    BenchRecord record;
+    TCDP_ASSIGN_OR_RETURN(record.suite, GetString(r, "suite"));
+    TCDP_ASSIGN_OR_RETURN(record.case_name, GetString(r, "case"));
+    TCDP_ASSIGN_OR_RETURN(record.mode, GetString(r, "mode"));
+    if (record.mode != "smoke" && record.mode != "full") {
+      return Status::InvalidArgument("record " + record.suite + "/" +
+                                     record.case_name + ": bad mode '" +
+                                     record.mode + "'");
+    }
+    TCDP_ASSIGN_OR_RETURN(const Json* params, GetMember(r, "params"));
+    TCDP_ASSIGN_OR_RETURN(record.params,
+                          NumberMapFromJson(*params, "params"));
+    TCDP_ASSIGN_OR_RETURN(const Json* metrics, GetMember(r, "metrics"));
+    TCDP_ASSIGN_OR_RETURN(record.metrics,
+                          NumberMapFromJson(*metrics, "metrics"));
+    // Per-record hardware/build must be present (schema) but the
+    // run-level copies are authoritative.
+    TCDP_RETURN_IF_ERROR(GetMember(r, "hardware").status());
+    TCDP_RETURN_IF_ERROR(GetMember(r, "build").status());
+    TCDP_ASSIGN_OR_RETURN(const Json* ts, GetMember(r, "timestamps"));
+    TCDP_ASSIGN_OR_RETURN(record.timestamp_unix, GetNumber(*ts, "unix"));
+    TCDP_ASSIGN_OR_RETURN(record.timestamp_iso, GetString(*ts, "iso"));
+    report.records.push_back(std::move(record));
+  }
+
+  TCDP_ASSIGN_OR_RETURN(const Json* derived, GetMember(json, "derived"));
+  if (!derived->is_object()) {
+    return Status::InvalidArgument("derived: not an object");
+  }
+  for (const auto& [suite, values] : derived->as_object().items()) {
+    TCDP_ASSIGN_OR_RETURN(report.derived[suite],
+                          NumberMapFromJson(values, "derived"));
+  }
+
+  TCDP_ASSIGN_OR_RETURN(const Json* gates, GetMember(json, "gates"));
+  if (!gates->is_array()) {
+    return Status::InvalidArgument("gates: not an array");
+  }
+  for (const Json& g : gates->as_array()) {
+    GateResult gate;
+    TCDP_ASSIGN_OR_RETURN(gate.suite, GetString(g, "suite"));
+    TCDP_ASSIGN_OR_RETURN(gate.name, GetString(g, "name"));
+    TCDP_ASSIGN_OR_RETURN(gate.expression, GetString(g, "expression"));
+    TCDP_ASSIGN_OR_RETURN(gate.enforced, GetBool(g, "enforced"));
+    TCDP_ASSIGN_OR_RETURN(gate.passed, GetBool(g, "passed"));
+    TCDP_ASSIGN_OR_RETURN(gate.reason, GetString(g, "reason"));
+    report.gates.push_back(std::move(gate));
+  }
+
+  TCDP_ASSIGN_OR_RETURN(const Json* skips, GetMember(json, "skips"));
+  if (!skips->is_array()) {
+    return Status::InvalidArgument("skips: not an array");
+  }
+  for (const Json& s : skips->as_array()) {
+    SkipEntry skip;
+    TCDP_ASSIGN_OR_RETURN(skip.suite, GetString(s, "suite"));
+    TCDP_ASSIGN_OR_RETURN(skip.case_name, GetString(s, "case"));
+    TCDP_ASSIGN_OR_RETURN(skip.reason, GetString(s, "reason"));
+    report.skips.push_back(std::move(skip));
+  }
+
+  TCDP_ASSIGN_OR_RETURN(const Json* policies,
+                        GetMember(json, "metric_policies"));
+  if (!policies->is_object()) {
+    return Status::InvalidArgument("metric_policies: not an object");
+  }
+  for (const auto& [suite, suite_policies] : policies->as_object().items()) {
+    if (!suite_policies.is_object()) {
+      return Status::InvalidArgument("metric_policies." + suite +
+                                     ": not an object");
+    }
+    for (const auto& [metric, p] : suite_policies.as_object().items()) {
+      MetricPolicy policy;
+      TCDP_ASSIGN_OR_RETURN(std::string direction,
+                            GetString(p, "direction"));
+      TCDP_ASSIGN_OR_RETURN(policy.direction, DirectionFromName(direction));
+      TCDP_ASSIGN_OR_RETURN(policy.noise_frac, GetNumber(p, "noise_frac"));
+      TCDP_ASSIGN_OR_RETURN(policy.informational,
+                            GetBool(p, "informational"));
+      report.policies[suite][metric] = policy;
+    }
+  }
+  return report;
+}
+
+Status ValidateReportJson(const Json& json) {
+  return ReportFromJson(json).status();
+}
+
+}  // namespace bench
+}  // namespace tcdp

@@ -1,0 +1,106 @@
+#ifndef TCDP_BENCH_REPORT_H_
+#define TCDP_BENCH_REPORT_H_
+
+/// \file
+/// The unified BENCH.json report: one run-over-run schema for every
+/// suite (docs/BENCHMARKING.md documents it field by field). Replaces
+/// the three per-bench BENCH_{fleet,shard,net}.json shapes.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/env.h"
+#include "bench/json.h"
+#include "bench/spec.h"
+#include "common/status.h"
+
+namespace tcdp {
+namespace bench {
+
+/// Schema identifier; bump on incompatible changes and teach
+/// ReportFromJson to read the old one.
+inline constexpr char kReportSchema[] = "tcdp-bench-v1";
+
+/// One measured case: the unit of baseline comparison. Matched across
+/// runs by (suite, case, mode, params).
+struct BenchRecord {
+  std::string suite;
+  std::string case_name;
+  std::string mode;  ///< "smoke" or "full"
+  std::map<std::string, double> params;
+  std::map<std::string, double> metrics;
+  double timestamp_unix = 0.0;
+  std::string timestamp_iso;
+};
+
+/// Outcome of one acceptance gate.
+struct GateResult {
+  std::string suite;
+  std::string name;
+  std::string expression;
+  bool enforced = false;
+  bool passed = false;    ///< meaningful only when enforced
+  std::string reason;     ///< skip reason, or failure detail
+};
+
+/// A case (or gate) the harness skipped, with the reason — so a
+/// baseline case absent from this run is distinguishable from a lost
+/// one.
+struct SkipEntry {
+  std::string suite;
+  std::string case_name;
+  std::string reason;
+};
+
+struct BenchReport {
+  std::string schema = kReportSchema;
+  bool smoke = false;
+  HardwareInfo hardware;
+  BuildInfo build;
+  double started_unix = 0.0;
+  double finished_unix = 0.0;
+  std::string started_iso;
+  std::vector<std::string> suites_run;
+  std::vector<BenchRecord> records;
+  /// Suite -> derived gate inputs (speedups, match flags, ...).
+  std::map<std::string, std::map<std::string, double>> derived;
+  std::vector<GateResult> gates;
+  std::vector<SkipEntry> skips;
+  /// Suite -> metric -> comparison policy, embedded so the comparator
+  /// (and external tooling) needs no out-of-band knowledge.
+  std::map<std::string, std::map<std::string, MetricPolicy>> policies;
+
+  const char* mode() const { return smoke ? "smoke" : "full"; }
+  bool AllGatesPassed() const {
+    for (const GateResult& gate : gates) {
+      if (gate.enforced && !gate.passed) return false;
+    }
+    return true;
+  }
+  bool HasSkip(const std::string& suite, const std::string& case_name) const {
+    for (const SkipEntry& skip : skips) {
+      if (skip.suite == suite && skip.case_name == case_name) return true;
+    }
+    return false;
+  }
+};
+
+/// Serializes the report. Each record embeds the run's hardware, build
+/// and its own timestamps, so a single record is self-describing even
+/// when extracted from the file.
+Json ReportToJson(const BenchReport& report);
+
+/// Parses and structurally validates a report (any error names the
+/// offending key).
+StatusOr<BenchReport> ReportFromJson(const Json& json);
+
+/// Structural schema check used by tests and `tcdp bench` before
+/// writing: every record carries suite/case/mode/params/metrics/
+/// hardware/build/timestamps, gates and skips are well-formed.
+Status ValidateReportJson(const Json& json);
+
+}  // namespace bench
+}  // namespace tcdp
+
+#endif  // TCDP_BENCH_REPORT_H_

@@ -1,0 +1,64 @@
+#include "bench/suites/common.h"
+
+#include "common/random.h"
+#include "markov/stochastic_matrix.h"
+
+namespace tcdp {
+namespace bench {
+
+std::vector<TemporalCorrelations> MakeServiceProfiles(
+    const ServiceWorkload& workload) {
+  Rng rng(workload.seed);
+  std::vector<TemporalCorrelations> profiles;
+  profiles.reserve(workload.profiles);
+  for (std::size_t p = 0; p < workload.profiles; ++p) {
+    const StochasticMatrix m =
+        StochasticMatrix::Random(workload.matrix_size, &rng);
+    profiles.push_back(TemporalCorrelations::Both(m, m).value());
+  }
+  return profiles;
+}
+
+std::vector<ReleaseRequest> MakeServiceRequests(
+    const ServiceWorkload& workload) {
+  Rng rng(workload.seed + 1);
+  const double epsilons[] = {0.05, 0.1, 0.2};
+  std::vector<ReleaseRequest> requests(workload.requests);
+  for (auto& request : requests) {
+    request.user = static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(workload.users) - 1));
+    request.epsilon = epsilons[rng.UniformInt(0, 2)];
+  }
+  return requests;
+}
+
+std::vector<GlobalRelease> BatchServiceRequests(
+    const std::vector<ReleaseRequest>& requests, std::size_t batch_window) {
+  std::vector<GlobalRelease> releases;
+  std::vector<GlobalRelease> window;
+  std::size_t count = 0;
+  auto flush = [&] {
+    for (auto& group : window) releases.push_back(std::move(group));
+    window.clear();
+    count = 0;
+  };
+  for (const ReleaseRequest& request : requests) {
+    GlobalRelease* group = nullptr;
+    for (auto& candidate : window) {
+      if (candidate.epsilon == request.epsilon) group = &candidate;
+    }
+    if (group == nullptr) {
+      window.push_back(GlobalRelease{request.epsilon, {}});
+      group = &window.back();
+    }
+    bool seen = false;
+    for (std::size_t u : group->participants) seen |= u == request.user;
+    if (!seen) group->participants.push_back(request.user);
+    if (++count >= batch_window) flush();
+  }
+  flush();
+  return releases;
+}
+
+}  // namespace bench
+}  // namespace tcdp

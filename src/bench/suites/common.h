@@ -1,0 +1,53 @@
+#ifndef TCDP_BENCH_SUITES_COMMON_H_
+#define TCDP_BENCH_SUITES_COMMON_H_
+
+/// \file
+/// Workload builders shared by the fleet/shard/net throughput suites:
+/// the same deterministic profile, request and micro-batch streams the
+/// pre-harness BENCH_* emitters used (seed 20260728), so the ported
+/// suites measure the identical workloads.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/temporal_correlations.h"
+
+namespace tcdp {
+namespace bench {
+
+struct ServiceWorkload {
+  std::size_t users = 0;
+  std::size_t profiles = 0;     // distinct matrix pairs
+  std::size_t matrix_size = 0;  // n
+  std::size_t requests = 0;     // per-user release requests
+  std::uint64_t seed = 20260728;
+};
+
+struct ReleaseRequest {
+  std::size_t user = 0;
+  double epsilon = 0.0;
+};
+
+/// The deterministic micro-batch semantics, applied offline: the exact
+/// global (eps, participants) sequence the sharded service dispatches.
+struct GlobalRelease {
+  double epsilon = 0.0;
+  std::vector<std::size_t> participants;
+};
+
+std::vector<TemporalCorrelations> MakeServiceProfiles(
+    const ServiceWorkload& workload);
+std::vector<ReleaseRequest> MakeServiceRequests(
+    const ServiceWorkload& workload);
+std::vector<GlobalRelease> BatchServiceRequests(
+    const std::vector<ReleaseRequest>& requests, std::size_t batch_window);
+
+inline std::string BenchUserName(std::size_t u) {
+  return "user-" + std::to_string(u);
+}
+
+}  // namespace bench
+}  // namespace tcdp
+
+#endif  // TCDP_BENCH_SUITES_COMMON_H_

@@ -1,0 +1,98 @@
+// Paper Figure 3: BPL, FPL and TPL of Lap(1/0.1) at t = 1..10 under
+// (i) the strongest temporal correlation, (ii) the moderate matrix
+// P = (0.8 0.2; 0 1), and (iii) no correlation.
+//
+// Paper series (eps = 0.1), gated below:
+//   BPL (ii): 0.10 0.18 0.25 0.30 0.35 0.39 0.42 0.45 0.48 0.50
+//   (i): TPL flat at 1.0 = T*eps; (iii): flat at eps.
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "bench/suites/suites.h"
+#include "core/tpl_accountant.h"
+#include "markov/stochastic_matrix.h"
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+constexpr double kEps = 0.1;
+constexpr std::size_t kHorizon = 10;
+
+Status RecordSeries(SuiteContext* ctx, const std::string& case_name,
+                    const TemporalCorrelations& corr) {
+  TplAccountant acc(corr);
+  TCDP_RETURN_IF_ERROR(acc.RecordUniformReleases(kEps, kHorizon));
+  std::map<std::string, double> metrics;
+  for (std::size_t t : {std::size_t{1}, std::size_t{5}, kHorizon}) {
+    const std::string suffix = "_t" + std::to_string(t);
+    TCDP_ASSIGN_OR_RETURN(metrics["bpl" + suffix], acc.Bpl(t));
+    TCDP_ASSIGN_OR_RETURN(metrics["fpl" + suffix], acc.Fpl(t));
+    TCDP_ASSIGN_OR_RETURN(metrics["tpl" + suffix], acc.Tpl(t));
+  }
+  metrics["max_tpl"] = acc.MaxTpl();
+  // Flatness of the TPL series: max |TPL(t) - TPL(1)|, 0 when the
+  // series is constant (the paper's panels (i) and (iii)).
+  double flat_dev = 0.0;
+  TCDP_ASSIGN_OR_RETURN(const double tpl1, acc.Tpl(1));
+  for (std::size_t t = 2; t <= kHorizon; ++t) {
+    TCDP_ASSIGN_OR_RETURN(const double tpl, acc.Tpl(t));
+    flat_dev = std::max(flat_dev, std::fabs(tpl - tpl1));
+  }
+  metrics["tpl_flat_dev"] = flat_dev;
+  ctx->Record(case_name,
+              {{"epsilon", kEps},
+               {"horizon", static_cast<double>(kHorizon)}},
+              metrics);
+  return Status::OK();
+}
+
+Status RunSuite(SuiteContext* ctx) {
+  // (i) Strongest temporal correlation: identity transitions.
+  TCDP_ASSIGN_OR_RETURN(
+      auto strongest,
+      TemporalCorrelations::Both(StochasticMatrix::Identity(2),
+                                 StochasticMatrix::Identity(2)));
+  TCDP_RETURN_IF_ERROR(RecordSeries(ctx, "strongest", strongest));
+  // (ii) Moderate correlation: the paper's P = (0.8 0.2; 0 1).
+  const auto p = StochasticMatrix::FromRows({{0.8, 0.2}, {0.0, 1.0}});
+  TCDP_ASSIGN_OR_RETURN(auto moderate, TemporalCorrelations::Both(p, p));
+  TCDP_RETURN_IF_ERROR(RecordSeries(ctx, "moderate", moderate));
+  // (iii) No temporal correlation.
+  TCDP_RETURN_IF_ERROR(
+      RecordSeries(ctx, "none", TemporalCorrelations::None()));
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterFig3Suite(Harness* harness) {
+  SuiteSpec spec;
+  spec.name = "fig3";
+  spec.description =
+      "paper Figure 3: BPL/FPL/TPL of Lap(1/0.1) over t=1..10 under "
+      "strongest / moderate / no temporal correlation";
+  spec.gates = {
+      // (i): under P = I the TPL is T*eps = 1.0 at every t.
+      {"strongest_tpl_flat_at_one",
+       "strongest.tpl_flat_dev < 1e-9 && "
+       "abs(strongest.max_tpl - 1.0) < 1e-9"},
+      // (iii): with no correlation the TPL stays at eps.
+      {"uncorrelated_tpl_flat_at_eps",
+       "none.tpl_flat_dev < 1e-9 && abs(none.max_tpl - 0.1) < 1e-9"},
+      // (ii): the paper's BPL series ends at 0.50 at t=10.
+      {"moderate_bpl_matches_paper",
+       "moderate.bpl_t10 >= 0.49 && moderate.bpl_t10 <= 0.51"},
+      // BPL grows with t while FPL mirrors it (monotone checks at the
+      // sampled points).
+      {"moderate_bpl_monotone",
+       "moderate.bpl_t1 < moderate.bpl_t5 && "
+       "moderate.bpl_t5 < moderate.bpl_t10"},
+  };
+  harness->Register(std::move(spec), RunSuite);
+}
+
+}  // namespace bench
+}  // namespace tcdp

@@ -1,0 +1,86 @@
+// Paper Figure 4: the maximum BPL over time for four (transition
+// matrix, eps) configurations, with the Theorem 5 supremum when it
+// exists.
+//
+//  (a) P = I (q=1, d=0),            eps=0.23 -> no supremum (linear)
+//  (b) P = (0.8 .2; 0 1),           eps=0.23 -> no supremum
+//  (c) P = (0.8 .2; .1 .9),         eps=0.23 -> sup ~ 0.79
+//  (d) P = (0.8 .2; 0 1),           eps=0.15 -> sup ~ 1.19
+
+#include <map>
+#include <string>
+
+#include "bench/suites/suites.h"
+#include "core/supremum.h"
+#include "core/tpl_accountant.h"
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+constexpr std::size_t kHorizon = 100;
+
+Status Panel(SuiteContext* ctx, const std::string& case_name,
+             const StochasticMatrix& p, double eps) {
+  TplAccountant acc(TemporalCorrelations::BackwardOnly(p));
+  TCDP_RETURN_IF_ERROR(acc.RecordUniformReleases(eps, kHorizon));
+  TemporalLossFunction loss(p);
+  TCDP_ASSIGN_OR_RETURN(const auto sup, ComputeSupremum(loss, eps));
+  std::map<std::string, double> metrics;
+  metrics["sup_exists"] = sup.exists ? 1.0 : 0.0;
+  metrics["sup_value"] = sup.exists ? sup.value : 0.0;
+  TCDP_ASSIGN_OR_RETURN(metrics["bpl_t10"], acc.Bpl(10));
+  TCDP_ASSIGN_OR_RETURN(metrics["bpl_t100"], acc.Bpl(kHorizon));
+  ctx->Record(case_name,
+              {{"epsilon", eps},
+               {"horizon", static_cast<double>(kHorizon)}},
+              metrics);
+  return Status::OK();
+}
+
+Status RunSuite(SuiteContext* ctx) {
+  TCDP_RETURN_IF_ERROR(
+      Panel(ctx, "a_identity", StochasticMatrix::Identity(2), 0.23));
+  const auto absorbing =
+      StochasticMatrix::FromRows({{0.8, 0.2}, {0.0, 1.0}});
+  TCDP_RETURN_IF_ERROR(Panel(ctx, "b_absorbing_eps023", absorbing, 0.23));
+  TCDP_RETURN_IF_ERROR(
+      Panel(ctx, "c_mixing_eps023",
+            StochasticMatrix::FromRows({{0.8, 0.2}, {0.1, 0.9}}), 0.23));
+  TCDP_RETURN_IF_ERROR(Panel(ctx, "d_absorbing_eps015", absorbing, 0.15));
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterFig4Suite(Harness* harness) {
+  SuiteSpec spec;
+  spec.name = "fig4";
+  spec.description =
+      "paper Figure 4: maximum BPL over t=1..100 with the Theorem 5 "
+      "supremum per panel";
+  spec.gates = {
+      // Existence pattern across the four panels: (a) and (b) grow
+      // without bound, (c) and (d) plateau.
+      {"supremum_existence_pattern",
+       "a_identity.sup_exists == 0 && b_absorbing_eps023.sup_exists == 0 "
+       "&& c_mixing_eps023.sup_exists == 1 && "
+       "d_absorbing_eps015.sup_exists == 1"},
+      // (a): under P = I the BPL is exactly t*eps — 23 at t=100.
+      {"identity_bpl_linear",
+       "abs(a_identity.bpl_t100 - 23.0) < 1e-9"},
+      // (c)/(d): the paper's plateau values (~0.79 and ~1.19).
+      {"plateaus_match_paper",
+       "abs(c_mixing_eps023.sup_value - 0.79) < 0.02 && "
+       "abs(d_absorbing_eps015.sup_value - 1.19) < 0.02"},
+      // The recurrence respects Theorem 5: trajectories never exceed
+      // an existing supremum.
+      {"trajectory_below_supremum",
+       "c_mixing_eps023.bpl_t100 <= c_mixing_eps023.sup_value + 1e-9 && "
+       "d_absorbing_eps015.bpl_t100 <= d_absorbing_eps015.sup_value + 1e-9"},
+  };
+  harness->Register(std::move(spec), RunSuite);
+}
+
+}  // namespace bench
+}  // namespace tcdp

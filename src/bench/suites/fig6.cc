@@ -1,0 +1,100 @@
+// Paper Figure 6: impact of the degree of temporal correlation
+// (Laplacian smoothing s, Eq. 25) on BPL over time.
+//
+// Findings reproduced in shape and gated: stronger correlation
+// (smaller s) gives a sharper, longer growth and a higher plateau;
+// larger n under the same s weakens the effective correlation.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/suites/suites.h"
+#include "core/tpl_accountant.h"
+#include "markov/smoothing.h"
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+Status RecordCase(SuiteContext* ctx, const std::string& case_name,
+                  std::size_t n, double s, double eps,
+                  std::size_t horizon) {
+  StochasticMatrix matrix;
+  if (s <= 0.0) {
+    matrix = StrongestCorrelationMatrix(n);
+  } else {
+    TCDP_ASSIGN_OR_RETURN(matrix, SmoothedCorrelationMatrix(n, s));
+  }
+  TplAccountant acc(TemporalCorrelations::BackwardOnly(std::move(matrix)));
+  TCDP_RETURN_IF_ERROR(acc.RecordUniformReleases(eps, horizon));
+  std::map<std::string, double> metrics;
+  TCDP_ASSIGN_OR_RETURN(metrics["bpl_t1"], acc.Bpl(1));
+  TCDP_ASSIGN_OR_RETURN(metrics["bpl_mid"], acc.Bpl(horizon / 2));
+  TCDP_ASSIGN_OR_RETURN(metrics["bpl_end"], acc.Bpl(horizon));
+  ctx->Record(case_name,
+              {{"n", static_cast<double>(n)},
+               {"s", s},
+               {"epsilon", eps},
+               {"horizon", static_cast<double>(horizon)}},
+              metrics);
+  return Status::OK();
+}
+
+Status RunSuite(SuiteContext* ctx) {
+  // Panel (a): eps = 1, short horizon. Smoke trims n (the accountant's
+  // per-step cost grows with the matrix) but keeps the s contrast.
+  const std::size_t n = ctx->smoke() ? 20 : 50;
+  const std::size_t horizon_a = 14;
+  TCDP_RETURN_IF_ERROR(RecordCase(ctx, "a_s0", n, -1.0, 1.0, horizon_a));
+  TCDP_RETURN_IF_ERROR(
+      RecordCase(ctx, "a_s0005", n, 0.005, 1.0, horizon_a));
+  TCDP_RETURN_IF_ERROR(RecordCase(ctx, "a_s005", n, 0.05, 1.0, horizon_a));
+
+  // Panel (b): eps = 0.1 delays the growth ~10x.
+  const std::size_t horizon_b = ctx->smoke() ? 60 : 140;
+  TCDP_RETURN_IF_ERROR(
+      RecordCase(ctx, "b_s0005", n, 0.005, 0.1, horizon_b));
+  TCDP_RETURN_IF_ERROR(RecordCase(ctx, "b_s005", n, 0.05, 0.1, horizon_b));
+
+  // The n-effect: the same s at larger n (the costly series; full runs
+  // only).
+  if (!ctx->smoke()) {
+    TCDP_RETURN_IF_ERROR(
+        RecordCase(ctx, "a_s0005_n200", 200, 0.005, 1.0, horizon_a));
+  } else {
+    ctx->Skip("a_s0005_n200", "n=200 series runs in full mode only");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterFig6Suite(Harness* harness) {
+  SuiteSpec spec;
+  spec.name = "fig6";
+  spec.description =
+      "paper Figure 6: BPL vs degree of temporal correlation (Laplacian "
+      "smoothing s) across eps and n";
+  spec.gates = {
+      // Smaller s (stronger correlation) ends higher: s=0 dominates
+      // s=0.005 dominates s=0.05 at the end of panel (a).
+      {"stronger_correlation_higher_plateau",
+       "a_s0.bpl_end > a_s0005.bpl_end && "
+       "a_s0005.bpl_end > a_s005.bpl_end"},
+      // s=0 grows linearly (t*eps at every t); the smoothed series
+      // stay strictly below it.
+      {"strongest_grows_linearly", "abs(a_s0.bpl_end - 14.0) < 1e-9"},
+      // The same ordering must survive the smaller eps of panel (b).
+      {"ordering_survives_small_eps", "b_s0005.bpl_end > b_s005.bpl_end"},
+      // Larger n under equal s = weaker effective correlation (the
+      // n=200 series runs in full mode only).
+      {"larger_n_weaker_correlation",
+       "a_s0005_n200.bpl_end < a_s0005.bpl_end",
+       /*min_cores=*/0, /*full_only=*/true},
+  };
+  harness->Register(std::move(spec), RunSuite);
+}
+
+}  // namespace bench
+}  // namespace tcdp

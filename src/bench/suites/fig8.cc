@@ -1,0 +1,87 @@
+// Paper Figure 8: data utility (expected absolute Laplace noise) of
+// the 2-DP_T mechanisms.
+//
+//  (a) vs T in {5, 10, 50} at n = 50, s = 0.001 (strong correlation):
+//      Algorithm 2's noise is flat in T; Algorithm 3 is cheaper for
+//      short T and converges to Algorithm 2.
+//  (b) vs s in {0.01, 0.1, 1} at T = 10: both decay toward the
+//      no-correlation line E|noise| = 1/alpha.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench/suites/suites.h"
+#include "core/budget_allocation.h"
+#include "markov/smoothing.h"
+#include "release/release_engine.h"
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+constexpr double kAlpha = 2.0;
+
+Status RecordPoint(SuiteContext* ctx, const std::string& case_name,
+                   std::size_t n, double s, std::size_t horizon) {
+  TCDP_ASSIGN_OR_RETURN(const auto matrix, SmoothedCorrelationMatrix(n, s));
+  TCDP_ASSIGN_OR_RETURN(const auto corr,
+                        TemporalCorrelations::Both(matrix, matrix));
+  TCDP_ASSIGN_OR_RETURN(auto alloc, BudgetAllocator::Create(corr, kAlpha));
+  const double noise_a2 = ExpectedAbsNoise(alloc.UpperBoundSchedule(horizon));
+  TCDP_ASSIGN_OR_RETURN(const auto quantified,
+                        alloc.QuantifiedSchedule(horizon));
+  const double noise_a3 = ExpectedAbsNoise(quantified);
+  ctx->Record(case_name,
+              {{"n", static_cast<double>(n)},
+               {"s", s},
+               {"alpha", kAlpha},
+               {"horizon", static_cast<double>(horizon)}},
+              {{"noise_a2", noise_a2}, {"noise_a3", noise_a3}});
+  return Status::OK();
+}
+
+Status RunSuite(SuiteContext* ctx) {
+  const std::size_t n = ctx->smoke() ? 20 : 50;
+  // (a) utility vs T under strong correlation.
+  const double strong_s = 0.001;
+  TCDP_RETURN_IF_ERROR(RecordPoint(ctx, "a_T5", n, strong_s, 5));
+  TCDP_RETURN_IF_ERROR(RecordPoint(ctx, "a_T10", n, strong_s, 10));
+  TCDP_RETURN_IF_ERROR(RecordPoint(ctx, "a_T50", n, strong_s, 50));
+  // (b) utility vs s at T = 10.
+  TCDP_RETURN_IF_ERROR(RecordPoint(ctx, "b_s001", n, 0.01, 10));
+  TCDP_RETURN_IF_ERROR(RecordPoint(ctx, "b_s01", n, 0.1, 10));
+  TCDP_RETURN_IF_ERROR(RecordPoint(ctx, "b_s1", n, 1.0, 10));
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterFig8Suite(Harness* harness) {
+  SuiteSpec spec;
+  spec.name = "fig8";
+  spec.description =
+      "paper Figure 8: expected |Laplace noise| of the 2-DP_T "
+      "mechanisms vs horizon T and correlation degree s";
+  spec.gates = {
+      // (a): Algorithm 3 beats Algorithm 2 at short horizons and
+      // approaches it as T grows.
+      {"quantified_cheaper_short_T",
+       "a_T5.noise_a3 < a_T5.noise_a2 && a_T10.noise_a3 < a_T10.noise_a2"},
+      {"algorithms_converge_large_T",
+       "a_T50.noise_a3 <= a_T50.noise_a2 + 1e-9 && "
+       "a_T50.noise_a2 - a_T50.noise_a3 < a_T5.noise_a2 - a_T5.noise_a3"},
+      // (a): Algorithm 2's noise is flat in T (steady-state schedule).
+      {"upper_bound_flat_in_T",
+       "abs(a_T5.noise_a2 - a_T50.noise_a2) < 1e-6"},
+      // (b): weaker correlations cost less noise, decaying toward the
+      // no-correlation line 1/alpha = 0.5.
+      {"noise_decays_with_s",
+       "b_s001.noise_a2 > b_s01.noise_a2 && "
+       "b_s01.noise_a2 > b_s1.noise_a2 && b_s1.noise_a2 >= 0.5 - 1e-9"},
+  };
+  harness->Register(std::move(spec), RunSuite);
+}
+
+}  // namespace bench
+}  // namespace tcdp

@@ -1,0 +1,242 @@
+// Network frontend throughput (ported from the standalone
+// bench_net_throughput emitter): requests/sec over loopback TCP — by
+// connection count and pipeline depth — against the same request
+// stream dispatched in-process into the ShardedReleaseService.
+//
+//   * In-process baseline: Release() calls straight into the service
+//     (shards=2), no sockets. The acceptance gate requires loopback
+//     throughput within 5x of it at pipeline depth >= 8 (full runs on
+//     >= 2 cores; single-core hosts timeslice the server loop, the
+//     shard workers and the clients through one pipe).
+//   * Determinism: single-connection configurations preserve the
+//     baseline's request order, so their overall alpha must equal the
+//     in-process run's bitwise (gated in every mode).
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "bench/suites/common.h"
+#include "bench/suites/suites.h"
+#include "common/timer.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "server/sharded_service.h"
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+struct RunResult {
+  double seconds = 0.0;
+  double requests_per_sec = 0.0;
+  double overall_alpha = 0.0;
+};
+
+constexpr std::size_t kShards = 2;
+constexpr std::size_t kBatchWindow = 16;
+
+/// The bar: the identical request stream applied without sockets.
+StatusOr<RunResult> RunInProcess(const ServiceWorkload& workload) {
+  const auto profiles = MakeServiceProfiles(workload);
+  const auto requests = MakeServiceRequests(workload);
+  server::ShardedServiceOptions options;
+  options.num_shards = kShards;
+  options.batch_window = kBatchWindow;
+  TCDP_ASSIGN_OR_RETURN(auto service,
+                        server::ShardedReleaseService::Create("", options));
+  for (std::size_t u = 0; u < workload.users; ++u) {
+    TCDP_RETURN_IF_ERROR(
+        service->Join(BenchUserName(u), profiles[u % workload.profiles]));
+  }
+  TCDP_RETURN_IF_ERROR(service->Flush());
+  WallTimer timer;
+  for (const ReleaseRequest& request : requests) {
+    TCDP_RETURN_IF_ERROR(
+        service->Release(BenchUserName(request.user), request.epsilon));
+  }
+  TCDP_RETURN_IF_ERROR(service->Flush());
+  RunResult result;
+  result.seconds = timer.ElapsedSeconds();
+  result.requests_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(requests.size()) / result.seconds
+          : 0.0;
+  TCDP_ASSIGN_OR_RETURN(result.overall_alpha, service->OverallAlpha());
+  TCDP_RETURN_IF_ERROR(service->Close());
+  return result;
+}
+
+/// The same stream over loopback TCP: \p connections client threads
+/// (disjoint user slices, original order within a slice), each
+/// pipelining \p depth requests.
+StatusOr<RunResult> RunLoopback(const ServiceWorkload& workload,
+                                std::size_t connections, std::size_t depth) {
+  const auto profiles = MakeServiceProfiles(workload);
+  const auto requests = MakeServiceRequests(workload);
+  server::ShardedServiceOptions options;
+  options.num_shards = kShards;
+  options.batch_window = kBatchWindow;
+  TCDP_ASSIGN_OR_RETURN(auto service,
+                        server::ShardedReleaseService::Create("", options));
+  TCDP_ASSIGN_OR_RETURN(auto net_server,
+                        net::NetServer::Listen(service.get()));
+  Status serve_status;
+  std::thread serve_thread(
+      [&net_server, &serve_status] { serve_status = net_server->Serve(); });
+
+  auto connect = [&](std::size_t pipeline) {
+    net::NetClientOptions client_options;
+    client_options.pipeline_depth = pipeline;
+    return net::NetClient::Connect("127.0.0.1", net_server->port(),
+                                   client_options);
+  };
+
+  Status inner = Status::OK();
+  {
+    auto setup = connect(depth);
+    if (!setup.ok()) inner = setup.status();
+    for (std::size_t u = 0; inner.ok() && u < workload.users; ++u) {
+      inner = (*setup)->Join(BenchUserName(u),
+                             profiles[u % workload.profiles]);
+    }
+    if (inner.ok()) inner = (*setup)->Flush();
+  }
+
+  RunResult result;
+  if (inner.ok()) {
+    WallTimer timer;
+    std::vector<std::thread> threads;
+    std::vector<Status> thread_status(connections);
+    for (std::size_t c = 0; c < connections; ++c) {
+      threads.emplace_back([&, c] {
+        auto client = connect(depth);
+        if (!client.ok()) {
+          thread_status[c] = client.status();
+          return;
+        }
+        for (const ReleaseRequest& request : requests) {
+          if (request.user % connections != c) continue;
+          const Status released = (*client)->Release(
+              BenchUserName(request.user), request.epsilon);
+          if (!released.ok()) {
+            thread_status[c] = released;
+            return;
+          }
+        }
+        thread_status[c] = (*client)->Drain();
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+    for (const Status& status : thread_status) {
+      if (inner.ok() && !status.ok()) inner = status;
+    }
+    auto control = connect(1);
+    if (inner.ok() && !control.ok()) inner = control.status();
+    if (inner.ok()) inner = (*control)->Flush();
+    result.seconds = timer.ElapsedSeconds();
+    if (control.ok()) (void)(*control)->Shutdown();
+  } else {
+    // Setup failed: still unblock the serve loop before joining.
+    auto control = connect(1);
+    if (control.ok()) (void)(*control)->Shutdown();
+  }
+  serve_thread.join();
+  TCDP_RETURN_IF_ERROR(inner);
+  TCDP_RETURN_IF_ERROR(serve_status);
+  result.requests_per_sec =
+      result.seconds > 0.0
+          ? static_cast<double>(requests.size()) / result.seconds
+          : 0.0;
+  TCDP_ASSIGN_OR_RETURN(result.overall_alpha, service->OverallAlpha());
+  TCDP_RETURN_IF_ERROR(service->Close());
+  return result;
+}
+
+Status RunSuite(SuiteContext* ctx) {
+  ServiceWorkload workload;
+  workload.users = ctx->smoke() ? 32 : 128;
+  workload.profiles = ctx->smoke() ? 4 : 8;
+  workload.matrix_size = ctx->smoke() ? 6 : 8;
+  workload.requests = ctx->smoke() ? 200 : 1500;
+
+  struct Config {
+    std::size_t connections;
+    std::size_t depth;
+  };
+  const std::vector<Config> configs =
+      ctx->smoke() ? std::vector<Config>{{1, 1}, {1, 8}}
+                   : std::vector<Config>{{1, 1}, {1, 8}, {1, 32}, {4, 8}};
+
+  auto params = [&](std::size_t connections, std::size_t depth) {
+    return std::map<std::string, double>{
+        {"users", static_cast<double>(workload.users)},
+        {"requests", static_cast<double>(workload.requests)},
+        {"shards", static_cast<double>(kShards)},
+        {"batch_window", static_cast<double>(kBatchWindow)},
+        {"connections", static_cast<double>(connections)},
+        {"pipeline_depth", static_cast<double>(depth)}};
+  };
+  auto metrics = [](const RunResult& run) {
+    return std::map<std::string, double>{
+        {"seconds", run.seconds},
+        {"requests_per_sec", run.requests_per_sec}};
+  };
+
+  TCDP_ASSIGN_OR_RETURN(const RunResult in_process, RunInProcess(workload));
+  ctx->Record("in_process", params(0, 0), metrics(in_process));
+
+  bool alpha_match = true;
+  double best_deep_loopback = 0.0;
+  for (const Config& config : configs) {
+    TCDP_ASSIGN_OR_RETURN(
+        const RunResult run,
+        RunLoopback(workload, config.connections, config.depth));
+    ctx->Record("loopback_c" + std::to_string(config.connections) + "_d" +
+                    std::to_string(config.depth),
+                params(config.connections, config.depth), metrics(run));
+    if (config.depth >= 8) {
+      best_deep_loopback = std::max(best_deep_loopback, run.requests_per_sec);
+    }
+    // Single-connection runs preserve the baseline's request order, so
+    // the fleet's overall alpha must match bitwise: the wire moved the
+    // requests, it did not change the accounting.
+    if (config.connections == 1) {
+      alpha_match &= run.overall_alpha == in_process.overall_alpha;
+    }
+  }
+  ctx->Derived("alpha_match", alpha_match ? 1.0 : 0.0);
+  ctx->Derived("loopback_slowdown_depth8",
+               best_deep_loopback > 0.0
+                   ? in_process.requests_per_sec / best_deep_loopback
+                   : 0.0);
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterNetSuite(Harness* harness) {
+  SuiteSpec spec;
+  spec.name = "net";
+  spec.description =
+      "network frontend: loopback TCP requests/sec by connection count and "
+      "pipeline depth vs in-process dispatch";
+  spec.metric_policies = {
+      {"requests_per_sec", MetricPolicy::Throughput()},
+      {"seconds", MetricPolicy::Latency()},
+  };
+  spec.gates = {
+      // Determinism: the wire moves requests, it does not change the
+      // accounting.
+      {"alpha_bitwise_invariant", "alpha_match == 1"},
+      // ISSUE 4 acceptance: pipelined loopback within 5x of in-process
+      // dispatch at depth >= 8. Timing-based and meaningless when the
+      // server loop, shard workers and clients share one core.
+      {"loopback_within_5x_in_process", "loopback_slowdown_depth8 <= 5",
+       /*min_cores=*/2, /*full_only=*/true},
+  };
+  harness->Register(std::move(spec), RunSuite);
+}
+
+}  // namespace bench
+}  // namespace tcdp

@@ -1,0 +1,24 @@
+#include "bench/suites/suites.h"
+
+namespace tcdp {
+namespace bench {
+
+void RegisterAllSuites(Harness* harness) {
+  // Paper reproductions first (seconds-scale, deterministic), then the
+  // systems throughput suites (the slow part of a full run).
+  RegisterFig3Suite(harness);
+  RegisterFig4Suite(harness);
+  RegisterFig5Suite(harness);
+  RegisterFig6Suite(harness);
+  RegisterFig7Suite(harness);
+  RegisterFig8Suite(harness);
+  RegisterTable2Suite(harness);
+  RegisterWEventSuite(harness);
+  RegisterAblationSuite(harness);
+  RegisterFleetSuite(harness);
+  RegisterShardSuite(harness);
+  RegisterNetSuite(harness);
+}
+
+}  // namespace bench
+}  // namespace tcdp

@@ -1,0 +1,241 @@
+// Tests for the run-over-run comparator (src/bench/compare.h) and the
+// BENCH.json round-trip it depends on (src/bench/report.h).
+
+#include "bench/compare.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "bench/report.h"
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+BenchRecord MakeRecord(const std::string& suite, const std::string& case_name,
+                       std::map<std::string, double> metrics,
+                       std::map<std::string, double> params = {{"n", 4.0}}) {
+  BenchRecord record;
+  record.suite = suite;
+  record.case_name = case_name;
+  record.mode = "smoke";
+  record.params = std::move(params);
+  record.metrics = std::move(metrics);
+  record.timestamp_unix = 1.0;
+  record.timestamp_iso = "2026-01-01T00:00:00Z";
+  return record;
+}
+
+BenchReport MakeReport() {
+  BenchReport report;
+  report.smoke = true;
+  report.hardware = {1, 2000.0, "host"};
+  report.build = {"abc1234", "-O3", "Release", "g++"};
+  report.started_unix = 1.0;
+  report.finished_unix = 2.0;
+  report.started_iso = "2026-01-01T00:00:00Z";
+  report.suites_run = {"demo"};
+  return report;
+}
+
+TEST(BenchCompare, IdenticalRunsPass) {
+  BenchReport report = MakeReport();
+  report.records.push_back(MakeRecord("demo", "a", {{"alpha", 0.5}}));
+  const CompareResult diff = CompareReports(report, report);
+  EXPECT_TRUE(diff.ok);
+  EXPECT_EQ(diff.metrics_checked, 1u);
+  EXPECT_EQ(diff.regressions, 0u);
+}
+
+TEST(BenchCompare, DriftInsideDefaultBandPasses) {
+  BenchReport baseline = MakeReport();
+  baseline.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.0}}));
+  BenchReport current = MakeReport();
+  // +10% with the default +-15% band: inside, no finding.
+  current.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.10}}));
+  const CompareResult diff = CompareReports(current, baseline);
+  EXPECT_TRUE(diff.ok);
+  EXPECT_EQ(diff.regressions, 0u);
+  EXPECT_EQ(diff.improvements, 0u);
+}
+
+TEST(BenchCompare, DriftBeyondDefaultBandRegresses) {
+  BenchReport baseline = MakeReport();
+  baseline.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.0}}));
+  BenchReport current = MakeReport();
+  current.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.5}}));
+  const CompareResult diff = CompareReports(current, baseline);
+  EXPECT_FALSE(diff.ok);
+  EXPECT_EQ(diff.regressions, 1u);
+  EXPECT_NE(diff.report.find("REGRESS"), std::string::npos);
+  EXPECT_NE(diff.report.find("demo/a"), std::string::npos);
+}
+
+TEST(BenchCompare, PerMetricPolicyOverridesDefaultBand) {
+  BenchReport baseline = MakeReport();
+  baseline.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.0}}));
+  BenchReport current = MakeReport();
+  current.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.01}}));
+  // An exact policy with a 1e-6 band turns the 1% drift (fine under the
+  // default +-15%) into a regression.
+  current.policies["demo"]["alpha"] = MetricPolicy::Exact();
+  const CompareResult diff = CompareReports(current, baseline);
+  EXPECT_FALSE(diff.ok);
+  EXPECT_EQ(diff.regressions, 1u);
+}
+
+TEST(BenchCompare, DirectionalImprovementIsNotARegression) {
+  BenchReport baseline = MakeReport();
+  baseline.records.push_back(MakeRecord("demo", "a", {{"rps", 100.0}}));
+  BenchReport current = MakeReport();
+  current.records.push_back(MakeRecord("demo", "a", {{"rps", 200.0}}));
+  MetricPolicy policy;
+  policy.direction = MetricPolicy::Direction::kHigherIsBetter;
+  current.policies["demo"]["rps"] = policy;
+  const CompareResult diff = CompareReports(current, baseline);
+  EXPECT_TRUE(diff.ok);
+  EXPECT_EQ(diff.improvements, 1u);
+  EXPECT_NE(diff.report.find("IMPROVE"), std::string::npos);
+}
+
+TEST(BenchCompare, InformationalMetricsDriftButNeverFail) {
+  BenchReport baseline = MakeReport();
+  baseline.records.push_back(MakeRecord("demo", "a", {{"seconds", 1.0}}));
+  BenchReport current = MakeReport();
+  current.records.push_back(MakeRecord("demo", "a", {{"seconds", 10.0}}));
+  current.policies["demo"]["seconds"] = MetricPolicy::Latency();
+  const CompareResult diff = CompareReports(current, baseline);
+  EXPECT_TRUE(diff.ok);
+  EXPECT_EQ(diff.regressions, 0u);
+  EXPECT_EQ(diff.informational, 1u);
+  EXPECT_NE(diff.report.find("DRIFT"), std::string::npos);
+}
+
+TEST(BenchCompare, PoliciesComeFromTheCurrentRunNotTheBaseline) {
+  BenchReport baseline = MakeReport();
+  baseline.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.0}}));
+  // A tampered baseline declaring alpha informational must not weaken
+  // the comparison the current run asks for.
+  baseline.policies["demo"]["alpha"] = MetricPolicy::Latency();
+  BenchReport current = MakeReport();
+  current.records.push_back(MakeRecord("demo", "a", {{"alpha", 2.0}}));
+  current.policies["demo"]["alpha"] = MetricPolicy::Exact();
+  const CompareResult diff = CompareReports(current, baseline);
+  EXPECT_FALSE(diff.ok);
+  EXPECT_EQ(diff.regressions, 1u);
+}
+
+TEST(BenchCompare, MissingBaselineCaseFailsUnlessSkippedWithReason) {
+  BenchReport baseline = MakeReport();
+  baseline.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.0}}));
+  baseline.records.push_back(MakeRecord("demo", "b", {{"alpha", 1.0}}));
+  BenchReport current = MakeReport();
+  current.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.0}}));
+
+  const CompareResult lost = CompareReports(current, baseline);
+  EXPECT_FALSE(lost.ok);
+  EXPECT_EQ(lost.missing_cases, 1u);
+  EXPECT_NE(lost.report.find("MISSING"), std::string::npos);
+
+  current.skips.push_back({"demo", "b", "requires >= 2 cores, host has 1"});
+  const CompareResult skipped = CompareReports(current, baseline);
+  EXPECT_TRUE(skipped.ok);
+  EXPECT_EQ(skipped.missing_cases, 0u);
+  EXPECT_NE(skipped.report.find("SKIPPED"), std::string::npos);
+}
+
+TEST(BenchCompare, NewCasesAndMetricsAreInformational) {
+  BenchReport baseline = MakeReport();
+  baseline.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.0}}));
+  BenchReport current = MakeReport();
+  current.records.push_back(
+      MakeRecord("demo", "a", {{"alpha", 1.0}, {"beta", 2.0}}));
+  current.records.push_back(MakeRecord("demo", "c", {{"alpha", 3.0}}));
+  const CompareResult diff = CompareReports(current, baseline);
+  EXPECT_TRUE(diff.ok);
+  EXPECT_EQ(diff.new_cases, 1u);
+  EXPECT_NE(diff.report.find("NEW "), std::string::npos);
+  EXPECT_NE(diff.report.find("NEWMET"), std::string::npos);
+}
+
+TEST(BenchCompare, LostMetricIsARegression) {
+  BenchReport baseline = MakeReport();
+  baseline.records.push_back(
+      MakeRecord("demo", "a", {{"alpha", 1.0}, {"beta", 2.0}}));
+  BenchReport current = MakeReport();
+  current.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.0}}));
+  const CompareResult diff = CompareReports(current, baseline);
+  EXPECT_FALSE(diff.ok);
+  EXPECT_NE(diff.report.find("LOST"), std::string::npos);
+}
+
+TEST(BenchCompare, DifferentParamsAreDifferentCases) {
+  BenchReport baseline = MakeReport();
+  baseline.records.push_back(
+      MakeRecord("demo", "a", {{"alpha", 1.0}}, {{"n", 4.0}}));
+  BenchReport current = MakeReport();
+  current.records.push_back(
+      MakeRecord("demo", "a", {{"alpha", 5.0}}, {{"n", 8.0}}));
+  const CompareResult diff = CompareReports(current, baseline);
+  // Param change => no match: one new case, one missing case.
+  EXPECT_FALSE(diff.ok);
+  EXPECT_EQ(diff.new_cases, 1u);
+  EXPECT_EQ(diff.missing_cases, 1u);
+  EXPECT_EQ(diff.metrics_checked, 0u);
+}
+
+TEST(BenchCompare, BaselineSuitesOutsideTheRunAreIgnored) {
+  BenchReport baseline = MakeReport();
+  baseline.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.0}}));
+  baseline.records.push_back(MakeRecord("other", "z", {{"alpha", 1.0}}));
+  BenchReport current = MakeReport();  // suites_run = {"demo"} only
+  current.records.push_back(MakeRecord("demo", "a", {{"alpha", 1.0}}));
+  const CompareResult diff = CompareReports(current, baseline);
+  EXPECT_TRUE(diff.ok);
+  EXPECT_EQ(diff.missing_cases, 0u);
+}
+
+TEST(BenchReportJson, RoundTripsThroughJson) {
+  BenchReport report = MakeReport();
+  report.records.push_back(MakeRecord("demo", "a", {{"alpha", 0.5}}));
+  report.derived["demo"]["speedup"] = 2.0;
+  report.gates.push_back(
+      {"demo", "g", "speedup > 1", /*enforced=*/true, /*passed=*/true, ""});
+  report.skips.push_back({"demo", "b", "full-run case"});
+  report.policies["demo"]["alpha"] = MetricPolicy::Exact();
+
+  const Json json = ReportToJson(report);
+  ASSERT_TRUE(ValidateReportJson(json).ok());
+  const auto parsed = ReportFromJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const BenchReport& back = parsed.value();
+  EXPECT_EQ(back.schema, kReportSchema);
+  EXPECT_TRUE(back.smoke);
+  EXPECT_EQ(back.hardware.hostname, "host");
+  EXPECT_EQ(back.build.git_sha, "abc1234");
+  ASSERT_EQ(back.records.size(), 1u);
+  EXPECT_EQ(back.records[0].case_name, "a");
+  EXPECT_DOUBLE_EQ(back.records[0].metrics.at("alpha"), 0.5);
+  EXPECT_DOUBLE_EQ(back.derived.at("demo").at("speedup"), 2.0);
+  ASSERT_EQ(back.gates.size(), 1u);
+  EXPECT_TRUE(back.gates[0].passed);
+  EXPECT_TRUE(back.HasSkip("demo", "b"));
+  EXPECT_EQ(back.policies.at("demo").at("alpha").direction,
+            MetricPolicy::Direction::kExact);
+  // A second serialization must be byte-identical (stable diffs).
+  EXPECT_EQ(json.Dump(), ReportToJson(back).Dump());
+}
+
+TEST(BenchReportJson, RejectsWrongSchemaTag) {
+  BenchReport report = MakeReport();
+  report.records.push_back(MakeRecord("demo", "a", {{"alpha", 0.5}}));
+  Json json = ReportToJson(report);
+  json.as_object().Set("schema", Json("tcdp-bench-v0"));
+  EXPECT_FALSE(ValidateReportJson(json).ok());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcdp

@@ -1,0 +1,98 @@
+// Tests for the gate expression language (src/bench/gate_expr.h):
+// grammar, precedence, dotted identifiers, functions, and the
+// loud-failure contract for unbound variables.
+
+#include "bench/gate_expr.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+double Eval(const std::string& expr,
+            const std::map<std::string, double>& vars = {}) {
+  const auto result = EvalGateExpression(expr, vars);
+  EXPECT_TRUE(result.ok()) << expr << ": " << result.status().message();
+  return result.ok() ? result.value() : -1.0;
+}
+
+TEST(GateExpr, ArithmeticPrecedence) {
+  EXPECT_DOUBLE_EQ(Eval("1 + 2 * 3"), 7.0);
+  EXPECT_DOUBLE_EQ(Eval("(1 + 2) * 3"), 9.0);
+  EXPECT_DOUBLE_EQ(Eval("10 / 4"), 2.5);
+  EXPECT_DOUBLE_EQ(Eval("-3 + 5"), 2.0);
+  EXPECT_DOUBLE_EQ(Eval("2 - -2"), 4.0);
+}
+
+TEST(GateExpr, ComparisonsYieldBooleans) {
+  EXPECT_DOUBLE_EQ(Eval("1 < 2"), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("2 <= 2"), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("3 > 4"), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("3 >= 4"), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("5 == 5"), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("5 != 5"), 0.0);
+}
+
+TEST(GateExpr, BooleanConnectivesAndNegation) {
+  EXPECT_DOUBLE_EQ(Eval("1 < 2 && 3 < 4"), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("1 < 2 && 4 < 3"), 0.0);
+  EXPECT_DOUBLE_EQ(Eval("1 > 2 || 3 < 4"), 1.0);
+  EXPECT_DOUBLE_EQ(Eval("!(1 < 2)"), 0.0);
+  // && binds tighter than ||.
+  EXPECT_DOUBLE_EQ(Eval("1 || 0 && 0"), 1.0);
+}
+
+TEST(GateExpr, Functions) {
+  EXPECT_DOUBLE_EQ(Eval("abs(-2.5)"), 2.5);
+  EXPECT_DOUBLE_EQ(Eval("min(3, 7)"), 3.0);
+  EXPECT_DOUBLE_EQ(Eval("max(3, 7)"), 7.0);
+  EXPECT_DOUBLE_EQ(Eval("abs(min(-1, 1) * 4)"), 4.0);
+}
+
+TEST(GateExpr, DottedIdentifiersResolve) {
+  const std::map<std::string, double> vars = {
+      {"cached_speedup", 6.0},
+      {"moderate.bpl_t10", 0.5},
+  };
+  EXPECT_DOUBLE_EQ(Eval("cached_speedup >= 5.0", vars), 1.0);
+  EXPECT_DOUBLE_EQ(
+      Eval("moderate.bpl_t10 >= 0.49 && moderate.bpl_t10 <= 0.51", vars), 1.0);
+}
+
+TEST(GateExpr, RealGateShapesFromTheSuites) {
+  const std::map<std::string, double> vars = {
+      {"compacted_wal_bytes", 1000.0},
+      {"uncompacted_wal_bytes", 4000.0},
+      {"loopback_slowdown_depth8", 2.5},
+  };
+  EXPECT_DOUBLE_EQ(
+      Eval("compacted_wal_bytes > 0 && "
+           "compacted_wal_bytes < uncompacted_wal_bytes",
+           vars),
+      1.0);
+  EXPECT_DOUBLE_EQ(Eval("loopback_slowdown_depth8 <= 5", vars), 1.0);
+}
+
+TEST(GateExpr, UnboundVariableIsALoudError) {
+  const auto result = EvalGateExpression("typo_speedup > 1", {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("typo_speedup"),
+            std::string::npos);
+}
+
+TEST(GateExpr, SyntaxErrorsAreRejected) {
+  EXPECT_FALSE(EvalGateExpression("", {}).ok());
+  EXPECT_FALSE(EvalGateExpression("1 +", {}).ok());
+  EXPECT_FALSE(EvalGateExpression("(1 < 2", {}).ok());
+  EXPECT_FALSE(EvalGateExpression("1 2", {}).ok());
+  EXPECT_FALSE(EvalGateExpression("min(1)", {}).ok());
+  EXPECT_FALSE(EvalGateExpression("nosuchfn(1, 2)", {}).ok());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcdp

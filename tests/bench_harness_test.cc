@@ -1,0 +1,207 @@
+// Tests for the benchmark harness runner (src/bench/harness.h): suite
+// selection, gate evaluation over derived and case.metric variables,
+// and the skip-with-reason paths for min_cores / full_only gates.
+
+#include "bench/harness.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+SuiteSpec DemoSpec() {
+  SuiteSpec spec;
+  spec.name = "demo";
+  spec.description = "toy suite";
+  return spec;
+}
+
+Status DemoRun(SuiteContext* ctx) {
+  ctx->Record("a", {{"n", 4.0}}, {{"alpha", 0.5}});
+  ctx->Derived("speedup", 2.0);
+  return Status::OK();
+}
+
+const GateResult* FindGate(const BenchReport& report,
+                           const std::string& name) {
+  for (const GateResult& gate : report.gates) {
+    if (gate.name == name) return &gate;
+  }
+  return nullptr;
+}
+
+TEST(Harness, RunsSuitesAndRecordsMetadata) {
+  Harness harness;
+  harness.Register(DemoSpec(), DemoRun);
+  RunOptions options;
+  options.smoke = true;
+  std::ostringstream log;
+  const auto report = harness.Run(options, {}, log);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  EXPECT_TRUE(report.value().smoke);
+  EXPECT_EQ(report.value().suites_run, std::vector<std::string>{"demo"});
+  ASSERT_EQ(report.value().records.size(), 1u);
+  EXPECT_EQ(report.value().records[0].mode, "smoke");
+  EXPECT_GE(report.value().hardware.cores, 1u);
+  EXPECT_FALSE(report.value().build.build_type.empty());
+  EXPECT_DOUBLE_EQ(report.value().derived.at("demo").at("speedup"), 2.0);
+}
+
+TEST(Harness, UnknownSuiteIsAnError) {
+  Harness harness;
+  harness.Register(DemoSpec(), DemoRun);
+  std::ostringstream log;
+  const auto report = harness.Run(RunOptions{}, {"nope"}, log);
+  EXPECT_FALSE(report.ok());
+  EXPECT_NE(report.status().message().find("nope"), std::string::npos);
+}
+
+TEST(Harness, GatesSeeDerivedAndCaseMetricVariables) {
+  SuiteSpec spec = DemoSpec();
+  spec.gates = {
+      {"derived_gate", "speedup > 1"},
+      {"case_metric_gate", "a.alpha >= 0.5 && a.alpha <= 0.5"},
+      {"failing_gate", "speedup > 100"},
+  };
+  Harness harness;
+  harness.Register(std::move(spec), DemoRun);
+  std::ostringstream log;
+  const auto report = harness.Run(RunOptions{}, {}, log);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+
+  const GateResult* derived_gate = FindGate(report.value(), "derived_gate");
+  ASSERT_NE(derived_gate, nullptr);
+  EXPECT_TRUE(derived_gate->enforced);
+  EXPECT_TRUE(derived_gate->passed);
+
+  const GateResult* case_gate = FindGate(report.value(), "case_metric_gate");
+  ASSERT_NE(case_gate, nullptr);
+  EXPECT_TRUE(case_gate->passed);
+
+  // A failing gate is recorded, not an error from Run().
+  const GateResult* failing = FindGate(report.value(), "failing_gate");
+  ASSERT_NE(failing, nullptr);
+  EXPECT_TRUE(failing->enforced);
+  EXPECT_FALSE(failing->passed);
+  EXPECT_FALSE(report.value().AllGatesPassed());
+}
+
+TEST(Harness, MinCoresGateSkipsWithReasonOnSmallHosts) {
+  SuiteSpec spec = DemoSpec();
+  spec.gates = {{"parallel_beats_serial", "speedup > 1",
+                 /*min_cores=*/64, /*full_only=*/false}};
+  Harness harness;
+  harness.Register(std::move(spec), DemoRun);
+  RunOptions options;
+  options.cores = 1;  // pretend the host is 1-core
+  std::ostringstream log;
+  const auto report = harness.Run(options, {}, log);
+  ASSERT_TRUE(report.ok()) << report.status().message();
+  const GateResult* gate = FindGate(report.value(), "parallel_beats_serial");
+  ASSERT_NE(gate, nullptr);
+  EXPECT_FALSE(gate->enforced);
+  EXPECT_NE(gate->reason.find("cores"), std::string::npos);
+  // A skipped gate never fails the run.
+  EXPECT_TRUE(report.value().AllGatesPassed());
+}
+
+TEST(Harness, FullOnlyGateSkipsInSmokeMode) {
+  SuiteSpec spec = DemoSpec();
+  spec.gates = {{"timing_bar", "speedup > 100",
+                 /*min_cores=*/0, /*full_only=*/true}};
+  Harness harness;
+  harness.Register(std::move(spec), DemoRun);
+
+  RunOptions smoke;
+  smoke.smoke = true;
+  std::ostringstream log;
+  const auto smoke_report = harness.Run(smoke, {}, log);
+  ASSERT_TRUE(smoke_report.ok());
+  const GateResult* skipped = FindGate(smoke_report.value(), "timing_bar");
+  ASSERT_NE(skipped, nullptr);
+  EXPECT_FALSE(skipped->enforced);
+  EXPECT_TRUE(smoke_report.value().AllGatesPassed());
+
+  // The same gate is enforced (and here fails) on a full run.
+  const auto full_report = harness.Run(RunOptions{}, {}, log);
+  ASSERT_TRUE(full_report.ok());
+  const GateResult* enforced = FindGate(full_report.value(), "timing_bar");
+  ASSERT_NE(enforced, nullptr);
+  EXPECT_TRUE(enforced->enforced);
+  EXPECT_FALSE(enforced->passed);
+}
+
+TEST(Harness, SkippedCasesLandInTheReport) {
+  Harness harness;
+  harness.Register(DemoSpec(), [](SuiteContext* ctx) {
+    ctx->Record("a", {}, {{"alpha", 1.0}});
+    ctx->Skip("big_case", "full-run case, skipped in --smoke mode");
+    return Status::OK();
+  });
+  RunOptions options;
+  options.smoke = true;
+  std::ostringstream log;
+  const auto report = harness.Run(options, {}, log);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report.value().HasSkip("demo", "big_case"));
+  ASSERT_EQ(report.value().skips.size(), 1u);
+  EXPECT_FALSE(report.value().skips[0].reason.empty());
+}
+
+TEST(Harness, GateWithTypoFailsLoudly) {
+  SuiteSpec spec = DemoSpec();
+  spec.gates = {{"typo_gate", "speeddup > 1"}};
+  Harness harness;
+  harness.Register(std::move(spec), DemoRun);
+  std::ostringstream log;
+  const auto report = harness.Run(RunOptions{}, {}, log);
+  // An unbound variable in a gate is a failed gate (or a run error),
+  // never a silent pass.
+  if (report.ok()) {
+    const GateResult* gate = FindGate(report.value(), "typo_gate");
+    ASSERT_NE(gate, nullptr);
+    EXPECT_TRUE(gate->enforced);
+    EXPECT_FALSE(gate->passed);
+    EXPECT_FALSE(gate->reason.empty());
+  }
+}
+
+TEST(Harness, RepetitionsResolveFromSpecAndOverride) {
+  SuiteSpec spec = DemoSpec();
+  spec.repetitions = 3;
+  std::size_t seen = 0;
+  Harness harness;
+  harness.Register(std::move(spec), [&seen](SuiteContext* ctx) {
+    seen = ctx->repetitions();
+    ctx->Record("a", {}, {{"alpha", 1.0}});
+    return Status::OK();
+  });
+  std::ostringstream log;
+  ASSERT_TRUE(harness.Run(RunOptions{}, {}, log).ok());
+  EXPECT_EQ(seen, 3u);
+
+  RunOptions override_reps;
+  override_reps.repetitions = 7;
+  ASSERT_TRUE(harness.Run(override_reps, {}, log).ok());
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(Harness, AllBuiltInSuitesRegister) {
+  Harness harness;
+  RegisterAllSuites(&harness);
+  const auto names = harness.SuiteNames();
+  EXPECT_EQ(names.size(), 12u);
+  for (const char* expected :
+       {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "wevent",
+        "ablation", "fleet", "shard", "net"}) {
+    EXPECT_NE(harness.FindSpec(expected), nullptr) << expected;
+  }
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcdp

@@ -1,0 +1,108 @@
+// Tests for the benchmark harness JSON document model
+// (src/bench/json.h): Dump/Parse round-trips, insertion-order
+// preservation, and parse failures surfacing as errors.
+
+#include "bench/json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+TEST(BenchJson, RoundTripsNestedDocument) {
+  JsonObject inner;
+  inner.Set("pi", Json(3.25));
+  inner.Set("name", Json("fig3"));
+  inner.Set("flag", Json(true));
+  JsonArray array;
+  array.push_back(Json(1.0));
+  array.push_back(Json("two"));
+  array.push_back(Json());
+  JsonObject root;
+  root.Set("inner", Json(std::move(inner)));
+  root.Set("list", Json(std::move(array)));
+
+  const std::string text = Json(std::move(root)).Dump();
+  const auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const Json& doc = parsed.value();
+  ASSERT_TRUE(doc.is_object());
+
+  const Json* inner_back = doc.as_object().Find("inner");
+  ASSERT_NE(inner_back, nullptr);
+  EXPECT_DOUBLE_EQ(GetNumber(*inner_back, "pi").value(), 3.25);
+  EXPECT_EQ(GetString(*inner_back, "name").value(), "fig3");
+  EXPECT_TRUE(GetBool(*inner_back, "flag").value());
+
+  const Json* list = doc.as_object().Find("list");
+  ASSERT_NE(list, nullptr);
+  ASSERT_TRUE(list->is_array());
+  ASSERT_EQ(list->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(list->as_array()[0].as_number(), 1.0);
+  EXPECT_EQ(list->as_array()[1].as_string(), "two");
+  EXPECT_TRUE(list->as_array()[2].is_null());
+}
+
+TEST(BenchJson, ObjectsPreserveInsertionOrder) {
+  JsonObject object;
+  object.Set("zulu", Json(1.0));
+  object.Set("alpha", Json(2.0));
+  object.Set("mike", Json(3.0));
+  const std::string text = Json(std::move(object)).Dump();
+  EXPECT_LT(text.find("zulu"), text.find("alpha"));
+  EXPECT_LT(text.find("alpha"), text.find("mike"));
+}
+
+TEST(BenchJson, SetOverwritesInPlace) {
+  JsonObject object;
+  object.Set("key", Json(1.0));
+  object.Set("key", Json(2.0));
+  EXPECT_EQ(object.size(), 1u);
+  EXPECT_DOUBLE_EQ(object.Find("key")->as_number(), 2.0);
+}
+
+TEST(BenchJson, RoundTripsEscapedStrings) {
+  JsonObject object;
+  object.Set("s", Json(std::string("line\nbreak \"quoted\" \t tab")));
+  const std::string text = Json(std::move(object)).Dump();
+  const auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_EQ(GetString(parsed.value(), "s").value(),
+            "line\nbreak \"quoted\" \t tab");
+}
+
+TEST(BenchJson, ParsesScientificNotationAndNegatives) {
+  const auto parsed = Json::Parse("{\"a\": -1.5e-3, \"b\": 2E+2}");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  EXPECT_DOUBLE_EQ(GetNumber(parsed.value(), "a").value(), -1.5e-3);
+  EXPECT_DOUBLE_EQ(GetNumber(parsed.value(), "b").value(), 200.0);
+}
+
+TEST(BenchJson, RejectsMalformedDocuments) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\": }").ok());
+  EXPECT_FALSE(Json::Parse("[1, 2,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(Json::Parse("nul").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+}
+
+TEST(BenchJson, LookupsReportMissingAndMistypedKeys) {
+  const auto parsed = Json::Parse("{\"n\": 1, \"s\": \"x\"}");
+  ASSERT_TRUE(parsed.ok());
+  const Json& doc = parsed.value();
+  EXPECT_FALSE(GetNumber(doc, "missing").ok());
+  EXPECT_FALSE(GetNumber(doc, "s").ok());
+  EXPECT_FALSE(GetString(doc, "n").ok());
+  EXPECT_FALSE(GetBool(doc, "n").ok());
+  EXPECT_TRUE(GetMember(doc, "n").ok());
+  EXPECT_FALSE(GetMember(Json(1.0), "n").ok());
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace tcdp

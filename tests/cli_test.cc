@@ -221,6 +221,70 @@ TEST_F(CliTest, FleetSparseJsonSmoke) {
   EXPECT_EQ(alpha_of(*r), alpha_of(*again));
 }
 
+TEST_F(CliTest, BenchListShowsEverySuite) {
+  auto r = Run({"bench", "--list"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  for (const char* suite :
+       {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "wevent",
+        "ablation", "fleet", "shard", "net"}) {
+    EXPECT_NE(r->find(suite), std::string::npos) << "missing " << suite;
+  }
+}
+
+TEST_F(CliTest, BenchSmokeSingleSuiteWritesValidJsonAndSelfCompares) {
+  const std::string json_path = "/tmp/tcdp_cli_bench_fig3.json";
+  std::remove(json_path.c_str());
+  auto r = Run({"bench", "--suite", "fig3", "--smoke", "--json", json_path});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_NE(r->find("gate"), std::string::npos);
+  EXPECT_NE(r->find("PASS"), std::string::npos);
+
+  std::ifstream in(json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"tcdp-bench-v1\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"fig3\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"hardware\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"build\""), std::string::npos);
+
+  // A run compared against its own output is regression-free.
+  auto compare = Run(
+      {"bench", "--suite", "fig3", "--smoke", "--compare", json_path});
+  EXPECT_TRUE(compare.ok()) << compare.status().ToString();
+  EXPECT_NE(compare->find("0 regressions"), std::string::npos);
+  std::remove(json_path.c_str());
+}
+
+TEST_F(CliTest, BenchRejectsBadInvocations) {
+  auto unknown_suite = Run({"bench", "--suite", "nope", "--smoke"});
+  ASSERT_FALSE(unknown_suite.ok());
+  EXPECT_NE(unknown_suite.status().message().find("nope"),
+            std::string::npos);
+
+  auto bad_flag = Run({"bench", "--frobnicate"});
+  ASSERT_FALSE(bad_flag.ok());
+
+  auto bad_noise = Run({"bench", "--suite", "fig3", "--noise", "-1"});
+  ASSERT_FALSE(bad_noise.ok());
+
+  auto missing_baseline = Run({"bench", "--suite", "fig3", "--smoke",
+                               "--compare", "/tmp/tcdp_no_such_file.json"});
+  ASSERT_FALSE(missing_baseline.ok());
+}
+
+TEST_F(CliTest, BenchRejectsMalformedBaseline) {
+  const std::string bad_path = "/tmp/tcdp_cli_bench_bad_baseline.json";
+  {
+    std::ofstream bad(bad_path);
+    bad << "{\"schema\": \"tcdp-bench-v0\"}\n";
+  }
+  auto r = Run({"bench", "--suite", "fig3", "--smoke", "--compare",
+                bad_path});
+  ASSERT_FALSE(r.ok());
+  std::remove(bad_path.c_str());
+}
+
 class ServeCliTest : public CliTest {
  protected:
   void SetUp() override {

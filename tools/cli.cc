@@ -10,6 +10,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "bench/compare.h"
+#include "bench/harness.h"
+#include "bench/report.h"
 #include "common/random.h"
 #include "common/table.h"
 #include "common/timer.h"
@@ -394,7 +397,7 @@ Status CmdFleet(const Flags& flags, std::ostream& out) {
   const auto cache = engine.cache_stats();
   if (json) {
     // Machine-readable single-object schema, mirrored by the fleet CLI
-    // smoke test and consumed alongside BENCH_fleet.json.
+    // smoke test (the bench harness emits the unified BENCH.json).
     out.precision(17);
     out << "{\n"
         << "  \"users\": " << users << ",\n"
@@ -1051,6 +1054,113 @@ Status CmdCompact(const Flags& flags, std::ostream& out) {
   return service->Close();
 }
 
+// `tcdp bench` has boolean flags (--smoke, --list), so it parses its
+// own arguments instead of going through ParseFlags (which requires
+// every --flag to carry a value).
+Status CmdBench(const std::vector<std::string>& args, std::ostream& out) {
+  bench::RunOptions options;
+  bool list = false;
+  std::vector<std::string> suites;
+  std::string compare_path;
+  std::string json_path;
+  double noise = 0.15;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto value = [&]() -> StatusOr<std::string> {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("flag '" + arg +
+                                       "' is missing a value");
+      }
+      return args[++i];
+    };
+    if (arg == "--smoke") {
+      options.smoke = true;
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--suite") {
+      TCDP_ASSIGN_OR_RETURN(const std::string list_value, value());
+      std::stringstream stream(list_value);
+      std::string name;
+      while (std::getline(stream, name, ',')) {
+        if (!name.empty()) suites.push_back(name);
+      }
+    } else if (arg == "--compare") {
+      TCDP_ASSIGN_OR_RETURN(compare_path, value());
+    } else if (arg == "--json") {
+      TCDP_ASSIGN_OR_RETURN(json_path, value());
+    } else if (arg == "--reps") {
+      TCDP_ASSIGN_OR_RETURN(const std::string reps, value());
+      Flags one{{"reps", reps}};
+      TCDP_ASSIGN_OR_RETURN(options.repetitions, FlagAsSize(one, "reps"));
+    } else if (arg == "--noise") {
+      TCDP_ASSIGN_OR_RETURN(const std::string frac, value());
+      Flags one{{"noise", frac}};
+      TCDP_ASSIGN_OR_RETURN(noise, FlagAsDouble(one, "noise"));
+      if (noise < 0.0) {
+        return Status::InvalidArgument("--noise must be >= 0");
+      }
+    } else {
+      return Status::InvalidArgument(
+          "unknown bench flag '" + arg +
+          "'; usage: tcdp bench [--suite a,b] [--smoke] [--list] "
+          "[--json out.json] [--compare baseline.json] [--reps N] "
+          "[--noise F]");
+    }
+  }
+
+  bench::Harness harness;
+  bench::RegisterAllSuites(&harness);
+  if (list) {
+    Table table({"suite", "description"});
+    for (const std::string& name : harness.SuiteNames()) {
+      table.AddRowCells({name, harness.FindSpec(name)->description});
+    }
+    out << table.ToAlignedString();
+    return Status::OK();
+  }
+
+  TCDP_ASSIGN_OR_RETURN(const bench::BenchReport report,
+                        harness.Run(options, suites, out));
+  if (!json_path.empty()) {
+    const bench::Json json = bench::ReportToJson(report);
+    TCDP_RETURN_IF_ERROR(bench::ValidateReportJson(json));
+    std::ofstream file(json_path);
+    file << json.Dump();
+    if (!file) {
+      return Status::Internal("cannot write '" + json_path + "'");
+    }
+    out << "wrote " << json_path << "\n";
+  }
+
+  Status result = Status::OK();
+  if (!report.AllGatesPassed()) {
+    result = Status::Internal("acceptance gate failure (see report above)");
+  }
+  if (!compare_path.empty()) {
+    std::ifstream file(compare_path);
+    if (!file) {
+      return Status::NotFound("cannot read baseline '" + compare_path + "'");
+    }
+    std::stringstream buffer;
+    buffer << file.rdbuf();
+    TCDP_ASSIGN_OR_RETURN(const bench::Json parsed,
+                          bench::Json::Parse(buffer.str()));
+    TCDP_ASSIGN_OR_RETURN(const bench::BenchReport baseline,
+                          bench::ReportFromJson(parsed));
+    bench::CompareOptions compare_options;
+    compare_options.default_noise_frac = noise;
+    const bench::CompareResult diff =
+        bench::CompareReports(report, baseline, compare_options);
+    out << "\n=== baseline comparison (" << compare_path << ")\n"
+        << diff.report;
+    if (!diff.ok && result.ok()) {
+      result = Status::Internal(
+          "regression against baseline (see comparison above)");
+    }
+  }
+  return result;
+}
+
 }  // namespace
 
 std::string HelpText() {
@@ -1099,6 +1209,14 @@ std::string HelpText() {
       "             its snapshot anchor + suffix (crash-safe tmp+rename;\n"
       "             see docs/DURABILITY.md) and report the disk savings\n"
       "             --log-dir D [--json -]\n"
+      "  bench      unified benchmark harness: run the registered suites\n"
+      "             (fleet/shard/net throughput, fig3-fig8 + table2 paper\n"
+      "             reproductions, wevent, ablation), evaluate their\n"
+      "             acceptance gates, emit one BENCH.json and optionally\n"
+      "             diff it against a committed baseline (exit nonzero on\n"
+      "             any gate or regression failure; docs/BENCHMARKING.md)\n"
+      "             [--suite a,b] [--smoke] [--list] [--json out.json]\n"
+      "             [--compare baseline.json] [--reps N] [--noise F]\n"
       "  help       this text\n"
       "\n"
       "file formats: matrices are one row per line (comma/space separated\n"
@@ -1112,6 +1230,7 @@ Status Run(const std::vector<std::string>& args, std::ostream& out) {
     return Status::OK();
   }
   const std::string& command = args[0];
+  if (command == "bench") return CmdBench(args, out);
   TCDP_ASSIGN_OR_RETURN(Flags flags, ParseFlags(args, 1));
   if (command == "quantify") return CmdQuantify(flags, out);
   if (command == "supremum") return CmdSupremum(flags, out);

@@ -56,6 +56,14 @@
 ///       anchor plus the post-snapshot suffix (crash-safe tmp+rename),
 ///       and reports the before/after disk footprint.
 ///
+///   bench     [--suite a,b] [--smoke] [--list] [--json out.json]
+///             [--compare baseline.json] [--reps N] [--noise F]
+///       The unified benchmark harness (src/bench/): runs the
+///       registered suites, evaluates their acceptance gates, writes
+///       one schema-stable BENCH.json, and optionally diffs it against
+///       a committed baseline, failing on regressions beyond the
+///       per-metric noise band. See docs/BENCHMARKING.md.
+///
 ///   help
 ///
 /// Matrix/trajectory file formats: see markov/io.h.
