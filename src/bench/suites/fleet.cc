@@ -18,6 +18,7 @@
 #include "bench/suites/suites.h"
 #include "common/random.h"
 #include "common/timer.h"
+#include "core/accountant_bank.h"
 #include "core/tpl_accountant.h"
 #include "service/fleet_engine.h"
 #include "workload/generators.h"
@@ -213,6 +214,54 @@ Status RunSuite(SuiteContext* ctx) {
   ctx->Derived("hetero_series_match", hetero_match ? 1.0 : 0.0);
   ctx->Derived("parallel_speedup",
                serial_ups > 0.0 ? best_parallel_ups / serial_ups : 0.0);
+
+  // Regime 3: bulk enrollment. AddUser used to rebuild the flat-slot
+  // offset table eagerly — O(cohorts) per user, O(users x cohorts) for
+  // a fleet join — and now just marks it dirty (rebuilt lazily by the
+  // first release). Enrolling 4x the users into 4x the cohorts must
+  // therefore cost ~4x, not ~16x; the gate allows generous slack for
+  // hashing noise but fails the quadratic regime outright.
+  {
+    const std::size_t base_users = ctx->smoke() ? 3000 : 12000;
+    const std::size_t base_cohorts = ctx->smoke() ? 750 : 3000;
+    double base_seconds = 0.0;
+    double scaled_seconds = 0.0;
+    for (const std::size_t scale : {std::size_t{1}, std::size_t{4}}) {
+      const std::size_t users = base_users * scale;
+      const std::size_t cohorts = base_cohorts * scale;
+      // Distinct tiny matrices (built outside the timer) force one
+      // cohort per profile; the timed loop is pure enrollment.
+      std::vector<TemporalCorrelations> profiles;
+      profiles.reserve(cohorts);
+      Rng rng(20260808 + scale);
+      for (std::size_t c = 0; c < cohorts; ++c) {
+        const StochasticMatrix m = StochasticMatrix::Random(2, &rng);
+        TCDP_ASSIGN_OR_RETURN(auto corr, TemporalCorrelations::Both(m, m));
+        profiles.push_back(std::move(corr));
+      }
+      const double seconds = ctx->TimeBestOf([&] {
+        AccountantBank bank;
+        for (std::size_t u = 0; u < users; ++u) {
+          bank.AddUser(profiles[u % cohorts]);
+        }
+      });
+      ctx->Record("enroll_" + std::to_string(users) + "users",
+                  {{"users", static_cast<double>(users)},
+                   {"cohorts", static_cast<double>(cohorts)}},
+                  {{"seconds", seconds},
+                   {"users_per_sec",
+                    seconds > 0.0 ? static_cast<double>(users) / seconds
+                                  : 0.0}});
+      if (scale == 1) {
+        base_seconds = seconds;
+      } else {
+        scaled_seconds = seconds;
+      }
+    }
+    // Linear enrollment -> ratio ~4; the old eager rebuild -> ~16.
+    ctx->Derived("enroll_scaling_ratio",
+                 base_seconds > 0.0 ? scaled_seconds / base_seconds : 0.0);
+  }
   return Status::OK();
 }
 
@@ -243,6 +292,12 @@ void RegisterFleetSuite(Harness* harness) {
       // the requirement and the harness skips with a reason there.
       {"parallel_beats_serial", "parallel_speedup > 1",
        /*min_cores=*/2, /*full_only=*/true},
+      // ISSUE 7 satellite: bulk enrollment is linear. 4x users into 4x
+      // cohorts costs ~4x (the eager offset rebuild made it ~16x); 10
+      // leaves room for allocator/hash noise while rejecting quadratic.
+      {"enrollment_not_quadratic",
+       "enroll_scaling_ratio > 0 && enroll_scaling_ratio < 10",
+       /*min_cores=*/0, /*full_only=*/true},
   };
   harness->Register(std::move(spec), RunSuite);
 }

@@ -15,6 +15,7 @@ void RegisterAllSuites(Harness* harness) {
   RegisterTable2Suite(harness);
   RegisterWEventSuite(harness);
   RegisterAblationSuite(harness);
+  RegisterKernelsSuite(harness);
   RegisterFleetSuite(harness);
   RegisterShardSuite(harness);
   RegisterNetSuite(harness);

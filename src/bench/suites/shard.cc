@@ -64,12 +64,14 @@ StatusOr<RunResult> RunFleetEngineBaseline(const ServiceWorkload& workload,
 
 StatusOr<RunResult> RunService(const ServiceWorkload& workload,
                                std::size_t shards, std::size_t batch_window,
-                               const std::string& log_dir) {
+                               const std::string& log_dir,
+                               std::size_t threads_per_shard = 1) {
   const auto profiles = MakeServiceProfiles(workload);
   const auto requests = MakeServiceRequests(workload);
   server::ShardedServiceOptions options;
   options.num_shards = shards;
   options.batch_window = batch_window;
+  options.threads_per_shard = threads_per_shard;
   TCDP_ASSIGN_OR_RETURN(
       auto service, server::ShardedReleaseService::Create(log_dir, options));
   for (std::size_t u = 0; u < workload.users; ++u) {
@@ -110,14 +112,16 @@ Status RunSuite(SuiteContext* ctx) {
       ctx->smoke() ? std::vector<std::size_t>{batch_window}
                    : std::vector<std::size_t>{batch_window, 64};
 
-  auto params = [&](std::size_t shards, std::size_t window) {
+  auto params = [&](std::size_t shards, std::size_t window,
+                    std::size_t threads_per_shard = 1) {
     return std::map<std::string, double>{
         {"users", static_cast<double>(workload.users)},
         {"profiles", static_cast<double>(workload.profiles)},
         {"matrix_size", static_cast<double>(workload.matrix_size)},
         {"requests", static_cast<double>(workload.requests)},
         {"shards", static_cast<double>(shards)},
-        {"batch_window", static_cast<double>(window)}};
+        {"batch_window", static_cast<double>(window)},
+        {"threads_per_shard", static_cast<double>(threads_per_shard)}};
   };
   auto metrics = [](const RunResult& run) {
     return std::map<std::string, double>{
@@ -153,11 +157,37 @@ Status RunSuite(SuiteContext* ctx) {
       }
     }
   }
+  // Hybrid shard x bank parallelism: fixed shard count, per-shard bank
+  // pools of K threads. Every hybrid run joins the bitwise alpha gate;
+  // the speedup gate compares against the K=1 run of the SAME shard
+  // count (the shard-count speedup is gated separately above).
+  const std::size_t hybrid_shards = 2;
+  const std::vector<std::size_t> hybrid_threads =
+      ctx->smoke() ? std::vector<std::size_t>{1, 2}
+                   : std::vector<std::size_t>{1, 2, 4};
+  double hybrid_single = 0.0;
+  double hybrid_best = 0.0;
+  for (std::size_t tps : hybrid_threads) {
+    TCDP_ASSIGN_OR_RETURN(
+        const RunResult run,
+        RunService(workload, hybrid_shards, batch_window, "", tps));
+    ctx->Record("service_hybrid_shards" + std::to_string(hybrid_shards) +
+                    "_tps" + std::to_string(tps),
+                params(hybrid_shards, batch_window, tps), metrics(run));
+    alpha_match &= run.overall_alpha == baseline.overall_alpha;
+    if (tps == 1) {
+      hybrid_single = run.requests_per_sec;
+    } else {
+      hybrid_best = std::max(hybrid_best, run.requests_per_sec);
+    }
+  }
   ctx->Derived("alpha_match", alpha_match ? 1.0 : 0.0);
   ctx->Derived("multi_shard_speedup",
                baseline.requests_per_sec > 0.0
                    ? best_multi_shard / baseline.requests_per_sec
                    : 0.0);
+  ctx->Derived("hybrid_speedup",
+               hybrid_single > 0.0 ? hybrid_best / hybrid_single : 0.0);
 
   // Durable run + recovery scaling: half and full logs, full log with
   // snapshots cutting the replay, and the snapshotted log after a WAL
@@ -284,6 +314,11 @@ void RegisterShardSuite(Harness* harness) {
       // harness skip with that reason instead of failing.
       {"multi_shard_beats_fleet_engine", "multi_shard_speedup > 1",
        /*min_cores=*/2, /*full_only=*/true},
+      // ISSUE 7 acceptance: per-shard bank pools pay — S shards x K
+      // bank threads beats the same shard count at K=1 by >= 1.5x.
+      // Needs S x K real cores to mean anything; skipped below 4.
+      {"hybrid_beats_single_thread_per_shard", "hybrid_speedup >= 1.5",
+       /*min_cores=*/4, /*full_only=*/true},
   };
   harness->Register(std::move(spec), RunSuite);
 }

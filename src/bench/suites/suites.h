@@ -11,6 +11,10 @@
 namespace tcdp {
 namespace bench {
 
+// Kernel-dispatch microbenchmarks (src/kernels/): scalar reference vs
+// the host's best backend, bitwise equivalence gated in every mode.
+void RegisterKernelsSuite(Harness* harness);
+
 // Throughput / systems suites (ported from the standalone
 // bench_fleet_throughput / bench_shard_service / bench_net_throughput
 // emitters, acceptance gates preserved).

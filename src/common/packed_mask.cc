@@ -14,25 +14,32 @@ constexpr std::size_t kMinRleWords = 4;
 }  // namespace
 
 PackedMask PackedMask::FromWords(std::vector<std::uint64_t> words) {
+  PackedMask mask = FromWordSpan(words.data(), words.size());
+  if (!mask.is_rle()) mask.dense_ = std::move(words);  // reuse the storage
+  return mask;
+}
+
+PackedMask PackedMask::FromWordSpan(const std::uint64_t* words,
+                                    std::size_t n) {
   PackedMask mask;
-  mask.num_words_ = words.size();
+  mask.num_words_ = n;
   std::vector<std::uint64_t> run_end;
   std::vector<std::uint64_t> run_value;
-  for (std::size_t i = 0; i < words.size();) {
+  for (std::size_t i = 0; i < n;) {
     std::size_t j = i + 1;
-    while (j < words.size() && words[j] == words[i]) ++j;
+    while (j < n && words[j] == words[i]) ++j;
     run_end.push_back(j);
     run_value.push_back(words[i]);
     i = j;
   }
   // RLE stores two u64 per run vs one per word densely.
-  if (words.size() >= kMinRleWords && 2 * run_end.size() < words.size()) {
+  if (n >= kMinRleWords && 2 * run_end.size() < n) {
     mask.kind_ = Kind::kRle;
     mask.run_end_ = std::move(run_end);
     mask.run_value_ = std::move(run_value);
   } else {
     mask.kind_ = Kind::kDense;
-    mask.dense_ = std::move(words);
+    mask.dense_.assign(words, words + n);
   }
   return mask;
 }

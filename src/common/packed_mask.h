@@ -45,6 +45,12 @@ class PackedMask {
   /// (nobody participates), NOT kAll.
   static PackedMask FromWords(std::vector<std::uint64_t> words);
 
+  /// FromWords without taking ownership: packs words[0, n) and leaves
+  /// the caller's buffer untouched, so reusable scratch buffers (the
+  /// bank's per-release mask staging) never churn. Copies only when the
+  /// dense representation wins.
+  static PackedMask FromWordSpan(const std::uint64_t* words, std::size_t n);
+
   bool is_all() const { return kind_ == Kind::kAll; }
   bool is_rle() const { return kind_ == Kind::kRle; }
   /// Width in 64-bit words (0 for kAll).

@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "core/tpl_accountant.h"
+#include "kernels/kernels.h"
 #include "markov/stochastic_matrix.h"
 
 namespace tcdp {
@@ -39,15 +40,6 @@ bool SamePair(const TemporalCorrelations& a, const TemporalCorrelations& b) {
   return true;
 }
 
-bool MaskBit(const std::vector<std::uint64_t>& mask, std::size_t user) {
-  // An empty mask means "everyone enrolled participated"; a user id at
-  // or past the mask width was not enrolled when the row was written.
-  if (mask.empty()) return true;
-  const std::size_t word = user >> 6;
-  if (word >= mask.size()) return false;
-  return (mask[word] >> (user & 63u)) & 1u;
-}
-
 /// A small exact-bits memo for the per-slice update loop: cohort
 /// members overwhelmingly carry bit-identical BPL state (identical
 /// sub-schedules), so one evaluation serves the whole run without
@@ -71,12 +63,49 @@ class LocalLossMemo {
     return value;
   }
 
+  void Reset() { size_ = 0; }
+
  private:
   static constexpr std::size_t kCapacity = 32;
   std::size_t size_ = 0;
   std::uint64_t keys_[kCapacity];
   double values_[kCapacity];
 };
+
+/// Per-thread working set for StepSlots: staging buffers for the
+/// evaluated backward losses and the mask-expanded budget adds, plus a
+/// LocalLossMemo that now survives across the chunks one release fans
+/// out to a thread (keyed on (bank, release, evaluator); evaluators are
+/// pure, so a warm memo changes timing only, never values).
+struct StepScratch {
+  std::vector<double> loss;
+  std::vector<double> add;
+
+  LocalLossMemo& MemoFor(const void* bank, std::size_t release,
+                         const void* evaluator) {
+    if (!memo_valid_ || bank != memo_bank_ || release != memo_release_ ||
+        evaluator != memo_evaluator_) {
+      memo_.Reset();
+      memo_bank_ = bank;
+      memo_release_ = release;
+      memo_evaluator_ = evaluator;
+      memo_valid_ = true;
+    }
+    return memo_;
+  }
+
+ private:
+  LocalLossMemo memo_;
+  const void* memo_bank_ = nullptr;
+  const void* memo_evaluator_ = nullptr;
+  std::size_t memo_release_ = 0;
+  bool memo_valid_ = false;
+};
+
+StepScratch& StepScratchForThread() {
+  thread_local StepScratch scratch;
+  return scratch;
+}
 
 }  // namespace
 
@@ -112,8 +141,18 @@ std::size_t AccountantBank::FindOrCreateCohort(
   cohorts_.push_back(std::move(cohort));
   const std::uint32_t index = static_cast<std::uint32_t>(cohorts_.size() - 1);
   it->second.push_back(index);
-  cohort_offsets_.push_back(cohort_offsets_.back());
+  offsets_dirty_ = true;
   return index;
+}
+
+void AccountantBank::EnsureOffsets() const {
+  if (!offsets_dirty_) return;
+  cohort_offsets_.resize(cohorts_.size() + 1);
+  cohort_offsets_[0] = 0;
+  for (std::size_t c = 0; c < cohorts_.size(); ++c) {
+    cohort_offsets_[c + 1] = cohort_offsets_[c] + cohorts_[c].users.size();
+  }
+  offsets_dirty_ = false;
 }
 
 std::size_t AccountantBank::AddUser(TemporalCorrelations correlations) {
@@ -126,14 +165,16 @@ std::size_t AccountantBank::AddUser(TemporalCorrelations correlations) {
   cohort.users.push_back(static_cast<std::uint32_t>(user));
   cohort.bpl_last.push_back(0.0);
   cohort.eps_sum.push_back(0.0);
-  for (std::size_t k = c + 1; k < cohort_offsets_.size(); ++k) {
-    ++cohort_offsets_[k];
-  }
+  // O(1): the flat-slot prefix sums are rebuilt lazily (EnsureOffsets),
+  // so bulk enrollment is linear in users, not users x cohorts.
+  offsets_dirty_ = true;
   return user;
 }
 
 void AccountantBank::StepSlots(std::size_t lo, std::size_t hi, double epsilon,
                                const std::vector<std::uint64_t>& mask) {
+  const kernels::Backend& kern = kernels::ActiveBackend();
+  StepScratch& scratch = StepScratchForThread();
   // Locate the cohort owning `lo` (offsets are sorted, cohorts few).
   std::size_t c = static_cast<std::size_t>(
       std::upper_bound(cohort_offsets_.begin(), cohort_offsets_.end(), lo) -
@@ -143,18 +184,43 @@ void AccountantBank::StepSlots(std::size_t lo, std::size_t hi, double epsilon,
     Cohort& cohort = cohorts_[c];
     const LossEvaluator* backward = cohort.backward.get();
     const std::size_t s0 = lo - cohort_offsets_[c];
-    const std::size_t s1 = end - cohort_offsets_[c];
-    LocalLossMemo memo;
-    for (std::size_t s = s0; s < s1; ++s) {
-      double loss = 0.0;
-      if (backward != nullptr) {
-        const double alpha = cohort.bpl_last[s];
-        if (alpha > 0.0) loss = memo.Evaluate(*backward, alpha);
+    const std::size_t n = end - lo;
+    double* bpl = cohort.bpl_last.data() + s0;
+    double* eps_sum = cohort.eps_sum.data() + s0;
+
+    // An empty mask means "everyone enrolled participated"; otherwise
+    // stage the per-slot budget adds (epsilon or 0) once, then let the
+    // fused kernels stream the column update.
+    const double* add = nullptr;
+    if (!mask.empty()) {
+      if (scratch.add.size() < n) scratch.add.resize(n);
+      kernels::ExpandMaskEpsilon(mask.data(), mask.size(),
+                                 cohort.users.data() + s0, n, epsilon,
+                                 scratch.add.data());
+      add = scratch.add.data();
+    }
+
+    if (backward == nullptr) {
+      // Zero backward loss: 0.0 + x == x bitwise for the non-negative
+      // adds here, so the fill variants match the reference loss + add.
+      if (add == nullptr) {
+        kern.fused_fill_uniform(epsilon, bpl, eps_sum, n);
+      } else {
+        kern.fused_fill_add(add, bpl, eps_sum, n);
       }
-      const double add =
-          MaskBit(mask, cohort.users[s]) ? epsilon : 0.0;
-      cohort.bpl_last[s] = loss + add;
-      cohort.eps_sum[s] += add;
+    } else {
+      if (scratch.loss.size() < n) scratch.loss.resize(n);
+      LocalLossMemo& memo = scratch.MemoFor(this, horizon(), backward);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double alpha = bpl[i];
+        scratch.loss[i] = alpha > 0.0 ? memo.Evaluate(*backward, alpha) : 0.0;
+      }
+      if (add == nullptr) {
+        kern.fused_loss_add_uniform(scratch.loss.data(), epsilon, bpl,
+                                    eps_sum, n);
+      } else {
+        kern.fused_loss_add(scratch.loss.data(), add, bpl, eps_sum, n);
+      }
     }
     lo = end;
     ++c;
@@ -167,35 +233,38 @@ Status AccountantBank::Record(double epsilon,
     return Status::InvalidArgument(
         "AccountantBank: epsilon must be finite and > 0");
   }
-  std::vector<std::uint64_t> mask;  // empty = every enrolled user
+  // mask_scratch_ is reusable staging: empty = every enrolled user.
   if (participants != nullptr) {
-    mask.assign((num_users() + 63) / 64, 0);
-    if (mask.empty()) mask.push_back(0);  // 0 users: distinct from "all"
+    // 0 users still gets one zero word: distinct from "all".
+    mask_scratch_.assign(std::max<std::size_t>((num_users() + 63) / 64, 1), 0);
     for (std::size_t user : *participants) {
       if (user >= num_users()) {
         return Status::InvalidArgument(
             "AccountantBank: participant index " + std::to_string(user) +
             " out of range");
       }
-      mask[user >> 6] |= std::uint64_t{1} << (user & 63u);
+      mask_scratch_[user >> 6] |= std::uint64_t{1} << (user & 63u);
     }
+  } else {
+    mask_scratch_.clear();
   }
+  EnsureOffsets();
   const std::size_t total = cohort_offsets_.back();
   if (total > 0) {
     if (pool_ != nullptr && total > 1) {
       pool_->ParallelForRange(
-          0, total,
-          [this, epsilon, &mask](std::size_t lo, std::size_t hi) {
-            StepSlots(lo, hi, epsilon, mask);
+          0, total, [this, epsilon](std::size_t lo, std::size_t hi) {
+            StepSlots(lo, hi, epsilon, mask_scratch_);
           });
     } else {
-      StepSlots(0, total, epsilon, mask);
+      StepSlots(0, total, epsilon, mask_scratch_);
     }
   }
   schedule_.push_back(epsilon);
-  participation_.push_back(participants != nullptr
-                               ? PackedMask::FromWords(std::move(mask))
-                               : PackedMask::All());
+  participation_.push_back(
+      participants != nullptr
+          ? PackedMask::FromWordSpan(mask_scratch_.data(), mask_scratch_.size())
+          : PackedMask::All());
   return Status::OK();
 }
 

@@ -188,11 +188,17 @@ class AccountantBank {
 
   std::size_t FindOrCreateCohort(const TemporalCorrelations& correlations);
   /// Advances bpl_last/eps_sum for flat slots [lo, hi) (the
-  /// cohort-slice update loop; deterministic for any chunking).
+  /// cohort-slice update loop; deterministic for any chunking). Runs on
+  /// the dispatched vector kernels (src/kernels/), staging losses and
+  /// mask-selected budget adds in per-thread scratch buffers.
   void StepSlots(std::size_t lo, std::size_t hi, double epsilon,
                  const std::vector<std::uint64_t>& mask);
   Status Record(double epsilon, const std::vector<std::size_t>* participants);
   bool ParticipatedRaw(std::size_t user, std::size_t t) const;
+  /// Rebuilds cohort_offsets_ from the cohort sizes when AddUser has
+  /// invalidated it (prefix sum, O(cohorts) — enrollment itself is O(1)
+  /// per user instead of O(cohorts)).
+  void EnsureOffsets() const;
 
   AccountantBankOptions options_;
   std::unique_ptr<TemporalLossCache> cache_;  // null when not sharing
@@ -204,8 +210,14 @@ class AccountantBank {
   std::unordered_map<std::uint64_t, std::vector<std::uint32_t>>
       cohort_index_;
   /// Flat slot space: cohort c owns [cohort_offsets_[c],
-  /// cohort_offsets_[c+1]); rebuilt on AddUser.
-  std::vector<std::size_t> cohort_offsets_;
+  /// cohort_offsets_[c+1]); rebuilt lazily (EnsureOffsets) after
+  /// enrollment marks it dirty, so bulk AddUser stays linear.
+  mutable std::vector<std::size_t> cohort_offsets_;
+  mutable bool offsets_dirty_ = false;
+
+  /// Reusable staging for Record's participation bitmask — rebuilt (not
+  /// reallocated) per masked release, packed via PackedMask::FromWordSpan.
+  std::vector<std::uint64_t> mask_scratch_;
 
   // Per-user global state (SoA).
   std::vector<std::uint32_t> user_join_;    ///< global release at join

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <limits>
 #include <string>
 
 #include "common/math_util.h"
+#include "kernels/kernels.h"
 
 namespace tcdp {
 
@@ -27,91 +29,90 @@ double PairLogRatio(double q_sum, double d_sum, double alpha) {
   return LogLinearInExpAlpha(q_sum, alpha) - LogLinearInExpAlpha(d_sum, alpha);
 }
 
-}  // namespace
+/// Reusable per-thread working set for the pair scans. One candidate
+/// index buffer plus one parallel payload buffer (log-ratios for the
+/// refinement filter, unused by the sorted scan) replace the per-call
+/// `subset`/`kept`/`order` vectors: after the first few pairs of a
+/// matrix sweep these never reallocate.
+struct PairScanScratch {
+  std::vector<std::uint32_t> idx;
+  std::vector<double> logr;
 
-StatusOr<PairLossResult> ComputePairLoss(const std::vector<double>& q,
-                                         const std::vector<double>& d,
-                                         double alpha) {
-  if (q.size() != d.size()) {
-    return Status::InvalidArgument("ComputePairLoss: |q| != |d|");
+  void Reserve(std::size_t n) {
+    if (idx.size() < n) idx.resize(n);
+    if (logr.size() < n) logr.resize(n);
   }
-  if (q.empty()) {
-    return Status::InvalidArgument("ComputePairLoss: empty rows");
-  }
-  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
-    return Status::InvalidArgument(
-        "ComputePairLoss: alpha must be finite and >= 0, got " +
-        std::to_string(alpha));
-  }
-  const std::size_t n = q.size();
+};
 
-  PairLossResult result;
+PairScanScratch& Scratch() {
+  thread_local PairScanScratch scratch;
+  return scratch;
+}
+
+/// Algorithm 1 refinement on raw rows. Fills loss/q_sum/d_sum/
+/// update_rounds of *result; materializes result->subset only when
+/// want_subset is set (the matrix sweep skips it).
+void PairLossIterativeCore(const double* q, const double* d, std::size_t n,
+                           double alpha, bool want_subset,
+                           PairLossResult* result) {
+  const auto& k = kernels::ActiveBackend();
+  PairScanScratch& scratch = Scratch();
+  scratch.Reserve(n);
+  std::uint32_t* idx = scratch.idx.data();
+  double* logr = scratch.logr.data();
+
   // Corollary 2 seed: candidates are exactly the coordinates with
   // q_j > d_j.
-  result.subset.reserve(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    if (q[j] > d[j]) result.subset.push_back(j);
+  std::size_t m = k.select_greater(q, d, n, idx);
+
+  // The per-candidate log ratio log(q_j) - log(d_j) is loop-invariant
+  // across refinement rounds; compute it once. d_j = 0 candidates have
+  // infinite ratio and survive every filter (q_j > d_j = 0 in the
+  // seed, so log(q_j) is finite).
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::uint32_t j = idx[i];
+    logr[i] = d[j] == 0.0 ? std::numeric_limits<double>::infinity()
+                          : std::log(q[j]) - std::log(d[j]);
   }
 
   // Theorem 4 refinement (Algorithm 1 Lines 6–11): drop every candidate
   // whose individual ratio fails Inequality (21) against the aggregate
   // ratio; repeat until a full pass removes nothing. All comparisons in
   // log space.
-  while (!result.subset.empty()) {
-    ++result.update_rounds;
+  while (m > 0) {
+    ++result->update_rounds;
     double q_sum = 0.0, d_sum = 0.0;
-    for (std::size_t j : result.subset) {
-      q_sum += q[j];
-      d_sum += d[j];
-    }
+    k.gather_pair_sums(q, d, idx, m, &q_sum, &d_sum);
     const double log_ratio = PairLogRatio(q_sum, d_sum, alpha);
-    std::vector<std::size_t> kept;
-    kept.reserve(result.subset.size());
-    for (std::size_t j : result.subset) {
-      // Keep j iff log(q_j) - log(d_j) > log_ratio; d_j = 0 keeps
-      // (ratio +inf) since q_j > d_j = 0 in the seed set.
-      const bool keep = d[j] == 0.0
-                            ? true
-                            : std::log(q[j]) - std::log(d[j]) > log_ratio;
-      if (keep) kept.push_back(j);
+    const std::size_t kept = k.filter_gt(logr, idx, m, log_ratio);
+    if (kept == m) {
+      result->q_sum = q_sum;
+      result->d_sum = d_sum;
+      result->loss = log_ratio;
+      if (want_subset) result->subset.assign(idx, idx + m);
+      return;
     }
-    if (kept.size() == result.subset.size()) {
-      result.q_sum = q_sum;
-      result.d_sum = d_sum;
-      result.loss = log_ratio;
-      return result;
-    }
-    result.subset = std::move(kept);
+    m = kept;
   }
   // Empty subset: identical rows (or alpha-independent tie) -> loss 0.
-  result.q_sum = 0.0;
-  result.d_sum = 0.0;
-  result.loss = 0.0;
-  return result;
+  result->q_sum = 0.0;
+  result->d_sum = 0.0;
+  result->loss = 0.0;
 }
 
-StatusOr<PairLossResult> ComputePairLossSorted(const std::vector<double>& q,
-                                               const std::vector<double>& d,
-                                               double alpha) {
-  if (q.size() != d.size()) {
-    return Status::InvalidArgument("ComputePairLossSorted: |q| != |d|");
-  }
-  if (q.empty()) {
-    return Status::InvalidArgument("ComputePairLossSorted: empty rows");
-  }
-  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
-    return Status::InvalidArgument(
-        "ComputePairLossSorted: alpha must be finite and >= 0");
-  }
-  const std::size_t n = q.size();
+/// Threshold-set prefix scan on raw rows (see ComputePairLossSorted).
+void PairLossSortedCore(const double* q, const double* d, std::size_t n,
+                        double alpha, bool want_subset,
+                        PairLossResult* result) {
+  const auto& k = kernels::ActiveBackend();
+  PairScanScratch& scratch = Scratch();
+  scratch.Reserve(n);
+  std::uint32_t* order = scratch.idx.data();
+
   // Candidates (Corollary 2) sorted by ratio q_j/d_j descending; d_j = 0
   // candidates (infinite ratio) first.
-  std::vector<std::size_t> order;
-  order.reserve(n);
-  for (std::size_t j = 0; j < n; ++j) {
-    if (q[j] > d[j]) order.push_back(j);
-  }
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+  const std::size_t m = k.select_greater(q, d, n, order);
+  std::sort(order, order + m, [&](std::uint32_t a, std::uint32_t b) {
     const bool a_inf = d[a] == 0.0;
     const bool b_inf = d[b] == 0.0;
     if (a_inf != b_inf) return a_inf;
@@ -119,29 +120,68 @@ StatusOr<PairLossResult> ComputePairLossSorted(const std::vector<double>& q,
     return q[a] * d[b] > q[b] * d[a];
   });
 
-  PairLossResult best;
   double q_acc = 0.0, d_acc = 0.0;
   double best_q = 0.0, best_d = 0.0;
   std::size_t best_len = 0;
-  for (std::size_t len = 1; len <= order.size(); ++len) {
+  for (std::size_t len = 1; len <= m; ++len) {
     q_acc += q[order[len - 1]];
     d_acc += d[order[len - 1]];
     const double value = LogLinearInExpAlpha(q_acc, alpha) -
                          LogLinearInExpAlpha(d_acc, alpha);
-    if (value > best.loss) {
-      best.loss = value;
+    if (value > result->loss) {
+      result->loss = value;
       best_q = q_acc;
       best_d = d_acc;
       best_len = len;
     }
   }
-  best.q_sum = best_q;
-  best.d_sum = best_d;
-  best.subset.assign(order.begin(),
-                     order.begin() + static_cast<long>(best_len));
-  std::sort(best.subset.begin(), best.subset.end());
-  best.update_rounds = 1;  // single scan
-  return best;
+  result->q_sum = best_q;
+  result->d_sum = best_d;
+  result->update_rounds = 1;  // single scan
+  if (want_subset) {
+    result->subset.assign(order, order + best_len);
+    std::sort(result->subset.begin(), result->subset.end());
+  }
+}
+
+Status ValidatePairInputs(const char* fn, const std::vector<double>& q,
+                          const std::vector<double>& d, double alpha) {
+  if (q.size() != d.size()) {
+    return Status::InvalidArgument(std::string(fn) + ": |q| != |d|");
+  }
+  if (q.empty()) {
+    return Status::InvalidArgument(std::string(fn) + ": empty rows");
+  }
+  if (!(alpha >= 0.0) || !std::isfinite(alpha)) {
+    return Status::InvalidArgument(
+        std::string(fn) + ": alpha must be finite and >= 0, got " +
+        std::to_string(alpha));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<PairLossResult> ComputePairLoss(const std::vector<double>& q,
+                                         const std::vector<double>& d,
+                                         double alpha) {
+  Status status = ValidatePairInputs("ComputePairLoss", q, d, alpha);
+  if (!status.ok()) return status;
+  PairLossResult result;
+  PairLossIterativeCore(q.data(), d.data(), q.size(), alpha,
+                        /*want_subset=*/true, &result);
+  return result;
+}
+
+StatusOr<PairLossResult> ComputePairLossSorted(const std::vector<double>& q,
+                                               const std::vector<double>& d,
+                                               double alpha) {
+  Status status = ValidatePairInputs("ComputePairLossSorted", q, d, alpha);
+  if (!status.ok()) return status;
+  PairLossResult result;
+  PairLossSortedCore(q.data(), d.data(), q.size(), alpha,
+                     /*want_subset=*/true, &result);
+  return result;
 }
 
 TemporalLossFunction::TemporalLossFunction(StochasticMatrix transition)
@@ -160,22 +200,27 @@ TemporalLossFunction::Detail TemporalLossFunction::EvaluateDetailed(
   const std::size_t n = transition_.size();
   Detail best;
   if (n < 2) return best;  // single state: rows identical, loss 0
+  // Rows are contiguous slices of the row-major storage; the pair cores
+  // take raw pointers, so the sweep does no per-pair copies or
+  // allocations (the scratch buffers warm up on the first pair).
+  const double* base = transition_.matrix().data().data();
   for (std::size_t a = 0; a < n; ++a) {
-    const std::vector<double> q = transition_.Row(a);
+    const double* q = base + a * n;
     for (std::size_t b = 0; b < n; ++b) {
       if (a == b) continue;
       ++best.pairs_examined;
-      const std::vector<double> d = transition_.Row(b);
-      auto pair = options.method == PairLossMethod::kSortedPrefix
-                      ? ComputePairLossSorted(q, d, alpha)
-                      : ComputePairLoss(q, d, alpha);
-      assert(pair.ok());  // inputs are validated rows
-      if (!pair.ok()) continue;
-      if (pair->loss > best.loss ||
-          (best.loss == 0.0 && best.q_sum == 0.0 && pair->q_sum > 0.0)) {
-        best.loss = pair->loss;
-        best.q_sum = pair->q_sum;
-        best.d_sum = pair->d_sum;
+      const double* d = base + b * n;
+      PairLossResult pair;
+      if (options.method == PairLossMethod::kSortedPrefix) {
+        PairLossSortedCore(q, d, n, alpha, /*want_subset=*/false, &pair);
+      } else {
+        PairLossIterativeCore(q, d, n, alpha, /*want_subset=*/false, &pair);
+      }
+      if (pair.loss > best.loss ||
+          (best.loss == 0.0 && best.q_sum == 0.0 && pair.q_sum > 0.0)) {
+        best.loss = pair.loss;
+        best.q_sum = pair.q_sum;
+        best.d_sum = pair.d_sum;
         best.row_q = a;
         best.row_d = b;
       }

@@ -1,0 +1,215 @@
+#include "kernels/kernels.h"
+
+// AVX2 backend. This file is compiled with -mavx2 -mfma (and
+// -ffp-contract=off) on x86-64; the guarded body is only ever entered
+// after the dispatcher's runtime CPU check, so the binary stays safe
+// on pre-AVX2 hosts. Every kernel reproduces the scalar reference's
+// operation order exactly — explicit mul/add intrinsics (no fmadd),
+// per-lane accumulators matching the blocked-4 canonical order — so
+// the backend is bitwise-identical to scalar (property-tested).
+
+#if defined(__AVX2__) && (defined(__x86_64__) || defined(_M_X64))
+
+#include <immintrin.h>
+
+namespace tcdp {
+namespace kernels {
+namespace {
+
+void Avx2FusedLossAdd(const double* loss, const double* add, double* bpl,
+                      double* eps_sum, std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d va = _mm256_loadu_pd(add + i);
+    _mm256_storeu_pd(bpl + i, _mm256_add_pd(_mm256_loadu_pd(loss + i), va));
+    _mm256_storeu_pd(eps_sum + i,
+                     _mm256_add_pd(_mm256_loadu_pd(eps_sum + i), va));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    bpl[i] = loss[i] + add[i];
+    eps_sum[i] += add[i];
+  }
+}
+
+void Avx2FusedLossAddUniform(const double* loss, double eps, double* bpl,
+                             double* eps_sum, std::size_t n) {
+  const __m256d veps = _mm256_set1_pd(eps);
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    _mm256_storeu_pd(bpl + i, _mm256_add_pd(_mm256_loadu_pd(loss + i), veps));
+    _mm256_storeu_pd(eps_sum + i,
+                     _mm256_add_pd(_mm256_loadu_pd(eps_sum + i), veps));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    bpl[i] = loss[i] + eps;
+    eps_sum[i] += eps;
+  }
+}
+
+void Avx2FusedFillAdd(const double* add, double* bpl, double* eps_sum,
+                      std::size_t n) {
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d va = _mm256_loadu_pd(add + i);
+    _mm256_storeu_pd(bpl + i, va);
+    _mm256_storeu_pd(eps_sum + i,
+                     _mm256_add_pd(_mm256_loadu_pd(eps_sum + i), va));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    bpl[i] = add[i];
+    eps_sum[i] += add[i];
+  }
+}
+
+void Avx2FusedFillUniform(double eps, double* bpl, double* eps_sum,
+                          std::size_t n) {
+  const __m256d veps = _mm256_set1_pd(eps);
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    _mm256_storeu_pd(bpl + i, veps);
+    _mm256_storeu_pd(eps_sum + i,
+                     _mm256_add_pd(_mm256_loadu_pd(eps_sum + i), veps));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    bpl[i] = eps;
+    eps_sum[i] += eps;
+  }
+}
+
+void Avx2Axpy(double a, const double* x, double* out, std::size_t n) {
+  const __m256d va = _mm256_set1_pd(a);
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d p = _mm256_mul_pd(va, _mm256_loadu_pd(x + i));
+    _mm256_storeu_pd(out + i, _mm256_add_pd(_mm256_loadu_pd(out + i), p));
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    const double p = a * x[i];
+    out[i] += p;
+  }
+}
+
+double Avx2Dot(const double* a, const double* b, std::size_t n) {
+  __m256d vacc = _mm256_setzero_pd();
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d p =
+        _mm256_mul_pd(_mm256_loadu_pd(a + i), _mm256_loadu_pd(b + i));
+    vacc = _mm256_add_pd(vacc, p);
+  }
+  double acc[4];
+  _mm256_storeu_pd(acc, vacc);
+  for (std::size_t i = n4; i < n; ++i) {
+    const double p = a[i] * b[i];
+    acc[i - n4] += p;
+  }
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+std::size_t Avx2SelectGreater(const double* q, const double* d, std::size_t n,
+                              std::uint32_t* idx) {
+  std::size_t count = 0;
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    const __m256d cmp = _mm256_cmp_pd(_mm256_loadu_pd(q + i),
+                                      _mm256_loadu_pd(d + i), _CMP_GT_OQ);
+    int bits = _mm256_movemask_pd(cmp);
+    while (bits != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(bits));
+      idx[count++] = static_cast<std::uint32_t>(i + lane);
+      bits &= bits - 1;
+    }
+  }
+  for (std::size_t i = n4; i < n; ++i) {
+    if (q[i] > d[i]) idx[count++] = static_cast<std::uint32_t>(i);
+  }
+  return count;
+}
+
+void Avx2GatherPairSums(const double* q, const double* d,
+                        const std::uint32_t* idx, std::size_t m,
+                        double* q_sum, double* d_sum) {
+  __m256d vq = _mm256_setzero_pd();
+  __m256d vd = _mm256_setzero_pd();
+  const std::size_t m4 = m & ~std::size_t{3};
+  for (std::size_t i = 0; i < m4; i += 4) {
+    const __m128i vi =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(idx + i));
+    vq = _mm256_add_pd(vq, _mm256_i32gather_pd(q, vi, 8));
+    vd = _mm256_add_pd(vd, _mm256_i32gather_pd(d, vi, 8));
+  }
+  double qa[4], da[4];
+  _mm256_storeu_pd(qa, vq);
+  _mm256_storeu_pd(da, vd);
+  for (std::size_t i = m4; i < m; ++i) {
+    qa[i - m4] += q[idx[i]];
+    da[i - m4] += d[idx[i]];
+  }
+  *q_sum = (qa[0] + qa[1]) + (qa[2] + qa[3]);
+  *d_sum = (da[0] + da[1]) + (da[2] + da[3]);
+}
+
+std::size_t Avx2FilterGt(double* value, std::uint32_t* idx, std::size_t m,
+                         double threshold) {
+  const __m256d vthr = _mm256_set1_pd(threshold);
+  std::size_t kept = 0;
+  const std::size_t m4 = m & ~std::size_t{3};
+  for (std::size_t i = 0; i < m4; i += 4) {
+    const __m256d cmp =
+        _mm256_cmp_pd(_mm256_loadu_pd(value + i), vthr, _CMP_GT_OQ);
+    int bits = _mm256_movemask_pd(cmp);
+    while (bits != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(bits));
+      // Writes trail reads (kept <= i + lane), so in-place is safe.
+      value[kept] = value[i + lane];
+      idx[kept] = idx[i + lane];
+      ++kept;
+      bits &= bits - 1;
+    }
+  }
+  for (std::size_t i = m4; i < m; ++i) {
+    if (value[i] > threshold) {
+      value[kept] = value[i];
+      idx[kept] = idx[i];
+      ++kept;
+    }
+  }
+  return kept;
+}
+
+constexpr Backend kAvx2Backend = {
+    "avx2",
+    4,
+    Avx2FusedLossAdd,
+    Avx2FusedLossAddUniform,
+    Avx2FusedFillAdd,
+    Avx2FusedFillUniform,
+    Avx2Axpy,
+    Avx2Dot,
+    Avx2SelectGreater,
+    Avx2GatherPairSums,
+    Avx2FilterGt,
+};
+
+}  // namespace
+
+const Backend* Avx2BackendImpl() {
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported ? &kAvx2Backend : nullptr;
+}
+
+}  // namespace kernels
+}  // namespace tcdp
+
+#else  // !__AVX2__
+
+namespace tcdp {
+namespace kernels {
+
+const Backend* Avx2BackendImpl() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace tcdp
+
+#endif

@@ -1,0 +1,201 @@
+#include "kernels/kernels.h"
+
+// NEON backend (aarch64, where Advanced SIMD is baseline — no runtime
+// probe needed). Registers hold 2 doubles, so the blocked-4 canonical
+// reduction order is realized as two accumulator pairs: lanes {0,1} in
+// one register, lanes {2,3} in the other, folded with the same fixed
+// horizontal sum (a0+a1)+(a2+a3) as the scalar reference. Elementwise
+// kernels use explicit vmulq/vaddq (never vfmaq) so results match the
+// scalar mul-then-add bit for bit.
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace tcdp {
+namespace kernels {
+namespace {
+
+void NeonFusedLossAdd(const double* loss, const double* add, double* bpl,
+                      double* eps_sum, std::size_t n) {
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const float64x2_t va = vld1q_f64(add + i);
+    vst1q_f64(bpl + i, vaddq_f64(vld1q_f64(loss + i), va));
+    vst1q_f64(eps_sum + i, vaddq_f64(vld1q_f64(eps_sum + i), va));
+  }
+  if (n2 != n) {
+    bpl[n2] = loss[n2] + add[n2];
+    eps_sum[n2] += add[n2];
+  }
+}
+
+void NeonFusedLossAddUniform(const double* loss, double eps, double* bpl,
+                             double* eps_sum, std::size_t n) {
+  const float64x2_t veps = vdupq_n_f64(eps);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    vst1q_f64(bpl + i, vaddq_f64(vld1q_f64(loss + i), veps));
+    vst1q_f64(eps_sum + i, vaddq_f64(vld1q_f64(eps_sum + i), veps));
+  }
+  if (n2 != n) {
+    bpl[n2] = loss[n2] + eps;
+    eps_sum[n2] += eps;
+  }
+}
+
+void NeonFusedFillAdd(const double* add, double* bpl, double* eps_sum,
+                      std::size_t n) {
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const float64x2_t va = vld1q_f64(add + i);
+    vst1q_f64(bpl + i, va);
+    vst1q_f64(eps_sum + i, vaddq_f64(vld1q_f64(eps_sum + i), va));
+  }
+  if (n2 != n) {
+    bpl[n2] = add[n2];
+    eps_sum[n2] += add[n2];
+  }
+}
+
+void NeonFusedFillUniform(double eps, double* bpl, double* eps_sum,
+                          std::size_t n) {
+  const float64x2_t veps = vdupq_n_f64(eps);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    vst1q_f64(bpl + i, veps);
+    vst1q_f64(eps_sum + i, vaddq_f64(vld1q_f64(eps_sum + i), veps));
+  }
+  if (n2 != n) {
+    bpl[n2] = eps;
+    eps_sum[n2] += eps;
+  }
+}
+
+void NeonAxpy(double a, const double* x, double* out, std::size_t n) {
+  const float64x2_t va = vdupq_n_f64(a);
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const float64x2_t p = vmulq_f64(va, vld1q_f64(x + i));
+    vst1q_f64(out + i, vaddq_f64(vld1q_f64(out + i), p));
+  }
+  if (n2 != n) {
+    const double p = a * x[n2];
+    out[n2] += p;
+  }
+}
+
+double NeonDot(const double* a, const double* b, std::size_t n) {
+  // Lanes {0,1} and {2,3} of the canonical blocked-4 accumulator.
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  const std::size_t n4 = n & ~std::size_t{3};
+  for (std::size_t i = 0; i < n4; i += 4) {
+    acc01 = vaddq_f64(acc01, vmulq_f64(vld1q_f64(a + i), vld1q_f64(b + i)));
+    acc23 =
+        vaddq_f64(acc23, vmulq_f64(vld1q_f64(a + i + 2), vld1q_f64(b + i + 2)));
+  }
+  double acc[4];
+  vst1q_f64(acc, acc01);
+  vst1q_f64(acc + 2, acc23);
+  for (std::size_t i = n4; i < n; ++i) {
+    const double p = a[i] * b[i];
+    acc[i - n4] += p;
+  }
+  return (acc[0] + acc[1]) + (acc[2] + acc[3]);
+}
+
+std::size_t NeonSelectGreater(const double* q, const double* d, std::size_t n,
+                              std::uint32_t* idx) {
+  std::size_t count = 0;
+  const std::size_t n2 = n & ~std::size_t{1};
+  for (std::size_t i = 0; i < n2; i += 2) {
+    const uint64x2_t cmp = vcgtq_f64(vld1q_f64(q + i), vld1q_f64(d + i));
+    if (vgetq_lane_u64(cmp, 0) != 0) idx[count++] = static_cast<std::uint32_t>(i);
+    if (vgetq_lane_u64(cmp, 1) != 0)
+      idx[count++] = static_cast<std::uint32_t>(i + 1);
+  }
+  if (n2 != n && q[n2] > d[n2]) idx[count++] = static_cast<std::uint32_t>(n2);
+  return count;
+}
+
+void NeonGatherPairSums(const double* q, const double* d,
+                        const std::uint32_t* idx, std::size_t m, double* q_sum,
+                        double* d_sum) {
+  // NEON has no gather; accumulate scalar loads into the canonical
+  // blocked-4 lane array, same order as the scalar reference.
+  double qa[4] = {0.0, 0.0, 0.0, 0.0};
+  double da[4] = {0.0, 0.0, 0.0, 0.0};
+  const std::size_t m4 = m & ~std::size_t{3};
+  for (std::size_t i = 0; i < m4; i += 4) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      qa[j] += q[idx[i + j]];
+      da[j] += d[idx[i + j]];
+    }
+  }
+  for (std::size_t i = m4; i < m; ++i) {
+    qa[i - m4] += q[idx[i]];
+    da[i - m4] += d[idx[i]];
+  }
+  *q_sum = (qa[0] + qa[1]) + (qa[2] + qa[3]);
+  *d_sum = (da[0] + da[1]) + (da[2] + da[3]);
+}
+
+std::size_t NeonFilterGt(double* value, std::uint32_t* idx, std::size_t m,
+                         double threshold) {
+  const float64x2_t vthr = vdupq_n_f64(threshold);
+  std::size_t kept = 0;
+  const std::size_t m2 = m & ~std::size_t{1};
+  for (std::size_t i = 0; i < m2; i += 2) {
+    const uint64x2_t cmp = vcgtq_f64(vld1q_f64(value + i), vthr);
+    if (vgetq_lane_u64(cmp, 0) != 0) {
+      value[kept] = value[i];
+      idx[kept] = idx[i];
+      ++kept;
+    }
+    if (vgetq_lane_u64(cmp, 1) != 0) {
+      value[kept] = value[i + 1];
+      idx[kept] = idx[i + 1];
+      ++kept;
+    }
+  }
+  if (m2 != m && value[m2] > threshold) {
+    value[kept] = value[m2];
+    idx[kept] = idx[m2];
+    ++kept;
+  }
+  return kept;
+}
+
+constexpr Backend kNeonBackend = {
+    "neon",
+    2,
+    NeonFusedLossAdd,
+    NeonFusedLossAddUniform,
+    NeonFusedFillAdd,
+    NeonFusedFillUniform,
+    NeonAxpy,
+    NeonDot,
+    NeonSelectGreater,
+    NeonGatherPairSums,
+    NeonFilterGt,
+};
+
+}  // namespace
+
+const Backend* NeonBackendImpl() { return &kNeonBackend; }
+
+}  // namespace kernels
+}  // namespace tcdp
+
+#else  // !__aarch64__
+
+namespace tcdp {
+namespace kernels {
+
+const Backend* NeonBackendImpl() { return nullptr; }
+
+}  // namespace kernels
+}  // namespace tcdp
+
+#endif

@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "kernels/kernels.h"
+
 namespace tcdp {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -85,13 +87,16 @@ StatusOr<Matrix> Matrix::Multiply(const Matrix& other) const {
         std::to_string(other.cols_) + ")");
   }
   Matrix out(rows_, other.cols_, 0.0);
+  // ikj order keeps both the source row of `other` and the destination
+  // row contiguous, so each inner loop is one axpy kernel call.
+  const auto& kern = kernels::ActiveBackend();
   for (std::size_t i = 0; i < rows_; ++i) {
+    double* out_row = out.data_.data() + i * other.cols_;
     for (std::size_t k = 0; k < cols_; ++k) {
       const double aik = At(i, k);
       if (aik == 0.0) continue;
-      for (std::size_t j = 0; j < other.cols_; ++j) {
-        out.At(i, j) += aik * other.At(k, j);
-      }
+      kern.axpy(aik, other.data_.data() + k * other.cols_, out_row,
+                other.cols_);
     }
   }
   return out;
@@ -100,10 +105,11 @@ StatusOr<Matrix> Matrix::Multiply(const Matrix& other) const {
 std::vector<double> Matrix::LeftMultiply(const std::vector<double>& v) const {
   assert(v.size() == rows_);
   std::vector<double> out(cols_, 0.0);
+  const auto& kern = kernels::ActiveBackend();
   for (std::size_t r = 0; r < rows_; ++r) {
     const double vr = v[r];
     if (vr == 0.0) continue;
-    for (std::size_t c = 0; c < cols_; ++c) out[c] += vr * At(r, c);
+    kern.axpy(vr, data_.data() + r * cols_, out.data(), cols_);
   }
   return out;
 }
@@ -111,10 +117,9 @@ std::vector<double> Matrix::LeftMultiply(const std::vector<double>& v) const {
 std::vector<double> Matrix::RightMultiply(const std::vector<double>& v) const {
   assert(v.size() == cols_);
   std::vector<double> out(rows_, 0.0);
+  const auto& kern = kernels::ActiveBackend();
   for (std::size_t r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (std::size_t c = 0; c < cols_; ++c) acc += At(r, c) * v[c];
-    out[r] = acc;
+    out[r] = kern.dot(data_.data() + r * cols_, v.data(), cols_);
   }
   return out;
 }

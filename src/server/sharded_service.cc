@@ -61,6 +61,7 @@ Status WriteManifestFile(const std::string& dir,
         << "shards " << options.num_shards << "\n"
         << "batch_window " << options.batch_window << "\n"
         << "queue_capacity " << options.queue_capacity << "\n"
+        << "threads_per_shard " << options.threads_per_shard << "\n"
         << "snapshot_every " << options.snapshot_every << "\n"
         << "sync_every " << options.sync_every << "\n"
         << "share_cache " << (options.share_loss_cache ? 1 : 0) << "\n"
@@ -102,6 +103,10 @@ StatusOr<ShardedServiceOptions> ReadManifestFile(const std::string& dir) {
       if (!(in >> options.batch_window)) return bad_value();
     } else if (key == "queue_capacity") {
       if (!(in >> options.queue_capacity)) return bad_value();
+    } else if (key == "threads_per_shard") {
+      // Absent in pre-hybrid manifests (defaults to 1); 0 is clamped
+      // to 1 by the service constructor.
+      if (!(in >> options.threads_per_shard)) return bad_value();
     } else if (key == "snapshot_every") {
       if (!(in >> options.snapshot_every)) return bad_value();
     } else if (key == "sync_every") {
@@ -198,8 +203,18 @@ struct ShardedReleaseService::Shard {
   Status first_error;
   std::thread worker;
 
+  /// Hybrid mode: the shard worker fans the bank's column updates out
+  /// to this pool (declared after `bank` so it joins first on
+  /// destruction). Null when threads_per_shard <= 1.
+  std::unique_ptr<ThreadPool> bank_pool;
+
   explicit Shard(const ShardedServiceOptions& opts)
-      : options(&opts), bank(BankOptions(opts)) {}
+      : options(&opts), bank(BankOptions(opts)) {
+    if (opts.threads_per_shard > 1) {
+      bank_pool = std::make_unique<ThreadPool>(opts.threads_per_shard);
+      bank.set_pool(bank_pool.get());
+    }
+  }
 
   ~Shard() { StopAndJoin(); }
 
@@ -448,6 +463,7 @@ ShardedReleaseService::ShardedReleaseService(ShardedServiceOptions options)
   if (options_.num_shards == 0) options_.num_shards = 1;
   if (options_.batch_window == 0) options_.batch_window = 1;
   if (options_.queue_capacity == 0) options_.queue_capacity = 1;
+  if (options_.threads_per_shard == 0) options_.threads_per_shard = 1;
 }
 
 ShardedReleaseService::~ShardedReleaseService() { (void)Close(); }
@@ -486,6 +502,10 @@ StatusOr<std::unique_ptr<ShardedReleaseService>> ShardedReleaseService::Create(
     const std::string& log_dir, ShardedServiceOptions options) {
   std::unique_ptr<ShardedReleaseService> service(
       new ShardedReleaseService(std::move(options)));
+  // Purely a perf knob (backends are bitwise identical); applied here,
+  // not in Recover, so a recovered process keeps whatever mode the CLI
+  // selected.
+  kernels::SetKernelMode(service->options_.kernel_mode);
   if (!log_dir.empty()) {
     std::error_code ec;
     std::filesystem::create_directories(log_dir, ec);

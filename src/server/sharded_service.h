@@ -59,6 +59,7 @@
 #include "common/status.h"
 #include "core/loss_cache.h"
 #include "core/temporal_correlations.h"
+#include "kernels/kernels.h"
 
 namespace tcdp {
 namespace server {
@@ -92,6 +93,19 @@ struct ShardedServiceOptions {
   std::size_t sync_every = 0;
   /// WAL retention (log compaction) policy; off by default.
   CompactionOptions compaction;
+  /// Hybrid shard×bank parallelism: worker threads each shard's bank
+  /// fans its column updates out to, so S shards × K bank threads
+  /// scale together. 1 (or 0) runs the bank inline on the shard
+  /// worker. Persisted in the MANIFEST; per-user series are bitwise
+  /// invariant to this knob (property-tested), so recovery at a
+  /// different setting is still exact.
+  std::size_t threads_per_shard = 1;
+  /// Kernel dispatch mode Create() applies process-wide
+  /// (kernels::SetKernelMode): kAuto picks the best vector backend the
+  /// host supports, kScalar pins the reference. Backends are bitwise
+  /// identical, so this is purely a performance knob; it is NOT
+  /// persisted, and Recover leaves the process-wide mode untouched.
+  TcdpKernelMode kernel_mode = TcdpKernelMode::kAuto;
   bool share_loss_cache = true;
   /// NOTE: the durable MANIFEST records only `cache.alpha_resolution`
   /// (and `share_loss_cache`); a non-default `cache.eval` method is
@@ -209,6 +223,9 @@ class ShardedReleaseService {
   Status Close();
 
   std::size_t num_shards() const { return shards_.size(); }
+  /// Effective options (MANIFEST-recovered values after Recover,
+  /// clamps applied) — lets tests assert the durable round-trip.
+  const ShardedServiceOptions& options() const { return options_; }
   std::size_t num_users() const { return registry_.size(); }
   /// Global releases applied (uniform across shards after Flush).
   /// Drains every shard first so the read does not race the workers;

@@ -1,0 +1,259 @@
+// src/kernels/: the determinism contract. Every available backend must
+// be bitwise-identical to the scalar reference on every kernel, across
+// random inputs and sizes that exercise the vector bodies AND the
+// non-multiple-of-lane-width tails; dispatch honors the process-wide
+// mode switch; ExpandMaskEpsilon guards mask word bounds.
+
+#include "kernels/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace tcdp {
+namespace kernels {
+namespace {
+
+// Bitwise comparison: operator== on doubles would accept -0.0 == 0.0
+// and reject NaN == NaN; the contract is bit equality.
+::testing::AssertionResult BitsEqual(const std::vector<double>& a,
+                                     const std::vector<double>& b) {
+  if (a.size() != b.size()) {
+    return ::testing::AssertionFailure() << "size " << a.size() << " vs "
+                                         << b.size();
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0) {
+      return ::testing::AssertionFailure()
+             << "index " << i << ": " << a[i] << " vs " << b[i];
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+::testing::AssertionResult BitsEqual(double a, double b) {
+  if (std::memcmp(&a, &b, sizeof(double)) != 0) {
+    return ::testing::AssertionFailure() << a << " vs " << b;
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct Inputs {
+  std::vector<double> loss, add, q, d, x, seed_out;
+  Inputs(std::size_t n, std::uint64_t seed)
+      : loss(n), add(n), q(n), d(n), x(n), seed_out(n) {
+    Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+      loss[i] = rng.Uniform() < 0.2 ? 0.0 : rng.Uniform();
+      add[i] = rng.Uniform() < 0.5 ? 0.0 : rng.Uniform(0.01, 0.5);
+      q[i] = rng.Uniform() + 1e-6;
+      d[i] = rng.Uniform() + 1e-6;
+      x[i] = rng.Uniform(-3.0, 3.0);
+      seed_out[i] = rng.Uniform(-1.0, 1.0);
+    }
+  }
+};
+
+/// Runs every kernel on both backends at one (n, seed) and checks
+/// bitwise equality, tagging failures with the size.
+void ExpectBackendMatchesScalar(const Backend& v, std::size_t n,
+                                std::uint64_t seed) {
+  SCOPED_TRACE(std::string(v.name) + " n=" + std::to_string(n));
+  const Backend& s = ScalarBackend();
+  const Inputs in(n, seed);
+
+  std::vector<double> bpl_s(n, -7.0), bpl_v(n, -7.0);
+  std::vector<double> es_s = in.seed_out, es_v = in.seed_out;
+  s.fused_loss_add(in.loss.data(), in.add.data(), bpl_s.data(), es_s.data(),
+                   n);
+  v.fused_loss_add(in.loss.data(), in.add.data(), bpl_v.data(), es_v.data(),
+                   n);
+  EXPECT_TRUE(BitsEqual(bpl_s, bpl_v)) << "fused_loss_add bpl";
+  EXPECT_TRUE(BitsEqual(es_s, es_v)) << "fused_loss_add eps_sum";
+
+  es_s = in.seed_out;
+  es_v = in.seed_out;
+  s.fused_loss_add_uniform(in.loss.data(), 0.125, bpl_s.data(), es_s.data(),
+                           n);
+  v.fused_loss_add_uniform(in.loss.data(), 0.125, bpl_v.data(), es_v.data(),
+                           n);
+  EXPECT_TRUE(BitsEqual(bpl_s, bpl_v)) << "fused_loss_add_uniform bpl";
+  EXPECT_TRUE(BitsEqual(es_s, es_v)) << "fused_loss_add_uniform eps_sum";
+
+  es_s = in.seed_out;
+  es_v = in.seed_out;
+  s.fused_fill_add(in.add.data(), bpl_s.data(), es_s.data(), n);
+  v.fused_fill_add(in.add.data(), bpl_v.data(), es_v.data(), n);
+  EXPECT_TRUE(BitsEqual(bpl_s, bpl_v)) << "fused_fill_add bpl";
+  EXPECT_TRUE(BitsEqual(es_s, es_v)) << "fused_fill_add eps_sum";
+
+  es_s = in.seed_out;
+  es_v = in.seed_out;
+  s.fused_fill_uniform(0.125, bpl_s.data(), es_s.data(), n);
+  v.fused_fill_uniform(0.125, bpl_v.data(), es_v.data(), n);
+  EXPECT_TRUE(BitsEqual(bpl_s, bpl_v)) << "fused_fill_uniform bpl";
+  EXPECT_TRUE(BitsEqual(es_s, es_v)) << "fused_fill_uniform eps_sum";
+
+  std::vector<double> out_s = in.seed_out, out_v = in.seed_out;
+  s.axpy(-0.375, in.x.data(), out_s.data(), n);
+  v.axpy(-0.375, in.x.data(), out_v.data(), n);
+  EXPECT_TRUE(BitsEqual(out_s, out_v)) << "axpy";
+
+  EXPECT_TRUE(BitsEqual(s.dot(in.x.data(), in.q.data(), n),
+                        v.dot(in.x.data(), in.q.data(), n)))
+      << "dot";
+
+  std::vector<std::uint32_t> idx_s(n), idx_v(n);
+  const std::size_t m_s =
+      s.select_greater(in.q.data(), in.d.data(), n, idx_s.data());
+  const std::size_t m_v =
+      v.select_greater(in.q.data(), in.d.data(), n, idx_v.data());
+  ASSERT_EQ(m_s, m_v) << "select_greater count";
+  idx_s.resize(m_s);
+  idx_v.resize(m_s);
+  EXPECT_EQ(idx_s, idx_v) << "select_greater indices";
+
+  double qs_s = 0.0, ds_s = 0.0, qs_v = 0.0, ds_v = 0.0;
+  s.gather_pair_sums(in.q.data(), in.d.data(), idx_s.data(), m_s, &qs_s,
+                     &ds_s);
+  v.gather_pair_sums(in.q.data(), in.d.data(), idx_v.data(), m_s, &qs_v,
+                     &ds_v);
+  EXPECT_TRUE(BitsEqual(qs_s, qs_v)) << "gather_pair_sums q";
+  EXPECT_TRUE(BitsEqual(ds_s, ds_v)) << "gather_pair_sums d";
+
+  // filter_gt: in-place compaction including +inf survivors.
+  std::vector<double> val_s(m_s), val_v(m_s);
+  for (std::size_t i = 0; i < m_s; ++i) {
+    val_s[i] = i % 11 == 3 ? std::numeric_limits<double>::infinity()
+                           : in.x[idx_s[i]];
+    val_v[i] = val_s[i];
+  }
+  std::vector<std::uint32_t> fidx_s = idx_s, fidx_v = idx_v;
+  const std::size_t k_s = s.filter_gt(val_s.data(), fidx_s.data(), m_s, 0.25);
+  const std::size_t k_v = v.filter_gt(val_v.data(), fidx_v.data(), m_s, 0.25);
+  ASSERT_EQ(k_s, k_v) << "filter_gt count";
+  val_s.resize(k_s);
+  val_v.resize(k_s);
+  fidx_s.resize(k_s);
+  fidx_v.resize(k_s);
+  EXPECT_TRUE(BitsEqual(val_s, val_v)) << "filter_gt values";
+  EXPECT_EQ(fidx_s, fidx_v) << "filter_gt indices";
+}
+
+void RunPropertySweep(const Backend* v) {
+  if (v == nullptr) {
+    GTEST_SKIP() << "backend unavailable on this host";
+  }
+  // Every size below two vector registers plus odd tails past them:
+  // covers empty, pure-tail, exact-lane, and lane+tail shapes for both
+  // 4-wide (AVX2) and 2-wide (NEON) backends.
+  for (std::size_t n = 0; n <= 19; ++n) {
+    ExpectBackendMatchesScalar(*v, n, 0xC0FFEE + n);
+  }
+  for (std::size_t n : {31u, 32u, 33u, 64u, 100u, 255u, 1024u, 1337u}) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      ExpectBackendMatchesScalar(*v, n, seed * 7919 + n);
+    }
+  }
+}
+
+TEST(KernelsProperty, Avx2MatchesScalarBitwise) {
+  RunPropertySweep(Avx2Backend());
+}
+
+TEST(KernelsProperty, NeonMatchesScalarBitwise) {
+  RunPropertySweep(NeonBackend());
+}
+
+TEST(KernelsProperty, BestMatchesScalarBitwise) {
+  // Whatever BestBackend resolves to (possibly scalar itself) must
+  // satisfy the contract — this leg runs on every host.
+  RunPropertySweep(&BestBackend());
+}
+
+// ------------------------------------------------------------- dispatch
+
+TEST(KernelsDispatch, ScalarBackendIsWidthOne) {
+  EXPECT_STREQ(ScalarBackend().name, "scalar");
+  EXPECT_EQ(ScalarBackend().simd_width, 1u);
+}
+
+TEST(KernelsDispatch, BestBackendMatchesHostCapability) {
+  const Backend& best = BestBackend();
+  EXPECT_EQ(best.simd_width, HostSimdWidth());
+  if (Avx2Backend() != nullptr) {
+    EXPECT_STREQ(best.name, "avx2");
+    EXPECT_EQ(best.simd_width, 4u);
+  } else if (NeonBackend() != nullptr) {
+    EXPECT_STREQ(best.name, "neon");
+    EXPECT_EQ(best.simd_width, 2u);
+  } else {
+    EXPECT_STREQ(best.name, "scalar");
+  }
+}
+
+TEST(KernelsDispatch, ModeSwitchPinsAndReleasesScalar) {
+  const TcdpKernelMode before = KernelMode();
+  SetKernelMode(TcdpKernelMode::kScalar);
+  EXPECT_EQ(&ActiveBackend(), &ScalarBackend());
+  SetKernelMode(TcdpKernelMode::kAuto);
+  EXPECT_EQ(&ActiveBackend(), &BestBackend());
+  SetKernelMode(before);
+}
+
+TEST(KernelsDispatch, ParseKernelModeRoundTrips) {
+  auto scalar = ParseKernelMode("scalar");
+  ASSERT_TRUE(scalar.ok());
+  EXPECT_EQ(*scalar, TcdpKernelMode::kScalar);
+  EXPECT_STREQ(KernelModeName(*scalar), "scalar");
+  auto auto_mode = ParseKernelMode("auto");
+  ASSERT_TRUE(auto_mode.ok());
+  EXPECT_EQ(*auto_mode, TcdpKernelMode::kAuto);
+  EXPECT_STREQ(KernelModeName(*auto_mode), "auto");
+  EXPECT_FALSE(ParseKernelMode("avx512").ok());
+  EXPECT_FALSE(ParseKernelMode("").ok());
+}
+
+// ----------------------------------------------------- ExpandMaskEpsilon
+
+TEST(KernelsMask, ExpandMaskEpsilonMatchesNaiveAndGuardsBounds) {
+  Rng rng(2026);
+  const double eps = 0.25;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t users_in_mask = 1 + static_cast<std::size_t>(
+                                              rng.UniformInt(0, 200));
+    const std::size_t mask_words = (users_in_mask + 63) / 64;
+    std::vector<std::uint64_t> mask(mask_words, 0);
+    for (std::size_t u = 0; u < users_in_mask; ++u) {
+      if (rng.Uniform() < 0.5) mask[u / 64] |= std::uint64_t{1} << (u % 64);
+    }
+    // Slot users deliberately include ids past the mask width: the
+    // kernel must read them as "not participating", never out of
+    // bounds (the ASan leg of CI enforces the latter).
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.UniformInt(0, 50));
+    std::vector<std::uint32_t> users(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      users[i] = static_cast<std::uint32_t>(
+          rng.UniformInt(0, static_cast<std::int64_t>(users_in_mask) + 80));
+    }
+    std::vector<double> add(n, -1.0);
+    ExpandMaskEpsilon(mask.data(), mask.size(), users.data(), n, eps,
+                      add.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t u = users[i];
+      const bool bit = u < users_in_mask &&
+                       (mask[u / 64] >> (u % 64) & 1) != 0;
+      EXPECT_EQ(add[i], bit ? eps : 0.0) << "slot " << i << " user " << u;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kernels
+}  // namespace tcdp

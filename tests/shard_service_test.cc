@@ -19,6 +19,7 @@
 #include "common/random.h"
 #include "core/loss_cache.h"
 #include "core/tpl_accountant.h"
+#include "kernels/kernels.h"
 #include "markov/stochastic_matrix.h"
 
 namespace tcdp {
@@ -303,7 +304,10 @@ TEST(ShardedService, SmallQueueCapacityStillCompletes) {
 
 void ExpectMatchesReference(std::uint64_t seed, std::size_t shards,
                             std::size_t batch_window,
-                            const std::string& log_dir) {
+                            const std::string& log_dir,
+                            std::size_t threads_per_shard = 1,
+                            TcdpKernelMode kernel_mode =
+                                TcdpKernelMode::kAuto) {
   const std::vector<ReferenceOp> ops = MakeWorkload(seed, 8, 120);
 
   ReferenceModel reference(batch_window);
@@ -313,6 +317,8 @@ void ExpectMatchesReference(std::uint64_t seed, std::size_t shards,
   ShardedServiceOptions options;
   options.num_shards = shards;
   options.batch_window = batch_window;
+  options.threads_per_shard = threads_per_shard;
+  options.kernel_mode = kernel_mode;
   auto service = ShardedReleaseService::Create(log_dir, options);
   ASSERT_TRUE(service.ok()) << service.status();
   ASSERT_TRUE(DriveService(service->get(), ops).ok());
@@ -322,7 +328,9 @@ void ExpectMatchesReference(std::uint64_t seed, std::size_t shards,
     ASSERT_TRUE(report.ok()) << name << ": " << report.status();
     EXPECT_EQ(report->tpl_series, reference.TplSeries(name))
         << "seed " << seed << " shards " << shards << " window "
-        << batch_window << " user " << name;
+        << batch_window << " threads_per_shard " << threads_per_shard
+        << " kernels " << kernels::KernelModeName(kernel_mode) << " user "
+        << name;
   }
   ASSERT_TRUE((*service)->Close().ok());
 }
@@ -336,6 +344,55 @@ TEST(ShardedServiceProperty, MatchesSerialReferenceAcrossShardsAndWindows) {
       }
     }
   }
+}
+
+TEST(ShardedServiceProperty, MatchesSerialReferenceAcrossHybridGrid) {
+  // ISSUE 7 tentpole: hybrid shard x bank parallelism and kernel
+  // dispatch are both bitwise-invisible — every (shards x
+  // threads_per_shard x kernel mode) cell reproduces the serial
+  // TplAccountant reference exactly. Create() applies the cell's
+  // kernel mode process-wide, so the loop also exercises switching.
+  for (TcdpKernelMode mode :
+       {TcdpKernelMode::kScalar, TcdpKernelMode::kAuto}) {
+    for (std::size_t shards : {1u, 3u}) {
+      for (std::size_t threads_per_shard : {1u, 2u, 4u}) {
+        ExpectMatchesReference(41, shards, 7, "", threads_per_shard, mode);
+        if (testing::Test::HasFatalFailure()) return;
+      }
+    }
+  }
+  kernels::SetKernelMode(TcdpKernelMode::kAuto);
+}
+
+TEST(ShardedServiceDurability, ThreadsPerShardRoundTripsThroughManifest) {
+  TempDir dir("hybrid_manifest");
+  const std::vector<ReferenceOp> ops = MakeWorkload(13, 6, 80);
+  std::map<std::string, std::vector<double>> live_series;
+  {
+    ShardedServiceOptions options;
+    options.num_shards = 2;
+    options.batch_window = 4;
+    options.threads_per_shard = 3;
+    auto service = ShardedReleaseService::Create(dir.path, options);
+    ASSERT_TRUE(service.ok()) << service.status();
+    ASSERT_TRUE(DriveService(service->get(), ops).ok());
+    auto alphas = (*service)->PersonalizedAlphas();
+    ASSERT_TRUE(alphas.ok());
+    for (const auto& [name, alpha] : *alphas) {
+      (void)alpha;
+      live_series[name] = (*service)->Query(name)->tpl_series;
+    }
+    ASSERT_TRUE((*service)->Close().ok());
+  }
+  auto recovered = ShardedReleaseService::Recover(dir.path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ((*recovered)->options().threads_per_shard, 3u);
+  for (const auto& [name, series] : live_series) {
+    auto report = (*recovered)->Query(name);
+    ASSERT_TRUE(report.ok()) << name;
+    EXPECT_EQ(report->tpl_series, series) << name;
+  }
+  ASSERT_TRUE((*recovered)->Close().ok());
 }
 
 TEST(ShardedServiceProperty, SeriesAreShardCountInvariant) {

@@ -19,6 +19,7 @@
 #include "core/budget_allocation.h"
 #include "core/supremum.h"
 #include "core/tpl_accountant.h"
+#include "kernels/kernels.h"
 #include "markov/estimation.h"
 #include "markov/higher_order.h"
 #include "markov/io.h"
@@ -647,6 +648,13 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
                         FlagAsSize(flags, "snapshot-every", std::size_t{0}));
   TCDP_ASSIGN_OR_RETURN(options.sync_every,
                         FlagAsSize(flags, "sync-every", std::size_t{0}));
+  TCDP_ASSIGN_OR_RETURN(
+      options.threads_per_shard,
+      FlagAsSize(flags, "threads-per-shard", std::size_t{1}));
+  if (flags.count("kernels") > 0) {
+    TCDP_ASSIGN_OR_RETURN(options.kernel_mode,
+                          kernels::ParseKernelMode(flags.at("kernels")));
+  }
   if (options.num_shards == 0 || options.batch_window == 0) {
     return Status::InvalidArgument(
         "--shards and --batch-window must be >= 1");
@@ -1099,12 +1107,17 @@ Status CmdBench(const std::vector<std::string>& args, std::ostream& out) {
       if (noise < 0.0) {
         return Status::InvalidArgument("--noise must be >= 0");
       }
+    } else if (arg == "--kernels") {
+      TCDP_ASSIGN_OR_RETURN(const std::string mode, value());
+      TCDP_ASSIGN_OR_RETURN(const TcdpKernelMode parsed,
+                            kernels::ParseKernelMode(mode));
+      kernels::SetKernelMode(parsed);
     } else {
       return Status::InvalidArgument(
           "unknown bench flag '" + arg +
           "'; usage: tcdp bench [--suite a,b] [--smoke] [--list] "
           "[--json out.json] [--compare baseline.json] [--reps N] "
-          "[--noise F]");
+          "[--noise F] [--kernels scalar|auto]");
     }
   }
 
@@ -1196,6 +1209,7 @@ std::string HelpText() {
       "             [--batch-window W] [--snapshot-every K]\n"
       "             [--sync-every Y] [--auto-compact 1]\n"
       "             [--compact-bytes B] [--compact-records R]\n"
+      "             [--threads-per-shard K] [--kernels scalar|auto]\n"
       "             [--listen PORT] [--host H] [--port-file P] [--json -]\n"
       "  client     replay a serve script against a remote server over\n"
       "             the wire protocol (pipelined; see docs/PROTOCOL.md)\n"
@@ -1217,6 +1231,7 @@ std::string HelpText() {
       "             any gate or regression failure; docs/BENCHMARKING.md)\n"
       "             [--suite a,b] [--smoke] [--list] [--json out.json]\n"
       "             [--compare baseline.json] [--reps N] [--noise F]\n"
+      "             [--kernels scalar|auto]\n"
       "  help       this text\n"
       "\n"
       "file formats: matrices are one row per line (comma/space separated\n"
