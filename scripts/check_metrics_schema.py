@@ -1,0 +1,374 @@
+#!/usr/bin/env python3
+"""External validator for the tcdp metrics export surfaces.
+
+MetricsJson / MetricsPrometheusText (src/obs/metrics.cc) are rendered
+by hand, so CI re-checks the artifacts from the outside with an
+independent implementation of both formats — a serializer bug that
+drops a field or emits a malformed label set would otherwise only be
+validated against itself. The same JSON schema is produced by
+`tcdp stats --json -` and `tcdp serve --metrics-json`, so one checker
+covers the wire scrape and the periodic file dump.
+
+Usage:
+  check_metrics_schema.py dump.json [more.json ...]
+  check_metrics_schema.py --prom dump.prom [more.prom ...]
+  check_metrics_schema.py --monotonic first.json second.json
+  check_metrics_schema.py --self-test
+
+--monotonic additionally checks counter monotonicity across two
+scrapes taken from the same server (every counter present in both must
+not decrease; histogram counts too).
+
+--self-test feeds deliberately malformed documents through both
+validators and fails if any is accepted.
+"""
+
+import copy
+import json
+import re
+import sys
+
+VERSION = 1
+
+BASE_NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL_NAME = r"[a-zA-Z_][a-zA-Z0-9_]*"
+LABEL_VALUE = r'"(?:[^"\\\n]|\\.)*"'
+LABEL_SET = rf"\{{(?:{LABEL_NAME}={LABEL_VALUE}(?:,{LABEL_NAME}={LABEL_VALUE})*)?\}}"
+NAME_RE = re.compile(rf"^{BASE_NAME}(?:{LABEL_SET})?$")
+PROM_SAMPLE_RE = re.compile(
+    rf"^({BASE_NAME})({LABEL_SET})? (-?(?:[0-9.e+-]+|[+]?Inf|NaN))$")
+PROM_TYPE_RE = re.compile(
+    rf"^# TYPE ({BASE_NAME}) (counter|gauge|histogram)$")
+HISTOGRAM_FIELDS = ("count", "sum", "p50", "p90", "p99", "max")
+
+
+class SchemaError(Exception):
+    pass
+
+
+def is_number(value):
+    return not isinstance(value, bool) and isinstance(value, (int, float))
+
+
+def check_name(name, where):
+    if not isinstance(name, str) or not NAME_RE.match(name):
+        raise SchemaError(f"{where}: invalid metric name '{name}'")
+
+
+# ------------------------------------------------------------------ JSON
+
+def check_json(data):
+    if not isinstance(data, dict):
+        raise SchemaError("document: expected a JSON object")
+    for key in ("tcdp_metrics_version", "counters", "gauges", "histograms"):
+        if key not in data:
+            raise SchemaError(f"document: missing key '{key}'")
+    if data["tcdp_metrics_version"] != VERSION:
+        raise SchemaError(
+            f"document: tcdp_metrics_version "
+            f"{data['tcdp_metrics_version']!r} != {VERSION}")
+    for key in ("counters", "gauges", "histograms"):
+        if not isinstance(data[key], dict):
+            raise SchemaError(f"{key}: expected an object")
+    for name, value in data["counters"].items():
+        check_name(name, "counters")
+        if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+            raise SchemaError(
+                f"counters['{name}']: not a non-negative integer")
+    for name, value in data["gauges"].items():
+        check_name(name, "gauges")
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SchemaError(f"gauges['{name}']: not an integer")
+    for name, hist in data["histograms"].items():
+        check_name(name, "histograms")
+        where = f"histograms['{name}']"
+        if not isinstance(hist, dict):
+            raise SchemaError(f"{where}: expected an object")
+        for field in HISTOGRAM_FIELDS:
+            if field not in hist:
+                raise SchemaError(f"{where}: missing key '{field}'")
+            if not is_number(hist[field]):
+                raise SchemaError(f"{where}.{field}: not a number")
+        if isinstance(hist["count"], bool) or not isinstance(
+                hist["count"], int) or hist["count"] < 0:
+            raise SchemaError(f"{where}.count: not a non-negative integer")
+        if not hist["p50"] <= hist["p90"] <= hist["p99"]:
+            raise SchemaError(f"{where}: quantiles not monotone")
+        if hist["count"] == 0 and any(
+                hist[f] != 0 for f in ("sum", "p50", "p90", "p99", "max")):
+            raise SchemaError(f"{where}: empty histogram with nonzero stats")
+
+
+# ------------------------------------------------------------ Prometheus
+
+def check_prometheus(text):
+    declared = {}  # base name -> type
+    samples = {}   # full name -> float value, in order
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        where = f"line {lineno}"
+        if line.startswith("#"):
+            match = PROM_TYPE_RE.match(line)
+            if not match:
+                raise SchemaError(f"{where}: malformed comment '{line}'")
+            name, kind = match.groups()
+            if name in declared:
+                raise SchemaError(f"{where}: duplicate TYPE for '{name}'")
+            declared[name] = kind
+            continue
+        match = PROM_SAMPLE_RE.match(line)
+        if not match:
+            raise SchemaError(f"{where}: malformed sample '{line}'")
+        name, labels, value = match.group(1), match.group(2) or "", \
+            match.group(3)
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in declared:
+                base = name[:-len(suffix)]
+                break
+        if base not in declared:
+            raise SchemaError(f"{where}: sample '{name}' has no TYPE")
+        if declared[base] == "histogram" and base == name:
+            raise SchemaError(
+                f"{where}: bare sample for histogram '{name}'")
+        if declared[base] == "counter" and float(value) < 0:
+            raise SchemaError(f"{where}: negative counter '{name}'")
+        samples[name + labels] = float(value)
+
+    # Histogram series: cumulative non-decreasing buckets ending at
+    # +Inf, with _count equal to the +Inf bucket, per label set.
+    for base, kind in declared.items():
+        if kind != "histogram":
+            continue
+        series = {}  # non-le label prefix -> [(le, value)]
+        counts = {}
+        for full, value in samples.items():
+            if full.startswith(base + "_bucket{"):
+                labels = full[len(base + "_bucket"):]
+                le = re.search(r'le="([^"]*)"', labels)
+                if not le:
+                    raise SchemaError(
+                        f"{base}: bucket without le label: {full}")
+                key = re.sub(r',?le="[^"]*"', "", labels)
+                series.setdefault(key, []).append((le.group(1), value))
+            elif full == base + "_count" or full.startswith(
+                    base + "_count{"):
+                counts[full[len(base + "_count"):]] = value
+        if not series:
+            raise SchemaError(f"{base}: histogram with no _bucket series")
+        for key, buckets in series.items():
+            if buckets[-1][0] != "+Inf":
+                raise SchemaError(
+                    f"{base}{key}: last bucket is not le=\"+Inf\"")
+            values = [v for _, v in buckets]
+            if any(b > a for b, a in zip(values, values[1:])):
+                raise SchemaError(f"{base}{key}: buckets not cumulative")
+            count_key = key if key in counts else ""
+            if count_key not in counts and key not in counts:
+                raise SchemaError(f"{base}{key}: missing _count")
+            if counts.get(key, counts.get("")) != values[-1]:
+                raise SchemaError(
+                    f"{base}{key}: +Inf bucket != _count")
+    return samples
+
+
+# ---------------------------------------------------------- monotonicity
+
+def check_monotonic(first, second):
+    """Counters (and histogram counts) must not decrease between two
+    scrapes of the same server."""
+    check_json(first)
+    check_json(second)
+    for name, value in second["counters"].items():
+        if name in first["counters"] and value < first["counters"][name]:
+            raise SchemaError(
+                f"counter '{name}' decreased: "
+                f"{first['counters'][name]} -> {value}")
+    for name, hist in second["histograms"].items():
+        if name in first["histograms"]:
+            before = first["histograms"][name]["count"]
+            if hist["count"] < before:
+                raise SchemaError(
+                    f"histogram '{name}' count decreased: "
+                    f"{before} -> {hist['count']}")
+
+
+# -------------------------------------------------------------- self-test
+
+def valid_json_doc():
+    return {
+        "tcdp_metrics_version": 1,
+        "counters": {"tcdp_x_total": 3,
+                     'tcdp_y_total{shard="0"}': 0},
+        "gauges": {"tcdp_depth": -2},
+        "histograms": {
+            "tcdp_lat_seconds": {"count": 2, "sum": 0.5, "p50": 0.1,
+                                 "p90": 0.4, "p99": 0.4, "max": 0.41},
+            "tcdp_empty_seconds": {"count": 0, "sum": 0, "p50": 0,
+                                   "p90": 0, "p99": 0, "max": 0},
+        },
+    }
+
+
+VALID_PROM = """\
+# TYPE tcdp_x_total counter
+tcdp_x_total 3
+# TYPE tcdp_depth gauge
+tcdp_depth{shard="0"} -2
+# TYPE tcdp_lat_seconds histogram
+tcdp_lat_seconds_bucket{le="0.1"} 1
+tcdp_lat_seconds_bucket{le="1"} 2
+tcdp_lat_seconds_bucket{le="+Inf"} 2
+tcdp_lat_seconds_sum 0.5
+tcdp_lat_seconds_count 2
+"""
+
+
+def self_test():
+    check_json(valid_json_doc())
+    check_prometheus(VALID_PROM)
+    check_monotonic(valid_json_doc(), valid_json_doc())
+
+    rejected = 0
+
+    def expect_json_reject(description, fn):
+        nonlocal rejected
+        data = copy.deepcopy(valid_json_doc())
+        fn(data)
+        try:
+            check_json(data)
+        except SchemaError:
+            rejected += 1
+            return
+        raise SystemExit(f"self-test: accepted malformed JSON: {description}")
+
+    def expect_prom_reject(description, text):
+        nonlocal rejected
+        try:
+            check_prometheus(text)
+        except SchemaError:
+            rejected += 1
+            return
+        raise SystemExit(
+            f"self-test: accepted malformed Prometheus text: {description}")
+
+    expect_json_reject("wrong version",
+                       lambda d: d.update(tcdp_metrics_version=2))
+    expect_json_reject("missing counters", lambda d: d.pop("counters"))
+    expect_json_reject("negative counter",
+                       lambda d: d["counters"].update(tcdp_x_total=-1))
+    expect_json_reject("float counter",
+                       lambda d: d["counters"].update(tcdp_x_total=1.5))
+    expect_json_reject("boolean gauge",
+                       lambda d: d["gauges"].update(tcdp_depth=True))
+    expect_json_reject("bad metric name",
+                       lambda d: d["counters"].update({"9bad": 1}))
+    expect_json_reject("unterminated label set",
+                       lambda d: d["counters"].update({'tcdp_z{k="v"': 1}))
+    expect_json_reject("histogram missing p99",
+                       lambda d: d["histograms"]["tcdp_lat_seconds"].pop(
+                           "p99"))
+    expect_json_reject(
+        "non-monotone quantiles",
+        lambda d: d["histograms"]["tcdp_lat_seconds"].update(p50=0.9))
+    expect_json_reject(
+        "negative histogram count",
+        lambda d: d["histograms"]["tcdp_lat_seconds"].update(count=-1))
+    expect_json_reject(
+        "empty histogram with nonzero sum",
+        lambda d: d["histograms"]["tcdp_empty_seconds"].update(sum=1.0))
+
+    expect_prom_reject("sample without TYPE", "tcdp_x_total 3\n")
+    expect_prom_reject("malformed comment", "# HELLO tcdp_x_total\n")
+    expect_prom_reject(
+        "negative counter",
+        "# TYPE tcdp_x_total counter\ntcdp_x_total -3\n")
+    expect_prom_reject(
+        "histogram without buckets",
+        "# TYPE tcdp_lat_seconds histogram\ntcdp_lat_seconds_count 2\n")
+    expect_prom_reject(
+        "histogram without +Inf",
+        "# TYPE tcdp_lat_seconds histogram\n"
+        'tcdp_lat_seconds_bucket{le="1"} 2\n'
+        "tcdp_lat_seconds_sum 0.5\ntcdp_lat_seconds_count 2\n")
+    expect_prom_reject(
+        "non-cumulative buckets",
+        "# TYPE tcdp_lat_seconds histogram\n"
+        'tcdp_lat_seconds_bucket{le="0.1"} 2\n'
+        'tcdp_lat_seconds_bucket{le="1"} 1\n'
+        'tcdp_lat_seconds_bucket{le="+Inf"} 2\n'
+        "tcdp_lat_seconds_sum 0.5\ntcdp_lat_seconds_count 2\n")
+    expect_prom_reject(
+        "+Inf bucket disagrees with _count",
+        "# TYPE tcdp_lat_seconds histogram\n"
+        'tcdp_lat_seconds_bucket{le="+Inf"} 3\n'
+        "tcdp_lat_seconds_sum 0.5\ntcdp_lat_seconds_count 2\n")
+    expect_prom_reject(
+        "malformed label set",
+        "# TYPE tcdp_x_total counter\ntcdp_x_total{k=unquoted} 3\n")
+
+    # Monotonicity violations.
+    shrunk = valid_json_doc()
+    shrunk["counters"]["tcdp_x_total"] = 1
+    try:
+        check_monotonic(valid_json_doc(), shrunk)
+        raise SystemExit("self-test: accepted a decreasing counter")
+    except SchemaError:
+        rejected += 1
+
+    print(f"self-test OK: {rejected} malformed documents rejected")
+
+
+# ------------------------------------------------------------------ main
+
+def load_json(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            return json.load(handle)
+        except json.JSONDecodeError as err:
+            raise SystemExit(f"{path}: not valid JSON: {err}")
+
+
+def main(argv):
+    if len(argv) < 2:
+        raise SystemExit(__doc__)
+    if argv[1] == "--self-test":
+        self_test()
+        return 0
+    if argv[1] == "--prom":
+        if len(argv) < 3:
+            raise SystemExit(__doc__)
+        for path in argv[2:]:
+            with open(path, encoding="utf-8") as handle:
+                try:
+                    samples = check_prometheus(handle.read())
+                except SchemaError as err:
+                    raise SystemExit(f"{path}: {err}")
+            print(f"{path}: OK ({len(samples)} samples)")
+        return 0
+    if argv[1] == "--monotonic":
+        if len(argv) != 4:
+            raise SystemExit(__doc__)
+        first, second = load_json(argv[2]), load_json(argv[3])
+        try:
+            check_monotonic(first, second)
+        except SchemaError as err:
+            raise SystemExit(f"{argv[3]}: {err}")
+        print(f"{argv[2]} -> {argv[3]}: counters monotone "
+              f"({len(second['counters'])} counters)")
+        return 0
+    for path in argv[1:]:
+        data = load_json(path)
+        try:
+            check_json(data)
+        except SchemaError as err:
+            raise SystemExit(f"{path}: {err}")
+        print(f"{path}: OK ({len(data['counters'])} counters, "
+              f"{len(data['gauges'])} gauges, "
+              f"{len(data['histograms'])} histograms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

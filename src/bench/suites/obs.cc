@@ -1,0 +1,175 @@
+// Observability overhead suite (ISSUE 8): the sharded service runs the
+// deterministic release workload twice — instrumentation fully on
+// (metrics registry + trace ring) and fully off (`--no-metrics`
+// equivalent) — and the suite gates two claims:
+//
+//   * accounting is bitwise invariant: every user's TPL series and the
+//     fleet alpha are identical with instrumentation on or off
+//     (always enforced — the obs layer must never touch arithmetic);
+//   * the instrumented run keeps >= 95% of the uninstrumented
+//     throughput (full runs on >= 2 cores only: smoke workloads are
+//     too short to time, and a 1-core host timeslices the comparison).
+//
+// Each mode runs `reps` times interleaved and keeps its best
+// requests/sec, which filters scheduler noise the same way the kernel
+// suite does.
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "bench/suites/common.h"
+#include "bench/suites/suites.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "server/sharded_service.h"
+
+namespace tcdp {
+namespace bench {
+namespace {
+
+struct ObsRunResult {
+  double requests_per_sec = 0.0;
+  double overall_alpha = 0.0;
+  std::vector<std::vector<double>> tpl_series;  // per user, in order
+};
+
+/// Restores the process-global instrumentation switches on every exit
+/// path (the registry is shared with whatever suite runs next).
+struct ObsStateGuard {
+  ~ObsStateGuard() {
+    obs::SetMetricsEnabled(true);
+    obs::DefaultTrace().Stop();
+  }
+};
+
+StatusOr<ObsRunResult> RunOnce(const ServiceWorkload& workload,
+                               std::size_t batch_window, bool instrumented) {
+  obs::SetMetricsEnabled(instrumented);
+  if (instrumented) {
+    obs::DefaultTrace().Start(4096);
+  } else {
+    obs::DefaultTrace().Stop();
+  }
+  const auto profiles = MakeServiceProfiles(workload);
+  const auto requests = MakeServiceRequests(workload);
+  server::ShardedServiceOptions options;
+  options.num_shards = 2;
+  options.batch_window = batch_window;
+  TCDP_ASSIGN_OR_RETURN(auto service,
+                        server::ShardedReleaseService::Create("", options));
+  for (std::size_t u = 0; u < workload.users; ++u) {
+    TCDP_RETURN_IF_ERROR(
+        service->Join(BenchUserName(u), profiles[u % workload.profiles]));
+  }
+  TCDP_RETURN_IF_ERROR(service->Flush());
+  WallTimer timer;
+  for (const ReleaseRequest& request : requests) {
+    TCDP_RETURN_IF_ERROR(
+        service->Release(BenchUserName(request.user), request.epsilon));
+  }
+  TCDP_RETURN_IF_ERROR(service->Flush());
+  const double seconds = timer.ElapsedSeconds();
+  ObsRunResult result;
+  result.requests_per_sec =
+      seconds > 0.0 ? static_cast<double>(requests.size()) / seconds : 0.0;
+  TCDP_ASSIGN_OR_RETURN(result.overall_alpha, service->OverallAlpha());
+  result.tpl_series.reserve(workload.users);
+  for (std::size_t u = 0; u < workload.users; ++u) {
+    TCDP_ASSIGN_OR_RETURN(auto report, service->Query(BenchUserName(u)));
+    result.tpl_series.push_back(std::move(report.tpl_series));
+  }
+  TCDP_RETURN_IF_ERROR(service->Close());
+  return result;
+}
+
+Status RunSuite(SuiteContext* ctx) {
+  ObsStateGuard restore;
+  ServiceWorkload workload;
+  workload.users = ctx->smoke() ? 32 : 192;
+  workload.profiles = ctx->smoke() ? 4 : 12;
+  workload.matrix_size = ctx->smoke() ? 6 : 12;
+  workload.requests = ctx->smoke() ? 120 : 800;
+  const std::size_t batch_window = 8;
+  const int reps = ctx->smoke() ? 1 : 3;
+
+  double best_on = 0.0;
+  double best_off = 0.0;
+  ObsRunResult reference_on;
+  ObsRunResult reference_off;
+  for (int rep = 0; rep < reps; ++rep) {
+    TCDP_ASSIGN_OR_RETURN(ObsRunResult on,
+                          RunOnce(workload, batch_window, true));
+    TCDP_ASSIGN_OR_RETURN(ObsRunResult off,
+                          RunOnce(workload, batch_window, false));
+    best_on = std::max(best_on, on.requests_per_sec);
+    best_off = std::max(best_off, off.requests_per_sec);
+    if (rep == 0) {
+      reference_on = std::move(on);
+      reference_off = std::move(off);
+    }
+  }
+
+  // Bitwise: identical per-user series element for element, identical
+  // fleet alpha. operator== on doubles is the point — any arithmetic
+  // perturbation from the obs layer must trip this.
+  bool tpl_match =
+      reference_on.overall_alpha == reference_off.overall_alpha &&
+      reference_on.tpl_series == reference_off.tpl_series;
+
+  // The instrumented run must actually have instrumented something:
+  // bank steps recorded, trace spans captured. Guards against the
+  // suite silently comparing two uninstrumented runs.
+  std::uint64_t bank_steps = 0;
+  for (const auto& [name, hist] :
+       obs::Registry::Default().Snapshot().histograms) {
+    if (name == "tcdp_bank_step_seconds") bank_steps = hist.count();
+  }
+  const std::uint64_t spans = obs::DefaultTrace().recorded();
+
+  ctx->Record("instrumented",
+              {{"users", static_cast<double>(workload.users)},
+               {"requests", static_cast<double>(workload.requests)},
+               {"reps", static_cast<double>(reps)}},
+              {{"requests_per_sec", best_on}});
+  ctx->Record("uninstrumented",
+              {{"users", static_cast<double>(workload.users)},
+               {"requests", static_cast<double>(workload.requests)},
+               {"reps", static_cast<double>(reps)}},
+              {{"requests_per_sec", best_off}});
+  ctx->Derived("tpl_match", tpl_match ? 1.0 : 0.0);
+  ctx->Derived("metrics_populated",
+               bank_steps > 0 && spans > 0 ? 1.0 : 0.0);
+  ctx->Derived("overhead_ratio",
+               best_off > 0.0 ? best_on / best_off : 0.0);
+  return Status::OK();
+}
+
+}  // namespace
+
+void RegisterObsSuite(Harness* harness) {
+  SuiteSpec spec;
+  spec.name = "obs";
+  spec.description =
+      "observability overhead: instrumented vs uninstrumented sharded "
+      "service throughput, bitwise TPL invariance";
+  spec.metric_policies = {
+      {"requests_per_sec", MetricPolicy::Throughput()},
+  };
+  spec.gates = {
+      // The obs layer must never perturb accounting arithmetic.
+      {"tpl_bitwise_invariant", "tpl_match == 1"},
+      // Nor silently fail to record anything.
+      {"obs_instruments_populated", "metrics_populated == 1"},
+      // ISSUE 8 acceptance: full instrumentation keeps >= 95% of the
+      // uninstrumented throughput. Timing-sensitive, so full runs on
+      // multi-core hosts only.
+      {"obs_overhead_within_5pct", "overhead_ratio >= 0.95",
+       /*min_cores=*/2, /*full_only=*/true},
+  };
+  harness->Register(std::move(spec), RunSuite);
+}
+
+}  // namespace bench
+}  // namespace tcdp

@@ -37,6 +37,10 @@ void RegisterWEventSuite(Harness* harness);
 // supremum routes).
 void RegisterAblationSuite(Harness* harness);
 
+// Observability overhead (ISSUE 8): instrumented vs uninstrumented
+// service throughput, bitwise TPL invariance.
+void RegisterObsSuite(Harness* harness);
+
 }  // namespace bench
 }  // namespace tcdp
 

@@ -1,6 +1,9 @@
 #include "common/logging.h"
 
+#include <ctime>
+
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -8,6 +11,23 @@ namespace tcdp {
 namespace {
 
 std::atomic<int> g_level{-1};  // -1 = uninitialized
+
+/// TCDP_LOG_PLAIN=1 drops the timestamp/thread prefix and restores the
+/// original `[tcdp LEVEL] msg` shape (the escape hatch for scripts and
+/// tests that grep exact lines). Read per emitted line — logging is a
+/// cold path and the live read keeps the flag flippable in-process.
+bool PlainFormat() {
+  const char* env = std::getenv("TCDP_LOG_PLAIN");
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+/// Small stable per-thread ordinal; cheaper and shorter in log lines
+/// than the platform thread id.
+unsigned LogThreadId() {
+  static std::atomic<unsigned> next{1};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 
 int InitLevelFromEnv() {
   const char* env = std::getenv("TCDP_LOG_LEVEL");
@@ -49,7 +69,23 @@ void SetLogLevel(LogLevel level) {
 
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
-  std::fprintf(stderr, "[tcdp %s] %s\n", LevelName(level), message.c_str());
+  if (PlainFormat()) {
+    std::fprintf(stderr, "[tcdp %s] %s\n", LevelName(level), message.c_str());
+    return;
+  }
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t seconds = std::chrono::system_clock::to_time_t(now);
+  const auto millis = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          now.time_since_epoch())
+                          .count() %
+                      1000;
+  std::tm utc{};
+  gmtime_r(&seconds, &utc);
+  char stamp[40];
+  std::strftime(stamp, sizeof(stamp), "%Y-%m-%dT%H:%M:%S", &utc);
+  std::fprintf(stderr, "[%s.%03dZ %u tcdp %s] %s\n", stamp,
+               static_cast<int>(millis), LogThreadId(), LevelName(level),
+               message.c_str());
 }
 
 }  // namespace tcdp

@@ -8,6 +8,31 @@
 #include "core/tpl_accountant.h"
 #include "kernels/kernels.h"
 #include "markov/stochastic_matrix.h"
+#include "obs/metrics.h"
+
+namespace {
+
+/// Process-global bank instruments: step latency plus population
+/// gauges. With several banks in one process (one per shard) the
+/// gauges are maintained as deltas, so they track the fleet total.
+struct BankObs {
+  tcdp::obs::Histogram* step_seconds;
+  tcdp::obs::Gauge* cohorts;
+  tcdp::obs::Gauge* users;
+  static const BankObs& Get() {
+    static const BankObs instruments = [] {
+      tcdp::obs::Registry& registry = tcdp::obs::Registry::Default();
+      BankObs o;
+      o.step_seconds = registry.GetHistogram("tcdp_bank_step_seconds");
+      o.cohorts = registry.GetGauge("tcdp_bank_cohorts");
+      o.users = registry.GetGauge("tcdp_bank_users");
+      return o;
+    }();
+    return instruments;
+  }
+};
+
+}  // namespace
 
 namespace tcdp {
 namespace {
@@ -156,7 +181,12 @@ void AccountantBank::EnsureOffsets() const {
 }
 
 std::size_t AccountantBank::AddUser(TemporalCorrelations correlations) {
+  const std::size_t cohorts_before = cohorts_.size();
   const std::size_t c = FindOrCreateCohort(correlations);
+  if (obs::MetricsEnabled()) {
+    BankObs::Get().users->Add(1);
+    if (cohorts_.size() > cohorts_before) BankObs::Get().cohorts->Add(1);
+  }
   Cohort& cohort = cohorts_[c];
   const std::size_t user = num_users();
   user_join_.push_back(static_cast<std::uint32_t>(horizon()));
@@ -233,6 +263,7 @@ Status AccountantBank::Record(double epsilon,
     return Status::InvalidArgument(
         "AccountantBank: epsilon must be finite and > 0");
   }
+  obs::ScopedLatencyTimer step_timer(BankObs::Get().step_seconds);
   // mask_scratch_ is reusable staging: empty = every enrolled user.
   if (participants != nullptr) {
     // 0 users still gets one zero word: distinct from "all".

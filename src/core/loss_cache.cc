@@ -7,7 +7,34 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace tcdp {
+namespace {
+
+/// Process-global cache instruments (every TemporalLossCache instance
+/// feeds the same totals, mirroring the per-instance atomics that back
+/// `stats()`).
+struct CacheObs {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* interned;
+  obs::Gauge* entries;
+  static const CacheObs& Get() {
+    static const CacheObs instruments = [] {
+      obs::Registry& registry = obs::Registry::Default();
+      CacheObs o;
+      o.hits = registry.GetCounter("tcdp_loss_cache_hits_total");
+      o.misses = registry.GetCounter("tcdp_loss_cache_misses_total");
+      o.interned = registry.GetCounter("tcdp_loss_cache_interned_total");
+      o.entries = registry.GetGauge("tcdp_loss_cache_entries");
+      return o;
+    }();
+    return instruments;
+  }
+};
+
+}  // namespace
 
 class TemporalLossCache::Impl {
  public:
@@ -36,6 +63,7 @@ class TemporalLossCache::Impl {
     }
     auto entry = std::make_shared<Entry>(matrix, options_.num_shards);
     it->second.push_back(entry);
+    if (obs::MetricsEnabled()) CacheObs::Get().interned->Increment();
     return entry;
   }
 
@@ -48,6 +76,7 @@ class TemporalLossCache::Impl {
         // Leakage this deep is astronomically past any real budget;
         // evaluate directly rather than corrupt the key space.
         misses_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::MetricsEnabled()) CacheObs::Get().misses->Increment();
         return entry.loss.EvaluateDetailed(alpha, options_.eval).loss;
       }
       // Snap to the grid point at or above alpha: L is nondecreasing, so
@@ -71,6 +100,7 @@ class TemporalLossCache::Impl {
       auto it = shard.values.find(key);
       if (it != shard.values.end()) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::MetricsEnabled()) CacheObs::Get().hits->Increment();
         return it->second;
       }
     }
@@ -84,8 +114,13 @@ class TemporalLossCache::Impl {
       auto [it, inserted] = shard.values.emplace(key, value);
       if (inserted) {
         misses_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::MetricsEnabled()) {
+          CacheObs::Get().misses->Increment();
+          CacheObs::Get().entries->Add(1);
+        }
       } else {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        if (obs::MetricsEnabled()) CacheObs::Get().hits->Increment();
       }
       return it->second;
     }
@@ -110,13 +145,18 @@ class TemporalLossCache::Impl {
 
   void Clear() {
     std::lock_guard<std::mutex> lock(registry_mu_);
+    std::int64_t cleared = 0;
     for (auto& [fp, entries] : registry_) {
       for (auto& entry : entries) {
         for (auto& shard : entry->shards) {
           std::lock_guard<std::mutex> shard_lock(shard.mu);
+          cleared += static_cast<std::int64_t>(shard.values.size());
           shard.values.clear();
         }
       }
+    }
+    if (cleared > 0 && obs::MetricsEnabled()) {
+      CacheObs::Get().entries->Sub(cleared);
     }
   }
 

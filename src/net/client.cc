@@ -255,6 +255,34 @@ StatusOr<WireServiceStats> NetClient::Stats() {
   return first_error_;
 }
 
+StatusOr<obs::MetricsSnapshot> NetClient::Metrics() {
+  TCDP_RETURN_IF_ERROR(Drain());
+  std::string bytes;
+  AppendFrame(&bytes, MsgType::kMetrics, std::string());
+  TCDP_RETURN_IF_ERROR(SendAll(bytes));
+  ++requests_sent_;
+  Frame frame;
+  TCDP_RETURN_IF_ERROR(ReadFrame(&frame));
+  if (frame.type == MsgType::kMetricsReport) {
+    return obs::DecodeMetricsSnapshot(frame.payload);
+  }
+  if (frame.type == MsgType::kError) {
+    Status error;
+    const Status decoded = DecodeError(frame.payload, &error);
+    first_error_ = decoded.ok() ? error : decoded;
+    return first_error_;
+  }
+  first_error_ = Status::Internal(
+      "expected a metrics frame, got type " +
+      std::to_string(static_cast<unsigned>(frame.type)));
+  return first_error_;
+}
+
+Status NetClient::TraceDump() {
+  TCDP_RETURN_IF_ERROR(SendPipelined(MsgType::kTraceDump, std::string()));
+  return Drain();
+}
+
 Status NetClient::Shutdown() {
   TCDP_RETURN_IF_ERROR(SendPipelined(MsgType::kShutdown, std::string()));
   return Drain();

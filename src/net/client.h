@@ -31,6 +31,7 @@
 #include "core/temporal_correlations.h"
 #include "net/messages.h"
 #include "net/wire.h"
+#include "obs/metrics.h"
 
 namespace tcdp {
 namespace net {
@@ -73,6 +74,13 @@ class NetClient {
   Status Compact();
   StatusOr<server::UserReport> Query(const std::string& name);
   StatusOr<WireServiceStats> Stats();
+  /// The server's metrics snapshot (obs registry: counters, gauges,
+  /// latency histograms) decoded from a kMetricsReport frame.
+  StatusOr<obs::MetricsSnapshot> Metrics();
+  /// Asks the server to dump its trace ring to its configured
+  /// --trace-out path (server-side; nothing crosses the wire but the
+  /// ack). FailedPrecondition when the server has no trace output.
+  Status TraceDump();
   /// Asks the server to stop serving (it acks, flushes, and exits its
   /// loop). The connection is unusable afterwards.
   Status Shutdown();

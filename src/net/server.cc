@@ -14,6 +14,8 @@
 #include <utility>
 
 #include "net/messages.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tcdp {
 namespace net {
@@ -21,6 +23,69 @@ namespace {
 
 Status ErrnoStatus(const std::string& what) {
   return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Net-frontend instruments: request latency broken down by request
+/// type, decode/protocol failures, and live-connection / in-flight
+/// depth gauges.
+struct NetObs {
+  obs::Counter* decode_errors;
+  obs::Gauge* connections;
+  obs::Gauge* inflight;
+  static const NetObs& Get() {
+    static const NetObs instruments = [] {
+      obs::Registry& registry = obs::Registry::Default();
+      NetObs o;
+      o.decode_errors = registry.GetCounter("tcdp_net_decode_errors_total");
+      o.connections = registry.GetGauge("tcdp_net_connections");
+      o.inflight = registry.GetGauge("tcdp_net_inflight_frames");
+      return o;
+    }();
+    return instruments;
+  }
+};
+
+const char* RequestTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kJoin:
+      return "join";
+    case MsgType::kRelease:
+      return "release";
+    case MsgType::kReleaseAll:
+      return "release_all";
+    case MsgType::kFlush:
+      return "flush";
+    case MsgType::kSnapshot:
+      return "snapshot";
+    case MsgType::kQuery:
+      return "query";
+    case MsgType::kStats:
+      return "stats";
+    case MsgType::kShutdown:
+      return "shutdown";
+    case MsgType::kCompact:
+      return "compact";
+    case MsgType::kMetrics:
+      return "metrics";
+    case MsgType::kTraceDump:
+      return "trace_dump";
+    default:
+      return "other";
+  }
+}
+
+obs::Histogram* RequestLatency(MsgType type) {
+  // One histogram per request type, resolved lazily into a fixed
+  // table ("other" absorbs unexpected type bytes so it stays bounded).
+  static std::atomic<obs::Histogram*> table[256] = {};
+  std::atomic<obs::Histogram*>& slot = table[static_cast<std::uint8_t>(type)];
+  obs::Histogram* histogram = slot.load(std::memory_order_acquire);
+  if (histogram == nullptr) {
+    histogram = obs::Registry::Default().GetHistogram(obs::WithLabel(
+        "tcdp_net_request_seconds", "type", RequestTypeName(type)));
+    slot.store(histogram, std::memory_order_release);
+  }
+  return histogram;
 }
 
 void CloseFd(int* fd) {
@@ -166,6 +231,7 @@ bool NetServer::ReadFrom(Connection* conn) {
     // Framing violation: the stream position is untrustworthy, so no
     // response can be addressed to a request — drop the connection.
     ++stats_.connections_dropped;
+    if (obs::MetricsEnabled()) NetObs::Get().decode_errors->Increment();
     return false;
   }
   return true;
@@ -182,6 +248,9 @@ void NetServer::ProcessFrames(Connection* conn) {
 void NetServer::HandleFrame(Connection* conn, MsgType type,
                             const std::string& payload) {
   ++stats_.requests;
+  obs::ScopedLatencyTimer request_timer(RequestLatency(type));
+  obs::ScopedSpan request_span("request", "net",
+                               static_cast<std::uint64_t>(type));
   // A payload that decodes but fails in the service is an application
   // error: report it and keep serving. A payload that does not decode
   // (or a non-request type) is a protocol violation: report it and
@@ -193,7 +262,8 @@ void NetServer::HandleFrame(Connection* conn, MsgType type,
   // misframing, which is a tier-2 violation, not a silent pass.
   if ((type == MsgType::kFlush || type == MsgType::kSnapshot ||
        type == MsgType::kCompact || type == MsgType::kStats ||
-       type == MsgType::kShutdown) &&
+       type == MsgType::kShutdown || type == MsgType::kMetrics ||
+       type == MsgType::kTraceDump) &&
       !payload.empty()) {
     AppendFrame(&conn->out, MsgType::kError,
                 EncodeError(Status::InvalidArgument(
@@ -203,6 +273,7 @@ void NetServer::HandleFrame(Connection* conn, MsgType type,
     ++stats_.responses;
     conn->close_after_flush = true;
     ++stats_.connections_dropped;
+    if (obs::MetricsEnabled()) NetObs::Get().decode_errors->Increment();
     return;
   }
   switch (type) {
@@ -303,6 +374,25 @@ void NetServer::HandleFrame(Connection* conn, MsgType type,
       ++stats_.responses;
       return;
     }
+    case MsgType::kMetrics: {
+      const std::string encoded =
+          obs::EncodeMetricsSnapshot(obs::Registry::Default().Snapshot());
+      if (encoded.size() > kMaxFramePayload) {
+        applied = Status::ResourceExhausted(
+            "metrics snapshot exceeds the frame size limit");
+        break;
+      }
+      AppendFrame(&conn->out, MsgType::kMetricsReport, encoded);
+      ++stats_.responses;
+      return;
+    }
+    case MsgType::kTraceDump:
+      applied = options_.on_trace_dump
+                    ? options_.on_trace_dump()
+                    : Status::FailedPrecondition(
+                          "server has no trace output configured "
+                          "(start it with --trace-out)");
+      break;
     case MsgType::kShutdown:
       stopping_ = true;
       break;
@@ -322,6 +412,7 @@ void NetServer::HandleFrame(Connection* conn, MsgType type,
   if (violation) {
     conn->close_after_flush = true;
     ++stats_.connections_dropped;
+    if (obs::MetricsEnabled()) NetObs::Get().decode_errors->Increment();
   }
 }
 
@@ -447,6 +538,15 @@ Status NetServer::Serve() {
                          return conn->fd < 0;
                        }),
         connections_.end());
+    if (obs::MetricsEnabled()) {
+      std::size_t inflight = 0;
+      for (const auto& conn : connections_) {
+        inflight += conn->decoder.queued_frames();
+      }
+      NetObs::Get().connections->Set(
+          static_cast<std::int64_t>(connections_.size()));
+      NetObs::Get().inflight->Set(static_cast<std::int64_t>(inflight));
+    }
   }
   connections_.clear();
   CloseFd(&listen_fd_);

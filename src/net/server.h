@@ -43,6 +43,7 @@
 /// owner's call.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -66,6 +67,12 @@ struct NetServerOptions {
   std::size_t max_inflight = 64;
   /// Buffered response bytes per connection before reads pause.
   std::size_t max_write_buffer = 4u << 20;
+  /// kTraceDump handler: dumps the server's trace ring to wherever the
+  /// host configured (`tcdp serve --trace-out`) and returns the result;
+  /// the client gets kOk/kError, never the dump itself (trace JSON can
+  /// dwarf kMaxFramePayload). Unset means kTraceDump answers
+  /// FailedPrecondition.
+  std::function<Status()> on_trace_dump;
 };
 
 struct NetServerStats {

@@ -59,12 +59,15 @@ enum class MsgType : std::uint8_t {
   kStats = 7,       ///< empty payload
   kShutdown = 8,    ///< empty payload; server acks then stops
   kCompact = 9,     ///< empty payload; flush + compact every shard WAL
+  kMetrics = 10,    ///< empty payload; returns the metrics snapshot
+  kTraceDump = 11,  ///< empty payload; server dumps its trace ring
 
   // Responses (server -> client).
   kOk = 64,           ///< empty payload
   kError = 65,        ///< payload: status code + message
   kReport = 66,       ///< payload: one user's accounting
   kStatsReport = 67,  ///< payload: service + per-shard counters
+  kMetricsReport = 68,  ///< payload: obs EncodeMetricsSnapshot blob
 };
 
 struct Frame {

@@ -1,0 +1,107 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+#include "obs/metrics.h"
+
+namespace tcdp {
+namespace obs {
+
+/// Per-slot seqlock: 0 = empty/being-written, otherwise logical
+/// sequence + 1. Readers reject a slot whose sequence moved while the
+/// event was being copied out (the torn-span filter).
+struct TraceRecorder::Slot {
+  std::atomic<std::uint64_t> seq{0};
+  TraceEvent event;
+};
+
+TraceRecorder::TraceRecorder(std::size_t capacity) {
+  if (capacity > 0) Start(capacity);
+}
+
+TraceRecorder::~TraceRecorder() { delete[] slots_; }
+
+void TraceRecorder::Start(std::size_t capacity) {
+  if (capacity == 0) capacity = 1;
+  delete[] slots_;
+  slots_ = new Slot[capacity];
+  capacity_ = capacity;
+  next_.store(0, std::memory_order_relaxed);
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Record(const TraceEvent& event) {
+  if (!enabled() || capacity_ == 0) return;
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[seq % capacity_];
+  slot.seq.store(0, std::memory_order_release);
+  slot.event = event;
+  slot.seq.store(seq + 1, std::memory_order_release);
+}
+
+std::size_t TraceRecorder::size() const {
+  const std::uint64_t total = recorded();
+  return total < capacity_ ? static_cast<std::size_t>(total) : capacity_;
+}
+
+std::string TraceRecorder::DumpJson() const {
+  std::string out = "{\"traceEvents\": [";
+  const std::uint64_t total = recorded();
+  const std::uint64_t first = total > capacity_ ? total - capacity_ : 0;
+  bool any = false;
+  for (std::uint64_t seq = first; seq < total; ++seq) {
+    const Slot& slot = slots_[seq % capacity_];
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before != seq + 1) continue;
+    const TraceEvent event = slot.event;
+    const std::uint64_t after = slot.seq.load(std::memory_order_acquire);
+    if (after != seq + 1) continue;  // overwritten mid-copy
+    if (event.name == nullptr) continue;
+    char buffer[256];
+    std::snprintf(buffer, sizeof(buffer),
+                  "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                  "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+                  "\"args\": {\"arg\": %llu}}",
+                  any ? "," : "", event.name,
+                  event.category != nullptr ? event.category : "tcdp",
+                  static_cast<double>(event.start_ns) * 1e-3,
+                  static_cast<double>(event.duration_ns) * 1e-3,
+                  event.thread_id,
+                  static_cast<unsigned long long>(event.arg));
+    out += buffer;
+    any = true;
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+TraceRecorder& TraceRecorder::Default() { return DefaultTrace(); }
+
+TraceRecorder& DefaultTrace() {
+  // Leaked for the same reason as the metrics registry: worker threads
+  // may still record during static destruction.
+  static TraceRecorder* recorder = new TraceRecorder;
+  return *recorder;
+}
+
+std::uint32_t TraceThreadId() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+std::uint64_t ScopedSpan::Now() { return MonotonicNanos(); }
+
+void ScopedSpan::Finish() {
+  TraceEvent event;
+  event.name = name_;
+  event.category = category_;
+  event.start_ns = start_ns_;
+  event.duration_ns = MonotonicNanos() - start_ns_;
+  event.thread_id = TraceThreadId();
+  event.arg = arg_;
+  DefaultTrace().Record(event);
+}
+
+}  // namespace obs
+}  // namespace tcdp

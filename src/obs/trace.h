@@ -1,0 +1,121 @@
+#ifndef TCDP_OBS_TRACE_H_
+#define TCDP_OBS_TRACE_H_
+
+/// \file
+/// Ring-buffer span tracing for the server's deterministic tick
+/// pipeline (enqueue -> dispatch -> bank step -> WAL append -> fsync
+/// -> ack) and the compaction/recovery phases.
+///
+/// The recorder is a fixed-capacity ring of completed spans. Writers
+/// claim a slot with one relaxed fetch_add and fill it in place — no
+/// locks, no allocation — so tracing is safe from every shard worker
+/// and the net I/O thread at once; once the ring wraps, the oldest
+/// spans are overwritten. Recording is off by default and spans cost
+/// a single relaxed load when disabled (`ScopedSpan` skips even the
+/// clock read), which keeps the bank-step hot path untouched: per-user
+/// TPL series are bitwise identical with tracing on or off.
+///
+/// Span name/category strings must have static storage duration
+/// (string literals): the ring stores the pointers, not copies.
+///
+/// `DumpJson` renders the buffered spans oldest-first in the Chrome
+/// trace-event format (load the file in chrome://tracing or Perfetto);
+/// the server exposes it via `kTraceDump` + `tcdp serve --trace-out`.
+///
+/// A dump taken while writers are active is a best-effort snapshot:
+/// slots being overwritten mid-read can surface a torn span, which the
+/// dumper filters by dropping events whose sequence moved during the
+/// copy. Under the intended use (dump on demand, writers quiescent or
+/// slow) the window is nanoseconds wide.
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace tcdp {
+namespace obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< static-lifetime span name
+  const char* category = nullptr;
+  std::uint64_t start_ns = 0;  ///< MonotonicNanos() at span open
+  std::uint64_t duration_ns = 0;
+  std::uint32_t thread_id = 0;  ///< small per-process thread ordinal
+  std::uint64_t arg = 0;        ///< one free detail slot (shard, tick, ...)
+};
+
+/// \brief Lock-free fixed-capacity span ring. One global instance
+/// (`DefaultTrace()`) backs the server; tests build their own.
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 0);
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// (Re)arms the ring with \p capacity slots and enables recording;
+  /// not safe concurrently with Record (call before serving).
+  void Start(std::size_t capacity);
+  void Stop() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  void Record(const TraceEvent& event);
+
+  std::size_t capacity() const { return capacity_; }
+  /// Total spans ever recorded (>= capacity means the ring wrapped).
+  std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  /// Spans currently held (min(recorded, capacity)).
+  std::size_t size() const;
+
+  /// Chrome trace-event JSON array, oldest span first.
+  std::string DumpJson() const;
+
+  static TraceRecorder& Default();
+
+ private:
+  struct Slot;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_{0};
+  std::size_t capacity_ = 0;
+  Slot* slots_ = nullptr;
+};
+
+/// Process-global recorder used by the instrumentation points.
+TraceRecorder& DefaultTrace();
+/// Convenience for the hot-path guard.
+inline bool TraceEnabled() { return DefaultTrace().enabled(); }
+
+/// Small stable ordinal for the calling thread (assigned on first use).
+std::uint32_t TraceThreadId();
+
+/// \brief RAII span against the default recorder. Captures the start
+/// time only if tracing is enabled at construction.
+class ScopedSpan {
+ public:
+  ScopedSpan(const char* name, const char* category, std::uint64_t arg = 0)
+      : name_(name), category_(category), arg_(arg) {
+    if (TraceEnabled()) start_ns_ = Now();
+  }
+  ~ScopedSpan() {
+    if (start_ns_ != 0) Finish();
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  static std::uint64_t Now();
+  void Finish();
+
+  const char* name_;
+  const char* category_;
+  std::uint64_t arg_;
+  std::uint64_t start_ns_ = 0;
+};
+
+}  // namespace obs
+}  // namespace tcdp
+
+#endif  // TCDP_OBS_TRACE_H_

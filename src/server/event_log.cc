@@ -9,10 +9,36 @@
 #include <utility>
 
 #include "common/binary_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tcdp {
 namespace server {
 namespace {
+
+/// WAL instruments are process-global (shared across shard writers):
+/// latency histograms for the two durability-critical operations plus
+/// byte/record throughput counters. Resolved once, leaked with the
+/// registry.
+struct WalObs {
+  obs::Histogram* append_seconds;
+  obs::Histogram* fsync_seconds;
+  obs::Counter* appended_bytes;
+  obs::Counter* appended_records;
+  static const WalObs& Get() {
+    static const WalObs instruments = [] {
+      obs::Registry& registry = obs::Registry::Default();
+      WalObs o;
+      o.append_seconds = registry.GetHistogram("tcdp_wal_append_seconds");
+      o.fsync_seconds = registry.GetHistogram("tcdp_wal_fsync_seconds");
+      o.appended_bytes = registry.GetCounter("tcdp_wal_appended_bytes_total");
+      o.appended_records =
+          registry.GetCounter("tcdp_wal_appended_records_total");
+      return o;
+    }();
+    return instruments;
+  }
+};
 
 constexpr char kMagic[8] = {'T', 'C', 'D', 'P', 'W', 'A', 'L', '1'};
 constexpr std::size_t kHeaderBytes = 1 + 4 + 4;  // type + len + crc
@@ -104,6 +130,8 @@ Status EventLogWriter::Append(EventType type, const std::string& payload) {
   if (payload.size() > 0xFFFFFFFFull) {
     return Status::InvalidArgument("EventLogWriter: payload exceeds 4 GiB");
   }
+  const WalObs& wal_obs = WalObs::Get();
+  obs::ScopedLatencyTimer timer(wal_obs.append_seconds);
   const std::uint8_t type_byte = static_cast<std::uint8_t>(type);
   std::uint32_t crc = Crc32(&type_byte, 1);
   crc = Crc32(payload.data(), payload.size(), crc);
@@ -113,6 +141,10 @@ Status EventLogWriter::Append(EventType type, const std::string& payload) {
   buffer_.append(payload);
   bytes_written_ += kHeaderBytes + payload.size();
   ++records_written_;
+  if (obs::MetricsEnabled()) {
+    wal_obs.appended_bytes->Add(kHeaderBytes + payload.size());
+    wal_obs.appended_records->Increment();
+  }
   return Status::OK();
 }
 
@@ -137,6 +169,8 @@ Status EventLogWriter::Flush() {
 
 Status EventLogWriter::Sync() {
   TCDP_RETURN_IF_ERROR(Flush());
+  obs::ScopedLatencyTimer timer(WalObs::Get().fsync_seconds);
+  obs::ScopedSpan span("wal_fsync", "wal");
   if (::fdatasync(fd_) < 0) {
     return ErrnoStatus("EventLogWriter::Sync fdatasync", path_);
   }

@@ -16,6 +16,8 @@
 
 #include "common/thread_pool.h"
 #include "core/accountant_bank.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/compaction.h"
 #include "server/event_log.h"
 #include "server/records.h"
@@ -198,10 +200,59 @@ struct ShardedReleaseService::Shard {
   std::condition_variable cv_idle;  ///< Drain waits for quiescence
   std::deque<ShardCommand> queue;
   std::uint64_t enqueue_blocks = 0;  ///< Pushes that found the queue full
+  /// Maintained queue-depth gauge + high watermark: updated (under mu)
+  /// by every push and pop, so stats reads are consistent point reads
+  /// instead of racy peeks at the deque, and the watermark survives
+  /// the drain a stats call performs.
+  std::atomic<std::size_t> queue_depth{0};
+  std::atomic<std::size_t> queue_depth_hwm{0};
   bool busy = false;
   bool stop = false;
   Status first_error;
   std::thread worker;
+
+  /// Per-shard obs instruments, resolved once by InitObs() (after the
+  /// shard index is known). Never null afterwards; instrument updates
+  /// are relaxed atomics, guarded by obs::MetricsEnabled() where a
+  /// clock read is involved.
+  obs::Gauge* obs_queue_depth = nullptr;
+  obs::Gauge* obs_queue_depth_hwm = nullptr;
+  obs::Counter* obs_enqueue_blocks = nullptr;
+  obs::Histogram* obs_tick_seconds = nullptr;
+  obs::Histogram* obs_batch_size = nullptr;
+
+  void InitObs() {
+    const std::string label = std::to_string(index);
+    obs::Registry& registry = obs::Registry::Default();
+    obs_queue_depth = registry.GetGauge(
+        obs::WithLabel("tcdp_shard_queue_depth", "shard", label));
+    obs_queue_depth_hwm = registry.GetGauge(
+        obs::WithLabel("tcdp_shard_queue_depth_hwm", "shard", label));
+    obs_enqueue_blocks = registry.GetCounter(
+        obs::WithLabel("tcdp_shard_enqueue_blocks_total", "shard", label));
+    obs_tick_seconds = registry.GetHistogram(
+        obs::WithLabel("tcdp_shard_tick_seconds", "shard", label));
+    obs::HistogramOptions batch;
+    batch.min_value = 1.0;
+    batch.max_value = 1e9;
+    obs_batch_size = registry.GetHistogram(
+        obs::WithLabel("tcdp_shard_batch_size", "shard", label), batch);
+  }
+
+  /// Called with mu held after every queue mutation.
+  void UpdateDepthLocked() {
+    const std::size_t depth = queue.size();
+    queue_depth.store(depth, std::memory_order_relaxed);
+    std::size_t hwm = queue_depth_hwm.load(std::memory_order_relaxed);
+    while (depth > hwm && !queue_depth_hwm.compare_exchange_weak(
+                              hwm, depth, std::memory_order_relaxed)) {
+    }
+    if (obs_queue_depth != nullptr) {
+      obs_queue_depth->Set(static_cast<std::int64_t>(depth));
+      obs_queue_depth_hwm->Set(static_cast<std::int64_t>(
+          queue_depth_hwm.load(std::memory_order_relaxed)));
+    }
+  }
 
   /// Hybrid mode: the shard worker fans the bank's column updates out
   /// to this pool (declared after `bank` so it joins first on
@@ -223,13 +274,18 @@ struct ShardedReleaseService::Shard {
   }
 
   void Push(ShardCommand command) {
+    obs::ScopedSpan span("enqueue", "shard", index);
     std::unique_lock<std::mutex> lock(mu);
-    if (queue.size() >= options->queue_capacity && !stop) ++enqueue_blocks;
+    if (queue.size() >= options->queue_capacity && !stop) {
+      ++enqueue_blocks;
+      if (obs_enqueue_blocks != nullptr) obs_enqueue_blocks->Increment();
+    }
     cv_push.wait(lock, [this] {
       return queue.size() < options->queue_capacity || stop;
     });
     if (stop) return;
     queue.push_back(std::move(command));
+    UpdateDepthLocked();
     cv_pop.notify_one();
   }
 
@@ -258,6 +314,7 @@ struct ShardedReleaseService::Shard {
       if (queue.empty()) return;  // stop requested and queue drained
       ShardCommand command = std::move(queue.front());
       queue.pop_front();
+      UpdateDepthLocked();
       busy = true;
       lock.unlock();
       cv_push.notify_one();
@@ -310,6 +367,7 @@ struct ShardedReleaseService::Shard {
 
   Status SyncWal() {
     if (!durable) return Status::OK();
+    obs::ScopedSpan span("wal_sync", "wal", index);
     TCDP_RETURN_IF_ERROR(wal.Sync());
     releases_since_sync = 0;
     return Status::OK();
@@ -331,7 +389,18 @@ struct ShardedReleaseService::Shard {
   }
 
   Status ApplyRelease(ShardCommand command) {
+    // "Tick latency" for this shard: one global release applied end to
+    // end (WAL append + bank step + flush/sync policy).
+    obs::ScopedLatencyTimer tick_timer(obs_tick_seconds);
+    obs::ScopedSpan span("shard_tick", "shard", index);
+    if (obs_batch_size != nullptr && obs::MetricsEnabled()) {
+      obs_batch_size->Observe(command.all
+                                  ? static_cast<double>(bank.num_users())
+                                  : static_cast<double>(
+                                        command.participants.size()));
+    }
     if (durable) {
+      obs::ScopedSpan append_span("wal_append", "wal", index);
       ReleaseRecord record;
       record.epsilon = command.epsilon;
       record.all = command.all;
@@ -346,10 +415,13 @@ struct ShardedReleaseService::Shard {
           wal.Append(EventType::kRelease, EncodeRelease(record)));
       ++wal_records;
     }
-    TCDP_RETURN_IF_ERROR(command.all
-                             ? bank.RecordRelease(command.epsilon)
-                             : bank.RecordRelease(command.epsilon,
-                                                  command.participants));
+    {
+      obs::ScopedSpan step_span("bank_step", "bank", index);
+      TCDP_RETURN_IF_ERROR(command.all
+                               ? bank.RecordRelease(command.epsilon)
+                               : bank.RecordRelease(command.epsilon,
+                                                    command.participants));
+    }
     if (durable) {
       ++releases_since_sync;
       if (options->sync_every > 0 &&
@@ -373,6 +445,7 @@ struct ShardedReleaseService::Shard {
       return Status::FailedPrecondition(
           "shard snapshot requested on an ephemeral service");
     }
+    obs::ScopedSpan span("snapshot", "shard", index);
     // The WAL must be on disk before a snapshot may claim to cover it.
     TCDP_RETURN_IF_ERROR(wal.Sync());
     releases_since_sync = 0;
@@ -397,6 +470,7 @@ struct ShardedReleaseService::Shard {
       return Status::FailedPrecondition(
           "shard compaction requested on an ephemeral service");
     }
+    obs::ScopedSpan span("compact", "shard", index);
     // The file must be complete on disk before it is re-derived.
     TCDP_RETURN_IF_ERROR(wal.Sync());
     releases_since_sync = 0;
@@ -474,6 +548,7 @@ Status ShardedReleaseService::InitShardsFresh(const std::string& log_dir) {
   for (std::size_t i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>(options_);
     shard->index = i;
+    shard->InitObs();
     if (!log_dir_.empty()) {
       shard->durable = true;
       shard->wal_path = ShardWalPath(log_dir_, i);
@@ -586,6 +661,7 @@ ShardedReleaseService::Recover(const std::string& log_dir,
   std::vector<std::unique_ptr<Shard>> recovered(num_shards);
   std::vector<Status> shard_status(num_shards, Status::OK());
   auto recover_one = [&](std::size_t i) -> Status {
+    obs::ScopedSpan span("recover_shard", "recovery", i);
     const ReadLogResult& log = logs[i];
     const WalBase& base = bases[i];
     const std::size_t base_releases =
@@ -636,6 +712,7 @@ ShardedReleaseService::Recover(const std::string& log_dir,
 
     auto shard = std::make_unique<Shard>(service->options_);
     shard->index = i;
+    shard->InitObs();
     shard->durable = true;
     shard->wal_path = ShardWalPath(log_dir, i);
     shard->snap_path = ShardSnapPath(log_dir, i);
@@ -894,9 +971,21 @@ Status ShardedReleaseService::EndRequestWindow() {
 }
 
 Status ShardedReleaseService::Tick() {
+  const std::size_t window = window_count_;
   window_count_ = 0;
   if (pending_joins_.empty() && pending_groups_.empty()) {
     return Status::OK();
+  }
+  obs::ScopedSpan span("tick", "service", window);
+  if (obs::MetricsEnabled()) {
+    static obs::Histogram* tick_requests = [] {
+      obs::HistogramOptions options;
+      options.min_value = 1.0;
+      options.max_value = 1e9;
+      return obs::Registry::Default().GetHistogram(
+          "tcdp_service_tick_requests", options);
+    }();
+    tick_requests->Observe(static_cast<double>(window));
   }
   for (PendingJoin& join : pending_joins_) {
     ShardCommand command;
@@ -1130,10 +1219,14 @@ ShardStats ShardedReleaseService::shard_stats(std::size_t shard) {
   ShardStats stats;
   {
     // Depth is sampled before the drain below empties the queue — it
-    // answers "how backed up was this shard when you asked".
+    // answers "how backed up was this shard when you asked". The gauge
+    // and watermark are maintained atomics, so no lock is needed for
+    // them; enqueue_blocks is still guarded by mu.
     Shard& live = *shards_[shard];
+    stats.queue_depth = live.queue_depth.load(std::memory_order_relaxed);
+    stats.queue_depth_hwm =
+        live.queue_depth_hwm.load(std::memory_order_relaxed);
     std::lock_guard<std::mutex> lock(live.mu);
-    stats.queue_depth = live.queue.size();
     stats.enqueue_blocks = live.enqueue_blocks;
   }
   if (!closed_) (void)DrainShard(shard);
@@ -1147,6 +1240,18 @@ ShardStats ShardedReleaseService::shard_stats(std::size_t shard) {
   stats.compactions = s.compactions;
   stats.replayed_records = s.replayed_records;
   stats.restored_from_snapshot = s.restored_from_snapshot;
+  return stats;
+}
+
+ServiceStats ShardedReleaseService::stats() const {
+  ServiceStats stats = stats_;
+  for (const auto& shard : shards_) {
+    const TemporalLossCache::Stats cache = shard->bank.cache_stats();
+    stats.cache_hits += cache.hits;
+    stats.cache_misses += cache.misses;
+    stats.cache_entries += cache.entries;
+    stats.cache_distinct_matrices += cache.distinct_matrices;
+  }
   return stats;
 }
 

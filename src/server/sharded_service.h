@@ -141,9 +141,13 @@ struct ShardStats {
   std::uint64_t snapshots_written = 0;
   std::uint64_t replayed_records = 0;   ///< WAL records applied by Recover
   bool restored_from_snapshot = false;
-  /// Commands waiting in the shard queue, sampled when the stats call
-  /// entered (before it drains the shard).
+  /// Commands waiting in the shard queue when the stats call entered
+  /// (before it drains the shard). Read from a gauge the producers and
+  /// worker maintain atomically, so the value is a consistent point
+  /// read, not a racy peek at the deque.
   std::size_t queue_depth = 0;
+  /// Deepest the queue has ever been (backpressure high watermark).
+  std::size_t queue_depth_hwm = 0;
   /// Enqueues that blocked on a full queue (backpressure events).
   std::uint64_t enqueue_blocks = 0;
 };
@@ -153,6 +157,13 @@ struct ServiceStats {
   std::uint64_t release_requests = 0;
   std::uint64_t ticks = 0;
   std::uint64_t global_releases = 0;  ///< global time steps dispatched
+  /// TemporalLossCache totals aggregated over every shard's bank
+  /// (zero when share_loss_cache is off — the banks run direct
+  /// evaluators and nothing is memoized).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_entries = 0;
+  std::uint64_t cache_distinct_matrices = 0;
 };
 
 class ShardedReleaseService {
@@ -241,7 +252,9 @@ class ShardedReleaseService {
   /// Drains \p shard first so the snapshot of its counters is not read
   /// mid-apply.
   ShardStats shard_stats(std::size_t shard);
-  const ServiceStats& stats() const { return stats_; }
+  /// Request/tick totals plus the aggregated loss-cache stats (the
+  /// cache counters are thread-safe reads, so this does not drain).
+  ServiceStats stats() const;
 
   /// Shard index \p name routes to, given \p num_shards (exposed so
   /// tools and tests agree with the service's partitioning).

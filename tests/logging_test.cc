@@ -2,10 +2,20 @@
 
 #include "common/logging.h"
 
+#include <cstdlib>
+#include <string>
+
 #include <gtest/gtest.h>
 
 namespace tcdp {
 namespace {
+
+/// Captures one emitted log line.
+std::string EmitAndCapture(LogLevel level, const std::string& message) {
+  testing::internal::CaptureStderr();
+  LogMessage(level, message);
+  return testing::internal::GetCapturedStderr();
+}
 
 TEST(Logging, SetAndGetLevelRoundTrip) {
   const LogLevel original = GetLogLevel();
@@ -31,6 +41,44 @@ TEST(Logging, LogMessageRespectsThreshold) {
   LogMessage(LogLevel::kDebug, "dropped");
   LogMessage(LogLevel::kWarning, "emitted (expected in stderr)");
   SetLogLevel(LogLevel::kInfo);
+}
+
+TEST(Logging, DefaultFormatHasTimestampAndThreadId) {
+  unsetenv("TCDP_LOG_PLAIN");
+  SetLogLevel(LogLevel::kInfo);
+  const std::string line = EmitAndCapture(LogLevel::kError, "probe msg");
+  // Shape: [YYYY-MM-DDTHH:MM:SS.mmmZ <tid> tcdp ERROR] probe msg
+  ASSERT_GE(line.size(), std::string("[0000-00-00T00:00:00.000Z").size());
+  EXPECT_EQ(line[0], '[');
+  EXPECT_EQ(line[5], '-');
+  EXPECT_EQ(line[8], '-');
+  EXPECT_EQ(line[11], 'T');
+  EXPECT_EQ(line[14], ':');
+  EXPECT_EQ(line[17], ':');
+  EXPECT_EQ(line[20], '.');
+  EXPECT_EQ(line[24], 'Z');
+  EXPECT_EQ(line[25], ' ');
+  // A thread ordinal (digits) precedes the tag.
+  std::size_t i = 26;
+  ASSERT_LT(i, line.size());
+  EXPECT_TRUE(line[i] >= '0' && line[i] <= '9') << line;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') ++i;
+  EXPECT_EQ(line.compare(i, 12, " tcdp ERROR]"), 0) << line;
+  EXPECT_NE(line.find("] probe msg\n"), std::string::npos) << line;
+}
+
+TEST(Logging, PlainEnvRestoresLegacyFormat) {
+  setenv("TCDP_LOG_PLAIN", "1", 1);
+  SetLogLevel(LogLevel::kInfo);
+  const std::string line = EmitAndCapture(LogLevel::kWarning, "plain probe");
+  EXPECT_EQ(line, "[tcdp WARN] plain probe\n");
+  // Any value other than exactly "1" keeps the full prefix.
+  setenv("TCDP_LOG_PLAIN", "yes", 1);
+  const std::string full = EmitAndCapture(LogLevel::kWarning, "full probe");
+  EXPECT_EQ(full.find("[tcdp WARN]"), std::string::npos) << full;
+  EXPECT_NE(full.find(" tcdp WARN] full probe\n"), std::string::npos)
+      << full;
+  unsetenv("TCDP_LOG_PLAIN");
 }
 
 }  // namespace

@@ -1,0 +1,319 @@
+// Unit tests for obs/metrics: histogram bucket math (bounded relative
+// error), snapshot merging, the binary snapshot codec, and the
+// registry/naming conveniences.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tcdp {
+namespace obs {
+namespace {
+
+// The documented error bound with a hair of slack for the floating-
+// point log/exp round trips in BucketIndex/BucketValue.
+double Tolerance(double relative_error) { return relative_error * 1.0001; }
+
+TEST(Histogram, SingleValueQuantileWithinRelativeError) {
+  HistogramOptions options;
+  options.relative_error = 0.05;
+  Histogram histogram(options);
+  // Sweep values geometrically across the full [min, max) range.
+  for (double value = options.min_value * 1.5; value < options.max_value;
+       value *= 3.7) {
+    Histogram fresh(options);
+    fresh.Observe(value);
+    const double estimate = fresh.Snapshot().Quantile(0.5);
+    EXPECT_NEAR(estimate, value, value * Tolerance(options.relative_error))
+        << "value=" << value;
+  }
+}
+
+TEST(Histogram, BucketEdgesContainTheirValues) {
+  Histogram histogram;
+  const HistogramOptions& options = histogram.options();
+  for (double value = options.min_value; value < options.max_value;
+       value *= 2.9) {
+    const std::size_t index = histogram.BucketIndex(value);
+    ASSERT_LT(index, histogram.num_buckets());
+    EXPECT_LT(value, histogram.BucketUpperEdge(index));
+    if (index > 0) {
+      EXPECT_GE(value, histogram.BucketUpperEdge(index - 1) *
+                           (1.0 - 1e-12));
+    }
+    // The representative sits inside its own bucket.
+    const double rep = histogram.BucketValue(index);
+    EXPECT_EQ(histogram.BucketIndex(rep), index);
+  }
+}
+
+TEST(Histogram, TinyValuesClampIntoFirstBucket) {
+  HistogramOptions options;
+  Histogram histogram(options);
+  histogram.Observe(options.min_value / 1000.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count(), 1u);
+  EXPECT_EQ(snapshot.zero_count, 0u);
+  EXPECT_EQ(snapshot.overflow_count, 0u);
+  // Over-reported (first-bucket representative), never under.
+  EXPECT_GE(snapshot.Quantile(0.5), options.min_value / 1000.0);
+}
+
+TEST(Histogram, ZeroAndNegativeLandInZeroBucket) {
+  Histogram histogram;
+  histogram.Observe(0.0);
+  histogram.Observe(-3.5);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.zero_count, 2u);
+  EXPECT_EQ(snapshot.count(), 2u);
+  EXPECT_EQ(snapshot.Quantile(0.5), 0.0);
+}
+
+TEST(Histogram, OverflowBucketReportsMaxValue) {
+  HistogramOptions options;
+  Histogram histogram(options);
+  histogram.Observe(options.max_value);
+  histogram.Observe(options.max_value * 50.0);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.overflow_count, 2u);
+  EXPECT_EQ(snapshot.count(), 2u);
+  EXPECT_EQ(snapshot.Quantile(0.99), options.max_value);
+  // max_observed is exact even when the bucket saturates.
+  EXPECT_EQ(snapshot.max_observed, options.max_value * 50.0);
+}
+
+TEST(Histogram, EmptySnapshotQuantileIsZero) {
+  Histogram histogram;
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  EXPECT_EQ(snapshot.count(), 0u);
+  EXPECT_EQ(snapshot.Quantile(0.0), 0.0);
+  EXPECT_EQ(snapshot.Quantile(0.5), 0.0);
+  EXPECT_EQ(snapshot.Quantile(1.0), 0.0);
+}
+
+TEST(Histogram, QuantilesAreMonotonic) {
+  Histogram histogram;
+  for (int i = 1; i <= 1000; ++i) histogram.Observe(i * 1e-4);
+  const HistogramSnapshot snapshot = histogram.Snapshot();
+  double previous = 0.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double value = snapshot.Quantile(q);
+    EXPECT_GE(value, previous) << "q=" << q;
+    previous = value;
+  }
+  // Spot-check the median against the exact value.
+  EXPECT_NEAR(snapshot.Quantile(0.5), 0.05,
+              0.05 * Tolerance(histogram.options().relative_error));
+}
+
+TEST(Histogram, MergeSumsEveryField) {
+  HistogramOptions options;
+  Histogram a(options);
+  Histogram b(options);
+  a.Observe(0.001);
+  a.Observe(0.0);
+  b.Observe(0.002);
+  b.Observe(options.max_value * 2.0);
+  HistogramSnapshot merged = a.Snapshot();
+  ASSERT_TRUE(merged.Merge(b.Snapshot()));
+  EXPECT_EQ(merged.count(), 4u);
+  EXPECT_EQ(merged.zero_count, 1u);
+  EXPECT_EQ(merged.overflow_count, 1u);
+  EXPECT_EQ(merged.max_observed, options.max_value * 2.0);
+  EXPECT_NEAR(merged.sum, 0.003 + options.max_value * 2.0, 1e-12);
+}
+
+TEST(Histogram, MergeIsCommutative) {
+  HistogramOptions options;
+  Histogram a(options);
+  Histogram b(options);
+  for (int i = 1; i < 50; ++i) a.Observe(i * 1e-3);
+  for (int i = 1; i < 80; ++i) b.Observe(i * 1e-2);
+  HistogramSnapshot ab = a.Snapshot();
+  ASSERT_TRUE(ab.Merge(b.Snapshot()));
+  HistogramSnapshot ba = b.Snapshot();
+  ASSERT_TRUE(ba.Merge(a.Snapshot()));
+  EXPECT_EQ(ab.buckets, ba.buckets);
+  EXPECT_EQ(ab.count(), ba.count());
+  EXPECT_EQ(ab.Quantile(0.9), ba.Quantile(0.9));
+}
+
+TEST(Histogram, MergeRejectsMismatchedConfiguration) {
+  HistogramOptions narrow;
+  narrow.relative_error = 0.01;
+  Histogram a;
+  Histogram b(narrow);
+  a.Observe(1.0);
+  b.Observe(1.0);
+  HistogramSnapshot merged = a.Snapshot();
+  const HistogramSnapshot before = merged;
+  EXPECT_FALSE(merged.Merge(b.Snapshot()));
+  // Failed merge must leave the target untouched.
+  EXPECT_EQ(merged.buckets, before.buckets);
+  EXPECT_EQ(merged.count(), before.count());
+}
+
+TEST(Histogram, ConcurrentObserversLoseNothing) {
+  Histogram histogram;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&histogram, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        histogram.Observe((t + 1) * 1e-4);
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(histogram.Snapshot().count(),
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(MetricsCodec, RoundTripPreservesEverything) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("tcdp_test_total", 12345u);
+  snapshot.counters.emplace_back("tcdp_test_zero_total", 0u);
+  snapshot.gauges.emplace_back("tcdp_test_gauge", -42);
+  snapshot.gauges.emplace_back("tcdp_test_gauge_big",
+                               std::int64_t{1} << 40);
+  Histogram histogram;
+  histogram.Observe(0.0);
+  histogram.Observe(1e-5);
+  histogram.Observe(0.37);
+  histogram.Observe(1e9);
+  snapshot.histograms.emplace_back("tcdp_test_seconds",
+                                   histogram.Snapshot());
+  Histogram empty;
+  snapshot.histograms.emplace_back("tcdp_test_empty_seconds",
+                                   empty.Snapshot());
+
+  const std::string payload = EncodeMetricsSnapshot(snapshot);
+  auto decoded = DecodeMetricsSnapshot(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->counters, snapshot.counters);
+  EXPECT_EQ(decoded->gauges, snapshot.gauges);
+  ASSERT_EQ(decoded->histograms.size(), snapshot.histograms.size());
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& want = snapshot.histograms[i].second;
+    const HistogramSnapshot& got = decoded->histograms[i].second;
+    EXPECT_EQ(decoded->histograms[i].first, snapshot.histograms[i].first);
+    EXPECT_EQ(got.buckets, want.buckets);
+    EXPECT_EQ(got.zero_count, want.zero_count);
+    EXPECT_EQ(got.overflow_count, want.overflow_count);
+    EXPECT_EQ(got.sum, want.sum);
+    EXPECT_EQ(got.max_observed, want.max_observed);
+    EXPECT_EQ(got.relative_error, want.relative_error);
+  }
+}
+
+TEST(MetricsCodec, RejectsMalformedPayloads) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("tcdp_test_total", 7u);
+  const std::string payload = EncodeMetricsSnapshot(snapshot);
+
+  EXPECT_FALSE(DecodeMetricsSnapshot(std::string()).ok());
+  // Unsupported version byte.
+  std::string bad_version = payload;
+  bad_version[0] = static_cast<char>(99);
+  EXPECT_FALSE(DecodeMetricsSnapshot(bad_version).ok());
+  // Every truncation must fail, never crash or accept.
+  for (std::size_t cut = 1; cut < payload.size(); ++cut) {
+    EXPECT_FALSE(DecodeMetricsSnapshot(payload.substr(0, cut)).ok())
+        << "cut=" << cut;
+  }
+  // Trailing garbage after a well-formed snapshot.
+  EXPECT_FALSE(DecodeMetricsSnapshot(payload + "x").ok());
+}
+
+TEST(Registry, FindOrCreateReturnsStablePointers) {
+  Registry& registry = Registry::Default();
+  Counter* counter = registry.GetCounter("tcdp_unittest_stable_total");
+  EXPECT_EQ(registry.GetCounter("tcdp_unittest_stable_total"), counter);
+  Gauge* gauge = registry.GetGauge("tcdp_unittest_stable_gauge");
+  EXPECT_EQ(registry.GetGauge("tcdp_unittest_stable_gauge"), gauge);
+  Histogram* histogram =
+      registry.GetHistogram("tcdp_unittest_stable_seconds");
+  EXPECT_EQ(registry.GetHistogram("tcdp_unittest_stable_seconds"),
+            histogram);
+}
+
+TEST(Registry, KindCollisionYieldsDetachedInstrument) {
+  Registry& registry = Registry::Default();
+  Counter* counter = registry.GetCounter("tcdp_unittest_collision");
+  ASSERT_NE(counter, nullptr);
+  // Same name, different kind: callers still get a usable instrument,
+  // but it must not alias the counter and must not be exported.
+  Gauge* gauge = registry.GetGauge("tcdp_unittest_collision");
+  ASSERT_NE(gauge, nullptr);
+  gauge->Set(123);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  for (const auto& [name, value] : snapshot.gauges) {
+    EXPECT_NE(name, "tcdp_unittest_collision");
+    (void)value;
+  }
+}
+
+TEST(MetricNames, WithLabelComposesAndValidates) {
+  EXPECT_EQ(WithLabel("tcdp_x_total", "shard", "3"),
+            "tcdp_x_total{shard=\"3\"}");
+  EXPECT_EQ(WithLabel(WithLabel("tcdp_x_total", "shard", "3"), "op", "y"),
+            "tcdp_x_total{shard=\"3\",op=\"y\"}");
+  EXPECT_TRUE(IsValidMetricName("tcdp_x_total"));
+  EXPECT_TRUE(IsValidMetricName(WithLabel("tcdp_x_total", "k", "v")));
+  EXPECT_TRUE(
+      IsValidMetricName(WithLabel("tcdp_x_total", "k", "quo\"te")));
+  EXPECT_FALSE(IsValidMetricName(""));
+  EXPECT_FALSE(IsValidMetricName("9starts_with_digit"));
+  EXPECT_FALSE(IsValidMetricName("tcdp_x{unterminated"));
+  EXPECT_FALSE(IsValidMetricName("tcdp_x{k=unquoted}"));
+}
+
+TEST(ScopedLatencyTimerTest, NullHistogramAndDisabledMetricsAreSafe) {
+  { ScopedLatencyTimer timer(nullptr); }
+  Histogram histogram;
+  SetMetricsEnabled(false);
+  { ScopedLatencyTimer timer(&histogram); }
+  SetMetricsEnabled(true);
+  EXPECT_EQ(histogram.Snapshot().count(), 0u);
+  { ScopedLatencyTimer timer(&histogram); }
+  EXPECT_EQ(histogram.Snapshot().count(), 1u);
+}
+
+TEST(MetricsExport, JsonAndPrometheusRenderRegisteredInstruments) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back("tcdp_render_total", 3u);
+  snapshot.gauges.emplace_back(WithLabel("tcdp_render_gauge", "shard", "0"),
+                               -1);
+  Histogram histogram;
+  histogram.Observe(0.25);
+  snapshot.histograms.emplace_back("tcdp_render_seconds",
+                                   histogram.Snapshot());
+
+  const std::string json = MetricsJson(snapshot);
+  EXPECT_NE(json.find("\"tcdp_metrics_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tcdp_render_total\": 3"), std::string::npos);
+  EXPECT_NE(json.find("tcdp_render_seconds"), std::string::npos);
+
+  const std::string prom = MetricsPrometheusText(snapshot);
+  EXPECT_NE(prom.find("# TYPE tcdp_render_total counter"),
+            std::string::npos);
+  EXPECT_NE(prom.find("tcdp_render_gauge{shard=\"0\"} -1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE tcdp_render_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("le=\"+Inf\""), std::string::npos);
+  EXPECT_NE(prom.find("tcdp_render_seconds_count 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tcdp

@@ -1,0 +1,158 @@
+// Loopback tests for the metrics/trace wire surface (ISSUE 8): the
+// kMetrics request returns a decodable registry snapshot whose
+// instruments reflect work the server just did, and kTraceDump either
+// invokes the server's configured dump hook or fails with
+// FailedPrecondition when none is set.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "net/client.h"
+#include "net/server.h"
+#include "obs/metrics.h"
+#include "server/sharded_service.h"
+#include "workload/generators.h"
+
+namespace tcdp {
+namespace net {
+namespace {
+
+TemporalCorrelations Profile() {
+  auto matrix = ClickstreamModel(4, 0.3);
+  EXPECT_TRUE(matrix.ok());
+  return TemporalCorrelations::Both(*matrix, *matrix).value();
+}
+
+/// In-process service + serving NetServer on a thread.
+struct ObsTestServer {
+  std::unique_ptr<server::ShardedReleaseService> service;
+  std::unique_ptr<NetServer> server;
+  std::thread thread;
+  Status serve_status;
+
+  static std::unique_ptr<ObsTestServer> Start(
+      NetServerOptions net_options = {}) {
+    auto ts = std::make_unique<ObsTestServer>();
+    server::ShardedServiceOptions options;
+    options.num_shards = 2;
+    options.batch_window = 1;
+    auto service = server::ShardedReleaseService::Create("", options);
+    EXPECT_TRUE(service.ok()) << service.status();
+    if (!service.ok()) return nullptr;
+    ts->service = std::move(service).value();
+    auto server = NetServer::Listen(ts->service.get(), net_options);
+    EXPECT_TRUE(server.ok()) << server.status();
+    if (!server.ok()) return nullptr;
+    ts->server = std::move(server).value();
+    ts->thread = std::thread(
+        [ts = ts.get()] { ts->serve_status = ts->server->Serve(); });
+    return ts;
+  }
+
+  ~ObsTestServer() {
+    if (thread.joinable()) {
+      server->Stop();
+      thread.join();
+    }
+    EXPECT_TRUE(serve_status.ok()) << serve_status;
+  }
+};
+
+/// 0 when absent: instruments register lazily on first use, so a
+/// counter another test binary would have may not exist here yet.
+std::uint64_t CounterValue(const obs::MetricsSnapshot& snapshot,
+                           const std::string& name) {
+  for (const auto& [n, v] : snapshot.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+TEST(ObsWire, MetricsRequestReturnsLiveRegistrySnapshot) {
+  obs::SetMetricsEnabled(true);
+  auto ts = ObsTestServer::Start();
+  ASSERT_NE(ts, nullptr);
+  auto client = NetClient::Connect("127.0.0.1", ts->server->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  auto before = (*client)->Metrics();
+  ASSERT_TRUE(before.ok()) << before.status();
+  const std::uint64_t wal_before =
+      CounterValue(*before, "tcdp_wal_appended_records_total");
+
+  ASSERT_TRUE((*client)->Join("metrics-user", Profile()).ok());
+  ASSERT_TRUE((*client)->Release("metrics-user", 0.1).ok());
+  ASSERT_TRUE((*client)->Flush().ok());
+
+  auto after = (*client)->Metrics();
+  ASSERT_TRUE(after.ok()) << after.status();
+  // The registry is process-global, so absolute values depend on test
+  // order; deltas across this server's own work do not. An in-memory
+  // service appends nothing to a WAL, but the bank stepped and the
+  // net frontend timed this connection's requests.
+  EXPECT_EQ(CounterValue(*after, "tcdp_wal_appended_records_total"),
+            wal_before);
+  bool saw_request_histogram = false;
+  bool saw_bank_step = false;
+  for (const auto& [name, hist] : after->histograms) {
+    if (name == "tcdp_net_request_seconds{type=\"metrics\"}" &&
+        hist.count() > 0) {
+      saw_request_histogram = true;
+    }
+    if (name == "tcdp_bank_step_seconds" && hist.count() > 0) {
+      saw_bank_step = true;
+    }
+  }
+  EXPECT_TRUE(saw_request_histogram);
+  EXPECT_TRUE(saw_bank_step);
+  ASSERT_TRUE((*client)->Close().ok());
+}
+
+TEST(ObsWire, TraceDumpWithoutHandlerIsFailedPrecondition) {
+  auto ts = ObsTestServer::Start();
+  ASSERT_NE(ts, nullptr);
+  auto client = NetClient::Connect("127.0.0.1", ts->server->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  const Status status = (*client)->TraceDump();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+}
+
+TEST(ObsWire, TraceDumpRunsTheConfiguredHook) {
+  std::atomic<int> dumps{0};
+  NetServerOptions options;
+  options.on_trace_dump = [&dumps]() {
+    dumps.fetch_add(1);
+    return Status::OK();
+  };
+  auto ts = ObsTestServer::Start(options);
+  ASSERT_NE(ts, nullptr);
+  auto client = NetClient::Connect("127.0.0.1", ts->server->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE((*client)->TraceDump().ok());
+  ASSERT_TRUE((*client)->TraceDump().ok());
+  EXPECT_EQ(dumps.load(), 2);
+  ASSERT_TRUE((*client)->Close().ok());
+}
+
+TEST(ObsWire, MetricsSurvivesDisabledRegistry) {
+  // With metrics off the snapshot still decodes (instruments freeze,
+  // the request itself is not an error).
+  auto ts = ObsTestServer::Start();
+  ASSERT_NE(ts, nullptr);
+  auto client = NetClient::Connect("127.0.0.1", ts->server->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+  obs::SetMetricsEnabled(false);
+  auto snapshot = (*client)->Metrics();
+  obs::SetMetricsEnabled(true);
+  ASSERT_TRUE(snapshot.ok()) << snapshot.status();
+  ASSERT_TRUE((*client)->Close().ok());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace tcdp

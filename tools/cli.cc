@@ -6,9 +6,13 @@
 #include <map>
 #include <optional>
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "bench/compare.h"
 #include "bench/harness.h"
@@ -25,6 +29,8 @@
 #include "markov/io.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "server/sharded_service.h"
 #include "service/fleet_engine.h"
 #include "workload/generators.h"
@@ -590,6 +596,11 @@ void PrintServiceJson(server::ShardedReleaseService* service,
       << ",\n"
       << "  \"overall_alpha\": " << overall_alpha << ",\n"
       << "  \"min_personalized_alpha\": " << min_alpha << ",\n"
+      << "  \"cache\": {\"hits\": " << stats.cache_hits
+      << ", \"misses\": " << stats.cache_misses
+      << ", \"entries\": " << stats.cache_entries
+      << ", \"distinct_matrices\": " << stats.cache_distinct_matrices
+      << "},\n"
       << "  \"shard_stats\": [";
   for (std::size_t s = 0; s < service->num_shards(); ++s) {
     const server::ShardStats shard = service->shard_stats(s);
@@ -605,6 +616,7 @@ void PrintServiceJson(server::ShardedReleaseService* service,
         << ", \"restored_from_snapshot\": "
         << (shard.restored_from_snapshot ? "true" : "false")
         << ", \"queue_depth\": " << shard.queue_depth
+        << ", \"queue_depth_hwm\": " << shard.queue_depth_hwm
         << ", \"enqueue_blocks\": " << shard.enqueue_blocks << "}";
   }
   out << "\n  ],";
@@ -631,6 +643,84 @@ void PrintServiceJson(server::ShardedReleaseService* service,
   }
   out << "\n  ]\n}\n";
 }
+
+/// Crash-safe file publication (tmp + rename), so a scraper polling
+/// the metrics dump never reads a half-written file.
+Status WriteFileAtomic(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) return Status::Internal("cannot write " + tmp);
+    file << contents;
+    if (!file) return Status::Internal("cannot write " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename " + tmp + " to " + path);
+  }
+  return Status::OK();
+}
+
+/// Dumps the registry to the configured paths: JSON
+/// (scripts/check_metrics_schema.py's schema, shared with
+/// `tcdp stats --json`) and/or Prometheus text exposition.
+Status DumpMetricsFiles(const std::string& json_path,
+                        const std::string& prom_path) {
+  const obs::MetricsSnapshot snapshot = obs::Registry::Default().Snapshot();
+  if (!json_path.empty()) {
+    TCDP_RETURN_IF_ERROR(
+        WriteFileAtomic(json_path, obs::MetricsJson(snapshot)));
+  }
+  if (!prom_path.empty()) {
+    TCDP_RETURN_IF_ERROR(
+        WriteFileAtomic(prom_path, obs::MetricsPrometheusText(snapshot)));
+  }
+  return Status::OK();
+}
+
+/// Background thread republishing the metrics files every interval
+/// while Serve blocks the main thread. Snapshot/serialize never touch
+/// the service, only the obs registry (thread-safe by construction).
+class MetricsDumper {
+ public:
+  MetricsDumper(std::string json_path, std::string prom_path,
+                std::size_t interval_ms)
+      : json_path_(std::move(json_path)),
+        prom_path_(std::move(prom_path)),
+        interval_ms_(interval_ms) {
+    if (interval_ms_ > 0 && (!json_path_.empty() || !prom_path_.empty())) {
+      worker_ = std::thread([this] { Loop(); });
+    }
+  }
+
+  ~MetricsDumper() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (worker_.joinable()) worker_.join();
+  }
+
+ private:
+  void Loop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      lock.unlock();
+      (void)DumpMetricsFiles(json_path_, prom_path_);
+      lock.lock();
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                   [this] { return stop_; });
+    }
+  }
+
+  std::string json_path_;
+  std::string prom_path_;
+  std::size_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread worker_;
+};
 
 Status CmdServe(const Flags& flags, std::ostream& out) {
   const bool listen = flags.count("listen") > 0;
@@ -682,6 +772,40 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
     return Status::InvalidArgument("--json only supports '-' (stdout)");
   }
 
+  // Observability knobs. --no-metrics 1 turns the registry's write
+  // path off process-wide (the bench A/B switch); --trace-out arms the
+  // span ring, dumped on kTraceDump requests and at exit.
+  TCDP_ASSIGN_OR_RETURN(std::size_t no_metrics,
+                        FlagAsSize(flags, "no-metrics", std::size_t{0}));
+  obs::SetMetricsEnabled(no_metrics == 0);
+  std::string metrics_json_path;
+  std::string metrics_prom_path;
+  if (flags.count("metrics-json") > 0) {
+    metrics_json_path = flags.at("metrics-json");
+  }
+  if (flags.count("metrics-prom") > 0) {
+    metrics_prom_path = flags.at("metrics-prom");
+  }
+  TCDP_ASSIGN_OR_RETURN(
+      std::size_t metrics_interval_ms,
+      FlagAsSize(flags, "metrics-interval-ms", std::size_t{1000}));
+  std::string trace_out;
+  if (flags.count("trace-out") > 0) trace_out = flags.at("trace-out");
+  TCDP_ASSIGN_OR_RETURN(std::size_t trace_capacity,
+                        FlagAsSize(flags, "trace-capacity",
+                                   std::size_t{8192}));
+  if (!trace_out.empty()) {
+    obs::DefaultTrace().Start(trace_capacity);
+  }
+  auto dump_trace = [&trace_out]() -> Status {
+    if (trace_out.empty()) {
+      return Status::FailedPrecondition(
+          "server has no trace output configured (start it with "
+          "--trace-out)");
+    }
+    return WriteFileAtomic(trace_out, obs::DefaultTrace().DumpJson());
+  };
+
   TCDP_ASSIGN_OR_RETURN(auto service,
                         server::ShardedReleaseService::Create(log_dir,
                                                               options));
@@ -704,6 +828,7 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
     net::NetServerOptions net_options;
     net_options.port = static_cast<std::uint16_t>(port);
     if (flags.count("host") > 0) net_options.host = flags.at("host");
+    if (!trace_out.empty()) net_options.on_trace_dump = dump_trace;
     TCDP_ASSIGN_OR_RETURN(auto net_server,
                           net::NetServer::Listen(service.get(),
                                                  net_options));
@@ -722,11 +847,24 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
       out.flush();
     }
     WallTimer timer;
-    TCDP_RETURN_IF_ERROR(net_server->Serve());
+    {
+      MetricsDumper dumper(metrics_json_path, metrics_prom_path,
+                           metrics_interval_ms);
+      TCDP_RETURN_IF_ERROR(net_server->Serve());
+    }
     outcome.elapsed_seconds += timer.ElapsedSeconds();
     net_stats = net_server->stats();
     served = true;
     TCDP_RETURN_IF_ERROR(service->Flush());
+  }
+  // Final publication so a script-only run (no --listen) still leaves
+  // dumps behind, and a served run's files cover the whole lifetime.
+  if (!metrics_json_path.empty() || !metrics_prom_path.empty()) {
+    TCDP_RETURN_IF_ERROR(
+        DumpMetricsFiles(metrics_json_path, metrics_prom_path));
+  }
+  if (!trace_out.empty()) {
+    TCDP_RETURN_IF_ERROR(dump_trace());
   }
   TCDP_ASSIGN_OR_RETURN(auto alphas, service->PersonalizedAlphas());
   double overall = 0.0;
@@ -764,6 +902,9 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
         std::to_string(stats.join_requests + stats.release_requests));
     add("micro-batch ticks", std::to_string(stats.ticks));
     add("global releases", std::to_string(stats.global_releases));
+    add("loss cache hits/misses", std::to_string(stats.cache_hits) + "/" +
+                                      std::to_string(stats.cache_misses));
+    add("loss cache entries", std::to_string(stats.cache_entries));
     add("horizon", std::to_string(service->horizon()));
     add("overall alpha (max TPL)", FormatNumber(overall, 6));
     add("min personalized alpha", FormatNumber(min_alpha, 6));
@@ -895,6 +1036,73 @@ Status CmdClient(const Flags& flags, std::ostream& out) {
           << "\n";
     }
   }
+  return client->Close();
+}
+
+/// `tcdp stats`: one-shot observability scrape of a live server over
+/// the wire — the typed kMetrics snapshot (counters, gauges, latency
+/// histograms) plus the kStats service counters. --json emits the
+/// exact MetricsJson schema (same as `serve --metrics-json` dumps), so
+/// scripts/check_metrics_schema.py validates either source.
+Status CmdStats(const Flags& flags, std::ostream& out) {
+  TCDP_ASSIGN_OR_RETURN(std::size_t port, FlagAsSize(flags, "port"));
+  if (port == 0 || port > 65535) {
+    return Status::InvalidArgument("--port must be in 1-65535");
+  }
+  std::string host = "127.0.0.1";
+  if (flags.count("host") > 0) host = flags.at("host");
+  const bool json = flags.count("json") > 0;
+  if (json && flags.at("json") != "-") {
+    return Status::InvalidArgument("--json only supports '-' (stdout)");
+  }
+  TCDP_ASSIGN_OR_RETURN(std::size_t trace_dump,
+                        FlagAsSize(flags, "trace-dump", std::size_t{0}));
+
+  TCDP_ASSIGN_OR_RETURN(
+      auto client,
+      net::NetClient::Connect(host, static_cast<std::uint16_t>(port)));
+  TCDP_ASSIGN_OR_RETURN(obs::MetricsSnapshot metrics, client->Metrics());
+  if (trace_dump != 0) {
+    TCDP_RETURN_IF_ERROR(client->TraceDump());
+  }
+  if (json) {
+    out << obs::MetricsJson(metrics);
+    return client->Close();
+  }
+  TCDP_ASSIGN_OR_RETURN(auto stats, client->Stats());
+  Table table({"metric", "value"});
+  auto add = [&table](const std::string& name, const std::string& value) {
+    table.AddRow();
+    table.AddCell(name);
+    table.AddCell(value);
+  };
+  add("server", host + ":" + std::to_string(port));
+  add("shards", std::to_string(stats.num_shards));
+  add("users", std::to_string(stats.num_users));
+  add("horizon", std::to_string(stats.horizon));
+  add("join requests", std::to_string(stats.join_requests));
+  add("release requests", std::to_string(stats.release_requests));
+  add("ticks", std::to_string(stats.ticks));
+  add("global releases", std::to_string(stats.global_releases));
+  for (const auto& [name, value] : metrics.counters) {
+    add(name, std::to_string(value));
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    add(name, std::to_string(value));
+  }
+  out << table.ToAlignedString();
+
+  Table latency({"histogram", "count", "p50", "p90", "p99", "max"});
+  for (const auto& [name, snapshot] : metrics.histograms) {
+    latency.AddRow();
+    latency.AddCell(name);
+    latency.AddCell(std::to_string(snapshot.count()));
+    latency.AddCell(FormatNumber(snapshot.Quantile(0.5), 6));
+    latency.AddCell(FormatNumber(snapshot.Quantile(0.9), 6));
+    latency.AddCell(FormatNumber(snapshot.Quantile(0.99), 6));
+    latency.AddCell(FormatNumber(snapshot.max_observed, 6));
+  }
+  out << latency.ToAlignedString();
   return client->Close();
 }
 
@@ -1211,10 +1419,18 @@ std::string HelpText() {
       "             [--compact-bytes B] [--compact-records R]\n"
       "             [--threads-per-shard K] [--kernels scalar|auto]\n"
       "             [--listen PORT] [--host H] [--port-file P] [--json -]\n"
+      "             [--no-metrics 1] [--metrics-json F] [--metrics-prom F]\n"
+      "             [--metrics-interval-ms MS] [--trace-out F]\n"
+      "             [--trace-capacity N]\n"
       "  client     replay a serve script against a remote server over\n"
       "             the wire protocol (pipelined; see docs/PROTOCOL.md)\n"
       "             --port PORT --script S.txt [--host H]\n"
       "             [--pipeline N] [--shutdown 1] [--json -]\n"
+      "  stats      scrape a live server's metrics over the wire (tick\n"
+      "             and WAL latency histograms, queue gauges, cache\n"
+      "             counters); --trace-dump 1 also asks the server to\n"
+      "             write its span ring to its --trace-out path\n"
+      "             --port PORT [--host H] [--json -] [--trace-dump 1]\n"
       "  replay     recover a service from its log dir; --verify 1\n"
       "             replays every user's exported accountant blob and\n"
       "             checks the recovered series bitwise\n"
@@ -1254,6 +1470,7 @@ Status Run(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "fleet") return CmdFleet(flags, out);
   if (command == "serve") return CmdServe(flags, out);
   if (command == "client") return CmdClient(flags, out);
+  if (command == "stats") return CmdStats(flags, out);
   if (command == "replay") return CmdReplay(flags, out);
   if (command == "compact") return CmdCompact(flags, out);
   return Status::InvalidArgument("unknown command '" + command +
