@@ -13,11 +13,14 @@ Usage:
   check_metrics_schema.py dump.json [more.json ...]
   check_metrics_schema.py --prom dump.prom [more.prom ...]
   check_metrics_schema.py --monotonic first.json second.json
+  check_metrics_schema.py --monotonic --prom first.prom second.prom
   check_metrics_schema.py --self-test
 
 --monotonic additionally checks counter monotonicity across two
 scrapes taken from the same server (every counter present in both must
-not decrease; histogram counts too).
+not decrease; histogram counts too). With --prom it compares two
+Prometheus dumps instead: counter samples plus histogram _count and
+_bucket series must be non-decreasing.
 
 --self-test feeds deliberately malformed documents through both
 validators and fails if any is accepted.
@@ -170,7 +173,7 @@ def check_prometheus(text):
             if counts.get(key, counts.get("")) != values[-1]:
                 raise SchemaError(
                     f"{base}{key}: +Inf bucket != _count")
-    return samples
+    return samples, declared
 
 
 # ---------------------------------------------------------- monotonicity
@@ -192,6 +195,35 @@ def check_monotonic(first, second):
                 raise SchemaError(
                     f"histogram '{name}' count decreased: "
                     f"{before} -> {hist['count']}")
+
+
+def prom_monotone_samples(samples, declared):
+    """The subset of a Prometheus scrape that must never decrease on
+    the same server: counter samples, histogram _count samples, and
+    cumulative _bucket series."""
+    out = {}
+    for full, value in samples.items():
+        name = full.split("{", 1)[0]
+        if declared.get(name) == "counter":
+            out[full] = value
+            continue
+        for suffix in ("_count", "_bucket"):
+            if name.endswith(suffix) and \
+                    declared.get(name[:-len(suffix)]) == "histogram":
+                out[full] = value
+    return out
+
+
+def check_prom_monotonic(first_text, second_text):
+    first_samples, first_declared = check_prometheus(first_text)
+    second_samples, second_declared = check_prometheus(second_text)
+    first = prom_monotone_samples(first_samples, first_declared)
+    second = prom_monotone_samples(second_samples, second_declared)
+    for full, value in second.items():
+        if full in first and value < first[full]:
+            raise SchemaError(
+                f"sample '{full}' decreased: {first[full]} -> {value}")
+    return len(second)
 
 
 # -------------------------------------------------------------- self-test
@@ -317,6 +349,35 @@ def self_test():
     except SchemaError:
         rejected += 1
 
+    # Prometheus monotonicity: identical scrapes pass; a decreasing
+    # counter, a decreasing histogram _count, and a decreasing _bucket
+    # sample are each rejected; gauges are free to fall.
+    check_prom_monotonic(VALID_PROM, VALID_PROM)
+    check_prom_monotonic(VALID_PROM,
+                         VALID_PROM.replace("tcdp_depth{shard=\"0\"} -2",
+                                            "tcdp_depth{shard=\"0\"} -9"))
+    for description, first, second in (
+            ("decreasing prom counter",
+             VALID_PROM, VALID_PROM.replace("tcdp_x_total 3",
+                                            "tcdp_x_total 2")),
+            ("decreasing prom histogram count",
+             VALID_PROM,
+             VALID_PROM.replace("tcdp_lat_seconds_count 2",
+                                "tcdp_lat_seconds_count 1")
+             .replace('tcdp_lat_seconds_bucket{le="1"} 2',
+                      'tcdp_lat_seconds_bucket{le="1"} 1')
+             .replace('tcdp_lat_seconds_bucket{le="+Inf"} 2',
+                      'tcdp_lat_seconds_bucket{le="+Inf"} 1')),
+            ("decreasing prom bucket",
+             VALID_PROM,
+             VALID_PROM.replace('tcdp_lat_seconds_bucket{le="0.1"} 1',
+                                'tcdp_lat_seconds_bucket{le="0.1"} 0'))):
+        try:
+            check_prom_monotonic(first, second)
+            raise SystemExit(f"self-test: accepted {description}")
+        except SchemaError:
+            rejected += 1
+
     print(f"self-test OK: {rejected} malformed documents rejected")
 
 
@@ -342,12 +403,26 @@ def main(argv):
         for path in argv[2:]:
             with open(path, encoding="utf-8") as handle:
                 try:
-                    samples = check_prometheus(handle.read())
+                    samples, _ = check_prometheus(handle.read())
                 except SchemaError as err:
                     raise SystemExit(f"{path}: {err}")
             print(f"{path}: OK ({len(samples)} samples)")
         return 0
     if argv[1] == "--monotonic":
+        if len(argv) >= 3 and argv[2] == "--prom":
+            if len(argv) != 5:
+                raise SystemExit(__doc__)
+            with open(argv[3], encoding="utf-8") as handle:
+                first_text = handle.read()
+            with open(argv[4], encoding="utf-8") as handle:
+                second_text = handle.read()
+            try:
+                checked = check_prom_monotonic(first_text, second_text)
+            except SchemaError as err:
+                raise SystemExit(f"{argv[4]}: {err}")
+            print(f"{argv[3]} -> {argv[4]}: prom samples monotone "
+                  f"({checked} monotone samples)")
+            return 0
         if len(argv) != 4:
             raise SystemExit(__doc__)
         first, second = load_json(argv[2]), load_json(argv[3])

@@ -23,6 +23,7 @@
 #include "common/timer.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "server/sharded_service.h"
 
 namespace tcdp {
@@ -51,6 +52,15 @@ StatusOr<ObsRunResult> RunOnce(const ServiceWorkload& workload,
     obs::DefaultTrace().Start(4096);
   } else {
     obs::DefaultTrace().Stop();
+  }
+  // The instrumented run carries the full PR-9 diagnostics stack too:
+  // an active watchdog scanning the shard heartbeats while the
+  // workload drives them, so the 5% overhead gate prices in the scans.
+  obs::Watchdog watchdog(
+      {/*interval_ms=*/50, /*stall_ticks=*/3, /*wal_fsync_p99_factor=*/8.0,
+       /*flight_recorder=*/nullptr});
+  if (instrumented) {
+    TCDP_RETURN_IF_ERROR(watchdog.Start());
   }
   const auto profiles = MakeServiceProfiles(workload);
   const auto requests = MakeServiceRequests(workload);

@@ -278,9 +278,60 @@ StatusOr<obs::MetricsSnapshot> NetClient::Metrics() {
   return first_error_;
 }
 
-Status NetClient::TraceDump() {
-  TCDP_RETURN_IF_ERROR(SendPipelined(MsgType::kTraceDump, std::string()));
-  return Drain();
+StatusOr<std::string> NetClient::TraceDump() {
+  TCDP_RETURN_IF_ERROR(Drain());
+  std::string bytes;
+  AppendFrame(&bytes, MsgType::kTraceDump, std::string());
+  TCDP_RETURN_IF_ERROR(SendAll(bytes));
+  ++requests_sent_;
+  Frame frame;
+  TCDP_RETURN_IF_ERROR(ReadFrame(&frame));
+  if (frame.type == MsgType::kTraceDumpReport) {
+    return DecodeTraceDumpReport(frame.payload);
+  }
+  if (frame.type == MsgType::kError) {
+    Status error;
+    const Status decoded = DecodeError(frame.payload, &error);
+    // "No --trace-out configured" does not latch: nothing about the
+    // applied state is in doubt.
+    return decoded.ok() ? error : decoded;
+  }
+  first_error_ = Status::Internal(
+      "expected a trace dump frame, got type " +
+      std::to_string(static_cast<unsigned>(frame.type)));
+  return first_error_;
+}
+
+StatusOr<WireHealthReport> NetClient::ProbeHealth(MsgType type) {
+  TCDP_RETURN_IF_ERROR(Drain());
+  std::string bytes;
+  AppendFrame(&bytes, type, std::string());
+  TCDP_RETURN_IF_ERROR(SendAll(bytes));
+  ++requests_sent_;
+  Frame frame;
+  TCDP_RETURN_IF_ERROR(ReadFrame(&frame));
+  if (frame.type == MsgType::kHealthReport) {
+    return DecodeHealthReport(frame.payload);
+  }
+  if (frame.type == MsgType::kError) {
+    Status error;
+    const Status decoded = DecodeError(frame.payload, &error);
+    // An errored probe (e.g. an old server that does not speak
+    // kHealth) does not latch: monitoring keeps polling.
+    return decoded.ok() ? error : decoded;
+  }
+  first_error_ = Status::Internal(
+      "expected a health frame, got type " +
+      std::to_string(static_cast<unsigned>(frame.type)));
+  return first_error_;
+}
+
+StatusOr<WireHealthReport> NetClient::Health() {
+  return ProbeHealth(MsgType::kHealth);
+}
+
+StatusOr<WireHealthReport> NetClient::Ready() {
+  return ProbeHealth(MsgType::kReady);
 }
 
 Status NetClient::Shutdown() {

@@ -78,9 +78,17 @@ class NetClient {
   /// latency histograms) decoded from a kMetricsReport frame.
   StatusOr<obs::MetricsSnapshot> Metrics();
   /// Asks the server to dump its trace ring to its configured
-  /// --trace-out path (server-side; nothing crosses the wire but the
-  /// ack). FailedPrecondition when the server has no trace output.
-  Status TraceDump();
+  /// --trace-out path and returns that path (server-side; nothing
+  /// crosses the wire but the path). FailedPrecondition when the
+  /// server has no trace output — which, like a Query miss, does not
+  /// latch: the applied state is not in doubt.
+  StatusOr<std::string> TraceDump();
+  /// Liveness probe: the watchdog's view (event loop responsive, all
+  /// heartbeats fresh) plus the host's extra checks (WAL dir
+  /// writable). Never queues behind the shard workers.
+  StatusOr<WireHealthReport> Health();
+  /// Readiness probe: recovery/preload complete AND healthy.
+  StatusOr<WireHealthReport> Ready();
   /// Asks the server to stop serving (it acks, flushes, and exits its
   /// loop). The connection is unusable afterwards.
   Status Shutdown();
@@ -101,6 +109,8 @@ class NetClient {
 
   /// Sends one framed request, reading acks when the pipeline is full.
   Status SendPipelined(MsgType type, const std::string& payload);
+  /// Shared kHealth/kReady sync-point body.
+  StatusOr<WireHealthReport> ProbeHealth(MsgType type);
   Status SendAll(const std::string& bytes);
   /// After a write failure, drains any already-received kError frame —
   /// the server's explanation for closing — and returns it in place of

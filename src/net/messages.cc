@@ -225,5 +225,79 @@ StatusOr<WireServiceStats> DecodeStatsReport(const std::string& payload) {
   return stats;
 }
 
+std::string EncodeHealthReport(const WireHealthReport& report) {
+  std::string out;
+  PutVarint64(&out, report.healthy ? 1 : 0);
+  PutVarint64(&out, report.ready ? 1 : 0);
+  PutVarint64(&out, report.scans);
+  PutLengthPrefixed(&out, report.reason);
+  PutVarint64(&out, report.components.size());
+  for (const WireComponentHealth& component : report.components) {
+    PutLengthPrefixed(&out, component.name);
+    PutVarint64(&out, component.kind);
+    PutVarint64(&out, component.stalled ? 1 : 0);
+    PutVarint64(&out, component.progress);
+    PutVarint64(&out, component.pending);
+    PutVarint64(&out, component.age_ns);
+    PutLengthPrefixed(&out, component.detail);
+  }
+  return out;
+}
+
+StatusOr<WireHealthReport> DecodeHealthReport(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  WireHealthReport report;
+  std::uint64_t healthy = 0;
+  std::uint64_t ready = 0;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&healthy));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&ready));
+  if (healthy > 1 || ready > 1) {
+    return Status::InvalidArgument("DecodeHealthReport: flag not 0/1");
+  }
+  report.healthy = healthy == 1;
+  report.ready = ready == 1;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&report.scans));
+  TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&report.reason));
+  std::uint64_t count = 0;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&count));
+  // Each component row is at least 7 one-byte fields.
+  if (count > cursor.remaining() / 7) {
+    return Status::InvalidArgument(
+        "DecodeHealthReport: component count exceeds payload");
+  }
+  report.components.resize(static_cast<std::size_t>(count));
+  for (WireComponentHealth& component : report.components) {
+    TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&component.name));
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&component.kind));
+    std::uint64_t stalled = 0;
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&stalled));
+    if (component.kind > 2 || stalled > 1) {
+      return Status::InvalidArgument(
+          "DecodeHealthReport: component kind/stalled out of range");
+    }
+    component.stalled = stalled == 1;
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&component.progress));
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&component.pending));
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&component.age_ns));
+    TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&component.detail));
+  }
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeHealthReport"));
+  return report;
+}
+
+std::string EncodeTraceDumpReport(const std::string& path) {
+  std::string out;
+  PutLengthPrefixed(&out, path);
+  return out;
+}
+
+StatusOr<std::string> DecodeTraceDumpReport(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  std::string path;
+  TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&path));
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeTraceDumpReport"));
+  return path;
+}
+
 }  // namespace net
 }  // namespace tcdp

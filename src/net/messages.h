@@ -84,6 +84,34 @@ StatusOr<server::UserReport> DecodeReport(const std::string& payload);
 std::string EncodeStatsReport(const WireServiceStats& stats);
 StatusOr<WireServiceStats> DecodeStatsReport(const std::string& payload);
 
+/// kHealthReport response: the watchdog's classification, answering
+/// both kHealth (liveness) and kReady (readiness) probes.
+struct WireComponentHealth {
+  std::string name;
+  std::uint64_t kind = 0;  ///< obs::HeartbeatKind numeric value
+  bool stalled = false;
+  std::uint64_t progress = 0;
+  std::uint64_t pending = 0;
+  std::uint64_t age_ns = 0;
+  std::string detail;  ///< stall classification; empty when healthy
+};
+
+struct WireHealthReport {
+  bool healthy = false;
+  bool ready = false;
+  std::uint64_t scans = 0;    ///< watchdog scans completed
+  std::string reason;         ///< first failure explanation; "" if ok
+  std::vector<WireComponentHealth> components;
+};
+
+std::string EncodeHealthReport(const WireHealthReport& report);
+StatusOr<WireHealthReport> DecodeHealthReport(const std::string& payload);
+
+/// kTraceDumpReport response: the path the server wrote its trace ring
+/// to (a bare length-prefixed string, same shape as a name payload).
+std::string EncodeTraceDumpReport(const std::string& path);
+StatusOr<std::string> DecodeTraceDumpReport(const std::string& payload);
+
 }  // namespace net
 }  // namespace tcdp
 

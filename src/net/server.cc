@@ -69,6 +69,10 @@ const char* RequestTypeName(MsgType type) {
       return "metrics";
     case MsgType::kTraceDump:
       return "trace_dump";
+    case MsgType::kHealth:
+      return "health";
+    case MsgType::kReady:
+      return "ready";
     default:
       return "other";
   }
@@ -263,7 +267,8 @@ void NetServer::HandleFrame(Connection* conn, MsgType type,
   if ((type == MsgType::kFlush || type == MsgType::kSnapshot ||
        type == MsgType::kCompact || type == MsgType::kStats ||
        type == MsgType::kShutdown || type == MsgType::kMetrics ||
-       type == MsgType::kTraceDump) &&
+       type == MsgType::kTraceDump || type == MsgType::kHealth ||
+       type == MsgType::kReady) &&
       !payload.empty()) {
     AppendFrame(&conn->out, MsgType::kError,
                 EncodeError(Status::InvalidArgument(
@@ -386,13 +391,33 @@ void NetServer::HandleFrame(Connection* conn, MsgType type,
       ++stats_.responses;
       return;
     }
-    case MsgType::kTraceDump:
-      applied = options_.on_trace_dump
-                    ? options_.on_trace_dump()
-                    : Status::FailedPrecondition(
-                          "server has no trace output configured "
-                          "(start it with --trace-out)");
-      break;
+    case MsgType::kTraceDump: {
+      if (!options_.on_trace_dump) {
+        applied = Status::FailedPrecondition(
+            "server has no trace output configured (start it with "
+            "--trace-out)");
+        break;
+      }
+      StatusOr<std::string> path = options_.on_trace_dump();
+      if (!path.ok()) {
+        applied = path.status();
+        break;
+      }
+      AppendFrame(&conn->out, MsgType::kTraceDumpReport,
+                  EncodeTraceDumpReport(*path));
+      ++stats_.responses;
+      return;
+    }
+    case MsgType::kHealth:
+    case MsgType::kReady: {
+      const std::string encoded =
+          EncodeHealthReport(BuildHealthReport());
+      // A health report is bounded by the heartbeat count (a handful of
+      // components), far inside kMaxFramePayload.
+      AppendFrame(&conn->out, MsgType::kHealthReport, encoded);
+      ++stats_.responses;
+      return;
+    }
     case MsgType::kShutdown:
       stopping_ = true;
       break;
@@ -448,6 +473,16 @@ Status NetServer::Serve() {
     return Status::FailedPrecondition("NetServer::Serve already ran");
   }
   served_ = true;
+  // The event-loop heartbeat: touched every poll round (the 100ms
+  // timeout is the natural cadence), beaten when work was dispatched.
+  // The watchdog reads staleness here as "the I/O thread is wedged" —
+  // e.g. blocked in a full shard queue's Push.
+  obs::HeartbeatInfo heartbeat_info;
+  heartbeat_info.name = "net-io";
+  heartbeat_info.kind = obs::HeartbeatKind::kEventLoop;
+  heartbeat_info.expected_period_ns = 100ull * 1000000ull;
+  obs::HeartbeatHandle heartbeat =
+      obs::HeartbeatRegistry::Default().Register(std::move(heartbeat_info));
   std::vector<pollfd> fds;
   std::vector<Connection*> polled;
   int stop_grace_rounds = 0;
@@ -497,6 +532,11 @@ Status NetServer::Serve() {
     if (ready < 0) {
       if (errno == EINTR) continue;
       return ErrnoStatus("poll");
+    }
+    if (ready > 0) {
+      heartbeat.Beat();
+    } else {
+      heartbeat.Touch();
     }
 
     if (fds[1].revents & POLLIN) {
@@ -551,6 +591,50 @@ Status NetServer::Serve() {
   connections_.clear();
   CloseFd(&listen_fd_);
   return Status::OK();
+}
+
+WireHealthReport NetServer::BuildHealthReport() const {
+  WireHealthReport report;
+  if (options_.watchdog == nullptr) {
+    // A server that can run this code has a live event loop; with no
+    // watchdog that is all the liveness evidence there is.
+    report.healthy = true;
+    report.ready = true;
+    report.reason = "no watchdog configured";
+  } else {
+    const obs::HealthSnapshot snapshot = options_.watchdog->Snapshot();
+    report.healthy = snapshot.healthy;
+    report.ready = snapshot.ready;
+    report.scans = snapshot.scans;
+    report.components.reserve(snapshot.components.size());
+    for (const obs::ComponentHealth& component : snapshot.components) {
+      WireComponentHealth wire;
+      wire.name = component.name;
+      wire.kind = static_cast<std::uint64_t>(component.kind);
+      wire.stalled = component.stalled;
+      wire.progress = component.progress;
+      wire.pending = component.pending;
+      wire.age_ns = component.age_ns;
+      wire.detail = component.detail;
+      if (component.stalled && report.reason.empty()) {
+        report.reason = component.name + ": " + component.detail;
+      }
+      report.components.push_back(std::move(wire));
+    }
+    if (!report.ready && report.reason.empty()) {
+      report.reason = snapshot.healthy ? "not ready (recovery incomplete)"
+                                       : "unhealthy";
+    }
+  }
+  if (options_.health_probe) {
+    const Status probed = options_.health_probe();
+    if (!probed.ok()) {
+      report.healthy = false;
+      report.ready = false;
+      report.reason = probed.message();
+    }
+  }
+  return report;
 }
 
 }  // namespace net

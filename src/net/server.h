@@ -49,7 +49,9 @@
 #include <vector>
 
 #include "common/status.h"
+#include "net/messages.h"
 #include "net/wire.h"
+#include "obs/watchdog.h"
 #include "server/sharded_service.h"
 
 namespace tcdp {
@@ -68,11 +70,19 @@ struct NetServerOptions {
   /// Buffered response bytes per connection before reads pause.
   std::size_t max_write_buffer = 4u << 20;
   /// kTraceDump handler: dumps the server's trace ring to wherever the
-  /// host configured (`tcdp serve --trace-out`) and returns the result;
-  /// the client gets kOk/kError, never the dump itself (trace JSON can
-  /// dwarf kMaxFramePayload). Unset means kTraceDump answers
-  /// FailedPrecondition.
-  std::function<Status()> on_trace_dump;
+  /// host configured (`tcdp serve --trace-out`) and returns the written
+  /// path, carried back in kTraceDumpReport; the dump itself never
+  /// crosses the wire (trace JSON can dwarf kMaxFramePayload). Unset
+  /// means kTraceDump answers FailedPrecondition.
+  std::function<StatusOr<std::string>()> on_trace_dump;
+  /// kHealth/kReady source: the host's watchdog (not owned; must
+  /// outlive Serve). Null degrades gracefully — the probes answer
+  /// healthy/ready with a "no watchdog configured" reason, since a
+  /// responding event loop is itself the liveness floor.
+  const obs::Watchdog* watchdog = nullptr;
+  /// Extra liveness probe ANDed into kHealth (e.g. "WAL dir still
+  /// writable"). Runs on the I/O thread; keep it cheap.
+  std::function<Status()> health_probe;
 };
 
 struct NetServerStats {
@@ -133,6 +143,10 @@ class NetServer {
   void HandleFrame(Connection* conn, MsgType type,
                    const std::string& payload);
   bool WriteTo(Connection* conn);
+  /// Assembles the kHealth/kReady answer from the watchdog snapshot
+  /// plus the host's extra probe. Never touches the service — a health
+  /// check must not queue behind the very shards it is diagnosing.
+  WireHealthReport BuildHealthReport() const;
 
   server::ShardedReleaseService* service_;  // not owned
   NetServerOptions options_;

@@ -61,13 +61,17 @@ enum class MsgType : std::uint8_t {
   kCompact = 9,     ///< empty payload; flush + compact every shard WAL
   kMetrics = 10,    ///< empty payload; returns the metrics snapshot
   kTraceDump = 11,  ///< empty payload; server dumps its trace ring
+  kHealth = 12,     ///< empty payload; liveness probe (watchdog state)
+  kReady = 13,      ///< empty payload; readiness probe
 
   // Responses (server -> client).
   kOk = 64,           ///< empty payload
   kError = 65,        ///< payload: status code + message
   kReport = 66,       ///< payload: one user's accounting
   kStatsReport = 67,  ///< payload: service + per-shard counters
-  kMetricsReport = 68,  ///< payload: obs EncodeMetricsSnapshot blob
+  kMetricsReport = 68,    ///< payload: obs EncodeMetricsSnapshot blob
+  kHealthReport = 69,     ///< payload: health flags + per-component rows
+  kTraceDumpReport = 70,  ///< payload: path the trace ring was written to
 };
 
 struct Frame {

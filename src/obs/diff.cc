@@ -1,0 +1,108 @@
+#include "obs/diff.h"
+
+#include <algorithm>
+
+namespace tcdp {
+namespace obs {
+
+std::uint64_t MetricsDelta::CounterSum(const std::string& prefix) const {
+  std::uint64_t sum = 0;
+  for (const auto& entry : counters) {
+    if (entry.first.compare(0, prefix.size(), prefix) == 0) {
+      sum += entry.second;
+    }
+  }
+  return sum;
+}
+
+std::uint64_t MetricsDelta::CounterValue(const std::string& name) const {
+  for (const auto& entry : counters) {
+    if (entry.first == name) return entry.second;
+  }
+  return 0;
+}
+
+std::int64_t MetricsDelta::GaugeValue(const std::string& name) const {
+  for (const auto& entry : gauges) {
+    if (entry.first == name) return entry.second;
+  }
+  return 0;
+}
+
+bool SubtractHistogramSnapshots(const HistogramSnapshot& prev,
+                                const HistogramSnapshot& cur,
+                                HistogramSnapshot* out) {
+  if (prev.relative_error != cur.relative_error ||
+      prev.min_value != cur.min_value || prev.max_value != cur.max_value ||
+      prev.buckets.size() != cur.buckets.size()) {
+    return false;
+  }
+  HistogramSnapshot delta;
+  delta.relative_error = cur.relative_error;
+  delta.min_value = cur.min_value;
+  delta.max_value = cur.max_value;
+  // Counts are monotone per bucket; the clamp only matters against a
+  // snapshot from a different process incarnation, where the config
+  // check above usually catches it first.
+  delta.zero_count =
+      cur.zero_count >= prev.zero_count ? cur.zero_count - prev.zero_count : 0;
+  delta.overflow_count = cur.overflow_count >= prev.overflow_count
+                             ? cur.overflow_count - prev.overflow_count
+                             : 0;
+  delta.buckets.resize(cur.buckets.size());
+  for (std::size_t i = 0; i < cur.buckets.size(); ++i) {
+    delta.buckets[i] =
+        cur.buckets[i] >= prev.buckets[i] ? cur.buckets[i] - prev.buckets[i]
+                                          : 0;
+  }
+  delta.sum = std::max(0.0, cur.sum - prev.sum);
+  delta.max_observed = cur.max_observed;
+  *out = delta;
+  return true;
+}
+
+MetricsDelta DiffMetricsSnapshots(const MetricsSnapshot& prev,
+                                  const MetricsSnapshot& cur,
+                                  double interval_seconds) {
+  MetricsDelta delta;
+  delta.interval_seconds = interval_seconds;
+
+  // Snapshots are sorted by name (Registry::Snapshot contract), but a
+  // linear probe per entry keeps this correct for hand-built inputs
+  // too; metric cardinality is tiny.
+  for (const auto& entry : cur.counters) {
+    std::uint64_t previous = 0;
+    for (const auto& old : prev.counters) {
+      if (old.first == entry.first) {
+        previous = old.second;
+        break;
+      }
+    }
+    delta.counters.emplace_back(
+        entry.first,
+        entry.second >= previous ? entry.second - previous : entry.second);
+  }
+
+  delta.gauges = cur.gauges;
+
+  for (const auto& entry : cur.histograms) {
+    const HistogramSnapshot* previous = nullptr;
+    for (const auto& old : prev.histograms) {
+      if (old.first == entry.first) {
+        previous = &old.second;
+        break;
+      }
+    }
+    HistogramSnapshot diffed;
+    if (previous != nullptr &&
+        SubtractHistogramSnapshots(*previous, entry.second, &diffed)) {
+      delta.histograms.emplace_back(entry.first, std::move(diffed));
+    } else {
+      delta.histograms.emplace_back(entry.first, entry.second);
+    }
+  }
+  return delta;
+}
+
+}  // namespace obs
+}  // namespace tcdp

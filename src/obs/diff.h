@@ -1,0 +1,64 @@
+#ifndef TCDP_OBS_DIFF_H_
+#define TCDP_OBS_DIFF_H_
+
+/// \file
+/// Snapshot differencing: turns two consecutive registry snapshots
+/// into *rates* — what `tcdp top` renders live and `tcdp stats
+/// --watch` prints per interval. Pure functions over MetricsSnapshot;
+/// no registry access, so client-side tools diff wire snapshots from a
+/// remote server exactly like local ones.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tcdp {
+namespace obs {
+
+/// \brief The change between two snapshots of the same registry.
+struct MetricsDelta {
+  /// Interval the delta covers (caller-supplied; rates = delta / this).
+  double interval_seconds = 0.0;
+  /// Per-counter increase. Clamped at 0: a counter that appears to go
+  /// backwards (process restart between scrapes) reports its full new
+  /// value rather than a negative rate.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Gauges are levels, not totals — the *current* value passes
+  /// through unchanged.
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  /// Bucket-wise histogram subtraction: quantiles of the delta are the
+  /// quantiles of *this interval's* observations. A histogram whose
+  /// configuration changed between snapshots (or that is new) is
+  /// treated as fresh: the current snapshot passes through whole.
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+  /// Sum of counter deltas whose name starts with \p prefix (label
+  /// aggregation, e.g. all `tcdp_net_requests_total{type=...}`).
+  std::uint64_t CounterSum(const std::string& prefix) const;
+  /// Delta value for one exact counter name; 0 when absent.
+  std::uint64_t CounterValue(const std::string& name) const;
+  /// Current value for one exact gauge name; 0 when absent.
+  std::int64_t GaugeValue(const std::string& name) const;
+};
+
+/// Subtracts \p prev from \p cur bucket-by-bucket. Returns false (and
+/// leaves \p out untouched) when the configurations differ — the
+/// caller should fall back to treating \p cur as a fresh histogram.
+/// `max_observed` carries the *cumulative* maximum: per-interval
+/// maxima are not recoverable from cumulative snapshots.
+bool SubtractHistogramSnapshots(const HistogramSnapshot& prev,
+                                const HistogramSnapshot& cur,
+                                HistogramSnapshot* out);
+
+/// Diffs two snapshots taken \p interval_seconds apart (prev first).
+MetricsDelta DiffMetricsSnapshots(const MetricsSnapshot& prev,
+                                  const MetricsSnapshot& cur,
+                                  double interval_seconds);
+
+}  // namespace obs
+}  // namespace tcdp
+
+#endif  // TCDP_OBS_DIFF_H_

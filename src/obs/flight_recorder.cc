@@ -1,0 +1,287 @@
+#include "obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "bench/env.h"
+#include "obs/metrics.h"
+#include "obs/process_metrics.h"
+#include "obs/trace.h"
+
+namespace tcdp {
+namespace obs {
+
+namespace {
+
+constexpr const char* kBundlePrefix = "bundle-";
+
+std::string SanitizeReason(const std::string& reason) {
+  std::string out;
+  out.reserve(reason.size());
+  for (char c : reason) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    out.push_back(ok ? c : '-');
+    if (out.size() >= 48) break;
+  }
+  if (out.empty()) out = "manual";
+  return out;
+}
+
+Status WriteFileOrError(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("flight recorder: cannot open " + path);
+  }
+  out.write(contents.data(),
+            static_cast<std::streamsize>(contents.size()));
+  out.flush();
+  if (!out) {
+    return Status::Internal("flight recorder: short write to " + path);
+  }
+  return Status::OK();
+}
+
+std::string ProvenanceText() {
+  const bench::BuildInfo& build = bench::Build();
+  const bench::HardwareInfo& hw = bench::Hardware();
+  std::ostringstream out;
+  out << "time: " << bench::NowIso8601() << "\n"
+      << "git_sha: " << build.git_sha << "\n"
+      << "build_type: " << build.build_type << "\n"
+      << "build_flags: " << build.flags << "\n"
+      << "compiler: " << build.compiler << "\n"
+      << "hostname: " << hw.hostname << "\n"
+      << "cores: " << hw.cores << "\n"
+      << "cpu_mhz: " << hw.cpu_mhz << "\n";
+  return out.str();
+}
+
+std::vector<std::string> ListBundleNames(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kBundlePrefix, 0) == 0) names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+// ---------------------------------------------------------- crash state
+//
+// A fatal-signal handler may not allocate, lock, or touch iostreams, so
+// everything it needs is pre-staged here: a double-buffered state text
+// (the watchdog refreshes the inactive side, then flips the index, so
+// the handler always reads a fully written buffer) and a pre-formatted
+// output path. All plain statics + atomics — async-signal-safe to read.
+
+constexpr std::size_t kCrashBufSize = 1u << 16;
+char g_crash_buf[2][kCrashBufSize];
+std::atomic<std::size_t> g_crash_len[2];
+std::atomic<unsigned> g_crash_active{0};
+char g_crash_path[512] = {0};
+std::atomic<bool> g_crash_armed{false};
+
+/// Async-signal-safe decimal formatting into \p buf; returns length.
+std::size_t FormatUnsigned(unsigned long value, char* buf) {
+  char tmp[24];
+  std::size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + value % 10);
+    value /= 10;
+  } while (value != 0);
+  for (std::size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+void TcdpCrashHandler(int signo) {
+  FlightRecorder::WriteCrashFileFromSignal(signo);
+  // Restore the default disposition and re-raise so the process still
+  // dies with the original signal (core dumps, CI failure, ...).
+  signal(signo, SIG_DFL);
+  raise(signo);
+}
+
+}  // namespace
+
+void FlightRecorder::WriteCrashFileFromSignal(int signo) {
+  if (!g_crash_armed.load(std::memory_order_acquire)) return;
+  const int fd =
+      open(g_crash_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return;
+  char header[64];
+  std::size_t pos = 0;
+  const char* prefix = "tcdp crash dump: signal ";
+  std::memcpy(header + pos, prefix, std::strlen(prefix));
+  pos += std::strlen(prefix);
+  pos += FormatUnsigned(static_cast<unsigned long>(signo), header + pos);
+  header[pos++] = '\n';
+  // Partial writes are tolerated: any bytes that land are better than
+  // none, and retry loops in a dying process buy little.
+  ssize_t ignored = write(fd, header, pos);
+  const unsigned active = g_crash_active.load(std::memory_order_acquire);
+  ignored = write(fd, g_crash_buf[active],
+                  g_crash_len[active].load(std::memory_order_acquire));
+  (void)ignored;
+  close(fd);
+}
+
+FlightRecorder::FlightRecorder(FlightRecorderOptions options)
+    : options_(std::move(options)) {
+  if (options_.dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  // Continue numbering past bundles left by a previous process.
+  for (const std::string& name : ListBundleNames(options_.dir)) {
+    const std::uint64_t seq =
+        std::strtoull(name.c_str() + std::strlen(kBundlePrefix), nullptr, 10);
+    next_seq_ = std::max(next_seq_, seq + 1);
+  }
+}
+
+StatusOr<std::string> FlightRecorder::Trigger(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.dir.empty()) {
+    return Status::FailedPrecondition(
+        "flight recorder has no bundle directory (--diag-dir)");
+  }
+  const std::uint64_t seq = next_seq_++;
+  char seq_text[24];
+  std::snprintf(seq_text, sizeof(seq_text), "%06llu",
+                static_cast<unsigned long long>(seq));
+  const std::string name =
+      std::string(kBundlePrefix) + seq_text + "-" + SanitizeReason(reason);
+  const std::string tmp_dir = options_.dir + "/.tmp-" + name;
+  const std::string final_dir = options_.dir + "/" + name;
+
+  std::error_code ec;
+  std::filesystem::remove_all(tmp_dir, ec);
+  std::filesystem::create_directories(tmp_dir, ec);
+  if (ec) {
+    return Status::Internal("flight recorder: cannot create " + tmp_dir +
+                            ": " + ec.message());
+  }
+
+  UpdateProcessMetrics();
+  const MetricsSnapshot snapshot = Registry::Default().Snapshot();
+
+  std::ostringstream manifest;
+  manifest << "reason: " << reason << "\n"
+           << "bundle: " << name << "\n"
+           << ProvenanceText();
+
+  Status written = WriteFileOrError(tmp_dir + "/MANIFEST.txt", manifest.str());
+  if (written.ok()) {
+    written = WriteFileOrError(tmp_dir + "/metrics.bin",
+                               EncodeMetricsSnapshot(snapshot));
+  }
+  if (written.ok()) {
+    written = WriteFileOrError(tmp_dir + "/metrics.json",
+                               MetricsJson(snapshot));
+  }
+  if (written.ok()) {
+    written = WriteFileOrError(tmp_dir + "/trace.json",
+                               DefaultTrace().DumpJson());
+  }
+  if (written.ok()) {
+    written = WriteFileOrError(
+        tmp_dir + "/state.txt",
+        options_.state_text ? options_.state_text() : std::string("(none)\n"));
+  }
+  if (!written.ok()) {
+    std::filesystem::remove_all(tmp_dir, ec);
+    return written;
+  }
+
+  // One rename publishes the whole bundle: readers never observe a
+  // partial directory, the same contract as snapshot tmp+rename.
+  std::filesystem::rename(tmp_dir, final_dir, ec);
+  if (ec) {
+    std::filesystem::remove_all(tmp_dir, ec);
+    return Status::Internal("flight recorder: cannot publish " + final_dir);
+  }
+
+  const Status pruned = PruneLocked();
+  if (!pruned.ok()) return pruned;
+  return final_dir;
+}
+
+std::vector<std::string> FlightRecorder::ListBundles() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.dir.empty()) return {};
+  return ListBundleNames(options_.dir);
+}
+
+Status FlightRecorder::PruneLocked() {
+  if (options_.keep == 0) return Status::OK();
+  std::vector<std::string> names = ListBundleNames(options_.dir);
+  while (names.size() > options_.keep) {
+    std::error_code ec;
+    std::filesystem::remove_all(options_.dir + "/" + names.front(), ec);
+    if (ec) {
+      return Status::Internal("flight recorder: cannot prune " +
+                              names.front() + ": " + ec.message());
+    }
+    names.erase(names.begin());
+  }
+  return Status::OK();
+}
+
+void FlightRecorder::RefreshSignalState() {
+  std::string text;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::ostringstream out;
+    out << ProvenanceText() << "--- state ---\n"
+        << (options_.state_text ? options_.state_text()
+                                : std::string("(none)\n"))
+        << "--- metrics ---\n"
+        << MetricsJson(Registry::Default().Snapshot()) << "\n";
+    text = out.str();
+  }
+  const unsigned next = 1u - g_crash_active.load(std::memory_order_relaxed);
+  const std::size_t len = std::min(text.size(), kCrashBufSize);
+  std::memcpy(g_crash_buf[next], text.data(), len);
+  g_crash_len[next].store(len, std::memory_order_release);
+  g_crash_active.store(next, std::memory_order_release);
+}
+
+Status FlightRecorder::InstallCrashHandler() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.dir.empty()) {
+    return Status::FailedPrecondition(
+        "flight recorder has no bundle directory (--diag-dir)");
+  }
+  const int written =
+      std::snprintf(g_crash_path, sizeof(g_crash_path), "%s/crash-%ld.txt",
+                    options_.dir.c_str(), static_cast<long>(getpid()));
+  if (written <= 0 || static_cast<std::size_t>(written) >=
+                          sizeof(g_crash_path)) {
+    return Status::InvalidArgument("diag dir path too long for crash dumps");
+  }
+  struct sigaction action;
+  std::memset(&action, 0, sizeof(action));
+  action.sa_handler = TcdpCrashHandler;
+  sigemptyset(&action.sa_mask);
+  for (int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE}) {
+    if (sigaction(signo, &action, nullptr) != 0) {
+      return Status::Internal("sigaction failed installing crash handler");
+    }
+  }
+  g_crash_armed.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace tcdp

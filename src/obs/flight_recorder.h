@@ -1,0 +1,99 @@
+#ifndef TCDP_OBS_FLIGHT_RECORDER_H_
+#define TCDP_OBS_FLIGHT_RECORDER_H_
+
+/// \file
+/// Crash/stall flight recorder: captures a diagnostic bundle at the
+/// moment of failure so a wedged or dying process leaves evidence
+/// behind, not just a flat graph.
+///
+/// A **bundle** is a directory under `options.dir` named
+/// `bundle-<seq>-<reason>`, written atomically (everything lands in a
+/// dot-prefixed temp directory first, then one rename publishes it —
+/// the same tmp+rename dance the snapshot writer uses). Contents:
+///
+/// | file             | contents |
+/// |------------------|----------|
+/// | `MANIFEST.txt`   | reason, wall-clock time, build + hardware provenance (bench/env.h) |
+/// | `metrics.bin`    | registry snapshot in the `tcdp-metrics-v1` codec (`DecodeMetricsSnapshot` round-trips it) |
+/// | `metrics.json`   | the same snapshot as `MetricsJson` (human/jq-friendly) |
+/// | `trace.json`     | the trace ring as Chrome trace-event JSON (may be `[]` when tracing is off) |
+/// | `state.txt`      | host-provided state text (per-shard queue/WAL/horizon from atomics) |
+///
+/// Retention is bounded: after each trigger the oldest bundles beyond
+/// `keep` are deleted, so a flapping component cannot fill the disk.
+///
+/// **Crash path.** Fatal signals cannot run any of the above — malloc,
+/// locks and iostreams are all off-limits in a handler. Instead the
+/// watchdog calls RefreshSignalState() every scan, which pre-serializes
+/// the interesting state (metrics JSON + host state + provenance) into
+/// a static double buffer; InstallCrashHandler() arms SIGSEGV/SIGABRT/
+/// SIGBUS/SIGFPE handlers that write that buffer to
+/// `<dir>/crash-<pid>.txt` using only async-signal-safe calls
+/// (open/write/close) and then re-raise with the default disposition.
+/// The dump is at most one watchdog interval stale — the price of
+/// signal safety.
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcdp {
+namespace obs {
+
+struct FlightRecorderOptions {
+  /// Bundle directory (`--diag-dir`); created if missing.
+  std::string dir;
+  /// Bundles retained after pruning (0 = unlimited).
+  std::size_t keep = 8;
+  /// Host state for `state.txt` and the crash buffer. Invoked on the
+  /// triggering thread (typically the watchdog), so it must be safe to
+  /// run concurrently with the rest of the process — atomics-only
+  /// reads, no locks shared with suspect components.
+  std::function<std::string()> state_text;
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderOptions options);
+
+  /// Captures one bundle; returns the published bundle directory.
+  /// Serialized internally — concurrent triggers queue up.
+  StatusOr<std::string> Trigger(const std::string& reason);
+
+  /// Published bundle directory names, oldest first.
+  std::vector<std::string> ListBundles() const;
+
+  /// Re-serializes crash state into the signal-safe buffer. Called by
+  /// the watchdog once per scan; cheap enough to call anywhere.
+  void RefreshSignalState();
+
+  /// Arms process-wide fatal-signal handlers that dump the buffer to
+  /// `<dir>/crash-<pid>.txt`. Process-global (the handler cannot carry
+  /// instance state); later installs re-point it at this recorder's
+  /// directory. Call once from `tcdp serve`.
+  Status InstallCrashHandler();
+
+  const FlightRecorderOptions& options() const { return options_; }
+
+  /// The handler body: writes the pre-serialized buffer using only
+  /// async-signal-safe calls. Public so tests can exercise the crash
+  /// path directly — raising a real SIGSEGV under ASan would end the
+  /// test run instead. No-op until InstallCrashHandler() has armed it.
+  static void WriteCrashFileFromSignal(int signo);
+
+ private:
+  Status PruneLocked();
+
+  FlightRecorderOptions options_;
+  mutable std::mutex mu_;
+  std::uint64_t next_seq_ = 1;  // scanned past existing bundles at ctor
+};
+
+}  // namespace obs
+}  // namespace tcdp
+
+#endif  // TCDP_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,87 @@
+#include "obs/process_metrics.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+
+#include "obs/metrics.h"
+
+#if defined(__linux__)
+#include <dirent.h>
+#endif
+
+namespace tcdp {
+namespace obs {
+
+namespace {
+
+/// Process start on the same monotonic clock the heartbeats use.
+/// Function-local static: stamped the first time anything exports
+/// metrics, which for `tcdp serve` is within milliseconds of main().
+std::uint64_t ProcessStartNanos() {
+  static const std::uint64_t start = MonotonicNanos();
+  return start;
+}
+
+#if defined(__linux__)
+/// RSS in bytes from /proc/self/statm (field 2 is resident pages).
+/// Returns false when procfs is absent or unreadable.
+bool ReadRssBytes(std::int64_t* out) {
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return false;
+  long long total_pages = 0;
+  long long resident_pages = 0;
+  statm >> total_pages >> resident_pages;
+  if (!statm) return false;
+  const long page_size = sysconf(_SC_PAGESIZE);
+  if (page_size <= 0) return false;
+  *out = static_cast<std::int64_t>(resident_pages) * page_size;
+  return true;
+}
+
+bool CountOpenFds(std::int64_t* out) {
+  DIR* dir = opendir("/proc/self/fd");
+  if (dir == nullptr) return false;
+  std::int64_t count = 0;
+  while (struct dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    ++count;
+  }
+  closedir(dir);
+  // The opendir descriptor itself is still open while counting.
+  *out = count > 0 ? count - 1 : 0;
+  return true;
+}
+#endif  // defined(__linux__)
+
+}  // namespace
+
+void UpdateProcessMetrics() {
+  if (!MetricsEnabled()) return;
+  Registry& registry = Registry::Default();
+
+  const std::uint64_t uptime_ns = MonotonicNanos() - ProcessStartNanos();
+  // Lazily-resolved gauges, same pattern as every other instrument
+  // site: registration locks once, updates are atomic stores.
+  static Gauge* uptime =
+      registry.GetGauge("tcdp_process_uptime_seconds");
+  uptime->Set(static_cast<std::int64_t>(uptime_ns / 1000000000ull));
+
+#if defined(__linux__)
+  std::int64_t rss_bytes = 0;
+  if (ReadRssBytes(&rss_bytes)) {
+    static Gauge* rss = registry.GetGauge("tcdp_process_rss_bytes");
+    rss->Set(rss_bytes);
+  }
+  std::int64_t open_fds = 0;
+  if (CountOpenFds(&open_fds)) {
+    static Gauge* fds = registry.GetGauge("tcdp_process_open_fds");
+    fds->Set(open_fds);
+  }
+#endif
+}
+
+}  // namespace obs
+}  // namespace tcdp

@@ -1,0 +1,33 @@
+#ifndef TCDP_OBS_PROCESS_METRICS_H_
+#define TCDP_OBS_PROCESS_METRICS_H_
+
+/// \file
+/// Process self-metrics, refreshed at export points rather than on a
+/// timer of their own: every surface that serializes the registry
+/// (kMetrics handler, MetricsDumper, flight recorder, CLI final dump)
+/// calls UpdateProcessMetrics() first, so the gauges are exactly as
+/// fresh as the snapshot they ride in.
+///
+/// Gauges (all int64, same schema as every other gauge):
+///
+/// * `tcdp_process_uptime_seconds` — monotonic-clock seconds since the
+///   process first touched the obs layer.
+/// * `tcdp_process_rss_bytes` — resident set size from
+///   `/proc/self/statm` x page size. Linux-only; on platforms without
+///   procfs the gauge is simply never registered (graceful absence,
+///   not a zero lie).
+/// * `tcdp_process_open_fds` — open descriptor count from
+///   `/proc/self/fd`, same absence rule.
+
+namespace tcdp {
+namespace obs {
+
+/// Refreshes the process gauges in Registry::Default(). Cheap (two
+/// procfs reads); no-op for the procfs-backed gauges when /proc is
+/// unavailable. Skips everything when metrics are disabled.
+void UpdateProcessMetrics();
+
+}  // namespace obs
+}  // namespace tcdp
+
+#endif  // TCDP_OBS_PROCESS_METRICS_H_

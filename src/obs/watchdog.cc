@@ -1,0 +1,387 @@
+#include "obs/watchdog.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+
+namespace tcdp {
+namespace obs {
+
+const char* HeartbeatKindName(HeartbeatKind kind) {
+  switch (kind) {
+    case HeartbeatKind::kWorker:
+      return "worker";
+    case HeartbeatKind::kEventLoop:
+      return "event-loop";
+    case HeartbeatKind::kPeriodic:
+      return "periodic";
+  }
+  return "unknown";
+}
+
+void Heartbeat::Beat() {
+  progress_.fetch_add(1, std::memory_order_relaxed);
+  last_active_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
+}
+
+void Heartbeat::Touch() {
+  last_active_ns_.store(MonotonicNanos(), std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------- registry
+
+struct HeartbeatRegistry::Impl {
+  mutable std::mutex mu;
+  std::uint64_t next_id = 1;
+  std::map<std::uint64_t, std::pair<HeartbeatInfo, std::shared_ptr<Heartbeat>>>
+      entries;
+};
+
+HeartbeatRegistry& HeartbeatRegistry::Default() {
+  // Leaked like Registry::Default(): heartbeat handles held by static
+  // or late-destroyed objects must be able to unregister at any point
+  // during shutdown.
+  static HeartbeatRegistry* registry = new HeartbeatRegistry;
+  return *registry;
+}
+
+HeartbeatRegistry::HeartbeatRegistry() : impl_(new Impl) {}
+
+HeartbeatRegistry::~HeartbeatRegistry() { delete impl_; }
+
+HeartbeatHandle HeartbeatRegistry::Register(HeartbeatInfo info) {
+  auto cell = std::make_shared<Heartbeat>();
+  cell->Touch();  // registration counts as activity
+  HeartbeatHandle handle;
+  handle.registry_ = this;
+  handle.cell_ = cell;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  handle.id_ = impl_->next_id++;
+  impl_->entries.emplace(handle.id_,
+                         std::make_pair(std::move(info), std::move(cell)));
+  return handle;
+}
+
+void HeartbeatRegistry::Unregister(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->entries.erase(id);
+}
+
+std::vector<HeartbeatRegistry::Sample> HeartbeatRegistry::SampleAll() const {
+  std::vector<Sample> samples;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  samples.reserve(impl_->entries.size());
+  for (const auto& entry : impl_->entries) {
+    const HeartbeatInfo& info = entry.second.first;
+    const Heartbeat& cell = *entry.second.second;
+    Sample sample;
+    sample.id = entry.first;
+    sample.name = info.name;
+    sample.kind = info.kind;
+    sample.expected_period_ns = info.expected_period_ns;
+    sample.progress = cell.progress();
+    sample.last_active_ns = cell.last_active_ns();
+    sample.pending = info.pending ? info.pending() : 0;
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+std::size_t HeartbeatRegistry::size() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->entries.size();
+}
+
+HeartbeatHandle::~HeartbeatHandle() { Unregister(); }
+
+HeartbeatHandle::HeartbeatHandle(HeartbeatHandle&& other) noexcept
+    : registry_(other.registry_), id_(other.id_),
+      cell_(std::move(other.cell_)) {
+  other.registry_ = nullptr;
+  other.id_ = 0;
+  other.cell_.reset();
+}
+
+HeartbeatHandle& HeartbeatHandle::operator=(HeartbeatHandle&& other) noexcept {
+  if (this != &other) {
+    Unregister();
+    registry_ = other.registry_;
+    id_ = other.id_;
+    cell_ = std::move(other.cell_);
+    other.registry_ = nullptr;
+    other.id_ = 0;
+    other.cell_.reset();
+  }
+  return *this;
+}
+
+void HeartbeatHandle::Unregister() {
+  if (registry_ != nullptr && cell_ != nullptr) {
+    registry_->Unregister(id_);
+  }
+  registry_ = nullptr;
+  id_ = 0;
+  cell_.reset();
+}
+
+// ------------------------------------------------------------- watchdog
+
+struct Watchdog::Tracked {
+  std::uint64_t last_progress = 0;
+  std::uint64_t frozen_scans = 0;  // consecutive scans frozen with pending
+  bool stalled = false;
+  std::uint64_t detected_scan = 0;
+};
+
+struct Watchdog::Impl {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool stop = false;
+  bool started = false;
+  std::thread thread;
+
+  std::atomic<bool> ready{false};
+  std::atomic<std::uint64_t> scans{0};
+
+  // Guarded by mu: per-heartbeat scan state and the cached snapshot.
+  std::map<std::uint64_t, Tracked> tracked;
+  HealthSnapshot last;
+
+  // Lazily resolved stall counters, one per component name.
+  std::map<std::string, Counter*> stall_counters;
+  Counter* scans_total = nullptr;
+};
+
+Watchdog::Watchdog(WatchdogOptions options)
+    : options_(options), impl_(new Impl) {
+  if (options_.stall_ticks == 0) options_.stall_ticks = 1;
+}
+
+Watchdog::~Watchdog() {
+  Stop();
+  delete impl_;
+}
+
+Status Watchdog::Start() {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->started) {
+    return Status::FailedPrecondition("watchdog already started");
+  }
+  if (options_.interval_ms == 0) {
+    return Status::FailedPrecondition("watchdog interval must be > 0");
+  }
+  impl_->stop = false;
+  impl_->started = true;
+  impl_->thread = std::thread(&Watchdog::Loop, this);
+  return Status::OK();
+}
+
+void Watchdog::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    if (!impl_->started) return;
+    impl_->stop = true;
+  }
+  impl_->cv.notify_all();
+  impl_->thread.join();
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->started = false;
+}
+
+void Watchdog::SetReady(bool ready) {
+  impl_->ready.store(ready, std::memory_order_relaxed);
+}
+
+HealthSnapshot Watchdog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  HealthSnapshot snapshot = impl_->last;
+  snapshot.ready =
+      impl_->ready.load(std::memory_order_relaxed) && snapshot.healthy;
+  return snapshot;
+}
+
+std::uint64_t Watchdog::scans() const {
+  return impl_->scans.load(std::memory_order_relaxed);
+}
+
+void Watchdog::ScanOnceForTesting() { Scan(); }
+
+void Watchdog::Loop() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  while (!impl_->stop) {
+    impl_->cv.wait_for(lock, std::chrono::milliseconds(options_.interval_ms));
+    if (impl_->stop) break;
+    lock.unlock();
+    Scan();
+    lock.lock();
+  }
+}
+
+namespace {
+
+/// The registry's observed p99 WAL fsync latency in nanoseconds, or 0
+/// when the histogram has no observations yet. One registry snapshot
+/// per scan is cheap at watchdog cadence.
+std::uint64_t WalFsyncP99Ns(const MetricsSnapshot& metrics) {
+  for (const auto& entry : metrics.histograms) {
+    if (entry.first == "tcdp_wal_fsync_seconds" && entry.second.count() > 0) {
+      return static_cast<std::uint64_t>(entry.second.Quantile(0.99) * 1e9);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+void Watchdog::Scan() {
+  const std::uint64_t now_ns = MonotonicNanos();
+  const std::uint64_t interval_ns = options_.interval_ms * 1000000ull;
+  const std::vector<HeartbeatRegistry::Sample> samples =
+      HeartbeatRegistry::Default().SampleAll();
+  const MetricsSnapshot metrics = Registry::Default().Snapshot();
+  const std::uint64_t fsync_p99_ns = WalFsyncP99Ns(metrics);
+
+  // Stall transitions collected under the lock, acted on after — the
+  // flight recorder serializes the registry itself and must not run
+  // under the watchdog mutex.
+  std::vector<std::string> fired;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    const std::uint64_t scan =
+        impl_->scans.fetch_add(1, std::memory_order_relaxed) + 1;
+
+    HealthSnapshot next;
+    next.scans = scan;
+    next.components.reserve(samples.size());
+
+    // Drop state for heartbeats that unregistered since the last scan.
+    std::map<std::uint64_t, Tracked> tracked;
+    for (const auto& sample : samples) {
+      Tracked state;
+      auto it = impl_->tracked.find(sample.id);
+      if (it != impl_->tracked.end()) state = it->second;
+
+      const std::uint64_t age_ns =
+          now_ns > sample.last_active_ns ? now_ns - sample.last_active_ns : 0;
+      bool stalled = false;
+      std::ostringstream detail;
+      switch (sample.kind) {
+        case HeartbeatKind::kWorker: {
+          const bool frozen = sample.pending > 0 &&
+                              sample.progress == state.last_progress;
+          state.frozen_scans = frozen ? state.frozen_scans + 1 : 0;
+          stalled = state.frozen_scans >= options_.stall_ticks;
+          if (stalled) {
+            detail << "queue stalled: " << sample.pending
+                   << " pending, progress frozen for " << state.frozen_scans
+                   << " scans";
+            if (fsync_p99_ns > 0 &&
+                static_cast<double>(age_ns) >
+                    options_.wal_fsync_p99_factor *
+                        static_cast<double>(fsync_p99_ns)) {
+              detail << "; last activity "
+                     << age_ns / 1000000 << "ms ago > "
+                     << options_.wal_fsync_p99_factor
+                     << "x p99 WAL fsync latency (WAL-suspect)";
+            }
+          }
+          break;
+        }
+        case HeartbeatKind::kEventLoop: {
+          const std::uint64_t allowed =
+              options_.stall_ticks * interval_ns + sample.expected_period_ns;
+          stalled = age_ns > allowed;
+          if (stalled) {
+            detail << "event loop not polling: last activity "
+                   << age_ns / 1000000 << "ms ago (allowed "
+                   << allowed / 1000000 << "ms)";
+          }
+          break;
+        }
+        case HeartbeatKind::kPeriodic: {
+          const std::uint64_t allowed =
+              options_.stall_ticks * sample.expected_period_ns + interval_ns;
+          stalled = sample.expected_period_ns > 0 && age_ns > allowed;
+          if (stalled) {
+            detail << "missed period: last activity " << age_ns / 1000000
+                   << "ms ago (declared period "
+                   << sample.expected_period_ns / 1000000 << "ms)";
+          }
+          break;
+        }
+      }
+
+      if (stalled && !state.stalled) {
+        state.detected_scan = scan;
+        TCDP_LOG(kWarning) << "watchdog: component '" << sample.name << "' ("
+                           << HeartbeatKindName(sample.kind)
+                           << ") stalled: " << detail.str();
+        Counter*& counter = impl_->stall_counters[sample.name];
+        if (counter == nullptr) {
+          counter = Registry::Default().GetCounter(WithLabel(
+              "tcdp_watchdog_stalls_total", "component", sample.name));
+        }
+        counter->Increment();
+        fired.push_back(sample.name);
+      } else if (!stalled && state.stalled) {
+        TCDP_LOG(kInfo) << "watchdog: component '" << sample.name
+                        << "' recovered after "
+                        << scan - state.detected_scan << " scans";
+        state.detected_scan = 0;
+        state.frozen_scans = 0;
+      }
+      state.stalled = stalled;
+      state.last_progress = sample.progress;
+
+      ComponentHealth health;
+      health.name = sample.name;
+      health.kind = sample.kind;
+      health.progress = sample.progress;
+      health.pending = sample.pending;
+      health.age_ns = age_ns;
+      health.stalled = stalled;
+      health.stall_detected_scan = stalled ? state.detected_scan : 0;
+      health.detail = detail.str();
+      if (stalled) next.healthy = false;
+      next.components.push_back(std::move(health));
+
+      tracked.emplace(sample.id, state);
+    }
+    impl_->tracked.swap(tracked);
+    impl_->last = std::move(next);
+
+    if (impl_->scans_total == nullptr) {
+      impl_->scans_total =
+          Registry::Default().GetCounter("tcdp_watchdog_scans_total");
+    }
+    impl_->scans_total->Increment();
+  }
+
+  if (options_.flight_recorder != nullptr) {
+    // Keep the crash handler's pre-serialized state fresh even on
+    // healthy scans, then capture a bundle per newly stalled component.
+    options_.flight_recorder->RefreshSignalState();
+    for (const std::string& name : fired) {
+      StatusOr<std::string> bundle =
+          options_.flight_recorder->Trigger("stall-" + name);
+      if (bundle.ok()) {
+        TCDP_LOG(kWarning) << "watchdog: diagnostic bundle written to "
+                           << *bundle;
+      } else {
+        TCDP_LOG(kError) << "watchdog: flight recorder failed: "
+                         << bundle.status().message();
+      }
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace tcdp

@@ -1,0 +1,252 @@
+#ifndef TCDP_OBS_WATCHDOG_H_
+#define TCDP_OBS_WATCHDOG_H_
+
+/// \file
+/// Active self-monitoring on top of the passive metrics registry:
+/// components publish heartbeats, a watchdog thread classifies stalls.
+///
+/// **Heartbeats.** Each long-lived component (shard workers, the net
+/// I/O thread, the metrics dumper) registers a named heartbeat and
+/// advances it from its own loop: `Beat()` is two relaxed atomic
+/// stores plus one steady-clock read — a monotonic progress counter
+/// and a last-activity timestamp. An optional `pending` probe reports
+/// outstanding work (queue depth + in-flight command), which is what
+/// separates "idle" from "stuck": an idle worker with an empty queue
+/// never ages into a stall.
+///
+/// **Watchdog.** A dedicated thread samples every heartbeat on a
+/// configurable interval and classifies:
+///
+/// - `kWorker`: pending work but a frozen progress counter for
+///   `stall_ticks` consecutive scans — the queue-non-empty-but-
+///   tick-counter-frozen signature. When the last activity is also
+///   older than `wal_fsync_p99_factor` x the registry's observed
+///   p99 WAL fsync latency, the stall is annotated as WAL-suspect
+///   (the append path, not the bank, is the likely culprit).
+/// - `kEventLoop`: not polling — last activity older than the loop's
+///   own declared period plus `stall_ticks` scan intervals
+///   (the poll loop touches its heartbeat every readiness round, so
+///   staleness means the loop is wedged, not idle).
+/// - `kPeriodic`: a timer-driven component (metrics dumper) whose
+///   last activity is older than `stall_ticks` x its declared period.
+///
+/// A stall transition emits a structured TCDP_LOG warning, bumps
+/// `tcdp_watchdog_stalls_total{component=...}`, and fires the flight
+/// recorder (obs/flight_recorder.h) so the moment of failure is
+/// captured, not the aftermath. Recovery transitions are logged too.
+/// The scan result doubles as the kHealth/kReady wire answer
+/// (docs/PROTOCOL.md): healthy = no component stalled; ready = the
+/// host marked recovery complete AND healthy.
+///
+/// Everything here lives beside the accounting hot path, never in it:
+/// heartbeat publication is relaxed atomics, scanning happens on the
+/// watchdog's own thread, and the obs bench suite's bitwise/overhead
+/// gates run with the watchdog enabled.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tcdp {
+namespace obs {
+
+class FlightRecorder;
+
+enum class HeartbeatKind : std::uint8_t {
+  kWorker = 0,     ///< queue-driven: stalls when pending > 0 and frozen
+  kEventLoop = 1,  ///< poll-driven: stalls when not polling
+  kPeriodic = 2,   ///< timer-driven: stalls when a period is missed
+};
+
+const char* HeartbeatKindName(HeartbeatKind kind);
+
+/// \brief The cell a component beats into. All operations are relaxed
+/// atomics; one writer (the component), any number of sampling
+/// readers (the watchdog).
+class Heartbeat {
+ public:
+  /// One unit of progress: bump the counter, stamp the clock.
+  void Beat();
+  /// Activity without progress (an event loop waking up to no work).
+  void Touch();
+
+  std::uint64_t progress() const {
+    return progress_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t last_active_ns() const {
+    return last_active_ns_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> progress_{0};
+  std::atomic<std::uint64_t> last_active_ns_{0};
+};
+
+struct HeartbeatInfo {
+  std::string name;  ///< e.g. "shard-0", "net-io", "metrics-dumper"
+  HeartbeatKind kind = HeartbeatKind::kWorker;
+  /// The component's own cadence (poll timeout, dump interval); only
+  /// meaningful for kEventLoop/kPeriodic freshness checks.
+  std::uint64_t expected_period_ns = 0;
+  /// Outstanding-work probe (queue depth + in-flight). Invoked on the
+  /// watchdog thread under the registry lock, so it must only read
+  /// atomics and must stay valid until the handle unregisters.
+  std::function<std::uint64_t()> pending;
+};
+
+class HeartbeatRegistry;
+
+/// \brief RAII registration: destroying (or moving over) the handle
+/// unregisters the heartbeat, after which the watchdog can no longer
+/// invoke its `pending` probe — components unregister before tearing
+/// down the state the probe reads.
+class HeartbeatHandle {
+ public:
+  HeartbeatHandle() = default;
+  ~HeartbeatHandle();
+  HeartbeatHandle(HeartbeatHandle&& other) noexcept;
+  HeartbeatHandle& operator=(HeartbeatHandle&& other) noexcept;
+  HeartbeatHandle(const HeartbeatHandle&) = delete;
+  HeartbeatHandle& operator=(const HeartbeatHandle&) = delete;
+
+  bool registered() const { return cell_ != nullptr; }
+  /// No-ops on an empty handle, so call sites need no null guards.
+  void Beat() {
+    if (cell_ != nullptr) cell_->Beat();
+  }
+  void Touch() {
+    if (cell_ != nullptr) cell_->Touch();
+  }
+  void Unregister();
+
+ private:
+  friend class HeartbeatRegistry;
+  HeartbeatRegistry* registry_ = nullptr;
+  std::uint64_t id_ = 0;
+  std::shared_ptr<Heartbeat> cell_;
+};
+
+/// \brief Process-wide table of live heartbeats. Registration and
+/// sampling lock; beating never does.
+class HeartbeatRegistry {
+ public:
+  static HeartbeatRegistry& Default();
+
+  HeartbeatRegistry();
+  ~HeartbeatRegistry();
+  HeartbeatRegistry(const HeartbeatRegistry&) = delete;
+  HeartbeatRegistry& operator=(const HeartbeatRegistry&) = delete;
+
+  /// Registers \p info and stamps the heartbeat's first activity.
+  HeartbeatHandle Register(HeartbeatInfo info);
+
+  struct Sample {
+    std::uint64_t id = 0;
+    std::string name;
+    HeartbeatKind kind = HeartbeatKind::kWorker;
+    std::uint64_t expected_period_ns = 0;
+    std::uint64_t progress = 0;
+    std::uint64_t last_active_ns = 0;
+    std::uint64_t pending = 0;
+  };
+  /// Point-in-time copy of every live heartbeat (probes included).
+  std::vector<Sample> SampleAll() const;
+
+  std::size_t size() const;
+
+ private:
+  friend class HeartbeatHandle;
+  void Unregister(std::uint64_t id);
+
+  struct Impl;
+  Impl* impl_;
+};
+
+// ---------------------------------------------------------------- watchdog
+
+struct WatchdogOptions {
+  /// Scan cadence. 0 disables Start() (scans can still be driven
+  /// manually via ScanOnceForTesting).
+  std::uint64_t interval_ms = 1000;
+  /// Consecutive frozen scans before a worker stall fires (>= 1).
+  std::uint64_t stall_ticks = 3;
+  /// A frozen worker whose last activity is older than this factor x
+  /// the observed p99 of `tcdp_wal_fsync_seconds` gets the WAL-suspect
+  /// annotation.
+  double wal_fsync_p99_factor = 8.0;
+  /// Fired on every stall transition (not owned; must outlive the
+  /// watchdog). Null skips bundle capture, stalls still log + count.
+  FlightRecorder* flight_recorder = nullptr;
+};
+
+struct ComponentHealth {
+  std::string name;
+  HeartbeatKind kind = HeartbeatKind::kWorker;
+  std::uint64_t progress = 0;
+  std::uint64_t pending = 0;
+  std::uint64_t age_ns = 0;  ///< now - last activity, at scan time
+  bool stalled = false;
+  /// Scan counter value at which the current stall was detected
+  /// (0 when not stalled) — what lets tests assert detection within
+  /// N scan intervals without racing wall clocks.
+  std::uint64_t stall_detected_scan = 0;
+  std::string detail;  ///< human-readable classification
+};
+
+struct HealthSnapshot {
+  bool healthy = true;  ///< no component stalled at the last scan
+  bool ready = false;   ///< host marked ready AND healthy
+  std::uint64_t scans = 0;
+  std::vector<ComponentHealth> components;
+};
+
+/// \brief The scanning thread. Thread-safe interface; one instance per
+/// process is typical (`tcdp serve` owns one).
+class Watchdog {
+ public:
+  explicit Watchdog(WatchdogOptions options = {});
+  ~Watchdog();
+  Watchdog(const Watchdog&) = delete;
+  Watchdog& operator=(const Watchdog&) = delete;
+
+  /// Spawns the scan thread. FailedPrecondition when already started
+  /// or interval_ms is 0.
+  Status Start();
+  /// Stops and joins the scan thread. Idempotent; run by the dtor.
+  void Stop();
+
+  /// Readiness latch for kReady: the host flips this on once recovery
+  /// (or preload) completes. Readiness also requires healthy.
+  void SetReady(bool ready);
+
+  /// The last scan's classification (plus the readiness latch).
+  /// Cheap: copies the cached result, does not rescan.
+  HealthSnapshot Snapshot() const;
+
+  std::uint64_t scans() const;
+
+  /// Runs one scan synchronously on the calling thread (tests, and
+  /// hosts that want a scan before the first interval elapses).
+  void ScanOnceForTesting();
+
+ private:
+  struct Tracked;
+  struct Impl;
+
+  void Loop();
+  void Scan();
+
+  WatchdogOptions options_;
+  Impl* impl_;
+};
+
+}  // namespace obs
+}  // namespace tcdp
+
+#endif  // TCDP_OBS_WATCHDOG_H_

@@ -1,6 +1,7 @@
 #include "server/sharded_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <condition_variable>
 #include <cstdio>
@@ -8,6 +9,7 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <sstream>
 #include <thread>
 #include <unordered_set>
 #include <utility>
@@ -18,6 +20,7 @@
 #include "core/accountant_bank.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "server/compaction.h"
 #include "server/event_log.h"
 #include "server/records.h"
@@ -193,6 +196,18 @@ struct ShardedReleaseService::Shard {
   /// tick boundaries without draining the shard.
   std::atomic<std::uint64_t> published_wal_bytes{0};
   std::atomic<std::uint64_t> published_wal_records{0};
+  /// Bank horizon as of the last applied command — the lock-free read
+  /// the flight recorder's state text uses (the bank itself belongs to
+  /// the worker thread).
+  std::atomic<std::uint64_t> published_horizon{0};
+  /// 1 while the worker is between pop and apply-complete; the
+  /// watchdog's pending probe counts it so a command stuck *in* Apply
+  /// (not just behind it) still reads as outstanding work.
+  std::atomic<std::size_t> applying{0};
+  /// Test-only fault injection (SetShardStallForTesting): while set,
+  /// the worker holds before applying its next command.
+  std::atomic<bool> test_hold{false};
+  obs::HeartbeatHandle heartbeat;
 
   std::mutex mu;
   std::condition_variable cv_push;  ///< producers wait for queue space
@@ -270,6 +285,17 @@ struct ShardedReleaseService::Shard {
   ~Shard() { StopAndJoin(); }
 
   void Start() {
+    obs::HeartbeatInfo info;
+    info.name = "shard-" + std::to_string(index);
+    info.kind = obs::HeartbeatKind::kWorker;
+    // Atomics-only probe: invoked from the watchdog thread; valid
+    // until StopAndJoin unregisters the handle (before members die).
+    info.pending = [this] {
+      return static_cast<std::uint64_t>(
+          queue_depth.load(std::memory_order_relaxed) +
+          applying.load(std::memory_order_relaxed));
+    };
+    heartbeat = obs::HeartbeatRegistry::Default().Register(std::move(info));
     worker = std::thread([this] { Loop(); });
   }
 
@@ -302,9 +328,13 @@ struct ShardedReleaseService::Shard {
       if (stop && !worker.joinable()) return;
       stop = true;
     }
+    // Release an injected stall so shutdown cannot hang on it.
+    test_hold.store(false, std::memory_order_release);
     cv_pop.notify_all();
     cv_push.notify_all();
     if (worker.joinable()) worker.join();
+    // Unregister before members the pending probe reads are destroyed.
+    heartbeat.Unregister();
   }
 
   void Loop() {
@@ -316,8 +346,16 @@ struct ShardedReleaseService::Shard {
       queue.pop_front();
       UpdateDepthLocked();
       busy = true;
+      applying.store(1, std::memory_order_relaxed);
       lock.unlock();
       cv_push.notify_one();
+      // Fault injection (tests only): hold here, with the command
+      // popped and the heartbeat frozen — exactly the signature the
+      // watchdog classifies as a worker stall. StopAndJoin releases
+      // the hold so shutdown cannot hang.
+      while (test_hold.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
       // Fail-stop: after the first error the shard consumes (and
       // drops) commands so producers never deadlock, but neither the
       // WAL nor the bank advance — a half-applied shard would no
@@ -328,6 +366,9 @@ struct ShardedReleaseService::Shard {
         applied = first_error;
       }
       if (applied.ok()) applied = Apply(std::move(command));
+      published_horizon.store(bank.horizon(), std::memory_order_relaxed);
+      applying.store(0, std::memory_order_relaxed);
+      heartbeat.Beat();
       lock.lock();
       if (!applied.ok() && first_error.ok()) first_error = applied;
       busy = false;
@@ -1253,6 +1294,34 @@ ServiceStats ShardedReleaseService::stats() const {
     stats.cache_distinct_matrices += cache.distinct_matrices;
   }
   return stats;
+}
+
+std::string ShardedReleaseService::DiagnosticStateText() const {
+  // Everything here is a worker-published atomic: no locks, no drains,
+  // so the flight recorder can snapshot a wedged service without
+  // queueing behind the shard it is diagnosing.
+  std::ostringstream out;
+  out << "shards=" << shards_.size() << " log_dir="
+      << (log_dir_.empty() ? "<ephemeral>" : log_dir_) << "\n";
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    out << "shard " << i << ": queue_depth="
+        << s.queue_depth.load(std::memory_order_relaxed)
+        << " queue_depth_hwm="
+        << s.queue_depth_hwm.load(std::memory_order_relaxed)
+        << " applying=" << s.applying.load(std::memory_order_relaxed)
+        << " horizon=" << s.published_horizon.load(std::memory_order_relaxed)
+        << " wal_bytes="
+        << s.published_wal_bytes.load(std::memory_order_relaxed)
+        << " wal_records="
+        << s.published_wal_records.load(std::memory_order_relaxed) << "\n";
+  }
+  return out.str();
+}
+
+void ShardedReleaseService::SetShardStallForTesting(std::size_t shard,
+                                                    bool stalled) {
+  shards_[shard]->test_hold.store(stalled, std::memory_order_release);
 }
 
 Status ShardedReleaseService::Close() {

@@ -261,6 +261,18 @@ class ShardedReleaseService {
   static std::size_t ShardOf(const std::string& name,
                              std::size_t num_shards);
 
+  /// Per-shard diagnostic text assembled ONLY from worker-published
+  /// atomics (queue depth/HWM, WAL gauges, published horizon) — safe
+  /// to call from the watchdog/flight-recorder thread while another
+  /// thread drives the service, unlike shard_stats (which drains).
+  std::string DiagnosticStateText() const;
+
+  /// Test-only fault injection: while set, \p shard's worker spins
+  /// between popping a command and applying it, freezing its progress
+  /// heartbeat with work pending — exactly the signature the watchdog
+  /// classifies as a stall. Cleared automatically by Close().
+  void SetShardStallForTesting(std::size_t shard, bool stalled);
+
  private:
   struct Shard;
   struct PendingGroup;

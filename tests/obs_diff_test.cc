@@ -1,0 +1,141 @@
+// Snapshot differencing (ISSUE 9): counter clamping, gauge
+// passthrough, bucket-wise histogram subtraction driven by real
+// Histogram observations, and the config-mismatch fresh-histogram
+// fallback `tcdp top` / `stats --watch` rely on.
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/diff.h"
+#include "obs/metrics.h"
+
+namespace tcdp {
+namespace obs {
+namespace {
+
+MetricsSnapshot WithCounter(const std::string& name, std::uint64_t value) {
+  MetricsSnapshot snapshot;
+  snapshot.counters.emplace_back(name, value);
+  return snapshot;
+}
+
+TEST(Diff, CounterDeltasAndRestartClamp) {
+  MetricsSnapshot prev;
+  prev.counters.emplace_back("a_total", 100);
+  prev.counters.emplace_back("b_total", 50);
+  MetricsSnapshot cur;
+  cur.counters.emplace_back("a_total", 130);
+  cur.counters.emplace_back("b_total", 7);   // went backwards: restart
+  cur.counters.emplace_back("c_total", 12);  // new counter
+
+  const MetricsDelta delta = DiffMetricsSnapshots(prev, cur, 2.0);
+  EXPECT_EQ(delta.interval_seconds, 2.0);
+  EXPECT_EQ(delta.CounterValue("a_total"), 30u);
+  // A counter below its previous value reports the full new value —
+  // the process restarted, so everything it counted is new.
+  EXPECT_EQ(delta.CounterValue("b_total"), 7u);
+  EXPECT_EQ(delta.CounterValue("c_total"), 12u);
+  EXPECT_EQ(delta.CounterValue("missing_total"), 0u);
+}
+
+TEST(Diff, CounterSumAggregatesLabels) {
+  MetricsSnapshot prev;
+  prev.counters.emplace_back("req_total{type=\"a\"}", 10);
+  prev.counters.emplace_back("req_total{type=\"b\"}", 20);
+  MetricsSnapshot cur;
+  cur.counters.emplace_back("req_total{type=\"a\"}", 15);
+  cur.counters.emplace_back("req_total{type=\"b\"}", 26);
+  cur.counters.emplace_back("other_total", 99);
+  const MetricsDelta delta = DiffMetricsSnapshots(prev, cur, 1.0);
+  EXPECT_EQ(delta.CounterSum("req_total"), 11u);
+}
+
+TEST(Diff, GaugesPassThroughAsLevels) {
+  MetricsSnapshot prev;
+  prev.gauges.emplace_back("depth", 40);
+  MetricsSnapshot cur;
+  cur.gauges.emplace_back("depth", 3);
+  const MetricsDelta delta = DiffMetricsSnapshots(prev, cur, 1.0);
+  EXPECT_EQ(delta.GaugeValue("depth"), 3);
+}
+
+TEST(Diff, HistogramSubtractionIsolatesTheInterval) {
+  // Drive a real histogram through two snapshot points: the delta's
+  // quantiles must reflect only the second batch of observations.
+  Registry registry;
+  SetMetricsEnabled(true);
+  Histogram* histogram = registry.GetHistogram("diff_test_seconds");
+  for (int i = 0; i < 100; ++i) histogram->Observe(0.001);  // 1ms era
+  const MetricsSnapshot prev = registry.Snapshot();
+  for (int i = 0; i < 100; ++i) histogram->Observe(1.0);  // 1s era
+  const MetricsSnapshot cur = registry.Snapshot();
+
+  const MetricsDelta delta = DiffMetricsSnapshots(prev, cur, 1.0);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  const HistogramSnapshot& interval = delta.histograms[0].second;
+  EXPECT_EQ(interval.count(), 100u);
+  // The cumulative histogram's median sits between the eras; the
+  // interval's median is squarely in the 1s era.
+  EXPECT_GT(interval.Quantile(0.5), 0.5);
+  // Cumulative distribution for contrast: median far below 1s.
+  for (const auto& [name, cumulative] : cur.histograms) {
+    EXPECT_EQ(cumulative.count(), 200u);
+  }
+}
+
+TEST(Diff, HistogramConfigMismatchFallsBackToFresh) {
+  HistogramOptions coarse;
+  coarse.relative_error = 0.5;
+  Registry prev_registry;
+  Registry cur_registry;
+  SetMetricsEnabled(true);
+  prev_registry.GetHistogram("h_seconds", coarse)->Observe(0.5);
+  cur_registry.GetHistogram("h_seconds")->Observe(0.25);
+  cur_registry.GetHistogram("h_seconds")->Observe(0.75);
+
+  const MetricsSnapshot prev = prev_registry.Snapshot();
+  const MetricsSnapshot cur = cur_registry.Snapshot();
+  HistogramSnapshot out;
+  EXPECT_FALSE(
+      SubtractHistogramSnapshots(prev.histograms[0].second,
+                                 cur.histograms[0].second, &out));
+  // The diff treats the reconfigured histogram as fresh: the full
+  // current snapshot passes through.
+  const MetricsDelta delta = DiffMetricsSnapshots(prev, cur, 1.0);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].second.count(), 2u);
+}
+
+TEST(Diff, SubtractClampsRegressingBuckets) {
+  Registry registry;
+  SetMetricsEnabled(true);
+  Histogram* histogram = registry.GetHistogram("clamp_seconds");
+  histogram->Observe(0.002);
+  const MetricsSnapshot after = registry.Snapshot();
+  // prev deliberately "ahead" of cur (scrape pair from a restarted
+  // process): clamped to empty rather than underflowing.
+  HistogramSnapshot out;
+  ASSERT_TRUE(SubtractHistogramSnapshots(after.histograms[0].second,
+                                         after.histograms[0].second, &out));
+  EXPECT_EQ(out.count(), 0u);
+  EXPECT_EQ(out.sum, 0.0);
+}
+
+TEST(Diff, NewHistogramInCurIsFresh) {
+  const MetricsSnapshot prev = WithCounter("x_total", 1);
+  Registry registry;
+  SetMetricsEnabled(true);
+  registry.GetHistogram("fresh_seconds")->Observe(0.1);
+  MetricsSnapshot cur = registry.Snapshot();
+  cur.counters.emplace_back("x_total", 2);
+  const MetricsDelta delta = DiffMetricsSnapshots(prev, cur, 1.0);
+  ASSERT_EQ(delta.histograms.size(), 1u);
+  EXPECT_EQ(delta.histograms[0].second.count(), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace tcdp

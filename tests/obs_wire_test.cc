@@ -117,23 +117,26 @@ TEST(ObsWire, TraceDumpWithoutHandlerIsFailedPrecondition) {
   ASSERT_NE(ts, nullptr);
   auto client = NetClient::Connect("127.0.0.1", ts->server->port());
   ASSERT_TRUE(client.ok()) << client.status();
-  const Status status = (*client)->TraceDump();
-  EXPECT_FALSE(status.ok());
-  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition) << status;
+  const StatusOr<std::string> path = (*client)->TraceDump();
+  EXPECT_FALSE(path.ok());
+  EXPECT_EQ(path.status().code(), StatusCode::kFailedPrecondition)
+      << path.status();
 }
 
-TEST(ObsWire, TraceDumpRunsTheConfiguredHook) {
+TEST(ObsWire, TraceDumpRunsTheConfiguredHookAndReturnsItsPath) {
   std::atomic<int> dumps{0};
   NetServerOptions options;
-  options.on_trace_dump = [&dumps]() {
+  options.on_trace_dump = [&dumps]() -> StatusOr<std::string> {
     dumps.fetch_add(1);
-    return Status::OK();
+    return std::string("/tmp/trace-under-test.json");
   };
   auto ts = ObsTestServer::Start(options);
   ASSERT_NE(ts, nullptr);
   auto client = NetClient::Connect("127.0.0.1", ts->server->port());
   ASSERT_TRUE(client.ok()) << client.status();
-  ASSERT_TRUE((*client)->TraceDump().ok());
+  auto first = (*client)->TraceDump();
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(*first, "/tmp/trace-under-test.json");
   ASSERT_TRUE((*client)->TraceDump().ok());
   EXPECT_EQ(dumps.load(), 2);
   ASSERT_TRUE((*client)->Close().ok());

@@ -7,12 +7,14 @@
 #include <optional>
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdio>
 #include <fstream>
-#include <mutex>
 #include <sstream>
 #include <thread>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 #include "bench/compare.h"
 #include "bench/harness.h"
@@ -29,8 +31,13 @@
 #include "markov/io.h"
 #include "net/client.h"
 #include "net/server.h"
+#include "obs/diff.h"
+#include "obs/dumper.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/process_metrics.h"
 #include "obs/trace.h"
+#include "obs/watchdog.h"
 #include "server/sharded_service.h"
 #include "service/fleet_engine.h"
 #include "workload/generators.h"
@@ -644,84 +651,6 @@ void PrintServiceJson(server::ShardedReleaseService* service,
   out << "\n  ]\n}\n";
 }
 
-/// Crash-safe file publication (tmp + rename), so a scraper polling
-/// the metrics dump never reads a half-written file.
-Status WriteFileAtomic(const std::string& path, const std::string& contents) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) return Status::Internal("cannot write " + tmp);
-    file << contents;
-    if (!file) return Status::Internal("cannot write " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    return Status::Internal("cannot rename " + tmp + " to " + path);
-  }
-  return Status::OK();
-}
-
-/// Dumps the registry to the configured paths: JSON
-/// (scripts/check_metrics_schema.py's schema, shared with
-/// `tcdp stats --json`) and/or Prometheus text exposition.
-Status DumpMetricsFiles(const std::string& json_path,
-                        const std::string& prom_path) {
-  const obs::MetricsSnapshot snapshot = obs::Registry::Default().Snapshot();
-  if (!json_path.empty()) {
-    TCDP_RETURN_IF_ERROR(
-        WriteFileAtomic(json_path, obs::MetricsJson(snapshot)));
-  }
-  if (!prom_path.empty()) {
-    TCDP_RETURN_IF_ERROR(
-        WriteFileAtomic(prom_path, obs::MetricsPrometheusText(snapshot)));
-  }
-  return Status::OK();
-}
-
-/// Background thread republishing the metrics files every interval
-/// while Serve blocks the main thread. Snapshot/serialize never touch
-/// the service, only the obs registry (thread-safe by construction).
-class MetricsDumper {
- public:
-  MetricsDumper(std::string json_path, std::string prom_path,
-                std::size_t interval_ms)
-      : json_path_(std::move(json_path)),
-        prom_path_(std::move(prom_path)),
-        interval_ms_(interval_ms) {
-    if (interval_ms_ > 0 && (!json_path_.empty() || !prom_path_.empty())) {
-      worker_ = std::thread([this] { Loop(); });
-    }
-  }
-
-  ~MetricsDumper() {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-    if (worker_.joinable()) worker_.join();
-  }
-
- private:
-  void Loop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    while (!stop_) {
-      lock.unlock();
-      (void)DumpMetricsFiles(json_path_, prom_path_);
-      lock.lock();
-      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
-                   [this] { return stop_; });
-    }
-  }
-
-  std::string json_path_;
-  std::string prom_path_;
-  std::size_t interval_ms_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
-  std::thread worker_;
-};
-
 Status CmdServe(const Flags& flags, std::ostream& out) {
   const bool listen = flags.count("listen") > 0;
   const auto script_it = flags.find("script");
@@ -797,18 +726,54 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
   if (!trace_out.empty()) {
     obs::DefaultTrace().Start(trace_capacity);
   }
-  auto dump_trace = [&trace_out]() -> Status {
+  auto dump_trace = [&trace_out]() -> StatusOr<std::string> {
     if (trace_out.empty()) {
       return Status::FailedPrecondition(
           "server has no trace output configured (start it with "
           "--trace-out)");
     }
-    return WriteFileAtomic(trace_out, obs::DefaultTrace().DumpJson());
+    TCDP_RETURN_IF_ERROR(
+        obs::WriteFileAtomic(trace_out, obs::DefaultTrace().DumpJson()));
+    return trace_out;
   };
+
+  // Active diagnostics: the watchdog scans every heartbeat (shard
+  // workers, net I/O loop, metrics dumper) and, with --diag-dir set,
+  // stalls and crashes leave a flight-recorder bundle behind.
+  TCDP_ASSIGN_OR_RETURN(
+      std::size_t watchdog_interval_ms,
+      FlagAsSize(flags, "watchdog-interval-ms", std::size_t{1000}));
+  TCDP_ASSIGN_OR_RETURN(std::size_t stall_ticks,
+                        FlagAsSize(flags, "stall-ticks", std::size_t{3}));
+  std::string diag_dir;
+  if (flags.count("diag-dir") > 0) diag_dir = flags.at("diag-dir");
+  TCDP_ASSIGN_OR_RETURN(std::size_t diag_keep,
+                        FlagAsSize(flags, "diag-keep", std::size_t{8}));
 
   TCDP_ASSIGN_OR_RETURN(auto service,
                         server::ShardedReleaseService::Create(log_dir,
                                                               options));
+
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (!diag_dir.empty()) {
+    obs::FlightRecorderOptions recorder_options;
+    recorder_options.dir = diag_dir;
+    recorder_options.keep = diag_keep;
+    recorder_options.state_text = [raw = service.get()] {
+      return raw->DiagnosticStateText();
+    };
+    recorder = std::make_unique<obs::FlightRecorder>(recorder_options);
+    TCDP_RETURN_IF_ERROR(recorder->InstallCrashHandler());
+  }
+  obs::WatchdogOptions watchdog_options;
+  watchdog_options.interval_ms = watchdog_interval_ms;
+  watchdog_options.stall_ticks = stall_ticks;
+  watchdog_options.flight_recorder = recorder.get();
+  obs::Watchdog watchdog(watchdog_options);
+  if (watchdog_interval_ms > 0) {
+    TCDP_RETURN_IF_ERROR(watchdog.Start());
+  }
+
   ServeOutcome outcome;
   if (script_it != flags.end()) {
     std::ifstream script(script_it->second);
@@ -817,6 +782,8 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
     }
     TCDP_RETURN_IF_ERROR(RunScript(script, service.get(), &outcome));
   }
+  // Create/Recover and the preload are done: the server is ready.
+  watchdog.SetReady(true);
 
   net::NetServerStats net_stats;
   bool served = false;
@@ -829,6 +796,19 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
     net_options.port = static_cast<std::uint16_t>(port);
     if (flags.count("host") > 0) net_options.host = flags.at("host");
     if (!trace_out.empty()) net_options.on_trace_dump = dump_trace;
+    net_options.watchdog = &watchdog;
+#if defined(__unix__) || defined(__APPLE__)
+    if (!log_dir.empty()) {
+      // Extra liveness probe: the WAL directory must stay writable, or
+      // every durable request is doomed even if the threads look fine.
+      net_options.health_probe = [log_dir]() -> Status {
+        if (::access(log_dir.c_str(), W_OK) != 0) {
+          return Status::Internal("WAL directory not writable: " + log_dir);
+        }
+        return Status::OK();
+      };
+    }
+#endif
     TCDP_ASSIGN_OR_RETURN(auto net_server,
                           net::NetServer::Listen(service.get(),
                                                  net_options));
@@ -848,8 +828,8 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
     }
     WallTimer timer;
     {
-      MetricsDumper dumper(metrics_json_path, metrics_prom_path,
-                           metrics_interval_ms);
+      obs::MetricsDumper dumper(metrics_json_path, metrics_prom_path,
+                                metrics_interval_ms);
       TCDP_RETURN_IF_ERROR(net_server->Serve());
     }
     outcome.elapsed_seconds += timer.ElapsedSeconds();
@@ -861,10 +841,10 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
   // dumps behind, and a served run's files cover the whole lifetime.
   if (!metrics_json_path.empty() || !metrics_prom_path.empty()) {
     TCDP_RETURN_IF_ERROR(
-        DumpMetricsFiles(metrics_json_path, metrics_prom_path));
+        obs::DumpMetricsFiles(metrics_json_path, metrics_prom_path));
   }
   if (!trace_out.empty()) {
-    TCDP_RETURN_IF_ERROR(dump_trace());
+    TCDP_RETURN_IF_ERROR(dump_trace().status());
   }
   TCDP_ASSIGN_OR_RETURN(auto alphas, service->PersonalizedAlphas());
   double overall = 0.0;
@@ -1039,11 +1019,40 @@ Status CmdClient(const Flags& flags, std::ostream& out) {
   return client->Close();
 }
 
+/// One rates table out of a snapshot diff: counters that moved (with
+/// per-second rate) and histograms that saw samples (count rate plus
+/// p50/p99 of the *interval's* distribution). Shared by
+/// `tcdp stats --watch` and `tcdp top`.
+void PrintRateTables(const obs::MetricsDelta& delta, std::ostream& out) {
+  const double seconds =
+      delta.interval_seconds > 0.0 ? delta.interval_seconds : 1.0;
+  Table rates({"counter", "delta", "per-sec"});
+  for (const auto& [name, value] : delta.counters) {
+    if (value == 0) continue;
+    rates.AddRowCells(
+        {name, std::to_string(value),
+         FormatNumber(static_cast<double>(value) / seconds, 1)});
+  }
+  out << rates.ToAlignedString();
+  Table latency({"histogram", "count/s", "p50", "p99"});
+  for (const auto& [name, snapshot] : delta.histograms) {
+    if (snapshot.count() == 0) continue;
+    latency.AddRowCells(
+        {name,
+         FormatNumber(static_cast<double>(snapshot.count()) / seconds, 1),
+         FormatNumber(snapshot.Quantile(0.5), 6),
+         FormatNumber(snapshot.Quantile(0.99), 6)});
+  }
+  if (latency.num_rows() > 0) out << latency.ToAlignedString();
+}
+
 /// `tcdp stats`: one-shot observability scrape of a live server over
 /// the wire — the typed kMetrics snapshot (counters, gauges, latency
 /// histograms) plus the kStats service counters. --json emits the
 /// exact MetricsJson schema (same as `serve --metrics-json` dumps), so
-/// scripts/check_metrics_schema.py validates either source.
+/// scripts/check_metrics_schema.py validates either source. --watch N
+/// re-scrapes every N seconds and prints per-interval rates instead of
+/// cumulative totals (--count M stops after M rate tables).
 Status CmdStats(const Flags& flags, std::ostream& out) {
   TCDP_ASSIGN_OR_RETURN(std::size_t port, FlagAsSize(flags, "port"));
   if (port == 0 || port > 65535) {
@@ -1057,13 +1066,36 @@ Status CmdStats(const Flags& flags, std::ostream& out) {
   }
   TCDP_ASSIGN_OR_RETURN(std::size_t trace_dump,
                         FlagAsSize(flags, "trace-dump", std::size_t{0}));
+  TCDP_ASSIGN_OR_RETURN(std::size_t watch_seconds,
+                        FlagAsSize(flags, "watch", std::size_t{0}));
+  TCDP_ASSIGN_OR_RETURN(std::size_t watch_count,
+                        FlagAsSize(flags, "count", std::size_t{3}));
+  if (watch_seconds > 0 && json) {
+    return Status::InvalidArgument("--watch and --json are exclusive");
+  }
 
   TCDP_ASSIGN_OR_RETURN(
       auto client,
       net::NetClient::Connect(host, static_cast<std::uint16_t>(port)));
   TCDP_ASSIGN_OR_RETURN(obs::MetricsSnapshot metrics, client->Metrics());
   if (trace_dump != 0) {
-    TCDP_RETURN_IF_ERROR(client->TraceDump());
+    TCDP_ASSIGN_OR_RETURN(std::string trace_path, client->TraceDump());
+    if (!json) out << "trace dumped to " << trace_path << "\n";
+  }
+  if (watch_seconds > 0) {
+    obs::MetricsSnapshot prev = std::move(metrics);
+    for (std::size_t i = 0; i < watch_count; ++i) {
+      std::this_thread::sleep_for(std::chrono::seconds(watch_seconds));
+      TCDP_ASSIGN_OR_RETURN(obs::MetricsSnapshot cur, client->Metrics());
+      const obs::MetricsDelta delta = obs::DiffMetricsSnapshots(
+          prev, cur, static_cast<double>(watch_seconds));
+      out << "--- interval " << (i + 1) << "/" << watch_count << " ("
+          << watch_seconds << "s)\n";
+      PrintRateTables(delta, out);
+      out.flush();
+      prev = std::move(cur);
+    }
+    return client->Close();
   }
   if (json) {
     out << obs::MetricsJson(metrics);
@@ -1103,6 +1135,196 @@ Status CmdStats(const Flags& flags, std::ostream& out) {
     latency.AddCell(FormatNumber(snapshot.max_observed, 6));
   }
   out << latency.ToAlignedString();
+  return client->Close();
+}
+
+/// `tcdp health`: the kHealth/kReady probe as a CLI verb. Prints the
+/// watchdog's verdict and exits nonzero when the probed bit is false,
+/// so scripts/CI can gate on the exit code alone.
+Status CmdHealth(const Flags& flags, std::ostream& out) {
+  TCDP_ASSIGN_OR_RETURN(std::size_t port, FlagAsSize(flags, "port"));
+  if (port == 0 || port > 65535) {
+    return Status::InvalidArgument("--port must be in 1-65535");
+  }
+  std::string host = "127.0.0.1";
+  if (flags.count("host") > 0) host = flags.at("host");
+  const bool json = flags.count("json") > 0;
+  if (json && flags.at("json") != "-") {
+    return Status::InvalidArgument("--json only supports '-' (stdout)");
+  }
+  TCDP_ASSIGN_OR_RETURN(std::size_t probe_ready,
+                        FlagAsSize(flags, "ready", std::size_t{0}));
+
+  TCDP_ASSIGN_OR_RETURN(
+      auto client,
+      net::NetClient::Connect(host, static_cast<std::uint16_t>(port)));
+  TCDP_ASSIGN_OR_RETURN(net::WireHealthReport report,
+                        probe_ready != 0 ? client->Ready()
+                                         : client->Health());
+  if (json) {
+    out << "{\n"
+        << "  \"healthy\": " << (report.healthy ? "true" : "false") << ",\n"
+        << "  \"ready\": " << (report.ready ? "true" : "false") << ",\n"
+        << "  \"scans\": " << report.scans << ",\n"
+        << "  \"reason\": \"" << JsonEscape(report.reason) << "\",\n"
+        << "  \"components\": [";
+    for (std::size_t c = 0; c < report.components.size(); ++c) {
+      const net::WireComponentHealth& comp = report.components[c];
+      out << (c == 0 ? "\n" : ",\n") << "    {\"name\": \""
+          << JsonEscape(comp.name) << "\", \"kind\": \""
+          << obs::HeartbeatKindName(
+                 static_cast<obs::HeartbeatKind>(comp.kind))
+          << "\", \"stalled\": " << (comp.stalled ? "true" : "false")
+          << ", \"progress\": " << comp.progress
+          << ", \"pending\": " << comp.pending
+          << ", \"age_ns\": " << comp.age_ns << ", \"detail\": \""
+          << JsonEscape(comp.detail) << "\"}";
+    }
+    out << "\n  ]\n}\n";
+  } else {
+    out << (report.healthy ? "healthy" : "UNHEALTHY") << " / "
+        << (report.ready ? "ready" : "NOT READY");
+    if (!report.reason.empty()) out << " — " << report.reason;
+    out << " (" << report.scans << " watchdog scans)\n";
+    Table table({"component", "kind", "state", "progress", "pending",
+                 "age (ms)"});
+    for (const net::WireComponentHealth& comp : report.components) {
+      table.AddRowCells(
+          {comp.name,
+           obs::HeartbeatKindName(static_cast<obs::HeartbeatKind>(comp.kind)),
+           comp.stalled ? "STALLED" : "ok", std::to_string(comp.progress),
+           std::to_string(comp.pending),
+           FormatNumber(static_cast<double>(comp.age_ns) / 1e6, 1)});
+    }
+    if (table.num_rows() > 0) out << table.ToAlignedString();
+  }
+  TCDP_RETURN_IF_ERROR(client->Close());
+  const bool probed_bit = probe_ready != 0 ? report.ready : report.healthy;
+  if (!probed_bit) {
+    return Status::Internal(
+        std::string(probe_ready != 0 ? "server not ready"
+                                     : "server unhealthy") +
+        (report.reason.empty() ? "" : ": " + report.reason));
+  }
+  return Status::OK();
+}
+
+/// One `tcdp top` frame: rates diffed from the previous scrape.
+struct TopFrame {
+  obs::MetricsSnapshot metrics;
+  net::WireServiceStats stats;
+};
+
+void PrintTopFrame(const std::string& server, const TopFrame& prev,
+                   const TopFrame& cur, double interval_seconds,
+                   std::ostream& out) {
+  const obs::MetricsDelta delta =
+      obs::DiffMetricsSnapshots(prev.metrics, cur.metrics, interval_seconds);
+  // Request throughput comes from the per-type latency histograms (the
+  // interval's count), WAL throughput and cache traffic from counter
+  // deltas; everything degrades to 0 when the instrument is absent.
+  std::uint64_t requests = 0;
+  obs::HistogramSnapshot net_latency;
+  bool have_latency = false;
+  for (const auto& [name, snapshot] : delta.histograms) {
+    if (name.rfind("tcdp_net_request_seconds", 0) != 0) continue;
+    requests += snapshot.count();
+    if (!have_latency) {
+      net_latency = snapshot;
+      have_latency = true;
+    } else {
+      net_latency.Merge(snapshot);
+    }
+  }
+  const std::uint64_t wal_bytes =
+      delta.CounterSum("tcdp_wal_appended_bytes_total");
+  const std::uint64_t hits = delta.CounterSum("tcdp_loss_cache_hits_total");
+  const std::uint64_t misses =
+      delta.CounterSum("tcdp_loss_cache_misses_total");
+  const double lookups = static_cast<double>(hits + misses);
+
+  out << "tcdp top — " << server << "  users " << cur.stats.num_users
+      << "  horizon " << cur.stats.horizon << "  interval "
+      << FormatNumber(interval_seconds, 1) << "s\n";
+  Table table({"rate", "value"});
+  table.AddRowCells(
+      {"requests/s",
+       FormatNumber(static_cast<double>(requests) / interval_seconds, 1)});
+  table.AddRowCells(
+      {"WAL bytes/s",
+       FormatNumber(static_cast<double>(wal_bytes) / interval_seconds, 1)});
+  table.AddRowCells(
+      {"cache hit ratio",
+       lookups > 0 ? FormatNumber(static_cast<double>(hits) / lookups, 3)
+                   : "-"});
+  if (have_latency && net_latency.count() > 0) {
+    table.AddRowCells(
+        {"net p50 (s)", FormatNumber(net_latency.Quantile(0.5), 6)});
+    table.AddRowCells(
+        {"net p99 (s)", FormatNumber(net_latency.Quantile(0.99), 6)});
+  }
+  out << table.ToAlignedString();
+
+  // Per-shard queue depth bars, scaled against the deepest shard (the
+  // bar answers "who is backed up relative to whom").
+  std::uint64_t max_depth = 1;
+  for (const net::WireShardStats& shard : cur.stats.shards) {
+    max_depth = std::max(max_depth, shard.queue_depth);
+  }
+  for (std::size_t s = 0; s < cur.stats.shards.size(); ++s) {
+    const net::WireShardStats& shard = cur.stats.shards[s];
+    const std::size_t width =
+        static_cast<std::size_t>(shard.queue_depth * 20 / max_depth);
+    out << "  shard " << s << " [" << std::string(width, '#')
+        << std::string(20 - width, ' ') << "] depth "
+        << shard.queue_depth << "\n";
+  }
+}
+
+/// `tcdp top`: live terminal dashboard over kMetrics + kStats. On a
+/// TTY it refreshes in place until interrupted (or --count frames);
+/// piped/redirected it degrades to a single rate table so scripts and
+/// tests get deterministic output.
+Status CmdTop(const Flags& flags, std::ostream& out) {
+  TCDP_ASSIGN_OR_RETURN(std::size_t port, FlagAsSize(flags, "port"));
+  if (port == 0 || port > 65535) {
+    return Status::InvalidArgument("--port must be in 1-65535");
+  }
+  std::string host = "127.0.0.1";
+  if (flags.count("host") > 0) host = flags.at("host");
+  TCDP_ASSIGN_OR_RETURN(
+      std::size_t interval_ms,
+      FlagAsSize(flags, "interval-ms", std::size_t{1000}));
+  if (interval_ms == 0) {
+    return Status::InvalidArgument("--interval-ms must be >= 1");
+  }
+  bool tty = false;
+#if defined(__unix__) || defined(__APPLE__)
+  tty = ::isatty(STDOUT_FILENO) != 0;
+#endif
+  TCDP_ASSIGN_OR_RETURN(
+      std::size_t count,
+      FlagAsSize(flags, "count", tty ? std::size_t{0} : std::size_t{1}));
+
+  TCDP_ASSIGN_OR_RETURN(
+      auto client,
+      net::NetClient::Connect(host, static_cast<std::uint16_t>(port)));
+  const std::string server = host + ":" + std::to_string(port);
+  TopFrame prev;
+  TCDP_ASSIGN_OR_RETURN(prev.metrics, client->Metrics());
+  TCDP_ASSIGN_OR_RETURN(prev.stats, client->Stats());
+  const double interval_seconds =
+      static_cast<double>(interval_ms) / 1000.0;
+  for (std::size_t frame = 0; count == 0 || frame < count; ++frame) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    TopFrame cur;
+    TCDP_ASSIGN_OR_RETURN(cur.metrics, client->Metrics());
+    TCDP_ASSIGN_OR_RETURN(cur.stats, client->Stats());
+    if (tty) out << "\x1b[H\x1b[2J";  // home + clear: refresh in place
+    PrintTopFrame(server, prev, cur, interval_seconds, out);
+    out.flush();
+    prev = std::move(cur);
+  }
   return client->Close();
 }
 
@@ -1421,7 +1643,8 @@ std::string HelpText() {
       "             [--listen PORT] [--host H] [--port-file P] [--json -]\n"
       "             [--no-metrics 1] [--metrics-json F] [--metrics-prom F]\n"
       "             [--metrics-interval-ms MS] [--trace-out F]\n"
-      "             [--trace-capacity N]\n"
+      "             [--trace-capacity N] [--watchdog-interval-ms MS]\n"
+      "             [--stall-ticks N] [--diag-dir D] [--diag-keep K]\n"
       "  client     replay a serve script against a remote server over\n"
       "             the wire protocol (pipelined; see docs/PROTOCOL.md)\n"
       "             --port PORT --script S.txt [--host H]\n"
@@ -1429,8 +1652,20 @@ std::string HelpText() {
       "  stats      scrape a live server's metrics over the wire (tick\n"
       "             and WAL latency histograms, queue gauges, cache\n"
       "             counters); --trace-dump 1 also asks the server to\n"
-      "             write its span ring to its --trace-out path\n"
+      "             write its span ring to its --trace-out path;\n"
+      "             --watch N re-scrapes every N seconds and prints\n"
+      "             per-interval rates (--count M intervals)\n"
       "             --port PORT [--host H] [--json -] [--trace-dump 1]\n"
+      "             [--watch N] [--count M]\n"
+      "  health     probe a live server's kHealth/kReady endpoint (the\n"
+      "             watchdog's verdict + per-component heartbeat ages);\n"
+      "             exits nonzero when the probed bit is false\n"
+      "             --port PORT [--host H] [--ready 1] [--json -]\n"
+      "  top        live dashboard over kMetrics/kStats: request and WAL\n"
+      "             throughput, cache hit ratio, net latency quantiles,\n"
+      "             per-shard queue bars; refreshes on a TTY, single\n"
+      "             rate table otherwise\n"
+      "             --port PORT [--host H] [--interval-ms MS] [--count M]\n"
       "  replay     recover a service from its log dir; --verify 1\n"
       "             replays every user's exported accountant blob and\n"
       "             checks the recovered series bitwise\n"
@@ -1471,6 +1706,8 @@ Status Run(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "serve") return CmdServe(flags, out);
   if (command == "client") return CmdClient(flags, out);
   if (command == "stats") return CmdStats(flags, out);
+  if (command == "health") return CmdHealth(flags, out);
+  if (command == "top") return CmdTop(flags, out);
   if (command == "replay") return CmdReplay(flags, out);
   if (command == "compact") return CmdCompact(flags, out);
   return Status::InvalidArgument("unknown command '" + command +
