@@ -19,6 +19,7 @@ void RegisterAllSuites(Harness* harness) {
   RegisterFleetSuite(harness);
   RegisterShardSuite(harness);
   RegisterNetSuite(harness);
+  RegisterReplSuite(harness);
   RegisterObsSuite(harness);
 }
 

@@ -22,6 +22,10 @@ void RegisterFleetSuite(Harness* harness);
 void RegisterShardSuite(Harness* harness);
 void RegisterNetSuite(Harness* harness);
 
+// WAL-streaming replication (ISSUE 10): follower drain rate vs local
+// ingest, byte-identical convergence, failover (promotion) time.
+void RegisterReplSuite(Harness* harness);
+
 // Paper reproduction suites (docs/PAPER_RESULTS.md maps each to its
 // figure/claim).
 void RegisterFig3Suite(Harness* harness);

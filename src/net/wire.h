@@ -63,6 +63,13 @@ enum class MsgType : std::uint8_t {
   kTraceDump = 11,  ///< empty payload; server dumps its trace ring
   kHealth = 12,     ///< empty payload; liveness probe (watchdog state)
   kReady = 13,      ///< empty payload; readiness probe
+  // Replication family (docs/REPLICATION.md). kSubscribe opens a log
+  // stream on a primary's replication port; kAckHorizon frames then
+  // flow follower -> primary as durability advances (pushes: no
+  // response). kRouteLookup is answered by a router process.
+  kSubscribe = 14,    ///< payload: per-shard replication cursor
+  kAckHorizon = 15,   ///< payload: follower durable horizon (push)
+  kRouteLookup = 16,  ///< payload: name; router answers kRouteReport
 
   // Responses (server -> client).
   kOk = 64,           ///< empty payload
@@ -72,6 +79,9 @@ enum class MsgType : std::uint8_t {
   kMetricsReport = 68,    ///< payload: obs EncodeMetricsSnapshot blob
   kHealthReport = 69,     ///< payload: health flags + per-component rows
   kTraceDumpReport = 70,  ///< payload: path the trace ring was written to
+  kSubscribeOk = 71,      ///< payload: shard count + directory manifest
+  kLogBatch = 72,         ///< payload: one shard's WAL records (push)
+  kRouteReport = 73,      ///< payload: the endpoint a user routes to
 };
 
 struct Frame {

@@ -239,6 +239,17 @@ std::uint64_t WalFsyncP99Ns(const MetricsSnapshot& metrics) {
   return 0;
 }
 
+/// Worst follower lag in records (tcdp_repl_lag_records gauge,
+/// published by the replication stream server), or 0 when no primary
+/// role / no followers. Same per-scan-snapshot pattern as the WAL
+/// fsync annotation.
+std::int64_t ReplLagRecords(const MetricsSnapshot& metrics) {
+  for (const auto& entry : metrics.gauges) {
+    if (entry.first == "tcdp_repl_lag_records") return entry.second;
+  }
+  return 0;
+}
+
 }  // namespace
 
 void Watchdog::Scan() {
@@ -248,6 +259,7 @@ void Watchdog::Scan() {
       HeartbeatRegistry::Default().SampleAll();
   const MetricsSnapshot metrics = Registry::Default().Snapshot();
   const std::uint64_t fsync_p99_ns = WalFsyncP99Ns(metrics);
+  const std::int64_t repl_lag_records = ReplLagRecords(metrics);
 
   // Stall transitions collected under the lock, acted on after — the
   // flight recorder serializes the registry itself and must not run
@@ -317,6 +329,14 @@ void Watchdog::Scan() {
           }
           break;
         }
+      }
+
+      // A stalled component on a replicating primary drags followers
+      // behind with it; surface the lag in the same annotation so
+      // `tcdp health` shows cause and blast radius together.
+      if (stalled && repl_lag_records > 0) {
+        detail << "; replication lagging (" << repl_lag_records
+               << " records behind on the worst follower)";
       }
 
       if (stalled && !state.stalled) {

@@ -1,0 +1,181 @@
+#include "replication/repl_messages.h"
+
+#include <utility>
+
+#include "common/binary_io.h"
+
+namespace tcdp {
+namespace replication {
+namespace {
+
+Status ExpectConsumed(const BinaryCursor& cursor, const char* what) {
+  if (!cursor.empty()) {
+    return Status::InvalidArgument(std::string(what) +
+                                   ": trailing bytes in payload");
+  }
+  return Status::OK();
+}
+
+/// Refuses a decoded element count that the remaining payload cannot
+/// possibly hold (each element is at least \p min_bytes), so a corrupt
+/// count never drives a huge reserve().
+Status CheckCount(std::uint64_t count, std::size_t remaining,
+                  std::size_t min_bytes, const char* what) {
+  if (count > remaining / min_bytes) {
+    return Status::InvalidArgument(
+        std::string(what) + ": count " + std::to_string(count) +
+        " exceeds payload capacity (" + std::to_string(remaining) +
+        " bytes remaining)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::uint32_t RecordFrameCrc(const server::EventRecord& record) {
+  const std::uint8_t type_byte = static_cast<std::uint8_t>(record.type);
+  std::uint32_t crc = Crc32(&type_byte, 1);
+  return Crc32(record.payload.data(), record.payload.size(), crc);
+}
+
+std::uint32_t AdvanceChainCrc(std::uint32_t chain, std::uint32_t frame_crc) {
+  const std::uint8_t le[4] = {
+      static_cast<std::uint8_t>(frame_crc & 0xFF),
+      static_cast<std::uint8_t>((frame_crc >> 8) & 0xFF),
+      static_cast<std::uint8_t>((frame_crc >> 16) & 0xFF),
+      static_cast<std::uint8_t>((frame_crc >> 24) & 0xFF),
+  };
+  return Crc32(le, sizeof(le), chain);
+}
+
+std::string EncodeSubscribe(const SubscribeRequest& request) {
+  std::string out;
+  PutVarint64(&out, request.format_version);
+  PutVarint64(&out, request.cursors.size());
+  for (const ShardCursor& cursor : request.cursors) {
+    PutVarint64(&out, cursor.next_record);
+    PutFixed32(&out, cursor.chain_crc);
+  }
+  return out;
+}
+
+StatusOr<SubscribeRequest> DecodeSubscribe(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  SubscribeRequest request;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&request.format_version));
+  if (request.format_version != 1) {
+    return Status::InvalidArgument(
+        "DecodeSubscribe: unsupported format version " +
+        std::to_string(request.format_version));
+  }
+  std::uint64_t count = 0;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&count));
+  // Each cursor is >= 5 bytes: 1-byte-minimum varint + fixed32.
+  TCDP_RETURN_IF_ERROR(
+      CheckCount(count, cursor.remaining(), 5, "DecodeSubscribe"));
+  request.cursors.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    ShardCursor shard;
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&shard.next_record));
+    TCDP_RETURN_IF_ERROR(cursor.ReadFixed32(&shard.chain_crc));
+    request.cursors.push_back(shard);
+  }
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeSubscribe"));
+  return request;
+}
+
+std::string EncodeSubscribeOk(const SubscribeOk& ok) {
+  std::string out;
+  PutVarint64(&out, ok.num_shards);
+  PutLengthPrefixed(&out, ok.manifest_text);
+  return out;
+}
+
+StatusOr<SubscribeOk> DecodeSubscribeOk(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  SubscribeOk ok;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&ok.num_shards));
+  if (ok.num_shards == 0) {
+    return Status::InvalidArgument("DecodeSubscribeOk: zero shards");
+  }
+  TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&ok.manifest_text));
+  if (ok.manifest_text.empty()) {
+    return Status::InvalidArgument("DecodeSubscribeOk: empty manifest");
+  }
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeSubscribeOk"));
+  return ok;
+}
+
+std::string EncodeLogBatch(const LogBatch& batch) {
+  std::string out;
+  PutVarint64(&out, batch.shard);
+  PutVarint64(&out, batch.first_record);
+  PutFixed32(&out, batch.prev_chain_crc);
+  PutVarint64(&out, batch.records.size());
+  for (const server::EventRecord& record : batch.records) {
+    out.push_back(static_cast<char>(record.type));
+    PutLengthPrefixed(&out, record.payload);
+  }
+  return out;
+}
+
+StatusOr<LogBatch> DecodeLogBatch(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  LogBatch batch;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&batch.shard));
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&batch.first_record));
+  TCDP_RETURN_IF_ERROR(cursor.ReadFixed32(&batch.prev_chain_crc));
+  std::uint64_t count = 0;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&count));
+  if (count == 0) {
+    return Status::InvalidArgument("DecodeLogBatch: empty batch");
+  }
+  // Each record is >= 2 bytes: type byte + 1-byte-minimum length.
+  TCDP_RETURN_IF_ERROR(
+      CheckCount(count, cursor.remaining(), 2, "DecodeLogBatch"));
+  batch.records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint8_t type_byte = 0;
+    TCDP_RETURN_IF_ERROR(cursor.ReadByte(&type_byte));
+    server::EventRecord record;
+    record.type = static_cast<server::EventType>(type_byte);
+    TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&record.payload));
+    batch.records.push_back(std::move(record));
+  }
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeLogBatch"));
+  return batch;
+}
+
+std::string EncodeAckHorizon(const AckHorizon& ack) {
+  std::string out;
+  PutVarint64(&out, ack.durable_records.size());
+  for (const std::uint64_t durable : ack.durable_records) {
+    PutVarint64(&out, durable);
+  }
+  PutVarint64(&out, ack.release_horizon);
+  return out;
+}
+
+StatusOr<AckHorizon> DecodeAckHorizon(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  AckHorizon ack;
+  std::uint64_t count = 0;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&count));
+  if (count == 0) {
+    return Status::InvalidArgument("DecodeAckHorizon: zero shards");
+  }
+  TCDP_RETURN_IF_ERROR(
+      CheckCount(count, cursor.remaining(), 1, "DecodeAckHorizon"));
+  ack.durable_records.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t durable = 0;
+    TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&durable));
+    ack.durable_records.push_back(durable);
+  }
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&ack.release_horizon));
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeAckHorizon"));
+  return ack;
+}
+
+}  // namespace replication
+}  // namespace tcdp

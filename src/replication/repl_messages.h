@@ -1,0 +1,102 @@
+#ifndef TCDP_REPLICATION_REPL_MESSAGES_H_
+#define TCDP_REPLICATION_REPL_MESSAGES_H_
+
+/// \file
+/// Typed payload codecs for the replication message family
+/// (net/wire.h kSubscribe / kSubscribeOk / kLogBatch / kAckHorizon;
+/// stream grammar in docs/REPLICATION.md).
+///
+/// The unit of replication is the shard WAL's *physical record*: a
+/// follower names its position per shard as (next_record, chain_crc),
+/// where the chain CRC is a CRC-32 folded over every preceding
+/// record's frame CRC in order. Two logs with the same (count, chain)
+/// are byte-identical with WAL-CRC confidence — a cursor is therefore
+/// a claim about content, not just length, and a primary can refuse a
+/// follower whose history diverged (docs/REPLICATION.md) instead of
+/// silently forking state.
+///
+/// Every decoder is total: truncated/corrupt payloads come back as
+/// Status, and decoded counts are validated against the payload size
+/// before reserving.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "server/event_log.h"
+
+namespace tcdp {
+namespace replication {
+
+/// One shard's replication position.
+struct ShardCursor {
+  /// Physical WAL records already held (manifest included).
+  std::uint64_t next_record = 0;
+  /// Chain CRC through those records (kChainSeed for an empty log).
+  std::uint32_t chain_crc = 0;
+};
+
+/// Chain seed for an empty log prefix.
+inline constexpr std::uint32_t kChainSeed = 0;
+
+/// The frame CRC of \p record — the exact value the WAL stores in the
+/// record's [type|len|crc] header (CRC over type byte then payload).
+std::uint32_t RecordFrameCrc(const server::EventRecord& record);
+
+/// Folds one record's frame CRC into \p chain (little-endian bytes,
+/// same polynomial): the incremental step of the cursor chain.
+std::uint32_t AdvanceChainCrc(std::uint32_t chain, std::uint32_t frame_crc);
+
+/// kSubscribe request: where the follower's logs end. An empty cursor
+/// list bootstraps a fresh follower (the primary answers with its
+/// shard count and manifest; streaming starts at record 0 everywhere).
+struct SubscribeRequest {
+  std::uint64_t format_version = 1;
+  std::vector<ShardCursor> cursors;
+};
+
+/// kSubscribeOk response: the primary's shape. \p manifest_text is the
+/// directory MANIFEST verbatim, so a bootstrapping follower lays down
+/// a byte-identical copy before the first batch arrives.
+struct SubscribeOk {
+  std::uint64_t num_shards = 0;
+  std::string manifest_text;
+};
+
+/// kLogBatch push (primary -> follower): a run of consecutive physical
+/// records of one shard. \p prev_chain_crc is the chain through
+/// \p first_record — the follower verifies it against its own chain
+/// before appending, so a divergent stream is refused, never applied.
+struct LogBatch {
+  std::uint64_t shard = 0;
+  std::uint64_t first_record = 0;
+  std::uint32_t prev_chain_crc = kChainSeed;
+  std::vector<server::EventRecord> records;
+};
+
+/// kAckHorizon push (follower -> primary): what the follower has made
+/// durable (fdatasynced), per shard, plus the release horizon those
+/// prefixes commit (min over shards of durable kRelease records) —
+/// the value `tcdp serve` exposes as the acked horizon.
+struct AckHorizon {
+  std::vector<std::uint64_t> durable_records;
+  std::uint64_t release_horizon = 0;
+};
+
+std::string EncodeSubscribe(const SubscribeRequest& request);
+StatusOr<SubscribeRequest> DecodeSubscribe(const std::string& payload);
+
+std::string EncodeSubscribeOk(const SubscribeOk& ok);
+StatusOr<SubscribeOk> DecodeSubscribeOk(const std::string& payload);
+
+std::string EncodeLogBatch(const LogBatch& batch);
+StatusOr<LogBatch> DecodeLogBatch(const std::string& payload);
+
+std::string EncodeAckHorizon(const AckHorizon& ack);
+StatusOr<AckHorizon> DecodeAckHorizon(const std::string& payload);
+
+}  // namespace replication
+}  // namespace tcdp
+
+#endif  // TCDP_REPLICATION_REPL_MESSAGES_H_

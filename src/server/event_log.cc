@@ -53,6 +53,8 @@ bool ValidEventType(std::uint8_t type) {
     case EventType::kAddUser:
     case EventType::kRelease:
     case EventType::kCompaction:
+    case EventType::kMigrateUser:
+    case EventType::kRouterEndpoint:
     case EventType::kSnapHeader:
     case EventType::kSnapUser:
     case EventType::kSnapRelease:

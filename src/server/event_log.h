@@ -42,6 +42,10 @@ enum class EventType : std::uint8_t {
   kRelease = 3,       ///< one global release (eps + local participation)
   kCompaction = 4,    ///< second record of a compacted WAL: the prefix
                       ///< summarized by the shard snapshot (base counts)
+  kMigrateUser = 5,   ///< router journal: a user pinned to an explicit
+                      ///< endpoint, overriding the consistent-hash ring
+  kRouterEndpoint = 6,  ///< router journal: an endpoint added to (or
+                        ///< tombstoned off) the ring
   kSnapHeader = 16,   ///< snapshot: counts + quantization
   kSnapUser = 17,     ///< snapshot: one user (v2 accountant blob + state)
   kSnapRelease = 18,  ///< snapshot: one historical release row

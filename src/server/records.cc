@@ -160,6 +160,64 @@ StatusOr<CompactionRecord> DecodeCompaction(const std::string& payload) {
   return record;
 }
 
+std::string EncodeRouterEndpoint(const RouterEndpointRecord& record) {
+  std::string out;
+  PutVarint64(&out, record.format_version);
+  PutLengthPrefixed(&out, record.endpoint);
+  out.push_back(record.removed ? 1 : 0);
+  return out;
+}
+
+StatusOr<RouterEndpointRecord> DecodeRouterEndpoint(
+    const std::string& payload) {
+  BinaryCursor cursor(payload);
+  RouterEndpointRecord record;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&record.format_version));
+  if (record.format_version != 1) {
+    return Status::InvalidArgument(
+        "DecodeRouterEndpoint: unsupported format version " +
+        std::to_string(record.format_version));
+  }
+  TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&record.endpoint));
+  if (record.endpoint.empty()) {
+    return Status::InvalidArgument("DecodeRouterEndpoint: empty endpoint");
+  }
+  std::uint8_t removed = 0;
+  TCDP_RETURN_IF_ERROR(cursor.ReadByte(&removed));
+  if (removed > 1) {
+    return Status::InvalidArgument("DecodeRouterEndpoint: bad removed flag");
+  }
+  record.removed = removed == 1;
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeRouterEndpoint"));
+  return record;
+}
+
+std::string EncodeMigrateUser(const MigrateUserRecord& record) {
+  std::string out;
+  PutVarint64(&out, record.format_version);
+  PutLengthPrefixed(&out, record.name);
+  PutLengthPrefixed(&out, record.endpoint);
+  return out;
+}
+
+StatusOr<MigrateUserRecord> DecodeMigrateUser(const std::string& payload) {
+  BinaryCursor cursor(payload);
+  MigrateUserRecord record;
+  TCDP_RETURN_IF_ERROR(cursor.ReadVarint64(&record.format_version));
+  if (record.format_version != 1) {
+    return Status::InvalidArgument(
+        "DecodeMigrateUser: unsupported format version " +
+        std::to_string(record.format_version));
+  }
+  TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&record.name));
+  if (record.name.empty()) {
+    return Status::InvalidArgument("DecodeMigrateUser: empty user name");
+  }
+  TCDP_RETURN_IF_ERROR(cursor.ReadLengthPrefixed(&record.endpoint));
+  TCDP_RETURN_IF_ERROR(ExpectConsumed(cursor, "DecodeMigrateUser"));
+  return record;
+}
+
 std::string EncodeSnapHeader(const SnapHeaderRecord& record) {
   std::string out;
   PutVarint64(&out, record.applied_records);

@@ -73,6 +73,25 @@ struct CompactionRecord {
   std::uint64_t base_users = 0;
 };
 
+/// Router journal (replication/router.h): one endpoint added to — or
+/// tombstoned off — the consistent-hash ring. The journal reuses the
+/// WAL framing, so a torn router journal recovers exactly like a torn
+/// shard WAL: truncate to the last complete record and resume.
+struct RouterEndpointRecord {
+  std::uint64_t format_version = 1;
+  std::string endpoint;  ///< "host:port"
+  bool removed = false;  ///< tombstone when true
+};
+
+/// Router journal: one user pinned to an explicit endpoint, overriding
+/// the ring — the unit of rebalancing when a shard-server is added.
+/// An empty endpoint clears the pin (the ring resumes deciding).
+struct MigrateUserRecord {
+  std::uint64_t format_version = 1;
+  std::string name;
+  std::string endpoint;
+};
+
 /// Snapshot prologue: how much of the WAL the snapshot reflects and
 /// what the state dimensions are (readers validate counts against it).
 /// Carries the quantization itself so a zero-user shard's snapshot is
@@ -106,6 +125,13 @@ StatusOr<ReleaseRecord> DecodeRelease(const std::string& payload);
 
 std::string EncodeCompaction(const CompactionRecord& record);
 StatusOr<CompactionRecord> DecodeCompaction(const std::string& payload);
+
+std::string EncodeRouterEndpoint(const RouterEndpointRecord& record);
+StatusOr<RouterEndpointRecord> DecodeRouterEndpoint(
+    const std::string& payload);
+
+std::string EncodeMigrateUser(const MigrateUserRecord& record);
+StatusOr<MigrateUserRecord> DecodeMigrateUser(const std::string& payload);
 
 std::string EncodeSnapHeader(const SnapHeaderRecord& record);
 StatusOr<SnapHeaderRecord> DecodeSnapHeader(const std::string& payload);

@@ -1,0 +1,35 @@
+#ifndef TCDP_SERVER_REPLAY_H_
+#define TCDP_SERVER_REPLAY_H_
+
+/// \file
+/// The single WAL-suffix apply path: one decoded record goes into one
+/// shard's bank + name list. Crash recovery (sharded_service Recover)
+/// and replication followers (replication/follower) both funnel every
+/// kAddUser / kRelease record through here, which is what makes a
+/// follower's state bitwise identical to what the primary would
+/// recover to at the same log prefix — there is exactly one
+/// interpretation of a record, not two implementations of it.
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/accountant_bank.h"
+#include "server/event_log.h"
+
+namespace tcdp {
+namespace server {
+
+/// Applies one WAL suffix record to \p bank / \p names:
+///   * kAddUser — enrolls the user (name appended, correlations added);
+///   * kRelease — records the global release with the mask's
+///     shard-local participants (or everyone, for an `all` mask).
+/// Any other record type is InvalidArgument — manifests, compaction
+/// markers and snapshot records are prefix metadata, never replayed.
+Status ApplyWalRecord(const EventRecord& record, AccountantBank* bank,
+                      std::vector<std::string>* names);
+
+}  // namespace server
+}  // namespace tcdp
+
+#endif  // TCDP_SERVER_REPLAY_H_

@@ -24,6 +24,7 @@
 #include "server/compaction.h"
 #include "server/event_log.h"
 #include "server/records.h"
+#include "server/replay.h"
 #include "server/snapshot.h"
 
 namespace tcdp {
@@ -856,29 +857,12 @@ ShardedReleaseService::Recover(const std::string& log_dir,
     }
 
     for (std::size_t r = replay_from; r < keep; ++r) {
-      const EventRecord& record = log.records[r];
-      if (record.type == EventType::kAddUser) {
-        TCDP_ASSIGN_OR_RETURN(AddUserRecord add,
-                              DecodeAddUser(record.payload));
-        shard->bank.AddUser(std::move(add.image.correlations));
-        shard->names.push_back(std::move(add.name));
-      } else if (record.type == EventType::kRelease) {
-        TCDP_ASSIGN_OR_RETURN(ReleaseRecord release,
-                              DecodeRelease(record.payload));
-        if (release.all) {
-          TCDP_RETURN_IF_ERROR(shard->bank.RecordRelease(release.epsilon));
-        } else {
-          std::vector<std::size_t> participants;
-          for (std::size_t u = 0; u < shard->names.size(); ++u) {
-            if (release.mask.bit(u)) participants.push_back(u);
-          }
-          TCDP_RETURN_IF_ERROR(
-              shard->bank.RecordRelease(release.epsilon, participants));
-        }
-      } else {
-        return Status::InvalidArgument(
-            "shard " + std::to_string(i) + " WAL record " +
-            std::to_string(r) + " has unexpected type");
+      const Status applied =
+          ApplyWalRecord(log.records[r], &shard->bank, &shard->names);
+      if (!applied.ok()) {
+        return Status(applied.code(),
+                      "shard " + std::to_string(i) + " WAL record " +
+                          std::to_string(r) + ": " + applied.message());
       }
       ++shard->replayed_records;
     }

@@ -194,10 +194,10 @@ TEST(Harness, AllBuiltInSuitesRegister) {
   Harness harness;
   RegisterAllSuites(&harness);
   const auto names = harness.SuiteNames();
-  EXPECT_EQ(names.size(), 14u);
+  EXPECT_EQ(names.size(), 15u);
   for (const char* expected :
        {"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "table2", "wevent",
-        "ablation", "kernels", "fleet", "shard", "net", "obs"}) {
+        "ablation", "kernels", "fleet", "shard", "net", "repl", "obs"}) {
     EXPECT_NE(harness.FindSpec(expected), nullptr) << expected;
   }
 }

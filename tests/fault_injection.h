@@ -1,0 +1,297 @@
+#ifndef TCDP_TESTS_FAULT_INJECTION_H_
+#define TCDP_TESTS_FAULT_INJECTION_H_
+
+/// \file
+/// Deterministic network fault injection for loopback protocol tests.
+///
+/// FaultyProxy is a single-connection TCP proxy that forwards bytes
+/// between a test client and a real server while executing a *script*
+/// of faults — not random packet mangling, but "flip the byte at
+/// offset 113 of the server->client stream", "reset the connection
+/// after forwarding 64 bytes", "deliver everything in 7-byte chunks".
+/// Each accepted connection consumes the next ConnPlan from the
+/// script (the last plan repeats), so a test can express "first
+/// session gets corrupted, second session gets reset mid-frame, third
+/// session is clean" and assert how the endpoints converge.
+///
+/// Faults are positioned by byte offset within one direction of one
+/// connection, which makes every run identical: no timing
+/// sensitivity, no randomness. Used by tests/net_server_test.cc (a
+/// hostile client-side path must never perturb server accounting) and
+/// tests/replication_test.cc (a faulty follower link must never
+/// perturb the primary, and the follower must converge byte-identical
+/// once the link heals).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace tcdp {
+namespace testing {
+
+/// Faults applied to one direction of one proxied connection. Offsets
+/// count bytes of that direction's stream from the connection start.
+struct FaultSpec {
+  /// Forward in chunks of at most this many bytes (0 = unlimited).
+  /// Exercises short-read/short-write handling in the endpoints.
+  std::size_t chunk = 0;
+  /// XOR `corrupt_mask` into the byte at this offset (-1 = never).
+  long corrupt_at = -1;
+  unsigned char corrupt_mask = 0x01;
+  /// After forwarding this many bytes, hard-reset both sides
+  /// (SO_LINGER 0 close => RST) (-1 = never).
+  long reset_after = -1;
+};
+
+/// The fault script for one accepted connection.
+struct ConnPlan {
+  FaultSpec client_to_server;
+  FaultSpec server_to_client;
+};
+
+struct FaultyProxyStats {
+  std::uint64_t connections = 0;
+  std::uint64_t client_to_server_bytes = 0;
+  std::uint64_t server_to_client_bytes = 0;
+  std::uint64_t corruptions = 0;
+  std::uint64_t resets = 0;
+};
+
+class FaultyProxy {
+ public:
+  /// Starts proxying 127.0.0.1:<ephemeral> -> 127.0.0.1:target_port.
+  /// One connection is served at a time; connection i uses plans[i]
+  /// (the last plan repeats when the script runs out; an empty script
+  /// means pass-through).
+  static std::unique_ptr<FaultyProxy> Start(std::uint16_t target_port,
+                                            std::vector<ConnPlan> plans) {
+    auto proxy = std::unique_ptr<FaultyProxy>(new FaultyProxy());
+    proxy->target_port_ = target_port;
+    proxy->plans_ = std::move(plans);
+    if (proxy->plans_.empty()) proxy->plans_.push_back(ConnPlan{});
+
+    proxy->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (proxy->listen_fd_ < 0) return nullptr;
+    int reuse = 1;
+    ::setsockopt(proxy->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                 sizeof(reuse));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::bind(proxy->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(proxy->listen_fd_, 4) != 0) {
+      ::close(proxy->listen_fd_);
+      return nullptr;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(proxy->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                  &len);
+    proxy->port_ = ntohs(addr.sin_port);
+    proxy->thread_ = std::thread([raw = proxy.get()] { raw->Run(); });
+    return proxy;
+  }
+
+  std::uint16_t port() const { return port_; }
+
+  FaultyProxyStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  void Stop() {
+    stop_.store(true);
+    // Unblock the accept poll.
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (thread_.joinable()) thread_.join();
+  }
+
+  ~FaultyProxy() {
+    Stop();
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  FaultyProxy(const FaultyProxy&) = delete;
+  FaultyProxy& operator=(const FaultyProxy&) = delete;
+
+ private:
+  FaultyProxy() = default;
+
+  /// One direction's forwarding state.
+  struct Pipe {
+    int from;
+    int to;
+    FaultSpec spec;
+    std::uint64_t forwarded = 0;  ///< bytes already written to `to`
+    bool open = true;
+    std::uint64_t* stat_bytes;
+  };
+
+  static void HardReset(int fd) {
+    linger lin{1, 0};  // close with pending data => RST, not FIN
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lin, sizeof(lin));
+    ::close(fd);
+  }
+
+  /// Forwards up to one read's worth of bytes. Returns false when the
+  /// pipe is finished (EOF, error, or scripted reset).
+  bool PumpOnce(Pipe* pipe, bool* reset_both) {
+    char buffer[4096];
+    std::size_t want = sizeof(buffer);
+    if (pipe->spec.chunk > 0 && pipe->spec.chunk < want) {
+      want = pipe->spec.chunk;
+    }
+    // Never read past a scripted reset point: the bytes after it must
+    // not be delivered.
+    if (pipe->spec.reset_after >= 0) {
+      const std::uint64_t until =
+          static_cast<std::uint64_t>(pipe->spec.reset_after);
+      if (pipe->forwarded >= until) {
+        *reset_both = true;
+        return false;
+      }
+      want = std::min<std::size_t>(want, until - pipe->forwarded);
+    }
+    const ssize_t n = ::recv(pipe->from, buffer, want, 0);
+    if (n <= 0) return false;
+    for (ssize_t i = 0; i < n; ++i) {
+      if (pipe->spec.corrupt_at >= 0 &&
+          pipe->forwarded + static_cast<std::uint64_t>(i) ==
+              static_cast<std::uint64_t>(pipe->spec.corrupt_at)) {
+        buffer[i] = static_cast<char>(buffer[i] ^ pipe->spec.corrupt_mask);
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.corruptions;
+      }
+    }
+    std::size_t sent = 0;
+    while (sent < static_cast<std::size_t>(n)) {
+      const ssize_t w = ::send(pipe->to, buffer + sent,
+                               static_cast<std::size_t>(n) - sent,
+                               MSG_NOSIGNAL);
+      if (w <= 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(w);
+    }
+    pipe->forwarded += static_cast<std::uint64_t>(n);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      *pipe->stat_bytes += static_cast<std::uint64_t>(n);
+    }
+    if (pipe->spec.reset_after >= 0 &&
+        pipe->forwarded >=
+            static_cast<std::uint64_t>(pipe->spec.reset_after)) {
+      *reset_both = true;
+      return false;
+    }
+    return true;
+  }
+
+  void ServeConnection(int client_fd, const ConnPlan& plan) {
+    const int server_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(target_port_);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (server_fd < 0 ||
+        ::connect(server_fd, reinterpret_cast<sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      if (server_fd >= 0) ::close(server_fd);
+      ::close(client_fd);
+      return;
+    }
+    int nodelay = 1;
+    ::setsockopt(client_fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                 sizeof(nodelay));
+    ::setsockopt(server_fd, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                 sizeof(nodelay));
+
+    Pipe up{client_fd, server_fd, plan.client_to_server, 0, true,
+            &stats_.client_to_server_bytes};
+    Pipe down{server_fd, client_fd, plan.server_to_client, 0, true,
+              &stats_.server_to_client_bytes};
+    bool reset_both = false;
+    while (!stop_.load() && (up.open || down.open) && !reset_both) {
+      pollfd fds[2];
+      nfds_t count = 0;
+      if (up.open) fds[count++] = pollfd{up.from, POLLIN, 0};
+      if (down.open) fds[count++] = pollfd{down.from, POLLIN, 0};
+      const int ready = ::poll(fds, count, 100);
+      if (ready <= 0) continue;
+      for (nfds_t i = 0; i < count; ++i) {
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        Pipe* pipe = fds[i].fd == up.from && up.open ? &up : &down;
+        if (!PumpOnce(pipe, &reset_both)) {
+          pipe->open = false;
+          if (!reset_both) {
+            // Propagate the half-close so the receiver sees EOF.
+            ::shutdown(pipe->to, SHUT_WR);
+          }
+        }
+      }
+      // Once one side fully closed, a simple proxy is done: propagate
+      // and tear down (the protocols under test never continue past a
+      // peer's EOF in one direction only).
+      if (!up.open && !down.open) break;
+    }
+    if (reset_both) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.resets;
+      }
+      HardReset(client_fd);
+      HardReset(server_fd);
+    } else {
+      ::close(client_fd);
+      ::close(server_fd);
+    }
+  }
+
+  void Run() {
+    std::size_t next_plan = 0;
+    while (!stop_.load()) {
+      pollfd listener{listen_fd_, POLLIN, 0};
+      const int ready = ::poll(&listener, 1, 100);
+      if (ready <= 0) continue;
+      const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (client_fd < 0) continue;
+      const ConnPlan plan =
+          plans_[std::min(next_plan, plans_.size() - 1)];
+      ++next_plan;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.connections;
+      }
+      ServeConnection(client_fd, plan);
+    }
+  }
+
+  std::uint16_t target_port_ = 0;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  std::vector<ConnPlan> plans_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  mutable std::mutex mutex_;
+  FaultyProxyStats stats_;
+};
+
+}  // namespace testing
+}  // namespace tcdp
+
+#endif  // TCDP_TESTS_FAULT_INJECTION_H_

@@ -32,6 +32,7 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "server/sharded_service.h"
+#include "tests/fault_injection.h"
 #include "workload/generators.h"
 
 namespace tcdp {
@@ -565,6 +566,91 @@ TEST(NetServerTest, CompactOnEphemeralServiceIsAnApplicationError) {
   auto report = (*fresh)->Query(UserName(0));
   EXPECT_TRUE(report.ok()) << report.status();
   EXPECT_TRUE((*fresh)->Shutdown().ok());
+  ts->Finish();
+}
+
+TEST(NetServerTest, ScriptedLinkFaultsOnTheClientPathAreContained) {
+  // Deterministic link faults (tests/fault_injection.h) between a
+  // client and the server: a corrupted mutation must NOT apply (the
+  // frame CRC catches it and the connection drops), a mid-response
+  // reset must not wedge the server, and a 1-byte-chunked link must
+  // behave exactly like a clean one.
+  auto ts = TestServer::Start(2, 4);
+  ASSERT_NE(ts, nullptr);
+
+  auto good = Connect(*ts);
+  ASSERT_TRUE(good.ok());
+  for (std::size_t u = 0; u < 4; ++u) {
+    ASSERT_TRUE((*good)->Join(UserName(u), Profile(u)).ok());
+  }
+  for (std::size_t u = 0; u < 4; ++u) {
+    ASSERT_TRUE((*good)->Release(UserName(u), 0.1).ok());
+  }
+  ASSERT_TRUE((*good)->Flush().ok());
+  auto before = (*good)->Query(UserName(0));
+  ASSERT_TRUE(before.ok());
+
+  // Connection 1: flip a byte inside the first request frame's payload
+  // (preamble is 12 bytes, the frame header 9: offset 23 is payload
+  // byte 2 of the client's first frame). Connection 2: hard-reset the
+  // server->client direction mid-preamble/response. Connection 3+:
+  // clean but delivered one byte at a time, both directions.
+  std::vector<tcdp::testing::ConnPlan> plans(3);
+  plans[0].client_to_server.corrupt_at = 23;
+  plans[1].server_to_client.reset_after = 16;
+  plans[2].client_to_server.chunk = 1;
+  plans[2].server_to_client.chunk = 1;
+  auto proxy = tcdp::testing::FaultyProxy::Start(ts->port(), plans);
+  ASSERT_NE(proxy, nullptr);
+
+  {
+    // The corrupted Release must surface as an error and must not
+    // change accounting state (asserted below against `before`).
+    auto client = NetClient::Connect("127.0.0.1", proxy->port(), {});
+    ASSERT_TRUE(client.ok()) << client.status();
+    const Status released = (*client)->Release(UserName(0), 0.9);
+    EXPECT_FALSE(released.ok())
+        << "a CRC-corrupted mutation must not be acked";
+  }
+  {
+    // The reset lands mid server->client stream; the client errors,
+    // the server just drops the connection.
+    auto client = NetClient::Connect("127.0.0.1", proxy->port(), {});
+    if (client.ok()) {
+      auto report = (*client)->Query(UserName(0));
+      EXPECT_FALSE(report.ok()) << "response was reset mid-flight";
+    }
+  }
+  {
+    // The chunked link is slow but correct: reports are identical to
+    // the direct connection's.
+    auto client = NetClient::Connect("127.0.0.1", proxy->port(), {});
+    ASSERT_TRUE(client.ok()) << client.status();
+    for (std::size_t u = 0; u < 4; ++u) {
+      auto chunked = (*client)->Query(UserName(u));
+      ASSERT_TRUE(chunked.ok()) << chunked.status();
+      auto direct = (*good)->Query(UserName(u));
+      ASSERT_TRUE(direct.ok()) << direct.status();
+      EXPECT_EQ(chunked->horizon, direct->horizon) << UserName(u);
+      EXPECT_EQ(chunked->epsilons, direct->epsilons) << UserName(u);
+      EXPECT_EQ(chunked->tpl_series, direct->tpl_series) << UserName(u);
+    }
+  }
+  const tcdp::testing::FaultyProxyStats proxy_stats = proxy->stats();
+  EXPECT_EQ(proxy_stats.corruptions, 1u);
+  EXPECT_EQ(proxy_stats.resets, 1u);
+  EXPECT_GE(proxy_stats.connections, 3u);
+  proxy->Stop();
+
+  // The faulted connections left no trace: user-0 is bitwise where the
+  // clean workload put it (the corrupted 0.9 release never applied).
+  auto after = (*good)->Query(UserName(0));
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->horizon, before->horizon);
+  EXPECT_EQ(after->epsilons, before->epsilons);
+  EXPECT_EQ(after->tpl_series, before->tpl_series);
+  EXPECT_GE(ts->server->stats().connections_dropped, 1u);
+  EXPECT_TRUE((*good)->Shutdown().ok());
   ts->Finish();
 }
 

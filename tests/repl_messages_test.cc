@@ -1,0 +1,244 @@
+// Codec tests for the replication message family (ISSUE 10):
+// round-trips, cursor chain-CRC algebra against the on-disk WAL
+// framing, and totality — every truncated prefix and every single-byte
+// corruption of a valid payload must come back as Status, never crash
+// or decode to a silently-wrong value that passes validation.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/binary_io.h"
+#include "replication/repl_messages.h"
+#include "server/event_log.h"
+
+namespace tcdp {
+namespace replication {
+namespace {
+
+server::EventRecord Record(server::EventType type,
+                           const std::string& payload) {
+  server::EventRecord record;
+  record.type = type;
+  record.payload = payload;
+  return record;
+}
+
+TEST(ReplMessagesTest, SubscribeRoundTripsBootstrapAndResume) {
+  SubscribeRequest bootstrap;
+  auto decoded = DecodeSubscribe(EncodeSubscribe(bootstrap));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->format_version, 1u);
+  EXPECT_TRUE(decoded->cursors.empty());
+
+  SubscribeRequest resume;
+  resume.cursors = {{0, kChainSeed}, {12345678901234ull, 0xdeadbeef},
+                    {7, 0}};
+  decoded = DecodeSubscribe(EncodeSubscribe(resume));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->cursors.size(), 3u);
+  EXPECT_EQ(decoded->cursors[1].next_record, 12345678901234ull);
+  EXPECT_EQ(decoded->cursors[1].chain_crc, 0xdeadbeefu);
+  EXPECT_EQ(decoded->cursors[2].next_record, 7u);
+}
+
+TEST(ReplMessagesTest, SubscribeRejectsUnknownFormatVersion) {
+  std::string payload;
+  PutVarint64(&payload, 99);  // format_version
+  PutVarint64(&payload, 0);   // cursors
+  auto decoded = DecodeSubscribe(payload);
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(ReplMessagesTest, SubscribeOkRoundTripsAndValidates) {
+  SubscribeOk ok;
+  ok.num_shards = 4;
+  ok.manifest_text = "tcdp-shard-manifest-v1\nshards 4\nhorizon 0\n";
+  auto decoded = DecodeSubscribeOk(EncodeSubscribeOk(ok));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->num_shards, 4u);
+  EXPECT_EQ(decoded->manifest_text, ok.manifest_text);
+
+  SubscribeOk zero;
+  zero.manifest_text = "x";
+  EXPECT_FALSE(DecodeSubscribeOk(EncodeSubscribeOk(zero)).ok())
+      << "zero shards must not decode";
+  SubscribeOk empty;
+  empty.num_shards = 1;
+  EXPECT_FALSE(DecodeSubscribeOk(EncodeSubscribeOk(empty)).ok())
+      << "an empty manifest must not decode";
+}
+
+TEST(ReplMessagesTest, LogBatchRoundTripsRecordsVerbatim) {
+  LogBatch batch;
+  batch.shard = 2;
+  batch.first_record = 41;
+  batch.prev_chain_crc = 0x1234abcd;
+  batch.records.push_back(
+      Record(server::EventType::kAddUser, std::string("alice\0bob", 9)));
+  batch.records.push_back(Record(server::EventType::kRelease, ""));
+  batch.records.push_back(
+      Record(server::EventType::kRelease, std::string(1000, '\xff')));
+  auto decoded = DecodeLogBatch(EncodeLogBatch(batch));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->shard, 2u);
+  EXPECT_EQ(decoded->first_record, 41u);
+  EXPECT_EQ(decoded->prev_chain_crc, 0x1234abcdu);
+  ASSERT_EQ(decoded->records.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(decoded->records[i].type, batch.records[i].type) << i;
+    EXPECT_EQ(decoded->records[i].payload, batch.records[i].payload) << i;
+  }
+}
+
+TEST(ReplMessagesTest, EmptyLogBatchDoesNotDecode) {
+  LogBatch batch;
+  batch.shard = 0;
+  EXPECT_FALSE(DecodeLogBatch(EncodeLogBatch(batch)).ok());
+}
+
+TEST(ReplMessagesTest, AckHorizonRoundTrips) {
+  AckHorizon ack;
+  ack.durable_records = {3, 0, 999999999999ull};
+  ack.release_horizon = 17;
+  auto decoded = DecodeAckHorizon(EncodeAckHorizon(ack));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->durable_records, ack.durable_records);
+  EXPECT_EQ(decoded->release_horizon, 17u);
+}
+
+// ------------------------------------------------------ chain CRC algebra
+
+TEST(ReplMessagesTest, FrameCrcMatchesTheOnDiskWalFraming) {
+  // RecordFrameCrc must reproduce the exact CRC EventLogWriter frames
+  // with — write a real log and check against the stored headers.
+  const std::string path = "/tmp/tcdp_repl_messages_test.wal";
+  std::filesystem::remove(path);
+  auto writer = server::EventLogWriter::Create(path);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  const std::vector<server::EventRecord> records = {
+      Record(server::EventType::kManifest, "shard 0"),
+      Record(server::EventType::kAddUser, "alice"),
+      Record(server::EventType::kRelease, std::string("\x00\x01", 2)),
+  };
+  for (const server::EventRecord& record : records) {
+    ASSERT_TRUE(writer->Append(record.type, record.payload).ok());
+  }
+  ASSERT_TRUE(writer->Close().ok());
+
+  // Pull the stored frame CRCs straight out of the file bytes:
+  // magic(8) then per record [u8 type][u32 len][u32 crc][payload].
+  std::string bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buffer[4096];
+    std::size_t n;
+    while ((n = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
+      bytes.append(buffer, n);
+    }
+    std::fclose(f);
+  }
+  std::size_t offset = 8;
+  std::uint32_t chain = kChainSeed;
+  for (const server::EventRecord& record : records) {
+    std::uint32_t length = 0;
+    std::uint32_t stored_crc = 0;
+    std::memcpy(&length, bytes.data() + offset + 1, 4);
+    std::memcpy(&stored_crc, bytes.data() + offset + 5, 4);
+    EXPECT_EQ(RecordFrameCrc(record), stored_crc);
+    chain = AdvanceChainCrc(chain, stored_crc);
+    offset += 9 + length;
+  }
+  EXPECT_EQ(offset, bytes.size()) << "walked exactly the whole file";
+
+  // The chain is order-sensitive: swapping two records changes it.
+  std::uint32_t swapped = kChainSeed;
+  swapped = AdvanceChainCrc(swapped, RecordFrameCrc(records[1]));
+  swapped = AdvanceChainCrc(swapped, RecordFrameCrc(records[0]));
+  swapped = AdvanceChainCrc(swapped, RecordFrameCrc(records[2]));
+  EXPECT_NE(swapped, chain);
+  std::filesystem::remove(path);
+}
+
+TEST(ReplMessagesTest, ChainCrcDistinguishesContentNotJustLength) {
+  // Same record count, one payload byte different => different chain.
+  std::uint32_t a = AdvanceChainCrc(
+      kChainSeed, RecordFrameCrc(Record(server::EventType::kRelease, "x")));
+  std::uint32_t b = AdvanceChainCrc(
+      kChainSeed, RecordFrameCrc(Record(server::EventType::kRelease, "y")));
+  EXPECT_NE(a, b);
+  // Same payload, different type byte => different chain too.
+  std::uint32_t c = AdvanceChainCrc(
+      kChainSeed, RecordFrameCrc(Record(server::EventType::kAddUser, "x")));
+  EXPECT_NE(a, c);
+}
+
+// ----------------------------------------------------------- totality sweep
+
+/// Every strict prefix of a valid encoding must fail to decode (the
+/// messages carry no optional tail), and no truncation may crash.
+template <typename Decoder>
+void ExpectTruncationsFail(const std::string& payload, Decoder decode,
+                           const std::string& what) {
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    auto decoded = decode(payload.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << what << " decoded at cut " << cut;
+  }
+}
+
+TEST(ReplMessagesTest, TruncatedPayloadsNeverDecode) {
+  SubscribeRequest subscribe;
+  subscribe.cursors = {{5, 0xabcd0123}, {9, 0x00ff00ff}};
+  ExpectTruncationsFail(EncodeSubscribe(subscribe), DecodeSubscribe,
+                        "subscribe");
+
+  SubscribeOk ok;
+  ok.num_shards = 2;
+  ok.manifest_text = "tcdp-shard-manifest-v1\nshards 2\n";
+  ExpectTruncationsFail(EncodeSubscribeOk(ok), DecodeSubscribeOk,
+                        "subscribe-ok");
+
+  LogBatch batch;
+  batch.shard = 1;
+  batch.first_record = 3;
+  batch.prev_chain_crc = 0x55555555;
+  batch.records.push_back(Record(server::EventType::kAddUser, "carol"));
+  batch.records.push_back(Record(server::EventType::kRelease, "eps"));
+  ExpectTruncationsFail(EncodeLogBatch(batch), DecodeLogBatch,
+                        "log-batch");
+
+  AckHorizon ack;
+  ack.durable_records = {1, 2, 3};
+  ack.release_horizon = 1;
+  ExpectTruncationsFail(EncodeAckHorizon(ack), DecodeAckHorizon, "ack");
+}
+
+TEST(ReplMessagesTest, HostileCountsDoNotOverReserve) {
+  // A payload claiming 2^40 cursors but carrying none must be rejected
+  // by the count-vs-bytes guard, not die in a reserve.
+  std::string hostile;
+  PutVarint64(&hostile, 1);                    // format_version
+  PutVarint64(&hostile, 1ull << 40);           // cursor count
+  EXPECT_FALSE(DecodeSubscribe(hostile).ok());
+
+  std::string batch;
+  PutVarint64(&batch, 0);                      // shard
+  PutVarint64(&batch, 0);                      // first_record
+  PutFixed32(&batch, 0);                       // prev chain
+  PutVarint64(&batch, 1ull << 50);             // record count
+  EXPECT_FALSE(DecodeLogBatch(batch).ok());
+
+  std::string ack;
+  PutVarint64(&ack, 1ull << 45);               // shard count
+  EXPECT_FALSE(DecodeAckHorizon(ack).ok());
+}
+
+}  // namespace
+}  // namespace replication
+}  // namespace tcdp

@@ -38,6 +38,9 @@
 #include "obs/process_metrics.h"
 #include "obs/trace.h"
 #include "obs/watchdog.h"
+#include "replication/follower.h"
+#include "replication/log_stream.h"
+#include "replication/router.h"
 #include "server/sharded_service.h"
 #include "service/fleet_engine.h"
 #include "workload/generators.h"
@@ -582,6 +585,7 @@ Status RunScript(std::istream& script, Backend* backend,
 void PrintServiceJson(server::ShardedReleaseService* service,
                       const ServeOutcome& outcome, double overall_alpha,
                       double min_alpha, const net::NetServerStats* net,
+                      const replication::LogStreamStats* repl,
                       std::ostream& out) {
   const auto& stats = service->stats();
   const std::uint64_t requests =
@@ -638,6 +642,20 @@ void PrintServiceJson(server::ShardedReleaseService* service,
         << ", \"bytes_out\": " << net->bytes_out
         << ", \"backpressure_pauses\": " << net->backpressure_pauses
         << "},";
+  }
+  if (repl != nullptr) {
+    out << "\n  \"replication\": {\"role\": \"primary\""
+        << ", \"followers\": " << repl->followers
+        << ", \"primary_records\": " << repl->primary_records
+        << ", \"subscribes\": " << repl->subscribes
+        << ", \"batches_sent\": " << repl->batches_sent
+        << ", \"records_sent\": " << repl->records_sent
+        << ", \"bytes_sent\": " << repl->bytes_sent
+        << ", \"acks_received\": " << repl->acks_received
+        << ", \"divergences\": " << repl->divergences
+        << ", \"min_acked_release_horizon\": "
+        << repl->min_acked_release_horizon
+        << ", \"max_lag_records\": " << repl->max_lag_records << "},";
   }
   out << "\n  \"queries\": [";
   for (std::size_t q = 0; q < outcome.queries.size(); ++q) {
@@ -699,6 +717,12 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
   const bool json = flags.count("json") > 0;
   if (json && flags.at("json") != "-") {
     return Status::InvalidArgument("--json only supports '-' (stdout)");
+  }
+  const bool repl_listen = flags.count("repl-listen") > 0;
+  if (repl_listen && (log_dir.empty() || !listen)) {
+    return Status::InvalidArgument(
+        "--repl-listen requires --log-dir (the WAL is the stream) and "
+        "--listen (a primary serves clients and followers together)");
   }
 
   // Observability knobs. --no-metrics 1 turns the registry's write
@@ -786,7 +810,9 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
   watchdog.SetReady(true);
 
   net::NetServerStats net_stats;
+  replication::LogStreamStats repl_stats;
   bool served = false;
+  bool repl_served = false;
   if (listen) {
     TCDP_ASSIGN_OR_RETURN(std::size_t port, FlagAsSize(flags, "listen"));
     if (port > 65535) {
@@ -821,17 +847,83 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
         return Status::Internal("cannot write " + flags.at("port-file"));
       }
     }
+    // A primary tails its own shard WALs and streams them to
+    // subscribed followers on a second port (docs/REPLICATION.md). The
+    // stream server is a pure file reader, so it rides alongside the
+    // service without touching the request path.
+    std::unique_ptr<replication::LogStreamServer> repl_server;
+    std::thread repl_thread;
+    Status repl_status;
+    if (repl_listen) {
+      TCDP_ASSIGN_OR_RETURN(std::size_t repl_port,
+                            FlagAsSize(flags, "repl-listen"));
+      if (repl_port > 65535) {
+        return Status::InvalidArgument(
+            "--repl-listen must be a port (0-65535)");
+      }
+      replication::LogStreamOptions repl_options;
+      repl_options.log_dir = log_dir;
+      repl_options.host = net_options.host;
+      repl_options.port = static_cast<std::uint16_t>(repl_port);
+      TCDP_ASSIGN_OR_RETURN(
+          repl_server, replication::LogStreamServer::Listen(repl_options));
+      if (flags.count("repl-port-file") > 0) {
+        std::ofstream repl_port_file(flags.at("repl-port-file"));
+        repl_port_file << repl_server->port() << "\n";
+        if (!repl_port_file) {
+          return Status::Internal("cannot write " +
+                                  flags.at("repl-port-file"));
+        }
+      }
+      if (!json) {
+        out << "replication stream on " << net_options.host << ":"
+            << repl_server->port() << "\n";
+      }
+      repl_thread = std::thread(
+          [&repl_server, &repl_status] { repl_status = repl_server->Serve(); });
+    }
     if (!json) {
       out << "listening on " << net_options.host << ":"
           << net_server->port() << "\n";
       out.flush();
     }
     WallTimer timer;
+    Status serve_status;
     {
       obs::MetricsDumper dumper(metrics_json_path, metrics_prom_path,
                                 metrics_interval_ms);
-      TCDP_RETURN_IF_ERROR(net_server->Serve());
+      serve_status = net_server->Serve();
     }
+    if (repl_server != nullptr) {
+      // Graceful drain: flush whatever the last client batch left in
+      // the micro-batch queues, then give connected followers a
+      // bounded window to pull and ack it before the stream closes.
+      if (serve_status.ok()) {
+        const Status flushed = service->Flush();
+        if (!flushed.ok()) serve_status = flushed;
+        std::uint64_t on_disk = 0;
+        for (std::size_t s = 0; s < service->num_shards(); ++s) {
+          on_disk += service->shard_stats(s).wal_physical_records;
+        }
+        for (int i = 0; serve_status.ok() && i < 100; ++i) {
+          const replication::LogStreamStats drain = repl_server->stats();
+          const bool tailer_caught_up = drain.primary_records >= on_disk;
+          if (tailer_caught_up &&
+              (drain.followers == 0 || drain.max_lag_records == 0)) {
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+      }
+      // Snapshot before Stop: Stop drops the connections, and the
+      // final refresh would report an empty follower set.
+      repl_stats = repl_server->stats();
+      repl_server->Stop();
+      if (repl_thread.joinable()) repl_thread.join();
+      repl_served = true;
+    }
+    TCDP_RETURN_IF_ERROR(serve_status);
+    TCDP_RETURN_IF_ERROR(repl_status);
     outcome.elapsed_seconds += timer.ElapsedSeconds();
     net_stats = net_server->stats();
     served = true;
@@ -856,7 +948,8 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
   }
   if (json) {
     PrintServiceJson(service.get(), outcome, overall, min_alpha,
-                     served ? &net_stats : nullptr, out);
+                     served ? &net_stats : nullptr,
+                     repl_served ? &repl_stats : nullptr, out);
   } else {
     Table table({"metric", "value"});
     auto add = [&table](const std::string& name, const std::string& value) {
@@ -876,6 +969,18 @@ Status CmdServe(const Flags& flags, std::ostream& out) {
           std::to_string(net_stats.backpressure_pauses));
       add("connections dropped (protocol)",
           std::to_string(net_stats.connections_dropped));
+    }
+    if (repl_served) {
+      add("replication role", "primary");
+      add("followers", std::to_string(repl_stats.followers));
+      add("repl records streamed",
+          std::to_string(repl_stats.records_sent) + "/" +
+              std::to_string(repl_stats.primary_records));
+      add("repl acked release horizon",
+          std::to_string(repl_stats.min_acked_release_horizon));
+      add("repl max follower lag",
+          std::to_string(repl_stats.max_lag_records));
+      add("repl divergences", std::to_string(repl_stats.divergences));
     }
     add("users", std::to_string(service->num_users()));
     add("requests",
@@ -1279,6 +1384,39 @@ void PrintTopFrame(const std::string& server, const TopFrame& prev,
         << std::string(20 - width, ' ') << "] depth "
         << shard.queue_depth << "\n";
   }
+
+  // Replication lag bar (primaries only — the gauges exist once a
+  // --repl-listen stream server has published them). Scaled against
+  // the records the primary has, so a full bar means "follower has
+  // seen nothing yet".
+  auto gauge = [&cur](const std::string& name,
+                      std::int64_t fallback) -> std::int64_t {
+    for (const auto& entry : cur.metrics.gauges) {
+      if (entry.first == name) return entry.second;
+    }
+    return fallback;
+  };
+  const std::int64_t followers = gauge("tcdp_repl_followers", -1);
+  if (followers >= 0) {
+    const std::int64_t lag = gauge("tcdp_repl_lag_records", 0);
+    const std::int64_t acked = gauge("tcdp_repl_min_acked_horizon", 0);
+    const std::int64_t streamed = gauge("tcdp_repl_primary_records", 0);
+    std::uint64_t diverged = 0;
+    for (const auto& entry : cur.metrics.counters) {
+      if (entry.first == "tcdp_repl_divergences_total") {
+        diverged = entry.second;
+      }
+    }
+    const std::int64_t scale = std::max<std::int64_t>(
+        std::int64_t{1}, std::max(streamed, lag));
+    const std::size_t width = static_cast<std::size_t>(
+        std::min<std::int64_t>(20, lag * 20 / scale));
+    out << "  repl    [" << std::string(width, '#')
+        << std::string(20 - width, ' ') << "] lag " << lag
+        << " rec, " << followers << " follower"
+        << (followers == 1 ? "" : "s") << ", acked horizon " << acked
+        << (diverged != 0 ? "  DIVERGED" : "") << "\n";
+  }
 }
 
 /// `tcdp top`: live terminal dashboard over kMetrics + kStats. On a
@@ -1492,6 +1630,237 @@ Status CmdCompact(const Flags& flags, std::ostream& out) {
   return service->Close();
 }
 
+/// `tcdp follow`: run a replica of a primary's WAL stream. The process
+/// follows until the stream ends — with --reconnect 0 that means the
+/// primary died (or Stop), and --promote 1 then turns the replica into
+/// a serving primary through the crash-recovery path (the failover
+/// drill in README.md). Exits nonzero on divergence.
+Status CmdFollow(const Flags& flags, std::ostream& out) {
+  replication::FollowerOptions options;
+  TCDP_ASSIGN_OR_RETURN(std::size_t primary_port,
+                        FlagAsSize(flags, "primary-port"));
+  if (primary_port == 0 || primary_port > 65535) {
+    return Status::InvalidArgument("--primary-port must be in 1-65535");
+  }
+  options.primary_port = static_cast<std::uint16_t>(primary_port);
+  if (flags.count("primary-host") > 0) {
+    options.primary_host = flags.at("primary-host");
+  }
+  const auto dir_it = flags.find("log-dir");
+  if (dir_it == flags.end()) {
+    return Status::InvalidArgument("missing required flag --log-dir");
+  }
+  options.log_dir = dir_it->second;
+  TCDP_ASSIGN_OR_RETURN(std::size_t promote,
+                        FlagAsSize(flags, "promote", std::size_t{0}));
+  // A promoting follower wants the stream to *end* when the primary
+  // dies; a standing replica wants to ride out restarts.
+  TCDP_ASSIGN_OR_RETURN(
+      std::size_t reconnect,
+      FlagAsSize(flags, "reconnect",
+                 promote != 0 ? std::size_t{0} : std::size_t{1}));
+  options.reconnect = reconnect != 0;
+  const bool json = flags.count("json") > 0;
+  if (json && flags.at("json") != "-") {
+    return Status::InvalidArgument("--json only supports '-' (stdout)");
+  }
+
+  const std::string primary = options.primary_host + ":" +
+                              std::to_string(options.primary_port);
+  TCDP_ASSIGN_OR_RETURN(auto follower,
+                        replication::Follower::Open(std::move(options)));
+  TCDP_RETURN_IF_ERROR(follower->Start());
+  if (!json) {
+    out << "following " << primary << " into " << dir_it->second << "\n";
+    out.flush();
+  }
+  while (follower->status().running) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  const replication::FollowerStatus status = follower->status();
+
+  std::unique_ptr<server::ShardedReleaseService> promoted;
+  double promote_seconds = 0.0;
+  if (promote != 0 && !status.diverged) {
+    WallTimer timer;
+    TCDP_ASSIGN_OR_RETURN(promoted, follower->Promote());
+    promote_seconds = timer.ElapsedSeconds();
+  } else {
+    follower->Stop();
+  }
+
+  if (json) {
+    out.precision(17);
+    out << "{\n"
+        << "  \"diverged\": " << (status.diverged ? "true" : "false")
+        << ",\n"
+        << "  \"num_shards\": " << status.num_shards << ",\n"
+        << "  \"release_horizon\": " << status.release_horizon << ",\n"
+        << "  \"batches_applied\": " << status.batches_applied << ",\n"
+        << "  \"records_applied\": " << status.records_applied << ",\n"
+        << "  \"acks_sent\": " << status.acks_sent << ",\n"
+        << "  \"reconnects\": " << status.reconnects << ",\n"
+        << "  \"promoted\": " << (promoted != nullptr ? "true" : "false")
+        << ",\n"
+        << "  \"promote_seconds\": " << promote_seconds;
+    if (promoted != nullptr) {
+      out << ",\n  \"users\": " << promoted->num_users()
+          << ",\n  \"horizon\": " << promoted->horizon();
+    }
+    out << "\n}\n";
+  } else {
+    Table table({"metric", "value"});
+    auto add = [&table](const std::string& name, const std::string& value) {
+      table.AddRow();
+      table.AddCell(name);
+      table.AddCell(value);
+    };
+    add("diverged", status.diverged ? "YES" : "no");
+    add("shards", std::to_string(status.num_shards));
+    add("records applied", std::to_string(status.records_applied));
+    add("batches applied", std::to_string(status.batches_applied));
+    add("acked release horizon", std::to_string(status.release_horizon));
+    add("acks sent", std::to_string(status.acks_sent));
+    add("reconnects", std::to_string(status.reconnects));
+    if (promoted != nullptr) {
+      add("promoted", "yes (" + FormatNumber(promote_seconds, 4) + "s)");
+      add("users", std::to_string(promoted->num_users()));
+      add("horizon", std::to_string(promoted->horizon()));
+    }
+    out << table.ToAlignedString();
+  }
+
+  // The drill's last act: the promoted replica starts serving clients.
+  if (promoted != nullptr && flags.count("listen") > 0) {
+    TCDP_ASSIGN_OR_RETURN(std::size_t port, FlagAsSize(flags, "listen"));
+    if (port > 65535) {
+      return Status::InvalidArgument("--listen must be a port (0-65535)");
+    }
+    net::NetServerOptions net_options;
+    net_options.port = static_cast<std::uint16_t>(port);
+    if (flags.count("host") > 0) net_options.host = flags.at("host");
+    TCDP_ASSIGN_OR_RETURN(
+        auto net_server, net::NetServer::Listen(promoted.get(), net_options));
+    if (flags.count("port-file") > 0) {
+      std::ofstream port_file(flags.at("port-file"));
+      port_file << net_server->port() << "\n";
+      if (!port_file) {
+        return Status::Internal("cannot write " + flags.at("port-file"));
+      }
+    }
+    if (!json) {
+      out << "promoted primary listening on " << net_options.host << ":"
+          << net_server->port() << "\n";
+      out.flush();
+    }
+    TCDP_RETURN_IF_ERROR(net_server->Serve());
+    TCDP_RETURN_IF_ERROR(promoted->Flush());
+  }
+  if (promoted != nullptr) {
+    TCDP_RETURN_IF_ERROR(promoted->Close());
+  }
+  if (status.diverged) {
+    return Status::FailedPrecondition(
+        "replica diverged from the primary: " +
+        status.last_error.message());
+  }
+  return Status::OK();
+}
+
+/// `tcdp route`: operate the user -> shard-server placement table.
+/// Verbs are flags and run in a fixed order (add, remove, migrate,
+/// clear, lookup, endpoints, distribution, serve); each journals
+/// before it applies when --journal is set.
+Status CmdRoute(const Flags& flags, std::ostream& out) {
+  std::string journal;
+  if (flags.count("journal") > 0) journal = flags.at("journal");
+  TCDP_ASSIGN_OR_RETURN(
+      std::size_t virtual_nodes,
+      FlagAsSize(flags, "virtual-nodes", std::size_t{64}));
+  TCDP_ASSIGN_OR_RETURN(auto table,
+                        replication::RouterTable::Open(journal,
+                                                       virtual_nodes));
+  if (flags.count("add") > 0) {
+    TCDP_RETURN_IF_ERROR(table->AddEndpoint(flags.at("add")));
+    out << "added " << flags.at("add") << "\n";
+  }
+  if (flags.count("remove") > 0) {
+    TCDP_RETURN_IF_ERROR(table->RemoveEndpoint(flags.at("remove")));
+    out << "removed " << flags.at("remove") << "\n";
+  }
+  if (flags.count("migrate") > 0) {
+    const auto to_it = flags.find("to");
+    if (to_it == flags.end()) {
+      return Status::InvalidArgument("--migrate requires --to ENDPOINT");
+    }
+    TCDP_RETURN_IF_ERROR(
+        table->MigrateUser(flags.at("migrate"), to_it->second));
+    out << "pinned " << flags.at("migrate") << " -> " << to_it->second
+        << "\n";
+  }
+  if (flags.count("clear") > 0) {
+    TCDP_RETURN_IF_ERROR(table->MigrateUser(flags.at("clear"), ""));
+    out << "cleared pin for " << flags.at("clear") << "\n";
+  }
+  if (flags.count("lookup") > 0) {
+    TCDP_ASSIGN_OR_RETURN(std::string endpoint,
+                          table->Lookup(flags.at("lookup")));
+    out << flags.at("lookup") << " -> " << endpoint << "\n";
+  }
+  if (flags.count("endpoints") > 0) {
+    const replication::RouterTableStats stats = table->stats();
+    out << stats.endpoints << " endpoints, " << stats.pins << " pins, "
+        << stats.journal_records << " journal records\n";
+    for (const std::string& endpoint : table->endpoints()) {
+      out << "  " << endpoint << "\n";
+    }
+  }
+  if (flags.count("distribution") > 0) {
+    // Synthesize N users and count placements per endpoint: run it
+    // before and after an --add to see that only ~1/N of them moved.
+    TCDP_ASSIGN_OR_RETURN(std::size_t users,
+                          FlagAsSize(flags, "distribution"));
+    std::map<std::string, std::size_t> counts;
+    for (std::size_t i = 0; i < users; ++i) {
+      TCDP_ASSIGN_OR_RETURN(std::string endpoint,
+                            table->Lookup("user-" + std::to_string(i)));
+      ++counts[endpoint];
+    }
+    Table dist({"endpoint", "users", "fraction"});
+    for (const auto& [endpoint, count] : counts) {
+      dist.AddRowCells({endpoint, std::to_string(count),
+                        FormatNumber(static_cast<double>(count) /
+                                         static_cast<double>(users),
+                                     3)});
+    }
+    out << dist.ToAlignedString();
+  }
+  if (flags.count("serve") > 0) {
+    TCDP_ASSIGN_OR_RETURN(std::size_t port, FlagAsSize(flags, "serve"));
+    if (port > 65535) {
+      return Status::InvalidArgument("--serve must be a port (0-65535)");
+    }
+    replication::RouterServerOptions server_options;
+    server_options.port = static_cast<std::uint16_t>(port);
+    if (flags.count("host") > 0) server_options.host = flags.at("host");
+    TCDP_ASSIGN_OR_RETURN(
+        auto server,
+        replication::RouterServer::Listen(table.get(), server_options));
+    if (flags.count("port-file") > 0) {
+      std::ofstream port_file(flags.at("port-file"));
+      port_file << server->port() << "\n";
+      if (!port_file) {
+        return Status::Internal("cannot write " + flags.at("port-file"));
+      }
+    }
+    out << "router listening on " << server_options.host << ":"
+        << server->port() << "\n";
+    out.flush();
+    TCDP_RETURN_IF_ERROR(server->Serve());
+  }
+  return Status::OK();
+}
+
 // `tcdp bench` has boolean flags (--smoke, --list), so it parses its
 // own arguments instead of going through ParseFlags (which requires
 // every --flag to carry a value).
@@ -1641,10 +2010,25 @@ std::string HelpText() {
       "             [--compact-bytes B] [--compact-records R]\n"
       "             [--threads-per-shard K] [--kernels scalar|auto]\n"
       "             [--listen PORT] [--host H] [--port-file P] [--json -]\n"
+      "             [--repl-listen PORT] [--repl-port-file P]\n"
       "             [--no-metrics 1] [--metrics-json F] [--metrics-prom F]\n"
       "             [--metrics-interval-ms MS] [--trace-out F]\n"
       "             [--trace-capacity N] [--watchdog-interval-ms MS]\n"
       "             [--stall-ticks N] [--diag-dir D] [--diag-keep K]\n"
+      "  follow     run a replica: subscribe to a primary's --repl-listen\n"
+      "             WAL stream, keep a byte-identical local log dir, ack\n"
+      "             durable horizons; --promote 1 recovers the replica\n"
+      "             into a serving primary when the stream ends (the\n"
+      "             failover drill; see docs/REPLICATION.md)\n"
+      "             --primary-port PORT --log-dir D [--primary-host H]\n"
+      "             [--reconnect 0|1] [--promote 1] [--listen PORT]\n"
+      "             [--port-file P] [--host H] [--json -]\n"
+      "  route      user -> shard-server placement (consistent hashing +\n"
+      "             journaled migration pins); flags are verbs\n"
+      "             [--journal F] [--virtual-nodes N] [--add H:P]\n"
+      "             [--remove H:P] [--migrate U --to H:P] [--clear U]\n"
+      "             [--lookup U] [--endpoints 1] [--distribution N]\n"
+      "             [--serve PORT] [--port-file P] [--host H]\n"
       "  client     replay a serve script against a remote server over\n"
       "             the wire protocol (pipelined; see docs/PROTOCOL.md)\n"
       "             --port PORT --script S.txt [--host H]\n"
@@ -1704,6 +2088,8 @@ Status Run(const std::vector<std::string>& args, std::ostream& out) {
   if (command == "estimate") return CmdEstimate(flags, out);
   if (command == "fleet") return CmdFleet(flags, out);
   if (command == "serve") return CmdServe(flags, out);
+  if (command == "follow") return CmdFollow(flags, out);
+  if (command == "route") return CmdRoute(flags, out);
   if (command == "client") return CmdClient(flags, out);
   if (command == "stats") return CmdStats(flags, out);
   if (command == "health") return CmdHealth(flags, out);

@@ -39,12 +39,28 @@
 ///       service additionally accepts the binary wire protocol on a
 ///       TCP port (0 picks an ephemeral port, reported via --port-file)
 ///       until a client sends shutdown; --script becomes an optional
-///       preload.
+///       preload. --repl-listen PORT additionally streams the shard
+///       WALs to subscribed followers (`tcdp follow`), making this
+///       process a replication primary.
 ///
 ///   client    --port PORT --script S.txt [--host H] [--pipeline N]
 ///             [--shutdown 1]
 ///       Replays the serve script format against a remote server over
 ///       the wire protocol, pipelining requests N deep.
+///
+///   follow    --primary-port PORT --log-dir D [--primary-host H]
+///             [--reconnect 0|1] [--promote 1] [--listen PORT]
+///       Runs a replica: subscribes to a primary's --repl-listen WAL
+///       stream, keeps a byte-identical local log directory, and acks
+///       durable horizons. --promote 1 recovers the replica into a
+///       serving primary when the stream ends (docs/REPLICATION.md).
+///
+///   route     [--journal F] [--add H:P] [--remove H:P]
+///             [--migrate U --to H:P] [--clear U] [--lookup U]
+///             [--endpoints 1] [--distribution N] [--serve PORT]
+///       User -> shard-server placement: consistent hashing plus
+///       journaled per-user migration pins; --serve answers lookups
+///       over the wire protocol.
 ///
 ///   replay    --log-dir D [--verify 1]
 ///       Recovers a service from its write-ahead logs/snapshots and
